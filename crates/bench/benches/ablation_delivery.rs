@@ -1,0 +1,55 @@
+//! Ablation (DESIGN.md §4): lazy vs. eager delivery-set materialization.
+//!
+//! Our `DeliverySet` keeps an explicit prefix plus an identity tail;
+//! the ablation materializes the prefix eagerly to the horizon before
+//! every surgery, approximating a naive "store all pairs" representation.
+//! The lazy representation keeps surgery O(pending) instead of O(horizon).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dl_channels::DeliverySet;
+
+fn lazy_workload(ops: u64) -> u64 {
+    let mut s = DeliverySet::fifo();
+    // Interleave deletions (losses) and lookups, never materializing more
+    // than needed.
+    for i in 1..=ops {
+        if i % 3 == 0 {
+            let j = s.position_of(i).expect("undelivered index has a slot");
+            s.del(i, j).expect("pair exists");
+        }
+    }
+    (1..=ops).map(|j| s.source_for(j)).sum()
+}
+
+fn eager_workload(ops: u64, horizon: u64) -> u64 {
+    let mut s = DeliverySet::fifo();
+    for i in 1..=ops {
+        // Ablation: always materialize to the horizon first.
+        s.materialize_to(horizon);
+        if i % 3 == 0 {
+            let j = s.position_of(i).expect("undelivered index has a slot");
+            s.del(i, j).expect("pair exists");
+        }
+    }
+    (1..=ops).map(|j| s.source_for(j)).sum()
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_delivery_set");
+    for ops in [100u64, 1_000] {
+        // Sanity: both representations agree.
+        assert_eq!(lazy_workload(ops), eager_workload(ops, ops * 4));
+        group.bench_with_input(BenchmarkId::new("lazy", ops), &ops, |b, &n| {
+            b.iter(|| lazy_workload(black_box(n)))
+        });
+        group.bench_with_input(BenchmarkId::new("eager", ops), &ops, |b, &n| {
+            b.iter(|| eager_workload(black_box(n), n * 4))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

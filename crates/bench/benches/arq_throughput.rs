@@ -1,0 +1,115 @@
+//! E3 (paper Figure 3 / §1): ARQ service over lossy FIFO links.
+//!
+//! The window × loss sweep the introduction's protocol family motivates:
+//! packets-per-message overhead and wall-clock cost of delivering a fixed
+//! message batch for ABP, go-back-N at several windows, and Stenning.
+//! Prints the overhead table (the "shape": overhead grows with loss; ABP
+//! and Stenning coincide; eager go-back-N pays per window slot).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dl_channels::{LossMode, LossyFifoChannel};
+use dl_core::action::{Dir, DlAction};
+use dl_sim::{link_system, Metrics, Runner, Script};
+use ioa::Automaton;
+
+const MSGS: u64 = 20;
+
+fn run<T, R>(tx: T, rx: R, mode: LossMode, seed: u64) -> Metrics
+where
+    T: Automaton<Action = DlAction>,
+    R: Automaton<Action = DlAction>,
+{
+    let sys = link_system(
+        tx,
+        rx,
+        LossyFifoChannel::new(Dir::TR, mode),
+        LossyFifoChannel::new(Dir::RT, mode),
+    );
+    let mut runner = Runner::new(seed, usize::MAX / 2);
+    let report = runner.run(&sys, &Script::deliver_n(MSGS));
+    assert!(report.quiescent);
+    assert_eq!(report.metrics.msgs_received, MSGS);
+    report.metrics
+}
+
+fn overhead_table() {
+    eprintln!("E3: data packets per delivered message ({MSGS} messages)");
+    eprintln!("{:<20} {:>10} {:>10} {:>10}", "protocol", "lossless", "1/4 loss", "~1/2 loss");
+    let modes = [LossMode::None, LossMode::EveryNth(4), LossMode::Nondet];
+    let report = |name: &str, f: &dyn Fn(LossMode) -> Metrics| {
+        let cells: Vec<String> = modes
+            .iter()
+            .map(|m| format!("{:.2}", f(*m).overhead()))
+            .collect();
+        eprintln!("{:<20} {:>10} {:>10} {:>10}", name, cells[0], cells[1], cells[2]);
+    };
+    report("abp", &|m| {
+        let p = dl_protocols::abp::protocol();
+        run(p.transmitter, p.receiver, m, 7)
+    });
+    for w in [2u64, 4, 8] {
+        report(&format!("go-back-{w}"), &|m| {
+            let p = dl_protocols::sliding_window::protocol(w);
+            run(p.transmitter, p.receiver, m, 7)
+        });
+    }
+    for w in [2u64, 4] {
+        report(&format!("sel-repeat-{w}"), &|m| {
+            let p = dl_protocols::selective_repeat::protocol(w);
+            run(p.transmitter, p.receiver, m, 7)
+        });
+    }
+    report("stenning", &|m| {
+        let p = dl_protocols::stenning::protocol();
+        run(p.transmitter, p.receiver, m, 7)
+    });
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    overhead_table();
+    let mut group = c.benchmark_group("e3_arq_throughput");
+    group.sample_size(10);
+    for loss in [0u64, 4, 2] {
+        let mode = match loss {
+            0 => LossMode::None,
+            n => LossMode::EveryNth(n),
+        };
+        for w in [1u64, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("go_back_n_loss_1_{loss}"), w),
+                &w,
+                |b, &w| {
+                    b.iter(|| {
+                        let p = dl_protocols::sliding_window::protocol(w);
+                        run(p.transmitter, p.receiver, mode, 7).steps
+                    })
+                },
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("abp_loss_1_over", loss),
+            &loss,
+            |b, _| {
+                b.iter(|| {
+                    let p = dl_protocols::abp::protocol();
+                    run(p.transmitter, p.receiver, mode, 7).steps
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stenning_loss_1_over", loss),
+            &loss,
+            |b, _| {
+                b.iter(|| {
+                    let p = dl_protocols::stenning::protocol();
+                    run(p.transmitter, p.receiver, mode, 7).steps
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E4 (paper Figure 4 / Lemma 7.2): the crash-replay pump.
+//!
+//! The pump's cost is dominated by replaying the reference execution's
+//! per-station actions; the reference grows with the sliding-window size
+//! (more ack traffic), so windows give a natural size dial. Measures the
+//! whole Lemma 7.4 chain (pumps + surgery) via the engine, stopping
+//! before the extension endgame is *not* separable — so we report the
+//! full construction as the unit and print the pump counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dl_impossibility::crash::{CrashConfig, CrashEngine};
+
+fn bench_pump_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_crash_pump_chain");
+    group.sample_size(20);
+    for w in [1u64, 2, 4, 8, 16] {
+        // Report the reference length and pump count once per size.
+        let p = dl_protocols::sliding_window::protocol(w);
+        let engine =
+            CrashEngine::new(p.transmitter, p.receiver, CrashConfig::default()).unwrap();
+        let ref_len = engine.reference().len();
+        let cx = engine.run().unwrap();
+        eprintln!(
+            "E4: go-back-{w}: reference |α| = {ref_len}, pumps = {}, \
+             counterexample trace = {} events, violates {}",
+            cx.pumps,
+            cx.trace.len(),
+            cx.violation.property
+        );
+
+        group.bench_with_input(BenchmarkId::new("lemma_7_4_chain", w), &w, |b, &w| {
+            b.iter(|| {
+                let p = dl_protocols::sliding_window::protocol(w);
+                let engine =
+                    CrashEngine::new(p.transmitter, p.receiver, CrashConfig::default())
+                        .unwrap();
+                engine.run().unwrap().pumps
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pump_chain);
+criterion_main!(benches);

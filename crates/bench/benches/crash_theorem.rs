@@ -1,0 +1,72 @@
+//! E5 (Theorem 7.5): time to derive a certified WDL violation from each
+//! crashing protocol, and the cost profile of the engine's phases
+//! (reference construction vs. the full pipeline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dl_core::action::Msg;
+use dl_impossibility::crash::{build_reference, refute_crash_tolerance};
+
+fn bench_theorem(c: &mut Criterion) {
+    // Print the verdict table once.
+    for (name, run) in [
+        ("abp", {
+            let p = dl_protocols::abp::protocol();
+            refute_crash_tolerance(p.transmitter, p.receiver)
+        }),
+        ("go-back-4", {
+            let p = dl_protocols::sliding_window::protocol(4);
+            refute_crash_tolerance(p.transmitter, p.receiver)
+        }),
+        ("stenning", {
+            let p = dl_protocols::stenning::protocol();
+            refute_crash_tolerance(p.transmitter, p.receiver)
+        }),
+    ] {
+        let cx = run.unwrap();
+        eprintln!(
+            "E5: {name}: {} pumps → {} ({:?})",
+            cx.pumps, cx.violation.property, cx.flavor
+        );
+    }
+    let p = dl_protocols::nonvolatile::protocol();
+    let err = refute_crash_tolerance(p.transmitter, p.receiver).unwrap_err();
+    eprintln!("E5: nonvolatile-epoch escapes: {err}");
+
+    let mut group = c.benchmark_group("e5_crash_theorem");
+    group.sample_size(20);
+    group.bench_function("reference_only_abp", |b| {
+        b.iter(|| {
+            let p = dl_protocols::abp::protocol();
+            build_reference(&p.transmitter, &p.receiver, Msg(0), 10_000)
+                .unwrap()
+                .len()
+        })
+    });
+    group.bench_function("full_refutation_abp", |b| {
+        b.iter(|| {
+            let p = dl_protocols::abp::protocol();
+            refute_crash_tolerance(p.transmitter, p.receiver)
+                .unwrap()
+                .pumps
+        })
+    });
+    group.bench_function("full_refutation_stenning", |b| {
+        b.iter(|| {
+            let p = dl_protocols::stenning::protocol();
+            refute_crash_tolerance(p.transmitter, p.receiver)
+                .unwrap()
+                .pumps
+        })
+    });
+    group.bench_function("nonvolatile_escape_detection", |b| {
+        b.iter(|| {
+            let p = dl_protocols::nonvolatile::protocol();
+            refute_crash_tolerance(p.transmitter, p.receiver).unwrap_err()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_theorem);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E6 (Theorem 8.5): the bounded-header refutation as header space grows.
+//!
+//! The paper bounds the pump chain by `k·|H|`. Sweeping the go-back-N
+//! window sweeps `|H| = 2(W+1)`; the printed series shows pump rounds
+//! growing with the header space while remaining within the bound — the
+//! theorem's quantitative shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dl_impossibility::headers::{refute_bounded_headers, HeaderOutcome};
+
+fn bench_header_theorem(c: &mut Criterion) {
+    eprintln!("E6: pump rounds to refute bounded-header protocols (bound = k·|H|)");
+    eprintln!("{:<16} {:>8} {:>8} {:>10}", "protocol", "|H|", "rounds", "k·|H|");
+    for w in [1u64, 2, 3, 4, 6] {
+        let p = dl_protocols::sliding_window::protocol(w);
+        let h = p.info.header_bound.unwrap();
+        let k = p.info.k_bound.unwrap();
+        let HeaderOutcome::Violation(cx) = refute_bounded_headers(p).unwrap() else {
+            panic!("go-back-{w} must be refuted");
+        };
+        eprintln!(
+            "{:<16} {:>8} {:>8} {:>10}",
+            format!("go-back-{w}"),
+            h,
+            cx.rounds,
+            h as usize * k
+        );
+        assert!(cx.rounds <= h as usize * k + 2);
+    }
+
+    let mut group = c.benchmark_group("e6_header_theorem");
+    group.sample_size(10);
+    for w in [1u64, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("refute_go_back_n", w), &w, |b, &w| {
+            b.iter(|| {
+                let p = dl_protocols::sliding_window::protocol(w);
+                match refute_bounded_headers(p).unwrap() {
+                    HeaderOutcome::Violation(cx) => cx.rounds,
+                    other => panic!("{other:?}"),
+                }
+            })
+        });
+    }
+    group.bench_function("refute_abp", |b| {
+        b.iter(|| {
+            let p = dl_protocols::abp::protocol();
+            match refute_bounded_headers(p).unwrap() {
+                HeaderOutcome::Violation(cx) => cx.rounds,
+                other => panic!("{other:?}"),
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_header_theorem);
+criterion_main!(benches);

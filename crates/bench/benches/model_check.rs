@@ -1,0 +1,115 @@
+//! E9 (extension): exhaustive small-model verification.
+//!
+//! Complements the constructive engines: BFS over *all* interleavings of a
+//! bounded data link implementation composed with the WDL-safety observer.
+//! Prints reachable-state counts and violation path lengths; measures the
+//! exploration cost as the channel capacity (and hence the state space)
+//! grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dl_channels::{LossMode, LossyFifoChannel};
+use dl_core::action::{Dir, DlAction, Msg, Station};
+use dl_core::observer::{ObserverState, WdlObserver};
+use ioa::composition::Compose2;
+use ioa::{Automaton, Explorer};
+
+type Sys = Compose2<
+    Compose2<dl_protocols::AbpTransmitter, dl_protocols::AbpReceiver>,
+    Compose2<Compose2<LossyFifoChannel, LossyFifoChannel>, WdlObserver>,
+>;
+
+fn system(cap: usize) -> Sys {
+    let p = dl_protocols::abp::protocol();
+    Compose2::new(
+        Compose2::new(p.transmitter, p.receiver),
+        Compose2::new(
+            Compose2::new(
+                LossyFifoChannel::with_capacity(Dir::TR, LossMode::Nondet, cap),
+                LossyFifoChannel::with_capacity(Dir::RT, LossMode::Nondet, cap),
+            ),
+            WdlObserver,
+        ),
+    )
+}
+
+fn observer_of(s: &<Sys as Automaton>::State) -> &ObserverState {
+    &s.right.right
+}
+
+fn woken(sys: &Sys) -> <Sys as Automaton>::State {
+    let s0 = sys.start_states().remove(0);
+    let s1 = sys.step_first(&s0, &DlAction::Wake(Dir::TR)).unwrap();
+    sys.step_first(&s1, &DlAction::Wake(Dir::RT)).unwrap()
+}
+
+fn explore_crash_free(cap: usize, msgs: u64) -> usize {
+    let sys = system(cap);
+    let start = woken(&sys);
+    let explorer = Explorer::new(
+        &sys,
+        move |s: &<Sys as Automaton>::State| {
+            let obs = observer_of(s);
+            (0..msgs)
+                .map(Msg)
+                .find(|m| !obs.sent.contains(m))
+                .map(DlAction::SendMsg)
+                .into_iter()
+                .collect()
+        },
+        4_000_000,
+        100_000,
+    );
+    let report = explorer.check_invariant_from(vec![start], |s| observer_of(s).is_safe());
+    assert!(report.holds(), "ABP crash-free safety must hold exhaustively");
+    report.states_visited
+}
+
+fn explore_with_crash(cap: usize) -> (usize, usize) {
+    let sys = system(cap);
+    let start = woken(&sys);
+    let explorer = Explorer::new(
+        &sys,
+        |s: &<Sys as Automaton>::State| {
+            let mut out = Vec::new();
+            if !observer_of(s).sent.contains(&Msg(0)) {
+                out.push(DlAction::SendMsg(Msg(0)));
+            }
+            out.push(DlAction::Crash(Station::R));
+            if !s.left.right.active {
+                out.push(DlAction::Wake(Dir::RT));
+            }
+            out
+        },
+        4_000_000,
+        100_000,
+    );
+    let report = explorer.check_invariant_from(vec![start], |s| observer_of(s).is_safe());
+    let (path, _) = report.violation.expect("DL4 must be reachable with crashes");
+    (report.states_visited, path.len())
+}
+
+fn bench_model_check(c: &mut Criterion) {
+    eprintln!("E9: exhaustive ABP verification (2 messages, nondet loss)");
+    for cap in [1usize, 2, 3] {
+        let states = explore_crash_free(cap, 2);
+        eprintln!("  channel capacity {cap}: {states} states, crash-free safe");
+    }
+    let (states, path) = explore_with_crash(2);
+    eprintln!("  with receiver crashes: DL4 found in {path}-step path ({states} states explored)");
+
+    let mut group = c.benchmark_group("e9_model_check");
+    group.sample_size(10);
+    for cap in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("crash_free", cap), &cap, |b, &cap| {
+            b.iter(|| explore_crash_free(cap, 2))
+        });
+    }
+    group.bench_function("find_dl4_with_crashes", |b| {
+        b.iter(|| explore_with_crash(2).1)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_check);
+criterion_main!(benches);

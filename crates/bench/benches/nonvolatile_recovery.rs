@@ -1,0 +1,70 @@
+//! E8 (§7 / [BS83] boundary): crash recovery with non-volatile memory.
+//!
+//! The non-volatile epoch protocol keeps delivering across arbitrary
+//! numbers of host crashes; the bench sweeps the crash count and measures
+//! total steps (recovery work grows roughly linearly with crashes) while
+//! asserting WDL safety every time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dl_channels::{LossMode, LossyFifoChannel};
+use dl_core::action::{Dir, Station};
+use dl_core::spec::datalink::DlModule;
+use dl_sim::{link_system, Runner, Script};
+use ioa::schedule_module::{ScheduleModule, TraceKind};
+
+fn crashes_script(crashes: usize, msgs_per_round: u64) -> Script {
+    let mut script = Script::new().wake_both();
+    let mut next = 0u64;
+    for i in 0..crashes {
+        script = script.send_msgs(next, msgs_per_round).settle();
+        next += msgs_per_round;
+        let station = if i % 2 == 0 { Station::T } else { Station::R };
+        script = script.crash_and_rewake(station);
+    }
+    script.send_msgs(next, msgs_per_round).settle()
+}
+
+fn run_recovery(crashes: usize, seed: u64) -> (u64, u64, u64) {
+    let p = dl_protocols::nonvolatile::protocol();
+    let sys = link_system(
+        p.transmitter,
+        p.receiver,
+        LossyFifoChannel::new(Dir::TR, LossMode::EveryNth(5)),
+        LossyFifoChannel::new(Dir::RT, LossMode::EveryNth(5)),
+    );
+    let mut runner = Runner::new(seed, usize::MAX / 2);
+    let report = runner.run(&sys, &crashes_script(crashes, 4));
+    assert!(report.quiescent);
+    let v = DlModule::weak().check(&report.behavior, TraceKind::Prefix);
+    assert!(v.is_allowed(), "{v}");
+    (
+        report.metrics.msgs_received,
+        report.metrics.msgs_sent,
+        report.metrics.steps,
+    )
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    eprintln!("E8: non-volatile epoch protocol under crash storms (4 msgs/round, 20% loss)");
+    eprintln!("{:>8} {:>10} {:>10} {:>10}", "crashes", "sent", "delivered", "steps");
+    for crashes in [0usize, 2, 8, 32] {
+        let (recv, sent, steps) = run_recovery(crashes, 3);
+        eprintln!("{crashes:>8} {sent:>10} {recv:>10} {steps:>10}");
+        assert_eq!(recv, sent);
+    }
+
+    let mut group = c.benchmark_group("e8_nonvolatile_recovery");
+    group.sample_size(10);
+    for crashes in [0usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("crash_storm", crashes),
+            &crashes,
+            |b, &n| b.iter(|| run_recovery(n, 3).2),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E1 (paper Figure 1 / §3, Lemma 6.1): physical-layer conformance.
+//!
+//! Measures (a) the cost of judging schedules against `PL` / `PL-FIFO`
+//! as trace length grows, and (b) the cost of running the permissive
+//! channels themselves. Prints the conformance verdicts for the series so
+//! the experiment log records that every channel solves its spec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dl_channels::{LossMode, LossyFifoChannel, PermissiveChannel};
+use dl_core::action::{Dir, DlAction, Msg, Packet};
+use dl_core::spec::physical::PlModule;
+use ioa::fairness::{EnvScript, FairExecutor};
+use ioa::schedule_module::{ScheduleModule, TraceKind};
+use ioa::Automaton;
+
+fn make_schedule(channel: &impl Automaton<Action = DlAction>, n: u64, seed: u64) -> Vec<DlAction> {
+    let mut inputs = vec![DlAction::Wake(Dir::TR)];
+    for i in 0..n {
+        inputs.push(DlAction::SendPkt(
+            Dir::TR,
+            Packet::data(i % 8, Msg(i)).with_uid(i + 1),
+        ));
+    }
+    let mut exec = FairExecutor::new(seed, usize::MAX / 2);
+    let start = channel.start_states().remove(0);
+    exec.run(channel, start, EnvScript::with_gap(inputs, 1))
+        .execution
+        .schedule()
+}
+
+fn bench_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_pl_checker");
+    let fifo = PermissiveChannel::fifo(Dir::TR);
+    for n in [100u64, 1_000, 10_000] {
+        let sched = make_schedule(&fifo, n, 7);
+        let verdict = PlModule::pl_fifo(Dir::TR).check(&sched, TraceKind::Complete);
+        eprintln!(
+            "E1: permissive FIFO channel, {n} sends, {} events → PL-FIFO {verdict}",
+            sched.len()
+        );
+        assert!(verdict.is_allowed());
+        group.bench_with_input(BenchmarkId::new("pl_fifo_check", n), &sched, |b, s| {
+            b.iter(|| PlModule::pl_fifo(Dir::TR).check(black_box(s), TraceKind::Complete))
+        });
+        group.bench_with_input(BenchmarkId::new("pl_check", n), &sched, |b, s| {
+            b.iter(|| PlModule::pl(Dir::TR).check(black_box(s), TraceKind::Complete))
+        });
+    }
+    group.finish();
+}
+
+fn bench_channels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_channel_run");
+    group.sample_size(20);
+    for n in [100u64, 1_000] {
+        group.bench_with_input(
+            BenchmarkId::new("permissive_fifo", n),
+            &n,
+            |b, &n| {
+                let ch = PermissiveChannel::fifo(Dir::TR);
+                b.iter(|| make_schedule(&ch, n, 7).len())
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("lossy_fifo", n), &n, |b, &n| {
+            let ch = LossyFifoChannel::new(Dir::TR, LossMode::EveryNth(4));
+            b.iter(|| make_schedule(&ch, n, 7).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checker, bench_channels);
+criterion_main!(benches);

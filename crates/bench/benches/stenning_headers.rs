@@ -1,0 +1,100 @@
+//! E7 (§1 footnote 1, §9): Stenning's header usage grows linearly in the
+//! number of messages — the price of non-FIFO immunity, and exactly the
+//! growth the paper's final discussion says cannot be sublinear.
+//!
+//! Two measurements: (a) distinct headers used to deliver n messages
+//! (simulated end-to-end, counted by the metrics), and (b) the header
+//! engine's stranded-class growth per pump budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dl_channels::LossyFifoChannel;
+use dl_core::action::{Dir, Tag};
+use dl_impossibility::headers::{HeaderConfig, HeaderEngine, HeaderOutcome};
+use dl_sim::{link_system, Runner, Script};
+
+fn data_headers_used(n: u64) -> usize {
+    let p = dl_protocols::stenning::protocol();
+    let sys = link_system(
+        p.transmitter,
+        p.receiver,
+        LossyFifoChannel::perfect(Dir::TR),
+        LossyFifoChannel::perfect(Dir::RT),
+    );
+    let mut runner = Runner::new(1, usize::MAX / 2);
+    let report = runner.run(&sys, &Script::deliver_n(n));
+    assert!(report.quiescent);
+    report
+        .metrics
+        .headers_used
+        .iter()
+        .filter(|h| h.tag == Tag::Data)
+        .count()
+}
+
+fn abp_headers_used(n: u64) -> usize {
+    let p = dl_protocols::abp::protocol();
+    let sys = link_system(
+        p.transmitter,
+        p.receiver,
+        LossyFifoChannel::perfect(Dir::TR),
+        LossyFifoChannel::perfect(Dir::RT),
+    );
+    let mut runner = Runner::new(1, usize::MAX / 2);
+    let report = runner.run(&sys, &Script::deliver_n(n));
+    report
+        .metrics
+        .headers_used
+        .iter()
+        .filter(|h| h.tag == Tag::Data)
+        .count()
+}
+
+fn bench_header_growth(c: &mut Criterion) {
+    eprintln!("E7: distinct DATA headers used to deliver n messages");
+    eprintln!("{:>8} {:>10} {:>10}", "n", "stenning", "abp");
+    for n in [10u64, 100, 1_000] {
+        let s = data_headers_used(n);
+        let a = abp_headers_used(n);
+        eprintln!("{n:>8} {s:>10} {a:>10}");
+        assert_eq!(s as u64, n, "Stenning must use exactly n data headers");
+        assert!(a <= 2, "ABP must stay within 2 data headers");
+    }
+
+    eprintln!("E7: header-engine pump: stranded classes per round budget (Stenning)");
+    for budget in [4usize, 8, 16] {
+        let p = dl_protocols::stenning::protocol();
+        let outcome = HeaderEngine::new(
+            p.transmitter,
+            p.receiver,
+            HeaderConfig {
+                max_rounds: budget,
+                delivery_bound: 50_000,
+            },
+        )
+        .run()
+        .unwrap();
+        if let HeaderOutcome::Exhausted {
+            rounds,
+            transit_size,
+            distinct_classes,
+        } = outcome
+        {
+            eprintln!(
+                "  budget {rounds}: {distinct_classes} classes, {transit_size} packets stranded"
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("e7_stenning_headers");
+    group.sample_size(10);
+    for n in [10u64, 100, 500] {
+        group.bench_with_input(BenchmarkId::new("deliver_n", n), &n, |b, &n| {
+            b.iter(|| data_headers_used(n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_header_growth);
+criterion_main!(benches);

@@ -1,0 +1,547 @@
+//! Simulated physical channels: the repro substitution for real
+//! transmission media.
+//!
+//! The paper's channels are specifications; real media lose packets
+//! (PL-FIFO) and, for some media, reorder them (PL). These automata model
+//! that behavior executably:
+//!
+//! * [`LossyFifoChannel`] — a FIFO queue that may drop packets at send
+//!   time, either nondeterministically (each send has a *kept* and a
+//!   *dropped* successor, resolved by the executor) or deterministically
+//!   (every `n`-th packet dropped, keeping the automaton fully
+//!   deterministic for benchmarks). Solves `PL-FIFO` — verified by the
+//!   property tests in this crate and in `tests/`.
+//! * [`ReorderChannel`] — a bag of in-flight packets, any of which may be
+//!   delivered next, with optional loss. Solves `PL` but not `PL-FIFO`.
+//!
+//! Both ignore `wake`/`fail`/`crash` like the permissive channels; PL1 is
+//! the environment's obligation.
+
+use ioa::action::ActionClass;
+use ioa::automaton::{Automaton, TaskId};
+
+use dl_core::action::{Dir, DlAction, Packet};
+use dl_core::protocol::channel_classify;
+
+/// Loss behavior of a simulated channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossMode {
+    /// Never drop.
+    None,
+    /// Each send nondeterministically kept or dropped; the executor's
+    /// successor choice resolves it (uniformly, ≈50% loss under the seeded
+    /// fair executor).
+    Nondet,
+    /// Deterministically drop every `n`-th packet (1-based count). `n`
+    /// must be ≥ 2; use [`LossMode::None`] for lossless.
+    EveryNth(u64),
+}
+
+/// State shared by the simulated channels: packets in flight plus a send
+/// counter (for deterministic loss).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FlightState {
+    /// Packets currently in flight, in send order.
+    pub in_flight: Vec<Packet>,
+    /// Total `send_pkt` events seen.
+    pub sends: u64,
+}
+
+fn send_successors(
+    s: &FlightState,
+    p: &Packet,
+    mode: LossMode,
+    capacity: Option<usize>,
+) -> Vec<FlightState> {
+    let full = capacity.is_some_and(|c| s.in_flight.len() >= c);
+    // The send counter only drives EveryNth; leaving it untouched in the
+    // other modes keeps the reachable state space finite for exploration.
+    let count = matches!(mode, LossMode::EveryNth(_));
+    let keep = {
+        let mut t = s.clone();
+        if count {
+            t.sends += 1;
+        }
+        if !full {
+            t.in_flight.push(*p);
+        }
+        t
+    };
+    let drop = {
+        let mut t = s.clone();
+        if count {
+            t.sends += 1;
+        }
+        t
+    };
+    match mode {
+        LossMode::None => vec![keep],
+        LossMode::Nondet => vec![keep, drop],
+        LossMode::EveryNth(n) => {
+            debug_assert!(n >= 2, "EveryNth(n) requires n >= 2");
+            if (s.sends + 1).is_multiple_of(n) {
+                vec![drop]
+            } else {
+                vec![keep]
+            }
+        }
+    }
+}
+
+/// A lossy FIFO channel: solves `PL-FIFO` (delivers the head of the queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LossyFifoChannel {
+    dir: Dir,
+    mode: LossMode,
+    capacity: Option<usize>,
+}
+
+impl LossyFifoChannel {
+    /// A FIFO channel with the given direction and loss mode.
+    #[must_use]
+    pub fn new(dir: Dir, mode: LossMode) -> Self {
+        LossyFifoChannel {
+            dir,
+            mode,
+            capacity: None,
+        }
+    }
+
+    /// A FIFO channel that additionally drops sends arriving while
+    /// `capacity` packets are already in flight — keeps the reachable
+    /// state space finite for exhaustive exploration.
+    #[must_use]
+    pub fn with_capacity(dir: Dir, mode: LossMode, capacity: usize) -> Self {
+        LossyFifoChannel {
+            dir,
+            mode,
+            capacity: Some(capacity),
+        }
+    }
+
+    /// A lossless FIFO channel.
+    #[must_use]
+    pub fn perfect(dir: Dir) -> Self {
+        LossyFifoChannel::new(dir, LossMode::None)
+    }
+
+    /// This channel's direction.
+    #[must_use]
+    pub fn dir(&self) -> Dir {
+        self.dir
+    }
+
+    /// This channel's loss mode.
+    #[must_use]
+    pub fn mode(&self) -> LossMode {
+        self.mode
+    }
+}
+
+impl Automaton for LossyFifoChannel {
+    type Action = DlAction;
+    type State = FlightState;
+
+    fn start_states(&self) -> Vec<FlightState> {
+        vec![FlightState::default()]
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        channel_classify(self.dir, a)
+    }
+
+    fn successors(&self, s: &FlightState, a: &DlAction) -> Vec<FlightState> {
+        match a {
+            DlAction::SendPkt(d, p) if *d == self.dir => send_successors(s, p, self.mode, self.capacity),
+            DlAction::ReceivePkt(d, p) if *d == self.dir => match s.in_flight.first() {
+                Some(q) if q == p => {
+                    let mut t = s.clone();
+                    t.in_flight.remove(0);
+                    vec![t]
+                }
+                _ => vec![],
+            },
+            DlAction::Wake(d) | DlAction::Fail(d) if *d == self.dir => vec![s.clone()],
+            DlAction::Crash(x) if *x == self.dir.sender() => vec![s.clone()],
+            _ => vec![],
+        }
+    }
+
+    fn enabled_local(&self, s: &FlightState) -> Vec<DlAction> {
+        s.in_flight
+            .first()
+            .map(|p| DlAction::ReceivePkt(self.dir, *p))
+            .into_iter()
+            .collect()
+    }
+
+    fn task_of(&self, _a: &DlAction) -> TaskId {
+        TaskId(0)
+    }
+
+    fn task_count(&self) -> usize {
+        1
+    }
+}
+
+/// A reordering (and optionally lossy) channel: any in-flight packet may be
+/// delivered next. Solves `PL` but **not** `PL-FIFO`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReorderChannel {
+    dir: Dir,
+    mode: LossMode,
+    capacity: Option<usize>,
+}
+
+impl ReorderChannel {
+    /// A reordering channel with the given direction and loss mode.
+    #[must_use]
+    pub fn new(dir: Dir, mode: LossMode) -> Self {
+        ReorderChannel {
+            dir,
+            mode,
+            capacity: None,
+        }
+    }
+
+    /// A reordering channel with a bounded in-flight pool (overflow sends
+    /// are dropped) — for exhaustive exploration.
+    #[must_use]
+    pub fn with_capacity(dir: Dir, mode: LossMode, capacity: usize) -> Self {
+        ReorderChannel {
+            dir,
+            mode,
+            capacity: Some(capacity),
+        }
+    }
+
+    /// A lossless reordering channel.
+    #[must_use]
+    pub fn lossless(dir: Dir) -> Self {
+        ReorderChannel::new(dir, LossMode::None)
+    }
+
+    /// This channel's direction.
+    #[must_use]
+    pub fn dir(&self) -> Dir {
+        self.dir
+    }
+}
+
+impl Automaton for ReorderChannel {
+    type Action = DlAction;
+    type State = FlightState;
+
+    fn start_states(&self) -> Vec<FlightState> {
+        vec![FlightState::default()]
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        channel_classify(self.dir, a)
+    }
+
+    fn successors(&self, s: &FlightState, a: &DlAction) -> Vec<FlightState> {
+        match a {
+            DlAction::SendPkt(d, p) if *d == self.dir => send_successors(s, p, self.mode, self.capacity),
+            DlAction::ReceivePkt(d, p) if *d == self.dir => {
+                match s.in_flight.iter().position(|q| q == p) {
+                    Some(k) => {
+                        let mut t = s.clone();
+                        t.in_flight.remove(k);
+                        vec![t]
+                    }
+                    None => vec![],
+                }
+            }
+            DlAction::Wake(d) | DlAction::Fail(d) if *d == self.dir => vec![s.clone()],
+            DlAction::Crash(x) if *x == self.dir.sender() => vec![s.clone()],
+            _ => vec![],
+        }
+    }
+
+    fn enabled_local(&self, s: &FlightState) -> Vec<DlAction> {
+        let mut out = Vec::new();
+        for p in &s.in_flight {
+            let a = DlAction::ReceivePkt(self.dir, *p);
+            if !out.contains(&a) {
+                out.push(a);
+            }
+        }
+        out
+    }
+
+    fn task_of(&self, _a: &DlAction) -> TaskId {
+        TaskId(0)
+    }
+
+    fn task_count(&self) -> usize {
+        1
+    }
+}
+
+/// State of a [`BurstLossChannel`]: the FIFO flight plus the position in
+/// the deterministic good/bad cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BurstState {
+    /// Packets in flight, in send order.
+    pub in_flight: Vec<Packet>,
+    /// Position within the `good_len + bad_len` cycle.
+    pub phase: u64,
+}
+
+/// A burst-loss FIFO channel: a deterministic Gilbert–Elliott-style model
+/// that alternates a loss-free *good* stretch with a drop-everything *bad*
+/// stretch, each measured in `send_pkt` events.
+///
+/// Burst loss is the signature failure mode of real radio and power-line
+/// media; ARQ protocols see consecutive losses rather than independent
+/// ones. The cycle is deterministic (part of the state), so runs stay
+/// reproducible and the automaton solves `PL-FIFO` like its uniform-loss
+/// sibling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstLossChannel {
+    dir: Dir,
+    good_len: u64,
+    bad_len: u64,
+}
+
+impl BurstLossChannel {
+    /// A channel that delivers `good_len` consecutive sends, then drops
+    /// `bad_len` consecutive sends, repeating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `good_len == 0` (the channel would drop everything and
+    /// could not satisfy any liveness expectation).
+    #[must_use]
+    pub fn new(dir: Dir, good_len: u64, bad_len: u64) -> Self {
+        assert!(good_len > 0, "good stretch must be non-empty");
+        BurstLossChannel {
+            dir,
+            good_len,
+            bad_len,
+        }
+    }
+
+    /// This channel's direction.
+    #[must_use]
+    pub fn dir(&self) -> Dir {
+        self.dir
+    }
+
+    /// `(good_len, bad_len)`.
+    #[must_use]
+    pub fn cycle(&self) -> (u64, u64) {
+        (self.good_len, self.bad_len)
+    }
+
+    fn in_bad_stretch(&self, phase: u64) -> bool {
+        phase % (self.good_len + self.bad_len) >= self.good_len
+    }
+}
+
+impl Automaton for BurstLossChannel {
+    type Action = DlAction;
+    type State = BurstState;
+
+    fn start_states(&self) -> Vec<BurstState> {
+        vec![BurstState::default()]
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        channel_classify(self.dir, a)
+    }
+
+    fn successors(&self, s: &BurstState, a: &DlAction) -> Vec<BurstState> {
+        match a {
+            DlAction::SendPkt(d, p) if *d == self.dir => {
+                let mut t = s.clone();
+                if !self.in_bad_stretch(s.phase) {
+                    t.in_flight.push(*p);
+                }
+                t.phase = (t.phase + 1) % (self.good_len + self.bad_len);
+                vec![t]
+            }
+            DlAction::ReceivePkt(d, p) if *d == self.dir => match s.in_flight.first() {
+                Some(q) if q == p => {
+                    let mut t = s.clone();
+                    t.in_flight.remove(0);
+                    vec![t]
+                }
+                _ => vec![],
+            },
+            DlAction::Wake(d) | DlAction::Fail(d) if *d == self.dir => vec![s.clone()],
+            DlAction::Crash(x) if *x == self.dir.sender() => vec![s.clone()],
+            _ => vec![],
+        }
+    }
+
+    fn enabled_local(&self, s: &BurstState) -> Vec<DlAction> {
+        s.in_flight
+            .first()
+            .map(|p| DlAction::ReceivePkt(self.dir, *p))
+            .into_iter()
+            .collect()
+    }
+
+    fn task_of(&self, _a: &DlAction) -> TaskId {
+        TaskId(0)
+    }
+
+    fn task_count(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl_core::action::Msg;
+
+    fn pkt(n: u64) -> Packet {
+        Packet::data(n, Msg(n)).with_uid(n + 100)
+    }
+
+    #[test]
+    fn fifo_delivers_in_order() {
+        let ch = LossyFifoChannel::perfect(Dir::TR);
+        let mut s = ch.start_states().remove(0);
+        for n in 0..3 {
+            s = ch
+                .step_first(&s, &DlAction::SendPkt(Dir::TR, pkt(n)))
+                .unwrap();
+        }
+        for n in 0..3 {
+            let a = DlAction::ReceivePkt(Dir::TR, pkt(n));
+            assert_eq!(ch.enabled_local(&s), vec![a]);
+            s = ch.step_first(&s, &a).unwrap();
+        }
+        assert!(ch.enabled_local(&s).is_empty());
+    }
+
+    #[test]
+    fn nondet_loss_offers_both_outcomes() {
+        let ch = LossyFifoChannel::new(Dir::TR, LossMode::Nondet);
+        let s = ch.start_states().remove(0);
+        let succs = ch.successors(&s, &DlAction::SendPkt(Dir::TR, pkt(0)));
+        assert_eq!(succs.len(), 2);
+        assert_eq!(succs[0].in_flight.len(), 1);
+        assert_eq!(succs[1].in_flight.len(), 0);
+        // Nondet mode does not track the send counter (it never reads
+        // it), keeping the state space finite for exploration.
+        assert!(succs.iter().all(|t| t.sends == 0));
+    }
+
+    #[test]
+    fn every_nth_drops_deterministically() {
+        let ch = LossyFifoChannel::new(Dir::TR, LossMode::EveryNth(3));
+        let mut s = ch.start_states().remove(0);
+        for n in 0..6 {
+            s = ch
+                .step_first(&s, &DlAction::SendPkt(Dir::TR, pkt(n)))
+                .unwrap();
+        }
+        // Packets 3rd and 6th (indices 2, 5) were dropped.
+        let kept: Vec<u64> = s.in_flight.iter().map(|p| p.header.seq).collect();
+        assert_eq!(kept, vec![0, 1, 3, 4]);
+        assert_eq!(s.sends, 6);
+    }
+
+    #[test]
+    fn reorder_offers_every_in_flight_packet() {
+        let ch = ReorderChannel::lossless(Dir::TR);
+        let mut s = ch.start_states().remove(0);
+        for n in 0..3 {
+            s = ch
+                .step_first(&s, &DlAction::SendPkt(Dir::TR, pkt(n)))
+                .unwrap();
+        }
+        let enabled = ch.enabled_local(&s);
+        assert_eq!(enabled.len(), 3);
+        // Deliver the last-sent first: allowed.
+        let s = ch
+            .step_first(&s, &DlAction::ReceivePkt(Dir::TR, pkt(2)))
+            .unwrap();
+        assert_eq!(s.in_flight.len(), 2);
+    }
+
+    #[test]
+    fn reorder_removes_one_copy() {
+        let ch = ReorderChannel::lossless(Dir::TR);
+        let mut s = ch.start_states().remove(0);
+        // Two distinct packets with equal content but different uids.
+        let a = pkt(0).with_uid(1);
+        let b = pkt(0).with_uid(2);
+        s = ch.step_first(&s, &DlAction::SendPkt(Dir::TR, a)).unwrap();
+        s = ch.step_first(&s, &DlAction::SendPkt(Dir::TR, b)).unwrap();
+        assert_eq!(ch.enabled_local(&s).len(), 2);
+        let s = ch.step_first(&s, &DlAction::ReceivePkt(Dir::TR, a)).unwrap();
+        assert_eq!(s.in_flight, vec![b]);
+    }
+
+    #[test]
+    fn receive_of_absent_packet_disabled() {
+        let ch = ReorderChannel::lossless(Dir::TR);
+        let s = ch.start_states().remove(0);
+        assert!(!ch.is_enabled(&s, &DlAction::ReceivePkt(Dir::TR, pkt(9))));
+        let f = LossyFifoChannel::perfect(Dir::TR);
+        assert!(!f.is_enabled(&s, &DlAction::ReceivePkt(Dir::TR, pkt(9))));
+    }
+
+    #[test]
+    fn status_actions_are_noops() {
+        let ch = LossyFifoChannel::perfect(Dir::RT);
+        let s = ch.start_states().remove(0);
+        assert_eq!(ch.successors(&s, &DlAction::Wake(Dir::RT)), vec![s.clone()]);
+        assert_eq!(
+            ch.successors(&s, &DlAction::Crash(dl_core::action::Station::R)),
+            vec![s.clone()]
+        );
+        assert!(ch.successors(&s, &DlAction::Wake(Dir::TR)).is_empty());
+    }
+
+    #[test]
+    fn accessors() {
+        let ch = LossyFifoChannel::new(Dir::TR, LossMode::EveryNth(4));
+        assert_eq!(ch.dir(), Dir::TR);
+        assert_eq!(ch.mode(), LossMode::EveryNth(4));
+        assert_eq!(ReorderChannel::lossless(Dir::RT).dir(), Dir::RT);
+    }
+
+    #[test]
+    fn burst_channel_drops_in_stretches() {
+        let ch = BurstLossChannel::new(Dir::TR, 2, 2);
+        let mut s = ch.start_states().remove(0);
+        for n in 0..8 {
+            s = ch
+                .step_first(&s, &DlAction::SendPkt(Dir::TR, pkt(n)))
+                .unwrap();
+        }
+        // Cycle of 4: sends 0,1 kept; 2,3 dropped; 4,5 kept; 6,7 dropped.
+        let kept: Vec<u64> = s.in_flight.iter().map(|p| p.header.seq).collect();
+        assert_eq!(kept, vec![0, 1, 4, 5]);
+        // Delivery is FIFO.
+        let a = DlAction::ReceivePkt(Dir::TR, pkt(0));
+        assert_eq!(ch.enabled_local(&s), vec![a]);
+    }
+
+    #[test]
+    fn burst_channel_lossless_when_bad_is_zero() {
+        let ch = BurstLossChannel::new(Dir::TR, 3, 0);
+        let mut s = ch.start_states().remove(0);
+        for n in 0..6 {
+            s = ch
+                .step_first(&s, &DlAction::SendPkt(Dir::TR, pkt(n)))
+                .unwrap();
+        }
+        assert_eq!(s.in_flight.len(), 6);
+        assert_eq!(ch.cycle(), (3, 0));
+        assert_eq!(ch.dir(), Dir::TR);
+    }
+
+    #[test]
+    #[should_panic(expected = "good stretch")]
+    fn burst_channel_rejects_empty_good_stretch() {
+        let _ = BurstLossChannel::new(Dir::TR, 0, 2);
+    }
+}

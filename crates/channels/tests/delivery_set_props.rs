@@ -1,0 +1,174 @@
+//! Property tests for delivery sets and channel-state surgery: the §6.3
+//! lemmas hold for *random* surgery sequences, not just the proofs' uses.
+
+use proptest::prelude::*;
+
+use dl_channels::delivery_set::DeliverySet;
+use dl_channels::permissive::PermissiveChannel;
+use dl_core::action::{Dir, DlAction, Msg, Packet};
+use ioa::Automaton;
+
+/// A random legal delivery set: a deduplicated explicit prefix plus a tail
+/// above its maximum.
+fn delivery_set_strategy() -> impl Strategy<Value = DeliverySet> {
+    prop::collection::vec(1u64..40, 0..10).prop_map(|raw| {
+        let mut explicit = Vec::new();
+        for i in raw {
+            if !explicit.contains(&i) {
+                explicit.push(i);
+            }
+        }
+        let tail = explicit.iter().copied().max().unwrap_or(0).max(40);
+        DeliverySet::new(explicit, tail).expect("constructed legally")
+    })
+}
+
+proptest! {
+    /// The defining property: for each position j exactly one source, and
+    /// the map j ↦ i is injective.
+    #[test]
+    fn delivery_sets_are_injective(s in delivery_set_strategy()) {
+        let horizon = 60u64;
+        let sources: Vec<u64> = (1..=horizon).map(|j| s.source_for(j)).collect();
+        for (a, &ia) in sources.iter().enumerate() {
+            for &ib in &sources[a + 1..] {
+                prop_assert_ne!(ia, ib);
+            }
+        }
+    }
+
+    /// position_of inverts source_for wherever defined.
+    #[test]
+    fn position_source_roundtrip(s in delivery_set_strategy()) {
+        for j in 1..=50u64 {
+            let i = s.source_for(j);
+            prop_assert_eq!(s.position_of(i), Some(j));
+        }
+    }
+
+    /// `del` removes exactly the requested pair and shifts the rest
+    /// (paper §6.3's definition, checked pointwise).
+    #[test]
+    fn del_is_pointwise_correct(s in delivery_set_strategy(), j in 1u64..30) {
+        let before: Vec<u64> = (1..=60).map(|x| s.source_for(x)).collect();
+        let i = s.source_for(j);
+        let mut t = s.clone();
+        t.del(i, j).unwrap();
+        // (1) positions below j unchanged; (3) above j shifted down.
+        for jp in 1..j {
+            prop_assert_eq!(t.source_for(jp), before[(jp - 1) as usize]);
+        }
+        for jp in j..=59 {
+            prop_assert_eq!(t.source_for(jp), before[jp as usize]);
+        }
+        // (2) the deleted source is gone.
+        prop_assert_eq!(t.position_of(i), None);
+    }
+
+    /// Monotone sets stay monotone under del (Lemma 6.3 remark).
+    #[test]
+    fn del_preserves_monotonicity(j in 1u64..20) {
+        let mut s = DeliverySet::fifo();
+        prop_assert!(s.is_monotone());
+        s.del(j, j).unwrap();
+        prop_assert!(s.is_monotone());
+        // And again.
+        let i2 = s.source_for(j);
+        s.del(i2, j).unwrap();
+        prop_assert!(s.is_monotone());
+    }
+
+    /// Materialization never changes the set extensionally.
+    #[test]
+    fn materialize_is_extensional_identity(s in delivery_set_strategy(), to in 1u64..50) {
+        let before: Vec<u64> = (1..=60).map(|x| s.source_for(x)).collect();
+        let mut t = s.clone();
+        t.materialize_to(to);
+        let after: Vec<u64> = (1..=60).map(|x| t.source_for(x)).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Channel surgery: after `set_waiting(indices)`, exactly those packets
+    /// wait, in order, and delivering them all is possible (Lemma 6.4 +
+    /// 6.5/6.7 combined).
+    #[test]
+    fn set_waiting_then_deliver_all(
+        sends in 1usize..8,
+        pick in prop::collection::vec(any::<prop::sample::Index>(), 0..5),
+    ) {
+        let ch = PermissiveChannel::universal(Dir::TR);
+        let mut s = ch.start_states().remove(0);
+        for n in 0..sends {
+            let p = Packet::data(n as u64, Msg(n as u64)).with_uid(100 + n as u64);
+            s = ch.step_first(&s, &DlAction::SendPkt(Dir::TR, p)).unwrap();
+        }
+        // Choose distinct indices 1..=sends in arbitrary order.
+        let mut indices: Vec<u64> = Vec::new();
+        for ix in pick {
+            let cand = (ix.index(sends) + 1) as u64;
+            if !indices.contains(&cand) {
+                indices.push(cand);
+            }
+        }
+        ch.set_waiting(&mut s, &indices).unwrap();
+        let waiting = s.waiting();
+        prop_assert_eq!(waiting.len(), indices.len());
+        // Deliver them all in order (Lemma 6.4).
+        for expect in waiting {
+            let enabled = ch.enabled_local(&s);
+            prop_assert_eq!(enabled.clone(), vec![DlAction::ReceivePkt(Dir::TR, expect)]);
+            s = ch.step_first(&s, &enabled[0]).unwrap();
+        }
+    }
+
+    /// `lose` keeps exactly the selected subsequence (Lemma 6.6).
+    #[test]
+    fn lose_keeps_selected_subsequence(
+        sends in 2usize..8,
+        keep_mask in prop::collection::vec(any::<bool>(), 2..8),
+    ) {
+        let ch = PermissiveChannel::fifo(Dir::TR);
+        let mut s = ch.start_states().remove(0);
+        for n in 0..sends {
+            let p = Packet::data(n as u64, Msg(n as u64)).with_uid(100 + n as u64);
+            s = ch.step_first(&s, &DlAction::SendPkt(Dir::TR, p)).unwrap();
+        }
+        let before = s.waiting();
+        let keep: Vec<usize> = keep_mask
+            .iter()
+            .take(before.len())
+            .enumerate()
+            .filter_map(|(i, &k)| k.then_some(i))
+            .collect();
+        s.lose(&keep).unwrap();
+        let after = s.waiting();
+        let expected: Vec<_> = keep.iter().map(|&k| before[k]).collect();
+        prop_assert_eq!(after, expected);
+        prop_assert!(s.delivery_set().is_monotone());
+    }
+
+    /// make_clean always yields a clean state, whatever happened before.
+    #[test]
+    fn make_clean_from_any_history(
+        sends in 0usize..6,
+        deliver in 0usize..6,
+    ) {
+        let ch = PermissiveChannel::fifo(Dir::TR);
+        let mut s = ch.start_states().remove(0);
+        for n in 0..sends {
+            let p = Packet::data(n as u64, Msg(n as u64)).with_uid(100 + n as u64);
+            s = ch.step_first(&s, &DlAction::SendPkt(Dir::TR, p)).unwrap();
+        }
+        for _ in 0..deliver.min(sends) {
+            let Some(a) = ch.enabled_local(&s).into_iter().next() else { break };
+            s = ch.step_first(&s, &a).unwrap();
+        }
+        s.make_clean();
+        prop_assert!(s.is_clean());
+        prop_assert!(s.waiting().is_empty());
+        // Fresh sends flow FIFO afterwards.
+        let p = Packet::data(99, Msg(99)).with_uid(999);
+        let s2 = ch.step_first(&s, &DlAction::SendPkt(Dir::TR, p)).unwrap();
+        prop_assert_eq!(s2.waiting(), vec![p]);
+    }
+}

@@ -1,0 +1,169 @@
+//! A WDL-safety observer automaton, for exhaustive model checking.
+//!
+//! The trace checkers of [`crate::spec`] judge recorded behaviors; for
+//! *state-space exploration* it is more convenient to compose the system
+//! with an observer whose state carries the verdict, so that an invariant
+//! over composed states ("the observer has not flagged anything") captures
+//! the safety part of `WDL`.
+//!
+//! [`WdlObserver`] watches `send_msg`/`receive_msg` and flags:
+//!
+//! * **DL4** — a message delivered twice;
+//! * **DL5** — a message delivered that was never sent.
+//!
+//! It is an ordinary I/O automaton with only input actions, so it is
+//! strongly compatible with any data link implementation (it shares
+//! `send_msg` as an input with the transmitter and takes the receiver's
+//! `receive_msg` output as input).
+
+use std::collections::BTreeSet;
+
+use ioa::action::ActionClass;
+use ioa::automaton::{Automaton, TaskId};
+
+use crate::action::{DlAction, Msg};
+
+/// Which safety property the observer saw violated first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SafetyFlag {
+    /// DL4: duplicate delivery.
+    Duplicate(Msg),
+    /// DL5: phantom delivery.
+    Phantom(Msg),
+}
+
+/// Observer state: the messages seen so far plus the first violation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ObserverState {
+    /// Messages handed to the data link so far.
+    pub sent: BTreeSet<Msg>,
+    /// Messages delivered by the data link so far.
+    pub received: BTreeSet<Msg>,
+    /// First safety violation observed, if any (sticky).
+    pub flag: Option<SafetyFlag>,
+}
+
+impl ObserverState {
+    /// `true` while no violation has been observed.
+    #[must_use]
+    pub fn is_safe(&self) -> bool {
+        self.flag.is_none()
+    }
+}
+
+/// The WDL-safety observer automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WdlObserver;
+
+impl Automaton for WdlObserver {
+    type Action = DlAction;
+    type State = ObserverState;
+
+    fn start_states(&self) -> Vec<ObserverState> {
+        vec![ObserverState::default()]
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        match a {
+            DlAction::SendMsg(_) | DlAction::ReceiveMsg(_) => Some(ActionClass::Input),
+            _ => None,
+        }
+    }
+
+    fn successors(&self, s: &ObserverState, a: &DlAction) -> Vec<ObserverState> {
+        let mut t = s.clone();
+        match a {
+            DlAction::SendMsg(m) => {
+                t.sent.insert(*m);
+            }
+            DlAction::ReceiveMsg(m) => {
+                if t.flag.is_none() {
+                    if t.received.contains(m) {
+                        t.flag = Some(SafetyFlag::Duplicate(*m));
+                    } else if !t.sent.contains(m) {
+                        t.flag = Some(SafetyFlag::Phantom(*m));
+                    }
+                }
+                t.received.insert(*m);
+            }
+            _ => return vec![],
+        }
+        vec![t]
+    }
+
+    fn enabled_local(&self, _s: &ObserverState) -> Vec<DlAction> {
+        vec![]
+    }
+
+    fn task_of(&self, _a: &DlAction) -> TaskId {
+        TaskId(0)
+    }
+
+    fn task_count(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(actions: &[DlAction]) -> ObserverState {
+        let o = WdlObserver;
+        let mut s = o.start_states().remove(0);
+        for a in actions {
+            s = o.step_first(&s, a).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn clean_exchange_is_safe() {
+        let s = drive(&[
+            DlAction::SendMsg(Msg(1)),
+            DlAction::ReceiveMsg(Msg(1)),
+            DlAction::SendMsg(Msg(2)),
+            DlAction::ReceiveMsg(Msg(2)),
+        ]);
+        assert!(s.is_safe());
+        assert_eq!(s.sent.len(), 2);
+        assert_eq!(s.received.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_delivery_flags_dl4() {
+        let s = drive(&[
+            DlAction::SendMsg(Msg(1)),
+            DlAction::ReceiveMsg(Msg(1)),
+            DlAction::ReceiveMsg(Msg(1)),
+        ]);
+        assert_eq!(s.flag, Some(SafetyFlag::Duplicate(Msg(1))));
+    }
+
+    #[test]
+    fn phantom_delivery_flags_dl5() {
+        let s = drive(&[DlAction::ReceiveMsg(Msg(9))]);
+        assert_eq!(s.flag, Some(SafetyFlag::Phantom(Msg(9))));
+    }
+
+    #[test]
+    fn first_flag_is_sticky() {
+        let s = drive(&[
+            DlAction::ReceiveMsg(Msg(9)),
+            DlAction::SendMsg(Msg(1)),
+            DlAction::ReceiveMsg(Msg(1)),
+            DlAction::ReceiveMsg(Msg(1)),
+        ]);
+        assert_eq!(s.flag, Some(SafetyFlag::Phantom(Msg(9))));
+    }
+
+    #[test]
+    fn other_actions_out_of_signature() {
+        let o = WdlObserver;
+        assert_eq!(o.classify(&DlAction::Wake(crate::action::Dir::TR)), None);
+        assert!(o
+            .successors(&ObserverState::default(), &DlAction::Wake(crate::action::Dir::TR))
+            .is_empty());
+        assert!(o.enabled_local(&ObserverState::default()).is_empty());
+    }
+}

@@ -1,0 +1,512 @@
+//! The data link layer schedule modules `DL` and `WDL` (paper §4).
+//!
+//! `DL^{t,r}` allows a trace β when: *if* β is well-formed and satisfies the
+//! environment properties DL1–DL3, *then* β satisfies DL4–DL8. The weaker
+//! `WDL^{t,r}` only demands DL4, DL5, and DL8 — and is all the
+//! impossibility proofs need: a protocol that fails `WDL` certainly fails
+//! `DL` (`scheds(DL) ⊆ scheds(WDL)`).
+//!
+//! DL8 is a liveness property ("every message sent in an unbounded
+//! transmitter working interval is eventually received"). On a *complete*
+//! trace — the whole behavior of a fair execution that ended quiescent —
+//! "eventually" must already have happened, so DL8 is decidable and
+//! checked; on a [`TraceKind::Prefix`] it is skipped.
+
+use std::collections::{HashMap, HashSet};
+
+use ioa::schedule_module::{ScheduleModule, TraceKind, Verdict, Violation};
+
+use crate::action::{Dir, DlAction, Msg};
+use crate::spec::wellformed::{scan_both, MediumTimeline};
+
+/// The data-link-layer specification: `DL^{t,r}` or the weak `WDL^{t,r}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DlModule {
+    weak: bool,
+}
+
+impl DlModule {
+    /// The full specification `DL^{t,r}` (DL4–DL8).
+    #[must_use]
+    pub fn full() -> Self {
+        DlModule { weak: false }
+    }
+
+    /// The weak specification `WDL^{t,r}` (DL4, DL5, DL8 only).
+    #[must_use]
+    pub fn weak() -> Self {
+        DlModule { weak: true }
+    }
+
+    /// `true` for the weak variant.
+    #[must_use]
+    pub fn is_weak(&self) -> bool {
+        self.weak
+    }
+}
+
+impl ScheduleModule for DlModule {
+    type Action = DlAction;
+
+    fn check(&self, trace: &[DlAction], kind: TraceKind) -> Verdict {
+        let (tx, rx) = scan_both(trace);
+
+        // Hypotheses: well-formedness and DL1–DL3.
+        if let Some(e) = tx.error().or_else(|| rx.error()) {
+            return Verdict::Vacuous(Violation {
+                property: "well-formedness",
+                at: Some(e.at),
+                reason: e.reason.to_string(),
+            });
+        }
+        if let Some(v) = check_dl1(&tx, &rx) {
+            return Verdict::Vacuous(v);
+        }
+        if let Some(v) = check_dl2(trace, &tx) {
+            return Verdict::Vacuous(v);
+        }
+        if let Some(v) = check_dl3(trace) {
+            return Verdict::Vacuous(v);
+        }
+
+        // Conclusions.
+        if let Some(v) = check_dl4(trace) {
+            return Verdict::Violated(v);
+        }
+        if let Some(v) = check_dl5(trace) {
+            return Verdict::Violated(v);
+        }
+        if !self.weak {
+            if let Some(v) = check_dl6(trace) {
+                return Verdict::Violated(v);
+            }
+            if let Some(v) = check_dl7(trace, &tx) {
+                return Verdict::Violated(v);
+            }
+        }
+        if kind == TraceKind::Complete {
+            if let Some(v) = check_dl8(trace, &tx) {
+                return Verdict::Violated(v);
+            }
+        }
+        Verdict::Satisfied
+    }
+}
+
+/// DL1: there is an unbounded transmitter working interval iff there is an
+/// unbounded receiver working interval.
+#[must_use]
+pub fn check_dl1(tx: &MediumTimeline, rx: &MediumTimeline) -> Option<Violation> {
+    match (tx.unbounded().is_some(), rx.unbounded().is_some()) {
+        (true, false) => Some(Violation {
+            property: "DL1",
+            at: None,
+            reason: "unbounded transmitter working interval without an unbounded receiver one"
+                .into(),
+        }),
+        (false, true) => Some(Violation {
+            property: "DL1",
+            at: None,
+            reason: "unbounded receiver working interval without an unbounded transmitter one"
+                .into(),
+        }),
+        _ => None,
+    }
+}
+
+/// DL2: every `send_msg^{t,r}` event occurs in a transmitter working
+/// interval.
+#[must_use]
+pub fn check_dl2(trace: &[DlAction], tx: &MediumTimeline) -> Option<Violation> {
+    debug_assert_eq!(tx.dir(), Dir::TR);
+    for (i, a) in trace.iter().enumerate() {
+        if let DlAction::SendMsg(m) = a {
+            if !tx.in_working_interval(i) {
+                return Some(Violation {
+                    property: "DL2",
+                    at: Some(i),
+                    reason: format!("send_msg({m}) outside any transmitter working interval"),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// DL3: for every message `m`, at most one `send_msg^{t,r}(m)` event.
+#[must_use]
+pub fn check_dl3(trace: &[DlAction]) -> Option<Violation> {
+    let mut seen: HashSet<Msg> = HashSet::new();
+    for (i, a) in trace.iter().enumerate() {
+        if let DlAction::SendMsg(m) = a {
+            if !seen.insert(*m) {
+                return Some(Violation {
+                    property: "DL3",
+                    at: Some(i),
+                    reason: format!("message {m} sent twice"),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// DL4: for every message `m`, at most one `receive_msg^{t,r}(m)` event.
+#[must_use]
+pub fn check_dl4(trace: &[DlAction]) -> Option<Violation> {
+    let mut seen: HashSet<Msg> = HashSet::new();
+    for (i, a) in trace.iter().enumerate() {
+        if let DlAction::ReceiveMsg(m) = a {
+            if !seen.insert(*m) {
+                return Some(Violation {
+                    property: "DL4",
+                    at: Some(i),
+                    reason: format!("message {m} received twice"),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// DL5: every `receive_msg^{t,r}(m)` is preceded by a `send_msg^{t,r}(m)`.
+#[must_use]
+pub fn check_dl5(trace: &[DlAction]) -> Option<Violation> {
+    let mut sent: Vec<Msg> = Vec::new();
+    for (i, a) in trace.iter().enumerate() {
+        match a {
+            DlAction::SendMsg(m) => sent.push(*m),
+            DlAction::ReceiveMsg(m)
+                if !sent.contains(m) => {
+                    return Some(Violation {
+                        property: "DL5",
+                        at: Some(i),
+                        reason: format!("message {m} received but never sent"),
+                    });
+                }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// DL6 (FIFO): messages that are both sent and received are received in the
+/// order they were sent.
+#[must_use]
+pub fn check_dl6(trace: &[DlAction]) -> Option<Violation> {
+    // First send position per message (DL3, checked before DL6 by the
+    // module, guarantees uniqueness).
+    let mut send_pos: HashMap<Msg, usize> = HashMap::new();
+    let mut sends = 0usize;
+    for a in trace {
+        if let DlAction::SendMsg(m) = a {
+            send_pos.entry(*m).or_insert(sends);
+            sends += 1;
+        }
+    }
+    let mut last_pos: Option<usize> = None;
+    for (i, a) in trace.iter().enumerate() {
+        if let DlAction::ReceiveMsg(m) = a {
+            let pos = *send_pos.get(m)?;
+            if let Some(prev) = last_pos {
+                if pos < prev {
+                    return Some(Violation {
+                        property: "DL6 (FIFO)",
+                        at: Some(i),
+                        reason: format!(
+                            "message {m} (send position {pos}) received after a message with \
+                             send position {prev}"
+                        ),
+                    });
+                }
+            }
+            last_pos = Some(pos);
+        }
+    }
+    None
+}
+
+/// DL7 (no gaps): if `m` is sent before `m'` within one transmitter working
+/// interval and `m'` is received, then `m` is received too.
+#[must_use]
+pub fn check_dl7(trace: &[DlAction], tx: &MediumTimeline) -> Option<Violation> {
+    debug_assert_eq!(tx.dir(), Dir::TR);
+    let received: HashSet<Msg> = trace
+        .iter()
+        .filter_map(|a| match a {
+            DlAction::ReceiveMsg(m) => Some(*m),
+            _ => None,
+        })
+        .collect();
+    for w in tx.intervals() {
+        // Track the first lost (unreceived) send in this interval; any
+        // later delivered send in the same interval then violates DL7.
+        let mut first_lost: Option<(usize, Msg)> = None;
+        for (i, a) in trace.iter().enumerate() {
+            if !w.contains(i) {
+                continue;
+            }
+            if let DlAction::SendMsg(m) = a {
+                if received.contains(m) {
+                    if let Some((j, lost)) = first_lost {
+                        return Some(Violation {
+                            property: "DL7",
+                            at: Some(j),
+                            reason: format!(
+                                "message {lost} (sent at {j}) lost, but later message {m} \
+                                 from the same working interval was delivered"
+                            ),
+                        });
+                    }
+                } else if first_lost.is_none() {
+                    first_lost = Some((i, *m));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// DL8 (liveness; checked on complete traces only): every message sent in
+/// an unbounded transmitter working interval is received.
+#[must_use]
+pub fn check_dl8(trace: &[DlAction], tx: &MediumTimeline) -> Option<Violation> {
+    debug_assert_eq!(tx.dir(), Dir::TR);
+    let unbounded = tx.unbounded()?;
+    let received: HashSet<Msg> = trace
+        .iter()
+        .filter_map(|a| match a {
+            DlAction::ReceiveMsg(m) => Some(*m),
+            _ => None,
+        })
+        .collect();
+    for (i, a) in trace.iter().enumerate() {
+        if let DlAction::SendMsg(m) = a {
+            if unbounded.contains(i) && !received.contains(m) {
+                return Some(Violation {
+                    property: "DL8",
+                    at: Some(i),
+                    reason: format!(
+                        "message {m} sent in the unbounded transmitter working interval but \
+                         never received (trace is complete)"
+                    ),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// A sequence is **valid** (paper §8.1): well-formed, satisfies DL1–DL5 and
+/// DL8, and contains a `wake` but no `fail` or `crash` events.
+///
+/// Valid sequences are the setting of the header-impossibility proof; by
+/// the paper's Lemma 8.1, in a valid sequence every sent message is
+/// received.
+#[must_use]
+pub fn is_valid(trace: &[DlAction]) -> bool {
+    let has_wake = trace.iter().any(|a| matches!(a, DlAction::Wake(_)));
+    let has_fail_or_crash = trace
+        .iter()
+        .any(|a| matches!(a, DlAction::Fail(_) | DlAction::Crash(_)));
+    if !has_wake || has_fail_or_crash {
+        return false;
+    }
+    let (tx, rx) = scan_both(trace);
+    tx.is_well_formed()
+        && rx.is_well_formed()
+        && check_dl1(&tx, &rx).is_none()
+        && check_dl2(trace, &tx).is_none()
+        && check_dl3(trace).is_none()
+        && check_dl4(trace).is_none()
+        && check_dl5(trace).is_none()
+        && check_dl8(trace, &tx).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Station;
+
+    use DlAction::{Crash, Fail, ReceiveMsg, SendMsg, Wake};
+
+    fn preamble() -> Vec<DlAction> {
+        vec![Wake(Dir::TR), Wake(Dir::RT)]
+    }
+
+    #[test]
+    fn lemma_4_1_behavior_is_allowed() {
+        let mut t = preamble();
+        t.extend([SendMsg(Msg(1)), ReceiveMsg(Msg(1))]);
+        assert_eq!(DlModule::weak().check(&t, TraceKind::Complete), Verdict::Satisfied);
+        assert_eq!(DlModule::full().check(&t, TraceKind::Complete), Verdict::Satisfied);
+    }
+
+    #[test]
+    fn duplicate_delivery_violates_dl4() {
+        let mut t = preamble();
+        t.extend([SendMsg(Msg(1)), ReceiveMsg(Msg(1)), ReceiveMsg(Msg(1))]);
+        let v = DlModule::weak().check(&t, TraceKind::Complete);
+        assert_eq!(v.violation().unwrap().property, "DL4");
+    }
+
+    #[test]
+    fn phantom_delivery_violates_dl5() {
+        let mut t = preamble();
+        t.push(ReceiveMsg(Msg(9)));
+        let v = DlModule::weak().check(&t, TraceKind::Prefix);
+        assert_eq!(v.violation().unwrap().property, "DL5");
+    }
+
+    #[test]
+    fn reordered_delivery_violates_dl6_in_full_only() {
+        let mut t = preamble();
+        t.extend([
+            SendMsg(Msg(1)),
+            SendMsg(Msg(2)),
+            ReceiveMsg(Msg(2)),
+            ReceiveMsg(Msg(1)),
+        ]);
+        assert!(DlModule::weak()
+            .check(&t, TraceKind::Prefix)
+            .is_allowed());
+        let v = DlModule::full().check(&t, TraceKind::Prefix);
+        assert_eq!(v.violation().unwrap().property, "DL6 (FIFO)");
+    }
+
+    #[test]
+    fn gap_violates_dl7_in_full_only() {
+        // m1 lost, m2 (same working interval) delivered.
+        let t = vec![
+            Wake(Dir::TR),
+            Wake(Dir::RT),
+            SendMsg(Msg(1)),
+            SendMsg(Msg(2)),
+            ReceiveMsg(Msg(2)),
+            Fail(Dir::TR),
+            Fail(Dir::RT),
+        ];
+        assert!(DlModule::weak().check(&t, TraceKind::Prefix).is_allowed());
+        let v = DlModule::full().check(&t, TraceKind::Prefix);
+        assert_eq!(v.violation().unwrap().property, "DL7");
+    }
+
+    #[test]
+    fn gap_across_working_intervals_is_fine() {
+        // m1 sent in a working interval that failed; losing it is allowed
+        // even though the later m2 is delivered.
+        let t = vec![
+            Wake(Dir::TR),
+            Wake(Dir::RT),
+            SendMsg(Msg(1)),
+            Fail(Dir::TR),
+            Wake(Dir::TR),
+            SendMsg(Msg(2)),
+            ReceiveMsg(Msg(2)),
+        ];
+        assert_eq!(DlModule::full().check(&t, TraceKind::Complete), Verdict::Satisfied);
+    }
+
+    #[test]
+    fn undelivered_message_violates_dl8_on_complete_traces() {
+        let mut t = preamble();
+        t.push(SendMsg(Msg(1)));
+        assert!(DlModule::weak().check(&t, TraceKind::Prefix).is_allowed());
+        let v = DlModule::weak().check(&t, TraceKind::Complete);
+        assert_eq!(v.violation().unwrap().property, "DL8");
+    }
+
+    #[test]
+    fn dl8_not_required_after_fail() {
+        // The working interval is bounded (ends in fail), so the loss is
+        // allowed even on a complete trace.
+        let t = vec![
+            Wake(Dir::TR),
+            Wake(Dir::RT),
+            SendMsg(Msg(1)),
+            Fail(Dir::TR),
+            Fail(Dir::RT),
+        ];
+        assert_eq!(DlModule::weak().check(&t, TraceKind::Complete), Verdict::Satisfied);
+    }
+
+    #[test]
+    fn send_outside_working_interval_is_vacuous_dl2() {
+        let t = vec![SendMsg(Msg(1))];
+        match DlModule::weak().check(&t, TraceKind::Prefix) {
+            Verdict::Vacuous(v) => assert_eq!(v.property, "DL2"),
+            other => panic!("expected vacuous DL2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_send_is_vacuous_dl3() {
+        let mut t = preamble();
+        t.extend([SendMsg(Msg(1)), SendMsg(Msg(1))]);
+        match DlModule::weak().check(&t, TraceKind::Prefix) {
+            Verdict::Vacuous(v) => assert_eq!(v.property, "DL3"),
+            other => panic!("expected vacuous DL3, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn asymmetric_unbounded_interval_is_vacuous_dl1() {
+        let t = vec![Wake(Dir::TR)];
+        match DlModule::weak().check(&t, TraceKind::Prefix) {
+            Verdict::Vacuous(v) => assert_eq!(v.property, "DL1"),
+            other => panic!("expected vacuous DL1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_environment_is_vacuous() {
+        let t = vec![Fail(Dir::TR)];
+        match DlModule::weak().check(&t, TraceKind::Prefix) {
+            Verdict::Vacuous(v) => assert_eq!(v.property, "well-formedness"),
+            other => panic!("expected vacuous, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crash_resets_receiver_timeline_too() {
+        let t = vec![
+            Wake(Dir::TR),
+            Wake(Dir::RT),
+            Crash(Station::R),
+            Wake(Dir::RT),
+            SendMsg(Msg(1)),
+            ReceiveMsg(Msg(1)),
+        ];
+        assert_eq!(DlModule::weak().check(&t, TraceKind::Complete), Verdict::Satisfied);
+    }
+
+    #[test]
+    fn validity_definition() {
+        let mut t = preamble();
+        t.extend([SendMsg(Msg(1)), ReceiveMsg(Msg(1))]);
+        assert!(is_valid(&t));
+
+        // No wake: not valid.
+        assert!(!is_valid(&[]));
+
+        // Contains fail: not valid.
+        let mut t2 = preamble();
+        t2.push(Fail(Dir::TR));
+        assert!(!is_valid(&t2));
+
+        // Sent but unreceived message: violates DL8, not valid.
+        let mut t3 = preamble();
+        t3.push(SendMsg(Msg(1)));
+        assert!(!is_valid(&t3));
+    }
+
+    #[test]
+    fn lemma_8_2_extension_preserves_validity() {
+        // A valid sequence extended with send(m) receive(m) stays valid.
+        let mut t = preamble();
+        t.extend([SendMsg(Msg(1)), ReceiveMsg(Msg(1))]);
+        assert!(is_valid(&t));
+        t.extend([SendMsg(Msg(2)), ReceiveMsg(Msg(2))]);
+        assert!(is_valid(&t));
+    }
+}

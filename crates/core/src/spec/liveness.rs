@@ -1,0 +1,166 @@
+//! Bounded liveness monitors for finite trace *prefixes*.
+//!
+//! The liveness properties PL6 and DL8 quantify over infinite behaviors:
+//! no finite prefix can violate them, and the complete-trace convention of
+//! [`crate::spec::datalink`] only decides them for quiescent fair runs.
+//! When watching a *running* system (a prefix that will extend), the
+//! practical question is "is progress being made?" — answered here by
+//! **patience monitors**: if an obligation stays undischarged for more
+//! than `patience` subsequent events while its working interval persists,
+//! the monitor flags it.
+//!
+//! A flag is *not* a specification violation — it is an alarm with a
+//! tunable false-positive rate (a slow but live protocol trips a small
+//! patience). The workspace uses these monitors in soak tests to catch
+//! livelocks that the step-bounded quiescence checks would misreport as
+//! "still running".
+
+use ioa::schedule_module::Violation;
+
+use crate::action::{Dir, DlAction, Msg};
+use crate::spec::wellformed::MediumTimeline;
+
+/// Flags messages that stay undelivered for more than `patience` events
+/// while the transmitter working interval they were sent in persists — the
+/// prefix surrogate of DL8.
+///
+/// Returns the first overdue obligation found.
+#[must_use]
+pub fn dl8_monitor(trace: &[DlAction], patience: usize) -> Option<Violation> {
+    let tx = MediumTimeline::scan(trace, Dir::TR);
+    let mut pending: Vec<(usize, Msg)> = Vec::new();
+    for (i, a) in trace.iter().enumerate() {
+        match a {
+            DlAction::SendMsg(m) => pending.push((i, *m)),
+            DlAction::ReceiveMsg(m) => pending.retain(|(_, x)| x != m),
+            _ => {}
+        }
+        // Obligations die when their working interval ends; surviving ones
+        // age.
+        pending.retain(|(at, _)| {
+            tx.intervals()
+                .iter()
+                .any(|w| w.contains(*at) && w.close.is_none_or(|c| c > i))
+        });
+        if let Some((at, m)) = pending.iter().find(|(at, _)| i - at > patience) {
+            return Some(Violation {
+                property: "DL8 (patience monitor)",
+                at: Some(*at),
+                reason: format!(
+                    "message {m} sent at event {at} still undelivered after {patience} \
+                     further events in a persisting working interval"
+                ),
+            });
+        }
+    }
+    None
+}
+
+/// Flags a direction whose channel has accepted `patience` consecutive
+/// `send_pkt` events without a single `receive_pkt` inside one working
+/// interval — the prefix surrogate of PL6.
+#[must_use]
+pub fn pl6_monitor(trace: &[DlAction], dir: Dir, patience: usize) -> Option<Violation> {
+    let tl = MediumTimeline::scan(trace, dir);
+    let mut since_receive = 0usize;
+    for (i, a) in trace.iter().enumerate() {
+        match a {
+            DlAction::SendPkt(d, _) if *d == dir && tl.in_working_interval(i) => {
+                since_receive += 1;
+                if since_receive > patience {
+                    return Some(Violation {
+                        property: "PL6 (patience monitor)",
+                        at: Some(i),
+                        reason: format!(
+                            "{since_receive} consecutive send_pkt^{dir} events without a \
+                             delivery"
+                        ),
+                    });
+                }
+            }
+            DlAction::ReceivePkt(d, _) if *d == dir => since_receive = 0,
+            DlAction::Fail(d) if *d == dir => since_receive = 0,
+            DlAction::Crash(x) if *x == dir.sender() => since_receive = 0,
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Packet;
+
+    use DlAction::{Fail, ReceiveMsg, ReceivePkt, SendMsg, SendPkt, Wake};
+
+    #[test]
+    fn delivered_messages_do_not_trip_dl8_monitor() {
+        let t = vec![
+            Wake(Dir::TR),
+            Wake(Dir::RT),
+            SendMsg(Msg(1)),
+            ReceiveMsg(Msg(1)),
+        ];
+        assert!(dl8_monitor(&t, 1).is_none());
+    }
+
+    #[test]
+    fn overdue_message_trips_dl8_monitor() {
+        let mut t = vec![Wake(Dir::TR), Wake(Dir::RT), SendMsg(Msg(1))];
+        for i in 0..10 {
+            t.push(SendPkt(Dir::TR, Packet::data(0, Msg(1)).with_uid(i)));
+        }
+        let v = dl8_monitor(&t, 5).expect("monitor should fire");
+        assert_eq!(v.property, "DL8 (patience monitor)");
+        assert_eq!(v.at, Some(2));
+        // A patient monitor does not fire.
+        assert!(dl8_monitor(&t, 50).is_none());
+    }
+
+    #[test]
+    fn link_failure_cancels_the_obligation() {
+        let mut t = vec![Wake(Dir::TR), Wake(Dir::RT), SendMsg(Msg(1)), Fail(Dir::TR)];
+        for _ in 0..20 {
+            t.push(Wake(Dir::RT)); // filler events in the other scope
+            t.pop();
+            t.push(ReceivePkt(Dir::RT, Packet::ack(0)));
+        }
+        assert!(dl8_monitor(&t, 3).is_none());
+    }
+
+    #[test]
+    fn pl6_monitor_counts_consecutive_sends() {
+        let mut t = vec![Wake(Dir::TR)];
+        for i in 0..4 {
+            t.push(SendPkt(Dir::TR, Packet::data(0, Msg(i)).with_uid(i)));
+        }
+        assert!(pl6_monitor(&t, Dir::TR, 5).is_none());
+        assert!(pl6_monitor(&t, Dir::TR, 3).is_some());
+    }
+
+    #[test]
+    fn pl6_monitor_resets_on_delivery() {
+        // 3 sends, a delivery, 3 more sends: never exceeds patience 3.
+        let mut t = vec![Wake(Dir::TR)];
+        for i in 0..3 {
+            t.push(SendPkt(Dir::TR, Packet::data(0, Msg(i)).with_uid(i)));
+        }
+        t.push(ReceivePkt(Dir::TR, Packet::data(0, Msg(0)).with_uid(0)));
+        for i in 3..6 {
+            t.push(SendPkt(Dir::TR, Packet::data(0, Msg(i)).with_uid(i)));
+        }
+        assert!(pl6_monitor(&t, Dir::TR, 3).is_none());
+    }
+
+    #[test]
+    fn pl6_monitor_ignores_sends_outside_working_intervals() {
+        let mut t = vec![];
+        for i in 0..10 {
+            t.push(SendPkt(Dir::TR, Packet::data(0, Msg(i)).with_uid(i)));
+        }
+        // No wake: nothing counted (environment misbehaving is PL1's
+        // problem, not liveness).
+        assert!(pl6_monitor(&t, Dir::TR, 3).is_none());
+    }
+}

@@ -1,0 +1,14 @@
+//! Executable specifications of the physical and data link layers.
+//!
+//! * [`wellformed`] — crash intervals and working intervals, shared by both
+//!   layer specifications (paper §3 and §4 define them identically, once per
+//!   medium direction);
+//! * [`physical`] — the `PL` and `PL-FIFO` schedule modules (PL1–PL6);
+//! * [`datalink`] — the `DL` and `WDL` schedule modules (DL1–DL8);
+//! * [`liveness`] — patience monitors, the prefix surrogates of the
+//!   liveness properties PL6 and DL8.
+
+pub mod datalink;
+pub mod liveness;
+pub mod physical;
+pub mod wellformed;

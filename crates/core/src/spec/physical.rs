@@ -1,0 +1,412 @@
+//! The physical layer schedule modules `PL` and `PL-FIFO` (paper §3).
+//!
+//! A trace is judged as follows (matching the paper's conditional form):
+//! if the trace is well-formed and satisfies the *environment* properties
+//! PL1 and PL2, then the *channel* properties PL3, PL4 (and PL5 for the
+//! FIFO module) must hold; PL6 is a liveness property that no finite trace
+//! can violate (it requires *infinitely many* `send_pkt` events), so the
+//! finite-trace checker treats it as satisfied and the workspace tests
+//! liveness by running channels to quiescence instead.
+//!
+//! If the environment part fails, the verdict is [`Verdict::Vacuous`]: the
+//! specification does not constrain the channel at all in that case.
+
+use std::collections::{HashMap, HashSet};
+
+use ioa::schedule_module::{ScheduleModule, TraceKind, Verdict, Violation};
+
+use crate::action::{Dir, DlAction, Packet};
+use crate::spec::wellformed::MediumTimeline;
+
+/// The physical-layer specification for one channel direction: `PL^{d}` or
+/// `PL-FIFO^{d}`.
+///
+/// ```
+/// use dl_core::action::{Dir, DlAction, Msg, Packet};
+/// use dl_core::spec::physical::PlModule;
+/// use ioa::schedule_module::{ScheduleModule, TraceKind};
+///
+/// let p = Packet::data(0, Msg(1)).with_uid(1);
+/// let trace = vec![
+///     DlAction::Wake(Dir::TR),
+///     DlAction::SendPkt(Dir::TR, p),
+///     DlAction::ReceivePkt(Dir::TR, p),
+/// ];
+/// let verdict = PlModule::pl_fifo(Dir::TR).check(&trace, TraceKind::Complete);
+/// assert!(verdict.is_allowed());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlModule {
+    dir: Dir,
+    fifo: bool,
+}
+
+impl PlModule {
+    /// The (possibly reordering) specification `PL^{dir}`.
+    #[must_use]
+    pub fn pl(dir: Dir) -> Self {
+        PlModule { dir, fifo: false }
+    }
+
+    /// The FIFO specification `PL-FIFO^{dir}`.
+    #[must_use]
+    pub fn pl_fifo(dir: Dir) -> Self {
+        PlModule { dir, fifo: true }
+    }
+
+    /// The direction this module specifies.
+    #[must_use]
+    pub fn dir(&self) -> Dir {
+        self.dir
+    }
+
+    /// `true` if this is the FIFO variant.
+    #[must_use]
+    pub fn is_fifo(&self) -> bool {
+        self.fifo
+    }
+}
+
+impl ScheduleModule for PlModule {
+    type Action = DlAction;
+
+    fn check(&self, trace: &[DlAction], _kind: TraceKind) -> Verdict {
+        let timeline = MediumTimeline::scan(trace, self.dir);
+
+        // Hypotheses: well-formedness, PL1, PL2 (environment obligations).
+        if let Some(e) = timeline.error() {
+            return Verdict::Vacuous(Violation {
+                property: "well-formedness",
+                at: Some(e.at),
+                reason: e.reason.to_string(),
+            });
+        }
+        if let Some(v) = check_pl1(trace, &timeline, self.dir) {
+            return Verdict::Vacuous(v);
+        }
+        if let Some(v) = check_pl2(trace, self.dir) {
+            return Verdict::Vacuous(v);
+        }
+
+        // Conclusions: PL3, PL4, and PL5 for the FIFO module. (PL6 is not
+        // falsifiable on finite traces.)
+        if let Some(v) = check_pl3(trace, self.dir) {
+            return Verdict::Violated(v);
+        }
+        if let Some(v) = check_pl4(trace, self.dir) {
+            return Verdict::Violated(v);
+        }
+        if self.fifo {
+            if let Some(v) = check_pl5(trace, self.dir) {
+                return Verdict::Violated(v);
+            }
+        }
+        Verdict::Satisfied
+    }
+}
+
+/// PL1: every `send_pkt^{d}` event occurs in a working interval.
+#[must_use]
+pub fn check_pl1(
+    trace: &[DlAction],
+    timeline: &MediumTimeline,
+    dir: Dir,
+) -> Option<Violation> {
+    for (i, a) in trace.iter().enumerate() {
+        if let DlAction::SendPkt(d, _) = a {
+            if *d == dir && !timeline.in_working_interval(i) {
+                return Some(Violation {
+                    property: "PL1",
+                    at: Some(i),
+                    reason: format!("send_pkt^{dir} outside any working interval"),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// PL2: every packet is sent at most once (packets carry analysis-only
+/// unique labels; see [`Packet::uid`]).
+#[must_use]
+pub fn check_pl2(trace: &[DlAction], dir: Dir) -> Option<Violation> {
+    let mut seen: HashSet<&Packet> = HashSet::new();
+    for (i, a) in trace.iter().enumerate() {
+        if let DlAction::SendPkt(d, p) = a {
+            if *d == dir && !seen.insert(p) {
+                return Some(Violation {
+                    property: "PL2",
+                    at: Some(i),
+                    reason: format!("packet {p} sent twice"),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// PL3: every packet is received at most once.
+#[must_use]
+pub fn check_pl3(trace: &[DlAction], dir: Dir) -> Option<Violation> {
+    let mut seen: HashSet<&Packet> = HashSet::new();
+    for (i, a) in trace.iter().enumerate() {
+        if let DlAction::ReceivePkt(d, p) = a {
+            if *d == dir && !seen.insert(p) {
+                return Some(Violation {
+                    property: "PL3",
+                    at: Some(i),
+                    reason: format!("packet {p} received twice"),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// PL4: every `receive_pkt^{d}(p)` is preceded by a `send_pkt^{d}(p)`.
+#[must_use]
+pub fn check_pl4(trace: &[DlAction], dir: Dir) -> Option<Violation> {
+    let mut sent: HashSet<&Packet> = HashSet::new();
+    for (i, a) in trace.iter().enumerate() {
+        match a {
+            DlAction::SendPkt(d, p) if *d == dir => {
+                sent.insert(p);
+            }
+            DlAction::ReceivePkt(d, p) if *d == dir && !sent.contains(p) => {
+                return Some(Violation {
+                    property: "PL4",
+                    at: Some(i),
+                    reason: format!("packet {p} received but never sent"),
+                });
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// PL5 (FIFO): delivered packets are received in the order they were sent.
+///
+/// Assumes PL2–PL4 hold (checked first by [`PlModule`]); each received
+/// packet is matched to its unique send position, and those positions must
+/// be strictly increasing.
+#[must_use]
+pub fn check_pl5(trace: &[DlAction], dir: Dir) -> Option<Violation> {
+    // First send position per packet value (PL2 guarantees uniqueness;
+    // checked before PL5 by the module).
+    let mut send_pos: HashMap<&Packet, usize> = HashMap::new();
+    let mut sends = 0usize;
+    let mut last_pos: Option<usize> = None;
+    for (i, a) in trace.iter().enumerate() {
+        match a {
+            DlAction::SendPkt(d, p) if *d == dir => {
+                send_pos.entry(p).or_insert(sends);
+                sends += 1;
+            }
+            DlAction::ReceivePkt(d, p) if *d == dir => {
+                let pos = *send_pos.get(p)?;
+                if let Some(prev) = last_pos {
+                    if pos < prev {
+                        return Some(Violation {
+                            property: "PL5 (FIFO)",
+                            at: Some(i),
+                            reason: format!(
+                                "packet {p} (send position {pos}) received after a packet \
+                                 with send position {prev}"
+                            ),
+                        });
+                    }
+                }
+                last_pos = Some(pos);
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The indices and packets of in-flight packets: sent on `dir` but not (yet)
+/// received. Used by the header-impossibility engine ("in transit", §8).
+#[must_use]
+pub fn in_transit(trace: &[DlAction], dir: Dir) -> Vec<Packet> {
+    let mut sent: Vec<Packet> = Vec::new();
+    for a in trace {
+        match a {
+            DlAction::SendPkt(d, p) if *d == dir => sent.push(*p),
+            DlAction::ReceivePkt(d, p) if *d == dir => {
+                if let Some(pos) = sent.iter().position(|q| q == p) {
+                    sent.remove(pos);
+                }
+            }
+            _ => {}
+        }
+    }
+    sent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{Msg, Station};
+    use ioa::schedule_module::TraceKind;
+
+    use DlAction::{Crash, Fail, ReceivePkt, SendPkt, Wake};
+
+    fn pkt(seq: u64, uid: u64) -> Packet {
+        Packet::data(seq, Msg(seq)).with_uid(uid)
+    }
+
+    fn good_trace() -> Vec<DlAction> {
+        vec![
+            Wake(Dir::TR),
+            SendPkt(Dir::TR, pkt(0, 100)),
+            SendPkt(Dir::TR, pkt(1, 101)),
+            ReceivePkt(Dir::TR, pkt(0, 100)),
+            ReceivePkt(Dir::TR, pkt(1, 101)),
+        ]
+    }
+
+    #[test]
+    fn good_trace_satisfies_both_modules() {
+        for m in [PlModule::pl(Dir::TR), PlModule::pl_fifo(Dir::TR)] {
+            assert_eq!(m.check(&good_trace(), TraceKind::Complete), Verdict::Satisfied);
+        }
+    }
+
+    #[test]
+    fn send_outside_working_interval_is_vacuous() {
+        let trace = vec![SendPkt(Dir::TR, pkt(0, 1))];
+        let v = PlModule::pl(Dir::TR).check(&trace, TraceKind::Prefix);
+        match v {
+            Verdict::Vacuous(v) => assert_eq!(v.property, "PL1"),
+            other => panic!("expected vacuous, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_send_is_vacuous_pl2() {
+        let trace = vec![
+            Wake(Dir::TR),
+            SendPkt(Dir::TR, pkt(0, 1)),
+            SendPkt(Dir::TR, pkt(0, 1)),
+        ];
+        match PlModule::pl(Dir::TR).check(&trace, TraceKind::Prefix) {
+            Verdict::Vacuous(v) => assert_eq!(v.property, "PL2"),
+            other => panic!("expected vacuous, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_receive_violates_pl3() {
+        let trace = vec![
+            Wake(Dir::TR),
+            SendPkt(Dir::TR, pkt(0, 1)),
+            ReceivePkt(Dir::TR, pkt(0, 1)),
+            ReceivePkt(Dir::TR, pkt(0, 1)),
+        ];
+        let v = PlModule::pl(Dir::TR).check(&trace, TraceKind::Prefix);
+        assert_eq!(v.violation().unwrap().property, "PL3");
+        assert_eq!(v.violation().unwrap().at, Some(3));
+    }
+
+    #[test]
+    fn receive_without_send_violates_pl4() {
+        let trace = vec![Wake(Dir::TR), ReceivePkt(Dir::TR, pkt(0, 1))];
+        let v = PlModule::pl(Dir::TR).check(&trace, TraceKind::Prefix);
+        assert_eq!(v.violation().unwrap().property, "PL4");
+    }
+
+    #[test]
+    fn reordering_violates_fifo_only() {
+        let trace = vec![
+            Wake(Dir::TR),
+            SendPkt(Dir::TR, pkt(0, 1)),
+            SendPkt(Dir::TR, pkt(1, 2)),
+            ReceivePkt(Dir::TR, pkt(1, 2)),
+            ReceivePkt(Dir::TR, pkt(0, 1)),
+        ];
+        assert_eq!(
+            PlModule::pl(Dir::TR).check(&trace, TraceKind::Prefix),
+            Verdict::Satisfied
+        );
+        let v = PlModule::pl_fifo(Dir::TR).check(&trace, TraceKind::Prefix);
+        assert_eq!(v.violation().unwrap().property, "PL5 (FIFO)");
+    }
+
+    #[test]
+    fn losses_do_not_violate_fifo() {
+        // Gaps are fine: packet 1 lost, 0 then 2 delivered in order.
+        let trace = vec![
+            Wake(Dir::TR),
+            SendPkt(Dir::TR, pkt(0, 1)),
+            SendPkt(Dir::TR, pkt(1, 2)),
+            SendPkt(Dir::TR, pkt(2, 3)),
+            ReceivePkt(Dir::TR, pkt(0, 1)),
+            ReceivePkt(Dir::TR, pkt(2, 3)),
+        ];
+        assert_eq!(
+            PlModule::pl_fifo(Dir::TR).check(&trace, TraceKind::Complete),
+            Verdict::Satisfied
+        );
+    }
+
+    #[test]
+    fn crash_ends_working_interval() {
+        let trace = vec![
+            Wake(Dir::TR),
+            Crash(Station::T),
+            SendPkt(Dir::TR, pkt(0, 1)),
+        ];
+        match PlModule::pl(Dir::TR).check(&trace, TraceKind::Prefix) {
+            Verdict::Vacuous(v) => assert_eq!(v.property, "PL1"),
+            other => panic!("expected vacuous PL1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fail_ends_working_interval() {
+        let trace = vec![
+            Wake(Dir::TR),
+            Fail(Dir::TR),
+            SendPkt(Dir::TR, pkt(0, 1)),
+        ];
+        match PlModule::pl(Dir::TR).check(&trace, TraceKind::Prefix) {
+            Verdict::Vacuous(v) => assert_eq!(v.property, "PL1"),
+            other => panic!("expected vacuous PL1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn other_direction_is_ignored() {
+        // RT traffic doesn't affect the TR module.
+        let trace = vec![
+            Wake(Dir::TR),
+            ReceivePkt(Dir::RT, pkt(9, 9)), // bogus, but out of scope
+            SendPkt(Dir::TR, pkt(0, 1)),
+        ];
+        assert_eq!(
+            PlModule::pl(Dir::TR).check(&trace, TraceKind::Prefix),
+            Verdict::Satisfied
+        );
+    }
+
+    #[test]
+    fn in_transit_tracks_unreceived() {
+        let trace = vec![
+            Wake(Dir::TR),
+            SendPkt(Dir::TR, pkt(0, 1)),
+            SendPkt(Dir::TR, pkt(1, 2)),
+            ReceivePkt(Dir::TR, pkt(0, 1)),
+        ];
+        assert_eq!(in_transit(&trace, Dir::TR), vec![pkt(1, 2)]);
+        assert!(in_transit(&trace, Dir::RT).is_empty());
+    }
+
+    #[test]
+    fn module_accessors() {
+        let m = PlModule::pl_fifo(Dir::RT);
+        assert_eq!(m.dir(), Dir::RT);
+        assert!(m.is_fifo());
+        assert!(!PlModule::pl(Dir::TR).is_fifo());
+    }
+}

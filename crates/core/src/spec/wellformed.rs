@@ -1,0 +1,308 @@
+//! Crash intervals and working intervals (paper §3, §4).
+//!
+//! For one medium direction `d`, the relevant status events are `wake^d`,
+//! `fail^d`, and `crash^x` where `x` is the station that *sends* on `d`
+//! (the paper writes `crash^{t,r}` for the transmitter of the `(t,r)`
+//! channel and `crash^{r,t}` for the receiver-side station, which transmits
+//! on the reverse channel).
+//!
+//! A *crash interval* is a maximal contiguous subsequence containing no
+//! crash event. A sequence is **well-formed** for `d` when, inside every
+//! crash interval, the `fail` and `wake` events alternate strictly starting
+//! with `wake`. A *working interval* runs from a `wake` to the next `fail`
+//! or `crash` (exclusive at both ends); a `wake` with no later `fail`/
+//! `crash` opens the (at most one) *unbounded* working interval.
+//!
+//! [`MediumTimeline`] computes all of this in one pass and answers the
+//! queries the property checkers need: membership of an event index in a
+//! working interval, and existence/start of the unbounded interval.
+
+use crate::action::{Dir, DlAction};
+
+/// Where a well-formedness scan failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WellFormednessError {
+    /// Index of the offending event in the scanned trace.
+    pub at: usize,
+    /// What went wrong.
+    pub reason: &'static str,
+}
+
+/// One working interval: the events strictly between `open` (a `wake`) and
+/// `close` (the next `fail`/`crash`, or the end of the trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkingInterval {
+    /// Index of the opening `wake` event.
+    pub open: usize,
+    /// Index of the closing `fail`/`crash` event; `None` if the interval is
+    /// unbounded (extends to the end of the trace).
+    pub close: Option<usize>,
+}
+
+impl WorkingInterval {
+    /// `true` if event index `i` lies inside the interval (exclusive of the
+    /// delimiting events themselves).
+    #[must_use]
+    pub fn contains(&self, i: usize) -> bool {
+        i > self.open && self.close.is_none_or(|c| i < c)
+    }
+
+    /// `true` if the interval has no closing event.
+    #[must_use]
+    pub fn is_unbounded(&self) -> bool {
+        self.close.is_none()
+    }
+}
+
+/// The wake/fail/crash structure of one medium direction over a trace.
+///
+/// ```
+/// use dl_core::action::{Dir, DlAction};
+/// use dl_core::spec::wellformed::MediumTimeline;
+///
+/// let trace = vec![
+///     DlAction::Wake(Dir::TR),
+///     DlAction::Fail(Dir::TR),
+///     DlAction::Wake(Dir::TR),
+/// ];
+/// let tl = MediumTimeline::scan(&trace, Dir::TR);
+/// assert!(tl.is_well_formed());
+/// assert!(tl.unbounded().is_some()); // the second wake never fails
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MediumTimeline {
+    dir: Dir,
+    error: Option<WellFormednessError>,
+    intervals: Vec<WorkingInterval>,
+}
+
+impl MediumTimeline {
+    /// Scans `trace` for the status events of direction `dir` and builds
+    /// the timeline. Events of other directions/stations are ignored.
+    #[must_use]
+    pub fn scan(trace: &[DlAction], dir: Dir) -> Self {
+        let station = dir.sender();
+        let mut error = None;
+        let mut intervals: Vec<WorkingInterval> = Vec::new();
+        // `true` when the next status event in this crash interval must be
+        // a wake (i.e. the medium is currently down).
+        let mut expect_wake = true;
+
+        for (i, a) in trace.iter().enumerate() {
+            match a {
+                DlAction::Wake(d) if *d == dir => {
+                    if !expect_wake && error.is_none() {
+                        error = Some(WellFormednessError {
+                            at: i,
+                            reason: "wake while medium already active",
+                        });
+                    }
+                    expect_wake = false;
+                    intervals.push(WorkingInterval {
+                        open: i,
+                        close: None,
+                    });
+                }
+                DlAction::Fail(d) if *d == dir => {
+                    if expect_wake && error.is_none() {
+                        error = Some(WellFormednessError {
+                            at: i,
+                            reason: "fail while medium not active",
+                        });
+                    }
+                    expect_wake = true;
+                    if let Some(last) = intervals.last_mut() {
+                        if last.close.is_none() {
+                            last.close = Some(i);
+                        }
+                    }
+                }
+                DlAction::Crash(s) if *s == station => {
+                    // A crash delimits crash intervals; it may follow a wake
+                    // with no intervening fail ("a crash can be thought of
+                    // as including a failure").
+                    expect_wake = true;
+                    if let Some(last) = intervals.last_mut() {
+                        if last.close.is_none() {
+                            last.close = Some(i);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        MediumTimeline {
+            dir,
+            error,
+            intervals,
+        }
+    }
+
+    /// The direction this timeline describes.
+    #[must_use]
+    pub fn dir(&self) -> Dir {
+        self.dir
+    }
+
+    /// The first well-formedness violation, if any.
+    #[must_use]
+    pub fn error(&self) -> Option<&WellFormednessError> {
+        self.error.as_ref()
+    }
+
+    /// `true` if the scanned trace is well-formed for this direction.
+    #[must_use]
+    pub fn is_well_formed(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// All working intervals, in trace order.
+    #[must_use]
+    pub fn intervals(&self) -> &[WorkingInterval] {
+        &self.intervals
+    }
+
+    /// `true` if event index `i` lies inside some working interval.
+    #[must_use]
+    pub fn in_working_interval(&self, i: usize) -> bool {
+        self.intervals.iter().any(|w| w.contains(i))
+    }
+
+    /// The unbounded working interval, if the trace has one.
+    #[must_use]
+    pub fn unbounded(&self) -> Option<WorkingInterval> {
+        self.intervals
+            .last()
+            .copied()
+            .filter(WorkingInterval::is_unbounded)
+    }
+
+    /// `true` if event index `i` lies inside the unbounded working
+    /// interval.
+    #[must_use]
+    pub fn in_unbounded_interval(&self, i: usize) -> bool {
+        self.unbounded().is_some_and(|w| w.contains(i))
+    }
+}
+
+/// Scans both directions at once: `(timeline(TR), timeline(RT))`.
+#[must_use]
+pub fn scan_both(trace: &[DlAction]) -> (MediumTimeline, MediumTimeline) {
+    (
+        MediumTimeline::scan(trace, Dir::TR),
+        MediumTimeline::scan(trace, Dir::RT),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{Msg, Station};
+
+    use DlAction::{Crash, Fail, ReceiveMsg, SendMsg, Wake};
+
+    #[test]
+    fn empty_trace_is_well_formed() {
+        let t = MediumTimeline::scan(&[], Dir::TR);
+        assert!(t.is_well_formed());
+        assert!(t.intervals().is_empty());
+        assert!(t.unbounded().is_none());
+    }
+
+    #[test]
+    fn alternation_accepted() {
+        let trace = [
+            Wake(Dir::TR),
+            Fail(Dir::TR),
+            Wake(Dir::TR),
+            Fail(Dir::TR),
+            Wake(Dir::TR),
+        ];
+        let t = MediumTimeline::scan(&trace, Dir::TR);
+        assert!(t.is_well_formed());
+        assert_eq!(t.intervals().len(), 3);
+        assert!(t.unbounded().is_some());
+        assert_eq!(t.unbounded().unwrap().open, 4);
+    }
+
+    #[test]
+    fn double_wake_rejected() {
+        let trace = [Wake(Dir::TR), Wake(Dir::TR)];
+        let t = MediumTimeline::scan(&trace, Dir::TR);
+        let e = t.error().unwrap();
+        assert_eq!(e.at, 1);
+        assert!(e.reason.contains("already active"));
+    }
+
+    #[test]
+    fn fail_before_wake_rejected() {
+        let trace = [Fail(Dir::TR)];
+        let t = MediumTimeline::scan(&trace, Dir::TR);
+        assert_eq!(t.error().unwrap().at, 0);
+    }
+
+    #[test]
+    fn fail_right_after_crash_rejected() {
+        // The crash starts a new crash interval, which must begin with wake.
+        let trace = [Wake(Dir::TR), Crash(Station::T), Fail(Dir::TR)];
+        let t = MediumTimeline::scan(&trace, Dir::TR);
+        assert_eq!(t.error().unwrap().at, 2);
+    }
+
+    #[test]
+    fn crash_includes_failure() {
+        // wake then crash with no fail is well-formed, and after the crash a
+        // new wake is fine.
+        let trace = [Wake(Dir::TR), Crash(Station::T), Wake(Dir::TR)];
+        let t = MediumTimeline::scan(&trace, Dir::TR);
+        assert!(t.is_well_formed());
+        assert_eq!(t.intervals().len(), 2);
+        assert_eq!(t.intervals()[0].close, Some(1));
+        assert!(t.intervals()[1].is_unbounded());
+    }
+
+    #[test]
+    fn other_directions_ignored() {
+        let trace = [Wake(Dir::RT), Fail(Dir::RT), Crash(Station::R)];
+        let t = MediumTimeline::scan(&trace, Dir::TR);
+        assert!(t.is_well_formed());
+        assert!(t.intervals().is_empty());
+
+        // But the RT scan sees them; crash^{r,t} is Crash(R).
+        let r = MediumTimeline::scan(&trace, Dir::RT);
+        assert!(r.is_well_formed());
+        assert_eq!(r.intervals().len(), 1);
+        assert_eq!(r.intervals()[0].close, Some(1));
+    }
+
+    #[test]
+    fn working_interval_membership() {
+        let trace = [
+            Wake(Dir::TR),          // 0 opens
+            SendMsg(Msg(1)),        // 1 inside
+            Fail(Dir::TR),          // 2 closes
+            SendMsg(Msg(2)),        // 3 outside
+            Wake(Dir::TR),          // 4 opens unbounded
+            ReceiveMsg(Msg(1)),     // 5 inside unbounded
+        ];
+        let t = MediumTimeline::scan(&trace, Dir::TR);
+        assert!(t.in_working_interval(1));
+        assert!(!t.in_working_interval(0)); // the wake itself is excluded
+        assert!(!t.in_working_interval(2)); // the fail itself is excluded
+        assert!(!t.in_working_interval(3));
+        assert!(t.in_working_interval(5));
+        assert!(t.in_unbounded_interval(5));
+        assert!(!t.in_unbounded_interval(1));
+    }
+
+    #[test]
+    fn scan_both_directions() {
+        let trace = [Wake(Dir::TR), Wake(Dir::RT)];
+        let (tr, rt) = scan_both(&trace);
+        assert_eq!(tr.dir(), Dir::TR);
+        assert_eq!(rt.dir(), Dir::RT);
+        assert!(tr.unbounded().is_some());
+        assert!(rt.unbounded().is_some());
+    }
+}

@@ -1,0 +1,168 @@
+//! Action classification and action signatures (paper §2.1).
+//!
+//! An *action signature* partitions a set of actions into pairwise-disjoint
+//! input, output, and internal sets. Because our automata work over a shared
+//! concrete action universe (an `enum` in practice), a signature here is a
+//! classification function: each action of the universe is either not in the
+//! signature at all ([`Signature::classify`] returns `None`) or belongs to
+//! exactly one [`ActionClass`].
+
+use std::fmt;
+
+/// The class of an action within a signature: input, output, or internal.
+///
+/// External actions are the inputs and outputs; locally-controlled actions
+/// are the outputs and internals (paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActionClass {
+    /// Action controlled by the environment; enabled in every state.
+    Input,
+    /// Locally-controlled action visible to the environment.
+    Output,
+    /// Locally-controlled action invisible to the environment.
+    Internal,
+}
+
+impl ActionClass {
+    /// Returns `true` for [`ActionClass::Input`] and [`ActionClass::Output`].
+    #[must_use]
+    pub fn is_external(self) -> bool {
+        matches!(self, ActionClass::Input | ActionClass::Output)
+    }
+
+    /// Returns `true` for [`ActionClass::Output`] and
+    /// [`ActionClass::Internal`] — the locally-controlled actions.
+    #[must_use]
+    pub fn is_locally_controlled(self) -> bool {
+        matches!(self, ActionClass::Output | ActionClass::Internal)
+    }
+}
+
+impl fmt::Display for ActionClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ActionClass::Input => "input",
+            ActionClass::Output => "output",
+            ActionClass::Internal => "internal",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Boxed classification function stored inside a [`Signature`].
+type ClassifyFn<A> = Box<dyn Fn(&A) -> Option<ActionClass> + Send + Sync>;
+
+/// A reified action signature: a classification function over a shared
+/// action universe `A`.
+///
+/// Most code interrogates an automaton's signature through
+/// [`crate::Automaton::classify`]; `Signature` exists for code that needs a
+/// signature *detached* from an automaton — e.g. the composition operator
+/// computes the composite signature (paper §2.5.1), and schedule modules
+/// carry a signature of their own (§2.3).
+pub struct Signature<A> {
+    classify: ClassifyFn<A>,
+}
+
+impl<A> Signature<A> {
+    /// Creates a signature from a classification function.
+    ///
+    /// The function must be a *partition*: for a fixed action it must always
+    /// return the same class. (This is trivially true for pure functions.)
+    pub fn new(classify: impl Fn(&A) -> Option<ActionClass> + Send + Sync + 'static) -> Self {
+        Signature {
+            classify: Box::new(classify),
+        }
+    }
+
+    /// Classifies an action, or returns `None` if the action is not in the
+    /// signature.
+    #[must_use]
+    pub fn classify(&self, action: &A) -> Option<ActionClass> {
+        (self.classify)(action)
+    }
+
+    /// Returns `true` if the action belongs to the signature.
+    #[must_use]
+    pub fn contains(&self, action: &A) -> bool {
+        self.classify(action).is_some()
+    }
+
+    /// Returns `true` if the action is an external (input or output) action
+    /// of this signature.
+    #[must_use]
+    pub fn is_external(&self, action: &A) -> bool {
+        self.classify(action).is_some_and(ActionClass::is_external)
+    }
+
+    /// The external action signature obtained by dropping internal actions
+    /// (used when a schedule module has "the same external action signature"
+    /// as an automaton, §2.4).
+    #[must_use]
+    pub fn external(self) -> Signature<A>
+    where
+        A: 'static,
+    {
+        let inner = self.classify;
+        Signature::new(move |a| match inner(a) {
+            Some(ActionClass::Internal) | None => None,
+            some => some,
+        })
+    }
+}
+
+impl<A> fmt::Debug for Signature<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Signature").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_predicates() {
+        assert!(ActionClass::Input.is_external());
+        assert!(ActionClass::Output.is_external());
+        assert!(!ActionClass::Internal.is_external());
+        assert!(!ActionClass::Input.is_locally_controlled());
+        assert!(ActionClass::Output.is_locally_controlled());
+        assert!(ActionClass::Internal.is_locally_controlled());
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(ActionClass::Input.to_string(), "input");
+        assert_eq!(ActionClass::Output.to_string(), "output");
+        assert_eq!(ActionClass::Internal.to_string(), "internal");
+    }
+
+    #[test]
+    fn signature_classifies() {
+        let sig = Signature::new(|a: &i32| match a {
+            0 => Some(ActionClass::Input),
+            1 => Some(ActionClass::Output),
+            2 => Some(ActionClass::Internal),
+            _ => None,
+        });
+        assert_eq!(sig.classify(&0), Some(ActionClass::Input));
+        assert!(sig.contains(&1));
+        assert!(!sig.contains(&3));
+        assert!(sig.is_external(&1));
+        assert!(!sig.is_external(&2));
+        assert!(!sig.is_external(&3));
+    }
+
+    #[test]
+    fn external_signature_drops_internals() {
+        let sig = Signature::new(|a: &i32| match a {
+            0 => Some(ActionClass::Input),
+            2 => Some(ActionClass::Internal),
+            _ => None,
+        })
+        .external();
+        assert_eq!(sig.classify(&0), Some(ActionClass::Input));
+        assert_eq!(sig.classify(&2), None);
+    }
+}

@@ -1,0 +1,316 @@
+//! The [`Automaton`] trait: explicit-state I/O automata (paper §2.2).
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::action::{ActionClass, Signature};
+
+/// Identifier of an equivalence class of the task partition `part(A)`.
+///
+/// The partition groups the locally-controlled actions of an automaton into
+/// at most countably many classes; a *fair* execution gives fair turns to
+/// each class (paper §2.2). `TaskId(i)` names the `i`-th class,
+/// `0 <= i < task_count()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub usize);
+
+/// An input/output automaton over a shared action universe.
+///
+/// This mirrors the five components of the paper's definition (§2.2):
+///
+/// 1. the action signature, via [`classify`](Automaton::classify);
+/// 2. the (implicit) state set, the associated type [`State`](Automaton::State);
+/// 3. the start states, [`start_states`](Automaton::start_states);
+/// 4. the transition relation, [`successors`](Automaton::successors);
+/// 5. the task partition, [`task_of`](Automaton::task_of) /
+///    [`task_count`](Automaton::task_count).
+///
+/// # Input-enabledness
+///
+/// The model requires that *every input action is enabled in every state*.
+/// Implementations must therefore return a non-empty successor list from
+/// [`successors`](Automaton::successors) whenever the action classifies as
+/// [`ActionClass::Input`]. [`check_input_enabled`](Automaton::check_input_enabled)
+/// spot-checks this on given states and is exercised by this workspace's
+/// property tests.
+///
+/// # Nondeterminism
+///
+/// `successors` returns *all* post-states of the step `(s, a, s')`. Executors
+/// resolve the choice (randomly, or deliberately — the impossibility-proof
+/// engines pick specific successors, as the paper's constructions do).
+pub trait Automaton {
+    /// The action universe this automaton's signature draws from.
+    type Action: Clone + Eq + Debug;
+    /// Automaton states. Cloneable values so executions can be recorded.
+    type State: Clone + Eq + Debug;
+
+    /// The set `start(A)` of start states; must be non-empty.
+    fn start_states(&self) -> Vec<Self::State>;
+
+    /// Classifies `action` within this automaton's signature, or `None` if
+    /// the action is not in the signature at all.
+    fn classify(&self, action: &Self::Action) -> Option<ActionClass>;
+
+    /// All states `s'` with `(state, action, s') ∈ steps(A)`.
+    ///
+    /// Empty means the action is not enabled in `state` — which is only
+    /// permitted for locally-controlled actions (inputs are always enabled).
+    fn successors(&self, state: &Self::State, action: &Self::Action) -> Vec<Self::State>;
+
+    /// The locally-controlled actions enabled in `state`.
+    ///
+    /// Every action returned must classify as output or internal and have at
+    /// least one successor from `state`.
+    fn enabled_local(&self, state: &Self::State) -> Vec<Self::Action>;
+
+    /// The task-partition class of a locally-controlled action.
+    ///
+    /// Only called for actions that classify as output or internal; the
+    /// returned id must be `< task_count()`. Actions related by the
+    /// partition share a `TaskId`.
+    fn task_of(&self, action: &Self::Action) -> TaskId;
+
+    /// Number of classes in the task partition.
+    fn task_count(&self) -> usize;
+
+    /// Convenience: `true` if the action is in the signature.
+    fn in_signature(&self, action: &Self::Action) -> bool {
+        self.classify(action).is_some()
+    }
+
+    /// Convenience: `true` if `action` has at least one successor from
+    /// `state`.
+    fn is_enabled(&self, state: &Self::State, action: &Self::Action) -> bool {
+        !self.successors(state, action).is_empty()
+    }
+
+    /// Takes one step, resolving nondeterminism by picking the first
+    /// successor. Returns `None` if the action is not enabled.
+    ///
+    /// Deterministic automata (one successor per step, one start state) can
+    /// be driven entirely through `step_first`.
+    fn step_first(&self, state: &Self::State, action: &Self::Action) -> Option<Self::State> {
+        self.successors(state, action).into_iter().next()
+    }
+
+    /// Spot-checks determinism: a unique start state and at most one
+    /// successor for every `(state, action)` pair in the given samples.
+    /// Returns the first nondeterministic pair found, or `Err(())` if the
+    /// start state is not unique.
+    ///
+    /// The impossibility engines assume deterministic protocols (they
+    /// replay recorded executions); this audit lets callers fail early
+    /// with a clear message instead of diverging mid-replay.
+    ///
+    /// # Errors
+    ///
+    /// `Err(())` when `start_states().len() != 1`.
+    #[allow(clippy::result_unit_err, clippy::type_complexity)]
+    fn check_deterministic<'a>(
+        &self,
+        states: &'a [Self::State],
+        actions: &'a [Self::Action],
+    ) -> Result<Option<(&'a Self::State, &'a Self::Action)>, ()> {
+        if self.start_states().len() != 1 {
+            return Err(());
+        }
+        for s in states {
+            for a in actions {
+                if self.successors(s, a).len() > 1 {
+                    return Ok(Some((s, a)));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Spot-checks input-enabledness: every action of `inputs` that
+    /// classifies as an input must be enabled in every state of `states`.
+    /// Returns the first violation as `(state, action)`.
+    fn check_input_enabled<'a>(
+        &self,
+        states: &'a [Self::State],
+        inputs: &'a [Self::Action],
+    ) -> Option<(&'a Self::State, &'a Self::Action)> {
+        for s in states {
+            for a in inputs {
+                if self.classify(a) == Some(ActionClass::Input) && !self.is_enabled(s, a) {
+                    return Some((s, a));
+                }
+            }
+        }
+        None
+    }
+
+    /// This automaton's signature as a detached [`Signature`] value.
+    fn signature(&self) -> Signature<Self::Action>
+    where
+        Self: Sized + Clone + Send + Sync + 'static,
+        Self::Action: 'static,
+    {
+        let this = self.clone();
+        Signature::new(move |a| this.classify(a))
+    }
+}
+
+/// Blanket impl so `&A` can be used wherever an automaton is consumed by
+/// value (executors take `&A` internally; this keeps APIs flexible).
+impl<A: Automaton + ?Sized> Automaton for &A {
+    type Action = A::Action;
+    type State = A::State;
+
+    fn start_states(&self) -> Vec<Self::State> {
+        (**self).start_states()
+    }
+    fn classify(&self, action: &Self::Action) -> Option<ActionClass> {
+        (**self).classify(action)
+    }
+    fn successors(&self, state: &Self::State, action: &Self::Action) -> Vec<Self::State> {
+        (**self).successors(state, action)
+    }
+    fn enabled_local(&self, state: &Self::State) -> Vec<Self::Action> {
+        (**self).enabled_local(state)
+    }
+    fn task_of(&self, action: &Self::Action) -> TaskId {
+        (**self).task_of(action)
+    }
+    fn task_count(&self) -> usize {
+        (**self).task_count()
+    }
+}
+
+/// A state paired with a hash requirement, for algorithms that deduplicate
+/// states (reachability searches in tests).
+pub trait HashState: Automaton
+where
+    Self::State: Hash,
+{
+}
+impl<A: Automaton> HashState for A where A::State: Hash {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Modulo-3 counter. Input `Reset`, output `Tick`.
+    #[derive(Clone)]
+    struct Counter;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    enum Act {
+        Reset,
+        Tick,
+    }
+
+    impl Automaton for Counter {
+        type Action = Act;
+        type State = u8;
+
+        fn start_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+        fn classify(&self, a: &Act) -> Option<ActionClass> {
+            Some(match a {
+                Act::Reset => ActionClass::Input,
+                Act::Tick => ActionClass::Output,
+            })
+        }
+        fn successors(&self, s: &u8, a: &Act) -> Vec<u8> {
+            match a {
+                Act::Reset => vec![0],
+                Act::Tick => vec![(s + 1) % 3],
+            }
+        }
+        fn enabled_local(&self, _s: &u8) -> Vec<Act> {
+            vec![Act::Tick]
+        }
+        fn task_of(&self, _a: &Act) -> TaskId {
+            TaskId(0)
+        }
+        fn task_count(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn stepping() {
+        let c = Counter;
+        let s0 = c.start_states()[0];
+        let s1 = c.step_first(&s0, &Act::Tick).unwrap();
+        assert_eq!(s1, 1);
+        let s2 = c.step_first(&s1, &Act::Reset).unwrap();
+        assert_eq!(s2, 0);
+    }
+
+    #[test]
+    fn input_enabled_check_passes() {
+        let c = Counter;
+        assert!(c
+            .check_input_enabled(&[0, 1, 2], &[Act::Reset, Act::Tick])
+            .is_none());
+    }
+
+    #[test]
+    fn enabledness() {
+        let c = Counter;
+        assert!(c.is_enabled(&0, &Act::Tick));
+        assert!(c.in_signature(&Act::Reset));
+    }
+
+    #[test]
+    fn reference_automaton_delegates() {
+        let c = Counter;
+        let r = &c;
+        assert_eq!(r.start_states(), vec![0]);
+        assert_eq!(r.task_count(), 1);
+        assert_eq!(r.step_first(&0, &Act::Tick), Some(1));
+        assert_eq!(r.classify(&Act::Tick), Some(ActionClass::Output));
+        assert_eq!(r.enabled_local(&2), vec![Act::Tick]);
+        assert_eq!(r.task_of(&Act::Tick), TaskId(0));
+    }
+
+    #[test]
+    fn determinism_audit() {
+        let c = Counter;
+        assert_eq!(
+            c.check_deterministic(&[0, 1, 2], &[Act::Reset, Act::Tick]),
+            Ok(None)
+        );
+
+        /// Coin: two successors for Flip.
+        #[derive(Clone)]
+        struct Coin;
+        impl Automaton for Coin {
+            type Action = Act;
+            type State = u8;
+            fn start_states(&self) -> Vec<u8> {
+                vec![0]
+            }
+            fn classify(&self, _a: &Act) -> Option<ActionClass> {
+                Some(ActionClass::Input)
+            }
+            fn successors(&self, _s: &u8, _a: &Act) -> Vec<u8> {
+                vec![0, 1]
+            }
+            fn enabled_local(&self, _s: &u8) -> Vec<Act> {
+                vec![]
+            }
+            fn task_of(&self, _a: &Act) -> TaskId {
+                TaskId(0)
+            }
+            fn task_count(&self) -> usize {
+                1
+            }
+        }
+        let found = Coin.check_deterministic(&[0], &[Act::Reset]).unwrap();
+        assert!(found.is_some());
+    }
+
+    #[test]
+    fn detached_signature() {
+        let sig = Counter.signature();
+        assert_eq!(sig.classify(&Act::Reset), Some(ActionClass::Input));
+        assert!(sig.is_external(&Act::Tick));
+    }
+}

@@ -1,0 +1,433 @@
+//! Composition of strongly compatible automata (paper §2.5).
+//!
+//! We provide *binary* composition [`Compose2`]; n-ary composition is
+//! obtained by nesting (composition is associative up to state-tuple
+//! re-bracketing, which is all the paper's proofs need). Each step of the
+//! composition consists of every component that has the action in its
+//! signature taking that action simultaneously, while the others' states are
+//! unchanged.
+
+use std::fmt;
+
+use crate::action::ActionClass;
+use crate::automaton::{Automaton, TaskId};
+use crate::execution::Execution;
+
+/// Product state of a binary composition.
+///
+/// A plain pair with readable `Debug` output; fields are public because the
+/// impossibility engines inspect and splice component states, mirroring the
+/// paper's `s[i]` notation.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Pair<S, T> {
+    /// State of the left component.
+    pub left: S,
+    /// State of the right component.
+    pub right: T,
+}
+
+impl<S, T> Pair<S, T> {
+    /// Creates a product state.
+    pub fn new(left: S, right: T) -> Self {
+        Pair { left, right }
+    }
+}
+
+impl<S: fmt::Debug, T: fmt::Debug> fmt::Debug for Pair<S, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}, {:?})", self.left, self.right)
+    }
+}
+
+/// Why two automata failed the strong-compatibility check (paper §2.5.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompatibilityError<A> {
+    /// The action is an output of both components.
+    SharedOutput(A),
+    /// The action is internal to one component but in the signature of the
+    /// other.
+    InternalShared(A),
+}
+
+impl<A: fmt::Debug> fmt::Display for CompatibilityError<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompatibilityError::SharedOutput(a) => {
+                write!(f, "action {a:?} is an output of both components")
+            }
+            CompatibilityError::InternalShared(a) => write!(
+                f,
+                "action {a:?} is internal to one component but shared with the other"
+            ),
+        }
+    }
+}
+
+impl<A: fmt::Debug> std::error::Error for CompatibilityError<A> {}
+
+/// The composition `L × R` of two (strongly compatible) automata over the
+/// same action universe.
+///
+/// The composite signature follows §2.5.1: an action is an *output* if it is
+/// an output of either component, *internal* if internal to either, and an
+/// *input* if it is an input of some component and an output of none.
+/// Task ids of the right component are shifted by `left.task_count()` so the
+/// composite partition is the disjoint union of the component partitions.
+///
+/// Strong compatibility is **checked per action on demand** (the action
+/// universe may be infinite): [`Compose2::check_compatible`] validates a
+/// sample of actions, and every `classify` call asserts compatibility for
+/// the action it sees in debug builds.
+#[derive(Clone)]
+pub struct Compose2<L, R> {
+    left: L,
+    right: R,
+}
+
+impl<L, R, A> Compose2<L, R>
+where
+    A: Clone + Eq + fmt::Debug,
+    L: Automaton<Action = A>,
+    R: Automaton<Action = A>,
+{
+    /// Composes two automata. Compatibility is not exhaustively checkable
+    /// (the action universe may be infinite); use
+    /// [`check_compatible`](Compose2::check_compatible) to validate a
+    /// sample.
+    pub fn new(left: L, right: R) -> Self {
+        Compose2 { left, right }
+    }
+
+    /// The left component.
+    pub fn left(&self) -> &L {
+        &self.left
+    }
+
+    /// The right component.
+    pub fn right(&self) -> &R {
+        &self.right
+    }
+
+    /// Checks strong compatibility on the given sample of actions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CompatibilityError`] found.
+    pub fn check_compatible(&self, sample: &[A]) -> Result<(), CompatibilityError<A>> {
+        for a in sample {
+            let l = self.left.classify(a);
+            let r = self.right.classify(a);
+            if l == Some(ActionClass::Output) && r == Some(ActionClass::Output) {
+                return Err(CompatibilityError::SharedOutput(a.clone()));
+            }
+            if (l == Some(ActionClass::Internal) && r.is_some())
+                || (r == Some(ActionClass::Internal) && l.is_some())
+            {
+                return Err(CompatibilityError::InternalShared(a.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Projects an execution of the composition onto the left component
+    /// (Lemma 2.2): keeps steps whose action is in the left signature and
+    /// maps states to their left halves.
+    pub fn project_left(
+        &self,
+        exec: &Execution<A, Pair<L::State, R::State>>,
+    ) -> Execution<A, L::State> {
+        let mut out = Execution::new(exec.first_state().left.clone());
+        for step in exec.steps() {
+            if self.left.in_signature(&step.action) {
+                out.push_unchecked(step.action.clone(), step.post.left.clone());
+            }
+        }
+        out
+    }
+
+    /// Projects an execution of the composition onto the right component
+    /// (Lemma 2.2).
+    pub fn project_right(
+        &self,
+        exec: &Execution<A, Pair<L::State, R::State>>,
+    ) -> Execution<A, R::State> {
+        let mut out = Execution::new(exec.first_state().right.clone());
+        for step in exec.steps() {
+            if self.right.in_signature(&step.action) {
+                out.push_unchecked(step.action.clone(), step.post.right.clone());
+            }
+        }
+        out
+    }
+}
+
+impl<L, R, A> Automaton for Compose2<L, R>
+where
+    A: Clone + Eq + fmt::Debug,
+    L: Automaton<Action = A>,
+    R: Automaton<Action = A>,
+{
+    type Action = A;
+    type State = Pair<L::State, R::State>;
+
+    fn start_states(&self) -> Vec<Self::State> {
+        let rs = self.right.start_states();
+        self.left
+            .start_states()
+            .into_iter()
+            .flat_map(|l| rs.iter().map(move |r| Pair::new(l.clone(), r.clone())))
+            .collect()
+    }
+
+    fn classify(&self, action: &A) -> Option<ActionClass> {
+        let l = self.left.classify(action);
+        let r = self.right.classify(action);
+        debug_assert!(
+            !(l == Some(ActionClass::Output) && r == Some(ActionClass::Output)),
+            "strong compatibility violated: {action:?} is an output of both components"
+        );
+        debug_assert!(
+            !((l == Some(ActionClass::Internal) && r.is_some())
+                || (r == Some(ActionClass::Internal) && l.is_some())),
+            "strong compatibility violated: {action:?} is internal to one component but shared"
+        );
+        match (l, r) {
+            (None, None) => None,
+            (Some(ActionClass::Internal), _) | (_, Some(ActionClass::Internal)) => {
+                Some(ActionClass::Internal)
+            }
+            (Some(ActionClass::Output), _) | (_, Some(ActionClass::Output)) => {
+                Some(ActionClass::Output)
+            }
+            _ => Some(ActionClass::Input),
+        }
+    }
+
+    fn successors(&self, state: &Self::State, action: &A) -> Vec<Self::State> {
+        let in_l = self.left.in_signature(action);
+        let in_r = self.right.in_signature(action);
+        match (in_l, in_r) {
+            (false, false) => vec![],
+            (true, false) => self
+                .left
+                .successors(&state.left, action)
+                .into_iter()
+                .map(|l| Pair::new(l, state.right.clone()))
+                .collect(),
+            (false, true) => self
+                .right
+                .successors(&state.right, action)
+                .into_iter()
+                .map(|r| Pair::new(state.left.clone(), r))
+                .collect(),
+            (true, true) => {
+                let ls = self.left.successors(&state.left, action);
+                let rs = self.right.successors(&state.right, action);
+                ls.into_iter()
+                    .flat_map(|l| rs.iter().map(move |r| Pair::new(l.clone(), r.clone())))
+                    .collect()
+            }
+        }
+    }
+
+    fn enabled_local(&self, state: &Self::State) -> Vec<A> {
+        let mut out: Vec<A> = Vec::new();
+        for a in self.left.enabled_local(&state.left) {
+            // A locally-controlled action of L is enabled in the composite
+            // only if every component having it in its signature can take it;
+            // R can only have it as an input (strong compatibility), and
+            // inputs are always enabled, but we check defensively.
+            if !self.right.in_signature(&a) || self.right.is_enabled(&state.right, &a) {
+                out.push(a);
+            }
+        }
+        for a in self.right.enabled_local(&state.right) {
+            if (!self.left.in_signature(&a) || self.left.is_enabled(&state.left, &a))
+                && !out.contains(&a) {
+                    out.push(a);
+                }
+        }
+        out
+    }
+
+    fn task_of(&self, action: &A) -> TaskId {
+        if self
+            .left
+            .classify(action)
+            .is_some_and(ActionClass::is_locally_controlled)
+        {
+            self.left.task_of(action)
+        } else {
+            TaskId(self.left.task_count() + self.right.task_of(action).0)
+        }
+    }
+
+    fn task_count(&self) -> usize {
+        self.left.task_count() + self.right.task_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Producer emits `Mid(n)` (output), consumer takes `Mid(n)` (input) and
+    /// emits `Out(n)`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    enum Act {
+        Go,
+        Mid(u8),
+        Out(u8),
+    }
+
+    #[derive(Clone)]
+    struct Producer;
+    impl Automaton for Producer {
+        type Action = Act;
+        type State = Option<u8>;
+
+        fn start_states(&self) -> Vec<Self::State> {
+            vec![None]
+        }
+        fn classify(&self, a: &Act) -> Option<ActionClass> {
+            match a {
+                Act::Go => Some(ActionClass::Input),
+                Act::Mid(_) => Some(ActionClass::Output),
+                Act::Out(_) => None,
+            }
+        }
+        fn successors(&self, s: &Self::State, a: &Act) -> Vec<Self::State> {
+            match a {
+                Act::Go => vec![Some(7)],
+                Act::Mid(n) if *s == Some(*n) => vec![None],
+                _ => vec![],
+            }
+        }
+        fn enabled_local(&self, s: &Self::State) -> Vec<Act> {
+            s.iter().map(|n| Act::Mid(*n)).collect()
+        }
+        fn task_of(&self, _a: &Act) -> TaskId {
+            TaskId(0)
+        }
+        fn task_count(&self) -> usize {
+            1
+        }
+    }
+
+    #[derive(Clone)]
+    struct Consumer;
+    impl Automaton for Consumer {
+        type Action = Act;
+        type State = Option<u8>;
+
+        fn start_states(&self) -> Vec<Self::State> {
+            vec![None]
+        }
+        fn classify(&self, a: &Act) -> Option<ActionClass> {
+            match a {
+                Act::Mid(_) => Some(ActionClass::Input),
+                Act::Out(_) => Some(ActionClass::Output),
+                Act::Go => None,
+            }
+        }
+        fn successors(&self, s: &Self::State, a: &Act) -> Vec<Self::State> {
+            match a {
+                Act::Mid(n) => vec![Some(*n)],
+                Act::Out(n) if *s == Some(*n) => vec![None],
+                _ => vec![],
+            }
+        }
+        fn enabled_local(&self, s: &Self::State) -> Vec<Act> {
+            s.iter().map(|n| Act::Out(*n)).collect()
+        }
+        fn task_of(&self, _a: &Act) -> TaskId {
+            TaskId(0)
+        }
+        fn task_count(&self) -> usize {
+            1
+        }
+    }
+
+    fn pipeline() -> Compose2<Producer, Consumer> {
+        Compose2::new(Producer, Consumer)
+    }
+
+    #[test]
+    fn composite_signature() {
+        let c = pipeline();
+        assert_eq!(c.classify(&Act::Go), Some(ActionClass::Input));
+        // Mid is an output of Producer and input of Consumer => output.
+        assert_eq!(c.classify(&Act::Mid(1)), Some(ActionClass::Output));
+        assert_eq!(c.classify(&Act::Out(1)), Some(ActionClass::Output));
+    }
+
+    #[test]
+    fn compatibility_check() {
+        let c = pipeline();
+        assert!(c
+            .check_compatible(&[Act::Go, Act::Mid(0), Act::Out(0)])
+            .is_ok());
+        // Producer composed with itself shares the Mid output.
+        let bad = Compose2::new(Producer, Producer);
+        assert_eq!(
+            bad.check_compatible(&[Act::Mid(0)]),
+            Err(CompatibilityError::SharedOutput(Act::Mid(0)))
+        );
+    }
+
+    #[test]
+    fn shared_action_steps_both() {
+        let c = pipeline();
+        let s0 = c.start_states().remove(0);
+        let s1 = c.step_first(&s0, &Act::Go).unwrap();
+        assert_eq!(s1.left, Some(7));
+        assert_eq!(s1.right, None);
+        let s2 = c.step_first(&s1, &Act::Mid(7)).unwrap();
+        assert_eq!(s2.left, None);
+        assert_eq!(s2.right, Some(7));
+        let s3 = c.step_first(&s2, &Act::Out(7)).unwrap();
+        assert_eq!(s3.right, None);
+    }
+
+    #[test]
+    fn enabled_local_unions_components() {
+        let c = pipeline();
+        let s0 = c.start_states().remove(0);
+        assert!(c.enabled_local(&s0).is_empty());
+        let s1 = c.step_first(&s0, &Act::Go).unwrap();
+        assert_eq!(c.enabled_local(&s1), vec![Act::Mid(7)]);
+    }
+
+    #[test]
+    fn task_ids_shift() {
+        let c = pipeline();
+        assert_eq!(c.task_count(), 2);
+        assert_eq!(c.task_of(&Act::Mid(0)), TaskId(0));
+        assert_eq!(c.task_of(&Act::Out(0)), TaskId(1));
+    }
+
+    #[test]
+    fn projection_yields_component_executions() {
+        let c = pipeline();
+        let mut e = Execution::new(c.start_states().remove(0));
+        assert!(e.push(&c, Act::Go, 0));
+        assert!(e.push(&c, Act::Mid(7), 0));
+        assert!(e.push(&c, Act::Out(7), 0));
+
+        let pl = c.project_left(&e);
+        assert_eq!(pl.schedule(), vec![Act::Go, Act::Mid(7)]);
+        assert_eq!(pl.validate(&Producer), Ok(()));
+
+        let pr = c.project_right(&e);
+        assert_eq!(pr.schedule(), vec![Act::Mid(7), Act::Out(7)]);
+        assert_eq!(pr.validate(&Consumer), Ok(()));
+    }
+
+    #[test]
+    fn compatibility_error_display() {
+        let e = CompatibilityError::SharedOutput(Act::Mid(1));
+        assert!(e.to_string().contains("output of both"));
+        let e = CompatibilityError::InternalShared(Act::Go);
+        assert!(e.to_string().contains("internal"));
+    }
+}

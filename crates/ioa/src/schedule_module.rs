@@ -1,0 +1,228 @@
+//! Schedule modules: problem specifications as sets of action sequences
+//! (paper §2.3–2.4).
+//!
+//! A schedule module is a signature plus a set of schedules. An automaton
+//! `A` *solves* a schedule module `H` when `fairbehs(A) ⊆ behs(H)`. Since a
+//! set of (possibly infinite) sequences is not directly representable, a
+//! [`ScheduleModule`] here is a *decision procedure on finite traces*,
+//! returning a structured [`Verdict`].
+//!
+//! Safety properties are decidable on finite prefixes. Liveness properties
+//! (like the paper's PL6 and DL8) are checked under the *complete-trace
+//! convention*: when the caller asserts that the finite trace is the whole
+//! behavior of a fair execution that ended quiescent, "eventually" must have
+//! happened within the trace. [`TraceKind`] records which convention
+//! applies.
+
+use std::fmt;
+
+/// Whether a finite trace is a prefix of an ongoing behavior or the complete
+/// behavior of a (quiescent) fair execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// The trace may extend further: only safety properties are judged.
+    Prefix,
+    /// The trace is complete: liveness obligations must be discharged
+    /// within it.
+    Complete,
+}
+
+/// A structured account of a specification violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Name of the violated property, e.g. `"DL4"` or `"PL5 (FIFO)"`.
+    pub property: &'static str,
+    /// Index into the trace where the violation is witnessed, if pointable.
+    pub at: Option<usize>,
+    /// Human-readable explanation.
+    pub reason: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.at {
+            Some(i) => write!(f, "{} violated at event {}: {}", self.property, i, self.reason),
+            None => write!(f, "{} violated: {}", self.property, self.reason),
+        }
+    }
+}
+
+/// The outcome of checking a finite trace against a schedule module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The trace is in (a prefix of a member of) the module's schedule set.
+    Satisfied,
+    /// The module's hypotheses do not hold (e.g. the environment violated
+    /// well-formedness), so the specification imposes no constraint and the
+    /// trace is vacuously allowed. The violation explains which hypothesis
+    /// failed.
+    Vacuous(Violation),
+    /// The trace is not allowed by the module.
+    Violated(Violation),
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Satisfied`] and [`Verdict::Vacuous`] — the
+    /// trace is allowed by the module.
+    #[must_use]
+    pub fn is_allowed(&self) -> bool {
+        !matches!(self, Verdict::Violated(_))
+    }
+
+    /// Returns the violation if the verdict is [`Verdict::Violated`].
+    #[must_use]
+    pub fn violation(&self) -> Option<&Violation> {
+        match self {
+            Verdict::Violated(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Satisfied => f.write_str("satisfied"),
+            Verdict::Vacuous(v) => write!(f, "vacuous ({v})"),
+            Verdict::Violated(v) => write!(f, "violated ({v})"),
+        }
+    }
+}
+
+/// A problem specification: decides membership of finite traces.
+///
+/// Implementors must be *prefix-consistent* for safety: if
+/// `check(t, Prefix)` is violated then so is every extension. The
+/// workspace's property tests exercise this.
+pub trait ScheduleModule {
+    /// The action universe the module's schedules draw from.
+    type Action;
+
+    /// Checks a finite trace against the module.
+    fn check(&self, trace: &[Self::Action], kind: TraceKind) -> Verdict;
+
+    /// Convenience: `true` if the complete trace is allowed.
+    fn allows(&self, trace: &[Self::Action]) -> bool {
+        self.check(trace, TraceKind::Complete).is_allowed()
+    }
+}
+
+/// Checks that an automaton's sampled fair behaviors are allowed by a
+/// schedule module — a finite-sample refutation procedure for the paper's
+/// `A solves H` (§2.4). Returns the first disallowed behavior.
+///
+/// This cannot *prove* `solves` (that needs proof, which is the paper's
+/// point); it is used in tests to gain confidence in positive claims and in
+/// the impossibility engines to *certify* counterexamples.
+pub fn first_disallowed<'a, H, I>(
+    module: &H,
+    behaviors: I,
+    kind: TraceKind,
+) -> Option<(&'a [H::Action], Violation)>
+where
+    H: ScheduleModule,
+    I: IntoIterator<Item = &'a [H::Action]>,
+    H::Action: 'a,
+{
+    for beh in behaviors {
+        if let Verdict::Violated(v) = module.check(beh, kind) {
+            return Some((beh, v));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy spec: every `1` must be preceded by a `0`; complete traces must
+    /// end with `9` ("liveness").
+    struct Toy;
+    impl ScheduleModule for Toy {
+        type Action = u8;
+
+        fn check(&self, trace: &[u8], kind: TraceKind) -> Verdict {
+            let mut seen_zero = false;
+            for (i, a) in trace.iter().enumerate() {
+                match a {
+                    0 => seen_zero = true,
+                    1 if !seen_zero => {
+                        return Verdict::Violated(Violation {
+                            property: "TOY-SAFE",
+                            at: Some(i),
+                            reason: "1 before any 0".into(),
+                        })
+                    }
+                    _ => {}
+                }
+            }
+            if kind == TraceKind::Complete && trace.last() != Some(&9) {
+                return Verdict::Violated(Violation {
+                    property: "TOY-LIVE",
+                    at: None,
+                    reason: "complete trace does not end with 9".into(),
+                });
+            }
+            Verdict::Satisfied
+        }
+    }
+
+    #[test]
+    fn safety_on_prefixes() {
+        assert_eq!(Toy.check(&[0, 1], TraceKind::Prefix), Verdict::Satisfied);
+        assert!(Toy.check(&[1], TraceKind::Prefix).violation().is_some());
+    }
+
+    #[test]
+    fn liveness_only_on_complete() {
+        assert_eq!(Toy.check(&[0, 1], TraceKind::Prefix), Verdict::Satisfied);
+        let v = Toy.check(&[0, 1], TraceKind::Complete);
+        assert_eq!(v.violation().unwrap().property, "TOY-LIVE");
+        assert!(Toy.allows(&[0, 1, 9]));
+    }
+
+    #[test]
+    fn verdict_accessors_and_display() {
+        let v = Verdict::Violated(Violation {
+            property: "P",
+            at: Some(3),
+            reason: "bad".into(),
+        });
+        assert!(!v.is_allowed());
+        assert!(v.to_string().contains("P violated at event 3"));
+        assert!(Verdict::Satisfied.is_allowed());
+        assert_eq!(Verdict::Satisfied.to_string(), "satisfied");
+        let vac = Verdict::Vacuous(Violation {
+            property: "WF",
+            at: None,
+            reason: "environment misbehaved".into(),
+        });
+        assert!(vac.is_allowed());
+        assert!(vac.to_string().starts_with("vacuous"));
+    }
+
+    #[test]
+    fn first_disallowed_finds_bad_behavior() {
+        let behaviors: Vec<Vec<u8>> = vec![vec![0, 1, 9], vec![1, 9]];
+        let found = first_disallowed(
+            &Toy,
+            behaviors.iter().map(Vec::as_slice),
+            TraceKind::Complete,
+        );
+        let (beh, v) = found.unwrap();
+        assert_eq!(beh, &[1, 9]);
+        assert_eq!(v.property, "TOY-SAFE");
+    }
+
+    #[test]
+    fn first_disallowed_none_when_all_good() {
+        let behaviors: Vec<Vec<u8>> = vec![vec![0, 9], vec![9]];
+        assert!(first_disallowed(
+            &Toy,
+            behaviors.iter().map(Vec::as_slice),
+            TraceKind::Complete
+        )
+        .is_none());
+    }
+}

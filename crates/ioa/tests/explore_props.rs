@@ -1,0 +1,138 @@
+//! Property tests for the state-space explorer: BFS optimality and
+//! agreement with a brute-force reference on small random graph automata.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use ioa::action::ActionClass;
+use ioa::automaton::{Automaton, TaskId};
+use ioa::Explorer;
+
+/// An automaton defined by an explicit random transition table on `n`
+/// states: action `Step(k)` moves state `s` to `table[s][k]`.
+#[derive(Debug, Clone)]
+struct Table {
+    table: Vec<Vec<u8>>, // table[state][k] = successor
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Step(usize);
+
+impl Automaton for Table {
+    type Action = Step;
+    type State = u8;
+
+    fn start_states(&self) -> Vec<u8> {
+        vec![0]
+    }
+    fn classify(&self, _a: &Step) -> Option<ActionClass> {
+        Some(ActionClass::Output)
+    }
+    fn successors(&self, s: &u8, a: &Step) -> Vec<u8> {
+        self.table[*s as usize]
+            .get(a.0)
+            .map(|t| vec![*t])
+            .unwrap_or_default()
+    }
+    fn enabled_local(&self, s: &u8) -> Vec<Step> {
+        (0..self.table[*s as usize].len()).map(Step).collect()
+    }
+    fn task_of(&self, _a: &Step) -> TaskId {
+        TaskId(0)
+    }
+    fn task_count(&self) -> usize {
+        1
+    }
+}
+
+fn table_strategy() -> impl Strategy<Value = Table> {
+    // 3..8 states, each with 0..3 outgoing edges.
+    (3u8..8).prop_flat_map(|n| {
+        prop::collection::vec(prop::collection::vec(0..n, 0..3), n as usize)
+            .prop_map(|table| Table { table })
+    })
+}
+
+/// Reference: BFS distances by hand.
+fn distances(t: &Table) -> Vec<Option<usize>> {
+    let n = t.table.len();
+    let mut dist = vec![None; n];
+    dist[0] = Some(0);
+    let mut frontier = vec![0usize];
+    let mut d = 0usize;
+    while !frontier.is_empty() {
+        d += 1;
+        let mut next = Vec::new();
+        for s in frontier {
+            for &succ in &t.table[s] {
+                if dist[succ as usize].is_none() {
+                    dist[succ as usize] = Some(d);
+                    next.push(succ as usize);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
+proptest! {
+    /// The explorer visits exactly the reachable states.
+    #[test]
+    fn reachable_set_agrees_with_reference(t in table_strategy()) {
+        let reference: HashSet<usize> = distances(&t)
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.map(|_| i))
+            .collect();
+        let explorer = Explorer::new(t.clone(), |_s: &u8| vec![], 10_000, 10_000);
+        let report = explorer.reachable_states();
+        prop_assert!(report.holds());
+        prop_assert_eq!(report.states_visited, reference.len());
+    }
+
+    /// A violation path found by the explorer has exactly the BFS distance
+    /// of the violating state (shortest counterexamples).
+    #[test]
+    fn violation_paths_are_shortest(t in table_strategy(), target in 1u8..8) {
+        let dist = distances(&t);
+        let explorer = Explorer::new(t.clone(), |_s: &u8| vec![], 10_000, 10_000);
+        let report = explorer.check_invariant(|s| *s != target);
+        match dist.get(target as usize).copied().flatten() {
+            None => prop_assert!(report.violation.is_none(), "unreachable state 'reached'"),
+            Some(d) => {
+                let (path, state) = report.violation.expect("reachable target not found");
+                prop_assert_eq!(state, target);
+                prop_assert_eq!(path.len(), d, "path not shortest");
+                // The path really leads to the target.
+                let mut cur = 0u8;
+                for a in &path {
+                    cur = t.successors(&cur, a)[0];
+                }
+                prop_assert_eq!(cur, target);
+            }
+        }
+    }
+
+    /// Environment inputs extend reachability exactly like extra edges.
+    #[test]
+    fn inputs_extend_reachability(t in table_strategy()) {
+        // Allow a "teleport to state 1" input everywhere.
+        let n = t.table.len() as u8;
+        let base = Explorer::new(t.clone(), |_s: &u8| vec![], 10_000, 10_000)
+            .reachable_states()
+            .states_visited;
+        let with_input = {
+            let mut t2 = t.clone();
+            // Teleport edge encoded as an extra action on every state.
+            for row in &mut t2.table {
+                row.push(1 % n);
+            }
+            Explorer::new(t2, |_s: &u8| vec![], 10_000, 10_000)
+                .reachable_states()
+                .states_visited
+        };
+        prop_assert!(with_input >= base);
+    }
+}

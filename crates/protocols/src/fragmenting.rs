@@ -1,0 +1,443 @@
+//! A fragmenting stop-and-wait protocol: each message travels as **two**
+//! packets — the k-bounded case with `k = 2`.
+//!
+//! All other protocols in the zoo deliver a message with a single
+//! `receive_pkt^{t,r}` event (they are 1-bounded, §8.1). Real data link
+//! layers fragment: a message becomes several packets, and the receiver
+//! reassembles. This protocol models that with the smallest interesting
+//! split:
+//!
+//! * the transmitter sends fragments `FRAG⟨part 0⟩#b(m)` and
+//!   `FRAG⟨part 1⟩#b(m)` (header sequence `b·2 + part`, alternating bit
+//!   `b`) until the acknowledgement `ACK#b` arrives;
+//! * the receiver collects both parts of the expected bit, delivers the
+//!   message once, flips its bit, and acknowledges (re-acknowledging
+//!   completed bits on stale fragments).
+//!
+//! Headers: 4 fragment classes + 2 ack classes = 6, bounded; the protocol
+//! is 2-bounded. The header-impossibility engine must therefore strand one
+//! stale packet of *each* fragment class before it can spring the trap —
+//! exercising the per-class multiplicity counting in Lemma 8.4's matching.
+
+use std::collections::VecDeque;
+
+use ioa::action::ActionClass;
+use ioa::automaton::{Automaton, TaskId};
+
+use dl_core::action::{Dir, DlAction, Msg, Packet, Station, Tag};
+use dl_core::equivalence::MsgRenaming;
+use dl_core::protocol::{
+    receiver_classify, transmitter_classify, DataLinkProtocol, MessageIndependent, ProtocolInfo,
+    StationAutomaton,
+};
+
+/// Header sequence for fragment `part` of bit `b`.
+#[must_use]
+pub fn frag_seq(bit: bool, part: u8) -> u64 {
+    u64::from(bit) * 2 + u64::from(part)
+}
+
+/// Decodes a fragment header sequence into `(bit, part)` if in range.
+#[must_use]
+pub fn decode_frag(seq: u64) -> Option<(bool, u8)> {
+    if seq < 4 {
+        Some((seq >= 2, (seq % 2) as u8))
+    } else {
+        None
+    }
+}
+
+/// State of the fragmenting transmitter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FragTxState {
+    /// `true` while the `t → r` medium is active.
+    pub active: bool,
+    /// Alternating bit of the current front message.
+    pub bit: bool,
+    /// Pending messages; the front's two fragments are being transmitted.
+    pub queue: VecDeque<Msg>,
+}
+
+/// The fragmenting transmitting automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FragTransmitter;
+
+impl FragTransmitter {
+    fn fragments(s: &FragTxState) -> Vec<Packet> {
+        s.queue
+            .front()
+            .map(|m| {
+                vec![
+                    Packet::data(frag_seq(s.bit, 0), *m),
+                    Packet::data(frag_seq(s.bit, 1), *m),
+                ]
+            })
+            .unwrap_or_default()
+    }
+}
+
+impl Automaton for FragTransmitter {
+    type Action = DlAction;
+    type State = FragTxState;
+
+    fn start_states(&self) -> Vec<FragTxState> {
+        vec![FragTxState::default()]
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        transmitter_classify(a)
+    }
+
+    fn successors(&self, s: &FragTxState, a: &DlAction) -> Vec<FragTxState> {
+        match a {
+            DlAction::SendMsg(m) => {
+                let mut t = s.clone();
+                t.queue.push_back(*m);
+                vec![t]
+            }
+            DlAction::ReceivePkt(Dir::RT, p) => {
+                let mut t = s.clone();
+                if p.header.tag == Tag::Ack
+                    && p.header.seq == u64::from(s.bit)
+                    && !t.queue.is_empty()
+                {
+                    t.queue.pop_front();
+                    t.bit = !t.bit;
+                }
+                vec![t]
+            }
+            DlAction::Wake(Dir::TR) => {
+                let mut t = s.clone();
+                t.active = true;
+                vec![t]
+            }
+            DlAction::Fail(Dir::TR) => {
+                let mut t = s.clone();
+                t.active = false;
+                vec![t]
+            }
+            DlAction::Crash(Station::T) => vec![FragTxState::default()],
+            DlAction::SendPkt(Dir::TR, p) => {
+                if s.active && Self::fragments(s).iter().any(|q| p.content() == *q) {
+                    vec![s.clone()]
+                } else {
+                    vec![]
+                }
+            }
+            _ => vec![],
+        }
+    }
+
+    fn enabled_local(&self, s: &FragTxState) -> Vec<DlAction> {
+        if !s.active {
+            return vec![];
+        }
+        Self::fragments(s)
+            .into_iter()
+            .map(|p| DlAction::SendPkt(Dir::TR, p))
+            .collect()
+    }
+
+    fn task_of(&self, _a: &DlAction) -> TaskId {
+        TaskId(0)
+    }
+
+    fn task_count(&self) -> usize {
+        1
+    }
+}
+
+impl StationAutomaton for FragTransmitter {
+    fn station(&self) -> Station {
+        Station::T
+    }
+}
+
+impl MessageIndependent for FragTransmitter {
+    fn relabel_state(&self, s: &FragTxState, r: &MsgRenaming) -> FragTxState {
+        FragTxState {
+            active: s.active,
+            bit: s.bit,
+            queue: s.queue.iter().map(|m| r.apply(*m)).collect(),
+        }
+    }
+}
+
+/// State of the fragmenting receiver.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FragRxState {
+    /// `true` while the `r → t` medium is active.
+    pub active: bool,
+    /// The bit the next fresh message carries.
+    pub expected: bool,
+    /// Which parts of the expected bit have arrived: `[part0, part1]`.
+    pub got: [bool; 2],
+    /// The payload seen so far for the expected bit (both fragments carry
+    /// it; it is recorded at the first arrival).
+    pub pending: Option<Msg>,
+    /// Reassembled messages awaiting the environment.
+    pub deliver: VecDeque<Msg>,
+    /// Acknowledgement bits owed.
+    pub acks: VecDeque<bool>,
+}
+
+/// The fragmenting receiving automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FragReceiver;
+
+impl Automaton for FragReceiver {
+    type Action = DlAction;
+    type State = FragRxState;
+
+    fn start_states(&self) -> Vec<FragRxState> {
+        vec![FragRxState::default()]
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        receiver_classify(a)
+    }
+
+    fn successors(&self, s: &FragRxState, a: &DlAction) -> Vec<FragRxState> {
+        match a {
+            DlAction::ReceivePkt(Dir::TR, p) => {
+                let mut t = s.clone();
+                if p.header.tag == Tag::Data {
+                    if let (Some((bit, part)), Some(m)) = (decode_frag(p.header.seq), p.payload)
+                    {
+                        if bit == s.expected {
+                            t.got[part as usize] = true;
+                            t.pending.get_or_insert(m);
+                            if t.got == [true, true] {
+                                let msg = t.pending.take().expect("recorded at first part");
+                                t.deliver.push_back(msg);
+                                t.expected = !t.expected;
+                                t.got = [false, false];
+                                if t.acks.len() < crate::abp::MAX_PENDING_ACKS {
+                                    t.acks.push_back(bit);
+                                }
+                            }
+                        } else {
+                            // Stale fragment of the completed bit: re-ack.
+                            if t.acks.len() < crate::abp::MAX_PENDING_ACKS {
+                                t.acks.push_back(bit);
+                            }
+                        }
+                    }
+                }
+                vec![t]
+            }
+            DlAction::Wake(Dir::RT) => {
+                let mut t = s.clone();
+                t.active = true;
+                vec![t]
+            }
+            DlAction::Fail(Dir::RT) => {
+                let mut t = s.clone();
+                t.active = false;
+                vec![t]
+            }
+            DlAction::Crash(Station::R) => vec![FragRxState::default()],
+            DlAction::ReceiveMsg(m) => match s.deliver.front() {
+                Some(front) if front == m => {
+                    let mut t = s.clone();
+                    t.deliver.pop_front();
+                    vec![t]
+                }
+                _ => vec![],
+            },
+            DlAction::SendPkt(Dir::RT, p) => match s.acks.front() {
+                Some(&b) if s.active && p.content() == Packet::ack(u64::from(b)) => {
+                    let mut t = s.clone();
+                    t.acks.pop_front();
+                    vec![t]
+                }
+                _ => vec![],
+            },
+            _ => vec![],
+        }
+    }
+
+    fn enabled_local(&self, s: &FragRxState) -> Vec<DlAction> {
+        let mut out = Vec::new();
+        if let Some(&b) = s.acks.front() {
+            if s.active {
+                out.push(DlAction::SendPkt(Dir::RT, Packet::ack(u64::from(b))));
+            }
+        }
+        if let Some(m) = s.deliver.front() {
+            out.push(DlAction::ReceiveMsg(*m));
+        }
+        out
+    }
+
+    fn task_of(&self, a: &DlAction) -> TaskId {
+        match a {
+            DlAction::ReceiveMsg(_) => TaskId(1),
+            _ => TaskId(0),
+        }
+    }
+
+    fn task_count(&self) -> usize {
+        2
+    }
+}
+
+impl StationAutomaton for FragReceiver {
+    fn station(&self) -> Station {
+        Station::R
+    }
+}
+
+impl MessageIndependent for FragReceiver {
+    fn relabel_state(&self, s: &FragRxState, r: &MsgRenaming) -> FragRxState {
+        FragRxState {
+            active: s.active,
+            expected: s.expected,
+            got: s.got,
+            pending: s.pending.map(|m| r.apply(m)),
+            deliver: s.deliver.iter().map(|m| r.apply(*m)).collect(),
+            acks: s.acks.clone(),
+        }
+    }
+}
+
+/// The fragmenting stop-and-wait protocol (k = 2).
+#[must_use]
+pub fn protocol() -> DataLinkProtocol<FragTransmitter, FragReceiver> {
+    DataLinkProtocol::new(
+        FragTransmitter,
+        FragReceiver,
+        ProtocolInfo {
+            name: "fragmenting",
+            crashing: true,
+            header_bound: Some(6), // 4 fragment classes + 2 ack classes
+            k_bound: Some(2),
+            msg_class_modulus: None,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl_core::protocol::{action_sample, check_crashing, check_station_signature};
+
+    #[test]
+    fn header_encoding_round_trips() {
+        for bit in [false, true] {
+            for part in [0u8, 1] {
+                assert_eq!(decode_frag(frag_seq(bit, part)), Some((bit, part)));
+            }
+        }
+        assert_eq!(decode_frag(4), None);
+    }
+
+    #[test]
+    fn signatures_and_crashing() {
+        assert!(check_station_signature(&FragTransmitter, &action_sample()).is_ok());
+        assert!(check_station_signature(&FragReceiver, &action_sample()).is_ok());
+        assert!(check_crashing(&FragTransmitter, &[FragTxState::default()]).is_ok());
+        assert!(check_crashing(&FragReceiver, &[FragRxState::default()]).is_ok());
+    }
+
+    #[test]
+    fn transmitter_offers_both_fragments() {
+        let t = FragTransmitter;
+        let mut s = t.start_states().remove(0);
+        s = t.step_first(&s, &DlAction::Wake(Dir::TR)).unwrap();
+        s = t.step_first(&s, &DlAction::SendMsg(Msg(5))).unwrap();
+        let enabled = t.enabled_local(&s);
+        assert_eq!(enabled.len(), 2);
+        assert!(enabled
+            .contains(&DlAction::SendPkt(Dir::TR, Packet::data(frag_seq(false, 0), Msg(5)))));
+        assert!(enabled
+            .contains(&DlAction::SendPkt(Dir::TR, Packet::data(frag_seq(false, 1), Msg(5)))));
+    }
+
+    #[test]
+    fn receiver_delivers_only_after_both_parts() {
+        let r = FragReceiver;
+        let mut s = r.start_states().remove(0);
+        s = r.step_first(&s, &DlAction::Wake(Dir::RT)).unwrap();
+        let part0 = Packet::data(frag_seq(false, 0), Msg(5));
+        let part1 = Packet::data(frag_seq(false, 1), Msg(5));
+        s = r.step_first(&s, &DlAction::ReceivePkt(Dir::TR, part0)).unwrap();
+        assert!(s.deliver.is_empty());
+        assert!(s.acks.is_empty()); // no ack until complete
+        // A duplicate of part 0 changes nothing.
+        s = r.step_first(&s, &DlAction::ReceivePkt(Dir::TR, part0)).unwrap();
+        assert!(s.deliver.is_empty());
+        // Part 1 completes the message.
+        s = r.step_first(&s, &DlAction::ReceivePkt(Dir::TR, part1)).unwrap();
+        assert_eq!(s.deliver.front(), Some(&Msg(5)));
+        assert!(s.expected);
+        assert_eq!(s.acks.front(), Some(&false));
+    }
+
+    #[test]
+    fn stale_fragments_are_reacked() {
+        let r = FragReceiver;
+        let mut s = r.start_states().remove(0);
+        s = r.step_first(&s, &DlAction::Wake(Dir::RT)).unwrap();
+        for part in [0, 1] {
+            s = r
+                .step_first(
+                    &s,
+                    &DlAction::ReceivePkt(Dir::TR, Packet::data(frag_seq(false, part), Msg(5))),
+                )
+                .unwrap();
+        }
+        let acks_before = s.acks.len();
+        // A late duplicate of the completed bit: re-ack, no re-delivery.
+        let s2 = r
+            .step_first(
+                &s,
+                &DlAction::ReceivePkt(Dir::TR, Packet::data(frag_seq(false, 0), Msg(5))),
+            )
+            .unwrap();
+        assert_eq!(s2.deliver.len(), 1);
+        assert_eq!(s2.acks.len(), acks_before + 1);
+    }
+
+    #[test]
+    fn ack_advances_the_bit() {
+        let t = FragTransmitter;
+        let mut s = t.start_states().remove(0);
+        s = t.step_first(&s, &DlAction::Wake(Dir::TR)).unwrap();
+        s = t.step_first(&s, &DlAction::SendMsg(Msg(5))).unwrap();
+        s = t
+            .step_first(&s, &DlAction::ReceivePkt(Dir::RT, Packet::ack(0)))
+            .unwrap();
+        assert!(s.queue.is_empty());
+        assert!(s.bit);
+        // Wrong-bit ack ignored.
+        let s2 = t
+            .step_first(&s, &DlAction::ReceivePkt(Dir::RT, Packet::ack(0)))
+            .unwrap();
+        assert_eq!(s2, s);
+    }
+
+    #[test]
+    fn metadata_declares_k_2() {
+        let p = protocol();
+        assert_eq!(p.info.k_bound, Some(2));
+        assert_eq!(p.info.header_bound, Some(6));
+        assert!(p.info.crashing);
+    }
+
+    #[test]
+    fn relabeling_covers_pending_fragment() {
+        let mut ren = MsgRenaming::identity();
+        ren.insert(Msg(5), Msg(50)).unwrap();
+        let r = FragReceiver;
+        let mut s = r.start_states().remove(0);
+        s = r
+            .step_first(
+                &s,
+                &DlAction::ReceivePkt(Dir::TR, Packet::data(frag_seq(false, 0), Msg(5))),
+            )
+            .unwrap();
+        let rs = r.relabel_state(&s, &ren);
+        assert_eq!(rs.pending, Some(Msg(50)));
+    }
+}

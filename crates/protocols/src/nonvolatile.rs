@@ -1,0 +1,484 @@
+//! The non-volatile epoch protocol: crash tolerance via non-volatile
+//! memory.
+//!
+//! Theorem 7.5 shows that *without* non-volatile storage no data link
+//! protocol tolerates host crashes; Baratz and Segall ("BS83") show that
+//! *with* a single non-volatile bit, crash-tolerant link initialization is
+//! possible. This module realizes that boundary with an **epoch protocol**:
+//!
+//! * the transmitter keeps a non-volatile *epoch counter*; a crash wipes
+//!   its volatile state (message queue, sequence number, medium status) but
+//!   preserves — and advances — the epoch;
+//! * data and ack headers carry `(epoch, seq)`; the receiver ignores
+//!   packets from epochs older than the newest it has seen and resets its
+//!   expectation on a newer epoch;
+//! * the receiver's delivery bookkeeping is likewise non-volatile, so a
+//!   receiver crash cannot make it re-accept old data.
+//!
+//! This is intentionally coarser than \[BS83\] (which achieves the same
+//! with bounded memory plus one non-volatile bit and an explicit
+//! initialization handshake); the property demonstrated is the paper's
+//! *hypothesis boundary* — the crash-impossibility engine's pump fails
+//! against this protocol precisely because it is **not crashing** in the
+//! §5.3.2 sense: `crash` does not restore the unique start state. See
+//! DESIGN.md ("Substitutions") for the rationale.
+//!
+//! Headers encode the pair as `epoch · 2³² + seq`; both components are
+//! unbounded in principle, so the protocol does *not* have bounded headers
+//! (that is fine: the crash theorem is about FIFO channels, not headers).
+
+use std::collections::VecDeque;
+
+use ioa::action::ActionClass;
+use ioa::automaton::{Automaton, TaskId};
+
+use dl_core::action::{Dir, DlAction, Msg, Packet, Station, Tag};
+use dl_core::equivalence::MsgRenaming;
+use dl_core::protocol::{
+    receiver_classify, transmitter_classify, DataLinkProtocol, MessageIndependent, ProtocolInfo,
+    StationAutomaton,
+};
+
+/// Packs `(epoch, seq)` into a header sequence value.
+#[must_use]
+pub fn pack(epoch: u64, seq: u64) -> u64 {
+    debug_assert!(epoch < (1 << 32) && seq < (1 << 32));
+    (epoch << 32) | seq
+}
+
+/// Unpacks a header sequence value into `(epoch, seq)`.
+#[must_use]
+pub fn unpack(packed: u64) -> (u64, u64) {
+    (packed >> 32, packed & 0xFFFF_FFFF)
+}
+
+/// State of the non-volatile transmitter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct NvTxState {
+    /// `true` while the `t → r` medium is active (volatile).
+    pub active: bool,
+    /// Non-volatile epoch counter; incremented by every crash.
+    pub epoch: u64,
+    /// Sequence number of the front message within this epoch (volatile).
+    pub seq: u64,
+    /// Pending messages (volatile — lost by a crash, which is allowed:
+    /// a crash bounds the transmitter working interval).
+    pub queue: VecDeque<Msg>,
+}
+
+/// The non-volatile-epoch transmitting automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NvTransmitter;
+
+impl Automaton for NvTransmitter {
+    type Action = DlAction;
+    type State = NvTxState;
+
+    fn start_states(&self) -> Vec<NvTxState> {
+        vec![NvTxState::default()]
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        transmitter_classify(a)
+    }
+
+    fn successors(&self, s: &NvTxState, a: &DlAction) -> Vec<NvTxState> {
+        match a {
+            DlAction::SendMsg(m) => {
+                let mut t = s.clone();
+                t.queue.push_back(*m);
+                vec![t]
+            }
+            DlAction::ReceivePkt(Dir::RT, p) => {
+                let mut t = s.clone();
+                if p.header.tag == Tag::Ack {
+                    let (e, q) = unpack(p.header.seq);
+                    if e == s.epoch && q == s.seq && !t.queue.is_empty() {
+                        t.queue.pop_front();
+                        t.seq += 1;
+                    }
+                }
+                vec![t]
+            }
+            DlAction::Wake(Dir::TR) => {
+                let mut t = s.clone();
+                t.active = true;
+                vec![t]
+            }
+            DlAction::Fail(Dir::TR) => {
+                let mut t = s.clone();
+                t.active = false;
+                vec![t]
+            }
+            DlAction::Crash(Station::T) => {
+                // Volatile state lost; the non-volatile epoch survives and
+                // advances, so post-crash packets are distinguishable.
+                vec![NvTxState {
+                    epoch: s.epoch + 1,
+                    ..NvTxState::default()
+                }]
+            }
+            DlAction::SendPkt(Dir::TR, p) => match s.queue.front() {
+                Some(m)
+                    if s.active && p.content() == Packet::data(pack(s.epoch, s.seq), *m) =>
+                {
+                    vec![s.clone()]
+                }
+                _ => vec![],
+            },
+            _ => vec![],
+        }
+    }
+
+    fn enabled_local(&self, s: &NvTxState) -> Vec<DlAction> {
+        if !s.active {
+            return vec![];
+        }
+        s.queue
+            .front()
+            .map(|m| DlAction::SendPkt(Dir::TR, Packet::data(pack(s.epoch, s.seq), *m)))
+            .into_iter()
+            .collect()
+    }
+
+    fn task_of(&self, _a: &DlAction) -> TaskId {
+        TaskId(0)
+    }
+
+    fn task_count(&self) -> usize {
+        1
+    }
+}
+
+impl StationAutomaton for NvTransmitter {
+    fn station(&self) -> Station {
+        Station::T
+    }
+}
+
+impl MessageIndependent for NvTransmitter {
+    fn relabel_state(&self, s: &NvTxState, r: &MsgRenaming) -> NvTxState {
+        NvTxState {
+            active: s.active,
+            epoch: s.epoch,
+            seq: s.seq,
+            queue: s.queue.iter().map(|m| r.apply(*m)).collect(),
+        }
+    }
+}
+
+/// State of the non-volatile receiver. All fields except `acks` model
+/// non-volatile storage; `acks` is a volatile output buffer (safe because
+/// retransmitted data regenerates acknowledgements).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct NvRxState {
+    /// `true` while the `r → t` medium is active (volatile).
+    pub active: bool,
+    /// Newest epoch observed (non-volatile).
+    pub epoch: u64,
+    /// Next sequence number expected within `epoch` (non-volatile).
+    pub expected: u64,
+    /// Accepted messages not yet handed to the environment (non-volatile —
+    /// DL8 obliges delivery even across receiver crashes, since a receiver
+    /// crash does not bound the *transmitter* working interval).
+    pub deliver: VecDeque<Msg>,
+    /// Acks owed, as packed `(epoch, seq)` values (volatile).
+    pub acks: VecDeque<u64>,
+}
+
+/// The non-volatile-epoch receiving automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NvReceiver;
+
+impl Automaton for NvReceiver {
+    type Action = DlAction;
+    type State = NvRxState;
+
+    fn start_states(&self) -> Vec<NvRxState> {
+        vec![NvRxState::default()]
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        receiver_classify(a)
+    }
+
+    fn successors(&self, s: &NvRxState, a: &DlAction) -> Vec<NvRxState> {
+        match a {
+            DlAction::ReceivePkt(Dir::TR, p) => {
+                let mut t = s.clone();
+                if p.header.tag == Tag::Data {
+                    if let Some(m) = p.payload {
+                        let (e, q) = unpack(p.header.seq);
+                        if e > s.epoch {
+                            // The transmitter crashed and restarted: adopt
+                            // the new epoch.
+                            t.epoch = e;
+                            t.expected = 0;
+                        }
+                        if e >= s.epoch {
+                            if q == t.expected {
+                                t.deliver.push_back(m);
+                                t.expected += 1;
+                                if t.acks.len() < crate::abp::MAX_PENDING_ACKS {
+                                    t.acks.push_back(pack(e, q));
+                                }
+                            } else if q < t.expected
+                                && t.acks.len() < crate::abp::MAX_PENDING_ACKS {
+                                    t.acks.push_back(pack(e, q));
+                                }
+                        }
+                        // e < s.epoch: stale epoch, ignore entirely.
+                    }
+                }
+                vec![t]
+            }
+            DlAction::Wake(Dir::RT) => {
+                let mut t = s.clone();
+                t.active = true;
+                vec![t]
+            }
+            DlAction::Fail(Dir::RT) => {
+                let mut t = s.clone();
+                t.active = false;
+                vec![t]
+            }
+            DlAction::Crash(Station::R) => {
+                // Non-volatile storage: only the medium flag and the
+                // volatile ack buffer are lost.
+                let mut t = s.clone();
+                t.active = false;
+                t.acks.clear();
+                vec![t]
+            }
+            DlAction::ReceiveMsg(m) => match s.deliver.front() {
+                Some(front) if front == m => {
+                    let mut t = s.clone();
+                    t.deliver.pop_front();
+                    vec![t]
+                }
+                _ => vec![],
+            },
+            DlAction::SendPkt(Dir::RT, p) => match s.acks.front() {
+                Some(&seq) if s.active && p.content() == Packet::ack(seq) => {
+                    let mut t = s.clone();
+                    t.acks.pop_front();
+                    vec![t]
+                }
+                _ => vec![],
+            },
+            _ => vec![],
+        }
+    }
+
+    fn enabled_local(&self, s: &NvRxState) -> Vec<DlAction> {
+        let mut out = Vec::new();
+        if let Some(&seq) = s.acks.front() {
+            if s.active {
+                out.push(DlAction::SendPkt(Dir::RT, Packet::ack(seq)));
+            }
+        }
+        if let Some(m) = s.deliver.front() {
+            out.push(DlAction::ReceiveMsg(*m));
+        }
+        out
+    }
+
+    fn task_of(&self, a: &DlAction) -> TaskId {
+        match a {
+            DlAction::ReceiveMsg(_) => TaskId(1),
+            _ => TaskId(0),
+        }
+    }
+
+    fn task_count(&self) -> usize {
+        2
+    }
+}
+
+impl StationAutomaton for NvReceiver {
+    fn station(&self) -> Station {
+        Station::R
+    }
+}
+
+impl MessageIndependent for NvReceiver {
+    fn relabel_state(&self, s: &NvRxState, r: &MsgRenaming) -> NvRxState {
+        NvRxState {
+            active: s.active,
+            epoch: s.epoch,
+            expected: s.expected,
+            deliver: s.deliver.iter().map(|m| r.apply(*m)).collect(),
+            acks: s.acks.clone(),
+        }
+    }
+}
+
+/// The non-volatile epoch protocol, packaged with its declared metadata.
+#[must_use]
+pub fn protocol() -> DataLinkProtocol<NvTransmitter, NvReceiver> {
+    DataLinkProtocol::new(
+        NvTransmitter,
+        NvReceiver,
+        ProtocolInfo {
+            name: "nonvolatile-epoch",
+            crashing: false, // the whole point
+            header_bound: None,
+            k_bound: Some(1),
+            msg_class_modulus: None,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl_core::protocol::{action_sample, check_crashing, check_station_signature};
+
+    #[test]
+    fn packing_round_trips() {
+        for (e, s) in [(0, 0), (1, 0), (0, 1), (3, 99), (1 << 20, 1 << 20)] {
+            assert_eq!(unpack(pack(e, s)), (e, s));
+        }
+    }
+
+    #[test]
+    fn signatures_conform() {
+        assert!(check_station_signature(&NvTransmitter, &action_sample()).is_ok());
+        assert!(check_station_signature(&NvReceiver, &action_sample()).is_ok());
+    }
+
+    #[test]
+    fn protocol_is_not_crashing() {
+        // The §5.3.2 audit fails: crash does not restore the start state.
+        let t = NvTransmitter;
+        let mut s = t.start_states().remove(0);
+        s = t.step_first(&s, &DlAction::Crash(Station::T)).unwrap();
+        assert_eq!(s.epoch, 1);
+        assert!(check_crashing(&t, &[s]).is_err());
+        // Receiver likewise preserves its bookkeeping.
+        let r = NvReceiver;
+        let mut rs = r.start_states().remove(0);
+        rs = r
+            .step_first(&rs, &DlAction::ReceivePkt(Dir::TR, Packet::data(pack(0, 0), Msg(1))))
+            .unwrap();
+        assert!(check_crashing(&r, &[rs]).is_err());
+    }
+
+    #[test]
+    fn crash_advances_epoch_and_clears_queue() {
+        let t = NvTransmitter;
+        let mut s = t.start_states().remove(0);
+        s = t.step_first(&s, &DlAction::Wake(Dir::TR)).unwrap();
+        s = t.step_first(&s, &DlAction::SendMsg(Msg(1))).unwrap();
+        s = t.step_first(&s, &DlAction::Crash(Station::T)).unwrap();
+        assert_eq!(s.epoch, 1);
+        assert!(s.queue.is_empty());
+        assert!(!s.active);
+        assert_eq!(s.seq, 0);
+        // Two crashes, two epochs.
+        let s = t.step_first(&s, &DlAction::Crash(Station::T)).unwrap();
+        assert_eq!(s.epoch, 2);
+    }
+
+    #[test]
+    fn receiver_adopts_newer_epoch_and_ignores_older() {
+        let r = NvReceiver;
+        let mut s = r.start_states().remove(0);
+        s = r.step_first(&s, &DlAction::Wake(Dir::RT)).unwrap();
+        // Epoch 0: accept seq 0.
+        s = r
+            .step_first(&s, &DlAction::ReceivePkt(Dir::TR, Packet::data(pack(0, 0), Msg(1))))
+            .unwrap();
+        assert_eq!(s.expected, 1);
+        // Epoch 1 arrives (transmitter crashed): reset expectation.
+        s = r
+            .step_first(&s, &DlAction::ReceivePkt(Dir::TR, Packet::data(pack(1, 0), Msg(2))))
+            .unwrap();
+        assert_eq!(s.epoch, 1);
+        assert_eq!(s.expected, 1);
+        assert_eq!(s.deliver.len(), 2);
+        // A stale epoch-0 packet reordered in later: ignored entirely.
+        let s2 = r
+            .step_first(&s, &DlAction::ReceivePkt(Dir::TR, Packet::data(pack(0, 0), Msg(1))))
+            .unwrap();
+        assert_eq!(s2.deliver.len(), 2);
+        assert_eq!(s2.acks.len(), s.acks.len());
+    }
+
+    #[test]
+    fn receiver_crash_preserves_delivery_bookkeeping() {
+        let r = NvReceiver;
+        let mut s = r.start_states().remove(0);
+        s = r.step_first(&s, &DlAction::Wake(Dir::RT)).unwrap();
+        s = r
+            .step_first(&s, &DlAction::ReceivePkt(Dir::TR, Packet::data(pack(0, 0), Msg(1))))
+            .unwrap();
+        let before = s.clone();
+        s = r.step_first(&s, &DlAction::Crash(Station::R)).unwrap();
+        assert_eq!(s.expected, before.expected);
+        assert_eq!(s.deliver, before.deliver);
+        assert!(s.acks.is_empty());
+        assert!(!s.active);
+        // Re-delivery of the same packet after the crash is re-acked, not
+        // re-accepted.
+        s = r.step_first(&s, &DlAction::Wake(Dir::RT)).unwrap();
+        let s2 = r
+            .step_first(&s, &DlAction::ReceivePkt(Dir::TR, Packet::data(pack(0, 0), Msg(1))))
+            .unwrap();
+        assert_eq!(s2.deliver.len(), 1);
+        assert_eq!(s2.acks.front(), Some(&pack(0, 0)));
+    }
+
+    #[test]
+    fn stale_epoch_ack_ignored_by_transmitter() {
+        let t = NvTransmitter;
+        let mut s = t.start_states().remove(0);
+        s = t.step_first(&s, &DlAction::Crash(Station::T)).unwrap(); // epoch 1
+        s = t.step_first(&s, &DlAction::Wake(Dir::TR)).unwrap();
+        s = t.step_first(&s, &DlAction::SendMsg(Msg(5))).unwrap();
+        // An ack from epoch 0 must not advance the epoch-1 transmitter.
+        let s2 = t
+            .step_first(&s, &DlAction::ReceivePkt(Dir::RT, Packet::ack(pack(0, 0))))
+            .unwrap();
+        assert_eq!(s2, s);
+        // The matching epoch-1 ack does.
+        let s3 = t
+            .step_first(&s, &DlAction::ReceivePkt(Dir::RT, Packet::ack(pack(1, 0))))
+            .unwrap();
+        assert!(s3.queue.is_empty());
+        assert_eq!(s3.seq, 1);
+    }
+
+    #[test]
+    fn headers_carry_epoch() {
+        let t = NvTransmitter;
+        let mut s = t.start_states().remove(0);
+        s = t.step_first(&s, &DlAction::Crash(Station::T)).unwrap();
+        s = t.step_first(&s, &DlAction::Wake(Dir::TR)).unwrap();
+        s = t.step_first(&s, &DlAction::SendMsg(Msg(5))).unwrap();
+        let DlAction::SendPkt(_, p) = t.enabled_local(&s)[0] else {
+            panic!("expected a send")
+        };
+        assert_eq!(unpack(p.header.seq), (1, 0));
+    }
+
+    #[test]
+    fn metadata() {
+        let p = protocol();
+        assert!(!p.info.crashing);
+        assert_eq!(p.info.header_bound, None);
+        assert_eq!(p.info.name, "nonvolatile-epoch");
+    }
+
+    #[test]
+    fn relabeling() {
+        let mut ren = MsgRenaming::identity();
+        ren.insert(Msg(5), Msg(50)).unwrap();
+        let t = NvTransmitter;
+        let mut s = t.start_states().remove(0);
+        s = t.step_first(&s, &DlAction::SendMsg(Msg(5))).unwrap();
+        let rs = t.relabel_state(&s, &ren);
+        assert_eq!(rs.queue.front(), Some(&Msg(50)));
+        assert_eq!(rs.epoch, s.epoch);
+    }
+}

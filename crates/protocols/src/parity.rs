@@ -1,0 +1,440 @@
+//! A message-**class**-dependent protocol: the paper's §9 extension,
+//! concretely.
+//!
+//! §9's first discussion point: real data link layers *do* look at simple
+//! message content — most commonly the length, which determines how many
+//! packets a message needs. Such protocols are not message-independent in
+//! the strict §5.3.1 sense, but they treat messages within the same class
+//! uniformly, and the paper expects the proofs to extend whenever "some
+//! class contains enough different messages".
+//!
+//! `Parity` realizes the smallest such protocol: messages stand in for
+//! short/long frames by their parity —
+//!
+//! * **even** messages travel as a single packet `WHOLE#b` (like ABP);
+//! * **odd** messages travel as two fragments `PART⟨0⟩#b`, `PART⟨1⟩#b`
+//!   (like the fragmenting protocol);
+//!
+//! with a shared alternating bit `b` and acks `ACK#b`. Both classes are
+//! infinite, so the extended crash engine — drawing fresh messages from
+//! the *same class* as the reference message
+//! (`CrashConfig::msg_class_modulus`, `Driver::fresh_msg_in_class`) —
+//! refutes it exactly as Theorem 7.5 predicts. With class-blind fresh
+//! messages of the wrong parity, the replay diverges, demonstrating why
+//! the §9 refinement of the equivalence relation is needed.
+
+use std::collections::VecDeque;
+
+use ioa::action::ActionClass;
+use ioa::automaton::{Automaton, TaskId};
+
+use dl_core::action::{Dir, DlAction, Msg, Packet, Station, Tag};
+use dl_core::equivalence::MsgRenaming;
+use dl_core::protocol::{
+    receiver_classify, transmitter_classify, DataLinkProtocol, MessageIndependent, ProtocolInfo,
+    StationAutomaton,
+};
+
+/// Header sequence for the single packet of an even message with bit `b`.
+#[must_use]
+pub fn whole_seq(bit: bool) -> u64 {
+    4 + u64::from(bit)
+}
+
+/// Header sequence for fragment `part` of an odd message with bit `b`.
+#[must_use]
+pub fn part_seq(bit: bool, part: u8) -> u64 {
+    u64::from(bit) * 2 + u64::from(part)
+}
+
+/// `true` if the message travels as a single packet (even class).
+#[must_use]
+pub fn is_whole_class(m: Msg) -> bool {
+    m.0.is_multiple_of(2)
+}
+
+/// State of the parity transmitter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ParityTxState {
+    /// `true` while the `t → r` medium is active.
+    pub active: bool,
+    /// Alternating bit of the current front message.
+    pub bit: bool,
+    /// Pending messages.
+    pub queue: VecDeque<Msg>,
+}
+
+/// The parity transmitting automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParityTransmitter;
+
+impl ParityTransmitter {
+    fn packets(s: &ParityTxState) -> Vec<Packet> {
+        match s.queue.front() {
+            None => vec![],
+            Some(m) if is_whole_class(*m) => vec![Packet::data(whole_seq(s.bit), *m)],
+            Some(m) => vec![
+                Packet::data(part_seq(s.bit, 0), *m),
+                Packet::data(part_seq(s.bit, 1), *m),
+            ],
+        }
+    }
+}
+
+impl Automaton for ParityTransmitter {
+    type Action = DlAction;
+    type State = ParityTxState;
+
+    fn start_states(&self) -> Vec<ParityTxState> {
+        vec![ParityTxState::default()]
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        transmitter_classify(a)
+    }
+
+    fn successors(&self, s: &ParityTxState, a: &DlAction) -> Vec<ParityTxState> {
+        match a {
+            DlAction::SendMsg(m) => {
+                let mut t = s.clone();
+                t.queue.push_back(*m);
+                vec![t]
+            }
+            DlAction::ReceivePkt(Dir::RT, p) => {
+                let mut t = s.clone();
+                if p.header.tag == Tag::Ack
+                    && p.header.seq == u64::from(s.bit)
+                    && !t.queue.is_empty()
+                {
+                    t.queue.pop_front();
+                    t.bit = !t.bit;
+                }
+                vec![t]
+            }
+            DlAction::Wake(Dir::TR) => {
+                let mut t = s.clone();
+                t.active = true;
+                vec![t]
+            }
+            DlAction::Fail(Dir::TR) => {
+                let mut t = s.clone();
+                t.active = false;
+                vec![t]
+            }
+            DlAction::Crash(Station::T) => vec![ParityTxState::default()],
+            DlAction::SendPkt(Dir::TR, p) => {
+                if s.active && Self::packets(s).iter().any(|q| p.content() == *q) {
+                    vec![s.clone()]
+                } else {
+                    vec![]
+                }
+            }
+            _ => vec![],
+        }
+    }
+
+    fn enabled_local(&self, s: &ParityTxState) -> Vec<DlAction> {
+        if !s.active {
+            return vec![];
+        }
+        Self::packets(s)
+            .into_iter()
+            .map(|p| DlAction::SendPkt(Dir::TR, p))
+            .collect()
+    }
+
+    fn task_of(&self, _a: &DlAction) -> TaskId {
+        TaskId(0)
+    }
+
+    fn task_count(&self) -> usize {
+        1
+    }
+}
+
+impl StationAutomaton for ParityTransmitter {
+    fn station(&self) -> Station {
+        Station::T
+    }
+}
+
+impl MessageIndependent for ParityTransmitter {
+    /// Sound only for **class-preserving** renamings (the §9 refinement):
+    /// an even↦odd renaming changes which packets the state enables.
+    fn relabel_state(&self, s: &ParityTxState, r: &MsgRenaming) -> ParityTxState {
+        ParityTxState {
+            active: s.active,
+            bit: s.bit,
+            queue: s.queue.iter().map(|m| r.apply(*m)).collect(),
+        }
+    }
+}
+
+/// State of the parity receiver.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ParityRxState {
+    /// `true` while the `r → t` medium is active.
+    pub active: bool,
+    /// The bit the next fresh message carries.
+    pub expected: bool,
+    /// Which fragment parts of the expected (odd-class) message arrived.
+    pub got: [bool; 2],
+    /// Payload recorded at the first fragment.
+    pub pending: Option<Msg>,
+    /// Reassembled messages awaiting the environment.
+    pub deliver: VecDeque<Msg>,
+    /// Acknowledgement bits owed.
+    pub acks: VecDeque<bool>,
+}
+
+/// The parity receiving automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParityReceiver;
+
+impl ParityReceiver {
+    fn push_ack(t: &mut ParityRxState, bit: bool) {
+        if t.acks.len() < crate::abp::MAX_PENDING_ACKS {
+            t.acks.push_back(bit);
+        }
+    }
+
+    fn complete(t: &mut ParityRxState, m: Msg, bit: bool) {
+        t.deliver.push_back(m);
+        t.expected = !t.expected;
+        t.got = [false, false];
+        t.pending = None;
+        Self::push_ack(t, bit);
+    }
+}
+
+impl Automaton for ParityReceiver {
+    type Action = DlAction;
+    type State = ParityRxState;
+
+    fn start_states(&self) -> Vec<ParityRxState> {
+        vec![ParityRxState::default()]
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        receiver_classify(a)
+    }
+
+    fn successors(&self, s: &ParityRxState, a: &DlAction) -> Vec<ParityRxState> {
+        match a {
+            DlAction::ReceivePkt(Dir::TR, p) => {
+                let mut t = s.clone();
+                if p.header.tag == Tag::Data {
+                    if let Some(m) = p.payload {
+                        let seq = p.header.seq;
+                        if (4..=5).contains(&seq) {
+                            // Whole packet of bit (seq - 4).
+                            let bit = seq == 5;
+                            if bit == s.expected {
+                                Self::complete(&mut t, m, bit);
+                            } else {
+                                Self::push_ack(&mut t, bit);
+                            }
+                        } else if seq < 4 {
+                            // Fragment (bit, part).
+                            let bit = seq >= 2;
+                            let part = (seq % 2) as usize;
+                            if bit == s.expected {
+                                t.got[part] = true;
+                                t.pending.get_or_insert(m);
+                                if t.got == [true, true] {
+                                    let msg = t.pending.take().expect("recorded");
+                                    Self::complete(&mut t, msg, bit);
+                                }
+                            } else {
+                                Self::push_ack(&mut t, bit);
+                            }
+                        }
+                    }
+                }
+                vec![t]
+            }
+            DlAction::Wake(Dir::RT) => {
+                let mut t = s.clone();
+                t.active = true;
+                vec![t]
+            }
+            DlAction::Fail(Dir::RT) => {
+                let mut t = s.clone();
+                t.active = false;
+                vec![t]
+            }
+            DlAction::Crash(Station::R) => vec![ParityRxState::default()],
+            DlAction::ReceiveMsg(m) => match s.deliver.front() {
+                Some(front) if front == m => {
+                    let mut t = s.clone();
+                    t.deliver.pop_front();
+                    vec![t]
+                }
+                _ => vec![],
+            },
+            DlAction::SendPkt(Dir::RT, p) => match s.acks.front() {
+                Some(&b) if s.active && p.content() == Packet::ack(u64::from(b)) => {
+                    let mut t = s.clone();
+                    t.acks.pop_front();
+                    vec![t]
+                }
+                _ => vec![],
+            },
+            _ => vec![],
+        }
+    }
+
+    fn enabled_local(&self, s: &ParityRxState) -> Vec<DlAction> {
+        let mut out = Vec::new();
+        if let Some(&b) = s.acks.front() {
+            if s.active {
+                out.push(DlAction::SendPkt(Dir::RT, Packet::ack(u64::from(b))));
+            }
+        }
+        if let Some(m) = s.deliver.front() {
+            out.push(DlAction::ReceiveMsg(*m));
+        }
+        out
+    }
+
+    fn task_of(&self, a: &DlAction) -> TaskId {
+        match a {
+            DlAction::ReceiveMsg(_) => TaskId(1),
+            _ => TaskId(0),
+        }
+    }
+
+    fn task_count(&self) -> usize {
+        2
+    }
+}
+
+impl StationAutomaton for ParityReceiver {
+    fn station(&self) -> Station {
+        Station::R
+    }
+}
+
+impl MessageIndependent for ParityReceiver {
+    /// Sound only for class-preserving renamings; see the transmitter.
+    fn relabel_state(&self, s: &ParityRxState, r: &MsgRenaming) -> ParityRxState {
+        ParityRxState {
+            active: s.active,
+            expected: s.expected,
+            got: s.got,
+            pending: s.pending.map(|m| r.apply(m)),
+            deliver: s.deliver.iter().map(|m| r.apply(*m)).collect(),
+            acks: s.acks.clone(),
+        }
+    }
+}
+
+/// The parity protocol: §9's class-dependent case with modulus 2.
+#[must_use]
+pub fn protocol() -> DataLinkProtocol<ParityTransmitter, ParityReceiver> {
+    DataLinkProtocol::new(
+        ParityTransmitter,
+        ParityReceiver,
+        ProtocolInfo {
+            name: "parity-class-dependent",
+            crashing: true,
+            header_bound: Some(8), // 4 fragment + 2 whole + 2 ack classes
+            k_bound: Some(2),
+            msg_class_modulus: Some(2),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl_core::protocol::{action_sample, check_crashing, check_station_signature};
+
+    #[test]
+    fn signatures_and_crashing() {
+        assert!(check_station_signature(&ParityTransmitter, &action_sample()).is_ok());
+        assert!(check_station_signature(&ParityReceiver, &action_sample()).is_ok());
+        assert!(check_crashing(&ParityTransmitter, &[ParityTxState::default()]).is_ok());
+        assert!(check_crashing(&ParityReceiver, &[ParityRxState::default()]).is_ok());
+    }
+
+    #[test]
+    fn even_messages_travel_whole() {
+        let t = ParityTransmitter;
+        let mut s = t.start_states().remove(0);
+        s = t.step_first(&s, &DlAction::Wake(Dir::TR)).unwrap();
+        s = t.step_first(&s, &DlAction::SendMsg(Msg(4))).unwrap();
+        let enabled = t.enabled_local(&s);
+        assert_eq!(enabled.len(), 1);
+        assert_eq!(
+            enabled[0],
+            DlAction::SendPkt(Dir::TR, Packet::data(whole_seq(false), Msg(4)))
+        );
+    }
+
+    #[test]
+    fn odd_messages_travel_in_two_fragments() {
+        let t = ParityTransmitter;
+        let mut s = t.start_states().remove(0);
+        s = t.step_first(&s, &DlAction::Wake(Dir::TR)).unwrap();
+        s = t.step_first(&s, &DlAction::SendMsg(Msg(7))).unwrap();
+        assert_eq!(t.enabled_local(&s).len(), 2);
+    }
+
+    #[test]
+    fn receiver_handles_both_classes() {
+        let r = ParityReceiver;
+        let mut s = r.start_states().remove(0);
+        s = r.step_first(&s, &DlAction::Wake(Dir::RT)).unwrap();
+        // Whole even message (bit 0).
+        s = r
+            .step_first(
+                &s,
+                &DlAction::ReceivePkt(Dir::TR, Packet::data(whole_seq(false), Msg(4))),
+            )
+            .unwrap();
+        assert_eq!(s.deliver.front(), Some(&Msg(4)));
+        assert!(s.expected);
+        // Odd message as two fragments (bit 1).
+        for part in [0, 1] {
+            s = r
+                .step_first(
+                    &s,
+                    &DlAction::ReceivePkt(Dir::TR, Packet::data(part_seq(true, part), Msg(7))),
+                )
+                .unwrap();
+        }
+        assert_eq!(s.deliver.back(), Some(&Msg(7)));
+        assert!(!s.expected);
+    }
+
+    #[test]
+    fn class_preserving_relabel_is_sound_class_flipping_is_not() {
+        let t = ParityTransmitter;
+        let mut s = t.start_states().remove(0);
+        s = t.step_first(&s, &DlAction::Wake(Dir::TR)).unwrap();
+        s = t.step_first(&s, &DlAction::SendMsg(Msg(2))).unwrap();
+
+        // Even ↦ even: renamed state enables the renamed action (axiom 4).
+        let mut same = MsgRenaming::identity();
+        same.insert(Msg(2), Msg(100)).unwrap();
+        let rs = t.relabel_state(&s, &same);
+        let expected = same.apply_action(&t.enabled_local(&s)[0]);
+        assert!(t.is_enabled(&rs, &expected));
+
+        // Even ↦ odd: the axiom fails — the renamed state wants fragments.
+        let mut flip = MsgRenaming::identity();
+        flip.insert(Msg(2), Msg(101)).unwrap();
+        let rs = t.relabel_state(&s, &flip);
+        let expected = flip.apply_action(&t.enabled_local(&s)[0]);
+        assert!(!t.is_enabled(&rs, &expected));
+    }
+
+    #[test]
+    fn metadata_declares_the_class_structure() {
+        let p = protocol();
+        assert_eq!(p.info.msg_class_modulus, Some(2));
+        assert_eq!(p.info.k_bound, Some(2));
+        assert_eq!(p.info.header_bound, Some(8));
+    }
+}

@@ -1,0 +1,339 @@
+//! A deliberately **message-dependent** protocol: the negative control for
+//! the §5.3.1 hypothesis.
+//!
+//! `Quirky` derives each packet's header from the *message content* (the
+//! sequence number is the message's identity), so equivalent messages are
+//! treated differently — exactly what message-independence forbids. It is
+//! perfectly functional in crash-free runs (every message gets a unique
+//! header, like a content-addressed Stenning), but its
+//! [`MessageIndependent`] implementation is a *false claim*: the axioms do
+//! not hold.
+//!
+//! Its purpose is to demonstrate that the impossibility engines *check*
+//! their hypotheses rather than assuming them: the crash engine's replay
+//! detects the divergence (the renamed reference action is not enabled)
+//! and reports `ReplayDiverged` instead of producing a bogus
+//! counterexample.
+
+use std::collections::VecDeque;
+
+use ioa::action::ActionClass;
+use ioa::automaton::{Automaton, TaskId};
+
+use dl_core::action::{Dir, DlAction, Msg, Packet, Station, Tag};
+use dl_core::equivalence::MsgRenaming;
+use dl_core::protocol::{
+    receiver_classify, transmitter_classify, DataLinkProtocol, MessageIndependent, ProtocolInfo,
+    StationAutomaton,
+};
+
+/// State of the quirky transmitter (an ABP-shaped stop-and-wait machine).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct QuirkyTxState {
+    /// `true` while the `t → r` medium is active.
+    pub active: bool,
+    /// Pending messages; the front is currently transmitted.
+    pub queue: VecDeque<Msg>,
+}
+
+/// The message-dependent transmitter: header `DATA#(m)` for message `m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuirkyTransmitter;
+
+impl QuirkyTransmitter {
+    fn current_packet(s: &QuirkyTxState) -> Option<Packet> {
+        // The header is derived from the message identity — the
+        // message-dependence under test.
+        s.queue.front().map(|m| Packet::data(m.0, *m))
+    }
+}
+
+impl Automaton for QuirkyTransmitter {
+    type Action = DlAction;
+    type State = QuirkyTxState;
+
+    fn start_states(&self) -> Vec<QuirkyTxState> {
+        vec![QuirkyTxState::default()]
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        transmitter_classify(a)
+    }
+
+    fn successors(&self, s: &QuirkyTxState, a: &DlAction) -> Vec<QuirkyTxState> {
+        match a {
+            DlAction::SendMsg(m) => {
+                let mut t = s.clone();
+                t.queue.push_back(*m);
+                vec![t]
+            }
+            DlAction::ReceivePkt(Dir::RT, p) => {
+                let mut t = s.clone();
+                if p.header.tag == Tag::Ack
+                    && s.queue.front().is_some_and(|m| m.0 == p.header.seq)
+                {
+                    t.queue.pop_front();
+                }
+                vec![t]
+            }
+            DlAction::Wake(Dir::TR) => {
+                let mut t = s.clone();
+                t.active = true;
+                vec![t]
+            }
+            DlAction::Fail(Dir::TR) => {
+                let mut t = s.clone();
+                t.active = false;
+                vec![t]
+            }
+            DlAction::Crash(Station::T) => vec![QuirkyTxState::default()],
+            DlAction::SendPkt(Dir::TR, p) => match Self::current_packet(s) {
+                Some(q) if s.active && p.content() == q => vec![s.clone()],
+                _ => vec![],
+            },
+            _ => vec![],
+        }
+    }
+
+    fn enabled_local(&self, s: &QuirkyTxState) -> Vec<DlAction> {
+        if !s.active {
+            return vec![];
+        }
+        Self::current_packet(s)
+            .map(|p| DlAction::SendPkt(Dir::TR, p))
+            .into_iter()
+            .collect()
+    }
+
+    fn task_of(&self, _a: &DlAction) -> TaskId {
+        TaskId(0)
+    }
+
+    fn task_count(&self) -> usize {
+        1
+    }
+}
+
+impl StationAutomaton for QuirkyTransmitter {
+    fn station(&self) -> Station {
+        Station::T
+    }
+}
+
+impl MessageIndependent for QuirkyTransmitter {
+    /// **Intentionally unsound**: relabeling the state does not make the
+    /// automaton treat the renamed messages equivalently, because headers
+    /// are derived from message identity. The engines detect this.
+    fn relabel_state(&self, s: &QuirkyTxState, r: &MsgRenaming) -> QuirkyTxState {
+        QuirkyTxState {
+            active: s.active,
+            queue: s.queue.iter().map(|m| r.apply(*m)).collect(),
+        }
+    }
+}
+
+/// State of the quirky receiver.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct QuirkyRxState {
+    /// `true` while the `r → t` medium is active.
+    pub active: bool,
+    /// Identities already delivered (so duplicates are suppressed).
+    pub seen: std::collections::BTreeSet<u64>,
+    /// Messages to hand to the environment.
+    pub deliver: VecDeque<Msg>,
+    /// Acks owed (the message-derived sequence values).
+    pub acks: VecDeque<u64>,
+}
+
+/// The message-dependent receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuirkyReceiver;
+
+impl Automaton for QuirkyReceiver {
+    type Action = DlAction;
+    type State = QuirkyRxState;
+
+    fn start_states(&self) -> Vec<QuirkyRxState> {
+        vec![QuirkyRxState::default()]
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        receiver_classify(a)
+    }
+
+    fn successors(&self, s: &QuirkyRxState, a: &DlAction) -> Vec<QuirkyRxState> {
+        match a {
+            DlAction::ReceivePkt(Dir::TR, p) => {
+                let mut t = s.clone();
+                if p.header.tag == Tag::Data {
+                    if let Some(m) = p.payload {
+                        if !t.seen.contains(&p.header.seq) {
+                            t.seen.insert(p.header.seq);
+                            t.deliver.push_back(m);
+                        }
+                        if t.acks.len() < crate::abp::MAX_PENDING_ACKS {
+                            t.acks.push_back(p.header.seq);
+                        }
+                    }
+                }
+                vec![t]
+            }
+            DlAction::Wake(Dir::RT) => {
+                let mut t = s.clone();
+                t.active = true;
+                vec![t]
+            }
+            DlAction::Fail(Dir::RT) => {
+                let mut t = s.clone();
+                t.active = false;
+                vec![t]
+            }
+            DlAction::Crash(Station::R) => vec![QuirkyRxState::default()],
+            DlAction::ReceiveMsg(m) => match s.deliver.front() {
+                Some(front) if front == m => {
+                    let mut t = s.clone();
+                    t.deliver.pop_front();
+                    vec![t]
+                }
+                _ => vec![],
+            },
+            DlAction::SendPkt(Dir::RT, p) => match s.acks.front() {
+                Some(&seq) if s.active && p.content() == Packet::ack(seq) => {
+                    let mut t = s.clone();
+                    t.acks.pop_front();
+                    vec![t]
+                }
+                _ => vec![],
+            },
+            _ => vec![],
+        }
+    }
+
+    fn enabled_local(&self, s: &QuirkyRxState) -> Vec<DlAction> {
+        let mut out = Vec::new();
+        if let Some(&seq) = s.acks.front() {
+            if s.active {
+                out.push(DlAction::SendPkt(Dir::RT, Packet::ack(seq)));
+            }
+        }
+        if let Some(m) = s.deliver.front() {
+            out.push(DlAction::ReceiveMsg(*m));
+        }
+        out
+    }
+
+    fn task_of(&self, a: &DlAction) -> TaskId {
+        match a {
+            DlAction::ReceiveMsg(_) => TaskId(1),
+            _ => TaskId(0),
+        }
+    }
+
+    fn task_count(&self) -> usize {
+        2
+    }
+}
+
+impl StationAutomaton for QuirkyReceiver {
+    fn station(&self) -> Station {
+        Station::R
+    }
+}
+
+impl MessageIndependent for QuirkyReceiver {
+    /// Intentionally unsound — see [`QuirkyTransmitter`]'s impl.
+    fn relabel_state(&self, s: &QuirkyRxState, r: &MsgRenaming) -> QuirkyRxState {
+        QuirkyRxState {
+            active: s.active,
+            seen: s.seen.clone(),
+            deliver: s.deliver.iter().map(|m| r.apply(*m)).collect(),
+            acks: s.acks.clone(),
+        }
+    }
+}
+
+/// The quirky protocol (declares what it *claims*, which the engines then
+/// refute at replay time).
+#[must_use]
+pub fn protocol() -> DataLinkProtocol<QuirkyTransmitter, QuirkyReceiver> {
+    DataLinkProtocol::new(
+        QuirkyTransmitter,
+        QuirkyReceiver,
+        ProtocolInfo {
+            name: "quirky-message-dependent",
+            crashing: true,
+            header_bound: None, // headers track message identity
+            k_bound: Some(1),
+            msg_class_modulus: None,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl_core::protocol::{action_sample, check_crashing, check_station_signature};
+
+    #[test]
+    fn signatures_conform_and_it_is_crashing() {
+        assert!(check_station_signature(&QuirkyTransmitter, &action_sample()).is_ok());
+        assert!(check_station_signature(&QuirkyReceiver, &action_sample()).is_ok());
+        assert!(check_crashing(&QuirkyTransmitter, &[QuirkyTxState::default()]).is_ok());
+        assert!(check_crashing(&QuirkyReceiver, &[QuirkyRxState::default()]).is_ok());
+    }
+
+    #[test]
+    fn headers_depend_on_message_content() {
+        let t = QuirkyTransmitter;
+        let mut s = t.start_states().remove(0);
+        s = t.step_first(&s, &DlAction::Wake(Dir::TR)).unwrap();
+        s = t.step_first(&s, &DlAction::SendMsg(Msg(42))).unwrap();
+        let DlAction::SendPkt(_, p) = t.enabled_local(&s)[0] else {
+            panic!("expected a send")
+        };
+        assert_eq!(p.header.seq, 42);
+    }
+
+    #[test]
+    fn message_independence_axiom_5_fails() {
+        // The direct refutation: ρ(step(s, a)) enabled-action sets differ.
+        let t = QuirkyTransmitter;
+        let mut s = t.start_states().remove(0);
+        s = t.step_first(&s, &DlAction::Wake(Dir::TR)).unwrap();
+        s = t.step_first(&s, &DlAction::SendMsg(Msg(1))).unwrap();
+        let mut rho = MsgRenaming::identity();
+        rho.insert(Msg(1), Msg(99)).unwrap();
+        let rs = t.relabel_state(&s, &rho);
+        // In s, the enabled send has header #1; in ρ(s), header #99 —
+        // ρ(send#1) = send#1 (headers are not renamed) is NOT enabled.
+        let expected = rho.apply_action(&t.enabled_local(&s)[0]);
+        assert!(!t.is_enabled(&rs, &expected));
+    }
+
+    #[test]
+    fn crash_free_delivery_works() {
+        // The protocol is functional — the problem is only its claim.
+        let t = QuirkyTransmitter;
+        let r = QuirkyReceiver;
+        let mut ts = t.start_states().remove(0);
+        let mut rs = r.start_states().remove(0);
+        ts = t.step_first(&ts, &DlAction::Wake(Dir::TR)).unwrap();
+        rs = r.step_first(&rs, &DlAction::Wake(Dir::RT)).unwrap();
+        ts = t.step_first(&ts, &DlAction::SendMsg(Msg(7))).unwrap();
+        let pkt = Packet::data(7, Msg(7));
+        ts = t.step_first(&ts, &DlAction::SendPkt(Dir::TR, pkt)).unwrap();
+        rs = r
+            .step_first(&rs, &DlAction::ReceivePkt(Dir::TR, pkt))
+            .unwrap();
+        assert_eq!(rs.deliver.front(), Some(&Msg(7)));
+        rs = r.step_first(&rs, &DlAction::ReceiveMsg(Msg(7))).unwrap();
+        rs = r
+            .step_first(&rs, &DlAction::SendPkt(Dir::RT, Packet::ack(7)))
+            .unwrap();
+        ts = t
+            .step_first(&ts, &DlAction::ReceivePkt(Dir::RT, Packet::ack(7)))
+            .unwrap();
+        assert!(ts.queue.is_empty());
+        assert!(rs.deliver.is_empty());
+    }
+}

@@ -1,0 +1,402 @@
+//! Stenning's protocol: ARQ with unbounded, globally unique sequence
+//! numbers.
+//!
+//! Each message gets a fresh absolute sequence number that is never reused;
+//! the transmitter retransmits the current message until its exact number
+//! is acknowledged. Because headers are never recycled, arbitrary
+//! reordering cannot disguise a stale packet as a fresh one — the protocol
+//! is correct over **non-FIFO** physical channels (crash-free), which is
+//! exactly the paper's point (§1): Theorem 8.5 says the unbounded header
+//! space is *essential*, and the §9 discussion notes Stenning's header
+//! usage grows linearly in the number of messages (reproduced as
+//! experiment E7).
+
+use std::collections::VecDeque;
+
+use ioa::action::ActionClass;
+use ioa::automaton::{Automaton, TaskId};
+
+use dl_core::action::{Dir, DlAction, Msg, Packet, Station, Tag};
+use dl_core::equivalence::MsgRenaming;
+use dl_core::protocol::{
+    receiver_classify, transmitter_classify, DataLinkProtocol, MessageIndependent, ProtocolInfo,
+    StationAutomaton,
+};
+
+/// State of the Stenning transmitter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct StenningTxState {
+    /// `true` while the `t → r` medium is active.
+    pub active: bool,
+    /// Absolute sequence number of the front message.
+    pub seq: u64,
+    /// Pending messages; the front is the one currently transmitted.
+    pub queue: VecDeque<Msg>,
+}
+
+/// The Stenning transmitting automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StenningTransmitter;
+
+impl Automaton for StenningTransmitter {
+    type Action = DlAction;
+    type State = StenningTxState;
+
+    fn start_states(&self) -> Vec<StenningTxState> {
+        vec![StenningTxState::default()]
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        transmitter_classify(a)
+    }
+
+    fn successors(&self, s: &StenningTxState, a: &DlAction) -> Vec<StenningTxState> {
+        match a {
+            DlAction::SendMsg(m) => {
+                let mut t = s.clone();
+                t.queue.push_back(*m);
+                vec![t]
+            }
+            DlAction::ReceivePkt(Dir::RT, p) => {
+                let mut t = s.clone();
+                if p.header.tag == Tag::Ack && p.header.seq == s.seq && !t.queue.is_empty() {
+                    t.queue.pop_front();
+                    t.seq += 1;
+                }
+                vec![t]
+            }
+            DlAction::Wake(Dir::TR) => {
+                let mut t = s.clone();
+                t.active = true;
+                vec![t]
+            }
+            DlAction::Fail(Dir::TR) => {
+                let mut t = s.clone();
+                t.active = false;
+                vec![t]
+            }
+            DlAction::Crash(Station::T) => vec![StenningTxState::default()],
+            DlAction::SendPkt(Dir::TR, p) => match s.queue.front() {
+                Some(m) if s.active && p.content() == Packet::data(s.seq, *m) => {
+                    vec![s.clone()]
+                }
+                _ => vec![],
+            },
+            _ => vec![],
+        }
+    }
+
+    fn enabled_local(&self, s: &StenningTxState) -> Vec<DlAction> {
+        if !s.active {
+            return vec![];
+        }
+        s.queue
+            .front()
+            .map(|m| DlAction::SendPkt(Dir::TR, Packet::data(s.seq, *m)))
+            .into_iter()
+            .collect()
+    }
+
+    fn task_of(&self, _a: &DlAction) -> TaskId {
+        TaskId(0)
+    }
+
+    fn task_count(&self) -> usize {
+        1
+    }
+}
+
+impl StationAutomaton for StenningTransmitter {
+    fn station(&self) -> Station {
+        Station::T
+    }
+}
+
+impl MessageIndependent for StenningTransmitter {
+    fn relabel_state(&self, s: &StenningTxState, r: &MsgRenaming) -> StenningTxState {
+        StenningTxState {
+            active: s.active,
+            seq: s.seq,
+            queue: s.queue.iter().map(|m| r.apply(*m)).collect(),
+        }
+    }
+}
+
+/// State of the Stenning receiver.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct StenningRxState {
+    /// `true` while the `r → t` medium is active.
+    pub active: bool,
+    /// The next absolute sequence number to accept.
+    pub expected: u64,
+    /// Accepted messages not yet handed to the environment.
+    pub deliver: VecDeque<Msg>,
+    /// Ack sequence numbers owed to the transmitter.
+    pub acks: VecDeque<u64>,
+}
+
+/// The Stenning receiving automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StenningReceiver;
+
+impl Automaton for StenningReceiver {
+    type Action = DlAction;
+    type State = StenningRxState;
+
+    fn start_states(&self) -> Vec<StenningRxState> {
+        vec![StenningRxState::default()]
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        receiver_classify(a)
+    }
+
+    fn successors(&self, s: &StenningRxState, a: &DlAction) -> Vec<StenningRxState> {
+        match a {
+            DlAction::ReceivePkt(Dir::TR, p) => {
+                let mut t = s.clone();
+                if p.header.tag == Tag::Data {
+                    if let Some(m) = p.payload {
+                        if p.header.seq == s.expected {
+                            t.deliver.push_back(m);
+                            t.expected += 1;
+                            if t.acks.len() < crate::abp::MAX_PENDING_ACKS {
+                                t.acks.push_back(p.header.seq);
+                            }
+                        } else if p.header.seq < s.expected {
+                            // Stale duplicate: re-acknowledge, never
+                            // re-deliver. (A reordered old packet cannot
+                            // collide with a fresh number.)
+                            if t.acks.len() < crate::abp::MAX_PENDING_ACKS {
+                                t.acks.push_back(p.header.seq);
+                            }
+                        }
+                        // seq > expected cannot happen with a one-at-a-time
+                        // transmitter; ignore defensively.
+                    }
+                }
+                vec![t]
+            }
+            DlAction::Wake(Dir::RT) => {
+                let mut t = s.clone();
+                t.active = true;
+                vec![t]
+            }
+            DlAction::Fail(Dir::RT) => {
+                let mut t = s.clone();
+                t.active = false;
+                vec![t]
+            }
+            DlAction::Crash(Station::R) => vec![StenningRxState::default()],
+            DlAction::ReceiveMsg(m) => match s.deliver.front() {
+                Some(front) if front == m => {
+                    let mut t = s.clone();
+                    t.deliver.pop_front();
+                    vec![t]
+                }
+                _ => vec![],
+            },
+            DlAction::SendPkt(Dir::RT, p) => match s.acks.front() {
+                Some(&seq) if s.active && p.content() == Packet::ack(seq) => {
+                    let mut t = s.clone();
+                    t.acks.pop_front();
+                    vec![t]
+                }
+                _ => vec![],
+            },
+            _ => vec![],
+        }
+    }
+
+    fn enabled_local(&self, s: &StenningRxState) -> Vec<DlAction> {
+        let mut out = Vec::new();
+        if let Some(&seq) = s.acks.front() {
+            if s.active {
+                out.push(DlAction::SendPkt(Dir::RT, Packet::ack(seq)));
+            }
+        }
+        if let Some(m) = s.deliver.front() {
+            out.push(DlAction::ReceiveMsg(*m));
+        }
+        out
+    }
+
+    fn task_of(&self, a: &DlAction) -> TaskId {
+        match a {
+            DlAction::ReceiveMsg(_) => TaskId(1),
+            _ => TaskId(0),
+        }
+    }
+
+    fn task_count(&self) -> usize {
+        2
+    }
+}
+
+impl StationAutomaton for StenningReceiver {
+    fn station(&self) -> Station {
+        Station::R
+    }
+}
+
+impl MessageIndependent for StenningReceiver {
+    fn relabel_state(&self, s: &StenningRxState, r: &MsgRenaming) -> StenningRxState {
+        StenningRxState {
+            active: s.active,
+            expected: s.expected,
+            deliver: s.deliver.iter().map(|m| r.apply(*m)).collect(),
+            acks: s.acks.clone(),
+        }
+    }
+}
+
+/// Stenning's protocol, packaged with its declared metadata.
+#[must_use]
+pub fn protocol() -> DataLinkProtocol<StenningTransmitter, StenningReceiver> {
+    DataLinkProtocol::new(
+        StenningTransmitter,
+        StenningReceiver,
+        ProtocolInfo {
+            name: "stenning",
+            crashing: true,
+            header_bound: None, // the whole point: unbounded headers
+            k_bound: Some(1),
+            msg_class_modulus: None,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl_core::protocol::{action_sample, check_crashing, check_station_signature};
+
+    #[test]
+    fn signatures_conform() {
+        assert!(check_station_signature(&StenningTransmitter, &action_sample()).is_ok());
+        assert!(check_station_signature(&StenningReceiver, &action_sample()).is_ok());
+    }
+
+    #[test]
+    fn automata_are_crashing() {
+        let t = StenningTransmitter;
+        let mut s = t.start_states().remove(0);
+        s = t.step_first(&s, &DlAction::Wake(Dir::TR)).unwrap();
+        s = t.step_first(&s, &DlAction::SendMsg(Msg(1))).unwrap();
+        assert!(check_crashing(&t, &[StenningTxState::default(), s]).is_ok());
+        assert!(check_crashing(&StenningReceiver, &[StenningRxState::default()]).is_ok());
+    }
+
+    #[test]
+    fn sequence_numbers_never_recycle() {
+        let t = StenningTransmitter;
+        let mut s = t.start_states().remove(0);
+        s = t.step_first(&s, &DlAction::Wake(Dir::TR)).unwrap();
+        let mut seen = Vec::new();
+        for n in 0..5 {
+            s = t.step_first(&s, &DlAction::SendMsg(Msg(n))).unwrap();
+        }
+        for _ in 0..5 {
+            let DlAction::SendPkt(_, p) = t.enabled_local(&s)[0] else {
+                panic!("expected a send")
+            };
+            assert!(!seen.contains(&p.header.seq), "header {p} recycled");
+            seen.push(p.header.seq);
+            s = t
+                .step_first(&s, &DlAction::ReceivePkt(Dir::RT, Packet::ack(p.header.seq)))
+                .unwrap();
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn receiver_survives_reordered_stale_data() {
+        let r = StenningReceiver;
+        let mut s = r.start_states().remove(0);
+        s = r.step_first(&s, &DlAction::Wake(Dir::RT)).unwrap();
+        // Accept 0 and 1.
+        s = r
+            .step_first(&s, &DlAction::ReceivePkt(Dir::TR, Packet::data(0, Msg(10))))
+            .unwrap();
+        s = r
+            .step_first(&s, &DlAction::ReceivePkt(Dir::TR, Packet::data(1, Msg(11))))
+            .unwrap();
+        assert_eq!(s.expected, 2);
+        assert_eq!(s.deliver.len(), 2);
+        // Drain the owed acks so the bounded buffer has room again.
+        while let Some(a) = r.enabled_local(&s).into_iter().find(|a| {
+            matches!(a, DlAction::SendPkt(..))
+        }) {
+            s = r.step_first(&s, &a).unwrap();
+        }
+        // A late duplicate of 0 arrives out of order: re-acked, not
+        // re-delivered.
+        let s2 = r
+            .step_first(&s, &DlAction::ReceivePkt(Dir::TR, Packet::data(0, Msg(10))))
+            .unwrap();
+        assert_eq!(s2.deliver.len(), 2);
+        assert_eq!(s2.acks.back(), Some(&0));
+    }
+
+    #[test]
+    fn stale_ack_is_ignored() {
+        let t = StenningTransmitter;
+        let mut s = t.start_states().remove(0);
+        s = t.step_first(&s, &DlAction::Wake(Dir::TR)).unwrap();
+        s = t.step_first(&s, &DlAction::SendMsg(Msg(1))).unwrap();
+        s = t
+            .step_first(&s, &DlAction::ReceivePkt(Dir::RT, Packet::ack(0)))
+            .unwrap();
+        s = t.step_first(&s, &DlAction::SendMsg(Msg(2))).unwrap();
+        assert_eq!(s.seq, 1);
+        // A reordered duplicate of ack 0 must not advance seq 1.
+        let s2 = t
+            .step_first(&s, &DlAction::ReceivePkt(Dir::RT, Packet::ack(0)))
+            .unwrap();
+        assert_eq!(s2, s);
+    }
+
+    #[test]
+    fn headers_used_grow_linearly() {
+        // The §9 observation: n messages consume n distinct data headers.
+        let t = StenningTransmitter;
+        let mut s = t.start_states().remove(0);
+        s = t.step_first(&s, &DlAction::Wake(Dir::TR)).unwrap();
+        let n = 20;
+        for i in 0..n {
+            s = t.step_first(&s, &DlAction::SendMsg(Msg(i))).unwrap();
+            let DlAction::SendPkt(_, p) = t.enabled_local(&s)[0] else {
+                panic!("expected a send")
+            };
+            assert_eq!(p.header.seq, i);
+            s = t
+                .step_first(&s, &DlAction::ReceivePkt(Dir::RT, Packet::ack(i)))
+                .unwrap();
+        }
+        assert_eq!(s.seq, n);
+    }
+
+    #[test]
+    fn metadata_declares_unbounded_headers() {
+        let p = protocol();
+        assert_eq!(p.info.header_bound, None);
+        assert!(p.info.crashing);
+        assert_eq!(p.info.k_bound, Some(1));
+    }
+
+    #[test]
+    fn relabeling() {
+        let mut ren = MsgRenaming::identity();
+        ren.insert(Msg(1), Msg(100)).unwrap();
+        let t = StenningTransmitter;
+        let mut s = t.start_states().remove(0);
+        s = t.step_first(&s, &DlAction::SendMsg(Msg(1))).unwrap();
+        assert_eq!(t.relabel_state(&s, &ren).queue.front(), Some(&Msg(100)));
+        let r = StenningReceiver;
+        let mut s = r.start_states().remove(0);
+        s = r
+            .step_first(&s, &DlAction::ReceivePkt(Dir::TR, Packet::data(0, Msg(1))))
+            .unwrap();
+        assert_eq!(r.relabel_state(&s, &ren).deliver.front(), Some(&Msg(100)));
+    }
+}

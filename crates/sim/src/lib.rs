@@ -1,0 +1,35 @@
+//! Discrete-event simulation harness for data link implementations.
+//!
+//! A *data link implementation* (paper Figure 3, §5.2) is the composition
+//! of a transmitting automaton, a receiving automaton, and two physical
+//! channels, with the `send_pkt`/`receive_pkt` actions hidden. This crate
+//! builds that composition ([`link_system`]), runs it fairly under a
+//! scripted environment ([`Runner`], [`Script`]), and reports what happened
+//! ([`RunReport`], [`Metrics`]).
+//!
+//! The runner adds two services on top of `ioa`'s fair executor:
+//!
+//! * **uid stamping** — protocol automata emit packets with
+//!   [`dl_core::action::Packet::UNSTAMPED`] uids; the runner substitutes a
+//!   globally fresh uid into every `send_pkt` it fires, realizing the
+//!   paper's analysis-only packet-uniqueness convention (PL2) without
+//!   letting protocols see the label;
+//! * **fault scripting** — [`Script`]s interleave environment inputs
+//!   (`send_msg`, `wake`, `fail`, `crash`) with bounded or run-to-
+//!   quiescence stretches of autonomous execution, which is how the
+//!   experiments inject link failures and host crashes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conformance;
+pub mod runner;
+pub mod scenario;
+pub mod script;
+pub mod system;
+
+pub use conformance::{judge, ConformancePolicy, ConformanceReport};
+pub use runner::{Metrics, RunReport, Runner};
+pub use scenario::Scenario;
+pub use script::{Script, ScriptStep};
+pub use system::{link_system, LinkState, LinkSystem};

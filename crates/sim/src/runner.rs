@@ -1,0 +1,505 @@
+//! The fair, uid-stamping simulation runner.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use ioa::action::ActionClass;
+use ioa::automaton::{Automaton, TaskId};
+use ioa::execution::Execution;
+
+use dl_core::action::{Dir, DlAction, Header, Packet};
+
+/// Counters collected during a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// `send_msg` events.
+    pub msgs_sent: u64,
+    /// `receive_msg` events.
+    pub msgs_received: u64,
+    /// `send_pkt` events per direction `(t→r, r→t)`.
+    pub pkts_sent: [u64; 2],
+    /// `receive_pkt` events per direction `(t→r, r→t)`.
+    pub pkts_received: [u64; 2],
+    /// Crash events.
+    pub crashes: u64,
+    /// Distinct packet headers observed in `send_pkt` events (both
+    /// directions) — the measured `|headers(A, ≡)|` of experiment E7.
+    pub headers_used: BTreeSet<Header>,
+    /// Total steps taken.
+    pub steps: u64,
+    /// Per-message delivery latency in steps (`receive_msg` step minus
+    /// `send_msg` step), in delivery order.
+    pub latencies: Vec<u64>,
+    /// Step index at which each in-flight message was sent (drained as
+    /// messages are delivered).
+    send_step: BTreeMap<dl_core::action::Msg, u64>,
+}
+
+impl Metrics {
+    fn record(&mut self, a: &DlAction) {
+        self.steps += 1;
+        match a {
+            DlAction::SendMsg(m) => {
+                self.msgs_sent += 1;
+                self.send_step.entry(*m).or_insert(self.steps);
+            }
+            DlAction::ReceiveMsg(m) => {
+                self.msgs_received += 1;
+                if let Some(at) = self.send_step.remove(m) {
+                    self.latencies.push(self.steps - at);
+                }
+            }
+            DlAction::SendPkt(d, p) => {
+                self.pkts_sent[(*d == Dir::RT) as usize] += 1;
+                self.headers_used.insert(p.header);
+            }
+            DlAction::ReceivePkt(d, _) => {
+                self.pkts_received[(*d == Dir::RT) as usize] += 1;
+            }
+            DlAction::Crash(_) => self.crashes += 1,
+            _ => {}
+        }
+    }
+
+    /// Mean delivery latency in steps, if any message was delivered.
+    #[must_use]
+    pub fn mean_latency(&self) -> Option<f64> {
+        if self.latencies.is_empty() {
+            None
+        } else {
+            Some(self.latencies.iter().sum::<u64>() as f64 / self.latencies.len() as f64)
+        }
+    }
+
+    /// Packets sent on the `t → r` data path per message delivered — the
+    /// protocol's overhead ratio.
+    #[must_use]
+    pub fn overhead(&self) -> f64 {
+        if self.msgs_received == 0 {
+            f64::NAN
+        } else {
+            self.pkts_sent[0] as f64 / self.msgs_received as f64
+        }
+    }
+}
+
+/// The outcome of a scripted run.
+#[derive(Debug, Clone)]
+pub struct RunReport<S> {
+    /// The full execution (all actions, including hidden packet actions).
+    pub execution: Execution<DlAction, S>,
+    /// The behavior: external actions of the composed system — data-link-
+    /// layer actions when the system was built with
+    /// [`crate::system::link_system`].
+    pub behavior: Vec<DlAction>,
+    /// `true` if the run ended quiescent with the script fully consumed.
+    pub quiescent: bool,
+    /// Counters.
+    pub metrics: Metrics,
+}
+
+impl<S: Clone + Eq + std::fmt::Debug> RunReport<S> {
+    /// The complete schedule (every action, hidden or not).
+    #[must_use]
+    pub fn schedule(&self) -> Vec<DlAction> {
+        self.execution.schedule()
+    }
+}
+
+/// Fair round-robin runner over any automaton on the data-link action
+/// universe, with packet-uid stamping and scripted environment inputs.
+#[derive(Debug)]
+pub struct Runner {
+    rng: StdRng,
+    next_uid: u64,
+    max_steps: usize,
+}
+
+impl Runner {
+    /// A runner with the given RNG seed and global step bound.
+    #[must_use]
+    pub fn new(seed: u64, max_steps: usize) -> Self {
+        Runner {
+            rng: StdRng::seed_from_u64(seed),
+            next_uid: 1,
+            max_steps,
+        }
+    }
+
+    /// Runs `system` from its first start state under `script`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scripted injection is not an input of the system, or is
+    /// not enabled (the system would not be input-enabled).
+    pub fn run<M>(&mut self, system: &M, script: &crate::Script) -> RunReport<M::State>
+    where
+        M: Automaton<Action = DlAction>,
+    {
+        let start = system
+            .start_states()
+            .into_iter()
+            .next()
+            .expect("automaton has a start state");
+        self.run_from(system, start, script)
+    }
+
+    /// Runs `system` from an explicit start state under `script`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scripted injection is not an enabled input.
+    pub fn run_from<M>(
+        &mut self,
+        system: &M,
+        start: M::State,
+        script: &crate::Script,
+    ) -> RunReport<M::State>
+    where
+        M: Automaton<Action = DlAction>,
+    {
+        let mut exec = Execution::new(start);
+        let mut metrics = Metrics::default();
+        let mut next_task = 0usize;
+        let mut fully_ran = true;
+
+        for step in script.steps() {
+            match step {
+                crate::ScriptStep::Inject(a) => {
+                    assert_eq!(
+                        system.classify(a),
+                        Some(ActionClass::Input),
+                        "scripted action {a} is not an input of the system"
+                    );
+                    if exec.len() >= self.max_steps {
+                        fully_ran = false;
+                        break;
+                    }
+                    let ok = self.take(system, &mut exec, *a, &mut metrics);
+                    assert!(ok, "input {a} was not enabled: system is not input-enabled");
+                }
+                crate::ScriptStep::Local(n) => {
+                    for _ in 0..*n {
+                        if exec.len() >= self.max_steps
+                            || !self.fair_local_step(system, &mut exec, &mut next_task, &mut metrics)
+                        {
+                            break;
+                        }
+                    }
+                }
+                crate::ScriptStep::Settle => loop {
+                    if exec.len() >= self.max_steps {
+                        fully_ran = false;
+                        break;
+                    }
+                    if !self.fair_local_step(system, &mut exec, &mut next_task, &mut metrics) {
+                        break;
+                    }
+                },
+            }
+        }
+
+        let quiescent = fully_ran && system.enabled_local(exec.last_state()).is_empty();
+        let behavior = ioa::execution::behavior_of_schedule(system, &exec.schedule());
+        RunReport {
+            execution: exec,
+            behavior,
+            quiescent,
+            metrics,
+        }
+    }
+
+    /// Takes one fair locally-controlled step; returns `false` if none is
+    /// enabled.
+    fn fair_local_step<M>(
+        &mut self,
+        system: &M,
+        exec: &mut Execution<DlAction, M::State>,
+        next_task: &mut usize,
+        metrics: &mut Metrics,
+    ) -> bool
+    where
+        M: Automaton<Action = DlAction>,
+    {
+        let enabled = system.enabled_local(exec.last_state());
+        if enabled.is_empty() {
+            return false;
+        }
+        let tasks = system.task_count().max(1);
+        for offset in 0..tasks {
+            let t = TaskId((*next_task + offset) % tasks);
+            let in_class: Vec<_> = enabled
+                .iter()
+                .filter(|a| system.task_of(a) == t)
+                .cloned()
+                .collect();
+            if in_class.is_empty() {
+                continue;
+            }
+            let pick = self.rng.random_range(0..in_class.len());
+            let action = in_class[pick];
+            let took = self.take(system, exec, action, metrics);
+            debug_assert!(took, "enabled_local returned a disabled action");
+            *next_task = (*next_task + offset + 1) % tasks;
+            return took;
+        }
+        false
+    }
+
+    /// Takes `action`, stamping a fresh uid if it is an unstamped
+    /// `send_pkt`, and resolving successor nondeterminism with the seeded
+    /// RNG.
+    fn take<M>(
+        &mut self,
+        system: &M,
+        exec: &mut Execution<DlAction, M::State>,
+        mut action: DlAction,
+        metrics: &mut Metrics,
+    ) -> bool
+    where
+        M: Automaton<Action = DlAction>,
+    {
+        if let DlAction::SendPkt(_, p) = &action {
+            if p.uid == Packet::UNSTAMPED {
+                action = action.with_packet_uid(self.next_uid);
+                self.next_uid += 1;
+            }
+        }
+        let succs = system.successors(exec.last_state(), &action);
+        if succs.is_empty() {
+            return false;
+        }
+        let pick = self.rng.random_range(0..succs.len());
+        metrics.record(&action);
+        exec.push_unchecked(action, succs.into_iter().nth(pick).expect("index in range"));
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::Script;
+    use crate::system::link_system;
+    use dl_channels::simulated::{LossMode, LossyFifoChannel};
+    use dl_core::spec::datalink::DlModule;
+    use dl_core::spec::physical::PlModule;
+    use ioa::schedule_module::{ScheduleModule, TraceKind, Verdict};
+
+    fn abp_system(
+        mode: LossMode,
+    ) -> crate::system::LinkSystem<
+        dl_protocols::AbpTransmitter,
+        dl_protocols::AbpReceiver,
+        LossyFifoChannel,
+        LossyFifoChannel,
+    > {
+        let p = dl_protocols::abp::protocol();
+        link_system(
+            p.transmitter,
+            p.receiver,
+            LossyFifoChannel::new(Dir::TR, mode),
+            LossyFifoChannel::new(Dir::RT, mode),
+        )
+    }
+
+    #[test]
+    fn abp_delivers_over_perfect_channels() {
+        let sys = abp_system(LossMode::None);
+        let mut runner = Runner::new(1, 100_000);
+        let report = runner.run(&sys, &Script::deliver_n(10));
+        assert!(report.quiescent);
+        assert_eq!(report.metrics.msgs_sent, 10);
+        assert_eq!(report.metrics.msgs_received, 10);
+        // Behavior satisfies the full DL spec on the complete trace.
+        assert_eq!(
+            DlModule::full().check(&report.behavior, TraceKind::Complete),
+            Verdict::Satisfied
+        );
+    }
+
+    #[test]
+    fn abp_delivers_despite_nondet_loss() {
+        let sys = abp_system(LossMode::Nondet);
+        let mut runner = Runner::new(7, 200_000);
+        let report = runner.run(&sys, &Script::deliver_n(5));
+        assert!(report.quiescent, "run did not quiesce");
+        assert_eq!(report.metrics.msgs_received, 5);
+        assert_eq!(
+            DlModule::full().check(&report.behavior, TraceKind::Complete),
+            Verdict::Satisfied
+        );
+        // Losses forced retransmissions: more data packets than messages.
+        assert!(report.metrics.pkts_sent[0] > 5);
+        assert!(report.metrics.overhead() > 1.0);
+    }
+
+    #[test]
+    fn stamped_schedule_satisfies_physical_spec() {
+        let sys = abp_system(LossMode::Nondet);
+        let mut runner = Runner::new(3, 200_000);
+        let report = runner.run(&sys, &Script::deliver_n(5));
+        let sched = report.schedule();
+        for dir in Dir::BOTH {
+            let v = PlModule::pl_fifo(dir).check(&sched, TraceKind::Complete);
+            assert!(
+                matches!(v, Verdict::Satisfied),
+                "PL-FIFO^{dir} verdict: {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn abp_header_usage_is_bounded() {
+        let sys = abp_system(LossMode::None);
+        let mut runner = Runner::new(1, 100_000);
+        let report = runner.run(&sys, &Script::deliver_n(20));
+        assert!(report.metrics.headers_used.len() <= 4);
+    }
+
+    #[test]
+    fn stenning_headers_grow_linearly() {
+        let p = dl_protocols::stenning::protocol();
+        let sys = link_system(
+            p.transmitter,
+            p.receiver,
+            LossyFifoChannel::perfect(Dir::TR),
+            LossyFifoChannel::perfect(Dir::RT),
+        );
+        let mut runner = Runner::new(1, 100_000);
+        let report = runner.run(&sys, &Script::deliver_n(15));
+        assert!(report.quiescent);
+        // 15 data headers + ack headers.
+        let data_headers = report
+            .metrics
+            .headers_used
+            .iter()
+            .filter(|h| h.tag == dl_core::action::Tag::Data)
+            .count();
+        assert_eq!(data_headers, 15);
+    }
+
+    #[test]
+    fn sliding_window_delivers_with_loss() {
+        let p = dl_protocols::sliding_window::protocol(4);
+        let sys = link_system(
+            p.transmitter,
+            p.receiver,
+            LossyFifoChannel::new(Dir::TR, LossMode::EveryNth(3)),
+            LossyFifoChannel::new(Dir::RT, LossMode::EveryNth(5)),
+        );
+        let mut runner = Runner::new(11, 500_000);
+        let report = runner.run(&sys, &Script::deliver_n(25));
+        assert!(report.quiescent);
+        assert_eq!(report.metrics.msgs_received, 25);
+        assert_eq!(
+            DlModule::full().check(&report.behavior, TraceKind::Complete),
+            Verdict::Satisfied
+        );
+    }
+
+    #[test]
+    fn nonvolatile_protocol_survives_crashes() {
+        let p = dl_protocols::nonvolatile::protocol();
+        let sys = link_system(
+            p.transmitter,
+            p.receiver,
+            LossyFifoChannel::perfect(Dir::TR),
+            LossyFifoChannel::perfect(Dir::RT),
+        );
+        let script = Script::new()
+            .wake_both()
+            .send_msgs(0, 3)
+            .settle()
+            .crash_and_rewake(dl_core::action::Station::T)
+            .send_msgs(10, 3)
+            .settle()
+            .crash_and_rewake(dl_core::action::Station::R)
+            .send_msgs(20, 3)
+            .settle();
+        let mut runner = Runner::new(5, 500_000);
+        let report = runner.run(&sys, &script);
+        assert!(report.quiescent);
+        // Safety (DL4, DL5) holds despite the crashes.
+        let v = DlModule::weak().check(&report.behavior, TraceKind::Prefix);
+        assert!(v.is_allowed(), "WDL safety violated: {v:?}");
+        assert_eq!(report.metrics.crashes, 2);
+        // All nine messages were delivered (crashes happened while idle).
+        assert_eq!(report.metrics.msgs_received, 9);
+    }
+
+    #[test]
+    fn abp_violates_safety_under_transmitter_crash() {
+        // The scenario Theorem 7.5 predicts: crash the transmitter while
+        // its message is unacknowledged; the retransmitted old packet and
+        // the fresh one collide.
+        let p = dl_protocols::abp::protocol();
+        let sys = link_system(
+            p.transmitter,
+            p.receiver,
+            LossyFifoChannel::perfect(Dir::TR),
+            LossyFifoChannel::perfect(Dir::RT),
+        );
+        // Send m0; let only the data packet fly (no ack processed); crash;
+        // send m1 — the receiver has flipped its bit, so DATA#0(m1) is
+        // treated as a duplicate... or worse, depending on interleaving.
+        let script = Script::new()
+            .wake_both()
+            .send_msgs(0, 1)
+            .local(3) // t sends DATA#0, channel delivers, r delivers m0
+            .crash_and_rewake(dl_core::action::Station::T)
+            .send_msgs(1, 1)
+            .settle();
+        let mut runner = Runner::new(2, 100_000);
+        let report = runner.run(&sys, &script);
+        // m1 is stamped DATA#0 but the receiver expects bit 1: it is
+        // swallowed as a duplicate and never delivered, while the stale ack
+        // stream keeps flowing — on a complete trace this shows up as a
+        // DL8 (or DL4/DL5) violation.
+        let v = DlModule::weak().check(&report.behavior, TraceKind::Complete);
+        assert!(
+            !v.is_allowed(),
+            "expected a WDL violation after the crash, got {v:?}\nbehavior:\n{}",
+            dl_core::action::format_trace(&report.behavior)
+        );
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let sys = abp_system(LossMode::Nondet);
+        let a = Runner::new(9, 100_000).run(&sys, &Script::deliver_n(5));
+        let b = Runner::new(9, 100_000).run(&sys, &Script::deliver_n(5));
+        assert_eq!(a.schedule(), b.schedule());
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn metrics_overhead_nan_when_nothing_delivered() {
+        let m = Metrics::default();
+        assert!(m.overhead().is_nan());
+        assert_eq!(m.mean_latency(), None);
+    }
+
+    #[test]
+    fn latency_is_tracked_per_message() {
+        let sys = abp_system(LossMode::None);
+        let mut runner = Runner::new(1, 100_000);
+        let report = runner.run(&sys, &Script::deliver_n(5));
+        assert_eq!(report.metrics.latencies.len(), 5);
+        // Every delivery strictly follows its send.
+        assert!(report.metrics.latencies.iter().all(|&l| l >= 1));
+        let mean = report.metrics.mean_latency().unwrap();
+        assert!(mean >= 1.0);
+    }
+
+    #[test]
+    fn step_bound_prevents_runaway() {
+        let sys = abp_system(LossMode::None);
+        let mut runner = Runner::new(1, 10);
+        let report = runner.run(&sys, &Script::deliver_n(100));
+        assert!(!report.quiescent);
+        assert!(report.metrics.steps <= 10);
+    }
+}

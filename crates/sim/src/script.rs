@@ -1,0 +1,145 @@
+//! Environment scripts: the inputs and pacing of a simulation run.
+
+use dl_core::action::{Dir, DlAction, Msg, Station};
+
+/// One step of an environment script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScriptStep {
+    /// Inject an environment input action now.
+    Inject(DlAction),
+    /// Let the system take up to this many locally-controlled steps
+    /// (fewer if it quiesces first).
+    Local(usize),
+    /// Run locally-controlled steps until the system quiesces (bounded by
+    /// the runner's global step limit).
+    Settle,
+}
+
+/// A whole environment script.
+///
+/// Scripts are well-formedness-respecting by construction when built with
+/// the provided combinators: media are woken before messages are sent, and
+/// crashes are followed by fresh `wake`s.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Script {
+    steps: Vec<ScriptStep>,
+}
+
+impl Script {
+    /// An empty script.
+    #[must_use]
+    pub fn new() -> Self {
+        Script::default()
+    }
+
+    /// The steps, in order.
+    #[must_use]
+    pub fn steps(&self) -> &[ScriptStep] {
+        &self.steps
+    }
+
+    /// Appends an injection.
+    #[must_use]
+    pub fn inject(mut self, a: DlAction) -> Self {
+        self.steps.push(ScriptStep::Inject(a));
+        self
+    }
+
+    /// Appends a bounded stretch of autonomous execution.
+    #[must_use]
+    pub fn local(mut self, n: usize) -> Self {
+        self.steps.push(ScriptStep::Local(n));
+        self
+    }
+
+    /// Appends a run-to-quiescence stretch.
+    #[must_use]
+    pub fn settle(mut self) -> Self {
+        self.steps.push(ScriptStep::Settle);
+        self
+    }
+
+    /// Wakes both media.
+    #[must_use]
+    pub fn wake_both(self) -> Self {
+        self.inject(DlAction::Wake(Dir::TR))
+            .inject(DlAction::Wake(Dir::RT))
+    }
+
+    /// Sends messages `Msg(start) .. Msg(start + n)` back-to-back.
+    #[must_use]
+    pub fn send_msgs(mut self, start: u64, n: u64) -> Self {
+        for i in start..start + n {
+            self = self.inject(DlAction::SendMsg(Msg(i)));
+        }
+        self
+    }
+
+    /// Crashes a station and (after the crash) wakes its outgoing medium
+    /// again, keeping the trace well-formed.
+    #[must_use]
+    pub fn crash_and_rewake(self, station: Station) -> Self {
+        self.inject(DlAction::Crash(station))
+            .inject(DlAction::Wake(station.sends_on()))
+    }
+
+    /// The canonical workload: wake both media, send `n` fresh messages,
+    /// run to quiescence.
+    #[must_use]
+    pub fn deliver_n(n: u64) -> Self {
+        Script::new().wake_both().send_msgs(0, n).settle()
+    }
+
+    /// Total injected input actions.
+    #[must_use]
+    pub fn input_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, ScriptStep::Inject(_)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let s = Script::new()
+            .wake_both()
+            .send_msgs(0, 2)
+            .local(10)
+            .crash_and_rewake(Station::T)
+            .settle();
+        assert_eq!(s.input_count(), 6); // 2 wakes + 2 sends + crash + rewake
+        assert_eq!(s.steps().len(), 8);
+        assert_eq!(s.steps()[0], ScriptStep::Inject(DlAction::Wake(Dir::TR)));
+        assert_eq!(s.steps()[4], ScriptStep::Local(10));
+        assert_eq!(
+            s.steps()[5],
+            ScriptStep::Inject(DlAction::Crash(Station::T))
+        );
+        assert_eq!(s.steps()[6], ScriptStep::Inject(DlAction::Wake(Dir::TR)));
+        assert_eq!(s.steps()[7], ScriptStep::Settle);
+    }
+
+    #[test]
+    fn deliver_n_shape() {
+        let s = Script::deliver_n(3);
+        assert_eq!(s.input_count(), 5);
+        assert!(matches!(s.steps().last(), Some(ScriptStep::Settle)));
+    }
+
+    #[test]
+    fn crash_rewakes_correct_direction() {
+        let s = Script::new().crash_and_rewake(Station::R);
+        assert_eq!(
+            s.steps(),
+            &[
+                ScriptStep::Inject(DlAction::Crash(Station::R)),
+                ScriptStep::Inject(DlAction::Wake(Dir::RT)),
+            ]
+        );
+    }
+}

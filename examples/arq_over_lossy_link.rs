@@ -1,0 +1,123 @@
+//! ARQ shoot-out: alternating bit vs. go-back-N vs. Stenning over
+//! increasingly lossy FIFO links, plus crash-recovery of the non-volatile
+//! protocol — the workloads the paper's introduction motivates.
+//!
+//! ```text
+//! cargo run --example arq_over_lossy_link
+//! ```
+
+use datalink::core::action::{Dir, Station};
+use datalink::core::spec::datalink::DlModule;
+use datalink::ioa::schedule_module::{ScheduleModule, TraceKind};
+use datalink::sim::{link_system, Metrics, Runner, Script};
+use dl_channels::{LossMode, LossyFifoChannel};
+
+const MSGS: u64 = 40;
+
+fn run_with<T, R>(tx: T, rx: R, mode: LossMode, seed: u64) -> Metrics
+where
+    T: datalink::ioa::Automaton<Action = datalink::core::action::DlAction>,
+    R: datalink::ioa::Automaton<Action = datalink::core::action::DlAction>,
+{
+    let sys = link_system(
+        tx,
+        rx,
+        LossyFifoChannel::new(Dir::TR, mode),
+        LossyFifoChannel::new(Dir::RT, mode),
+    );
+    let mut runner = Runner::new(seed, 5_000_000);
+    let report = runner.run(&sys, &Script::deliver_n(MSGS));
+    assert!(report.quiescent, "run did not quiesce");
+    assert_eq!(report.metrics.msgs_received, MSGS, "not all messages delivered");
+    let verdict = DlModule::full().check(&report.behavior, TraceKind::Complete);
+    assert!(verdict.is_allowed(), "DL violated: {verdict}");
+    report.metrics
+}
+
+fn main() {
+    println!("delivering {MSGS} messages per cell; reporting data packets sent (overhead ×)\n");
+    println!(
+        "{:<20} {:>14} {:>14} {:>14}",
+        "protocol", "lossless", "drop 1/4", "drop 1/2 (~)"
+    );
+
+    let modes = [
+        ("lossless", LossMode::None),
+        ("drop 1/4", LossMode::EveryNth(4)),
+        ("drop ~1/2", LossMode::Nondet),
+    ];
+
+    let row = |name: &str, f: &dyn Fn(LossMode, u64) -> Metrics| {
+        let cells: Vec<String> = modes
+            .iter()
+            .map(|(_, mode)| {
+                let m = f(*mode, 7);
+                format!("{} ({:.2}×)", m.pkts_sent[0], m.overhead())
+            })
+            .collect();
+        println!("{:<20} {:>14} {:>14} {:>14}", name, cells[0], cells[1], cells[2]);
+    };
+
+    row("alternating-bit", &|mode, seed| {
+        let p = datalink::protocols::abp::protocol();
+        run_with(p.transmitter, p.receiver, mode, seed)
+    });
+    for w in [2, 4, 8] {
+        let name = format!("sliding-window({w})");
+        row(&name, &|mode, seed| {
+            let p = datalink::protocols::sliding_window::protocol(w);
+            run_with(p.transmitter, p.receiver, mode, seed)
+        });
+    }
+    for w in [2, 4] {
+        let name = format!("selective-repeat({w})");
+        row(&name, &|mode, seed| {
+            let p = datalink::protocols::selective_repeat::protocol(w);
+            run_with(p.transmitter, p.receiver, mode, seed)
+        });
+    }
+    row("fragmenting (k=2)", &|mode, seed| {
+        let p = datalink::protocols::fragmenting::protocol();
+        run_with(p.transmitter, p.receiver, mode, seed)
+    });
+    row("parity (§9)", &|mode, seed| {
+        let p = datalink::protocols::parity::protocol();
+        run_with(p.transmitter, p.receiver, mode, seed)
+    });
+    row("stenning", &|mode, seed| {
+        let p = datalink::protocols::stenning::protocol();
+        run_with(p.transmitter, p.receiver, mode, seed)
+    });
+
+    // Crash recovery: the non-volatile protocol keeps delivering across
+    // repeated host crashes (what [BS83]-style initialization buys you).
+    println!("\ncrash-recovery (non-volatile epoch protocol):");
+    let p = datalink::protocols::nonvolatile::protocol();
+    let sys = link_system(
+        p.transmitter,
+        p.receiver,
+        LossyFifoChannel::new(Dir::TR, LossMode::EveryNth(4)),
+        LossyFifoChannel::new(Dir::RT, LossMode::EveryNth(4)),
+    );
+    let mut script = Script::new().wake_both();
+    let mut next = 0u64;
+    for round in 0..6 {
+        script = script.send_msgs(next, 5).settle();
+        next += 5;
+        let station = if round % 2 == 0 { Station::T } else { Station::R };
+        script = script.crash_and_rewake(station);
+    }
+    script = script.send_msgs(next, 5).settle();
+    let mut runner = Runner::new(3, 5_000_000);
+    let report = runner.run(&sys, &script);
+    let verdict = DlModule::weak().check(&report.behavior, TraceKind::Prefix);
+    println!(
+        "  {} crashes injected, {} of {} messages delivered, WDL safety: {}",
+        report.metrics.crashes,
+        report.metrics.msgs_received,
+        report.metrics.msgs_sent,
+        verdict
+    );
+    assert!(verdict.is_allowed());
+    assert_eq!(report.metrics.msgs_received, report.metrics.msgs_sent);
+}

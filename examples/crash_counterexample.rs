@@ -1,0 +1,43 @@
+//! Theorem 7.5, live: mechanically derive a WDL-violating execution from
+//! the alternating bit protocol by crashing and replaying (the paper's §7
+//! pump), then show that the non-volatile protocol escapes the same
+//! construction.
+//!
+//! ```text
+//! cargo run --example crash_counterexample
+//! ```
+
+use datalink::impossibility::crash::refute_crash_tolerance;
+use datalink::impossibility::explain_crash;
+use datalink::protocols::{abp, nonvolatile, sliding_window};
+
+fn main() {
+    println!("=== Theorem 7.5: no crashing, message-independent protocol");
+    println!("=== tolerates host crashes, even over FIFO channels\n");
+
+    // Victim 1: the alternating bit protocol.
+    let p = abp::protocol();
+    let cx = refute_crash_tolerance(p.transmitter, p.receiver)
+        .expect("ABP satisfies the theorem's hypotheses");
+    println!("victim: {}", p.info.name);
+    print!("{}", explain_crash(&cx));
+
+    // Victim 2: go-back-N with a wider window fares no better.
+    let p = sliding_window::protocol(4);
+    let cx = refute_crash_tolerance(p.transmitter, p.receiver)
+        .expect("sliding window satisfies the hypotheses");
+    println!(
+        "\nvictim: {} (window 4) — {} pumps → {}",
+        p.info.name, cx.pumps, cx.violation
+    );
+
+    // The boundary: one piece of non-volatile state defeats the pump.
+    let p = nonvolatile::protocol();
+    let err = refute_crash_tolerance(p.transmitter, p.receiver)
+        .expect_err("the non-volatile protocol is not crashing");
+    println!("\nescape hatch: {} →\n  {err}", p.info.name);
+    println!(
+        "\n(Baratz–Segall [BS83] show a single non-volatile bit suffices; the\n\
+         paper proves the *zero* non-volatile bits case is impossible.)"
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build a data link implementation (paper Figure 3), run it
+//! over lossy FIFO channels, and check its behavior against the `DL`
+//! specification.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use datalink::channels::{LossMode, LossyFifoChannel};
+use datalink::core::action::{format_trace, Dir};
+use datalink::core::spec::datalink::DlModule;
+use datalink::ioa::schedule_module::{ScheduleModule, TraceKind};
+use datalink::protocols::abp;
+use datalink::sim::{link_system, Runner, Script};
+
+fn main() {
+    // 1. A data link protocol: the alternating bit protocol (Aᵗ, Aʳ).
+    let protocol = abp::protocol();
+    println!("protocol: {}", protocol.info.name);
+    println!(
+        "  crashing: {}, header bound: {:?}, k-bound: {:?}",
+        protocol.info.crashing, protocol.info.header_bound, protocol.info.k_bound
+    );
+
+    // 2. Two physical channels that drop every 3rd / 4th packet.
+    let ch_tr = LossyFifoChannel::new(Dir::TR, LossMode::EveryNth(3));
+    let ch_rt = LossyFifoChannel::new(Dir::RT, LossMode::EveryNth(4));
+
+    // 3. The §5.2 composition: hide_Φ(Aᵗ × Aʳ × C^{t,r} × C^{r,t}).
+    let system = link_system(protocol.transmitter, protocol.receiver, ch_tr, ch_rt);
+
+    // 4. Wake both media, send 8 messages, run to quiescence.
+    let script = Script::deliver_n(8);
+    let mut runner = Runner::new(42, 1_000_000);
+    let report = runner.run(&system, &script);
+
+    println!("\ndata-link behavior (external actions):");
+    print!("{}", format_trace(&report.behavior));
+
+    println!("\nmetrics:");
+    println!("  messages sent/received: {}/{}", report.metrics.msgs_sent, report.metrics.msgs_received);
+    println!(
+        "  packets sent t→r: {} (overhead {:.2}× from retransmissions)",
+        report.metrics.pkts_sent[0],
+        report.metrics.overhead()
+    );
+    println!("  distinct headers used: {}", report.metrics.headers_used.len());
+    println!("  quiescent: {}", report.quiescent);
+
+    // 5. Judge the complete behavior against the full DL specification
+    //    (DL1–DL8, including FIFO order and liveness).
+    let verdict = DlModule::full().check(&report.behavior, TraceKind::Complete);
+    println!("\nDL specification verdict: {verdict}");
+    assert!(verdict.is_allowed(), "ABP over lossy FIFO channels must satisfy DL");
+}

@@ -1,0 +1,91 @@
+//! Documentation consistency: the bench targets and examples the
+//! documentation points at actually exist, so EXPERIMENTS.md's
+//! "regenerate" lines never rot.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn experiments_bench_targets_exist() {
+    let text = fs::read_to_string(repo_root().join("EXPERIMENTS.md")).unwrap();
+    let mut referenced = BTreeSet::new();
+    for line in text.lines() {
+        if let Some(idx) = line.find("--bench ") {
+            let rest = &line[idx + "--bench ".len()..];
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                referenced.insert(name);
+            }
+        }
+    }
+    assert!(!referenced.is_empty(), "EXPERIMENTS.md references no bench targets");
+    for name in &referenced {
+        let path = repo_root().join(format!("crates/bench/benches/{name}.rs"));
+        assert!(path.exists(), "EXPERIMENTS.md references missing bench {name}");
+    }
+}
+
+#[test]
+fn all_bench_files_are_registered() {
+    let manifest = fs::read_to_string(repo_root().join("crates/bench/Cargo.toml")).unwrap();
+    for entry in fs::read_dir(repo_root().join("crates/bench/benches")).unwrap() {
+        let file = entry.unwrap().file_name();
+        let name = file.to_string_lossy();
+        let stem = name.trim_end_matches(".rs");
+        assert!(
+            manifest.contains(&format!("name = \"{stem}\"")),
+            "bench file {name} not registered in crates/bench/Cargo.toml"
+        );
+    }
+}
+
+#[test]
+fn readme_examples_exist_and_are_registered() {
+    let readme = fs::read_to_string(repo_root().join("README.md")).unwrap();
+    let manifest = fs::read_to_string(repo_root().join("Cargo.toml")).unwrap();
+    let mut seen = 0;
+    for line in readme.lines() {
+        if let Some(idx) = line.find("--example ") {
+            let rest = &line[idx + "--example ".len()..];
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            assert!(
+                repo_root().join(format!("examples/{name}.rs")).exists(),
+                "README references missing example {name}"
+            );
+            assert!(
+                manifest.contains(&format!("name = \"{name}\"")),
+                "example {name} not registered in Cargo.toml"
+            );
+            seen += 1;
+        }
+    }
+    assert!(seen >= 5, "README should showcase at least five examples, found {seen}");
+}
+
+#[test]
+fn design_lists_every_protocol_module() {
+    let design = fs::read_to_string(repo_root().join("DESIGN.md")).unwrap();
+    for entry in fs::read_dir(repo_root().join("crates/protocols/src")).unwrap() {
+        let file = entry.unwrap().file_name();
+        let name = file.to_string_lossy();
+        let stem = name.trim_end_matches(".rs");
+        if stem == "lib" {
+            continue;
+        }
+        assert!(
+            design.contains(stem) || design.contains(&stem.replace('_', "-")),
+            "DESIGN.md does not mention protocol module {stem}"
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! The paper's numbered lemmas, one executable check each.
+//!
+//! The impossibility engines *use* these lemmas internally; this file pins
+//! each one to a direct, self-contained test so the paper-to-code mapping
+//! is auditable lemma by lemma.
+
+use datalink::channels::{DeliverySet, PermissiveChannel};
+use datalink::core::action::{Dir, DlAction, Msg, Packet};
+use datalink::core::spec::datalink::is_valid;
+use datalink::impossibility::crash::build_reference;
+use datalink::ioa::fairness::{EnvScript, FairExecutor};
+use datalink::ioa::Automaton;
+
+fn pkt(n: u64) -> Packet {
+    Packet::data(n, Msg(n)).with_uid(100 + n)
+}
+
+/// Lemma 2.1: from any finite execution, with any further inputs, a fair
+/// execution extension exists. Executable form: the fair executor always
+/// completes from any reachable state with any queued input script.
+#[test]
+fn lemma_2_1_fair_extensions_exist() {
+    let p = datalink::protocols::abp::protocol();
+    let tx = p.transmitter;
+    // Drive the transmitter into an arbitrary finite state.
+    let mut s = tx.start_states().remove(0);
+    for a in [
+        DlAction::Wake(Dir::TR),
+        DlAction::SendMsg(Msg(1)),
+        DlAction::SendMsg(Msg(2)),
+    ] {
+        s = tx.step_first(&s, &a).unwrap();
+    }
+    // Extend fairly with further inputs: the run proceeds and consumes
+    // them all (inputs are always enabled — the heart of the lemma).
+    let mut exec = FairExecutor::new(0, 1000);
+    let out = exec.run(
+        &tx,
+        s,
+        EnvScript::new(vec![
+            DlAction::ReceivePkt(Dir::RT, Packet::ack(0)),
+            DlAction::SendMsg(Msg(3)),
+        ]),
+    );
+    let sched = out.execution.schedule();
+    assert!(sched.contains(&DlAction::SendMsg(Msg(3))));
+}
+
+/// Lemma 4.1: every protocol that (claims to) solve WDL has the fair
+/// behavior `wake^{t,r} wake^{r,t} send_msg(m) receive_msg(m)`.
+#[test]
+fn lemma_4_1_single_delivery_behavior() {
+    macro_rules! check {
+        ($p:expr) => {
+            let p = $p;
+            let r = build_reference(&p.transmitter, &p.receiver, Msg(0), 20_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.info.name));
+            let beh: Vec<&DlAction> = r
+                .actions
+                .iter()
+                .filter(|a| !a.is_packet_action() && !matches!(a, DlAction::Internal(..)))
+                .collect();
+            assert_eq!(
+                beh,
+                vec![
+                    &DlAction::Wake(Dir::TR),
+                    &DlAction::Wake(Dir::RT),
+                    &DlAction::SendMsg(Msg(0)),
+                    &DlAction::ReceiveMsg(Msg(0)),
+                ],
+                "{}",
+                p.info.name
+            );
+        };
+    }
+    check!(datalink::protocols::abp::protocol());
+    check!(datalink::protocols::sliding_window::protocol(3));
+    check!(datalink::protocols::selective_repeat::protocol(2));
+    check!(datalink::protocols::fragmenting::protocol());
+    check!(datalink::protocols::stenning::protocol());
+    check!(datalink::protocols::nonvolatile::protocol());
+}
+
+/// Lemma 6.1: `C̄` (and `Ĉ`) are physical channels — their fair behaviors
+/// satisfy the PL spec. (The property tests in `channel_conformance.rs`
+/// sample this broadly; here is the deterministic core case.)
+#[test]
+fn lemma_6_1_permissive_channels_solve_pl() {
+    use datalink::core::spec::physical::PlModule;
+    use datalink::ioa::schedule_module::{ScheduleModule, TraceKind};
+    for fifo in [false, true] {
+        let ch = if fifo {
+            PermissiveChannel::fifo(Dir::TR)
+        } else {
+            PermissiveChannel::universal(Dir::TR)
+        };
+        let mut exec = FairExecutor::new(5, 10_000);
+        let mut inputs = vec![DlAction::Wake(Dir::TR)];
+        inputs.extend((0..6).map(|n| DlAction::SendPkt(Dir::TR, pkt(n))));
+        let out = exec.run(&ch, ch.start_states().remove(0), EnvScript::with_gap(inputs, 1));
+        assert!(out.quiescent);
+        let sched = out.execution.schedule();
+        let module = if fifo {
+            PlModule::pl_fifo(Dir::TR)
+        } else {
+            PlModule::pl(Dir::TR)
+        };
+        assert!(module.check(&sched, TraceKind::Complete).is_allowed());
+    }
+}
+
+/// Lemma 6.2: every sensible failure-free PL schedule is a behavior of
+/// `C̄` — replay an arbitrary legal send/receive interleaving against the
+/// channel with the matching delivery set.
+#[test]
+fn lemma_6_2_universal_channel_admits_sensible_schedules() {
+    // Receive order 2, 1 with packet 3 lost: delivery set {(2,1), (1,2)}.
+    let set = DeliverySet::new(vec![2, 1], 3).unwrap();
+    let ch = PermissiveChannel::universal(Dir::TR);
+    let mut s = ch.initial_state(set);
+    for a in [
+        DlAction::Wake(Dir::TR),
+        DlAction::SendPkt(Dir::TR, pkt(1)),
+        DlAction::SendPkt(Dir::TR, pkt(2)),
+        DlAction::SendPkt(Dir::TR, pkt(3)),
+        DlAction::ReceivePkt(Dir::TR, pkt(2)),
+        DlAction::ReceivePkt(Dir::TR, pkt(1)),
+    ] {
+        s = ch.step_first(&s, &a).unwrap_or_else(|| panic!("{a} rejected"));
+    }
+    // Packet 3 is lost forever; no further delivery is enabled.
+    assert!(ch.enabled_local(&s).is_empty());
+}
+
+/// Lemma 6.3: any schedule can leave the channel in a clean state.
+#[test]
+fn lemma_6_3_clean_states_always_reachable() {
+    let ch = PermissiveChannel::fifo(Dir::TR);
+    let mut s = ch.start_states().remove(0);
+    for n in 0..4 {
+        s = ch.step_first(&s, &DlAction::SendPkt(Dir::TR, pkt(n))).unwrap();
+    }
+    s = ch.step_first(&s, &DlAction::ReceivePkt(Dir::TR, pkt(0))).unwrap();
+    s.make_clean();
+    assert!(s.is_clean());
+    // After cleaning, new sends flow FIFO with no losses.
+    let s2 = ch.step_first(&s, &DlAction::SendPkt(Dir::TR, pkt(9))).unwrap();
+    assert_eq!(s2.waiting(), vec![pkt(9)]);
+}
+
+/// Lemma 6.4: a waiting sequence can be delivered, in order.
+#[test]
+fn lemma_6_4_waiting_sequences_deliver_in_order() {
+    let ch = PermissiveChannel::universal(Dir::TR);
+    let mut s = ch.start_states().remove(0);
+    for n in 0..4 {
+        s = ch.step_first(&s, &DlAction::SendPkt(Dir::TR, pkt(n))).unwrap();
+    }
+    ch.set_waiting(&mut s, &[4, 2, 1]).unwrap();
+    for expect in [pkt(3), pkt(1), pkt(0)] {
+        let a = DlAction::ReceivePkt(Dir::TR, expect);
+        assert_eq!(ch.enabled_local(&s), vec![a]);
+        s = ch.step_first(&s, &a).unwrap();
+    }
+}
+
+/// Lemmas 6.5–6.7: sent packets can be waiting (6.5); any subsequence of a
+/// waiting sequence can be kept while the rest is lost (6.6); for `C̄`, any
+/// sequence of in-transit packets, in any order, can be waiting (6.7).
+#[test]
+fn lemmas_6_5_to_6_7_surgery() {
+    let ch = PermissiveChannel::universal(Dir::TR);
+    let mut s = ch.start_states().remove(0);
+    for n in 0..5 {
+        s = ch.step_first(&s, &DlAction::SendPkt(Dir::TR, pkt(n))).unwrap();
+    }
+    // 6.5: the sends are waiting (identity FIFO start).
+    assert_eq!(s.waiting().len(), 5);
+    // 6.6: keep the subsequence at positions 1 and 3.
+    s.lose(&[1, 3]).unwrap();
+    assert_eq!(s.waiting(), vec![pkt(1), pkt(3)]);
+    // 6.7: all in-transit packets (everything — nothing was received),
+    // in a scrambled order.
+    assert_eq!(s.in_transit_indices(), vec![1, 2, 3, 4, 5]);
+    s.set_waiting(&[5, 1, 4, 2, 3], false).unwrap();
+    let order: Vec<u64> = s.waiting().iter().map(|p| p.header.seq).collect();
+    assert_eq!(order, vec![4, 0, 3, 1, 2]);
+}
+
+/// Lemma 8.1: in a valid sequence, every sent message is received.
+#[test]
+fn lemma_8_1_validity_implies_delivery() {
+    let good = vec![
+        DlAction::Wake(Dir::TR),
+        DlAction::Wake(Dir::RT),
+        DlAction::SendMsg(Msg(1)),
+        DlAction::ReceiveMsg(Msg(1)),
+    ];
+    assert!(is_valid(&good));
+    // Add an unreceived send: the sequence stops being valid (DL8 fails on
+    // it), which is exactly the lemma's contrapositive.
+    let mut bad = good.clone();
+    bad.push(DlAction::SendMsg(Msg(2)));
+    assert!(!is_valid(&bad));
+}
+
+/// Lemma 8.2: a valid sequence extended with `send_msg(m) receive_msg(m)`
+/// for a fresh `m` stays valid.
+#[test]
+fn lemma_8_2_validity_extends() {
+    let mut beta = vec![DlAction::Wake(Dir::TR), DlAction::Wake(Dir::RT)];
+    assert!(is_valid(&beta));
+    for m in 0..5 {
+        beta.push(DlAction::SendMsg(Msg(m)));
+        beta.push(DlAction::ReceiveMsg(Msg(m)));
+        assert!(is_valid(&beta), "after extending with m{m}");
+    }
+}
