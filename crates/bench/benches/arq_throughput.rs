@@ -35,14 +35,20 @@ where
 
 fn overhead_table() {
     eprintln!("E3: data packets per delivered message ({MSGS} messages)");
-    eprintln!("{:<20} {:>10} {:>10} {:>10}", "protocol", "lossless", "1/4 loss", "~1/2 loss");
+    eprintln!(
+        "{:<20} {:>10} {:>10} {:>10}",
+        "protocol", "lossless", "1/4 loss", "~1/2 loss"
+    );
     let modes = [LossMode::None, LossMode::EveryNth(4), LossMode::Nondet];
     let report = |name: &str, f: &dyn Fn(LossMode) -> Metrics| {
         let cells: Vec<String> = modes
             .iter()
             .map(|m| format!("{:.2}", f(*m).overhead()))
             .collect();
-        eprintln!("{:<20} {:>10} {:>10} {:>10}", name, cells[0], cells[1], cells[2]);
+        eprintln!(
+            "{:<20} {:>10} {:>10} {:>10}",
+            name, cells[0], cells[1], cells[2]
+        );
     };
     report("abp", &|m| {
         let p = dl_protocols::abp::protocol();
@@ -87,16 +93,12 @@ fn bench_throughput(c: &mut Criterion) {
                 },
             );
         }
-        group.bench_with_input(
-            BenchmarkId::new("abp_loss_1_over", loss),
-            &loss,
-            |b, _| {
-                b.iter(|| {
-                    let p = dl_protocols::abp::protocol();
-                    run(p.transmitter, p.receiver, mode, 7).steps
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("abp_loss_1_over", loss), &loss, |b, _| {
+            b.iter(|| {
+                let p = dl_protocols::abp::protocol();
+                run(p.transmitter, p.receiver, mode, 7).steps
+            })
+        });
         group.bench_with_input(
             BenchmarkId::new("stenning_loss_1_over", loss),
             &loss,

@@ -17,8 +17,7 @@ fn bench_pump_chain(c: &mut Criterion) {
     for w in [1u64, 2, 4, 8, 16] {
         // Report the reference length and pump count once per size.
         let p = dl_protocols::sliding_window::protocol(w);
-        let engine =
-            CrashEngine::new(p.transmitter, p.receiver, CrashConfig::default()).unwrap();
+        let engine = CrashEngine::new(p.transmitter, p.receiver, CrashConfig::default()).unwrap();
         let ref_len = engine.reference().len();
         let cx = engine.run().unwrap();
         eprintln!(
@@ -33,8 +32,7 @@ fn bench_pump_chain(c: &mut Criterion) {
             b.iter(|| {
                 let p = dl_protocols::sliding_window::protocol(w);
                 let engine =
-                    CrashEngine::new(p.transmitter, p.receiver, CrashConfig::default())
-                        .unwrap();
+                    CrashEngine::new(p.transmitter, p.receiver, CrashConfig::default()).unwrap();
                 engine.run().unwrap().pumps
             })
         });

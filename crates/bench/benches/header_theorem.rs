@@ -11,7 +11,10 @@ use dl_impossibility::headers::{refute_bounded_headers, HeaderOutcome};
 
 fn bench_header_theorem(c: &mut Criterion) {
     eprintln!("E6: pump rounds to refute bounded-header protocols (bound = k·|H|)");
-    eprintln!("{:<16} {:>8} {:>8} {:>10}", "protocol", "|H|", "rounds", "k·|H|");
+    eprintln!(
+        "{:<16} {:>8} {:>8} {:>10}",
+        "protocol", "|H|", "rounds", "k·|H|"
+    );
     for w in [1u64, 2, 3, 4, 6] {
         let p = dl_protocols::sliding_window::protocol(w);
         let h = p.info.header_bound.unwrap();

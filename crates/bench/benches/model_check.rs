@@ -1,18 +1,20 @@
 //! E9 (extension): exhaustive small-model verification.
 //!
 //! Complements the constructive engines: BFS over *all* interleavings of a
-//! bounded data link implementation composed with the WDL-safety observer.
-//! Prints reachable-state counts and violation path lengths; measures the
-//! exploration cost as the channel capacity (and hence the state space)
-//! grows.
+//! bounded data link implementation composed with the WDL-safety observer,
+//! run on `dl-explore`'s parallel engine (the thread-count sweep lives in
+//! `parallel_explore.rs`). Prints reachable-state counts and violation
+//! path lengths; measures the exploration cost as the channel capacity
+//! (and hence the state space) grows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use dl_channels::{LossMode, LossyFifoChannel};
 use dl_core::action::{Dir, DlAction, Msg, Station};
 use dl_core::observer::{ObserverState, WdlObserver};
+use dl_explore::ParallelExplorer;
 use ioa::composition::Compose2;
-use ioa::{Automaton, Explorer};
+use ioa::Automaton;
 
 type Sys = Compose2<
     Compose2<dl_protocols::AbpTransmitter, dl_protocols::AbpReceiver>,
@@ -46,7 +48,7 @@ fn woken(sys: &Sys) -> <Sys as Automaton>::State {
 fn explore_crash_free(cap: usize, msgs: u64) -> usize {
     let sys = system(cap);
     let start = woken(&sys);
-    let explorer = Explorer::new(
+    let explorer = ParallelExplorer::new(
         &sys,
         move |s: &<Sys as Automaton>::State| {
             let obs = observer_of(s);
@@ -61,14 +63,17 @@ fn explore_crash_free(cap: usize, msgs: u64) -> usize {
         100_000,
     );
     let report = explorer.check_invariant_from(vec![start], |s| observer_of(s).is_safe());
-    assert!(report.holds(), "ABP crash-free safety must hold exhaustively");
+    assert!(
+        report.holds(),
+        "ABP crash-free safety must hold exhaustively"
+    );
     report.states_visited
 }
 
 fn explore_with_crash(cap: usize) -> (usize, usize) {
     let sys = system(cap);
     let start = woken(&sys);
-    let explorer = Explorer::new(
+    let explorer = ParallelExplorer::new(
         &sys,
         |s: &<Sys as Automaton>::State| {
             let mut out = Vec::new();
@@ -85,8 +90,10 @@ fn explore_with_crash(cap: usize) -> (usize, usize) {
         100_000,
     );
     let report = explorer.check_invariant_from(vec![start], |s| observer_of(s).is_safe());
-    let (path, _) = report.violation.expect("DL4 must be reachable with crashes");
-    (report.states_visited, path.len())
+    let v = report
+        .violation
+        .expect("DL4 must be reachable with crashes");
+    (report.states_visited, v.path.len())
 }
 
 fn bench_model_check(c: &mut Criterion) {

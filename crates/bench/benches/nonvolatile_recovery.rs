@@ -47,7 +47,10 @@ fn run_recovery(crashes: usize, seed: u64) -> (u64, u64, u64) {
 
 fn bench_recovery(c: &mut Criterion) {
     eprintln!("E8: non-volatile epoch protocol under crash storms (4 msgs/round, 20% loss)");
-    eprintln!("{:>8} {:>10} {:>10} {:>10}", "crashes", "sent", "delivered", "steps");
+    eprintln!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "crashes", "sent", "delivered", "steps"
+    );
     for crashes in [0usize, 2, 8, 32] {
         let (recv, sent, steps) = run_recovery(crashes, 3);
         eprintln!("{crashes:>8} {sent:>10} {recv:>10} {steps:>10}");

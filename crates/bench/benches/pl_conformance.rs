@@ -55,14 +55,10 @@ fn bench_channels(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_channel_run");
     group.sample_size(20);
     for n in [100u64, 1_000] {
-        group.bench_with_input(
-            BenchmarkId::new("permissive_fifo", n),
-            &n,
-            |b, &n| {
-                let ch = PermissiveChannel::fifo(Dir::TR);
-                b.iter(|| make_schedule(&ch, n, 7).len())
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("permissive_fifo", n), &n, |b, &n| {
+            let ch = PermissiveChannel::fifo(Dir::TR);
+            b.iter(|| make_schedule(&ch, n, 7).len())
+        });
         group.bench_with_input(BenchmarkId::new("lossy_fifo", n), &n, |b, &n| {
             let ch = LossyFifoChannel::new(Dir::TR, LossMode::EveryNth(4));
             b.iter(|| make_schedule(&ch, n, 7).len())

@@ -109,7 +109,10 @@ impl DeliverySet {
                 return Err(DeliverySetError::DuplicateSource(i));
             }
         }
-        Ok(DeliverySet { explicit, tail_base })
+        Ok(DeliverySet {
+            explicit,
+            tail_base,
+        })
     }
 
     /// The source index `i` of the pair `(i, j)`, for 1-based `j`.
@@ -154,10 +157,7 @@ impl DeliverySet {
     /// delivery sets (§6.2).
     #[must_use]
     pub fn is_monotone(&self) -> bool {
-        let increasing = self
-            .explicit
-            .windows(2)
-            .all(|w| w[0] < w[1]);
+        let increasing = self.explicit.windows(2).all(|w| w[0] < w[1]);
         let last_ok = self
             .explicit
             .last()
@@ -288,12 +288,7 @@ impl fmt::Display for DeliverySet {
         for (k, i) in self.explicit.iter().enumerate() {
             write!(f, "({}, {}), ", i, k + 1)?;
         }
-        write!(
-            f,
-            "({}+k, {}+k)…}}",
-            self.tail_base,
-            self.explicit.len()
-        )
+        write!(f, "({}+k, {}+k)…}}", self.tail_base, self.explicit.len())
     }
 }
 

@@ -25,4 +25,6 @@ pub mod simulated;
 
 pub use delivery_set::{DeliverySet, DeliverySetError};
 pub use permissive::{ChannelState, PermissiveChannel, SurgeryError};
-pub use simulated::{BurstLossChannel, BurstState, FlightState, LossMode, LossyFifoChannel, ReorderChannel};
+pub use simulated::{
+    BurstLossChannel, BurstState, FlightState, LossMode, LossyFifoChannel, ReorderChannel,
+};

@@ -155,11 +155,7 @@ impl ChannelState {
             if i == 0 || i > self.counter1() {
                 return Err(SurgeryError::NotSent(i));
             }
-            if self
-                .set
-                .position_of(i)
-                .is_some_and(|j| j <= self.delivered)
-            {
+            if self.set.position_of(i).is_some_and(|j| j <= self.delivered) {
                 return Err(SurgeryError::AlreadyDelivered(i));
             }
             if indices[..k].contains(&i) {
@@ -410,12 +406,18 @@ mod tests {
         s = send(&ch, &s, pkt(0));
         s = send(&ch, &s, pkt(1));
         assert_eq!(s.counter1(), 2);
-        assert_eq!(ch.enabled_local(&s), vec![DlAction::ReceivePkt(Dir::TR, pkt(0))]);
+        assert_eq!(
+            ch.enabled_local(&s),
+            vec![DlAction::ReceivePkt(Dir::TR, pkt(0))]
+        );
         let s = ch
             .step_first(&s, &DlAction::ReceivePkt(Dir::TR, pkt(0)))
             .unwrap();
         assert_eq!(s.counter2(), 1);
-        assert_eq!(ch.enabled_local(&s), vec![DlAction::ReceivePkt(Dir::TR, pkt(1))]);
+        assert_eq!(
+            ch.enabled_local(&s),
+            vec![DlAction::ReceivePkt(Dir::TR, pkt(1))]
+        );
     }
 
     #[test]
@@ -459,9 +461,7 @@ mod tests {
         }
         // Out-of-scope actions have no transitions.
         assert!(ch.successors(&s, &DlAction::Wake(Dir::RT)).is_empty());
-        assert!(ch
-            .successors(&s, &DlAction::SendMsg(Msg(0)))
-            .is_empty());
+        assert!(ch.successors(&s, &DlAction::SendMsg(Msg(0))).is_empty());
     }
 
     #[test]
@@ -548,10 +548,7 @@ mod tests {
         let ch = PermissiveChannel::universal(Dir::TR);
         let mut s = ch.start_states().remove(0);
         s = send(&ch, &s, pkt(0));
-        assert_eq!(
-            ch.set_waiting(&mut s, &[5]),
-            Err(SurgeryError::NotSent(5))
-        );
+        assert_eq!(ch.set_waiting(&mut s, &[5]), Err(SurgeryError::NotSent(5)));
         assert_eq!(
             ch.set_waiting(&mut s, &[1, 1]),
             Err(SurgeryError::Duplicate(1))

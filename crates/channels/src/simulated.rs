@@ -152,7 +152,9 @@ impl Automaton for LossyFifoChannel {
 
     fn successors(&self, s: &FlightState, a: &DlAction) -> Vec<FlightState> {
         match a {
-            DlAction::SendPkt(d, p) if *d == self.dir => send_successors(s, p, self.mode, self.capacity),
+            DlAction::SendPkt(d, p) if *d == self.dir => {
+                send_successors(s, p, self.mode, self.capacity)
+            }
             DlAction::ReceivePkt(d, p) if *d == self.dir => match s.in_flight.first() {
                 Some(q) if q == p => {
                     let mut t = s.clone();
@@ -242,7 +244,9 @@ impl Automaton for ReorderChannel {
 
     fn successors(&self, s: &FlightState, a: &DlAction) -> Vec<FlightState> {
         match a {
-            DlAction::SendPkt(d, p) if *d == self.dir => send_successors(s, p, self.mode, self.capacity),
+            DlAction::SendPkt(d, p) if *d == self.dir => {
+                send_successors(s, p, self.mode, self.capacity)
+            }
             DlAction::ReceivePkt(d, p) if *d == self.dir => {
                 match s.in_flight.iter().position(|q| q == p) {
                     Some(k) => {
@@ -475,7 +479,9 @@ mod tests {
         s = ch.step_first(&s, &DlAction::SendPkt(Dir::TR, a)).unwrap();
         s = ch.step_first(&s, &DlAction::SendPkt(Dir::TR, b)).unwrap();
         assert_eq!(ch.enabled_local(&s).len(), 2);
-        let s = ch.step_first(&s, &DlAction::ReceivePkt(Dir::TR, a)).unwrap();
+        let s = ch
+            .step_first(&s, &DlAction::ReceivePkt(Dir::TR, a))
+            .unwrap();
         assert_eq!(s.in_flight, vec![b]);
     }
 

@@ -420,10 +420,7 @@ mod tests {
     fn display_round_trip_is_readable() {
         assert_eq!(DlAction::Wake(Dir::TR).to_string(), "wake^t,r");
         assert_eq!(DlAction::Crash(Station::R).to_string(), "crash^r,t");
-        assert_eq!(
-            DlAction::SendMsg(Msg(3)).to_string(),
-            "send_msg^t,r(m3)"
-        );
+        assert_eq!(DlAction::SendMsg(Msg(3)).to_string(), "send_msg^t,r(m3)");
         let p = Packet::data(1, Msg(2)).with_uid(7);
         assert_eq!(
             DlAction::SendPkt(Dir::TR, p).to_string(),

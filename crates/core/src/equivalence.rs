@@ -191,11 +191,7 @@ pub fn actions_equivalent(a: &DlAction, b: &DlAction) -> bool {
 /// "equivalent with respect to ≡" for sequences).
 #[must_use]
 pub fn sequences_equivalent(xs: &[DlAction], ys: &[DlAction]) -> bool {
-    xs.len() == ys.len()
-        && xs
-            .iter()
-            .zip(ys)
-            .all(|(x, y)| actions_equivalent(x, y))
+    xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| actions_equivalent(x, y))
 }
 
 /// `true` if `replay` is exactly `renaming` applied to `reference`, up to

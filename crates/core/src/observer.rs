@@ -162,7 +162,10 @@ mod tests {
         let o = WdlObserver;
         assert_eq!(o.classify(&DlAction::Wake(crate::action::Dir::TR)), None);
         assert!(o
-            .successors(&ObserverState::default(), &DlAction::Wake(crate::action::Dir::TR))
+            .successors(
+                &ObserverState::default(),
+                &DlAction::Wake(crate::action::Dir::TR)
+            )
             .is_empty());
         assert!(o.enabled_local(&ObserverState::default()).is_empty());
     }

@@ -186,8 +186,16 @@ where
     /// Panics if `transmitter` is not at [`Station::T`] or `receiver` not
     /// at [`Station::R`].
     pub fn new(transmitter: T, receiver: R, info: ProtocolInfo) -> Self {
-        assert_eq!(transmitter.station(), Station::T, "transmitter must be at station t");
-        assert_eq!(receiver.station(), Station::R, "receiver must be at station r");
+        assert_eq!(
+            transmitter.station(),
+            Station::T,
+            "transmitter must be at station t"
+        );
+        assert_eq!(
+            receiver.station(),
+            Station::R,
+            "receiver must be at station r"
+        );
         DataLinkProtocol {
             transmitter,
             receiver,
@@ -287,7 +295,10 @@ mod tests {
     fn transmitter_signature_matches_paper() {
         use ActionClass::*;
         let p = Packet::data(0, Msg(0));
-        assert_eq!(transmitter_classify(&DlAction::SendMsg(Msg(0))), Some(Input));
+        assert_eq!(
+            transmitter_classify(&DlAction::SendMsg(Msg(0))),
+            Some(Input)
+        );
         assert_eq!(
             transmitter_classify(&DlAction::ReceivePkt(Dir::RT, p)),
             Some(Input)
@@ -309,7 +320,10 @@ mod tests {
         // Not in the signature:
         assert_eq!(transmitter_classify(&DlAction::ReceiveMsg(Msg(0))), None);
         assert_eq!(transmitter_classify(&DlAction::SendPkt(Dir::RT, p)), None);
-        assert_eq!(transmitter_classify(&DlAction::ReceivePkt(Dir::TR, p)), None);
+        assert_eq!(
+            transmitter_classify(&DlAction::ReceivePkt(Dir::TR, p)),
+            None
+        );
         assert_eq!(transmitter_classify(&DlAction::Wake(Dir::RT)), None);
         assert_eq!(transmitter_classify(&DlAction::Crash(Station::R)), None);
         assert_eq!(
@@ -354,15 +368,27 @@ mod tests {
             channel_classify(Dir::TR, &DlAction::ReceivePkt(Dir::TR, p)),
             Some(Output)
         );
-        assert_eq!(channel_classify(Dir::TR, &DlAction::Wake(Dir::TR)), Some(Input));
-        assert_eq!(channel_classify(Dir::TR, &DlAction::Fail(Dir::TR)), Some(Input));
+        assert_eq!(
+            channel_classify(Dir::TR, &DlAction::Wake(Dir::TR)),
+            Some(Input)
+        );
+        assert_eq!(
+            channel_classify(Dir::TR, &DlAction::Fail(Dir::TR)),
+            Some(Input)
+        );
         // crash^{t,r} (the transmitting station) is an input of PL^{t,r}.
         assert_eq!(
             channel_classify(Dir::TR, &DlAction::Crash(Station::T)),
             Some(Input)
         );
-        assert_eq!(channel_classify(Dir::TR, &DlAction::Crash(Station::R)), None);
-        assert_eq!(channel_classify(Dir::TR, &DlAction::SendPkt(Dir::RT, p)), None);
+        assert_eq!(
+            channel_classify(Dir::TR, &DlAction::Crash(Station::R)),
+            None
+        );
+        assert_eq!(
+            channel_classify(Dir::TR, &DlAction::SendPkt(Dir::RT, p)),
+            None
+        );
         assert_eq!(channel_classify(Dir::TR, &DlAction::SendMsg(Msg(0))), None);
         // And symmetrically for r→t.
         assert_eq!(

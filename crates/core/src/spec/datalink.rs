@@ -176,14 +176,13 @@ pub fn check_dl5(trace: &[DlAction]) -> Option<Violation> {
     for (i, a) in trace.iter().enumerate() {
         match a {
             DlAction::SendMsg(m) => sent.push(*m),
-            DlAction::ReceiveMsg(m)
-                if !sent.contains(m) => {
-                    return Some(Violation {
-                        property: "DL5",
-                        at: Some(i),
-                        reason: format!("message {m} received but never sent"),
-                    });
-                }
+            DlAction::ReceiveMsg(m) if !sent.contains(m) => {
+                return Some(Violation {
+                    property: "DL5",
+                    at: Some(i),
+                    reason: format!("message {m} received but never sent"),
+                });
+            }
             _ => {}
         }
     }
@@ -338,8 +337,14 @@ mod tests {
     fn lemma_4_1_behavior_is_allowed() {
         let mut t = preamble();
         t.extend([SendMsg(Msg(1)), ReceiveMsg(Msg(1))]);
-        assert_eq!(DlModule::weak().check(&t, TraceKind::Complete), Verdict::Satisfied);
-        assert_eq!(DlModule::full().check(&t, TraceKind::Complete), Verdict::Satisfied);
+        assert_eq!(
+            DlModule::weak().check(&t, TraceKind::Complete),
+            Verdict::Satisfied
+        );
+        assert_eq!(
+            DlModule::full().check(&t, TraceKind::Complete),
+            Verdict::Satisfied
+        );
     }
 
     #[test]
@@ -367,9 +372,7 @@ mod tests {
             ReceiveMsg(Msg(2)),
             ReceiveMsg(Msg(1)),
         ]);
-        assert!(DlModule::weak()
-            .check(&t, TraceKind::Prefix)
-            .is_allowed());
+        assert!(DlModule::weak().check(&t, TraceKind::Prefix).is_allowed());
         let v = DlModule::full().check(&t, TraceKind::Prefix);
         assert_eq!(v.violation().unwrap().property, "DL6 (FIFO)");
     }
@@ -404,7 +407,10 @@ mod tests {
             SendMsg(Msg(2)),
             ReceiveMsg(Msg(2)),
         ];
-        assert_eq!(DlModule::full().check(&t, TraceKind::Complete), Verdict::Satisfied);
+        assert_eq!(
+            DlModule::full().check(&t, TraceKind::Complete),
+            Verdict::Satisfied
+        );
     }
 
     #[test]
@@ -427,7 +433,10 @@ mod tests {
             Fail(Dir::TR),
             Fail(Dir::RT),
         ];
-        assert_eq!(DlModule::weak().check(&t, TraceKind::Complete), Verdict::Satisfied);
+        assert_eq!(
+            DlModule::weak().check(&t, TraceKind::Complete),
+            Verdict::Satisfied
+        );
     }
 
     #[test]
@@ -477,7 +486,10 @@ mod tests {
             SendMsg(Msg(1)),
             ReceiveMsg(Msg(1)),
         ];
-        assert_eq!(DlModule::weak().check(&t, TraceKind::Complete), Verdict::Satisfied);
+        assert_eq!(
+            DlModule::weak().check(&t, TraceKind::Complete),
+            Verdict::Satisfied
+        );
     }
 
     #[test]

@@ -107,11 +107,7 @@ impl ScheduleModule for PlModule {
 
 /// PL1: every `send_pkt^{d}` event occurs in a working interval.
 #[must_use]
-pub fn check_pl1(
-    trace: &[DlAction],
-    timeline: &MediumTimeline,
-    dir: Dir,
-) -> Option<Violation> {
+pub fn check_pl1(trace: &[DlAction], timeline: &MediumTimeline, dir: Dir) -> Option<Violation> {
     for (i, a) in trace.iter().enumerate() {
         if let DlAction::SendPkt(d, _) = a {
             if *d == dir && !timeline.in_working_interval(i) {
@@ -269,7 +265,10 @@ mod tests {
     #[test]
     fn good_trace_satisfies_both_modules() {
         for m in [PlModule::pl(Dir::TR), PlModule::pl_fifo(Dir::TR)] {
-            assert_eq!(m.check(&good_trace(), TraceKind::Complete), Verdict::Satisfied);
+            assert_eq!(
+                m.check(&good_trace(), TraceKind::Complete),
+                Verdict::Satisfied
+            );
         }
     }
 
@@ -365,11 +364,7 @@ mod tests {
 
     #[test]
     fn fail_ends_working_interval() {
-        let trace = vec![
-            Wake(Dir::TR),
-            Fail(Dir::TR),
-            SendPkt(Dir::TR, pkt(0, 1)),
-        ];
+        let trace = vec![Wake(Dir::TR), Fail(Dir::TR), SendPkt(Dir::TR, pkt(0, 1))];
         match PlModule::pl(Dir::TR).check(&trace, TraceKind::Prefix) {
             Verdict::Vacuous(v) => assert_eq!(v.property, "PL1"),
             other => panic!("expected vacuous PL1, got {other:?}"),

@@ -279,12 +279,12 @@ mod tests {
     #[test]
     fn working_interval_membership() {
         let trace = [
-            Wake(Dir::TR),          // 0 opens
-            SendMsg(Msg(1)),        // 1 inside
-            Fail(Dir::TR),          // 2 closes
-            SendMsg(Msg(2)),        // 3 outside
-            Wake(Dir::TR),          // 4 opens unbounded
-            ReceiveMsg(Msg(1)),     // 5 inside unbounded
+            Wake(Dir::TR),      // 0 opens
+            SendMsg(Msg(1)),    // 1 inside
+            Fail(Dir::TR),      // 2 closes
+            SendMsg(Msg(2)),    // 3 outside
+            Wake(Dir::TR),      // 4 opens unbounded
+            ReceiveMsg(Msg(1)), // 5 inside unbounded
         ];
         let t = MediumTimeline::scan(&trace, Dir::TR);
         assert!(t.in_working_interval(1));

@@ -1,0 +1,543 @@
+//! The layer-synchronous parallel BFS engine.
+
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use ioa::Automaton;
+
+use crate::property::{Invariant, Property};
+use crate::report::{ExploreReport, LayerStats, Truncation, Violation};
+use crate::shard::{ClaimKey, ClaimOutcome, ShardedVisited};
+
+/// One admitted state with its deterministic predecessor link.
+struct Record<S, A> {
+    state: S,
+    /// Arena index of the predecessor, or `usize::MAX` for start states.
+    parent: usize,
+    /// Action taken from the predecessor (`None` for start states).
+    action: Option<A>,
+}
+
+#[derive(Default, Clone, Copy)]
+struct WorkerStats {
+    quiescent: usize,
+    edges: u64,
+    duplicates: u64,
+}
+
+impl WorkerStats {
+    fn merge(self, other: WorkerStats) -> WorkerStats {
+        WorkerStats {
+            quiescent: self.quiescent + other.quiescent,
+            edges: self.edges + other.edges,
+            duplicates: self.duplicates + other.duplicates,
+        }
+    }
+}
+
+/// Parallel breadth-first explorer over an automaton's reachable states.
+///
+/// Drop-in generalization of [`ioa::Explorer`]: same constructor shape
+/// (`automaton`, permitted-inputs closure, state and depth budgets), plus
+/// [`threads`](ParallelExplorer::threads) /
+/// [`shards`](ParallelExplorer::shards) controls and multi-property
+/// search via [`check_properties_from`](ParallelExplorer::check_properties_from).
+pub struct ParallelExplorer<M, I> {
+    automaton: M,
+    /// Environment inputs permitted in a given state.
+    inputs: I,
+    max_states: usize,
+    max_depth: usize,
+    threads: usize,
+    shards: usize,
+}
+
+impl<M, I> ParallelExplorer<M, I>
+where
+    M: Automaton + Sync,
+    M::State: Hash + Send + Sync,
+    M::Action: Send + Sync,
+    I: Fn(&M::State) -> Vec<M::Action> + Sync,
+{
+    /// Creates an explorer. `inputs(state)` returns the environment input
+    /// actions to consider from `state` (return an empty vector for a
+    /// closed system). Thread count defaults to the machine's available
+    /// parallelism.
+    pub fn new(automaton: M, inputs: I, max_states: usize, max_depth: usize) -> Self {
+        ParallelExplorer {
+            automaton,
+            inputs,
+            max_states,
+            max_depth,
+            threads: 0,
+            shards: 64,
+        }
+    }
+
+    /// Sets the worker thread count; `0` means available parallelism.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the visited-set shard count (rounded up to a power of two).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        }
+    }
+
+    /// Explores breadth-first from the automaton's start states, checking
+    /// `invariant` on every admitted state (start states included).
+    pub fn check_invariant(
+        &self,
+        invariant: impl Fn(&M::State) -> bool + Sync,
+    ) -> ExploreReport<M::Action, M::State> {
+        self.check_invariant_from(self.automaton.start_states(), invariant)
+    }
+
+    /// Like [`check_invariant`](Self::check_invariant) but explores from
+    /// the given states — useful when a fixed environment prefix (e.g.
+    /// waking the media) should be applied before exploration begins.
+    pub fn check_invariant_from(
+        &self,
+        starts: Vec<M::State>,
+        invariant: impl Fn(&M::State) -> bool + Sync,
+    ) -> ExploreReport<M::Action, M::State> {
+        let invariant = Invariant::new("invariant", invariant);
+        self.check_properties_from(starts, &[&invariant])
+    }
+
+    /// Counts reachable states (no properties), for sizing studies.
+    pub fn reachable_states(&self) -> ExploreReport<M::Action, M::State> {
+        self.check_properties_from(self.automaton.start_states(), &[])
+    }
+
+    /// Explores breadth-first from `starts`, checking every property on
+    /// every admitted state. Stops at the end of the first layer
+    /// containing a violation and reports the violating state with the
+    /// minimal claim — both independent of the thread count.
+    pub fn check_properties_from(
+        &self,
+        starts: Vec<M::State>,
+        properties: &[&dyn Property<M::State>],
+    ) -> ExploreReport<M::Action, M::State> {
+        let t0 = Instant::now();
+        let threads = self.effective_threads();
+        let mut visited: ShardedVisited<M::State, M::Action> = ShardedVisited::new(self.shards);
+        let mut arena: Vec<Record<M::State, M::Action>> = Vec::new();
+
+        for state in starts {
+            if visited.insert_done(&state) {
+                arena.push(Record {
+                    state,
+                    parent: usize::MAX,
+                    action: None,
+                });
+            }
+        }
+
+        // Check properties on start states first, in admission order.
+        for i in 0..arena.len() {
+            if let Some(property) = first_violation(properties, &arena[i].state) {
+                return ExploreReport {
+                    states_visited: arena.len(),
+                    truncation: None,
+                    violation: Some(Violation {
+                        path: vec![],
+                        state: arena[i].state.clone(),
+                        property,
+                    }),
+                    quiescent_states: 0,
+                    layers: vec![],
+                    threads,
+                    duration: t0.elapsed(),
+                };
+            }
+        }
+
+        let mut layers: Vec<LayerStats> = Vec::new();
+        let mut quiescent = 0usize;
+        let mut truncation: Option<Truncation> = None;
+        let mut violation: Option<Violation<M::Action, M::State>> = None;
+        let mut layer_start = 0usize;
+        let mut depth = 0usize;
+
+        loop {
+            let layer_end = arena.len();
+            if layer_start == layer_end {
+                break;
+            }
+            if depth >= self.max_depth {
+                // Mirror the sequential explorer: a non-empty frontier at
+                // the depth budget means the verdict is inconclusive.
+                truncation = Some(Truncation::DepthBudget);
+                break;
+            }
+
+            let frontier = layer_end - layer_start;
+            // Thin layers are not worth fanning out: the spawn cost would
+            // exceed the expansion work, and expansion order is
+            // irrelevant to the result either way.
+            let fan_out = if frontier < threads * 4 { 1 } else { threads };
+            let counter = AtomicUsize::new(layer_start);
+            let chunk = (frontier / (fan_out * 8)).max(1);
+
+            let stats = if fan_out == 1 {
+                self.expand_worker(&arena, layer_end, chunk, &counter, &visited)
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..fan_out)
+                        .map(|_| {
+                            scope.spawn(|| {
+                                self.expand_worker(&arena, layer_end, chunk, &counter, &visited)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("explore worker panicked"))
+                        .fold(WorkerStats::default(), WorkerStats::merge)
+                })
+            };
+            quiescent += stats.quiescent;
+
+            let mut fresh = visited.drain_fresh_sorted();
+            let room = self.max_states.saturating_sub(arena.len());
+            if fresh.len() > room {
+                truncation = Some(Truncation::StateBudget);
+                for dropped in fresh.drain(room..) {
+                    visited.remove(&dropped.state);
+                }
+            }
+            layers.push(LayerStats {
+                depth,
+                frontier,
+                discovered: fresh.len(),
+                edges: stats.edges,
+                duplicates: stats.duplicates,
+            });
+
+            let admitted_start = arena.len();
+            for claim in fresh {
+                arena.push(Record {
+                    state: claim.state,
+                    parent: claim.key.parent,
+                    action: Some(claim.action),
+                });
+            }
+
+            // Check properties on the admitted states in deterministic
+            // (claim-key) order; the first violator is the counterexample
+            // for every thread count.
+            for idx in admitted_start..arena.len() {
+                if let Some(property) = first_violation(properties, &arena[idx].state) {
+                    violation = Some(Violation {
+                        path: reconstruct_path(&arena, idx),
+                        state: arena[idx].state.clone(),
+                        property,
+                    });
+                    break;
+                }
+            }
+            if violation.is_some() {
+                break;
+            }
+
+            layer_start = admitted_start;
+            depth += 1;
+        }
+
+        ExploreReport {
+            states_visited: arena.len(),
+            truncation,
+            violation,
+            quiescent_states: quiescent,
+            layers,
+            threads,
+            duration: t0.elapsed(),
+        }
+    }
+
+    /// One worker's share of a layer expansion: steal frontier chunks,
+    /// enumerate each state's actions and successors, claim discoveries
+    /// in the sharded visited set.
+    fn expand_worker(
+        &self,
+        arena: &[Record<M::State, M::Action>],
+        layer_end: usize,
+        chunk: usize,
+        counter: &AtomicUsize,
+        visited: &ShardedVisited<M::State, M::Action>,
+    ) -> WorkerStats {
+        let mut stats = WorkerStats::default();
+        loop {
+            let begin = counter.fetch_add(chunk, Ordering::Relaxed);
+            if begin >= layer_end {
+                break;
+            }
+            let end = (begin + chunk).min(layer_end);
+            for (idx, record) in arena.iter().enumerate().take(end).skip(begin) {
+                let state = &record.state;
+                let mut actions = self.automaton.enabled_local(state);
+                let extra = (self.inputs)(state);
+                if actions.is_empty() && extra.is_empty() {
+                    stats.quiescent += 1;
+                    continue;
+                }
+                actions.extend(extra);
+                for (ai, action) in actions.iter().enumerate() {
+                    for (si, succ) in self
+                        .automaton
+                        .successors(state, action)
+                        .into_iter()
+                        .enumerate()
+                    {
+                        stats.edges += 1;
+                        let key = ClaimKey {
+                            parent: idx,
+                            action: ai,
+                            succ: si,
+                        };
+                        match visited.claim(succ, key, action) {
+                            ClaimOutcome::New => {}
+                            ClaimOutcome::Duplicate => stats.duplicates += 1,
+                        }
+                    }
+                }
+            }
+        }
+        stats
+    }
+}
+
+/// First property (in order) that `state` violates, as an owned name.
+fn first_violation<S>(properties: &[&dyn Property<S>], state: &S) -> Option<String> {
+    properties
+        .iter()
+        .find(|p| !p.holds(state))
+        .map(|p| p.name().to_string())
+}
+
+/// Follows predecessor links from `idx` back to a start state.
+fn reconstruct_path<S, A: Clone>(arena: &[Record<S, A>], mut idx: usize) -> Vec<A> {
+    let mut path = Vec::new();
+    while arena[idx].parent != usize::MAX {
+        path.push(
+            arena[idx]
+                .action
+                .clone()
+                .expect("non-root record carries an action"),
+        );
+        idx = arena[idx].parent;
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioa::{ActionClass, Explorer, TaskId};
+
+    /// Counter modulo `n` with an input `Bump` and output `Tick` — the
+    /// same model the sequential explorer's unit tests use.
+    #[derive(Clone)]
+    struct Counter {
+        n: u8,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    enum Act {
+        Bump,
+        Tick,
+    }
+
+    impl Automaton for Counter {
+        type Action = Act;
+        type State = u8;
+
+        fn start_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+        fn classify(&self, a: &Act) -> Option<ActionClass> {
+            Some(match a {
+                Act::Bump => ActionClass::Input,
+                Act::Tick => ActionClass::Output,
+            })
+        }
+        fn successors(&self, s: &u8, a: &Act) -> Vec<u8> {
+            match a {
+                Act::Bump => vec![(s + 1) % self.n],
+                Act::Tick => {
+                    if s.is_multiple_of(2) {
+                        vec![(s + 2) % self.n]
+                    } else {
+                        vec![]
+                    }
+                }
+            }
+        }
+        fn enabled_local(&self, s: &u8) -> Vec<Act> {
+            if s.is_multiple_of(2) {
+                vec![Act::Tick]
+            } else {
+                vec![]
+            }
+        }
+        fn task_of(&self, _a: &Act) -> TaskId {
+            TaskId(0)
+        }
+        fn task_count(&self) -> usize {
+            1
+        }
+    }
+
+    fn bump(_s: &u8) -> Vec<Act> {
+        vec![Act::Bump]
+    }
+
+    #[test]
+    fn finds_shortest_violation_path_every_thread_count() {
+        for threads in [1, 2, 4] {
+            let e = ParallelExplorer::new(Counter { n: 10 }, bump, 1000, 100).threads(threads);
+            let report = e.check_invariant(|s| *s != 3);
+            let v = report.violation.expect("3 is reachable");
+            assert_eq!(v.state, 3);
+            assert_eq!(v.path.len(), 2, "Tick then Bump is shortest");
+            // The deterministic claim order also pins the path itself.
+            assert_eq!(v.path, vec![Act::Tick, Act::Bump]);
+        }
+    }
+
+    #[test]
+    fn exhaustive_hold_matches_sequential() {
+        let seq = Explorer::new(Counter { n: 10 }, bump, 1000, 100).reachable_states();
+        for threads in [1, 2, 4] {
+            let par = ParallelExplorer::new(Counter { n: 10 }, bump, 1000, 100)
+                .threads(threads)
+                .reachable_states();
+            assert!(par.holds() && par.exhaustive());
+            assert_eq!(par.states_visited, seq.states_visited);
+            assert_eq!(par.quiescent_states, seq.quiescent_states);
+        }
+    }
+
+    #[test]
+    fn layer_stats_cover_the_search() {
+        let e = ParallelExplorer::new(Counter { n: 10 }, bump, 1000, 100).threads(2);
+        let report = e.reachable_states();
+        let discovered: usize = report.layers.iter().map(|l| l.discovered).sum();
+        // Start state plus per-layer discoveries account for every state.
+        assert_eq!(1 + discovered, report.states_visited);
+        assert!(report.edges_expanded() > 0);
+        assert!(report.layers.iter().all(|l| l.frontier > 0));
+    }
+
+    #[test]
+    fn state_budget_truncates() {
+        let e = ParallelExplorer::new(Counter { n: 100 }, bump, 5, 100).threads(2);
+        let report = e.reachable_states();
+        assert_eq!(report.truncation, Some(Truncation::StateBudget));
+        assert!(!report.exhaustive());
+        assert!(report.safe_within_budget());
+        assert!(!report.holds());
+        assert!(report.states_visited <= 5);
+    }
+
+    #[test]
+    fn depth_budget_truncates() {
+        let e = ParallelExplorer::new(Counter { n: 100 }, bump, 1000, 3).threads(2);
+        let report = e.reachable_states();
+        assert_eq!(report.truncation, Some(Truncation::DepthBudget));
+        assert!(report.max_depth_reached() < 3);
+        assert!(report.states_visited <= 8);
+    }
+
+    #[test]
+    fn violated_start_state_gives_empty_path() {
+        let e = ParallelExplorer::new(Counter { n: 10 }, |_s: &u8| vec![], 1000, 100);
+        let report = e.check_invariant(|s| *s != 0);
+        let v = report.violation.unwrap();
+        assert!(v.path.is_empty());
+        assert_eq!(v.state, 0);
+        assert_eq!(v.property, "invariant");
+    }
+
+    #[test]
+    fn multiple_properties_report_first_violated_in_order() {
+        let even = Invariant::new("below-6", |s: &u8| *s < 6);
+        let odd = Invariant::new("below-4", |s: &u8| *s < 4);
+        let e = ParallelExplorer::new(Counter { n: 10 }, bump, 1000, 100).threads(2);
+        // Both properties eventually fail; 4 (violating "below-4") is at
+        // depth 2, while 6 (violating "below-6") is at depth 3 — the
+        // shallower violation must win.
+        let report = e.check_properties_from(vec![0], &[&even, &odd]);
+        let v = report.violation.unwrap();
+        assert_eq!(v.state, 4);
+        assert_eq!(v.property, "below-4");
+        assert_eq!(v.path.len(), 2);
+    }
+
+    /// Diamond automaton: two different one-step actions reach the same
+    /// state; the minimal claim (lower action index) must win the
+    /// predecessor race under every thread count.
+    #[derive(Clone)]
+    struct Diamond;
+
+    impl Automaton for Diamond {
+        type Action = u8;
+        type State = u8;
+
+        fn start_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+        fn classify(&self, _a: &u8) -> Option<ActionClass> {
+            Some(ActionClass::Output)
+        }
+        fn successors(&self, s: &u8, a: &u8) -> Vec<u8> {
+            match (s, a) {
+                (0, 1) => vec![1],
+                (0, 2) => vec![2],
+                (1, 3) | (2, 4) => vec![3],
+                _ => vec![],
+            }
+        }
+        fn enabled_local(&self, s: &u8) -> Vec<u8> {
+            match s {
+                0 => vec![1, 2],
+                1 => vec![3],
+                2 => vec![4],
+                _ => vec![],
+            }
+        }
+        fn task_of(&self, _a: &u8) -> TaskId {
+            TaskId(0)
+        }
+        fn task_count(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn diamond_merge_picks_canonical_parent() {
+        for threads in [1, 2, 4] {
+            let e = ParallelExplorer::new(Diamond, |_s: &u8| vec![], 100, 100).threads(threads);
+            let report = e.check_invariant(|s| *s != 3);
+            let v = report.violation.unwrap();
+            // Both 1→3 and 2→4 paths have length 2; the canonical one
+            // goes through state 1 (the lower-indexed parent).
+            assert_eq!(v.path, vec![1, 3]);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Pluggable safety properties checked during search.
+
+/// A named state predicate checked on every state the explorer admits.
+///
+/// Implementations must be [`Sync`]: workers on different layers of the
+/// search share them. Temporal/trace properties are expressed by
+/// composing an observer automaton into the explored system (as
+/// `dl-core`'s WDL-safety observer does) and checking the observer's
+/// projected state here.
+pub trait Property<S>: Sync {
+    /// Human-readable name, used in violation reports.
+    fn name(&self) -> &str;
+
+    /// `true` if `state` satisfies the property.
+    fn holds(&self, state: &S) -> bool;
+}
+
+/// A [`Property`] built from a plain predicate closure.
+pub struct Invariant<F> {
+    name: String,
+    predicate: F,
+}
+
+impl<F> Invariant<F> {
+    /// Names `predicate` for violation reporting.
+    pub fn new(name: impl Into<String>, predicate: F) -> Self {
+        Invariant {
+            name: name.into(),
+            predicate,
+        }
+    }
+}
+
+impl<S, F> Property<S> for Invariant<F>
+where
+    F: Fn(&S) -> bool + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn holds(&self, state: &S) -> bool {
+        (self.predicate)(state)
+    }
+}

@@ -1,0 +1,101 @@
+//! Exploration results: a superset of [`ioa::ExploreReport`].
+
+use std::time::Duration;
+
+/// Why the search stopped before exhausting the reachable state space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truncation {
+    /// The state budget filled: later discoveries were dropped.
+    StateBudget,
+    /// The depth budget was reached with a non-empty frontier.
+    DepthBudget,
+}
+
+/// A property violation with a shortest action path reaching it.
+#[derive(Debug, Clone)]
+pub struct Violation<A, S> {
+    /// A shortest action sequence from a start state to `state`. BFS
+    /// guarantees minimal length; the deterministic claim ordering
+    /// guarantees the *same* path for every thread count.
+    pub path: Vec<A>,
+    /// The violating state.
+    pub state: S,
+    /// Name of the violated [`Property`](crate::Property).
+    pub property: String,
+}
+
+/// Frontier statistics for one expanded BFS layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerStats {
+    /// Depth of the expanded frontier (start states are depth 0).
+    pub depth: usize,
+    /// Number of states in the expanded frontier.
+    pub frontier: usize,
+    /// Distinct new states admitted from this expansion.
+    pub discovered: usize,
+    /// Transitions enumerated while expanding this layer.
+    pub edges: u64,
+    /// Transitions that landed on an already-known state (or improved a
+    /// pending claim on one).
+    pub duplicates: u64,
+}
+
+/// Result of a parallel exploration.
+///
+/// Superset of [`ioa::ExploreReport`]: the `states_visited` /
+/// `quiescent_states` / `violation` triple carries the same meaning,
+/// plus truncation cause, per-layer statistics, and engine telemetry.
+#[derive(Debug, Clone)]
+pub struct ExploreReport<A, S> {
+    /// Number of distinct states admitted to the search.
+    pub states_visited: usize,
+    /// Why the search was cut short, if it was. Absence of a violation is
+    /// conclusive only when this is `None`.
+    pub truncation: Option<Truncation>,
+    /// The deterministic shortest violation, if any property failed.
+    pub violation: Option<Violation<A, S>>,
+    /// States with no locally-controlled action enabled and no permitted
+    /// input (terminal under this exploration).
+    pub quiescent_states: usize,
+    /// Statistics for each layer that was expanded.
+    pub layers: Vec<LayerStats>,
+    /// Worker threads the engine actually used.
+    pub threads: usize,
+    /// Wall-clock duration of the search.
+    pub duration: Duration,
+}
+
+impl<A, S> ExploreReport<A, S> {
+    /// `true` if the search enumerated *every* reachable state (no budget
+    /// truncation), so its verdict is conclusive for the full model.
+    #[must_use]
+    pub fn exhaustive(&self) -> bool {
+        self.truncation.is_none()
+    }
+
+    /// `true` if no property violation was found among the states the
+    /// budget admitted — the weaker, budget-relative safety verdict.
+    #[must_use]
+    pub fn safe_within_budget(&self) -> bool {
+        self.violation.is_none()
+    }
+
+    /// `true` if every admitted state satisfied every property **and**
+    /// the search was exhaustive. Mirrors `ioa::ExploreReport::holds`.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.safe_within_budget() && self.exhaustive()
+    }
+
+    /// Total transitions enumerated across all layers.
+    #[must_use]
+    pub fn edges_expanded(&self) -> u64 {
+        self.layers.iter().map(|l| l.edges).sum()
+    }
+
+    /// Depth of the deepest expanded frontier.
+    #[must_use]
+    pub fn max_depth_reached(&self) -> usize {
+        self.layers.last().map_or(0, |l| l.depth)
+    }
+}

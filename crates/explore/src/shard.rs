@@ -1,0 +1,267 @@
+//! The work-sharded visited set.
+//!
+//! States are distributed over `N` independent shards by state hash, each
+//! shard a `Mutex<HashMap>`; concurrent workers claiming successors
+//! contend only when two discoveries land in the same shard at the same
+//! instant. Between layers the engine owns the set exclusively and drains
+//! the per-shard fresh lists without locking.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, BuildHasherDefault, Hash};
+use std::sync::Mutex;
+
+/// The identity of one discovery of a state: which frontier slot, which
+/// of its actions, which nondeterministic successor. Lexicographic order
+/// over this triple is the deterministic tie-break that makes parallel
+/// results thread-count-independent: concurrent claims of the same state
+/// keep the minimal key, and the minimum over a set does not depend on
+/// arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct ClaimKey {
+    /// Arena index of the parent (frontier) state.
+    pub parent: usize,
+    /// Index of the action within the parent's deterministic action list.
+    pub action: usize,
+    /// Index of the successor within the action's successor list.
+    pub succ: usize,
+}
+
+/// A newly discovered state, with the minimal claim that reached it.
+pub(crate) struct FreshClaim<S, A> {
+    pub key: ClaimKey,
+    pub state: S,
+    pub action: A,
+}
+
+/// Outcome of one [`ShardedVisited::claim`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ClaimOutcome {
+    /// First discovery of this state.
+    New,
+    /// Already pending this layer; duplicate (whether or not it improved
+    /// the pending claim key).
+    Duplicate,
+}
+
+#[derive(Clone, Copy)]
+enum Slot {
+    /// Admitted in a previous layer (or a start state).
+    Done,
+    /// Discovered this layer; payload is an index into the shard's fresh
+    /// list, where the current minimal claim lives.
+    Pending(usize),
+}
+
+struct Shard<S, A> {
+    map: HashMap<S, Slot>,
+    fresh: Vec<FreshClaim<S, A>>,
+}
+
+impl<S, A> Default for Shard<S, A> {
+    fn default() -> Self {
+        Shard {
+            map: HashMap::new(),
+            fresh: Vec::new(),
+        }
+    }
+}
+
+pub(crate) struct ShardedVisited<S, A> {
+    shards: Vec<Mutex<Shard<S, A>>>,
+    /// Mask for the power-of-two shard count.
+    mask: usize,
+    hasher: BuildHasherDefault<std::collections::hash_map::DefaultHasher>,
+}
+
+impl<S, A> ShardedVisited<S, A>
+where
+    S: Hash + Eq + Clone,
+    A: Clone,
+{
+    /// A visited set with `shards` shards, rounded up to a power of two.
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ShardedVisited {
+            shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
+            mask: n - 1,
+            hasher: BuildHasherDefault::default(),
+        }
+    }
+
+    fn shard_of(&self, state: &S) -> usize {
+        // Use the upper bits: HashMap's probing consumes the lower ones,
+        // so this keeps shard choice and in-shard placement independent.
+        (self.hasher.hash_one(state) >> 32) as usize & self.mask
+    }
+
+    /// Records that a start state is visited. Returns `false` if it was
+    /// already present (duplicate start).
+    pub fn insert_done(&mut self, state: &S) -> bool {
+        let idx = self.shard_of(state);
+        let shard = self.shards[idx].get_mut().expect("shard lock poisoned");
+        shard.map.insert(state.clone(), Slot::Done).is_none()
+    }
+
+    /// Claims `state` as discovered via `key`/`action`. Concurrent claims
+    /// of the same state race only for the shard lock; the stored claim
+    /// is always the minimal key seen, so the final claim set is
+    /// independent of scheduling.
+    pub fn claim(&self, state: S, key: ClaimKey, action: &A) -> ClaimOutcome {
+        let idx = self.shard_of(&state);
+        let mut shard = self.shards[idx].lock().expect("shard lock poisoned");
+        match shard.map.get(&state).copied() {
+            Some(Slot::Done) => ClaimOutcome::Duplicate,
+            Some(Slot::Pending(i)) => {
+                let pending = &mut shard.fresh[i];
+                if key < pending.key {
+                    pending.key = key;
+                    pending.action = action.clone();
+                }
+                ClaimOutcome::Duplicate
+            }
+            None => {
+                let i = shard.fresh.len();
+                shard.map.insert(state.clone(), Slot::Pending(i));
+                shard.fresh.push(FreshClaim {
+                    key,
+                    state,
+                    action: action.clone(),
+                });
+                ClaimOutcome::New
+            }
+        }
+    }
+
+    /// Drains every pending claim (marking the states `Done`) and returns
+    /// them sorted by claim key — the deterministic admission order.
+    /// Called between layers, when no worker holds a lock.
+    pub fn drain_fresh_sorted(&mut self) -> Vec<FreshClaim<S, A>> {
+        let mut all = Vec::new();
+        for shard in &mut self.shards {
+            let shard = shard.get_mut().expect("shard lock poisoned");
+            for claim in shard.fresh.drain(..) {
+                *shard
+                    .map
+                    .get_mut(&claim.state)
+                    .expect("pending state missing from shard map") = Slot::Done;
+                all.push(claim);
+            }
+        }
+        // Claim keys are unique (one fresh entry per distinct state, and
+        // distinct states that share a parent differ in action/successor
+        // index), so this order is total and deterministic.
+        all.sort_unstable_by_key(|c| c.key);
+        all
+    }
+
+    /// Forgets a state dropped by the state budget, so the set's contents
+    /// stay exactly "admitted states".
+    pub fn remove(&mut self, state: &S) {
+        let idx = self.shard_of(state);
+        let shard = self.shards[idx].get_mut().expect("shard lock poisoned");
+        shard.map.remove(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_claim_wins_regardless_of_order() {
+        let keys = [
+            ClaimKey {
+                parent: 2,
+                action: 0,
+                succ: 0,
+            },
+            ClaimKey {
+                parent: 0,
+                action: 1,
+                succ: 0,
+            },
+            ClaimKey {
+                parent: 0,
+                action: 0,
+                succ: 1,
+            },
+        ];
+        // Insert in two different orders; the surviving claim must match.
+        for order in [[0usize, 1, 2], [2, 1, 0]] {
+            let mut v: ShardedVisited<u32, &'static str> = ShardedVisited::new(4);
+            for i in order {
+                v.claim(7, keys[i], &"a");
+            }
+            let fresh = v.drain_fresh_sorted();
+            assert_eq!(fresh.len(), 1);
+            assert_eq!(
+                fresh[0].key,
+                ClaimKey {
+                    parent: 0,
+                    action: 0,
+                    succ: 1
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn drain_sorts_across_shards() {
+        let mut v: ShardedVisited<u32, ()> = ShardedVisited::new(8);
+        for s in (0..100u32).rev() {
+            v.claim(
+                s,
+                ClaimKey {
+                    parent: s as usize,
+                    action: 0,
+                    succ: 0,
+                },
+                &(),
+            );
+        }
+        let fresh = v.drain_fresh_sorted();
+        let parents: Vec<usize> = fresh.iter().map(|c| c.key.parent).collect();
+        assert_eq!(parents, (0..100).collect::<Vec<_>>());
+        // Everything is now Done: re-claiming is a duplicate.
+        assert_eq!(
+            v.claim(
+                5,
+                ClaimKey {
+                    parent: 0,
+                    action: 0,
+                    succ: 0
+                },
+                &()
+            ),
+            ClaimOutcome::Duplicate
+        );
+    }
+
+    #[test]
+    fn removed_states_can_be_rediscovered() {
+        let mut v: ShardedVisited<u32, ()> = ShardedVisited::new(2);
+        v.claim(
+            9,
+            ClaimKey {
+                parent: 0,
+                action: 0,
+                succ: 0,
+            },
+            &(),
+        );
+        let fresh = v.drain_fresh_sorted();
+        v.remove(&fresh[0].state);
+        assert_eq!(
+            v.claim(
+                9,
+                ClaimKey {
+                    parent: 3,
+                    action: 1,
+                    succ: 0
+                },
+                &()
+            ),
+            ClaimOutcome::New
+        );
+    }
+}

@@ -85,7 +85,10 @@ impl fmt::Display for CrashError {
                  (the protocol has non-volatile memory, so Theorem 7.5 does not apply)"
             ),
             CrashError::ReplayDiverged(s) => {
-                write!(f, "crash replay diverged (protocol not message-independent?): {s}")
+                write!(
+                    f,
+                    "crash replay diverged (protocol not message-independent?): {s}"
+                )
             }
             CrashError::InTransit(s) => write!(f, "in-transit bookkeeping failed: {s}"),
             CrashError::Surgery(e) => write!(f, "channel surgery failed: {e}"),
@@ -95,7 +98,10 @@ impl fmt::Display for CrashError {
                 "fair extension still running after {bound} steps; raise the bound to decide"
             ),
             CrashError::NotViolating(s) => {
-                write!(f, "internal error: constructed behavior not flagged by WDL: {s}")
+                write!(
+                    f,
+                    "internal error: constructed behavior not flagged by WDL: {s}"
+                )
             }
         }
     }
@@ -353,8 +359,7 @@ where
     /// [`CrashError::ReferenceFailed`] if the protocol cannot deliver one
     /// message over perfect channels.
     pub fn new(tx: T, rx: R, config: CrashConfig) -> Result<Self, CrashError> {
-        let reference =
-            build_reference(&tx, &rx, config.reference_msg, config.reference_bound)?;
+        let reference = build_reference(&tx, &rx, config.reference_msg, config.reference_bound)?;
         // Fresh messages start far above anything α uses.
         let driver = Driver::new(tx, rx, true, 1_000);
         Ok(CrashEngine {
@@ -382,11 +387,11 @@ where
         let beta_len = self.driver.trace.len();
 
         // Theorem 7.5 endgame: fair extension with no further inputs.
-        let end = self.driver.run_until(
-            Scheduling::RoundRobin,
-            self.config.extension_bound,
-            |a| matches!(a, DlAction::ReceiveMsg(_)),
-        )?;
+        let end =
+            self.driver
+                .run_until(Scheduling::RoundRobin, self.config.extension_bound, |a| {
+                    matches!(a, DlAction::ReceiveMsg(_))
+                })?;
         match end {
             RunEnd::Quiescent => {
                 // Flavor (a): the pending message is never delivered; the
@@ -456,8 +461,7 @@ where
                         "base case at k={k} but in_A(α, {x}, {k}) is non-empty"
                     )));
                 }
-                self.driver
-                    .apply(DlAction::Wake(x.other().sends_on()))?;
+                self.driver.apply(DlAction::Wake(x.other().sends_on()))?;
                 self.driver.apply(DlAction::Wake(x.sends_on()))?;
             }
             Some(j) => {
@@ -554,9 +558,7 @@ where
                     }
                     .copied()
                     .ok_or_else(|| {
-                        CrashError::InTransit(format!(
-                            "no packet waiting for replayed {phi}"
-                        ))
+                        CrashError::InTransit(format!("no packet waiting for replayed {phi}"))
                     })?;
                     if !packets_equivalent(&next, p) {
                         return Err(CrashError::InTransit(format!(
@@ -597,14 +599,8 @@ where
         // x's outgoing channel; make exactly those the waiting sequence
         // (Lemma 6.5).
         let (fifo, ch_state) = match x.sends_on() {
-            dl_core::action::Dir::TR => (
-                self.driver.ch_tr().is_fifo(),
-                &mut self.driver.state.tr,
-            ),
-            dl_core::action::Dir::RT => (
-                self.driver.ch_rt().is_fifo(),
-                &mut self.driver.state.rt,
-            ),
+            dl_core::action::Dir::TR => (self.driver.ch_tr().is_fifo(), &mut self.driver.state.tr),
+            dl_core::action::Dir::RT => (self.driver.ch_rt().is_fifo(), &mut self.driver.state.rt),
         };
         let c1 = ch_state.counter1();
         let indices: Vec<u64> = (c1 - sends_made + 1..=c1).collect();
@@ -672,10 +668,7 @@ where
     /// Every action is mapped to an equivalent one enabled in the
     /// α-context; the first `receive_msg` it produces is a duplicate or
     /// phantom delivery.
-    fn lemma71_transplant(
-        &self,
-        suffix: &[DlAction],
-    ) -> Result<CrashCounterexample, CrashError> {
+    fn lemma71_transplant(&self, suffix: &[DlAction]) -> Result<CrashCounterexample, CrashError> {
         let mut alpha = Driver::new(
             self.driver.tx().clone(),
             self.driver.rx().clone(),
@@ -882,8 +875,7 @@ mod tests {
     #[test]
     fn transplant_rejects_inputs_in_suffix() {
         let p = dl_protocols::abp::protocol();
-        let engine =
-            CrashEngine::new(p.transmitter, p.receiver, CrashConfig::default()).unwrap();
+        let engine = CrashEngine::new(p.transmitter, p.receiver, CrashConfig::default()).unwrap();
         let err = engine
             .lemma71_transplant(&[DlAction::SendMsg(Msg(9))])
             .unwrap_err();
@@ -893,8 +885,7 @@ mod tests {
     #[test]
     fn transplant_rejects_deliveries_from_clean_channels() {
         let p = dl_protocols::abp::protocol();
-        let engine =
-            CrashEngine::new(p.transmitter, p.receiver, CrashConfig::default()).unwrap();
+        let engine = CrashEngine::new(p.transmitter, p.receiver, CrashConfig::default()).unwrap();
         // The α-end channels are clean: nothing can be waiting.
         let pkt = dl_core::action::Packet::data(0, Msg(1)).with_uid(9);
         let err = engine
@@ -906,8 +897,7 @@ mod tests {
     #[test]
     fn transplant_requires_a_delivery() {
         let p = dl_protocols::abp::protocol();
-        let engine =
-            CrashEngine::new(p.transmitter, p.receiver, CrashConfig::default()).unwrap();
+        let engine = CrashEngine::new(p.transmitter, p.receiver, CrashConfig::default()).unwrap();
         let err = engine.lemma71_transplant(&[]).unwrap_err();
         assert!(matches!(err, CrashError::ReplayDiverged(_)));
     }

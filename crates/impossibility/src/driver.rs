@@ -223,16 +223,24 @@ impl<T: ProtocolAutomaton, R: ProtocolAutomaton> Driver<T, R> {
         let mut tr = None;
         let mut rt = None;
         if self.tx.in_signature(&a) {
-            t = Some(self.tx.step_first(&self.state.t, &a).ok_or(DriverError::NotEnabled {
-                action: a,
-                component: "transmitter",
-            })?);
+            t = Some(
+                self.tx
+                    .step_first(&self.state.t, &a)
+                    .ok_or(DriverError::NotEnabled {
+                        action: a,
+                        component: "transmitter",
+                    })?,
+            );
         }
         if self.rx.in_signature(&a) {
-            r = Some(self.rx.step_first(&self.state.r, &a).ok_or(DriverError::NotEnabled {
-                action: a,
-                component: "receiver",
-            })?);
+            r = Some(
+                self.rx
+                    .step_first(&self.state.r, &a)
+                    .ok_or(DriverError::NotEnabled {
+                        action: a,
+                        component: "receiver",
+                    })?,
+            );
         }
         if self.ch_tr.in_signature(&a) {
             tr = Some(self.ch_tr.step_first(&self.state.tr, &a).ok_or(
@@ -416,9 +424,7 @@ mod tests {
         d.apply(DlAction::Wake(Dir::TR)).unwrap();
         d.apply(DlAction::Wake(Dir::RT)).unwrap();
         d.apply(DlAction::SendMsg(Msg(1))).unwrap();
-        let end = d
-            .run_until(Scheduling::Priority, 1000, |_| false)
-            .unwrap();
+        let end = d.run_until(Scheduling::Priority, 1000, |_| false).unwrap();
         assert_eq!(end, RunEnd::Quiescent);
         assert_eq!(
             d.behavior(),
@@ -475,7 +481,13 @@ mod tests {
         let err = d
             .apply(DlAction::ReceivePkt(Dir::TR, Packet::data(0, Msg(1))))
             .unwrap_err();
-        assert!(matches!(err, DriverError::NotEnabled { component: "channel t→r", .. }));
+        assert!(matches!(
+            err,
+            DriverError::NotEnabled {
+                component: "channel t→r",
+                ..
+            }
+        ));
         // Failed applies leave the trace unchanged.
         assert!(d.trace.is_empty());
     }

@@ -61,15 +61,24 @@ impl fmt::Display for HeaderError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HeaderError::NoDelivery { round } => {
-                write!(f, "protocol failed to deliver a message in pump round {round}")
+                write!(
+                    f,
+                    "protocol failed to deliver a message in pump round {round}"
+                )
             }
             HeaderError::ReplayDiverged(s) => {
-                write!(f, "receiver replay diverged (protocol not message-independent?): {s}")
+                write!(
+                    f,
+                    "receiver replay diverged (protocol not message-independent?): {s}"
+                )
             }
             HeaderError::Surgery(e) => write!(f, "channel surgery failed: {e}"),
             HeaderError::Driver(e) => write!(f, "driver step failed: {e}"),
             HeaderError::NotViolating(s) => {
-                write!(f, "internal error: constructed behavior not flagged by WDL: {s}")
+                write!(
+                    f,
+                    "internal error: constructed behavior not flagged by WDL: {s}"
+                )
             }
         }
     }
@@ -176,7 +185,9 @@ where
             // Settle and clean: drain output buffers, strand stragglers.
             // The trace stays valid (every sent message already received).
             self.driver
-                .run_until(Scheduling::RoundRobin, self.config.delivery_bound, |_| false)?;
+                .run_until(Scheduling::RoundRobin, self.config.delivery_bound, |_| {
+                    false
+                })?;
             self.driver.clean_channels();
 
             let m = self.driver.fresh_msg();
@@ -185,11 +196,9 @@ where
             let mut probe = self.driver.clone();
             let probe_from = probe.trace.len();
             probe.apply(DlAction::SendMsg(m))?;
-            let end = probe.run_until(
-                Scheduling::RoundRobin,
-                self.config.delivery_bound,
-                |a| matches!(a, DlAction::ReceiveMsg(_)),
-            )?;
+            let end = probe.run_until(Scheduling::RoundRobin, self.config.delivery_bound, |a| {
+                matches!(a, DlAction::ReceiveMsg(_))
+            })?;
             if end != RunEnd::PredHit {
                 return Err(HeaderError::NoDelivery { round });
             }
@@ -437,9 +446,8 @@ mod tests {
     #[test]
     fn theorem_8_5_refutes_sliding_window() {
         for window in [1, 2, 3] {
-            let outcome =
-                refute_bounded_headers(dl_protocols::sliding_window::protocol(window))
-                    .unwrap_or_else(|e| panic!("window {window}: {e}"));
+            let outcome = refute_bounded_headers(dl_protocols::sliding_window::protocol(window))
+                .unwrap_or_else(|e| panic!("window {window}: {e}"));
             assert!(
                 matches!(outcome, HeaderOutcome::Violation(_)),
                 "window {window}: expected violation, got {outcome:?}"
@@ -468,7 +476,10 @@ mod tests {
         assert_eq!(rounds, 12);
         // One fresh header class stranded per round: linear growth, the
         // §9 observation.
-        assert!(distinct_classes >= rounds, "classes {distinct_classes} < rounds {rounds}");
+        assert!(
+            distinct_classes >= rounds,
+            "classes {distinct_classes} < rounds {rounds}"
+        );
         assert!(transit_size >= distinct_classes);
     }
 
@@ -495,7 +506,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(HeaderError::NoDelivery { round: 3 }.to_string().contains('3'));
+        assert!(HeaderError::NoDelivery { round: 3 }
+            .to_string()
+            .contains('3'));
         assert!(HeaderError::ReplayDiverged("x".into())
             .to_string()
             .contains("message-independent"));

@@ -41,7 +41,9 @@ pub mod driver;
 pub mod headers;
 pub mod report;
 
-pub use crash::{refute_crash_tolerance, refute_protocol, CrashCounterexample, CrashEngine, CrashError};
+pub use crash::{
+    refute_crash_tolerance, refute_protocol, CrashCounterexample, CrashEngine, CrashError,
+};
 pub use driver::{Driver, ProtocolAutomaton};
 pub use headers::{refute_bounded_headers, HeaderEngine, HeaderError, HeaderOutcome};
 pub use report::{explain_crash, explain_header};

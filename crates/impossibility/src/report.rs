@@ -24,8 +24,7 @@ pub fn explain_crash(cx: &CrashCounterexample) -> String {
         match cx.flavor {
             CounterexampleFlavor::Dl8Liveness =>
                 "the system quiesced with an undelivered message (DL8)",
-            CounterexampleFlavor::DuplicateOrPhantom =>
-                "a duplicate or phantom delivery (DL4/DL5)",
+            CounterexampleFlavor::DuplicateOrPhantom => "a duplicate or phantom delivery (DL4/DL5)",
         }
     );
     let _ = writeln!(out, "violation: {}", cx.violation);

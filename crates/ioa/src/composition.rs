@@ -243,9 +243,10 @@ where
         }
         for a in self.right.enabled_local(&state.right) {
             if (!self.left.in_signature(&a) || self.left.is_enabled(&state.left, &a))
-                && !out.contains(&a) {
-                    out.push(a);
-                }
+                && !out.contains(&a)
+            {
+                out.push(a);
+            }
         }
         out
     }

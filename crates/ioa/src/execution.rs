@@ -155,11 +155,7 @@ where
         self.steps
             .iter()
             .map(|s| &s.action)
-            .filter(|a| {
-                automaton
-                    .classify(a)
-                    .is_some_and(ActionClass::is_external)
-            })
+            .filter(|a| automaton.classify(a).is_some_and(ActionClass::is_external))
             .cloned()
             .collect()
     }
@@ -256,17 +252,10 @@ pub fn project_schedule<M: Automaton>(automaton: &M, schedule: &[M::Action]) -> 
 
 /// Restricts a schedule to its external actions under `automaton`'s
 /// signature: `beh(β)`.
-pub fn behavior_of_schedule<M: Automaton>(
-    automaton: &M,
-    schedule: &[M::Action],
-) -> Vec<M::Action> {
+pub fn behavior_of_schedule<M: Automaton>(automaton: &M, schedule: &[M::Action]) -> Vec<M::Action> {
     schedule
         .iter()
-        .filter(|a| {
-            automaton
-                .classify(a)
-                .is_some_and(ActionClass::is_external)
-        })
+        .filter(|a| automaton.classify(a).is_some_and(ActionClass::is_external))
         .cloned()
         .collect()
 }

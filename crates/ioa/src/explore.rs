@@ -38,11 +38,29 @@ pub struct ExploreReport<A, S> {
 }
 
 impl<A, S> ExploreReport<A, S> {
-    /// `true` if the invariant held on every visited state and the search
-    /// was exhaustive within its budget.
+    /// `true` if the search enumerated every reachable state (no budget
+    /// truncation), so its verdict is conclusive for the full model.
+    #[must_use]
+    pub fn exhaustive(&self) -> bool {
+        !self.truncated
+    }
+
+    /// `true` if no violation was found among the states the budget
+    /// admitted — the weaker, budget-relative safety verdict. A truncated
+    /// search can still be `safe_within_budget`; callers that need a
+    /// conclusive answer must also check [`exhaustive`](Self::exhaustive).
+    #[must_use]
+    pub fn safe_within_budget(&self) -> bool {
+        self.violation.is_none()
+    }
+
+    /// `true` if the invariant held on every visited state **and** the
+    /// search was exhaustive: the strong verdict,
+    /// [`safe_within_budget`](Self::safe_within_budget) ∧
+    /// [`exhaustive`](Self::exhaustive).
     #[must_use]
     pub fn holds(&self) -> bool {
-        self.violation.is_none() && !self.truncated
+        self.safe_within_budget() && self.exhaustive()
     }
 }
 
@@ -285,6 +303,7 @@ mod tests {
         let e = Explorer::new(Counter { n: 10 }, |_s: &u8| vec![Act::Bump], 1000, 100);
         let report = e.check_invariant(|s| *s < 10);
         assert!(report.holds());
+        assert!(report.exhaustive() && report.safe_within_budget());
         assert_eq!(report.states_visited, 10);
         assert!(!report.truncated);
     }
@@ -308,6 +327,9 @@ mod tests {
         let report = e.reachable_states();
         assert!(report.truncated);
         assert!(!report.holds());
+        // The split verdicts: inconclusive but no violation seen.
+        assert!(!report.exhaustive());
+        assert!(report.safe_within_budget());
         assert!(report.states_visited <= 5);
     }
 

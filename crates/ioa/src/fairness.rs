@@ -129,7 +129,10 @@ impl FairExecutor {
             if !script.remaining().is_empty() && since_inject >= script.gap {
                 if let Some(input) = script.pop() {
                     let took = self.take(automaton, &mut exec, input);
-                    assert!(took, "input action was not enabled: automaton is not input-enabled");
+                    assert!(
+                        took,
+                        "input action was not enabled: automaton is not input-enabled"
+                    );
                     since_inject = 0;
                     continue;
                 }
@@ -176,8 +179,8 @@ impl FairExecutor {
             }
         }
 
-        let quiescent = script.remaining().is_empty()
-            && automaton.enabled_local(exec.last_state()).is_empty();
+        let quiescent =
+            script.remaining().is_empty() && automaton.enabled_local(exec.last_state()).is_empty();
         RunOutcome {
             execution: exec,
             quiescent,
@@ -247,7 +250,10 @@ mod tests {
             }
         }
         fn enabled_local(&self, s: &Self::State) -> Vec<Act> {
-            (0..2u8).filter(|i| s[*i as usize] > 0).map(Act::Fire).collect()
+            (0..2u8)
+                .filter(|i| s[*i as usize] > 0)
+                .map(Act::Fire)
+                .collect()
         }
         fn task_of(&self, a: &Act) -> TaskId {
             match a {
@@ -283,11 +289,7 @@ mod tests {
     #[test]
     fn scripted_inputs_are_injected() {
         let mut ex = FairExecutor::new(7, 1000);
-        let out = ex.run(
-            &TwoTasks,
-            [0, 0],
-            EnvScript::new(vec![Act::Refill]),
-        );
+        let out = ex.run(&TwoTasks, [0, 0], EnvScript::new(vec![Act::Refill]));
         assert!(out.quiescent);
         assert_eq!(out.execution.action(0), &Act::Refill);
         assert_eq!(out.execution.len(), 7); // refill + 6 fires
@@ -296,11 +298,7 @@ mod tests {
     #[test]
     fn gap_paces_injections() {
         let mut ex = FairExecutor::new(7, 1000);
-        let out = ex.run(
-            &TwoTasks,
-            [3, 3],
-            EnvScript::with_gap(vec![Act::Refill], 4),
-        );
+        let out = ex.run(&TwoTasks, [3, 3], EnvScript::with_gap(vec![Act::Refill], 4));
         let sched = out.execution.schedule();
         let refill_at = sched.iter().position(|a| *a == Act::Refill).unwrap();
         assert!(refill_at >= 4, "refill injected too early: {refill_at}");

@@ -41,7 +41,11 @@ pub struct Violation {
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.at {
-            Some(i) => write!(f, "{} violated at event {}: {}", self.property, i, self.reason),
+            Some(i) => write!(
+                f,
+                "{} violated at event {}: {}",
+                self.property, i, self.reason
+            ),
             None => write!(f, "{} violated: {}", self.property, self.reason),
         }
     }

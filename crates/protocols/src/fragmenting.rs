@@ -202,8 +202,7 @@ impl Automaton for FragReceiver {
             DlAction::ReceivePkt(Dir::TR, p) => {
                 let mut t = s.clone();
                 if p.header.tag == Tag::Data {
-                    if let (Some((bit, part)), Some(m)) = (decode_frag(p.header.seq), p.payload)
-                    {
+                    if let (Some((bit, part)), Some(m)) = (decode_frag(p.header.seq), p.payload) {
                         if bit == s.expected {
                             t.got[part as usize] = true;
                             t.pending.get_or_insert(m);
@@ -348,10 +347,14 @@ mod tests {
         s = t.step_first(&s, &DlAction::SendMsg(Msg(5))).unwrap();
         let enabled = t.enabled_local(&s);
         assert_eq!(enabled.len(), 2);
-        assert!(enabled
-            .contains(&DlAction::SendPkt(Dir::TR, Packet::data(frag_seq(false, 0), Msg(5)))));
-        assert!(enabled
-            .contains(&DlAction::SendPkt(Dir::TR, Packet::data(frag_seq(false, 1), Msg(5)))));
+        assert!(enabled.contains(&DlAction::SendPkt(
+            Dir::TR,
+            Packet::data(frag_seq(false, 0), Msg(5))
+        )));
+        assert!(enabled.contains(&DlAction::SendPkt(
+            Dir::TR,
+            Packet::data(frag_seq(false, 1), Msg(5))
+        )));
     }
 
     #[test]
@@ -361,14 +364,20 @@ mod tests {
         s = r.step_first(&s, &DlAction::Wake(Dir::RT)).unwrap();
         let part0 = Packet::data(frag_seq(false, 0), Msg(5));
         let part1 = Packet::data(frag_seq(false, 1), Msg(5));
-        s = r.step_first(&s, &DlAction::ReceivePkt(Dir::TR, part0)).unwrap();
+        s = r
+            .step_first(&s, &DlAction::ReceivePkt(Dir::TR, part0))
+            .unwrap();
         assert!(s.deliver.is_empty());
         assert!(s.acks.is_empty()); // no ack until complete
-        // A duplicate of part 0 changes nothing.
-        s = r.step_first(&s, &DlAction::ReceivePkt(Dir::TR, part0)).unwrap();
+                                    // A duplicate of part 0 changes nothing.
+        s = r
+            .step_first(&s, &DlAction::ReceivePkt(Dir::TR, part0))
+            .unwrap();
         assert!(s.deliver.is_empty());
         // Part 1 completes the message.
-        s = r.step_first(&s, &DlAction::ReceivePkt(Dir::TR, part1)).unwrap();
+        s = r
+            .step_first(&s, &DlAction::ReceivePkt(Dir::TR, part1))
+            .unwrap();
         assert_eq!(s.deliver.front(), Some(&Msg(5)));
         assert!(s.expected);
         assert_eq!(s.acks.front(), Some(&false));

@@ -44,8 +44,8 @@ pub mod stenning;
 
 pub use abp::{AbpReceiver, AbpTransmitter};
 pub use fragmenting::{FragReceiver, FragTransmitter};
-pub use parity::{ParityReceiver, ParityTransmitter};
 pub use nonvolatile::{NvReceiver, NvTransmitter};
+pub use parity::{ParityReceiver, ParityTransmitter};
 pub use selective_repeat::{SrReceiver, SrTransmitter};
 pub use sliding_window::{SwReceiver, SwTransmitter};
 pub use stenning::{StenningReceiver, StenningTransmitter};

@@ -119,9 +119,7 @@ impl Automaton for NvTransmitter {
                 }]
             }
             DlAction::SendPkt(Dir::TR, p) => match s.queue.front() {
-                Some(m)
-                    if s.active && p.content() == Packet::data(pack(s.epoch, s.seq), *m) =>
-                {
+                Some(m) if s.active && p.content() == Packet::data(pack(s.epoch, s.seq), *m) => {
                     vec![s.clone()]
                 }
                 _ => vec![],
@@ -222,10 +220,10 @@ impl Automaton for NvReceiver {
                                 if t.acks.len() < crate::abp::MAX_PENDING_ACKS {
                                     t.acks.push_back(pack(e, q));
                                 }
-                            } else if q < t.expected
-                                && t.acks.len() < crate::abp::MAX_PENDING_ACKS {
-                                    t.acks.push_back(pack(e, q));
-                                }
+                            } else if q < t.expected && t.acks.len() < crate::abp::MAX_PENDING_ACKS
+                            {
+                                t.acks.push_back(pack(e, q));
+                            }
                         }
                         // e < s.epoch: stale epoch, ignore entirely.
                     }
@@ -359,7 +357,10 @@ mod tests {
         let r = NvReceiver;
         let mut rs = r.start_states().remove(0);
         rs = r
-            .step_first(&rs, &DlAction::ReceivePkt(Dir::TR, Packet::data(pack(0, 0), Msg(1))))
+            .step_first(
+                &rs,
+                &DlAction::ReceivePkt(Dir::TR, Packet::data(pack(0, 0), Msg(1))),
+            )
             .unwrap();
         assert!(check_crashing(&r, &[rs]).is_err());
     }
@@ -387,19 +388,28 @@ mod tests {
         s = r.step_first(&s, &DlAction::Wake(Dir::RT)).unwrap();
         // Epoch 0: accept seq 0.
         s = r
-            .step_first(&s, &DlAction::ReceivePkt(Dir::TR, Packet::data(pack(0, 0), Msg(1))))
+            .step_first(
+                &s,
+                &DlAction::ReceivePkt(Dir::TR, Packet::data(pack(0, 0), Msg(1))),
+            )
             .unwrap();
         assert_eq!(s.expected, 1);
         // Epoch 1 arrives (transmitter crashed): reset expectation.
         s = r
-            .step_first(&s, &DlAction::ReceivePkt(Dir::TR, Packet::data(pack(1, 0), Msg(2))))
+            .step_first(
+                &s,
+                &DlAction::ReceivePkt(Dir::TR, Packet::data(pack(1, 0), Msg(2))),
+            )
             .unwrap();
         assert_eq!(s.epoch, 1);
         assert_eq!(s.expected, 1);
         assert_eq!(s.deliver.len(), 2);
         // A stale epoch-0 packet reordered in later: ignored entirely.
         let s2 = r
-            .step_first(&s, &DlAction::ReceivePkt(Dir::TR, Packet::data(pack(0, 0), Msg(1))))
+            .step_first(
+                &s,
+                &DlAction::ReceivePkt(Dir::TR, Packet::data(pack(0, 0), Msg(1))),
+            )
             .unwrap();
         assert_eq!(s2.deliver.len(), 2);
         assert_eq!(s2.acks.len(), s.acks.len());
@@ -411,7 +421,10 @@ mod tests {
         let mut s = r.start_states().remove(0);
         s = r.step_first(&s, &DlAction::Wake(Dir::RT)).unwrap();
         s = r
-            .step_first(&s, &DlAction::ReceivePkt(Dir::TR, Packet::data(pack(0, 0), Msg(1))))
+            .step_first(
+                &s,
+                &DlAction::ReceivePkt(Dir::TR, Packet::data(pack(0, 0), Msg(1))),
+            )
             .unwrap();
         let before = s.clone();
         s = r.step_first(&s, &DlAction::Crash(Station::R)).unwrap();
@@ -423,7 +436,10 @@ mod tests {
         // re-accepted.
         s = r.step_first(&s, &DlAction::Wake(Dir::RT)).unwrap();
         let s2 = r
-            .step_first(&s, &DlAction::ReceivePkt(Dir::TR, Packet::data(pack(0, 0), Msg(1))))
+            .step_first(
+                &s,
+                &DlAction::ReceivePkt(Dir::TR, Packet::data(pack(0, 0), Msg(1))),
+            )
             .unwrap();
         assert_eq!(s2.deliver.len(), 1);
         assert_eq!(s2.acks.front(), Some(&pack(0, 0)));

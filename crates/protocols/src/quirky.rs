@@ -69,8 +69,7 @@ impl Automaton for QuirkyTransmitter {
             }
             DlAction::ReceivePkt(Dir::RT, p) => {
                 let mut t = s.clone();
-                if p.header.tag == Tag::Ack
-                    && s.queue.front().is_some_and(|m| m.0 == p.header.seq)
+                if p.header.tag == Tag::Ack && s.queue.front().is_some_and(|m| m.0 == p.header.seq)
                 {
                     t.queue.pop_front();
                 }

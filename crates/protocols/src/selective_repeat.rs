@@ -134,12 +134,7 @@ impl Automaton for SrTransmitter {
                             t.queue.pop_front();
                         }
                         t.base += k;
-                        t.acked = t
-                            .acked
-                            .iter()
-                            .filter(|&&x| x >= k)
-                            .map(|x| x - k)
-                            .collect();
+                        t.acked = t.acked.iter().filter(|&&x| x >= k).map(|x| x - k).collect();
                         true
                     } else {
                         k == 0
@@ -413,7 +408,9 @@ mod tests {
         let t = SrTransmitter::new(w);
         let mut s = t.start_states().remove(0);
         for a in actions {
-            s = t.step_first(&s, a).unwrap_or_else(|| panic!("{a} not enabled in {s:?}"));
+            s = t
+                .step_first(&s, a)
+                .unwrap_or_else(|| panic!("{a} not enabled in {s:?}"));
         }
         (t, s)
     }
@@ -422,7 +419,9 @@ mod tests {
         let r = SrReceiver::new(w);
         let mut s = r.start_states().remove(0);
         for a in actions {
-            s = r.step_first(&s, a).unwrap_or_else(|| panic!("{a} not enabled in {s:?}"));
+            s = r
+                .step_first(&s, a)
+                .unwrap_or_else(|| panic!("{a} not enabled in {s:?}"));
         }
         (r, s)
     }
@@ -486,12 +485,18 @@ mod tests {
         // A duplicate of the old cum=2 ack arrives again: k == 0, no-op
         // slide; its (stale, empty) bitmap marks nothing.
         let s2 = t
-            .step_first(&s, &DlAction::ReceivePkt(Dir::RT, Packet::ack(encode_ack(2, 0))))
+            .step_first(
+                &s,
+                &DlAction::ReceivePkt(Dir::RT, Packet::ack(encode_ack(2, 0))),
+            )
             .unwrap();
         assert_eq!(s2, s);
         // A really old cum=1 ack: k = 3 > limit — rejected outright.
         let s3 = t
-            .step_first(&s, &DlAction::ReceivePkt(Dir::RT, Packet::ack(encode_ack(1, 0b10))))
+            .step_first(
+                &s,
+                &DlAction::ReceivePkt(Dir::RT, Packet::ack(encode_ack(1, 0b10))),
+            )
             .unwrap();
         assert_eq!(s3, s);
     }
@@ -521,7 +526,10 @@ mod tests {
         let (r, mut s) = rx(2, &[DlAction::Wake(Dir::RT)]);
         for (seq, m) in [(0u64, 10u64), (1, 11)] {
             s = r
-                .step_first(&s, &DlAction::ReceivePkt(Dir::TR, Packet::data(seq, Msg(m))))
+                .step_first(
+                    &s,
+                    &DlAction::ReceivePkt(Dir::TR, Packet::data(seq, Msg(m))),
+                )
                 .unwrap();
         }
         assert_eq!(s.expected, 2);
@@ -548,7 +556,8 @@ mod tests {
             let expected_seq = n % 4;
             let pkt = Packet::data(expected_seq, Msg(n));
             assert!(
-                t.enabled_local(&s).contains(&DlAction::SendPkt(Dir::TR, pkt)),
+                t.enabled_local(&s)
+                    .contains(&DlAction::SendPkt(Dir::TR, pkt)),
                 "step {n}: {:?}",
                 t.enabled_local(&s)
             );

@@ -126,12 +126,7 @@ impl Automaton for SwTransmitter {
             }
             DlAction::Crash(Station::T) => vec![SwTxState::default()],
             DlAction::SendPkt(Dir::TR, p) => {
-                if s.active
-                    && self
-                        .in_window_packets(s)
-                        .iter()
-                        .any(|q| p.content() == *q)
-                {
+                if s.active && self.in_window_packets(s).iter().any(|q| p.content() == *q) {
                     vec![s.clone()]
                 } else {
                     vec![]
@@ -348,7 +343,9 @@ mod tests {
         let t = SwTransmitter::new(window);
         let mut s = t.start_states().remove(0);
         for a in actions {
-            s = t.step_first(&s, a).unwrap_or_else(|| panic!("{a} not enabled in {s:?}"));
+            s = t
+                .step_first(&s, a)
+                .unwrap_or_else(|| panic!("{a} not enabled in {s:?}"));
         }
         (t, s)
     }
@@ -357,7 +354,9 @@ mod tests {
         let r = SwReceiver::new(window);
         let mut s = r.start_states().remove(0);
         for a in actions {
-            s = r.step_first(&s, a).unwrap_or_else(|| panic!("{a} not enabled in {s:?}"));
+            s = r
+                .step_first(&s, a)
+                .unwrap_or_else(|| panic!("{a} not enabled in {s:?}"));
         }
         (r, s)
     }
@@ -423,10 +422,7 @@ mod tests {
 
     #[test]
     fn duplicate_ack_ignored() {
-        let (t, s) = tx(
-            2,
-            &[DlAction::Wake(Dir::TR), DlAction::SendMsg(Msg(1))],
-        );
+        let (t, s) = tx(2, &[DlAction::Wake(Dir::TR), DlAction::SendMsg(Msg(1))]);
         // "Next expected = 0" == base: k == 0, nothing acked.
         let s2 = t
             .step_first(&s, &DlAction::ReceivePkt(Dir::RT, Packet::ack(0)))
@@ -436,10 +432,7 @@ mod tests {
 
     #[test]
     fn ack_beyond_window_ignored() {
-        let (t, s) = tx(
-            4,
-            &[DlAction::Wake(Dir::TR), DlAction::SendMsg(Msg(1))],
-        );
+        let (t, s) = tx(4, &[DlAction::Wake(Dir::TR), DlAction::SendMsg(Msg(1))]);
         // k would be 3 but only 1 message is outstanding.
         let s2 = t
             .step_first(&s, &DlAction::ReceivePkt(Dir::RT, Packet::ack(3)))
@@ -484,14 +477,12 @@ mod tests {
         // Ack each in turn; header seq alternates 0,1,0,1.
         for n in 0..4u64 {
             let expect_seq = n % 2;
-            assert!(t
-                .enabled_local(&s)
-                .contains(&DlAction::SendPkt(Dir::TR, Packet::data(expect_seq, Msg(n)))));
+            assert!(t.enabled_local(&s).contains(&DlAction::SendPkt(
+                Dir::TR,
+                Packet::data(expect_seq, Msg(n))
+            )));
             s = t
-                .step_first(
-                    &s,
-                    &DlAction::ReceivePkt(Dir::RT, Packet::ack((n + 1) % 2)),
-                )
+                .step_first(&s, &DlAction::ReceivePkt(Dir::RT, Packet::ack((n + 1) % 2)))
                 .unwrap();
         }
         assert!(s.queue.is_empty());
@@ -509,10 +500,7 @@ mod tests {
         let mut ren = MsgRenaming::identity();
         ren.insert(Msg(1), Msg(100)).unwrap();
         let (t, s) = tx(2, &[DlAction::Wake(Dir::TR), DlAction::SendMsg(Msg(1))]);
-        assert_eq!(
-            t.relabel_state(&s, &ren).queue.front(),
-            Some(&Msg(100))
-        );
+        assert_eq!(t.relabel_state(&s, &ren).queue.front(), Some(&Msg(100)));
         let (r, s) = rx(
             2,
             &[

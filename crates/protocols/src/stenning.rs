@@ -303,7 +303,10 @@ mod tests {
             assert!(!seen.contains(&p.header.seq), "header {p} recycled");
             seen.push(p.header.seq);
             s = t
-                .step_first(&s, &DlAction::ReceivePkt(Dir::RT, Packet::ack(p.header.seq)))
+                .step_first(
+                    &s,
+                    &DlAction::ReceivePkt(Dir::RT, Packet::ack(p.header.seq)),
+                )
                 .unwrap();
         }
         assert_eq!(seen, vec![0, 1, 2, 3, 4]);
@@ -324,9 +327,11 @@ mod tests {
         assert_eq!(s.expected, 2);
         assert_eq!(s.deliver.len(), 2);
         // Drain the owed acks so the bounded buffer has room again.
-        while let Some(a) = r.enabled_local(&s).into_iter().find(|a| {
-            matches!(a, DlAction::SendPkt(..))
-        }) {
+        while let Some(a) = r
+            .enabled_local(&s)
+            .into_iter()
+            .find(|a| matches!(a, DlAction::SendPkt(..)))
+        {
             s = r.step_first(&s, &a).unwrap();
         }
         // A late duplicate of 0 arrives out of order: re-acked, not

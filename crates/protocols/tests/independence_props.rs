@@ -30,8 +30,7 @@ fn tx_input_strategy() -> impl Strategy<Value = DlAction> {
 
 /// Random input actions for a receiver.
 fn rx_input_strategy() -> impl Strategy<Value = DlAction> {
-    let data = (0u64..4, 0u64..5)
-        .prop_map(|(s, m)| Packet::data(s, Msg(m)).with_uid(s * 10 + m));
+    let data = (0u64..4, 0u64..5).prop_map(|(s, m)| Packet::data(s, Msg(m)).with_uid(s * 10 + m));
     prop_oneof![
         data.prop_map(|p| DlAction::ReceivePkt(Dir::TR, p)),
         Just(DlAction::Wake(Dir::RT)),
@@ -135,7 +134,11 @@ macro_rules! independence_suite {
     };
 }
 
-independence_suite!(abp_tx_independent, abp_rx_independent, dl_protocols::abp::protocol());
+independence_suite!(
+    abp_tx_independent,
+    abp_rx_independent,
+    dl_protocols::abp::protocol()
+);
 independence_suite!(
     sw_tx_independent,
     sw_rx_independent,

@@ -216,7 +216,10 @@ mod tests {
         let steady = Scenario::SteadyStream { msgs: 3 };
         assert!(policy_for(&steady).full_dl);
         assert!(policy_for(&steady).complete);
-        let storm = Scenario::CrashStorm { burst: 1, crashes: 1 };
+        let storm = Scenario::CrashStorm {
+            burst: 1,
+            crashes: 1,
+        };
         assert!(!policy_for(&storm).full_dl);
         assert!(!policy_for(&storm).complete);
     }

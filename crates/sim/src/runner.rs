@@ -183,7 +183,12 @@ impl Runner {
                 crate::ScriptStep::Local(n) => {
                     for _ in 0..*n {
                         if exec.len() >= self.max_steps
-                            || !self.fair_local_step(system, &mut exec, &mut next_task, &mut metrics)
+                            || !self.fair_local_step(
+                                system,
+                                &mut exec,
+                                &mut next_task,
+                                &mut metrics,
+                            )
                         {
                             break;
                         }

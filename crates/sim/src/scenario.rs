@@ -106,7 +106,9 @@ impl Scenario {
             Scenario::Backlogged { msgs, gap } => {
                 let mut s = Script::new().wake_both();
                 for i in 0..msgs {
-                    s = s.inject(DlAction::SendMsg(dl_core::action::Msg(i))).local(gap);
+                    s = s
+                        .inject(DlAction::SendMsg(dl_core::action::Msg(i)))
+                        .local(gap);
                 }
                 s.settle()
             }
@@ -138,7 +140,10 @@ impl Scenario {
     pub fn soak_suite() -> Vec<Scenario> {
         vec![
             Scenario::SteadyStream { msgs: 12 },
-            Scenario::LinkFlaps { burst: 3, rounds: 3 },
+            Scenario::LinkFlaps {
+                burst: 3,
+                rounds: 3,
+            },
             Scenario::SubmitDuringOutage { msgs: 4 },
             Scenario::Backlogged { msgs: 10, gap: 2 },
         ]
@@ -161,7 +166,10 @@ mod tests {
 
     #[test]
     fn link_flaps_alternate_outages_and_bursts() {
-        let sc = Scenario::LinkFlaps { burst: 2, rounds: 2 };
+        let sc = Scenario::LinkFlaps {
+            burst: 2,
+            rounds: 2,
+        };
         let s = sc.script();
         assert_eq!(sc.total_msgs(), 6);
         let fails = s
@@ -175,7 +183,10 @@ mod tests {
 
     #[test]
     fn crash_storm_alternates_stations() {
-        let sc = Scenario::CrashStorm { burst: 1, crashes: 3 };
+        let sc = Scenario::CrashStorm {
+            burst: 1,
+            crashes: 3,
+        };
         let s = sc.script();
         let crashes: Vec<Station> = s
             .steps()

@@ -28,7 +28,10 @@ where
     let mut runner = Runner::new(seed, 5_000_000);
     let report = runner.run(&sys, &Script::deliver_n(MSGS));
     assert!(report.quiescent, "run did not quiesce");
-    assert_eq!(report.metrics.msgs_received, MSGS, "not all messages delivered");
+    assert_eq!(
+        report.metrics.msgs_received, MSGS,
+        "not all messages delivered"
+    );
     let verdict = DlModule::full().check(&report.behavior, TraceKind::Complete);
     assert!(verdict.is_allowed(), "DL violated: {verdict}");
     report.metrics
@@ -55,7 +58,10 @@ fn main() {
                 format!("{} ({:.2}×)", m.pkts_sent[0], m.overhead())
             })
             .collect();
-        println!("{:<20} {:>14} {:>14} {:>14}", name, cells[0], cells[1], cells[2]);
+        println!(
+            "{:<20} {:>14} {:>14} {:>14}",
+            name, cells[0], cells[1], cells[2]
+        );
     };
 
     row("alternating-bit", &|mode, seed| {
@@ -104,7 +110,11 @@ fn main() {
     for round in 0..6 {
         script = script.send_msgs(next, 5).settle();
         next += 5;
-        let station = if round % 2 == 0 { Station::T } else { Station::R };
+        let station = if round % 2 == 0 {
+            Station::T
+        } else {
+            Station::R
+        };
         script = script.crash_and_rewake(station);
     }
     script = script.send_msgs(next, 5).settle();
@@ -113,10 +123,7 @@ fn main() {
     let verdict = DlModule::weak().check(&report.behavior, TraceKind::Prefix);
     println!(
         "  {} crashes injected, {} of {} messages delivered, WDL safety: {}",
-        report.metrics.crashes,
-        report.metrics.msgs_received,
-        report.metrics.msgs_sent,
-        verdict
+        report.metrics.crashes, report.metrics.msgs_received, report.metrics.msgs_sent, verdict
     );
     assert!(verdict.is_allowed());
     assert_eq!(report.metrics.msgs_received, report.metrics.msgs_sent);

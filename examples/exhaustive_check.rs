@@ -1,6 +1,7 @@
 //! Exhaustive small-model verification: every interleaving of a bounded
-//! alternating-bit system, checked against the WDL-safety observer —
-//! including the shortest crash counterexample, found by brute force.
+//! alternating-bit system, checked against the WDL-safety observer by the
+//! parallel `dl-explore` engine — including the shortest crash
+//! counterexample, found by brute force.
 //!
 //! ```text
 //! cargo run --example exhaustive_check
@@ -9,8 +10,9 @@
 use datalink::channels::{LossMode, LossyFifoChannel};
 use datalink::core::action::{format_trace, Dir, DlAction, Msg, Station};
 use datalink::core::observer::{ObserverState, WdlObserver};
+use datalink::explore::ParallelExplorer;
 use datalink::ioa::composition::Compose2;
-use datalink::ioa::{Automaton, Explorer};
+use datalink::ioa::Automaton;
 use datalink::protocols::{AbpReceiver, AbpTransmitter};
 
 type Sys = Compose2<
@@ -44,7 +46,7 @@ fn main() {
     let s1 = sys.step_first(&s0, &DlAction::Wake(Dir::TR)).unwrap();
     let start = sys.step_first(&s1, &DlAction::Wake(Dir::RT)).unwrap();
 
-    let explorer = Explorer::new(
+    let explorer = ParallelExplorer::new(
         &sys,
         |s: &<Sys as Automaton>::State| {
             let obs = observer_of(s);
@@ -62,13 +64,18 @@ fn main() {
     assert!(report.holds());
     println!(
         "crash-free ABP, 2 messages, nondet loss, channel capacity 2:\n  \
-         {} reachable states, every interleaving WDL-safe\n",
-        report.states_visited
+         {} reachable states, every interleaving WDL-safe\n  \
+         ({} threads, {} BFS layers, {} transitions, {:?})\n",
+        report.states_visited,
+        report.threads,
+        report.layers.len(),
+        report.edges_expanded(),
+        report.duration
     );
 
     // Part 2: allow receiver crashes — BFS finds the shortest duplicate-
-    // delivery counterexample.
-    let explorer = Explorer::new(
+    // delivery counterexample, the same one at any thread count.
+    let explorer = ParallelExplorer::new(
         &sys,
         |s: &<Sys as Automaton>::State| {
             let mut out = Vec::new();
@@ -85,13 +92,13 @@ fn main() {
         10_000,
     );
     let report = explorer.check_invariant_from(vec![start], |s| observer_of(s).is_safe());
-    let (path, bad) = report.violation.expect("crash must break ABP");
+    let v = report.violation.expect("crash must break ABP");
     println!(
         "with crash^r,t allowed: shortest counterexample after exploring {} states:",
         report.states_visited
     );
-    print!("{}", format_trace(&path));
-    println!("\nobserver flag: {:?}", observer_of(&bad).flag);
+    print!("{}", format_trace(&v.path));
+    println!("\nobserver flag: {:?}", observer_of(&v.state).flag);
     println!(
         "\n→ the receiver crashed between accepting DATA#0 and the duplicate's\n\
          arrival; its reset expectation re-accepted the stale copy. This is the\n\

@@ -52,7 +52,10 @@ fn main() {
         max_rounds: 16,
         ..HeaderConfig::default()
     };
-    match HeaderEngine::new(p.transmitter, p.receiver, config).run().unwrap() {
+    match HeaderEngine::new(p.transmitter, p.receiver, config)
+        .run()
+        .unwrap()
+    {
         HeaderOutcome::Exhausted {
             rounds,
             transit_size,

@@ -38,18 +38,27 @@ fn main() {
     print!("{}", format_trace(&report.behavior));
 
     println!("\nmetrics:");
-    println!("  messages sent/received: {}/{}", report.metrics.msgs_sent, report.metrics.msgs_received);
+    println!(
+        "  messages sent/received: {}/{}",
+        report.metrics.msgs_sent, report.metrics.msgs_received
+    );
     println!(
         "  packets sent t→r: {} (overhead {:.2}× from retransmissions)",
         report.metrics.pkts_sent[0],
         report.metrics.overhead()
     );
-    println!("  distinct headers used: {}", report.metrics.headers_used.len());
+    println!(
+        "  distinct headers used: {}",
+        report.metrics.headers_used.len()
+    );
     println!("  quiescent: {}", report.quiescent);
 
     // 5. Judge the complete behavior against the full DL specification
     //    (DL1–DL8, including FIFO order and liveness).
     let verdict = DlModule::full().check(&report.behavior, TraceKind::Complete);
     println!("\nDL specification verdict: {verdict}");
-    assert!(verdict.is_allowed(), "ABP over lossy FIFO channels must satisfy DL");
+    assert!(
+        verdict.is_allowed(),
+        "ABP over lossy FIFO channels must satisfy DL"
+    );
 }

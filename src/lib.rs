@@ -11,7 +11,9 @@
 //! * [`protocols`] (`dl-protocols`) — the protocol zoo;
 //! * [`impossibility`] (`dl-impossibility`) — the Theorem 7.5 and 8.5
 //!   counterexample engines (§7–§8);
-//! * [`sim`] (`dl-sim`) — the composition/fault-injection harness.
+//! * [`sim`] (`dl-sim`) — the composition/fault-injection harness;
+//! * [`explore`] (`dl-explore`) — the parallel work-sharded model
+//!   checker behind experiment E9.
 //!
 //! # Example: refute a protocol's crash tolerance
 //!
@@ -30,6 +32,7 @@
 
 pub use dl_channels as channels;
 pub use dl_core as core;
+pub use dl_explore as explore;
 pub use dl_impossibility as impossibility;
 pub use dl_protocols as protocols;
 pub use dl_sim as sim;

@@ -171,7 +171,9 @@ fn reorder_channel_can_violate_fifo() {
 fn permissive_fifo_admits_all_sensible_schedules() {
     let ch = PermissiveChannel::fifo(Dir::TR);
     let mut s = ch.start_states().remove(0);
-    let pkts: Vec<Packet> = (0..5).map(|i| Packet::data(i, Msg(i)).with_uid(i + 1)).collect();
+    let pkts: Vec<Packet> = (0..5)
+        .map(|i| Packet::data(i, Msg(i)).with_uid(i + 1))
+        .collect();
     let mut sched = vec![DlAction::Wake(Dir::TR)];
     // Interleave: send 0, send 1, recv 0, send 2, recv 1, recv 2, ...
     sched.push(DlAction::SendPkt(Dir::TR, pkts[0]));
@@ -206,7 +208,10 @@ fn permissive_identity_equals_perfect_fifo() {
                 let mut uid = 1u64;
                 for (burst, deliver) in ops {
                     for _ in 0..burst {
-                        let a = DlAction::SendPkt(Dir::TR, Packet::data(uid % 4, Msg(uid)).with_uid(uid));
+                        let a = DlAction::SendPkt(
+                            Dir::TR,
+                            Packet::data(uid % 4, Msg(uid)).with_uid(uid),
+                        );
                         uid += 1;
                         ps = perm.step_first(&ps, &a).unwrap();
                         ss = sim.step_first(&ss, &a).unwrap();

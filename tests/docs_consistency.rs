@@ -26,10 +26,16 @@ fn experiments_bench_targets_exist() {
             }
         }
     }
-    assert!(!referenced.is_empty(), "EXPERIMENTS.md references no bench targets");
+    assert!(
+        !referenced.is_empty(),
+        "EXPERIMENTS.md references no bench targets"
+    );
     for name in &referenced {
         let path = repo_root().join(format!("crates/bench/benches/{name}.rs"));
-        assert!(path.exists(), "EXPERIMENTS.md references missing bench {name}");
+        assert!(
+            path.exists(),
+            "EXPERIMENTS.md references missing bench {name}"
+        );
     }
 }
 
@@ -70,7 +76,10 @@ fn readme_examples_exist_and_are_registered() {
             seen += 1;
         }
     }
-    assert!(seen >= 5, "README should showcase at least five examples, found {seen}");
+    assert!(
+        seen >= 5,
+        "README should showcase at least five examples, found {seen}"
+    );
 }
 
 #[test]

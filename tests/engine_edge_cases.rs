@@ -122,7 +122,10 @@ fn header_engine_reports_mute_protocols_as_no_delivery() {
 fn build_reference_rejects_wrong_behavior() {
     let err = build_reference(&MuteTransmitter, &MuteReceiver, Msg(0), 1000).unwrap_err();
     let text = err.to_string();
-    assert!(text.contains("Lemma 4.1") || text.contains("behavior"), "{text}");
+    assert!(
+        text.contains("Lemma 4.1") || text.contains("behavior"),
+        "{text}"
+    );
 }
 
 #[test]

@@ -20,9 +20,18 @@ fn certify_wdl_violation(behavior: &[DlAction], kind: TraceKind) {
     let (tx_tl, rx_tl) = wellformed::scan_both(behavior);
     assert!(tx_tl.is_well_formed(), "behavior not well-formed");
     assert!(rx_tl.is_well_formed(), "behavior not well-formed");
-    assert!(dlspec::check_dl1(&tx_tl, &rx_tl).is_none(), "DL1 hypothesis broken");
-    assert!(dlspec::check_dl2(behavior, &tx_tl).is_none(), "DL2 hypothesis broken");
-    assert!(dlspec::check_dl3(behavior).is_none(), "DL3 hypothesis broken");
+    assert!(
+        dlspec::check_dl1(&tx_tl, &rx_tl).is_none(),
+        "DL1 hypothesis broken"
+    );
+    assert!(
+        dlspec::check_dl2(behavior, &tx_tl).is_none(),
+        "DL2 hypothesis broken"
+    );
+    assert!(
+        dlspec::check_dl3(behavior).is_none(),
+        "DL3 hypothesis broken"
+    );
     let v = DlModule::weak().check(behavior, kind);
     assert!(!v.is_allowed(), "behavior unexpectedly allowed by WDL");
 }
@@ -194,8 +203,14 @@ fn reference_execution_shapes() {
     let r_actions = r.acts_of(Station::R, r.len());
     assert_eq!(t_actions.len() + r_actions.len(), r.len());
     // What t sends is what r receives (loss-free reference).
-    assert_eq!(r.out_pkts(Station::T, r.len()), r.in_pkts(Station::R, r.len()));
-    assert_eq!(r.out_pkts(Station::R, r.len()), r.in_pkts(Station::T, r.len()));
+    assert_eq!(
+        r.out_pkts(Station::T, r.len()),
+        r.in_pkts(Station::R, r.len())
+    );
+    assert_eq!(
+        r.out_pkts(Station::R, r.len()),
+        r.in_pkts(Station::T, r.len())
+    );
 }
 
 #[test]
@@ -259,7 +274,11 @@ fn theorem_8_5_refutes_the_2_bounded_fragmenting_protocol() {
     // Two packets impersonated: one per fragment class.
     assert_eq!(cx.matched.len(), 2);
     assert_ne!(cx.matched[0].0.header, cx.matched[1].0.header);
-    assert!(cx.rounds <= bound + 2, "rounds {} > bound {bound}", cx.rounds);
+    assert!(
+        cx.rounds <= bound + 2,
+        "rounds {} > bound {bound}",
+        cx.rounds
+    );
 }
 
 #[test]

@@ -12,10 +12,15 @@
 //! * over a bounded reordering channel, ABP reaches a DL4/DL5 violation
 //!   even **without** crashes (the finite shadow of Theorem 8.5), while
 //!   Stenning does not.
+//!
+//! The searches run on `dl-explore`'s parallel engine; the differential
+//! tests at the bottom pin its verdicts to the sequential `ioa::Explorer`
+//! oracle at 1, 2, and 4 threads.
 
 use datalink::channels::{LossMode, LossyFifoChannel, ReorderChannel};
 use datalink::core::action::{Dir, DlAction, Msg, Station};
 use datalink::core::observer::{ObserverState, WdlObserver};
+use datalink::explore::ParallelExplorer;
 use datalink::ioa::composition::{Compose2, Pair};
 use datalink::ioa::{Automaton, Explorer};
 
@@ -49,7 +54,7 @@ fn observer_of<TS, RS, CS1, CS2>(s: &SysState<TS, RS, CS1, CS2>) -> &ObserverSta
 /// then offer each of `n` messages exactly once.
 fn crash_free_inputs<TS, RS, CS1, CS2>(
     n: u64,
-) -> impl Fn(&SysState<TS, RS, CS1, CS2>) -> Vec<DlAction> {
+) -> impl Fn(&SysState<TS, RS, CS1, CS2>) -> Vec<DlAction> + Sync {
     move |s| {
         let mut out = Vec::new();
         let obs = observer_of(s);
@@ -82,17 +87,19 @@ fn abp_crash_free_safety_is_exhaustive() {
         LossyFifoChannel::with_capacity(Dir::RT, LossMode::Nondet, 2),
     );
     let start = woken_start(&sys);
-    let explorer = Explorer::new(&sys, crash_free_inputs(2), 2_000_000, 10_000);
+    let explorer = ParallelExplorer::new(&sys, crash_free_inputs(2), 2_000_000, 10_000);
     let report = explorer.check_invariant_from(vec![start], |s| observer_of(s).is_safe());
     assert!(
         report.holds(),
         "violation or truncation: {:?} (visited {})",
-        report.violation.map(|(p, _)| p),
+        report.violation.map(|v| v.path),
         report.states_visited
     );
     eprintln!(
-        "ABP crash-free: {} states, exhaustively safe",
-        report.states_visited
+        "ABP crash-free: {} states over {} layers ({} threads), exhaustively safe",
+        report.states_visited,
+        report.layers.len(),
+        report.threads
     );
 }
 
@@ -106,9 +113,27 @@ fn go_back_2_crash_free_safety_is_exhaustive() {
         LossyFifoChannel::with_capacity(Dir::RT, LossMode::Nondet, 2),
     );
     let start = woken_start(&sys);
-    let explorer = Explorer::new(&sys, crash_free_inputs(2), 2_000_000, 10_000);
+    let explorer = ParallelExplorer::new(&sys, crash_free_inputs(2), 2_000_000, 10_000);
     let report = explorer.check_invariant_from(vec![start], |s| observer_of(s).is_safe());
     assert!(report.holds(), "visited {}", report.states_visited);
+}
+
+/// Environment inputs that offer `m0` plus receiver crash/re-wake.
+fn crash_inputs<TS, RS, CS1, CS2>(
+    s: &SysState<TS, RS, CS1, CS2>,
+    rx_active: bool,
+) -> Vec<DlAction> {
+    let mut out = Vec::new();
+    if !observer_of(s).sent.contains(&Msg(0)) {
+        out.push(DlAction::SendMsg(Msg(0)));
+    }
+    // Crash the receiver (and wake it again right away — the model folds
+    // crash+wake into two offered inputs).
+    out.push(DlAction::Crash(Station::R));
+    if !rx_active {
+        out.push(DlAction::Wake(Dir::RT));
+    }
+    out
 }
 
 #[test]
@@ -124,41 +149,36 @@ fn abp_duplicate_delivery_reachable_with_receiver_crash() {
         LossyFifoChannel::with_capacity(Dir::RT, LossMode::None, 2),
     );
     let start = woken_start(&sys);
-    let inputs = |s: &SysState<
-        datalink::protocols::abp::AbpTxState,
-        datalink::protocols::abp::AbpRxState,
-        datalink::channels::FlightState,
-        datalink::channels::FlightState,
-    >| {
-        let mut out = Vec::new();
-        let obs = observer_of(s);
-        if !obs.sent.contains(&Msg(0)) {
-            out.push(DlAction::SendMsg(Msg(0)));
-        }
-        // Crash the receiver (and wake it again right away — the model
-        // folds crash+wake into two offered inputs).
-        out.push(DlAction::Crash(Station::R));
-        if !s.left.right.active {
-            out.push(DlAction::Wake(Dir::RT));
-        }
-        out
-    };
-    let explorer = Explorer::new(&sys, inputs, 2_000_000, 10_000);
+    let explorer = ParallelExplorer::new(
+        &sys,
+        |s: &SysState<
+            datalink::protocols::abp::AbpTxState,
+            datalink::protocols::abp::AbpRxState,
+            datalink::channels::FlightState,
+            datalink::channels::FlightState,
+        >| crash_inputs(s, s.left.right.active),
+        2_000_000,
+        10_000,
+    );
     let report = explorer.check_invariant_from(vec![start], |s| observer_of(s).is_safe());
-    let (path, bad) = report.violation.expect("DL4 must be reachable");
+    let v = report.violation.expect("DL4 must be reachable");
     eprintln!(
         "ABP + receiver crash: DL4 path of {} actions through {} states",
-        path.len(),
+        v.path.len(),
         report.states_visited
     );
     assert!(matches!(
-        observer_of(&bad).flag,
+        observer_of(&v.state).flag,
         Some(datalink::core::observer::SafetyFlag::Duplicate(Msg(0)))
     ));
     // The path must actually contain the crash.
-    assert!(path.iter().any(|a| matches!(a, DlAction::Crash(Station::R))));
+    assert!(v
+        .path
+        .iter()
+        .any(|a| matches!(a, DlAction::Crash(Station::R))));
     // And the delivery happens twice along it.
-    let deliveries = path
+    let deliveries = v
+        .path
         .iter()
         .filter(|a| matches!(a, DlAction::ReceiveMsg(Msg(0))))
         .count();
@@ -177,18 +197,19 @@ fn abp_violation_reachable_over_reordering_channel() {
         LossyFifoChannel::with_capacity(Dir::RT, LossMode::Nondet, 2),
     );
     let start = woken_start(&sys);
-    let explorer = Explorer::new(&sys, crash_free_inputs(3), 4_000_000, 10_000);
+    let explorer = ParallelExplorer::new(&sys, crash_free_inputs(3), 4_000_000, 10_000);
     let report = explorer.check_invariant_from(vec![start], |s| observer_of(s).is_safe());
-    let (path, _) = report
+    let v = report
         .violation
         .expect("reordering must break ABP safety with 3 messages");
     eprintln!(
         "ABP over reordering channel: violation path of {} actions ({} states)",
-        path.len(),
+        v.path.len(),
         report.states_visited
     );
     // No crash or failure was needed (the §8 note).
-    assert!(!path
+    assert!(!v
+        .path
         .iter()
         .any(|a| matches!(a, DlAction::Crash(_) | DlAction::Fail(_))));
 }
@@ -203,7 +224,7 @@ fn stenning_safe_over_reordering_channel_exhaustively() {
         LossyFifoChannel::with_capacity(Dir::RT, LossMode::Nondet, 2),
     );
     let start = woken_start(&sys);
-    let explorer = Explorer::new(&sys, crash_free_inputs(2), 2_000_000, 10_000);
+    let explorer = ParallelExplorer::new(&sys, crash_free_inputs(2), 2_000_000, 10_000);
     let report = explorer.check_invariant_from(vec![start], |s| observer_of(s).is_safe());
     assert!(
         report.holds(),
@@ -214,4 +235,92 @@ fn stenning_safe_over_reordering_channel_exhaustively() {
         "Stenning over reordering channel: {} states, exhaustively safe",
         report.states_visited
     );
+}
+
+// ---------------------------------------------------------------------
+// Differential tests: the parallel engine against the sequential oracle.
+// ---------------------------------------------------------------------
+
+/// Safe run (bounded ABP, crash-free): on an exhaustive search both
+/// engines must agree on the reachable state set, so `states_visited` and
+/// `quiescent_states` are equal — at every thread count.
+#[test]
+fn differential_abp_crash_free_matches_sequential_at_1_2_4_threads() {
+    let p = datalink::protocols::abp::protocol();
+    let sys = checked_system(
+        p.transmitter,
+        p.receiver,
+        LossyFifoChannel::with_capacity(Dir::TR, LossMode::Nondet, 2),
+        LossyFifoChannel::with_capacity(Dir::RT, LossMode::Nondet, 2),
+    );
+    let start = woken_start(&sys);
+
+    let seq = Explorer::new(&sys, crash_free_inputs(2), 2_000_000, 10_000)
+        .check_invariant_from(vec![start.clone()], |s| observer_of(s).is_safe());
+    assert!(seq.holds());
+
+    for threads in [1usize, 2, 4] {
+        let par = ParallelExplorer::new(&sys, crash_free_inputs(2), 2_000_000, 10_000)
+            .threads(threads)
+            .check_invariant_from(vec![start.clone()], |s| observer_of(s).is_safe());
+        assert!(
+            par.holds(),
+            "parallel engine disagrees at {threads} threads"
+        );
+        assert_eq!(
+            par.states_visited, seq.states_visited,
+            "states_visited diverged at {threads} threads"
+        );
+        assert_eq!(
+            par.quiescent_states, seq.quiescent_states,
+            "quiescent_states diverged at {threads} threads"
+        );
+    }
+}
+
+/// Violating run (ABP with receiver crashes): BFS counterexamples must
+/// have the same (minimal) length in both engines, and the parallel
+/// engine's full report — counts, violating state, exact path — must be
+/// identical at 1, 2, and 4 threads.
+#[test]
+fn differential_abp_crash_counterexample_matches_sequential_at_1_2_4_threads() {
+    let p = datalink::protocols::abp::protocol();
+    let sys = checked_system(
+        p.transmitter,
+        p.receiver,
+        LossyFifoChannel::with_capacity(Dir::TR, LossMode::None, 2),
+        LossyFifoChannel::with_capacity(Dir::RT, LossMode::None, 2),
+    );
+    let start = woken_start(&sys);
+    let inputs = |s: &SysState<
+        datalink::protocols::abp::AbpTxState,
+        datalink::protocols::abp::AbpRxState,
+        datalink::channels::FlightState,
+        datalink::channels::FlightState,
+    >| crash_inputs(s, s.left.right.active);
+
+    let seq = Explorer::new(&sys, inputs, 2_000_000, 10_000)
+        .check_invariant_from(vec![start.clone()], |s| observer_of(s).is_safe());
+    let (seq_path, _) = seq.violation.expect("oracle finds DL4");
+
+    let mut baseline = None;
+    for threads in [1usize, 2, 4] {
+        let par = ParallelExplorer::new(&sys, inputs, 2_000_000, 10_000)
+            .threads(threads)
+            .check_invariant_from(vec![start.clone()], |s| observer_of(s).is_safe());
+        let v = par.violation.clone().expect("parallel engine finds DL4");
+        assert_eq!(
+            v.path.len(),
+            seq_path.len(),
+            "counterexample length diverged from sequential at {threads} threads"
+        );
+        let summary = (par.states_visited, par.quiescent_states, v.state, v.path);
+        match &baseline {
+            None => baseline = Some(summary),
+            Some(b) => assert_eq!(
+                *b, summary,
+                "parallel report not thread-count-independent at {threads} threads"
+            ),
+        }
+    }
 }

@@ -97,7 +97,11 @@ fn lemma_6_1_permissive_channels_solve_pl() {
         let mut exec = FairExecutor::new(5, 10_000);
         let mut inputs = vec![DlAction::Wake(Dir::TR)];
         inputs.extend((0..6).map(|n| DlAction::SendPkt(Dir::TR, pkt(n))));
-        let out = exec.run(&ch, ch.start_states().remove(0), EnvScript::with_gap(inputs, 1));
+        let out = exec.run(
+            &ch,
+            ch.start_states().remove(0),
+            EnvScript::with_gap(inputs, 1),
+        );
         assert!(out.quiescent);
         let sched = out.execution.schedule();
         let module = if fifo {
@@ -126,7 +130,9 @@ fn lemma_6_2_universal_channel_admits_sensible_schedules() {
         DlAction::ReceivePkt(Dir::TR, pkt(2)),
         DlAction::ReceivePkt(Dir::TR, pkt(1)),
     ] {
-        s = ch.step_first(&s, &a).unwrap_or_else(|| panic!("{a} rejected"));
+        s = ch
+            .step_first(&s, &a)
+            .unwrap_or_else(|| panic!("{a} rejected"));
     }
     // Packet 3 is lost forever; no further delivery is enabled.
     assert!(ch.enabled_local(&s).is_empty());
@@ -138,13 +144,19 @@ fn lemma_6_3_clean_states_always_reachable() {
     let ch = PermissiveChannel::fifo(Dir::TR);
     let mut s = ch.start_states().remove(0);
     for n in 0..4 {
-        s = ch.step_first(&s, &DlAction::SendPkt(Dir::TR, pkt(n))).unwrap();
+        s = ch
+            .step_first(&s, &DlAction::SendPkt(Dir::TR, pkt(n)))
+            .unwrap();
     }
-    s = ch.step_first(&s, &DlAction::ReceivePkt(Dir::TR, pkt(0))).unwrap();
+    s = ch
+        .step_first(&s, &DlAction::ReceivePkt(Dir::TR, pkt(0)))
+        .unwrap();
     s.make_clean();
     assert!(s.is_clean());
     // After cleaning, new sends flow FIFO with no losses.
-    let s2 = ch.step_first(&s, &DlAction::SendPkt(Dir::TR, pkt(9))).unwrap();
+    let s2 = ch
+        .step_first(&s, &DlAction::SendPkt(Dir::TR, pkt(9)))
+        .unwrap();
     assert_eq!(s2.waiting(), vec![pkt(9)]);
 }
 
@@ -154,7 +166,9 @@ fn lemma_6_4_waiting_sequences_deliver_in_order() {
     let ch = PermissiveChannel::universal(Dir::TR);
     let mut s = ch.start_states().remove(0);
     for n in 0..4 {
-        s = ch.step_first(&s, &DlAction::SendPkt(Dir::TR, pkt(n))).unwrap();
+        s = ch
+            .step_first(&s, &DlAction::SendPkt(Dir::TR, pkt(n)))
+            .unwrap();
     }
     ch.set_waiting(&mut s, &[4, 2, 1]).unwrap();
     for expect in [pkt(3), pkt(1), pkt(0)] {
@@ -172,7 +186,9 @@ fn lemmas_6_5_to_6_7_surgery() {
     let ch = PermissiveChannel::universal(Dir::TR);
     let mut s = ch.start_states().remove(0);
     for n in 0..5 {
-        s = ch.step_first(&s, &DlAction::SendPkt(Dir::TR, pkt(n))).unwrap();
+        s = ch
+            .step_first(&s, &DlAction::SendPkt(Dir::TR, pkt(n)))
+            .unwrap();
     }
     // 6.5: the sends are waiting (identity FIFO start).
     assert_eq!(s.waiting().len(), 5);

@@ -56,7 +56,10 @@ macro_rules! dl_conformance_over_fifo {
     };
 }
 
-dl_conformance_over_fifo!(abp_provides_dl_service, datalink::protocols::abp::protocol());
+dl_conformance_over_fifo!(
+    abp_provides_dl_service,
+    datalink::protocols::abp::protocol()
+);
 dl_conformance_over_fifo!(
     sliding_window_2_provides_dl_service,
     datalink::protocols::sliding_window::protocol(2)

@@ -145,7 +145,10 @@ fn soak_nonvolatile() {
 #[test]
 fn nonvolatile_survives_the_crash_storm_scenario() {
     // The only protocol for which the CrashStorm scenario must be safe.
-    let scenario = Scenario::CrashStorm { burst: 3, crashes: 5 };
+    let scenario = Scenario::CrashStorm {
+        burst: 3,
+        crashes: 5,
+    };
     for seed in 0..4 {
         let p = datalink::protocols::nonvolatile::protocol();
         let sys = link_system(

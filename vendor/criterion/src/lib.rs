@@ -1,0 +1,241 @@
+//! Vendored offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of criterion's API its benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (`bench_function` / `bench_with_input` /
+//! `sample_size` / `finish`), [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each sample is one timed call of the `iter` closure
+//! body, with one untimed warm-up call first. The number of samples is
+//! `sample_size` (default 10), adaptively reduced so a single benchmark
+//! stays under roughly three seconds of sampling. Output is
+//! `group/id: median …` on stdout. In test mode (`cargo test` on a
+//! `harness = false` bench target, detected by the absence of `--bench`
+//! in the arguments) every benchmark body runs exactly once, untimed, so
+//! tier-1 verification stays fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, constructed by [`criterion_group!`].
+pub struct Criterion {
+    bench_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments, as `cargo bench` /
+    /// `cargo test` invoke a `harness = false` target.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut bench_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => bench_mode = true,
+                "--test" => bench_mode = false,
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { bench_mode, filter }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (bench_mode, filter) = (self.bench_mode, self.filter.clone());
+        run_one(bench_mode, filter.as_deref(), 10, &id.into().label, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(
+            self.criterion.bench_mode,
+            self.criterion.filter.as_deref(),
+            self.sample_size,
+            &label,
+            f,
+        );
+        self
+    }
+
+    /// Benchmarks `f(input)` under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (a no-op in the shim, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, `function_name/parameter` or either half alone.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    bench_mode: bool,
+    sample_size: usize,
+    ran: bool,
+    label: String,
+}
+
+impl Bencher {
+    /// Times `f`, one call per sample, and prints a summary line.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.ran = true;
+        if !self.bench_mode {
+            black_box(f());
+            return;
+        }
+        // Untimed warm-up; also sizes the adaptive sample budget.
+        let warm = Instant::now();
+        black_box(f());
+        let per_call = warm.elapsed();
+        let budget = Duration::from_secs(3);
+        let affordable = if per_call.is_zero() {
+            self.sample_size
+        } else {
+            (budget.as_nanos() / per_call.as_nanos().max(1)) as usize
+        };
+        let samples = self.sample_size.min(affordable).max(3);
+
+        let mut times: Vec<Duration> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed());
+        }
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "{:<60} median {:>12?}  mean {:>12?}  ({} samples)",
+            self.label,
+            median,
+            mean,
+            times.len()
+        );
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    bench_mode: bool,
+    filter: Option<&str>,
+    sample_size: usize,
+    label: &str,
+    mut f: F,
+) {
+    if let Some(needle) = filter {
+        if !label.contains(needle) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        bench_mode,
+        sample_size,
+        ran: false,
+        label: label.to_string(),
+    };
+    f(&mut b);
+    assert!(b.ran, "benchmark {label} never called Bencher::iter");
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,132 @@
+//! Vendored offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of proptest's API its tests actually use: the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map` / `boxed`,
+//! integer-range and tuple strategies, [`strategy::Just`],
+//! [`collection::vec`], [`sample::Index`], `any::<T>()`, the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_oneof!`] macro family, and a
+//! [`test_runner::TestRunner`] driving a configurable number of cases
+//! from a deterministic seed.
+//!
+//! Deliberate differences from real proptest: **no shrinking** (a failing
+//! case is reported as generated) and **deterministic seeding** (override
+//! the case count with the `PROPTEST_CASES` environment variable).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The subset of `proptest::prelude` this workspace imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced re-exports, mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property-test functions: each `fn name(pat in strategy, ...)`
+/// body runs for every generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: recursively expands each test fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr);) => {};
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            let outcome = runner.run(&($($strat,)+), |($($pat,)+)| {
+                $body
+                ::core::result::Result::Ok(())
+            });
+            if let ::core::result::Result::Err(e) = outcome {
+                ::core::panic!("{}", e);
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} at {}:{}", format_args!($($fmt)*), file!(), line!()),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} != {:?}: {}",
+            l,
+            r,
+            format_args!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {:?} == {:?}: {}",
+            l,
+            r,
+            format_args!($($fmt)*)
+        );
+    }};
+}
+
+/// Uniform choice among strategies with a common `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($arm)),+])
+    };
+}

@@ -1,0 +1,37 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::arbitrary::Arbitrary;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A size-independent index into a collection whose length is only known
+/// at use time, mirroring `proptest::sample::Index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Index(usize);
+
+impl Index {
+    /// Projects this value onto `[0, size)`. Panics if `size` is zero.
+    #[must_use]
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "Index::index on an empty collection");
+        self.0 % size
+    }
+}
+
+/// Strategy generating [`Index`] values.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexStrategy;
+
+impl Strategy for IndexStrategy {
+    type Value = Index;
+    fn sample(&self, rng: &mut TestRng) -> Index {
+        Index(rng.next_u64() as usize)
+    }
+}
+
+impl Arbitrary for Index {
+    type Strategy = IndexStrategy;
+    fn arbitrary() -> Self::Strategy {
+        IndexStrategy
+    }
+}

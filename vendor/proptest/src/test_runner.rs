@@ -1,0 +1,144 @@
+//! Case-driving runner, configuration, and the deterministic test RNG.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SeedableRng};
+
+use crate::strategy::Strategy;
+
+/// The RNG handed to strategies.
+///
+/// Deterministic: a fixed base seed advanced across cases, so failures
+/// reproduce run-to-run (there is no shrinking to rediscover them).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform draw from `[lo, hi)` for unsigned types.
+    pub fn uniform<T: rand::SampleUniform>(&mut self, lo: T, hi: T) -> T {
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform draw from `[lo, hi)` for signed types.
+    pub fn uniform_signed<T: rand::SampleUniform>(&mut self, lo: T, hi: T) -> T {
+        self.inner.random_range(lo..hi)
+    }
+}
+
+/// How many cases to run per property.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        Config { cases }
+    }
+}
+
+/// A single case's failure.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed case with the given reason.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// A whole property's failure: the first failing case, unshrunk.
+#[derive(Debug, Clone)]
+pub struct TestError {
+    case: u32,
+    inner: TestCaseError,
+}
+
+impl fmt::Display for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "property failed at case {} (vendored proptest shim, no shrinking): {}",
+            self.case, self.inner
+        )
+    }
+}
+
+impl std::error::Error for TestError {}
+
+/// Runs a property over `config.cases` generated cases.
+pub struct TestRunner {
+    config: Config,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// A runner with the given config and the deterministic base seed.
+    #[must_use]
+    pub fn new(config: Config) -> Self {
+        TestRunner {
+            config,
+            rng: TestRng::from_seed(0x1988_0D11),
+        }
+    }
+
+    /// Generates `cases` values from `strategy` and feeds each to `test`.
+    ///
+    /// # Errors
+    ///
+    /// The first case on which `test` returns `Err`, without shrinking.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError>
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        for case in 0..self.config.cases {
+            let value = strategy.sample(&mut self.rng);
+            test(value).map_err(|inner| TestError { case, inner })?;
+        }
+        Ok(())
+    }
+}
