@@ -43,7 +43,10 @@ fn overhead_table() {
     let report = |name: &str, f: &dyn Fn(LossMode) -> Metrics| {
         let cells: Vec<String> = modes
             .iter()
-            .map(|m| format!("{:.2}", f(*m).overhead()))
+            .map(|m| match f(*m).overhead() {
+                Some(o) => format!("{o:.2}"),
+                None => "—".to_string(),
+            })
             .collect();
         eprintln!(
             "{:<20} {:>10} {:>10} {:>10}",

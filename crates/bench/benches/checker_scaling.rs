@@ -1,0 +1,337 @@
+//! Checker scaling: the streaming `TraceMonitor` against the frozen
+//! quadratic reference checkers on 10⁴–10⁶-action traces.
+//!
+//! Three gates run before the measured sweep, and each is a hard assert:
+//!
+//! 1. **Differential** — streaming and legacy batch verdicts (all four
+//!    PL configurations, all four DL configurations, violation payloads
+//!    included) are identical on every generator seed at 10⁴ actions.
+//! 2. **Speedup** — one streaming pass at 10⁵ actions is ≥10× faster
+//!    than the legacy pass over the same trace, with equal verdicts.
+//! 3. **Explore threads** — the monitor threaded through `dl-explore`
+//!    as a trace property yields identical reports at 1, 2, and 4
+//!    threads: same counterexample path on a violating model, same
+//!    state counts (equal to the untraced search) on a safe one.
+//!
+//! The measured group then times the streaming pass at 10⁴/10⁵/10⁶
+//! actions (linear growth) and the legacy pass at 10⁴ (its quadratic
+//! cost makes larger sizes pointless to sample repeatedly).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dl_channels::{LossMode, LossyFifoChannel};
+use dl_core::action::{Dir, DlAction, Msg, Packet, Station};
+use dl_core::observer::{ObserverState, WdlObserver};
+use dl_core::spec::monitor::TraceMonitor;
+use dl_core::spec::reference;
+use dl_explore::{MonitorProperty, ParallelExplorer};
+use ioa::composition::Compose2;
+use ioa::schedule_module::{TraceKind, Verdict};
+use ioa::Automaton;
+
+// ---------------------------------------------------------------------
+// Trace generator (mirrors `dl-core/tests/monitor_props.rs`).
+// ---------------------------------------------------------------------
+
+fn dir_index(d: Dir) -> usize {
+    match d {
+        Dir::TR => 0,
+        Dir::RT => 1,
+    }
+}
+
+/// Legality-biased trace builder: packet traffic only on up media,
+/// FIFO-matched receives, strictly alternating wake/fail, occasional
+/// crashes — the shape that makes the legacy value-scan checkers
+/// genuinely quadratic.
+fn structured_trace(choices: &[u8]) -> Vec<DlAction> {
+    let mut out = vec![DlAction::Wake(Dir::TR), DlAction::Wake(Dir::RT)];
+    let mut up = [true, true];
+    let mut pending: [Vec<Packet>; 2] = [Vec::new(), Vec::new()];
+    let mut undelivered: Vec<Msg> = Vec::new();
+    let mut next_msg = 0u64;
+    let mut uid = 0u64;
+    for &c in choices {
+        let d = if c & 1 == 0 { Dir::TR } else { Dir::RT };
+        let di = dir_index(d);
+        match (c >> 1) % 6 {
+            0 => {
+                out.push(DlAction::SendMsg(Msg(next_msg)));
+                undelivered.push(Msg(next_msg));
+                next_msg += 1;
+            }
+            1 => {
+                if !undelivered.is_empty() {
+                    out.push(DlAction::ReceiveMsg(undelivered.remove(0)));
+                }
+            }
+            2 => {
+                if up[di] {
+                    uid += 1;
+                    let p = Packet::data(uid % 5, Msg(uid % 7)).with_uid(uid);
+                    pending[di].push(p);
+                    out.push(DlAction::SendPkt(d, p));
+                }
+            }
+            3 => {
+                if up[di] && !pending[di].is_empty() {
+                    out.push(DlAction::ReceivePkt(d, pending[di].remove(0)));
+                }
+            }
+            4 => {
+                if up[di] {
+                    out.push(DlAction::Fail(d));
+                } else {
+                    out.push(DlAction::Wake(d));
+                }
+                up[di] = !up[di];
+            }
+            _ => {
+                if c.is_multiple_of(31) {
+                    let s = if d == Dir::TR { Station::T } else { Station::R };
+                    out.push(DlAction::Crash(s));
+                    up[di] = false;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A message-dense trace: alternating send/deliver pairs with a
+/// transmitter wake/fail cycle every ~1000 actions. This is the worst
+/// case for the legacy checkers (DL5's per-receive scan over all prior
+/// receives is Θ(n²) here) and the shape the E1/E2 soak workloads
+/// produce, so the speedup gate measures on it.
+fn message_heavy_trace(n: usize) -> Vec<DlAction> {
+    let mut out = vec![DlAction::Wake(Dir::TR), DlAction::Wake(Dir::RT)];
+    let mut m = 0u64;
+    while out.len() < n {
+        out.push(DlAction::SendMsg(Msg(m)));
+        out.push(DlAction::ReceiveMsg(Msg(m)));
+        m += 1;
+        if m.is_multiple_of(500) {
+            out.push(DlAction::Fail(Dir::TR));
+            out.push(DlAction::Wake(Dir::TR));
+        }
+    }
+    out
+}
+
+/// Deterministic xorshift-driven structured trace of at least `n` actions.
+fn synthetic_trace(n: usize, seed: u64) -> Vec<DlAction> {
+    let mut budget = n + n / 2;
+    loop {
+        let mut s = seed;
+        let mut choices = Vec::with_capacity(budget);
+        while choices.len() < budget {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            choices.push((s >> 24) as u8);
+        }
+        let trace = structured_trace(&choices);
+        if trace.len() >= n {
+            return trace;
+        }
+        budget *= 2;
+    }
+}
+
+// ---------------------------------------------------------------------
+// The two code paths under comparison.
+// ---------------------------------------------------------------------
+
+/// All eight verdict configurations from one streaming pass.
+fn streaming_verdicts(trace: &[DlAction]) -> Vec<Verdict> {
+    let mon = TraceMonitor::scan(trace);
+    let mut out = Vec::with_capacity(8);
+    for dir in [Dir::TR, Dir::RT] {
+        for fifo in [false, true] {
+            out.push(mon.pl_verdict(dir, fifo));
+        }
+    }
+    for weak in [false, true] {
+        for kind in [TraceKind::Prefix, TraceKind::Complete] {
+            out.push(mon.dl_verdict(weak, kind));
+        }
+    }
+    out
+}
+
+/// The same eight verdicts from the legacy quadratic checkers.
+fn reference_verdicts(trace: &[DlAction]) -> Vec<Verdict> {
+    let mut out = Vec::with_capacity(8);
+    for dir in [Dir::TR, Dir::RT] {
+        for fifo in [false, true] {
+            out.push(reference::pl_check(trace, dir, fifo));
+        }
+    }
+    for weak in [false, true] {
+        for kind in [TraceKind::Prefix, TraceKind::Complete] {
+            out.push(reference::dl_check(trace, weak, kind));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Gate 3: the monitor through dl-explore at 1/2/4 threads.
+// ---------------------------------------------------------------------
+
+type Sys = Compose2<
+    Compose2<dl_protocols::AbpTransmitter, dl_protocols::AbpReceiver>,
+    Compose2<Compose2<LossyFifoChannel, LossyFifoChannel>, WdlObserver>,
+>;
+
+const WAKE_PREFIX: [DlAction; 2] = [DlAction::Wake(Dir::TR), DlAction::Wake(Dir::RT)];
+
+fn system(mode: LossMode) -> Sys {
+    let p = dl_protocols::abp::protocol();
+    Compose2::new(
+        Compose2::new(p.transmitter, p.receiver),
+        Compose2::new(
+            Compose2::new(
+                LossyFifoChannel::with_capacity(Dir::TR, mode, 2),
+                LossyFifoChannel::with_capacity(Dir::RT, mode, 2),
+            ),
+            WdlObserver,
+        ),
+    )
+}
+
+fn observer_of(s: &<Sys as Automaton>::State) -> &ObserverState {
+    &s.right.right
+}
+
+fn woken(sys: &Sys) -> <Sys as Automaton>::State {
+    let s0 = sys.start_states().remove(0);
+    let s1 = sys.step_first(&s0, &DlAction::Wake(Dir::TR)).unwrap();
+    sys.step_first(&s1, &DlAction::Wake(Dir::RT)).unwrap()
+}
+
+fn crash_free_inputs(s: &<Sys as Automaton>::State) -> Vec<DlAction> {
+    (0..2u64)
+        .map(Msg)
+        .find(|m| !observer_of(s).sent.contains(m))
+        .map(DlAction::SendMsg)
+        .into_iter()
+        .collect()
+}
+
+/// Offer one message plus receiver crash / re-wake (opens a DL4 path).
+fn crash_inputs(s: &<Sys as Automaton>::State) -> Vec<DlAction> {
+    let mut out = Vec::new();
+    if !observer_of(s).sent.contains(&Msg(0)) {
+        out.push(DlAction::SendMsg(Msg(0)));
+    }
+    out.push(DlAction::Crash(Station::R));
+    if !s.left.right.active {
+        out.push(DlAction::Wake(Dir::RT));
+    }
+    out
+}
+
+fn explore_thread_gate() {
+    // Violating model: the DL4 path must be identical at every thread
+    // count.
+    let sys = system(LossMode::None);
+    let start = woken(&sys);
+    let mut baseline: Option<Vec<DlAction>> = None;
+    for threads in [1usize, 2, 4] {
+        let monitor = MonitorProperty::new(false, false).with_prefix(&WAKE_PREFIX);
+        let report = ParallelExplorer::new(&sys, crash_inputs, 2_000_000, 10_000)
+            .threads(threads)
+            .check_traced_from(vec![start.clone()], &[], &monitor);
+        let v = report.violation.expect("DL4 reachable with receiver crash");
+        assert!(
+            v.property.starts_with("wdl-monitor: DL4"),
+            "unexpected property at {threads} threads: {}",
+            v.property
+        );
+        match &baseline {
+            None => baseline = Some(v.path),
+            Some(b) => assert_eq!(*b, v.path, "path diverged at {threads} threads"),
+        }
+    }
+
+    // Safe model: the monitor stays quiet and does not perturb the
+    // search at any thread count.
+    let sys = system(LossMode::Nondet);
+    let start = woken(&sys);
+    let plain = ParallelExplorer::new(&sys, crash_free_inputs, 2_000_000, 10_000)
+        .check_properties_from(vec![start.clone()], &[]);
+    assert!(plain.holds());
+    for threads in [1usize, 2, 4] {
+        let monitor = MonitorProperty::new(false, true).with_prefix(&WAKE_PREFIX);
+        let report = ParallelExplorer::new(&sys, crash_free_inputs, 2_000_000, 10_000)
+            .threads(threads)
+            .check_traced_from(vec![start.clone()], &[], &monitor);
+        assert!(
+            report.holds(),
+            "monitor fired on safe model at {threads} threads"
+        );
+        assert_eq!(report.states_visited, plain.states_visited);
+        assert_eq!(report.quiescent_states, plain.quiescent_states);
+    }
+    eprintln!("explore gate: monitor verdicts thread-count-independent at 1/2/4 threads");
+}
+
+// ---------------------------------------------------------------------
+// Gates + measured sweep.
+// ---------------------------------------------------------------------
+
+fn bench_checker_scaling(c: &mut Criterion) {
+    // Gate 1: differential on several seeds at 10⁴ actions.
+    for seed in [1u64, 2, 3, 0x5eed] {
+        let trace = synthetic_trace(10_000, seed);
+        assert_eq!(
+            streaming_verdicts(&trace),
+            reference_verdicts(&trace),
+            "streaming and legacy verdicts diverged on seed {seed}"
+        );
+    }
+    eprintln!("differential gate: streaming == legacy on all seeds at 10^4 actions");
+
+    // Gate 2: ≥10× speedup at 10⁵ actions, same verdicts, on the
+    // message-dense shape where the legacy scans are quadratic.
+    let trace = message_heavy_trace(100_000);
+    let t0 = Instant::now();
+    let fast = streaming_verdicts(&trace);
+    let streaming_time = t0.elapsed();
+    let t0 = Instant::now();
+    let slow = reference_verdicts(&trace);
+    let legacy_time = t0.elapsed();
+    assert_eq!(fast, slow, "verdicts diverged at 10^5 actions");
+    let speedup = legacy_time.as_secs_f64() / streaming_time.as_secs_f64();
+    eprintln!(
+        "speedup gate at 10^5 actions: streaming {streaming_time:?}, \
+         legacy {legacy_time:?} ({speedup:.1}x)"
+    );
+    assert!(
+        speedup >= 10.0,
+        "streaming pass only {speedup:.1}x faster than legacy at 10^5 actions"
+    );
+
+    // Gate 3: thread-count independence through dl-explore.
+    explore_thread_gate();
+
+    let mut group = c.benchmark_group("checker_scaling");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let trace = synthetic_trace(n, 7);
+        group.bench_with_input(BenchmarkId::new("streaming", n), &trace, |b, t| {
+            b.iter(|| streaming_verdicts(t))
+        });
+    }
+    let trace = synthetic_trace(10_000, 7);
+    group.bench_with_input(BenchmarkId::new("legacy", 10_000usize), &trace, |b, t| {
+        b.iter(|| reference_verdicts(t))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_checker_scaling);
+criterion_main!(benches);

@@ -11,13 +11,19 @@
 //! trace — the whole behavior of a fair execution that ended quiescent —
 //! "eventually" must already have happened, so DL8 is decidable and
 //! checked; on a [`TraceKind::Prefix`] it is skipped.
+//!
+//! Since the streaming-checker rewrite, the module and the standalone
+//! DL3–DL7 checkers are thin replay wrappers over
+//! [`crate::spec::monitor::TraceMonitor`]: one linear pass, identical
+//! verdicts, shared with the online monitor used during simulation.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use ioa::schedule_module::{ScheduleModule, TraceKind, Verdict, Violation};
 
 use crate::action::{Dir, DlAction, Msg};
-use crate::spec::wellformed::{scan_both, MediumTimeline};
+use crate::spec::monitor::TraceMonitor;
+use crate::spec::wellformed::MediumTimeline;
 
 /// The data-link-layer specification: `DL^{t,r}` or the weak `WDL^{t,r}`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,47 +55,7 @@ impl ScheduleModule for DlModule {
     type Action = DlAction;
 
     fn check(&self, trace: &[DlAction], kind: TraceKind) -> Verdict {
-        let (tx, rx) = scan_both(trace);
-
-        // Hypotheses: well-formedness and DL1–DL3.
-        if let Some(e) = tx.error().or_else(|| rx.error()) {
-            return Verdict::Vacuous(Violation {
-                property: "well-formedness",
-                at: Some(e.at),
-                reason: e.reason.to_string(),
-            });
-        }
-        if let Some(v) = check_dl1(&tx, &rx) {
-            return Verdict::Vacuous(v);
-        }
-        if let Some(v) = check_dl2(trace, &tx) {
-            return Verdict::Vacuous(v);
-        }
-        if let Some(v) = check_dl3(trace) {
-            return Verdict::Vacuous(v);
-        }
-
-        // Conclusions.
-        if let Some(v) = check_dl4(trace) {
-            return Verdict::Violated(v);
-        }
-        if let Some(v) = check_dl5(trace) {
-            return Verdict::Violated(v);
-        }
-        if !self.weak {
-            if let Some(v) = check_dl6(trace) {
-                return Verdict::Violated(v);
-            }
-            if let Some(v) = check_dl7(trace, &tx) {
-                return Verdict::Violated(v);
-            }
-        }
-        if kind == TraceKind::Complete {
-            if let Some(v) = check_dl8(trace, &tx) {
-                return Verdict::Violated(v);
-            }
-        }
-        Verdict::Satisfied
+        TraceMonitor::scan(trace).dl_verdict(self.weak, kind)
     }
 }
 
@@ -136,134 +102,45 @@ pub fn check_dl2(trace: &[DlAction], tx: &MediumTimeline) -> Option<Violation> {
 /// DL3: for every message `m`, at most one `send_msg^{t,r}(m)` event.
 #[must_use]
 pub fn check_dl3(trace: &[DlAction]) -> Option<Violation> {
-    let mut seen: HashSet<Msg> = HashSet::new();
-    for (i, a) in trace.iter().enumerate() {
-        if let DlAction::SendMsg(m) = a {
-            if !seen.insert(*m) {
-                return Some(Violation {
-                    property: "DL3",
-                    at: Some(i),
-                    reason: format!("message {m} sent twice"),
-                });
-            }
-        }
-    }
-    None
+    TraceMonitor::scan(trace).dl_violation(3).cloned()
 }
 
 /// DL4: for every message `m`, at most one `receive_msg^{t,r}(m)` event.
 #[must_use]
 pub fn check_dl4(trace: &[DlAction]) -> Option<Violation> {
-    let mut seen: HashSet<Msg> = HashSet::new();
-    for (i, a) in trace.iter().enumerate() {
-        if let DlAction::ReceiveMsg(m) = a {
-            if !seen.insert(*m) {
-                return Some(Violation {
-                    property: "DL4",
-                    at: Some(i),
-                    reason: format!("message {m} received twice"),
-                });
-            }
-        }
-    }
-    None
+    TraceMonitor::scan(trace).dl_violation(4).cloned()
 }
 
 /// DL5: every `receive_msg^{t,r}(m)` is preceded by a `send_msg^{t,r}(m)`.
 #[must_use]
 pub fn check_dl5(trace: &[DlAction]) -> Option<Violation> {
-    let mut sent: Vec<Msg> = Vec::new();
-    for (i, a) in trace.iter().enumerate() {
-        match a {
-            DlAction::SendMsg(m) => sent.push(*m),
-            DlAction::ReceiveMsg(m) if !sent.contains(m) => {
-                return Some(Violation {
-                    property: "DL5",
-                    at: Some(i),
-                    reason: format!("message {m} received but never sent"),
-                });
-            }
-            _ => {}
-        }
-    }
-    None
+    TraceMonitor::scan(trace).dl_violation(5).cloned()
 }
 
 /// DL6 (FIFO): messages that are both sent and received are received in the
 /// order they were sent.
+///
+/// Each received message is matched to its unique send position (DL3,
+/// checked before DL6 by the module, guarantees uniqueness); positions must
+/// be non-decreasing. A duplicate send (DL3's violation to report) or a
+/// receive of a not-yet-sent message (DL5's) ends FIFO judgement —
+/// violations found before that point stand, so a legal retransmission is
+/// never misflagged as reordering.
 #[must_use]
 pub fn check_dl6(trace: &[DlAction]) -> Option<Violation> {
-    // First send position per message (DL3, checked before DL6 by the
-    // module, guarantees uniqueness).
-    let mut send_pos: HashMap<Msg, usize> = HashMap::new();
-    let mut sends = 0usize;
-    for a in trace {
-        if let DlAction::SendMsg(m) = a {
-            send_pos.entry(*m).or_insert(sends);
-            sends += 1;
-        }
-    }
-    let mut last_pos: Option<usize> = None;
-    for (i, a) in trace.iter().enumerate() {
-        if let DlAction::ReceiveMsg(m) = a {
-            let pos = *send_pos.get(m)?;
-            if let Some(prev) = last_pos {
-                if pos < prev {
-                    return Some(Violation {
-                        property: "DL6 (FIFO)",
-                        at: Some(i),
-                        reason: format!(
-                            "message {m} (send position {pos}) received after a message with \
-                             send position {prev}"
-                        ),
-                    });
-                }
-            }
-            last_pos = Some(pos);
-        }
-    }
-    None
+    TraceMonitor::scan(trace).dl_violation(6).cloned()
 }
 
 /// DL7 (no gaps): if `m` is sent before `m'` within one transmitter working
 /// interval and `m'` is received, then `m` is received too.
+///
+/// Judged against the transmitter (`t → r`) working intervals of `trace`
+/// itself; on a trace that is not well-formed for the transmitter the
+/// grouping of sends into intervals is best-effort (the module verdict is
+/// vacuous in that case anyway).
 #[must_use]
-pub fn check_dl7(trace: &[DlAction], tx: &MediumTimeline) -> Option<Violation> {
-    debug_assert_eq!(tx.dir(), Dir::TR);
-    let received: HashSet<Msg> = trace
-        .iter()
-        .filter_map(|a| match a {
-            DlAction::ReceiveMsg(m) => Some(*m),
-            _ => None,
-        })
-        .collect();
-    for w in tx.intervals() {
-        // Track the first lost (unreceived) send in this interval; any
-        // later delivered send in the same interval then violates DL7.
-        let mut first_lost: Option<(usize, Msg)> = None;
-        for (i, a) in trace.iter().enumerate() {
-            if !w.contains(i) {
-                continue;
-            }
-            if let DlAction::SendMsg(m) = a {
-                if received.contains(m) {
-                    if let Some((j, lost)) = first_lost {
-                        return Some(Violation {
-                            property: "DL7",
-                            at: Some(j),
-                            reason: format!(
-                                "message {lost} (sent at {j}) lost, but later message {m} \
-                                 from the same working interval was delivered"
-                            ),
-                        });
-                    }
-                } else if first_lost.is_none() {
-                    first_lost = Some((i, *m));
-                }
-            }
-        }
-    }
-    None
+pub fn check_dl7(trace: &[DlAction]) -> Option<Violation> {
+    TraceMonitor::scan(trace).dl7_violation()
 }
 
 /// DL8 (liveness; checked on complete traces only): every message sent in
@@ -304,22 +181,12 @@ pub fn check_dl8(trace: &[DlAction], tx: &MediumTimeline) -> Option<Violation> {
 /// received.
 #[must_use]
 pub fn is_valid(trace: &[DlAction]) -> bool {
-    let has_wake = trace.iter().any(|a| matches!(a, DlAction::Wake(_)));
-    let has_fail_or_crash = trace
-        .iter()
-        .any(|a| matches!(a, DlAction::Fail(_) | DlAction::Crash(_)));
-    if !has_wake || has_fail_or_crash {
-        return false;
-    }
-    let (tx, rx) = scan_both(trace);
-    tx.is_well_formed()
-        && rx.is_well_formed()
-        && check_dl1(&tx, &rx).is_none()
-        && check_dl2(trace, &tx).is_none()
-        && check_dl3(trace).is_none()
-        && check_dl4(trace).is_none()
-        && check_dl5(trace).is_none()
-        && check_dl8(trace, &tx).is_none()
+    let mon = TraceMonitor::scan(trace);
+    // WDL on a complete trace checks exactly well-formedness, DL1–DL5 and
+    // DL8; validity additionally demands a wake and no fail/crash.
+    mon.saw_wake()
+        && !mon.saw_fail_or_crash()
+        && mon.dl_verdict(true, TraceKind::Complete) == Verdict::Satisfied
 }
 
 #[cfg(test)]

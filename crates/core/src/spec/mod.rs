@@ -5,10 +5,17 @@
 //!   medium direction);
 //! * [`physical`] — the `PL` and `PL-FIFO` schedule modules (PL1–PL6);
 //! * [`datalink`] — the `DL` and `WDL` schedule modules (DL1–DL8);
+//! * [`monitor`] — the streaming [`monitor::TraceMonitor`] that judges all
+//!   of the above in a single pass; the physical/datalink batch checkers
+//!   are thin replay wrappers over it;
+//! * [`reference`] — the frozen quadratic reference checkers, kept as the
+//!   oracle for differential tests and the `checker_scaling` bench;
 //! * [`liveness`] — patience monitors, the prefix surrogates of the
 //!   liveness properties PL6 and DL8.
 
 pub mod datalink;
 pub mod liveness;
+pub mod monitor;
 pub mod physical;
+pub mod reference;
 pub mod wellformed;

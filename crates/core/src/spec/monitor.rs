@@ -1,0 +1,821 @@
+//! Streaming, single-pass conformance monitor for the layer specifications.
+//!
+//! [`TraceMonitor`] consumes one [`DlAction`] at a time and maintains just
+//! enough hash-indexed state to judge the physical-layer properties PL1–PL5
+//! (per direction), the data-link properties DL1–DL8, well-formedness, and
+//! the in-transit packet multiset — all in amortized `O(1)` per action.
+//! The batch checkers in [`crate::spec::physical`] and
+//! [`crate::spec::datalink`] are thin replay wrappers over this monitor, so
+//! there is exactly one code path and every verdict (property name, trace
+//! index, reason string) matches what the original quadratic checkers
+//! produced.
+//!
+//! Two kinds of properties coexist:
+//!
+//! * **online** properties (PL2–PL5, DL2–DL6, well-formedness) are decided
+//!   the moment the offending action is observed; the monitor records the
+//!   *first* violation of each and [`TraceMonitor::online_violation`]
+//!   reports the earliest conclusion-class one — the hook the simulator
+//!   uses to abort a run on the offending prefix;
+//! * **end-of-trace** properties (PL1 is online too, but DL1, DL7 and DL8
+//!   quantify over the *final* received set and the *unbounded* working
+//!   interval) are evaluated lazily at verdict-query time, "as if the trace
+//!   ended now". Querying is `O(sends)` for DL7/DL8 and `O(1)` for the
+//!   rest; observing stays `O(1)`.
+//!
+//! Duplicate-send semantics (see `spec::physical::check_pl5` /
+//! `spec::datalink::check_dl6`): a duplicate packet (resp. message) send
+//! *poisons* the FIFO checker — PL2 (resp. DL3) already makes the module
+//! verdict vacuous in that case, so PL5/DL6 stop judging rather than
+//! misattribute a legal retransmission to reordering. A receive of a
+//! never-sent value likewise poisons FIFO checking (it is PL4/DL5's
+//! violation to report). Violations recorded *before* the poisoning event
+//! stand.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use ioa::schedule_module::{TraceKind, Verdict, Violation};
+
+use crate::action::{Dir, DlAction, Msg, Packet};
+
+/// Online well-formedness state for one medium direction: the streaming
+/// equivalent of [`crate::spec::wellformed::MediumTimeline`].
+#[derive(Debug, Clone, Default)]
+struct StatusState {
+    /// `true` between a `wake` and the next `fail`/`crash`.
+    up: bool,
+    /// First well-formedness violation (index + reason), if any.
+    error: Option<(usize, &'static str)>,
+}
+
+impl StatusState {
+    fn wake(&mut self, i: usize) {
+        if self.up && self.error.is_none() {
+            self.error = Some((i, "wake while medium already active"));
+        }
+        self.up = true;
+    }
+
+    fn fail(&mut self, i: usize) {
+        if !self.up && self.error.is_none() {
+            self.error = Some((i, "fail while medium not active"));
+        }
+        self.up = false;
+    }
+
+    fn crash(&mut self) {
+        // A crash may follow a wake with no intervening fail and starts a
+        // new crash interval; never a well-formedness error by itself.
+        self.up = false;
+    }
+
+    fn violation(&self) -> Option<Violation> {
+        self.error.map(|(at, reason)| Violation {
+            property: "well-formedness",
+            at: Some(at),
+            reason: reason.to_string(),
+        })
+    }
+}
+
+/// In-transit packet tracking with **multiset** semantics: each receive
+/// cancels the earliest still-pending send of the same packet value, and a
+/// receive with no pending copy pre-cancels the *next* send of that value
+/// (net in-transit count per value = sends − receives, clamped at zero,
+/// surviving copies being the latest sends).
+#[derive(Debug, Clone, Default)]
+struct TransitState {
+    /// Pending sends in send order; cancelled entries become `None`.
+    slots: Vec<Option<Packet>>,
+    /// Live slot indices per packet value, oldest first.
+    live: HashMap<Packet, VecDeque<usize>>,
+    /// Receives observed with no pending matching send, per packet value.
+    unmatched: HashMap<Packet, usize>,
+}
+
+impl TransitState {
+    fn send(&mut self, p: Packet) {
+        if let Some(n) = self.unmatched.get_mut(&p) {
+            *n -= 1;
+            if *n == 0 {
+                self.unmatched.remove(&p);
+            }
+            return;
+        }
+        let idx = self.slots.len();
+        self.slots.push(Some(p));
+        self.live.entry(p).or_default().push_back(idx);
+    }
+
+    fn receive(&mut self, p: &Packet) {
+        match self.live.get_mut(p).and_then(VecDeque::pop_front) {
+            Some(idx) => self.slots[idx] = None,
+            None => *self.unmatched.entry(*p).or_insert(0) += 1,
+        }
+    }
+
+    fn pending(&self) -> Vec<Packet> {
+        self.slots.iter().flatten().copied().collect()
+    }
+}
+
+/// Per-direction physical-layer monitor state (PL1–PL5 + in-transit).
+#[derive(Debug, Clone, Default)]
+struct PlState {
+    status: StatusState,
+    sent: HashSet<Packet>,
+    received: HashSet<Packet>,
+    /// Send position (0-based ordinal among this direction's sends) per
+    /// packet value, for PL5.
+    send_pos: HashMap<Packet, usize>,
+    sends: usize,
+    last_recv_pos: Option<usize>,
+    /// PL5 stops judging after a duplicate send or a receive-of-unsent.
+    fifo_poisoned: bool,
+    transit: TransitState,
+    pl1: Option<Violation>,
+    pl2: Option<Violation>,
+    pl3: Option<Violation>,
+    pl4: Option<Violation>,
+    pl5: Option<Violation>,
+}
+
+impl PlState {
+    fn send(&mut self, i: usize, dir: Dir, p: &Packet) {
+        if !self.status.up && self.pl1.is_none() {
+            self.pl1 = Some(Violation {
+                property: "PL1",
+                at: Some(i),
+                reason: format!("send_pkt^{dir} outside any working interval"),
+            });
+        }
+        if !self.sent.insert(*p) && self.pl2.is_none() {
+            self.pl2 = Some(Violation {
+                property: "PL2",
+                at: Some(i),
+                reason: format!("packet {p} sent twice"),
+            });
+        }
+        if !self.fifo_poisoned {
+            if self.send_pos.contains_key(p) {
+                self.fifo_poisoned = true;
+            } else {
+                self.send_pos.insert(*p, self.sends);
+            }
+        }
+        self.sends += 1;
+        self.transit.send(*p);
+    }
+
+    fn receive(&mut self, i: usize, p: &Packet) {
+        if !self.received.insert(*p) && self.pl3.is_none() {
+            self.pl3 = Some(Violation {
+                property: "PL3",
+                at: Some(i),
+                reason: format!("packet {p} received twice"),
+            });
+        }
+        if !self.sent.contains(p) && self.pl4.is_none() {
+            self.pl4 = Some(Violation {
+                property: "PL4",
+                at: Some(i),
+                reason: format!("packet {p} received but never sent"),
+            });
+        }
+        if !self.fifo_poisoned && self.pl5.is_none() {
+            match self.send_pos.get(p) {
+                None => self.fifo_poisoned = true,
+                Some(&pos) => {
+                    if let Some(prev) = self.last_recv_pos {
+                        if pos < prev {
+                            self.pl5 = Some(Violation {
+                                property: "PL5 (FIFO)",
+                                at: Some(i),
+                                reason: format!(
+                                    "packet {p} (send position {pos}) received after a packet \
+                                     with send position {prev}"
+                                ),
+                            });
+                        }
+                    }
+                    self.last_recv_pos = Some(pos);
+                }
+            }
+        }
+        self.transit.receive(p);
+    }
+}
+
+/// Data-link-layer monitor state (DL2–DL8; DL1 is derived from the status
+/// monitors at query time).
+#[derive(Debug, Clone, Default)]
+struct DlState {
+    sent: HashSet<Msg>,
+    received: HashSet<Msg>,
+    /// Send position per message, for DL6.
+    send_pos: HashMap<Msg, usize>,
+    sends: usize,
+    last_recv_pos: Option<usize>,
+    /// DL6 stops judging after a duplicate send or a receive-of-unsent.
+    fifo_poisoned: bool,
+    /// `(trace index, message)` of each `send_msg` inside a *closed*
+    /// transmitter working interval, grouped per interval in trace order.
+    closed_interval_sends: Vec<Vec<(usize, Msg)>>,
+    /// Sends inside the currently open transmitter working interval.
+    open_interval_sends: Vec<(usize, Msg)>,
+    dl2: Option<Violation>,
+    dl3: Option<Violation>,
+    dl4: Option<Violation>,
+    dl5: Option<Violation>,
+    dl6: Option<Violation>,
+}
+
+impl DlState {
+    fn on_tx_wake(&mut self) {
+        // On a malformed double wake the previous interval's sends are
+        // sealed off as well; the module verdict is vacuous then anyway.
+        self.on_tx_down();
+        self.open_interval_sends = Vec::new();
+    }
+
+    fn on_tx_down(&mut self) {
+        if !self.open_interval_sends.is_empty() {
+            self.closed_interval_sends
+                .push(std::mem::take(&mut self.open_interval_sends));
+        }
+    }
+
+    fn send(&mut self, i: usize, m: Msg, tx_up: bool) {
+        if tx_up {
+            self.open_interval_sends.push((i, m));
+        } else if self.dl2.is_none() {
+            self.dl2 = Some(Violation {
+                property: "DL2",
+                at: Some(i),
+                reason: format!("send_msg({m}) outside any transmitter working interval"),
+            });
+        }
+        if !self.sent.insert(m) && self.dl3.is_none() {
+            self.dl3 = Some(Violation {
+                property: "DL3",
+                at: Some(i),
+                reason: format!("message {m} sent twice"),
+            });
+        }
+        if !self.fifo_poisoned {
+            if self.send_pos.contains_key(&m) {
+                self.fifo_poisoned = true;
+            } else {
+                self.send_pos.insert(m, self.sends);
+            }
+        }
+        self.sends += 1;
+    }
+
+    fn receive(&mut self, i: usize, m: Msg) {
+        if !self.received.insert(m) && self.dl4.is_none() {
+            self.dl4 = Some(Violation {
+                property: "DL4",
+                at: Some(i),
+                reason: format!("message {m} received twice"),
+            });
+        }
+        if !self.sent.contains(&m) && self.dl5.is_none() {
+            self.dl5 = Some(Violation {
+                property: "DL5",
+                at: Some(i),
+                reason: format!("message {m} received but never sent"),
+            });
+        }
+        if !self.fifo_poisoned && self.dl6.is_none() {
+            match self.send_pos.get(&m) {
+                None => self.fifo_poisoned = true,
+                Some(&pos) => {
+                    if let Some(prev) = self.last_recv_pos {
+                        if pos < prev {
+                            self.dl6 = Some(Violation {
+                                property: "DL6 (FIFO)",
+                                at: Some(i),
+                                reason: format!(
+                                    "message {m} (send position {pos}) received after a \
+                                     message with send position {prev}"
+                                ),
+                            });
+                        }
+                    }
+                    self.last_recv_pos = Some(pos);
+                }
+            }
+        }
+    }
+}
+
+/// A single-pass, incremental conformance checker over `DlAction` traces.
+///
+/// Feed it a trace one action at a time with [`observe`](Self::observe)
+/// (or all at once with [`scan`](Self::scan)) and query verdicts at any
+/// prefix. Verdicts are exactly those of the batch schedule modules
+/// [`crate::spec::physical::PlModule`] and
+/// [`crate::spec::datalink::DlModule`] on the observed prefix.
+///
+/// ```
+/// use dl_core::action::{Dir, DlAction, Msg};
+/// use dl_core::spec::monitor::TraceMonitor;
+/// use ioa::schedule_module::{TraceKind, Verdict};
+///
+/// let mut mon = TraceMonitor::new();
+/// for a in [
+///     DlAction::Wake(Dir::TR),
+///     DlAction::Wake(Dir::RT),
+///     DlAction::SendMsg(Msg(1)),
+///     DlAction::ReceiveMsg(Msg(1)),
+/// ] {
+///     mon.observe(&a);
+/// }
+/// assert_eq!(mon.dl_verdict(true, TraceKind::Complete), Verdict::Satisfied);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceMonitor {
+    next_index: usize,
+    saw_wake: bool,
+    saw_fail_or_crash: bool,
+    /// Physical-layer state, indexed by `Dir::BOTH` order (TR, RT).
+    dirs: [PlState; 2],
+    dl: DlState,
+}
+
+fn dir_index(dir: Dir) -> usize {
+    match dir {
+        Dir::TR => 0,
+        Dir::RT => 1,
+    }
+}
+
+impl TraceMonitor {
+    /// A monitor that has observed the empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceMonitor::default()
+    }
+
+    /// A monitor that has observed all of `trace`, in order.
+    #[must_use]
+    pub fn scan(trace: &[DlAction]) -> Self {
+        let mut mon = TraceMonitor::new();
+        mon.observe_all(trace);
+        mon
+    }
+
+    /// Observes one action. Amortized `O(1)`.
+    pub fn observe(&mut self, a: &DlAction) {
+        let i = self.next_index;
+        self.next_index += 1;
+        match a {
+            DlAction::Wake(d) => {
+                self.saw_wake = true;
+                self.dirs[dir_index(*d)].status.wake(i);
+                if *d == Dir::TR {
+                    self.dl.on_tx_wake();
+                }
+            }
+            DlAction::Fail(d) => {
+                self.saw_fail_or_crash = true;
+                self.dirs[dir_index(*d)].status.fail(i);
+                if *d == Dir::TR {
+                    self.dl.on_tx_down();
+                }
+            }
+            DlAction::Crash(s) => {
+                self.saw_fail_or_crash = true;
+                self.dirs[dir_index(s.sends_on())].status.crash();
+                if s.sends_on() == Dir::TR {
+                    self.dl.on_tx_down();
+                }
+            }
+            DlAction::SendPkt(d, p) => self.dirs[dir_index(*d)].send(i, *d, p),
+            DlAction::ReceivePkt(d, p) => self.dirs[dir_index(*d)].receive(i, p),
+            DlAction::SendMsg(m) => {
+                let tx_up = self.dirs[0].status.up;
+                self.dl.send(i, *m, tx_up);
+            }
+            DlAction::ReceiveMsg(m) => self.dl.receive(i, *m),
+            DlAction::Internal(..) => {}
+        }
+    }
+
+    /// Observes a slice of actions, in order.
+    pub fn observe_all(&mut self, trace: &[DlAction]) {
+        for a in trace {
+            self.observe(a);
+        }
+    }
+
+    /// How many actions have been observed so far.
+    #[must_use]
+    pub fn actions_observed(&self) -> usize {
+        self.next_index
+    }
+
+    /// `true` if any `wake` event was observed (either direction).
+    #[must_use]
+    pub fn saw_wake(&self) -> bool {
+        self.saw_wake
+    }
+
+    /// `true` if any `fail` or `crash` event was observed.
+    #[must_use]
+    pub fn saw_fail_or_crash(&self) -> bool {
+        self.saw_fail_or_crash
+    }
+
+    /// First well-formedness violation for `dir`, if any.
+    #[must_use]
+    pub fn wellformedness_violation(&self, dir: Dir) -> Option<Violation> {
+        self.dirs[dir_index(dir)].status.violation()
+    }
+
+    /// First violation of the given PL property (1–5) for `dir` on the
+    /// observed prefix. PL1–PL4 are exact; PL5 is judged under the
+    /// duplicate-poisoning semantics documented on the module.
+    #[must_use]
+    pub fn pl_violation(&self, dir: Dir, property: u8) -> Option<&Violation> {
+        let d = &self.dirs[dir_index(dir)];
+        match property {
+            1 => d.pl1.as_ref(),
+            2 => d.pl2.as_ref(),
+            3 => d.pl3.as_ref(),
+            4 => d.pl4.as_ref(),
+            5 => d.pl5.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// First violation of the given DL property (2–6) on the observed
+    /// prefix. DL1/DL7/DL8 are end-of-trace properties; use
+    /// [`dl1_violation`](Self::dl1_violation),
+    /// [`dl7_violation`](Self::dl7_violation) and
+    /// [`dl8_violation`](Self::dl8_violation).
+    #[must_use]
+    pub fn dl_violation(&self, property: u8) -> Option<&Violation> {
+        match property {
+            2 => self.dl.dl2.as_ref(),
+            3 => self.dl.dl3.as_ref(),
+            4 => self.dl.dl4.as_ref(),
+            5 => self.dl.dl5.as_ref(),
+            6 => self.dl.dl6.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// DL1 as if the trace ended now: an unbounded transmitter working
+    /// interval iff an unbounded receiver one (i.e. both media currently up
+    /// or both down).
+    #[must_use]
+    pub fn dl1_violation(&self) -> Option<Violation> {
+        match (self.dirs[0].status.up, self.dirs[1].status.up) {
+            (true, false) => Some(Violation {
+                property: "DL1",
+                at: None,
+                reason: "unbounded transmitter working interval without an unbounded receiver one"
+                    .into(),
+            }),
+            (false, true) => Some(Violation {
+                property: "DL1",
+                at: None,
+                reason: "unbounded receiver working interval without an unbounded transmitter one"
+                    .into(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// DL7 as if the trace ended now: within each transmitter working
+    /// interval, no delivered send may follow a lost one. `O(sends)`.
+    #[must_use]
+    pub fn dl7_violation(&self) -> Option<Violation> {
+        let intervals = self
+            .dl
+            .closed_interval_sends
+            .iter()
+            .chain(std::iter::once(&self.dl.open_interval_sends));
+        for sends in intervals {
+            let mut first_lost: Option<(usize, Msg)> = None;
+            for &(i, m) in sends {
+                if self.dl.received.contains(&m) {
+                    if let Some((j, lost)) = first_lost {
+                        return Some(Violation {
+                            property: "DL7",
+                            at: Some(j),
+                            reason: format!(
+                                "message {lost} (sent at {j}) lost, but later message {m} \
+                                 from the same working interval was delivered"
+                            ),
+                        });
+                    }
+                } else if first_lost.is_none() {
+                    first_lost = Some((i, m));
+                }
+            }
+        }
+        None
+    }
+
+    /// DL8 as if the trace were complete now: every message sent in the
+    /// (currently) unbounded transmitter working interval must have been
+    /// received. `O(sends in that interval)`.
+    #[must_use]
+    pub fn dl8_violation(&self) -> Option<Violation> {
+        if !self.dirs[0].status.up {
+            return None;
+        }
+        for &(i, m) in &self.dl.open_interval_sends {
+            if !self.dl.received.contains(&m) {
+                return Some(Violation {
+                    property: "DL8",
+                    at: Some(i),
+                    reason: format!(
+                        "message {m} sent in the unbounded transmitter working interval but \
+                         never received (trace is complete)"
+                    ),
+                });
+            }
+        }
+        None
+    }
+
+    /// The packets currently in transit on `dir`: sent but not (yet)
+    /// received, under multiset semantics, in send order.
+    #[must_use]
+    pub fn in_transit(&self, dir: Dir) -> Vec<Packet> {
+        self.dirs[dir_index(dir)].transit.pending()
+    }
+
+    /// The physical-layer module verdict (`PL^{dir}` or `PL-FIFO^{dir}`)
+    /// on the observed prefix. Identical to
+    /// [`crate::spec::physical::PlModule::check`].
+    #[must_use]
+    pub fn pl_verdict(&self, dir: Dir, fifo: bool) -> Verdict {
+        let d = &self.dirs[dir_index(dir)];
+        // Hypotheses: well-formedness, PL1, PL2.
+        if let Some(v) = d.status.violation() {
+            return Verdict::Vacuous(v);
+        }
+        if let Some(v) = &d.pl1 {
+            return Verdict::Vacuous(v.clone());
+        }
+        if let Some(v) = &d.pl2 {
+            return Verdict::Vacuous(v.clone());
+        }
+        // Conclusions: PL3, PL4, and PL5 for the FIFO module.
+        if let Some(v) = &d.pl3 {
+            return Verdict::Violated(v.clone());
+        }
+        if let Some(v) = &d.pl4 {
+            return Verdict::Violated(v.clone());
+        }
+        if fifo {
+            if let Some(v) = &d.pl5 {
+                return Verdict::Violated(v.clone());
+            }
+        }
+        Verdict::Satisfied
+    }
+
+    /// The data-link module verdict (`DL` when `weak == false`, `WDL` when
+    /// `weak == true`) on the observed prefix. Identical to
+    /// [`crate::spec::datalink::DlModule::check`].
+    #[must_use]
+    pub fn dl_verdict(&self, weak: bool, kind: TraceKind) -> Verdict {
+        // Hypotheses: well-formedness (transmitter direction preferred, as
+        // in the batch module) and DL1–DL3.
+        if let Some(v) = self.dirs[0]
+            .status
+            .violation()
+            .or_else(|| self.dirs[1].status.violation())
+        {
+            return Verdict::Vacuous(v);
+        }
+        if let Some(v) = self.dl1_violation() {
+            return Verdict::Vacuous(v);
+        }
+        if let Some(v) = &self.dl.dl2 {
+            return Verdict::Vacuous(v.clone());
+        }
+        if let Some(v) = &self.dl.dl3 {
+            return Verdict::Vacuous(v.clone());
+        }
+        // Conclusions.
+        if let Some(v) = &self.dl.dl4 {
+            return Verdict::Violated(v.clone());
+        }
+        if let Some(v) = &self.dl.dl5 {
+            return Verdict::Violated(v.clone());
+        }
+        if !weak {
+            if let Some(v) = &self.dl.dl6 {
+                return Verdict::Violated(v.clone());
+            }
+            if let Some(v) = self.dl7_violation() {
+                return Verdict::Violated(v);
+            }
+        }
+        if kind == TraceKind::Complete {
+            if let Some(v) = self.dl8_violation() {
+                return Verdict::Violated(v);
+            }
+        }
+        Verdict::Satisfied
+    }
+
+    /// The earliest *conclusion-class* violation on the observed prefix —
+    /// the online abort signal for the simulator and explorer.
+    ///
+    /// A violation is reported only while its module's hypotheses still
+    /// hold on the prefix (a direction with a well-formedness/PL1/PL2
+    /// failure, or a data link with a well-formedness/DL2/DL3 failure, is
+    /// unconstrained — its conclusions are suppressed, matching the batch
+    /// verdict's vacuity). End-of-trace properties (DL1, DL7, DL8) are
+    /// never reported online: they can only be judged once the trace is
+    /// complete, and the post-run batch verdict covers them. `O(1)`.
+    #[must_use]
+    pub fn online_violation(&self, full_dl: bool, fifo: bool) -> Option<&Violation> {
+        let mut candidates: Vec<&Violation> = Vec::new();
+        for d in &self.dirs {
+            if d.status.error.is_some() || d.pl1.is_some() || d.pl2.is_some() {
+                continue;
+            }
+            candidates.extend(d.pl3.iter());
+            candidates.extend(d.pl4.iter());
+            if fifo {
+                candidates.extend(d.pl5.iter());
+            }
+        }
+        let dl_hypotheses_hold = self.dirs[0].status.error.is_none()
+            && self.dirs[1].status.error.is_none()
+            && self.dl.dl2.is_none()
+            && self.dl.dl3.is_none();
+        if dl_hypotheses_hold {
+            candidates.extend(self.dl.dl4.iter());
+            candidates.extend(self.dl.dl5.iter());
+            if full_dl {
+                candidates.extend(self.dl.dl6.iter());
+            }
+        }
+        candidates.into_iter().min_by_key(|v| v.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Station;
+
+    use DlAction::{Crash, Fail, ReceiveMsg, ReceivePkt, SendMsg, SendPkt, Wake};
+
+    fn pkt(seq: u64, uid: u64) -> Packet {
+        Packet::data(seq, Msg(seq)).with_uid(uid)
+    }
+
+    #[test]
+    fn prefix_verdicts_track_the_trace() {
+        let mut mon = TraceMonitor::new();
+        mon.observe(&Wake(Dir::TR));
+        assert!(matches!(
+            mon.dl_verdict(true, TraceKind::Prefix),
+            Verdict::Vacuous(_) // DL1: only tx unbounded
+        ));
+        mon.observe(&Wake(Dir::RT));
+        assert_eq!(mon.dl_verdict(true, TraceKind::Prefix), Verdict::Satisfied);
+        mon.observe(&SendMsg(Msg(1)));
+        // DL8 pending on a complete trace, fine on a prefix.
+        assert_eq!(mon.dl_verdict(true, TraceKind::Prefix), Verdict::Satisfied);
+        assert!(matches!(
+            mon.dl_verdict(true, TraceKind::Complete),
+            Verdict::Violated(_)
+        ));
+        mon.observe(&ReceiveMsg(Msg(1)));
+        assert_eq!(
+            mon.dl_verdict(true, TraceKind::Complete),
+            Verdict::Satisfied
+        );
+    }
+
+    #[test]
+    fn online_violation_fires_on_duplicate_delivery() {
+        let mut mon = TraceMonitor::new();
+        for a in [
+            Wake(Dir::TR),
+            Wake(Dir::RT),
+            SendMsg(Msg(1)),
+            ReceiveMsg(Msg(1)),
+        ] {
+            mon.observe(&a);
+            assert!(mon.online_violation(true, true).is_none());
+        }
+        mon.observe(&ReceiveMsg(Msg(1)));
+        let v = mon.online_violation(false, false).expect("DL4 online");
+        assert_eq!(v.property, "DL4");
+        assert_eq!(v.at, Some(4));
+    }
+
+    #[test]
+    fn online_violation_suppressed_when_hypotheses_fail() {
+        // Duplicate *send* (DL3, a hypothesis) before the duplicate
+        // delivery: the module verdict is vacuous, so no online alarm.
+        let mut mon = TraceMonitor::scan(&[
+            Wake(Dir::TR),
+            Wake(Dir::RT),
+            SendMsg(Msg(1)),
+            SendMsg(Msg(1)),
+            ReceiveMsg(Msg(1)),
+            ReceiveMsg(Msg(1)),
+        ]);
+        assert!(mon.online_violation(true, true).is_none());
+        assert!(matches!(
+            mon.dl_verdict(true, TraceKind::Prefix),
+            Verdict::Vacuous(_)
+        ));
+        // The PL side of the same monitor is unaffected.
+        mon.observe(&SendPkt(Dir::TR, pkt(0, 1)));
+        mon.observe(&ReceivePkt(Dir::TR, pkt(0, 1)));
+        mon.observe(&ReceivePkt(Dir::TR, pkt(0, 1)));
+        let v = mon.online_violation(true, true).expect("PL3 online");
+        assert_eq!(v.property, "PL3");
+    }
+
+    #[test]
+    fn in_transit_multiset_semantics() {
+        // send p, recv p, recv p (unmatched), send p, send p: the unmatched
+        // receive cancels the next send; one copy (the last) remains.
+        let p = pkt(0, 7);
+        let mon = TraceMonitor::scan(&[
+            Wake(Dir::TR),
+            SendPkt(Dir::TR, p),
+            ReceivePkt(Dir::TR, p),
+            ReceivePkt(Dir::TR, p),
+            SendPkt(Dir::TR, p),
+            SendPkt(Dir::TR, p),
+        ]);
+        assert_eq!(mon.in_transit(Dir::TR), vec![p]);
+        assert!(mon.in_transit(Dir::RT).is_empty());
+    }
+
+    #[test]
+    fn crash_affects_the_direction_its_station_sends_on() {
+        let mut mon = TraceMonitor::scan(&[Wake(Dir::TR), Wake(Dir::RT), Crash(Station::R)]);
+        // rx (RT) is down, tx (TR) still up: DL1 vacuous.
+        assert!(mon.dl1_violation().is_some());
+        mon.observe(&Wake(Dir::RT));
+        assert!(mon.dl1_violation().is_none());
+    }
+
+    #[test]
+    fn dl7_and_dl8_are_end_of_trace() {
+        let mut mon = TraceMonitor::scan(&[
+            Wake(Dir::TR),
+            Wake(Dir::RT),
+            SendMsg(Msg(1)),
+            SendMsg(Msg(2)),
+            ReceiveMsg(Msg(2)),
+        ]);
+        // m1 lost so far, m2 delivered: DL7 violated "as of now"...
+        assert_eq!(mon.dl7_violation().unwrap().at, Some(2));
+        // ...but never reported online (a later ReceiveMsg(m1) can cure it).
+        assert!(mon.online_violation(true, true).is_none());
+        mon.observe(&ReceiveMsg(Msg(1)));
+        assert!(mon.dl7_violation().is_none());
+        // DL6: m1 (pos 0) after m2 (pos 1) — reordered, caught online under
+        // the full spec.
+        assert_eq!(
+            mon.online_violation(true, false).unwrap().property,
+            "DL6 (FIFO)"
+        );
+        assert!(mon.online_violation(false, false).is_none());
+        assert!(mon.dl8_violation().is_none());
+        mon.observe(&SendMsg(Msg(3)));
+        assert_eq!(mon.dl8_violation().unwrap().at, Some(6));
+        mon.observe(&Fail(Dir::TR));
+        // Bounded interval now: DL8 no longer applies.
+        assert!(mon.dl8_violation().is_none());
+    }
+
+    #[test]
+    fn fifo_poisoning_keeps_prior_violations() {
+        let mut mon = TraceMonitor::new();
+        for a in [
+            Wake(Dir::TR),
+            SendPkt(Dir::TR, pkt(0, 1)),
+            SendPkt(Dir::TR, pkt(1, 2)),
+            ReceivePkt(Dir::TR, pkt(1, 2)),
+            ReceivePkt(Dir::TR, pkt(0, 1)), // PL5 violation at 4
+        ] {
+            mon.observe(&a);
+        }
+        assert_eq!(mon.pl_violation(Dir::TR, 5).unwrap().at, Some(4));
+        // A later duplicate send poisons PL5 but the recorded violation
+        // stands (and PL2 now makes the module verdict vacuous anyway).
+        mon.observe(&SendPkt(Dir::TR, pkt(0, 1)));
+        assert_eq!(mon.pl_violation(Dir::TR, 5).unwrap().at, Some(4));
+        assert!(matches!(mon.pl_verdict(Dir::TR, true), Verdict::Vacuous(_)));
+    }
+}

@@ -10,12 +10,16 @@
 //!
 //! If the environment part fails, the verdict is [`Verdict::Vacuous`]: the
 //! specification does not constrain the channel at all in that case.
-
-use std::collections::{HashMap, HashSet};
+//!
+//! Since the streaming-checker rewrite, every function here is a thin
+//! replay wrapper over [`crate::spec::monitor::TraceMonitor`]: one linear
+//! pass over the trace, identical verdicts, and the same code path the
+//! online monitor uses during simulation and exploration.
 
 use ioa::schedule_module::{ScheduleModule, TraceKind, Verdict, Violation};
 
 use crate::action::{Dir, DlAction, Packet};
+use crate::spec::monitor::TraceMonitor;
 use crate::spec::wellformed::MediumTimeline;
 
 /// The physical-layer specification for one channel direction: `PL^{d}` or
@@ -71,37 +75,7 @@ impl ScheduleModule for PlModule {
     type Action = DlAction;
 
     fn check(&self, trace: &[DlAction], _kind: TraceKind) -> Verdict {
-        let timeline = MediumTimeline::scan(trace, self.dir);
-
-        // Hypotheses: well-formedness, PL1, PL2 (environment obligations).
-        if let Some(e) = timeline.error() {
-            return Verdict::Vacuous(Violation {
-                property: "well-formedness",
-                at: Some(e.at),
-                reason: e.reason.to_string(),
-            });
-        }
-        if let Some(v) = check_pl1(trace, &timeline, self.dir) {
-            return Verdict::Vacuous(v);
-        }
-        if let Some(v) = check_pl2(trace, self.dir) {
-            return Verdict::Vacuous(v);
-        }
-
-        // Conclusions: PL3, PL4, and PL5 for the FIFO module. (PL6 is not
-        // falsifiable on finite traces.)
-        if let Some(v) = check_pl3(trace, self.dir) {
-            return Verdict::Violated(v);
-        }
-        if let Some(v) = check_pl4(trace, self.dir) {
-            return Verdict::Violated(v);
-        }
-        if self.fifo {
-            if let Some(v) = check_pl5(trace, self.dir) {
-                return Verdict::Violated(v);
-            }
-        }
-        Verdict::Satisfied
+        TraceMonitor::scan(trace).pl_verdict(self.dir, self.fifo)
     }
 }
 
@@ -126,118 +100,44 @@ pub fn check_pl1(trace: &[DlAction], timeline: &MediumTimeline, dir: Dir) -> Opt
 /// unique labels; see [`Packet::uid`]).
 #[must_use]
 pub fn check_pl2(trace: &[DlAction], dir: Dir) -> Option<Violation> {
-    let mut seen: HashSet<&Packet> = HashSet::new();
-    for (i, a) in trace.iter().enumerate() {
-        if let DlAction::SendPkt(d, p) = a {
-            if *d == dir && !seen.insert(p) {
-                return Some(Violation {
-                    property: "PL2",
-                    at: Some(i),
-                    reason: format!("packet {p} sent twice"),
-                });
-            }
-        }
-    }
-    None
+    TraceMonitor::scan(trace).pl_violation(dir, 2).cloned()
 }
 
 /// PL3: every packet is received at most once.
 #[must_use]
 pub fn check_pl3(trace: &[DlAction], dir: Dir) -> Option<Violation> {
-    let mut seen: HashSet<&Packet> = HashSet::new();
-    for (i, a) in trace.iter().enumerate() {
-        if let DlAction::ReceivePkt(d, p) = a {
-            if *d == dir && !seen.insert(p) {
-                return Some(Violation {
-                    property: "PL3",
-                    at: Some(i),
-                    reason: format!("packet {p} received twice"),
-                });
-            }
-        }
-    }
-    None
+    TraceMonitor::scan(trace).pl_violation(dir, 3).cloned()
 }
 
 /// PL4: every `receive_pkt^{d}(p)` is preceded by a `send_pkt^{d}(p)`.
 #[must_use]
 pub fn check_pl4(trace: &[DlAction], dir: Dir) -> Option<Violation> {
-    let mut sent: HashSet<&Packet> = HashSet::new();
-    for (i, a) in trace.iter().enumerate() {
-        match a {
-            DlAction::SendPkt(d, p) if *d == dir => {
-                sent.insert(p);
-            }
-            DlAction::ReceivePkt(d, p) if *d == dir && !sent.contains(p) => {
-                return Some(Violation {
-                    property: "PL4",
-                    at: Some(i),
-                    reason: format!("packet {p} received but never sent"),
-                });
-            }
-            _ => {}
-        }
-    }
-    None
+    TraceMonitor::scan(trace).pl_violation(dir, 4).cloned()
 }
 
 /// PL5 (FIFO): delivered packets are received in the order they were sent.
 ///
-/// Assumes PL2–PL4 hold (checked first by [`PlModule`]); each received
+/// Assumes PL2–PL4 hold (checked first by [`PlModule`]): each received
 /// packet is matched to its unique send position, and those positions must
-/// be strictly increasing.
+/// be strictly increasing. A duplicate send (PL2's violation to report) or
+/// a receive of a never-sent packet (PL4's) ends FIFO judgement —
+/// violations found before that point stand, so a legal retransmission is
+/// never misflagged as reordering.
 #[must_use]
 pub fn check_pl5(trace: &[DlAction], dir: Dir) -> Option<Violation> {
-    // First send position per packet value (PL2 guarantees uniqueness;
-    // checked before PL5 by the module).
-    let mut send_pos: HashMap<&Packet, usize> = HashMap::new();
-    let mut sends = 0usize;
-    let mut last_pos: Option<usize> = None;
-    for (i, a) in trace.iter().enumerate() {
-        match a {
-            DlAction::SendPkt(d, p) if *d == dir => {
-                send_pos.entry(p).or_insert(sends);
-                sends += 1;
-            }
-            DlAction::ReceivePkt(d, p) if *d == dir => {
-                let pos = *send_pos.get(p)?;
-                if let Some(prev) = last_pos {
-                    if pos < prev {
-                        return Some(Violation {
-                            property: "PL5 (FIFO)",
-                            at: Some(i),
-                            reason: format!(
-                                "packet {p} (send position {pos}) received after a packet \
-                                 with send position {prev}"
-                            ),
-                        });
-                    }
-                }
-                last_pos = Some(pos);
-            }
-            _ => {}
-        }
-    }
-    None
+    TraceMonitor::scan(trace).pl_violation(dir, 5).cloned()
 }
 
-/// The indices and packets of in-flight packets: sent on `dir` but not (yet)
-/// received. Used by the header-impossibility engine ("in transit", §8).
+/// The packets in flight: sent on `dir` but not (yet) received, in send
+/// order. Used by the header-impossibility engine ("in transit", §8).
+///
+/// Multiset semantics: each receive cancels the *earliest* still-pending
+/// send of the same packet value, so under duplicate packet values the
+/// in-transit count per value is `sends − receives` (clamped at zero) and
+/// the surviving copies are the latest sends.
 #[must_use]
 pub fn in_transit(trace: &[DlAction], dir: Dir) -> Vec<Packet> {
-    let mut sent: Vec<Packet> = Vec::new();
-    for a in trace {
-        match a {
-            DlAction::SendPkt(d, p) if *d == dir => sent.push(*p),
-            DlAction::ReceivePkt(d, p) if *d == dir => {
-                if let Some(pos) = sent.iter().position(|q| q == p) {
-                    sent.remove(pos);
-                }
-            }
-            _ => {}
-        }
-    }
-    sent
+    TraceMonitor::scan(trace).in_transit(dir)
 }
 
 #[cfg(test)]
@@ -395,6 +295,56 @@ mod tests {
         ];
         assert_eq!(in_transit(&trace, Dir::TR), vec![pkt(1, 2)]);
         assert!(in_transit(&trace, Dir::RT).is_empty());
+    }
+
+    #[test]
+    fn in_transit_pairs_duplicates_as_a_multiset() {
+        // The same packet value sent twice, received once: exactly one copy
+        // remains in transit (the old first-`position`-match code dropped
+        // unmatched receives and could double-count).
+        let p = pkt(0, 1);
+        let trace = vec![
+            Wake(Dir::TR),
+            SendPkt(Dir::TR, p),
+            SendPkt(Dir::TR, p),
+            ReceivePkt(Dir::TR, p),
+        ];
+        assert_eq!(in_transit(&trace, Dir::TR), vec![p]);
+
+        // An excess receive cancels the *next* send of the value: net count
+        // stays sends − receives.
+        let trace = vec![
+            Wake(Dir::TR),
+            SendPkt(Dir::TR, p),
+            ReceivePkt(Dir::TR, p),
+            ReceivePkt(Dir::TR, p),
+            SendPkt(Dir::TR, p),
+            SendPkt(Dir::TR, p),
+        ];
+        assert_eq!(in_transit(&trace, Dir::TR), vec![p]);
+    }
+
+    #[test]
+    fn retransmission_does_not_count_as_reordering() {
+        // p0 sent, delivered; p1 sent, delivered; p0 re-sent (a PL2
+        // violation, but *not* reordering). The old checker matched the
+        // re-send to p0's original position 0 < 1 and flagged PL5; the
+        // duplicate now ends FIFO judgement instead, and the module verdict
+        // is vacuous via PL2.
+        let trace = vec![
+            Wake(Dir::TR),
+            SendPkt(Dir::TR, pkt(0, 1)),
+            ReceivePkt(Dir::TR, pkt(0, 1)),
+            SendPkt(Dir::TR, pkt(1, 2)),
+            ReceivePkt(Dir::TR, pkt(1, 2)),
+            SendPkt(Dir::TR, pkt(0, 1)),
+            ReceivePkt(Dir::TR, pkt(0, 1)),
+        ];
+        assert_eq!(check_pl5(&trace, Dir::TR), None);
+        match PlModule::pl_fifo(Dir::TR).check(&trace, TraceKind::Prefix) {
+            Verdict::Vacuous(v) => assert_eq!(v.property, "PL2"),
+            other => panic!("expected vacuous PL2, got {other:?}"),
+        }
     }
 
     #[test]

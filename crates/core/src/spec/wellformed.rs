@@ -164,9 +164,21 @@ impl MediumTimeline {
     }
 
     /// `true` if event index `i` lies inside some working interval.
+    ///
+    /// `O(log n)` on well-formed traces (the intervals are sorted and
+    /// disjoint, so binary search on the opening index suffices); falls
+    /// back to a linear scan on malformed traces, whose intervals can
+    /// overlap (e.g. a double wake leaves the first interval unbounded).
     #[must_use]
     pub fn in_working_interval(&self, i: usize) -> bool {
-        self.intervals.iter().any(|w| w.contains(i))
+        if self.error.is_none() {
+            // First interval whose wake is at or after `i` can't contain
+            // `i` (the wake itself is excluded); check the one before it.
+            let idx = self.intervals.partition_point(|w| w.open < i);
+            idx > 0 && self.intervals[idx - 1].contains(i)
+        } else {
+            self.intervals.iter().any(|w| w.contains(i))
+        }
     }
 
     /// The unbounded working interval, if the trace has one.

@@ -6,7 +6,7 @@ use std::time::Instant;
 
 use ioa::Automaton;
 
-use crate::property::{Invariant, Property};
+use crate::property::{Invariant, Property, TraceProperty};
 use crate::report::{ExploreReport, LayerStats, Truncation, Violation};
 use crate::shard::{ClaimKey, ClaimOutcome, ShardedVisited};
 
@@ -132,10 +132,38 @@ where
         starts: Vec<M::State>,
         properties: &[&dyn Property<M::State>],
     ) -> ExploreReport<M::Action, M::State> {
+        self.check_traced_from(starts, properties, &())
+    }
+
+    /// Like [`check_properties_from`](Self::check_properties_from), with a
+    /// [`TraceProperty`] additionally threaded along the BFS spanning
+    /// tree: each admitted state carries the monitor state of the
+    /// deterministic minimal-claim path that reached it, and a monitor
+    /// violation counts like a state-property violation (checked after
+    /// the state properties on each admitted state, in the same
+    /// deterministic order, so verdict, counterexample, and counts remain
+    /// thread-count-independent).
+    ///
+    /// Trace violations found this way are genuine — the reported path
+    /// replays them — but their *absence* is conclusive only for the
+    /// spanning-tree paths, not all interleavings (see [`TraceProperty`]).
+    pub fn check_traced_from<TP>(
+        &self,
+        starts: Vec<M::State>,
+        properties: &[&dyn Property<M::State>],
+        trace: &TP,
+    ) -> ExploreReport<M::Action, M::State>
+    where
+        TP: TraceProperty<M::Action>,
+    {
         let t0 = Instant::now();
         let threads = self.effective_threads();
         let mut visited: ShardedVisited<M::State, M::Action> = ShardedVisited::new(self.shards);
         let mut arena: Vec<Record<M::State, M::Action>> = Vec::new();
+        // Trace-monitor states, parallel to `arena`. Stepping happens at
+        // admission time (single-threaded, between layers), so workers
+        // never touch this.
+        let mut tstates: Vec<TP::State> = Vec::new();
 
         for state in starts {
             if visited.insert_done(&state) {
@@ -144,12 +172,15 @@ where
                     parent: usize::MAX,
                     action: None,
                 });
+                tstates.push(trace.start());
             }
         }
 
         // Check properties on start states first, in admission order.
         for i in 0..arena.len() {
-            if let Some(property) = first_violation(properties, &arena[i].state) {
+            let failed = first_violation(properties, &arena[i].state)
+                .or_else(|| trace_violation(trace, &tstates[i]));
+            if let Some(property) = failed {
                 return ExploreReport {
                     states_visited: arena.len(),
                     truncation: None,
@@ -230,6 +261,7 @@ where
 
             let admitted_start = arena.len();
             for claim in fresh {
+                tstates.push(trace.step(&tstates[claim.key.parent], &claim.action));
                 arena.push(Record {
                     state: claim.state,
                     parent: claim.key.parent,
@@ -239,9 +271,12 @@ where
 
             // Check properties on the admitted states in deterministic
             // (claim-key) order; the first violator is the counterexample
-            // for every thread count.
+            // for every thread count. State properties outrank the trace
+            // property on the same state, again deterministically.
             for idx in admitted_start..arena.len() {
-                if let Some(property) = first_violation(properties, &arena[idx].state) {
+                let failed = first_violation(properties, &arena[idx].state)
+                    .or_else(|| trace_violation(trace, &tstates[idx]));
+                if let Some(property) = failed {
                     violation = Some(Violation {
                         path: reconstruct_path(&arena, idx),
                         state: arena[idx].state.clone(),
@@ -327,6 +362,14 @@ fn first_violation<S>(properties: &[&dyn Property<S>], state: &S) -> Option<Stri
         .iter()
         .find(|p| !p.holds(state))
         .map(|p| p.name().to_string())
+}
+
+/// The trace property's verdict on a threaded monitor state, labelled
+/// `name: description` for the violation report.
+fn trace_violation<A, TP: TraceProperty<A>>(trace: &TP, tstate: &TP::State) -> Option<String> {
+    trace
+        .violation(tstate)
+        .map(|desc| format!("{}: {desc}", trace.name()))
 }
 
 /// Follows predecessor links from `idx` back to a start state.
@@ -539,5 +582,78 @@ mod tests {
             // goes through state 1 (the lower-indexed parent).
             assert_eq!(v.path, vec![1, 3]);
         }
+    }
+
+    /// Trace property "action `0` has occurred on the path", for the
+    /// trace-threading tests below.
+    struct SawAction(u8);
+
+    impl TraceProperty<u8> for SawAction {
+        type State = bool;
+
+        fn name(&self) -> &str {
+            "saw-action"
+        }
+
+        fn start(&self) -> bool {
+            false
+        }
+
+        fn step(&self, state: &bool, action: &u8) -> bool {
+            *state || *action == self.0
+        }
+
+        fn violation(&self, state: &bool) -> Option<String> {
+            state.then(|| format!("action {} occurred", self.0))
+        }
+    }
+
+    #[test]
+    fn null_trace_property_changes_nothing() {
+        let plain = ParallelExplorer::new(Counter { n: 10 }, bump, 1000, 100)
+            .threads(2)
+            .reachable_states();
+        let traced = ParallelExplorer::new(Counter { n: 10 }, bump, 1000, 100)
+            .threads(2)
+            .check_traced_from(vec![0], &[], &());
+        assert!(traced.holds());
+        assert_eq!(traced.states_visited, plain.states_visited);
+        assert_eq!(traced.quiescent_states, plain.quiescent_states);
+    }
+
+    #[test]
+    fn trace_violation_reports_canonical_path_every_thread_count() {
+        for threads in [1, 2, 4] {
+            let e = ParallelExplorer::new(Diamond, |_s: &u8| vec![], 100, 100).threads(threads);
+            let report = e.check_traced_from(vec![0], &[], &SawAction(1));
+            let v = report.violation.expect("action 1 is on a canonical path");
+            assert_eq!(v.path, vec![1]);
+            assert_eq!(v.state, 1);
+            assert_eq!(v.property, "saw-action: action 1 occurred");
+        }
+    }
+
+    /// The documented incompleteness: action `4` occurs only on the
+    /// 0→2→3 branch of the diamond, but state 3's canonical (minimal
+    /// claim) path goes through state 1, so the threaded monitor never
+    /// sees `4` — the search reports a hold even though a real execution
+    /// violates the trace property. Conclusive absence needs an observer
+    /// automaton composed into the system instead.
+    #[test]
+    fn trace_dedup_can_hide_noncanonical_paths() {
+        let e = ParallelExplorer::new(Diamond, |_s: &u8| vec![], 100, 100).threads(2);
+        let report = e.check_traced_from(vec![0], &[], &SawAction(4));
+        assert!(report.holds(), "spanning-tree monitor misses the 2→4 path");
+    }
+
+    #[test]
+    fn state_properties_outrank_trace_property_on_the_same_state() {
+        let below = Invariant::new("below-1", |s: &u8| *s < 1);
+        let e = ParallelExplorer::new(Diamond, |_s: &u8| vec![], 100, 100).threads(2);
+        // Both fail first at state 1 (depth 1); the state property wins.
+        let report = e.check_traced_from(vec![0], &[&below], &SawAction(1));
+        let v = report.violation.unwrap();
+        assert_eq!(v.state, 1);
+        assert_eq!(v.property, "below-1");
     }
 }

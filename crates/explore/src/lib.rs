@@ -22,6 +22,12 @@
 //!   state as layers complete (the WDL-safety observer of `dl-core`
 //!   composes into the system as an automaton and is then checked here as
 //!   a plain [`Invariant`] over its projected state);
+//! * trace properties — judgements over the *action path* rather than the
+//!   state — thread a [`TraceProperty`] monitor state along the BFS
+//!   spanning tree without enlarging the explored state space;
+//!   [`MonitorProperty`] wires `dl-core`'s streaming conformance monitor
+//!   in this way (sound for violations, conclusive only per spanning-tree
+//!   path — see the trait docs);
 //! * budgets (state count, depth) and per-layer frontier statistics are
 //!   surfaced in an [`ExploreReport`] that is a superset of the
 //!   sequential explorer's report.
@@ -70,10 +76,12 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod monitor;
 mod property;
 mod report;
 mod shard;
 
 pub use engine::ParallelExplorer;
-pub use property::{Invariant, Property};
+pub use monitor::MonitorProperty;
+pub use property::{Invariant, Property, TraceProperty};
 pub use report::{ExploreReport, LayerStats, Truncation, Violation};

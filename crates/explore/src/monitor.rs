@@ -1,0 +1,91 @@
+//! Online DL/PL conformance as a [`TraceProperty`]: `dl-core`'s
+//! streaming [`TraceMonitor`] threaded along the BFS spanning tree.
+
+use dl_core::action::DlAction;
+use dl_core::spec::monitor::TraceMonitor;
+
+use crate::property::TraceProperty;
+
+/// Checks every explored path against the paper's safety conclusions
+/// (PL3/PL4/optionally PL5 per direction; DL4/DL5/optionally DL6),
+/// using the monitor's online suppression rule: a conclusion violation
+/// is only reported while the prefix-checkable module hypotheses
+/// (wellformedness, DL2, DL3 / per-direction PL1, PL2) still hold on the
+/// path. End-of-trace hypotheses like DL1 do **not** suppress — they are
+/// non-monotone (a later wake can restore them while the violation
+/// persists) — so a reported path may be batch-`Vacuous(DL1)` at that
+/// exact prefix while every hypothesis-restoring continuation is
+/// batch-`Violated`.
+///
+/// The monitor state is one [`TraceMonitor`] clone per admitted state —
+/// linear work per transition, but memory-heavier than a plain
+/// invariant; intended for the bounded searches `dl-explore` runs, not
+/// for unbounded frontiers. Violations are genuine (the counterexample
+/// path replays them under `DlModule`/`PlModule` with
+/// `TraceKind::Prefix`); their absence covers only the spanning-tree
+/// paths — see [`TraceProperty`] for the soundness/completeness
+/// contract.
+pub struct MonitorProperty {
+    name: String,
+    /// Monitor pre-seeded with the fixed environment prefix, so every
+    /// explored path is judged as `prefix ++ path`.
+    base: TraceMonitor,
+    full_dl: bool,
+    fifo: bool,
+}
+
+impl MonitorProperty {
+    /// A monitor property over the empty prefix. `full_dl` enables DL6,
+    /// `fifo` enables PL5 — the same toggles `dl-sim`'s online
+    /// conformance policy exposes.
+    #[must_use]
+    pub fn new(full_dl: bool, fifo: bool) -> Self {
+        MonitorProperty {
+            name: if full_dl {
+                "dl-monitor".to_string()
+            } else {
+                "wdl-monitor".to_string()
+            },
+            base: TraceMonitor::new(),
+            full_dl,
+            fifo,
+        }
+    }
+
+    /// Replays `prefix` (typically the wake script applied before
+    /// exploration starts, mirroring
+    /// [`check_invariant_from`](crate::ParallelExplorer::check_invariant_from))
+    /// into the monitor before any explored action.
+    #[must_use]
+    pub fn with_prefix(mut self, prefix: &[DlAction]) -> Self {
+        self.base.observe_all(prefix);
+        self
+    }
+}
+
+impl TraceProperty<DlAction> for MonitorProperty {
+    type State = TraceMonitor;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn start(&self) -> TraceMonitor {
+        self.base.clone()
+    }
+
+    fn step(&self, state: &TraceMonitor, action: &DlAction) -> TraceMonitor {
+        let mut next = state.clone();
+        next.observe(action);
+        next
+    }
+
+    fn violation(&self, state: &TraceMonitor) -> Option<String> {
+        state
+            .online_violation(self.full_dl, self.fifo)
+            .map(|v| match v.at {
+                Some(at) => format!("{} at action {at}: {}", v.property, v.reason),
+                None => format!("{}: {}", v.property, v.reason),
+            })
+    }
+}

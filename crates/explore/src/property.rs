@@ -3,10 +3,12 @@
 /// A named state predicate checked on every state the explorer admits.
 ///
 /// Implementations must be [`Sync`]: workers on different layers of the
-/// search share them. Temporal/trace properties are expressed by
-/// composing an observer automaton into the explored system (as
+/// search share them. Temporal/trace properties can be expressed two
+/// ways: by composing an observer automaton into the explored system (as
 /// `dl-core`'s WDL-safety observer does) and checking the observer's
-/// projected state here.
+/// projected state here — exhaustive but state-space-expanding — or by
+/// threading a [`TraceProperty`] along the BFS spanning tree, which adds
+/// no states but sees only one path per state (see that trait's docs).
 pub trait Property<S>: Sync {
     /// Human-readable name, used in violation reports.
     fn name(&self) -> &str;
@@ -41,5 +43,58 @@ where
 
     fn holds(&self, state: &S) -> bool {
         (self.predicate)(state)
+    }
+}
+
+/// A property of the *action path*, not the state, threaded along the
+/// BFS spanning tree.
+///
+/// The engine keeps one `Self::State` per admitted automaton state,
+/// obtained by [`step`](TraceProperty::step)ping the parent's value with
+/// the admitting action, and reports the first state (in deterministic
+/// admission order) where [`violation`](TraceProperty::violation) fires.
+/// Because the admitting path is itself a real execution, every reported
+/// violation is genuine — and the counterexample path replays it.
+///
+/// **Sound for violations, incomplete for proofs.** State deduplication
+/// keeps only the minimal-claim path to each automaton state, so a trace
+/// violation reachable *only* along a path the dedup discarded can be
+/// missed. Use an observer automaton composed into the system when the
+/// absence of trace violations must be conclusive; use this when a
+/// linear-time online monitor (e.g. [`MonitorProperty`](crate::MonitorProperty))
+/// should scan the search without enlarging the explored state space.
+pub trait TraceProperty<A>: Sync {
+    /// Per-path monitor state carried along the spanning tree.
+    type State: Clone + Send + Sync;
+
+    /// Human-readable name, used in violation reports.
+    fn name(&self) -> &str;
+
+    /// Monitor state for an (empty-trace) start state.
+    fn start(&self) -> Self::State;
+
+    /// Monitor state after `action` extends the path that led to `state`.
+    fn step(&self, state: &Self::State, action: &A) -> Self::State;
+
+    /// `Some(description)` if the path summarized by `state` violates the
+    /// property.
+    fn violation(&self, state: &Self::State) -> Option<String>;
+}
+
+/// The null trace property: never violated, zero-sized state. Lets the
+/// plain property-checking entry points share the traced engine.
+impl<A> TraceProperty<A> for () {
+    type State = ();
+
+    fn name(&self) -> &str {
+        "()"
+    }
+
+    fn start(&self) -> Self::State {}
+
+    fn step(&self, _state: &Self::State, _action: &A) -> Self::State {}
+
+    fn violation(&self, _state: &Self::State) -> Option<String> {
+        None
     }
 }

@@ -8,8 +8,12 @@ use rand::{RngExt, SeedableRng};
 use ioa::action::ActionClass;
 use ioa::automaton::{Automaton, TaskId};
 use ioa::execution::Execution;
+use ioa::schedule_module::Violation;
 
 use dl_core::action::{Dir, DlAction, Header, Packet};
+use dl_core::spec::monitor::TraceMonitor;
+
+use crate::conformance::ConformancePolicy;
 
 /// Counters collected during a run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -63,7 +67,9 @@ impl Metrics {
         }
     }
 
-    /// Mean delivery latency in steps, if any message was delivered.
+    /// Mean delivery latency in steps; `None` when no message was
+    /// delivered (e.g. an empty run, or a run that crashed before any
+    /// delivery) — never a division by zero.
     #[must_use]
     pub fn mean_latency(&self) -> Option<f64> {
         if self.latencies.is_empty() {
@@ -74,14 +80,23 @@ impl Metrics {
     }
 
     /// Packets sent on the `t → r` data path per message delivered — the
-    /// protocol's overhead ratio.
+    /// protocol's overhead ratio. `None` when nothing was delivered
+    /// (previously this returned `NaN`, which silently poisoned derived
+    /// statistics).
     #[must_use]
-    pub fn overhead(&self) -> f64 {
+    pub fn overhead(&self) -> Option<f64> {
         if self.msgs_received == 0 {
-            f64::NAN
+            None
         } else {
-            self.pkts_sent[0] as f64 / self.msgs_received as f64
+            Some(self.pkts_sent[0] as f64 / self.msgs_received as f64)
         }
+    }
+
+    /// Messages sent but not (yet) delivered when the run ended — e.g.
+    /// stranded by a crash mid-flight.
+    #[must_use]
+    pub fn pending_messages(&self) -> usize {
+        self.send_step.len()
     }
 }
 
@@ -98,6 +113,12 @@ pub struct RunReport<S> {
     pub quiescent: bool,
     /// Counters.
     pub metrics: Metrics,
+    /// First conformance violation caught by the online monitor, when the
+    /// runner was built with [`Runner::with_online_conformance`]; the run
+    /// was aborted right after the offending action, so
+    /// [`RunReport::schedule`] *is* the offending prefix (the violation's
+    /// `at` indexes into it).
+    pub online_violation: Option<Violation>,
 }
 
 impl<S: Clone + Eq + std::fmt::Debug> RunReport<S> {
@@ -115,6 +136,28 @@ pub struct Runner {
     rng: StdRng,
     next_uid: u64,
     max_steps: usize,
+    conformance: Option<ConformancePolicy>,
+}
+
+/// Online conformance state threaded through one run: a streaming
+/// [`TraceMonitor`] fed every taken action, plus the first violation it
+/// reported.
+struct OnlineConformance {
+    policy: ConformancePolicy,
+    monitor: TraceMonitor,
+    violation: Option<Violation>,
+}
+
+impl OnlineConformance {
+    fn observe(&mut self, action: &DlAction) {
+        self.monitor.observe(action);
+        if self.violation.is_none() {
+            self.violation = self
+                .monitor
+                .online_violation(self.policy.full_dl, self.policy.fifo_channels)
+                .cloned();
+        }
+    }
 }
 
 impl Runner {
@@ -125,7 +168,27 @@ impl Runner {
             rng: StdRng::seed_from_u64(seed),
             next_uid: 1,
             max_steps,
+            conformance: None,
         }
+    }
+
+    /// Enables online conformance checking: every taken action is fed to a
+    /// streaming [`TraceMonitor`], and the run aborts on the first
+    /// conclusion-class safety violation (PL3/PL4, PL5 if
+    /// `policy.fifo_channels`, DL4/DL5, DL6 if `policy.full_dl`), leaving
+    /// the offending prefix in the report. Hypothesis failures
+    /// (well-formedness, PL1/PL2, DL1–DL3) make the specification vacuous
+    /// rather than violated, and end-of-trace properties (DL7, DL8) cannot
+    /// be judged mid-run, so neither aborts; `policy.complete` and
+    /// `policy.patience` are ignored online — judge the finished report
+    /// with [`crate::conformance::judge`] for those.
+    ///
+    /// The monitor watches the full schedule (packet actions included), so
+    /// a reported violation's `at` indexes into [`RunReport::schedule`].
+    #[must_use]
+    pub fn with_online_conformance(mut self, policy: ConformancePolicy) -> Self {
+        self.conformance = Some(policy);
+        self
     }
 
     /// Runs `system` from its first start state under `script`.
@@ -164,8 +227,16 @@ impl Runner {
         let mut metrics = Metrics::default();
         let mut next_task = 0usize;
         let mut fully_ran = true;
+        let mut online = self.conformance.map(|policy| OnlineConformance {
+            policy,
+            monitor: TraceMonitor::new(),
+            violation: None,
+        });
+        let tripped = |online: &Option<OnlineConformance>| {
+            online.as_ref().is_some_and(|o| o.violation.is_some())
+        };
 
-        for step in script.steps() {
+        'script: for step in script.steps() {
             match step {
                 crate::ScriptStep::Inject(a) => {
                     assert_eq!(
@@ -177,8 +248,12 @@ impl Runner {
                         fully_ran = false;
                         break;
                     }
-                    let ok = self.take(system, &mut exec, *a, &mut metrics);
+                    let ok = self.take(system, &mut exec, *a, &mut metrics, &mut online);
                     assert!(ok, "input {a} was not enabled: system is not input-enabled");
+                    if tripped(&online) {
+                        fully_ran = false;
+                        break 'script;
+                    }
                 }
                 crate::ScriptStep::Local(n) => {
                     for _ in 0..*n {
@@ -188,9 +263,14 @@ impl Runner {
                                 &mut exec,
                                 &mut next_task,
                                 &mut metrics,
+                                &mut online,
                             )
                         {
                             break;
+                        }
+                        if tripped(&online) {
+                            fully_ran = false;
+                            break 'script;
                         }
                     }
                 }
@@ -199,8 +279,18 @@ impl Runner {
                         fully_ran = false;
                         break;
                     }
-                    if !self.fair_local_step(system, &mut exec, &mut next_task, &mut metrics) {
+                    if !self.fair_local_step(
+                        system,
+                        &mut exec,
+                        &mut next_task,
+                        &mut metrics,
+                        &mut online,
+                    ) {
                         break;
+                    }
+                    if tripped(&online) {
+                        fully_ran = false;
+                        break 'script;
                     }
                 },
             }
@@ -213,6 +303,7 @@ impl Runner {
             behavior,
             quiescent,
             metrics,
+            online_violation: online.and_then(|o| o.violation),
         }
     }
 
@@ -224,6 +315,7 @@ impl Runner {
         exec: &mut Execution<DlAction, M::State>,
         next_task: &mut usize,
         metrics: &mut Metrics,
+        online: &mut Option<OnlineConformance>,
     ) -> bool
     where
         M: Automaton<Action = DlAction>,
@@ -245,7 +337,7 @@ impl Runner {
             }
             let pick = self.rng.random_range(0..in_class.len());
             let action = in_class[pick];
-            let took = self.take(system, exec, action, metrics);
+            let took = self.take(system, exec, action, metrics, online);
             debug_assert!(took, "enabled_local returned a disabled action");
             *next_task = (*next_task + offset + 1) % tasks;
             return took;
@@ -262,6 +354,7 @@ impl Runner {
         exec: &mut Execution<DlAction, M::State>,
         mut action: DlAction,
         metrics: &mut Metrics,
+        online: &mut Option<OnlineConformance>,
     ) -> bool
     where
         M: Automaton<Action = DlAction>,
@@ -278,6 +371,9 @@ impl Runner {
         }
         let pick = self.rng.random_range(0..succs.len());
         metrics.record(&action);
+        if let Some(o) = online {
+            o.observe(&action);
+        }
         exec.push_unchecked(action, succs.into_iter().nth(pick).expect("index in range"));
         true
     }
@@ -338,7 +434,7 @@ mod tests {
         );
         // Losses forced retransmissions: more data packets than messages.
         assert!(report.metrics.pkts_sent[0] > 5);
-        assert!(report.metrics.overhead() > 1.0);
+        assert!(report.metrics.overhead().unwrap() > 1.0);
     }
 
     #[test]
@@ -481,10 +577,139 @@ mod tests {
     }
 
     #[test]
-    fn metrics_overhead_nan_when_nothing_delivered() {
+    fn metrics_are_none_when_nothing_delivered() {
         let m = Metrics::default();
-        assert!(m.overhead().is_nan());
+        assert_eq!(m.overhead(), None);
         assert_eq!(m.mean_latency(), None);
+        assert_eq!(m.pending_messages(), 0);
+    }
+
+    #[test]
+    fn crash_mid_message_yields_no_latency_not_nan() {
+        // ABP: send m0 but crash the transmitter before any packet flies.
+        // Nothing is ever delivered, so the latency/overhead statistics
+        // must be absent (`None`), never NaN or a division by zero, and the
+        // stranded message shows up as pending.
+        let p = dl_protocols::abp::protocol();
+        let sys = link_system(
+            p.transmitter,
+            p.receiver,
+            LossyFifoChannel::perfect(Dir::TR),
+            LossyFifoChannel::perfect(Dir::RT),
+        );
+        let script = Script::new()
+            .wake_both()
+            .send_msgs(0, 1)
+            .crash_and_rewake(dl_core::action::Station::T)
+            .settle();
+        let report = Runner::new(3, 100_000).run(&sys, &script);
+        assert_eq!(report.metrics.msgs_sent, 1);
+        assert_eq!(report.metrics.msgs_received, 0);
+        assert_eq!(report.metrics.mean_latency(), None);
+        assert_eq!(report.metrics.overhead(), None);
+        assert_eq!(report.metrics.pending_messages(), 1);
+    }
+
+    /// A deliberately broken "data link" that delivers every accepted
+    /// message twice — a DL4 violation the online monitor must catch.
+    #[derive(Debug, Clone)]
+    struct DoubleDeliver;
+
+    type DoubleDeliverState = (Option<dl_core::action::Msg>, u8);
+
+    impl Automaton for DoubleDeliver {
+        type Action = DlAction;
+        type State = DoubleDeliverState;
+
+        fn start_states(&self) -> Vec<Self::State> {
+            vec![(None, 0)]
+        }
+
+        fn classify(&self, action: &DlAction) -> Option<ActionClass> {
+            match action {
+                DlAction::ReceiveMsg(_) => Some(ActionClass::Output),
+                DlAction::SendPkt(..) | DlAction::ReceivePkt(..) | DlAction::Internal(..) => None,
+                _ => Some(ActionClass::Input),
+            }
+        }
+
+        fn successors(&self, state: &Self::State, action: &DlAction) -> Vec<Self::State> {
+            match action {
+                DlAction::SendMsg(m) if state.0.is_none() => vec![(Some(*m), 0)],
+                DlAction::ReceiveMsg(m) if state.0 == Some(*m) && state.1 < 2 => {
+                    vec![(state.0, state.1 + 1)]
+                }
+                DlAction::ReceiveMsg(_) => vec![],
+                // Ignore every other input (stay input-enabled).
+                _ => vec![*state],
+            }
+        }
+
+        fn enabled_local(&self, state: &Self::State) -> Vec<DlAction> {
+            match state {
+                (Some(m), n) if *n < 2 => vec![DlAction::ReceiveMsg(*m)],
+                _ => vec![],
+            }
+        }
+
+        fn task_of(&self, _action: &DlAction) -> TaskId {
+            TaskId(0)
+        }
+
+        fn task_count(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn online_monitor_aborts_on_first_violation() {
+        let script = Script::new().wake_both().send_msgs(0, 1).settle();
+
+        // Without online conformance the broken system happily double-
+        // delivers and quiesces.
+        let report = Runner::new(1, 1_000).run(&DoubleDeliver, &script);
+        assert!(report.quiescent);
+        assert!(report.online_violation.is_none());
+        let sched = report.schedule();
+        assert_eq!(
+            DlModule::weak()
+                .check(&sched, TraceKind::Prefix)
+                .violation()
+                .unwrap()
+                .property,
+            "DL4"
+        );
+
+        // With it, the run aborts right at the duplicate delivery: the
+        // offending action is the last of the schedule, and the batch
+        // verdict on that prefix agrees with the online one.
+        let report = Runner::new(1, 1_000)
+            .with_online_conformance(crate::conformance::ConformancePolicy::default())
+            .run(&DoubleDeliver, &script);
+        let v = report.online_violation.as_ref().expect("online DL4");
+        assert_eq!(v.property, "DL4");
+        assert!(!report.quiescent);
+        let sched = report.schedule();
+        assert_eq!(v.at, Some(sched.len() - 1));
+        assert_eq!(
+            DlModule::weak().check(&sched, TraceKind::Prefix),
+            Verdict::Violated(v.clone())
+        );
+    }
+
+    #[test]
+    fn online_monitor_is_quiet_on_clean_runs() {
+        let sys = abp_system(LossMode::Nondet);
+        let mut plain = Runner::new(7, 200_000);
+        let mut monitored = Runner::new(7, 200_000)
+            .with_online_conformance(crate::conformance::ConformancePolicy::default());
+        let a = plain.run(&sys, &Script::deliver_n(5));
+        let b = monitored.run(&sys, &Script::deliver_n(5));
+        assert!(b.online_violation.is_none());
+        assert!(b.quiescent);
+        // Monitoring does not perturb the run itself.
+        assert_eq!(a.schedule(), b.schedule());
+        assert_eq!(a.metrics, b.metrics);
     }
 
     #[test]

@@ -55,7 +55,11 @@ fn main() {
             .iter()
             .map(|(_, mode)| {
                 let m = f(*mode, 7);
-                format!("{} ({:.2}×)", m.pkts_sent[0], m.overhead())
+                format!(
+                    "{} ({:.2}×)",
+                    m.pkts_sent[0],
+                    m.overhead().unwrap_or(f64::NAN)
+                )
             })
             .collect();
         println!(

@@ -45,7 +45,7 @@ fn main() {
     println!(
         "  packets sent t→r: {} (overhead {:.2}× from retransmissions)",
         report.metrics.pkts_sent[0],
-        report.metrics.overhead()
+        report.metrics.overhead().unwrap_or(f64::NAN)
     );
     println!(
         "  distinct headers used: {}",

@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> checker scaling smoke (10^5-action trace, release, must stay well under 1 s)"
+cargo test --release -q -p dl-core --test monitor_props scaling_smoke
+
 echo "All checks passed."

@@ -324,3 +324,118 @@ fn differential_abp_crash_counterexample_matches_sequential_at_1_2_4_threads() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Streaming monitor as a trace property: `dl-core`'s online TraceMonitor
+// threaded along the BFS spanning tree, against the composed-observer
+// invariant as oracle.
+// ---------------------------------------------------------------------
+
+use datalink::explore::MonitorProperty;
+use datalink::ioa::schedule_module::{ScheduleModule, TraceKind, Verdict};
+
+/// The environment prefix `woken_start` applies before exploration; the
+/// monitor must see the same actions the explored system consumed.
+const WAKE_PREFIX: [DlAction; 2] = [DlAction::Wake(Dir::TR), DlAction::Wake(Dir::RT)];
+
+/// On the crash model, the threaded monitor must find the same DL4
+/// counterexample the composed observer finds — same (minimal) path
+/// length, thread-count-independent path — and the reported prefix must
+/// replay to `Violated` under the batch `DlModule`.
+#[test]
+fn monitor_trace_property_matches_observer_on_crash_dl4() {
+    let p = datalink::protocols::abp::protocol();
+    let sys = checked_system(
+        p.transmitter,
+        p.receiver,
+        LossyFifoChannel::with_capacity(Dir::TR, LossMode::None, 2),
+        LossyFifoChannel::with_capacity(Dir::RT, LossMode::None, 2),
+    );
+    let start = woken_start(&sys);
+    let inputs = |s: &SysState<
+        datalink::protocols::abp::AbpTxState,
+        datalink::protocols::abp::AbpRxState,
+        datalink::channels::FlightState,
+        datalink::channels::FlightState,
+    >| crash_inputs(s, s.left.right.active);
+
+    // Oracle: the composed WDL observer.
+    let oracle = ParallelExplorer::new(&sys, inputs, 2_000_000, 10_000)
+        .check_invariant_from(vec![start.clone()], |s| observer_of(s).is_safe());
+    let oracle_path = oracle.violation.expect("observer finds DL4").path;
+
+    let mut baseline = None;
+    for threads in [1usize, 2, 4] {
+        let monitor = MonitorProperty::new(false, false).with_prefix(&WAKE_PREFIX);
+        let par = ParallelExplorer::new(&sys, inputs, 2_000_000, 10_000)
+            .threads(threads)
+            .check_traced_from(vec![start.clone()], &[], &monitor);
+        let v = par.violation.clone().expect("monitor finds DL4");
+        assert!(
+            v.property.starts_with("wdl-monitor: DL4"),
+            "unexpected violation label: {}",
+            v.property
+        );
+        assert_eq!(
+            v.path.len(),
+            oracle_path.len(),
+            "monitor counterexample not minimal at {threads} threads"
+        );
+        match &baseline {
+            None => baseline = Some(v.path.clone()),
+            Some(b) => assert_eq!(
+                *b, v.path,
+                "monitor path not thread-count-independent at {threads} threads"
+            ),
+        }
+        // The counterexample is a real trace: prefix ++ path replays to
+        // Violated(DL4) under the batch checker. The shortest path ends
+        // inside the receiver's crash window, where the end-of-trace DL1
+        // hypothesis is transiently false (batch verdict Vacuous(DL1));
+        // re-waking the medium restores DL1 without disturbing DL4 —
+        // exactly why the online monitor does not suppress on DL1.
+        let weak = datalink::core::spec::datalink::DlModule::weak();
+        let mut full: Vec<DlAction> = WAKE_PREFIX.to_vec();
+        full.extend(v.path.iter().cloned());
+        let mut verdict = weak.check(&full, TraceKind::Prefix);
+        if matches!(&verdict, Verdict::Vacuous(vac) if vac.property == "DL1") {
+            full.push(DlAction::Wake(Dir::RT));
+            verdict = weak.check(&full, TraceKind::Prefix);
+        }
+        match verdict {
+            Verdict::Violated(violation) => assert_eq!(violation.property, "DL4"),
+            other => panic!("batch replay disagrees with the monitor: {other}"),
+        }
+    }
+}
+
+/// On the crash-free model the monitor stays quiet, and threading it
+/// does not perturb the search: same reachable-state counts as the
+/// observer-invariant exploration.
+#[test]
+fn monitor_trace_property_quiet_on_crash_free_abp() {
+    let p = datalink::protocols::abp::protocol();
+    let sys = checked_system(
+        p.transmitter,
+        p.receiver,
+        LossyFifoChannel::with_capacity(Dir::TR, LossMode::Nondet, 2),
+        LossyFifoChannel::with_capacity(Dir::RT, LossMode::Nondet, 2),
+    );
+    let start = woken_start(&sys);
+    let observer = ParallelExplorer::new(&sys, crash_free_inputs(2), 2_000_000, 10_000)
+        .threads(2)
+        .check_invariant_from(vec![start.clone()], |s| observer_of(s).is_safe());
+    assert!(observer.holds());
+
+    let monitor = MonitorProperty::new(false, true).with_prefix(&WAKE_PREFIX);
+    let traced = ParallelExplorer::new(&sys, crash_free_inputs(2), 2_000_000, 10_000)
+        .threads(2)
+        .check_traced_from(vec![start.clone()], &[], &monitor);
+    assert!(
+        traced.holds(),
+        "monitor flagged a crash-free ABP run: {:?}",
+        traced.violation.map(|v| v.property)
+    );
+    assert_eq!(traced.states_visited, observer.states_visited);
+    assert_eq!(traced.quiescent_states, observer.quiescent_states);
+}
