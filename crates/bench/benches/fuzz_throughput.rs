@@ -1,0 +1,128 @@
+//! E12: fuzzer throughput and rediscovery cost.
+//!
+//! Reports executions-to-violation across the protocol zoo under a fixed
+//! seed (the numbers quoted in EXPERIMENTS.md §E12), then benchmarks the
+//! three fuzzing cost centers: a single genome execution, a bounded
+//! coverage-guided campaign, and counterexample shrinking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dl_fuzz::{all_targets, fuzz, shrink, target, ExecConfig, FuzzConfig, Gene, Genome};
+
+fn sweep_cfg(seed: u64) -> FuzzConfig {
+    FuzzConfig {
+        seed,
+        workers: 1,
+        max_execs: 600,
+        max_steps: 400,
+        ..FuzzConfig::default()
+    }
+}
+
+/// The E12 headline table: executions to first violation per target.
+fn print_rediscovery_sweep() {
+    eprintln!("E12 rediscovery sweep (seed 7, ≤600 execs, stop on violation):");
+    for t in all_targets() {
+        let report = fuzz(t, &sweep_cfg(7));
+        match report.counterexamples.first() {
+            Some(c) => eprintln!(
+                "  {:>18}: {} at exec #{} — {} genes (from {}), {} actions, replay {}",
+                t.name,
+                c.violation.property,
+                c.found_at_exec,
+                c.genome.genes.len(),
+                c.original_genes,
+                c.trace.len(),
+                if c.replay_verified {
+                    "verified"
+                } else {
+                    "FAILED"
+                },
+            ),
+            None => eprintln!(
+                "  {:>18}: no violation in {} execs ({} coverage points)",
+                t.name, report.executions, report.coverage_points
+            ),
+        }
+    }
+}
+
+fn bench_fuzz_throughput(c: &mut Criterion) {
+    print_rediscovery_sweep();
+
+    let exec_cfg = ExecConfig {
+        max_steps: 400,
+        full_dl: false,
+    };
+
+    // Single-execution cost: the unit the execs/sec figure is built from.
+    let mut group = c.benchmark_group("e12_single_exec");
+    let genome = Genome {
+        seed: 7,
+        genes: vec![
+            Gene::Send,
+            Gene::Send,
+            Gene::Steps(11),
+            Gene::Crash(dl_core::action::Station::R),
+            Gene::Send,
+            Gene::Settle,
+        ],
+    };
+    for name in ["abp", "go-back-8", "quirky"] {
+        let t = target(name).expect("registered");
+        group.bench_with_input(BenchmarkId::new("run", name), &t, |b, t| {
+            b.iter(|| (t.run)(std::hint::black_box(&genome), &exec_cfg));
+        });
+    }
+    group.finish();
+
+    // Campaign cost: a bounded keep-going campaign including corpus and
+    // coverage bookkeeping (the smoke-test shape).
+    let mut group = c.benchmark_group("e12_campaign");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        let cfg = FuzzConfig {
+            workers,
+            stop_on_violation: false,
+            max_execs: 300,
+            ..sweep_cfg(42)
+        };
+        group.bench_with_input(
+            BenchmarkId::new("quirky_300execs_workers", workers),
+            &cfg,
+            |b, cfg| b.iter(|| fuzz(target("quirky").expect("registered"), cfg)),
+        );
+    }
+    group.finish();
+
+    // Shrinking cost: ddmin + numeric simplification of a bloated
+    // crash-pump genome down to its minimal witness.
+    let bloated = Genome {
+        seed: 2,
+        genes: vec![
+            Gene::Steps(9),
+            Gene::Send,
+            Gene::Steps(3),
+            Gene::Crash(dl_core::action::Station::T),
+            Gene::Send,
+            Gene::Steps(17),
+            Gene::Send,
+            Gene::Steps(5),
+            Gene::Settle,
+        ],
+    };
+    let t = target("abp").expect("registered");
+    let property = (t.run)(&bloated, &exec_cfg)
+        .violation
+        .expect("bloated genome still violates")
+        .property;
+    let mut group = c.benchmark_group("e12_shrink");
+    group.sample_size(10);
+    group.bench_function("abp_crash_pump", |b| {
+        b.iter(|| shrink(t, std::hint::black_box(&bloated), &exec_cfg, property));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fuzz_throughput);
+criterion_main!(benches);

@@ -1,0 +1,406 @@
+//! The parameterized fault-injection channel: the fuzzer's configurable
+//! adversarial medium.
+//!
+//! [`LossyFifoChannel`](crate::simulated::LossyFifoChannel) and friends
+//! each hard-code one failure mode. [`FaultyChannel`] instead exposes a
+//! knob block ([`FaultSpec`]) covering the failure modes a schedule fuzzer
+//! wants to sweep — uniform loss, duplication, bounded reordering, and
+//! Gilbert–Elliott burst windows — while staying **fully deterministic**:
+//! every per-send fault decision is a pure hash of `(salt, send counter)`,
+//! both of which live in the automaton's state or the channel's immutable
+//! configuration. Two runs over the same channel with the same scheduler
+//! seed produce byte-identical traces, which is what makes fuzzer
+//! counterexamples replayable from a `(seed, genome)` pair alone.
+//!
+//! Spec posture:
+//!
+//! * loss and burst windows stay within `PL-FIFO` (losing packets is what
+//!   physical channels do);
+//! * a reorder window `w > 1` stays within `PL` but violates `PL-FIFO`
+//!   when a reordering actually happens;
+//! * **duplication deliberately steps outside `PL`**: the duplicate copy
+//!   carries the same analysis uid, so delivering both violates PL3
+//!   ("every packet received at most once"). That is the point — it
+//!   models a misbehaving medium. Judge such runs with data-link-only
+//!   monitoring (`TraceMonitor::online_dl_violation`); the DL
+//!   hypotheses (well-formedness, DL1–DL3) are unaffected by PL
+//!   violations, so protocol-level verdicts remain meaningful.
+
+use ioa::action::ActionClass;
+use ioa::automaton::{Automaton, TaskId};
+
+use dl_core::action::{Dir, DlAction};
+use dl_core::protocol::channel_classify;
+
+use crate::simulated::FlightState;
+
+/// Deterministic splitmix64-style mix of the fault salt and a send index.
+fn mix(salt: u64, n: u64) -> u64 {
+    let mut z = salt
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(n.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fault-injection knobs for one [`FaultyChannel`].
+///
+/// Rates are expressed per-256 (`loss = 64` ≈ 25% of sends dropped) so the
+/// whole block is `Copy + Eq + Hash` and can live inside fuzzer genomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultSpec {
+    /// Per-256 probability that a send is dropped.
+    pub loss: u8,
+    /// Per-256 probability that a *kept* send is enqueued twice (same
+    /// analysis uid — violates PL3 by design; see the module docs).
+    pub dup: u8,
+    /// Delivery window: the first `max(reorder, 1)` in-flight packets are
+    /// eligible for delivery. `0`/`1` is FIFO; larger windows allow
+    /// bounded reordering (solves `PL` but not `PL-FIFO`).
+    pub reorder: u8,
+    /// Length of the loss-free stretch of the burst cycle, in sends.
+    /// Burst windows are disabled while [`FaultSpec::burst_bad`] is 0.
+    pub burst_good: u16,
+    /// Length of the drop-everything stretch of the burst cycle, in sends.
+    pub burst_bad: u16,
+    /// Decorrelates the per-send fault decisions of different channels
+    /// (and of different fuzzer genomes).
+    pub salt: u64,
+}
+
+impl FaultSpec {
+    /// A fault-free specification: perfect FIFO delivery.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultSpec {
+            loss: 0,
+            dup: 0,
+            reorder: 0,
+            burst_good: 0,
+            burst_bad: 0,
+            salt: 0,
+        }
+    }
+
+    /// The effective delivery window (at least 1).
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.reorder.max(1) as usize
+    }
+
+    /// `true` if the channel stays within `PL` (no duplication).
+    #[must_use]
+    pub fn respects_pl(&self) -> bool {
+        self.dup == 0
+    }
+
+    /// `true` if the channel stays within `PL-FIFO` (no duplication and
+    /// no reordering).
+    #[must_use]
+    pub fn respects_fifo(&self) -> bool {
+        self.respects_pl() && self.window() == 1
+    }
+
+    /// `true` if send number `n` (0-based) falls in a burst-loss stretch.
+    #[must_use]
+    pub fn in_bad_burst(&self, n: u64) -> bool {
+        if self.burst_bad == 0 || self.burst_good == 0 {
+            return false;
+        }
+        let cycle = u64::from(self.burst_good) + u64::from(self.burst_bad);
+        n % cycle >= u64::from(self.burst_good)
+    }
+
+    /// The deterministic fate of send number `n`: `(dropped, duplicated)`.
+    #[must_use]
+    pub fn fate(&self, n: u64) -> (bool, bool) {
+        let h = mix(self.salt, n);
+        let dropped = self.in_bad_burst(n) || (h & 0xFF) < u64::from(self.loss);
+        let duplicated = !dropped && ((h >> 8) & 0xFF) < u64::from(self.dup);
+        (dropped, duplicated)
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::none()
+    }
+}
+
+/// A deterministic fault-injecting channel parameterized by [`FaultSpec`].
+///
+/// State is the shared [`FlightState`] (in-flight packets + send counter);
+/// every transition has exactly one successor, so the channel adds no
+/// nondeterminism of its own — all schedule variation comes from the
+/// executor, all fault variation from the spec. That keeps composed runs
+/// reproducible from the runner seed and the spec alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultyChannel {
+    dir: Dir,
+    spec: FaultSpec,
+}
+
+impl FaultyChannel {
+    /// A channel in `dir` with the given fault knobs.
+    #[must_use]
+    pub fn new(dir: Dir, spec: FaultSpec) -> Self {
+        FaultyChannel { dir, spec }
+    }
+
+    /// A fault-free (perfect FIFO) channel.
+    #[must_use]
+    pub fn perfect(dir: Dir) -> Self {
+        FaultyChannel::new(dir, FaultSpec::none())
+    }
+
+    /// This channel's direction.
+    #[must_use]
+    pub fn dir(&self) -> Dir {
+        self.dir
+    }
+
+    /// This channel's fault knobs.
+    #[must_use]
+    pub fn spec(&self) -> FaultSpec {
+        self.spec
+    }
+}
+
+impl Automaton for FaultyChannel {
+    type Action = DlAction;
+    type State = FlightState;
+
+    fn start_states(&self) -> Vec<FlightState> {
+        vec![FlightState::default()]
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        channel_classify(self.dir, a)
+    }
+
+    fn successors(&self, s: &FlightState, a: &DlAction) -> Vec<FlightState> {
+        match a {
+            DlAction::SendPkt(d, p) if *d == self.dir => {
+                let (dropped, duplicated) = self.spec.fate(s.sends);
+                let mut t = s.clone();
+                t.sends += 1;
+                if !dropped {
+                    t.in_flight.push(*p);
+                    if duplicated {
+                        t.in_flight.push(*p);
+                    }
+                }
+                vec![t]
+            }
+            DlAction::ReceivePkt(d, p) if *d == self.dir => {
+                let window = self.spec.window().min(s.in_flight.len());
+                match s.in_flight[..window].iter().position(|q| q == p) {
+                    Some(k) => {
+                        let mut t = s.clone();
+                        t.in_flight.remove(k);
+                        vec![t]
+                    }
+                    None => vec![],
+                }
+            }
+            DlAction::Wake(d) | DlAction::Fail(d) if *d == self.dir => vec![s.clone()],
+            DlAction::Crash(x) if *x == self.dir.sender() => vec![s.clone()],
+            _ => vec![],
+        }
+    }
+
+    fn enabled_local(&self, s: &FlightState) -> Vec<DlAction> {
+        let window = self.spec.window().min(s.in_flight.len());
+        let mut out = Vec::with_capacity(window);
+        for p in &s.in_flight[..window] {
+            let a = DlAction::ReceivePkt(self.dir, *p);
+            if !out.contains(&a) {
+                out.push(a);
+            }
+        }
+        out
+    }
+
+    fn task_of(&self, _a: &DlAction) -> TaskId {
+        TaskId(0)
+    }
+
+    fn task_count(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl_core::action::{Msg, Packet};
+
+    fn pkt(n: u64) -> Packet {
+        Packet::data(n, Msg(n)).with_uid(n + 100)
+    }
+
+    fn feed(ch: &FaultyChannel, n: u64) -> FlightState {
+        let mut s = ch.start_states().remove(0);
+        for i in 0..n {
+            s = ch
+                .step_first(&s, &DlAction::SendPkt(ch.dir(), pkt(i)))
+                .unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn fault_free_spec_is_perfect_fifo() {
+        let ch = FaultyChannel::perfect(Dir::TR);
+        assert!(ch.spec().respects_fifo());
+        let s = feed(&ch, 4);
+        assert_eq!(s.in_flight.len(), 4);
+        // Only the head is deliverable.
+        assert_eq!(
+            ch.enabled_local(&s),
+            vec![DlAction::ReceivePkt(Dir::TR, pkt(0))]
+        );
+        assert!(ch
+            .successors(&s, &DlAction::ReceivePkt(Dir::TR, pkt(1)))
+            .is_empty());
+    }
+
+    #[test]
+    fn fault_decisions_are_deterministic_and_salted() {
+        let spec = FaultSpec {
+            loss: 128,
+            dup: 64,
+            salt: 7,
+            ..FaultSpec::none()
+        };
+        for n in 0..64 {
+            assert_eq!(spec.fate(n), spec.fate(n));
+        }
+        let resalted = FaultSpec { salt: 8, ..spec };
+        let differs = (0..64).any(|n| spec.fate(n) != resalted.fate(n));
+        assert!(differs, "salt must decorrelate fault streams");
+        // Roughly half the sends dropped at loss = 128.
+        let drops = (0..256).filter(|&n| spec.fate(n).0).count();
+        assert!((64..192).contains(&drops), "drops = {drops}");
+    }
+
+    #[test]
+    fn loss_drops_the_decided_sends() {
+        let spec = FaultSpec {
+            loss: 128,
+            salt: 3,
+            ..FaultSpec::none()
+        };
+        let ch = FaultyChannel::new(Dir::TR, spec);
+        let s = feed(&ch, 32);
+        let expected: Vec<u64> = (0..32).filter(|&n| !spec.fate(n).0).collect();
+        let kept: Vec<u64> = s.in_flight.iter().map(|p| p.header.seq).collect();
+        assert_eq!(kept, expected);
+        assert_eq!(s.sends, 32);
+    }
+
+    #[test]
+    fn duplication_enqueues_the_same_uid_twice() {
+        let spec = FaultSpec {
+            dup: 255,
+            ..FaultSpec::none()
+        };
+        assert!(!spec.respects_pl());
+        let ch = FaultyChannel::new(Dir::TR, spec);
+        let s = feed(&ch, 1);
+        assert_eq!(s.in_flight, vec![pkt(0), pkt(0)]);
+        // Both copies delivered, one at a time, via the same action.
+        let a = DlAction::ReceivePkt(Dir::TR, pkt(0));
+        assert_eq!(ch.enabled_local(&s), vec![a]);
+        let s = ch.step_first(&s, &a).unwrap();
+        assert_eq!(s.in_flight, vec![pkt(0)]);
+        let s = ch.step_first(&s, &a).unwrap();
+        assert!(s.in_flight.is_empty());
+    }
+
+    #[test]
+    fn reorder_window_bounds_delivery_choice() {
+        let spec = FaultSpec {
+            reorder: 2,
+            ..FaultSpec::none()
+        };
+        assert!(spec.respects_pl() && !spec.respects_fifo());
+        let ch = FaultyChannel::new(Dir::TR, spec);
+        let s = feed(&ch, 3);
+        // Packets 0 and 1 are eligible; 2 is beyond the window.
+        assert_eq!(
+            ch.enabled_local(&s),
+            vec![
+                DlAction::ReceivePkt(Dir::TR, pkt(0)),
+                DlAction::ReceivePkt(Dir::TR, pkt(1)),
+            ]
+        );
+        assert!(ch
+            .successors(&s, &DlAction::ReceivePkt(Dir::TR, pkt(2)))
+            .is_empty());
+        // Delivering 1 first is a genuine reordering.
+        let s = ch
+            .step_first(&s, &DlAction::ReceivePkt(Dir::TR, pkt(1)))
+            .unwrap();
+        assert_eq!(s.in_flight, vec![pkt(0), pkt(2)]);
+    }
+
+    #[test]
+    fn burst_windows_drop_in_stretches() {
+        let spec = FaultSpec {
+            burst_good: 2,
+            burst_bad: 2,
+            ..FaultSpec::none()
+        };
+        let ch = FaultyChannel::new(Dir::TR, spec);
+        let s = feed(&ch, 8);
+        // Cycle of 4: sends 0,1 kept; 2,3 dropped; 4,5 kept; 6,7 dropped.
+        let kept: Vec<u64> = s.in_flight.iter().map(|p| p.header.seq).collect();
+        assert_eq!(kept, vec![0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn burst_disabled_when_bad_is_zero() {
+        let spec = FaultSpec {
+            burst_good: 3,
+            burst_bad: 0,
+            ..FaultSpec::none()
+        };
+        assert!((0..32).all(|n| !spec.in_bad_burst(n)));
+        assert!(spec.respects_fifo());
+    }
+
+    #[test]
+    fn status_actions_are_noops() {
+        let ch = FaultyChannel::perfect(Dir::RT);
+        let s = ch.start_states().remove(0);
+        assert_eq!(ch.successors(&s, &DlAction::Wake(Dir::RT)), vec![s.clone()]);
+        assert_eq!(
+            ch.successors(&s, &DlAction::Crash(dl_core::action::Station::R)),
+            vec![s.clone()]
+        );
+        assert!(ch.successors(&s, &DlAction::Wake(Dir::TR)).is_empty());
+        assert_eq!(ch.dir(), Dir::RT);
+    }
+
+    #[test]
+    fn transitions_are_deterministic() {
+        let spec = FaultSpec {
+            loss: 64,
+            dup: 64,
+            reorder: 3,
+            burst_good: 4,
+            burst_bad: 2,
+            salt: 11,
+        };
+        let ch = FaultyChannel::new(Dir::TR, spec);
+        let mut s = ch.start_states().remove(0);
+        for i in 0..16 {
+            let succs = ch.successors(&s, &DlAction::SendPkt(Dir::TR, pkt(i)));
+            assert_eq!(succs.len(), 1, "send transitions must be deterministic");
+            s = succs.into_iter().next().unwrap();
+        }
+    }
+}

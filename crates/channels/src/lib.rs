@@ -9,7 +9,10 @@
 //!   (Lemmas 6.3–6.7);
 //! * [`simulated`] — loss/reorder channels used as the executable
 //!   substitute for real transmission media when running protocols
-//!   end-to-end.
+//!   end-to-end;
+//! * [`faulty`] — a single channel parameterized by a [`FaultSpec`] knob
+//!   block (loss/dup/reorder rates, burst windows) whose per-send fault
+//!   decisions are pure hashes, making fuzzer runs replayable.
 //!
 //! Both families solve the `PL` specification of `dl-core` (and the FIFO
 //! variants solve `PL-FIFO`); this is checked by unit and property tests
@@ -20,10 +23,12 @@
 #![warn(missing_docs)]
 
 pub mod delivery_set;
+pub mod faulty;
 pub mod permissive;
 pub mod simulated;
 
 pub use delivery_set::{DeliverySet, DeliverySetError};
+pub use faulty::{FaultSpec, FaultyChannel};
 pub use permissive::{ChannelState, PermissiveChannel, SurgeryError};
 pub use simulated::{
     BurstLossChannel, BurstState, FlightState, LossMode, LossyFifoChannel, ReorderChannel,

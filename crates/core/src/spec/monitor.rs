@@ -650,16 +650,37 @@ impl TraceMonitor {
                 candidates.extend(d.pl5.iter());
             }
         }
-        let dl_hypotheses_hold = self.dirs[0].status.error.is_none()
+        candidates.extend(self.online_dl_violation(full_dl));
+        candidates.into_iter().min_by_key(|v| v.at)
+    }
+
+    /// The earliest *data-link* conclusion-class violation on the observed
+    /// prefix, ignoring the physical-layer modules entirely.
+    ///
+    /// For monitoring runs over deliberately misbehaving media: a
+    /// duplicating channel (e.g. the `dup` knob of `dl-channels`'
+    /// `FaultyChannel`) violates PL3 by design, so the combined
+    /// [`TraceMonitor::online_violation`] would abort every such run
+    /// before the protocol under test gets a chance to misbehave. The
+    /// data-link hypotheses (directional well-formedness, DL2, DL3) are
+    /// untouched by physical-layer violations, so DL conclusions remain
+    /// meaningful on their own. Same gating and `O(1)` cost as the
+    /// combined check; end-of-trace properties are likewise never
+    /// reported online.
+    #[must_use]
+    pub fn online_dl_violation(&self, full_dl: bool) -> Option<&Violation> {
+        let hypotheses_hold = self.dirs[0].status.error.is_none()
             && self.dirs[1].status.error.is_none()
             && self.dl.dl2.is_none()
             && self.dl.dl3.is_none();
-        if dl_hypotheses_hold {
-            candidates.extend(self.dl.dl4.iter());
-            candidates.extend(self.dl.dl5.iter());
-            if full_dl {
-                candidates.extend(self.dl.dl6.iter());
-            }
+        if !hypotheses_hold {
+            return None;
+        }
+        let mut candidates: Vec<&Violation> = Vec::new();
+        candidates.extend(self.dl.dl4.iter());
+        candidates.extend(self.dl.dl5.iter());
+        if full_dl {
+            candidates.extend(self.dl.dl6.iter());
         }
         candidates.into_iter().min_by_key(|v| v.at)
     }
@@ -741,6 +762,36 @@ mod tests {
         mon.observe(&ReceivePkt(Dir::TR, pkt(0, 1)));
         let v = mon.online_violation(true, true).expect("PL3 online");
         assert_eq!(v.property, "PL3");
+    }
+
+    #[test]
+    fn online_dl_violation_ignores_physical_faults() {
+        // A duplicating medium: the same stamped packet delivered twice is
+        // a PL3 violation, but the data link itself is still clean.
+        let mut mon = TraceMonitor::scan(&[
+            Wake(Dir::TR),
+            Wake(Dir::RT),
+            SendMsg(Msg(1)),
+            SendPkt(Dir::TR, pkt(0, 1)),
+            ReceivePkt(Dir::TR, pkt(0, 1)),
+            ReceivePkt(Dir::TR, pkt(0, 1)),
+            ReceiveMsg(Msg(1)),
+        ]);
+        assert_eq!(
+            mon.online_violation(true, true).map(|v| v.property),
+            Some("PL3")
+        );
+        assert!(mon.online_dl_violation(true).is_none());
+        // A subsequent duplicate delivery is a DL4 conclusion, visible to
+        // the DL-only check (and earliest overall is still PL3).
+        mon.observe(&ReceiveMsg(Msg(1)));
+        let v = mon.online_dl_violation(false).expect("DL4 online");
+        assert_eq!(v.property, "DL4");
+        assert_eq!(v.at, Some(7));
+        assert_eq!(
+            mon.online_violation(true, true).map(|v| v.property),
+            Some("PL3")
+        );
     }
 
     #[test]

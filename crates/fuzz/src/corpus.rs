@@ -1,0 +1,128 @@
+//! The shared corpus: genomes that discovered novel coverage, kept as
+//! mutation seeds for the fleet.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::genome::Genome;
+
+/// One retained genome and what it earned its place with.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The genome.
+    pub genome: Genome,
+    /// Novel coverage keys it contributed when admitted.
+    pub novelty: usize,
+    /// Steps its execution took.
+    pub steps: usize,
+}
+
+/// Aggregate corpus statistics for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusStats {
+    /// Number of retained genomes.
+    pub entries: usize,
+    /// Sum of admission novelty over all entries.
+    pub total_novelty: usize,
+    /// Sum of execution steps over all entries.
+    pub total_steps: usize,
+}
+
+/// The corpus proper: a mutex-guarded entry list with a lock-free size
+/// mirror (workers poll the size every iteration to decide between
+/// mutating and generating from scratch).
+#[derive(Debug, Default)]
+pub struct Corpus {
+    entries: Mutex<Vec<CorpusEntry>>,
+    len: AtomicUsize,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    #[must_use]
+    pub fn new() -> Self {
+        Corpus::default()
+    }
+
+    /// Admits a genome that contributed novel coverage.
+    pub fn add(&self, entry: CorpusEntry) {
+        let mut entries = self.entries.lock().expect("corpus lock poisoned");
+        entries.push(entry);
+        self.len.store(entries.len(), Ordering::Relaxed);
+    }
+
+    /// Number of retained genomes (lock-free).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// `true` if nothing has been admitted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A uniformly random retained genome, cloned out.
+    #[must_use]
+    pub fn pick(&self, rng: &mut StdRng) -> Option<Genome> {
+        let entries = self.entries.lock().expect("corpus lock poisoned");
+        if entries.is_empty() {
+            return None;
+        }
+        let i = rng.random_range(0..entries.len());
+        Some(entries[i].genome.clone())
+    }
+
+    /// Aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> CorpusStats {
+        let entries = self.entries.lock().expect("corpus lock poisoned");
+        CorpusStats {
+            entries: entries.len(),
+            total_novelty: entries.iter().map(|e| e.novelty).sum(),
+            total_steps: entries.iter().map(|e| e.steps).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn entry(seed: u64, novelty: usize) -> CorpusEntry {
+        CorpusEntry {
+            genome: Genome {
+                seed,
+                genes: vec![],
+            },
+            novelty,
+            steps: 10,
+        }
+    }
+
+    #[test]
+    fn add_pick_stats_round_trip() {
+        let corpus = Corpus::new();
+        assert!(corpus.is_empty());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(corpus.pick(&mut rng).is_none());
+        corpus.add(entry(1, 5));
+        corpus.add(entry(2, 7));
+        assert_eq!(corpus.len(), 2);
+        let picked = corpus.pick(&mut rng).unwrap();
+        assert!(picked.seed == 1 || picked.seed == 2);
+        assert_eq!(
+            corpus.stats(),
+            CorpusStats {
+                entries: 2,
+                total_novelty: 12,
+                total_steps: 20,
+            }
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! The `dl-fuzz` command line: run coverage-guided fuzzing campaigns
+//! against the protocol zoo and print shrunk, replayable counterexamples.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use dl_fuzz::{all_targets, fuzz, target, FuzzConfig};
+
+const USAGE: &str = "\
+dl-fuzz: coverage-guided schedule fuzzer for data link protocols
+
+USAGE:
+    dl-fuzz [OPTIONS]
+
+OPTIONS:
+    --target NAME     fuzz one target (default: all; see --list)
+    --seed N          base seed (default 0)
+    --execs N         execution budget per target (default 2000)
+    --workers N       worker threads (default 1; 1 = fully deterministic)
+    --time-ms N       wall-clock budget per target in milliseconds
+    --max-steps N     step bound per execution (default 800)
+    --max-genes N     gene bound per genome (default 24)
+    --full-dl         judge against full DL instead of weak WDL
+    --keep-going      do not stop at the first violation
+    --list            list targets and exit
+    --help            this text
+";
+
+struct Args {
+    targets: Vec<&'static str>,
+    cfg: FuzzConfig,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut cfg = FuzzConfig::default();
+    let mut targets: Vec<&'static str> = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(None);
+            }
+            "--list" => {
+                for t in all_targets() {
+                    println!("{}", t.name);
+                }
+                return Ok(None);
+            }
+            "--target" => {
+                let name = value("--target")?;
+                let t =
+                    target(&name).ok_or_else(|| format!("unknown target {name:?} (see --list)"))?;
+                targets.push(t.name);
+            }
+            "--seed" => cfg.seed = parse_num(&value("--seed")?)?,
+            "--execs" => cfg.max_execs = parse_num(&value("--execs")?)?,
+            "--workers" => cfg.workers = parse_num(&value("--workers")?)? as usize,
+            "--time-ms" => {
+                cfg.time_budget = Some(Duration::from_millis(parse_num(&value("--time-ms")?)?));
+            }
+            "--max-steps" => cfg.max_steps = parse_num(&value("--max-steps")?)? as usize,
+            "--max-genes" => cfg.max_genes = parse_num(&value("--max-genes")?)? as usize,
+            "--full-dl" => cfg.full_dl = true,
+            "--keep-going" => cfg.stop_on_violation = false,
+            other => return Err(format!("unknown option {other:?} (try --help)")),
+        }
+    }
+    if targets.is_empty() {
+        targets = all_targets().iter().map(|t| t.name).collect();
+    }
+    Ok(Some(Args { targets, cfg }))
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    s.parse::<u64>().map_err(|_| format!("not a number: {s:?}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dl-fuzz: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut unverified = false;
+    for name in &args.targets {
+        let t = target(name).expect("validated above");
+        let report = fuzz(t, &args.cfg);
+        println!("{report}");
+        unverified |= report.counterexamples.iter().any(|c| !c.replay_verified);
+    }
+    // Finding violations is the tool doing its job; a counterexample that
+    // fails replay verification is the only failure mode.
+    if unverified {
+        eprintln!("dl-fuzz: a counterexample failed replay verification");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

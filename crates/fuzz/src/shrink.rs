@@ -1,0 +1,197 @@
+//! Delta-debugging counterexample shrinker.
+//!
+//! Given a genome whose execution exhibits a violation of some property,
+//! [`shrink`] searches for a smaller genome exhibiting the **same**
+//! property (validity = same `Violation::property` string): first classic
+//! ddmin over the gene sequence (chunk removal with halving granularity),
+//! then per-gene numeric simplification (step counts to 1, fault knobs
+//! toward [`FaultSpec::none`](dl_channels::FaultSpec::none), override
+//! values to 0). Every candidate is judged by a fresh deterministic
+//! execution, so the result is exactly as replayable as the original —
+//! the shrunk `(seed, genome)` pair alone reproduces the violating trace.
+
+use dl_channels::FaultSpec;
+
+use crate::genome::{Gene, Genome};
+use crate::target::{ExecConfig, Target};
+
+/// Returns `true` if `genome` still exhibits a violation of `property`.
+fn reproduces(target: &Target, genome: &Genome, cfg: &ExecConfig, property: &str) -> bool {
+    (target.run)(genome, cfg)
+        .violation
+        .as_ref()
+        .is_some_and(|v| v.property == property)
+}
+
+/// Simpler variants of one gene, most aggressive first.
+fn simplifications(gene: &Gene) -> Vec<Gene> {
+    match gene {
+        Gene::Steps(n) if *n > 1 => vec![Gene::Steps(1), Gene::Steps(n / 2)],
+        Gene::FaultsTr(s) => spec_simplifications(s)
+            .into_iter()
+            .map(Gene::FaultsTr)
+            .collect(),
+        Gene::FaultsRt(s) => spec_simplifications(s)
+            .into_iter()
+            .map(Gene::FaultsRt)
+            .collect(),
+        Gene::Sched { index, value } if *value > 0 => vec![Gene::Sched {
+            index: *index,
+            value: 0,
+        }],
+        _ => vec![],
+    }
+}
+
+fn spec_simplifications(s: &FaultSpec) -> Vec<FaultSpec> {
+    let mut out = Vec::new();
+    if *s != FaultSpec::none() {
+        out.push(FaultSpec::none());
+    }
+    if s.loss > 0 {
+        out.push(FaultSpec { loss: 0, ..*s });
+    }
+    if s.dup > 0 {
+        out.push(FaultSpec { dup: 0, ..*s });
+    }
+    if s.reorder > 0 {
+        out.push(FaultSpec { reorder: 0, ..*s });
+    }
+    if s.burst_bad > 0 || s.burst_good > 0 {
+        out.push(FaultSpec {
+            burst_good: 0,
+            burst_bad: 0,
+            ..*s
+        });
+    }
+    if s.salt != 0 {
+        out.push(FaultSpec { salt: 0, ..*s });
+    }
+    out
+}
+
+/// Minimizes `genome` while preserving a violation of `property`.
+///
+/// The caller must have observed `property` on `genome`; if the input no
+/// longer reproduces (flaky oracle — impossible here since executions are
+/// deterministic), the input is returned unchanged.
+#[must_use]
+pub fn shrink(target: &Target, genome: &Genome, cfg: &ExecConfig, property: &str) -> Genome {
+    if !reproduces(target, genome, cfg, property) {
+        return genome.clone();
+    }
+    let mut best = genome.clone();
+
+    // Phase 1: ddmin over the gene sequence. Chunk removal with halving
+    // granularity, restarted from the largest chunk whenever a removal
+    // sticks (the sequence shrank, so earlier failed cuts may now work).
+    loop {
+        let before = best.genes.len();
+        let mut chunk = (best.genes.len() / 2).max(1);
+        loop {
+            let mut i = 0;
+            while i < best.genes.len() {
+                let end = (i + chunk).min(best.genes.len());
+                let mut candidate = best.clone();
+                candidate.genes.drain(i..end);
+                if reproduces(target, &candidate, cfg, property) {
+                    best = candidate;
+                } else {
+                    i = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        if best.genes.len() == before {
+            break;
+        }
+    }
+
+    // Phase 2: per-gene numeric simplification, to a bounded fixpoint.
+    for _ in 0..4 {
+        let mut changed = false;
+        for i in 0..best.genes.len() {
+            for simpler in simplifications(&best.genes[i]) {
+                let mut candidate = best.clone();
+                candidate.genes[i] = simpler;
+                if reproduces(target, &candidate, cfg, property) {
+                    best = candidate;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    best
+}
+
+/// Runs `genome` twice and checks the two executions are byte-identical
+/// (same stamped schedule, same violation) — the replayability guarantee
+/// every emitted counterexample must satisfy.
+#[must_use]
+pub fn replays_identically(target: &Target, genome: &Genome, cfg: &ExecConfig) -> bool {
+    let a = (target.run)(genome, cfg);
+    let b = (target.run)(genome, cfg);
+    a.schedule == b.schedule && a.violation == b.violation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::target;
+    use dl_core::action::Station;
+
+    #[test]
+    fn shrink_prunes_irrelevant_genes() {
+        // A deliberately bloated crash-pump genome: the noise genes
+        // (flaps, extra steps, an irrelevant fault block) must go.
+        let bloated = Genome {
+            seed: 2,
+            genes: vec![
+                Gene::Flap(dl_core::action::Dir::RT),
+                Gene::Send,
+                Gene::Steps(37),
+                Gene::FaultsRt(FaultSpec {
+                    reorder: 3,
+                    salt: 99,
+                    ..FaultSpec::none()
+                }),
+                Gene::Crash(Station::T),
+                Gene::Send,
+                Gene::Settle,
+                Gene::Steps(20),
+            ],
+        };
+        let t = target("abp").unwrap();
+        let cfg = ExecConfig::default();
+        let out = (t.run)(&bloated, &cfg);
+        let property = out.violation.expect("bloated genome violates").property;
+        let shrunk = shrink(t, &bloated, &cfg, property);
+        assert!(shrunk.genes.len() < bloated.genes.len());
+        // Still reproduces the same property, and replays identically.
+        assert!(reproduces(t, &shrunk, &cfg, property));
+        assert!(replays_identically(t, &shrunk, &cfg));
+        // The crash and at least one send must survive: the violation
+        // needs them.
+        assert!(shrunk.genes.iter().any(|g| matches!(g, Gene::Crash(_))));
+        assert!(shrunk.genes.iter().any(|g| matches!(g, Gene::Send)));
+    }
+
+    #[test]
+    fn shrink_returns_input_when_nothing_reproduces() {
+        let clean = Genome {
+            seed: 1,
+            genes: vec![Gene::Send],
+        };
+        let t = target("abp").unwrap();
+        let cfg = ExecConfig::default();
+        assert_eq!(shrink(t, &clean, &cfg, "DL4"), clean);
+    }
+}

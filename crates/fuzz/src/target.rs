@@ -1,0 +1,328 @@
+//! Fuzz targets: every protocol of the zoo, composed with fault-injected
+//! channels and executed from a genome.
+//!
+//! Each target is a monomorphized `fn(&Genome, &ExecConfig) -> ExecOutcome`
+//! that builds the §5.2 composition `hide_Φ(protocol ∥ FaultyChannel²)`,
+//! runs the genome's plan through an online-monitored
+//! [`Runner`](dl_sim::Runner), and extracts per-step coverage keys.
+//!
+//! Monitoring posture: executions run with `monitor_pl = false` (the
+//! duplication fault knob violates PL3 *by design*, and aborting on the
+//! medium's own misbehavior would hide the protocol bugs the fuzzer is
+//! hunting) and `full_dl = false` by default, so a **violation** is either
+//! an online `WDL` safety conclusion (DL4/DL5) or — on runs that quiesce
+//! with the script fully consumed — a complete-trace `WDL` verdict, which
+//! adds the DL8 liveness conclusion ("every sent message is delivered").
+//! Truncated runs are never judged against DL8, so step-budget exhaustion
+//! cannot fabricate liveness violations.
+
+use std::hash::{BuildHasher, BuildHasherDefault};
+
+use ioa::automaton::Automaton;
+use ioa::schedule_module::{ScheduleModule, TraceKind, Verdict, Violation};
+
+use dl_channels::FaultyChannel;
+use dl_core::action::{Dir, DlAction, Station};
+use dl_core::protocol::DataLinkProtocol;
+use dl_core::spec::datalink::DlModule;
+use dl_sim::{link_system, ConformancePolicy, Runner};
+
+use crate::genome::Genome;
+
+/// Per-execution knobs, shared by every target.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Global step bound per execution.
+    pub max_steps: usize,
+    /// Judge against the full `DL` spec instead of the weak `WDL`.
+    pub full_dl: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            max_steps: 800,
+            full_dl: false,
+        }
+    }
+}
+
+/// What one execution of a genome produced.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// The judged violation, if any (online safety, or batch `WDL` on a
+    /// quiescent complete trace).
+    pub violation: Option<Violation>,
+    /// `true` if the run quiesced with the script fully consumed.
+    pub quiescent: bool,
+    /// Steps taken.
+    pub steps: usize,
+    /// One coverage key per step: a hash of `(post-state, progress
+    /// digest, action class)`.
+    pub coverage: Vec<u64>,
+    /// The full stamped schedule — the replay-comparison witness.
+    pub schedule: Vec<DlAction>,
+}
+
+/// A named, runnable fuzz target.
+#[derive(Debug, Clone, Copy)]
+pub struct Target {
+    /// Stable target name, e.g. `"abp"` or `"quirky"`.
+    pub name: &'static str,
+    /// Executes one genome against this target's composed system.
+    pub run: fn(&Genome, &ExecConfig) -> ExecOutcome,
+}
+
+/// The full target registry: all nine protocols of the zoo.
+#[must_use]
+pub fn all_targets() -> &'static [Target] {
+    &TARGETS
+}
+
+/// Looks a target up by name.
+#[must_use]
+pub fn target(name: &str) -> Option<&'static Target> {
+    TARGETS.iter().find(|t| t.name == name)
+}
+
+static TARGETS: [Target; 9] = [
+    Target {
+        name: "abp",
+        run: |g, c| run_protocol(dl_protocols::abp::protocol(), g, c),
+    },
+    Target {
+        name: "go-back-2",
+        run: |g, c| run_protocol(dl_protocols::sliding_window::protocol(2), g, c),
+    },
+    Target {
+        name: "go-back-8",
+        run: |g, c| run_protocol(dl_protocols::sliding_window::protocol(8), g, c),
+    },
+    Target {
+        name: "selective-repeat-4",
+        run: |g, c| run_protocol(dl_protocols::selective_repeat::protocol(4), g, c),
+    },
+    Target {
+        name: "fragmenting",
+        run: |g, c| run_protocol(dl_protocols::fragmenting::protocol(), g, c),
+    },
+    Target {
+        name: "parity",
+        run: |g, c| run_protocol(dl_protocols::parity::protocol(), g, c),
+    },
+    Target {
+        name: "stenning",
+        run: |g, c| run_protocol(dl_protocols::stenning::protocol(), g, c),
+    },
+    Target {
+        name: "nonvolatile",
+        run: |g, c| run_protocol(dl_protocols::nonvolatile::protocol(), g, c),
+    },
+    Target {
+        name: "quirky",
+        run: |g, c| run_protocol(dl_protocols::quirky::protocol(), g, c),
+    },
+];
+
+/// Coarse action-class code for coverage keys: which kind of action fired,
+/// and on which side/direction.
+fn action_class(a: &DlAction) -> u64 {
+    match a {
+        DlAction::SendMsg(_) => 0,
+        DlAction::ReceiveMsg(_) => 1,
+        DlAction::SendPkt(Dir::TR, _) => 2,
+        DlAction::SendPkt(Dir::RT, _) => 3,
+        DlAction::ReceivePkt(Dir::TR, _) => 4,
+        DlAction::ReceivePkt(Dir::RT, _) => 5,
+        DlAction::Wake(Dir::TR) => 6,
+        DlAction::Wake(Dir::RT) => 7,
+        DlAction::Fail(Dir::TR) => 8,
+        DlAction::Fail(Dir::RT) => 9,
+        DlAction::Crash(Station::T) => 10,
+        DlAction::Crash(Station::R) => 11,
+        DlAction::Internal(Station::T, _) => 12,
+        DlAction::Internal(Station::R, _) => 13,
+    }
+}
+
+/// Log-bucketed counter, ≤ 15 — keeps the progress digest finite.
+fn bucket(n: u64) -> u64 {
+    u64::from(64 - n.leading_zeros()).min(15)
+}
+
+fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a ^ b.rotate_left(21) ^ c.rotate_left(42);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs one genome against one protocol over fault-injected channels.
+pub fn run_protocol<T, R>(
+    protocol: DataLinkProtocol<T, R>,
+    genome: &Genome,
+    cfg: &ExecConfig,
+) -> ExecOutcome
+where
+    T: Automaton<Action = DlAction>,
+    R: Automaton<Action = DlAction>,
+    T::State: std::hash::Hash,
+    R::State: std::hash::Hash,
+{
+    let plan = genome.decode();
+    let system = link_system(
+        protocol.transmitter,
+        protocol.receiver,
+        FaultyChannel::new(Dir::TR, plan.faults[0]),
+        FaultyChannel::new(Dir::RT, plan.faults[1]),
+    );
+    let policy = ConformancePolicy {
+        full_dl: cfg.full_dl,
+        complete: false,
+        fifo_channels: false,
+        monitor_pl: false,
+        ..ConformancePolicy::default()
+    };
+    let mut runner = Runner::new(genome.seed, cfg.max_steps)
+        .with_online_conformance(policy)
+        .with_decision_overrides(plan.overrides.clone());
+    let report = runner.run(&system, &plan.script);
+
+    let mut violation = report.online_violation.clone();
+    if violation.is_none() && report.quiescent {
+        let module = if cfg.full_dl {
+            DlModule::full()
+        } else {
+            DlModule::weak()
+        };
+        if let Verdict::Violated(v) = module.check(&report.behavior, TraceKind::Complete) {
+            violation = Some(v);
+        }
+    }
+
+    // Coverage: one key per step, hashing the composed post-state, a
+    // log-bucketed progress digest (the monitor-visible counters), and the
+    // action class — the `(protocol state, monitor state, action class)`
+    // tuple, collapsed to 64 bits.
+    let hasher = BuildHasherDefault::<std::collections::hash_map::DefaultHasher>::default();
+    let (mut sent, mut delivered, mut crashes) = (0u64, 0u64, 0u64);
+    let mut coverage = Vec::with_capacity(report.execution.len());
+    for step in report.execution.steps() {
+        match step.action {
+            DlAction::SendMsg(_) => sent += 1,
+            DlAction::ReceiveMsg(_) => delivered += 1,
+            DlAction::Crash(_) => crashes += 1,
+            _ => {}
+        }
+        let digest = bucket(sent) | bucket(delivered) << 4 | crashes.min(15) << 8;
+        coverage.push(mix3(
+            hasher.hash_one(&step.post),
+            digest,
+            action_class(&step.action),
+        ));
+    }
+
+    ExecOutcome {
+        violation,
+        quiescent: report.quiescent,
+        steps: report.execution.len(),
+        coverage,
+        schedule: report.schedule(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::Gene;
+
+    fn genome(seed: u64, genes: Vec<Gene>) -> Genome {
+        Genome { seed, genes }
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let mut names: Vec<_> = all_targets().iter().map(|t| t.name).collect();
+        assert_eq!(names.len(), 9);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9, "duplicate target names");
+        assert!(target("quirky").is_some());
+        assert!(target("no-such-protocol").is_none());
+    }
+
+    #[test]
+    fn clean_abp_run_has_no_violation_and_full_coverage() {
+        let g = genome(3, vec![Gene::Send, Gene::Send]);
+        let out = (target("abp").unwrap().run)(&g, &ExecConfig::default());
+        assert!(out.violation.is_none(), "{:?}", out.violation);
+        assert!(out.quiescent);
+        assert_eq!(out.coverage.len(), out.steps);
+        assert_eq!(out.schedule.len(), out.steps);
+    }
+
+    #[test]
+    fn abp_transmitter_crash_mid_flight_is_flagged() {
+        // The E4 crash pump, phrased as a genome: deliver m0, crash t,
+        // send m1 — the retransmitted DATA#0 swallows m1.
+        let g = genome(
+            2,
+            vec![
+                Gene::Send,
+                Gene::Steps(3),
+                Gene::Crash(Station::T),
+                Gene::Send,
+            ],
+        );
+        let out = (target("abp").unwrap().run)(&g, &ExecConfig::default());
+        let v = out.violation.expect("crash pump violation");
+        assert!(
+            ["DL4", "DL5", "DL8"].contains(&v.property),
+            "unexpected property {}",
+            v.property
+        );
+    }
+
+    #[test]
+    fn executions_are_deterministic() {
+        let g = genome(
+            7,
+            vec![
+                Gene::Send,
+                Gene::FaultsTr(dl_channels::FaultSpec {
+                    loss: 64,
+                    dup: 32,
+                    reorder: 2,
+                    burst_good: 0,
+                    burst_bad: 0,
+                    salt: 5,
+                }),
+                Gene::Send,
+                Gene::Crash(Station::R),
+                Gene::Send,
+            ],
+        );
+        let t = target("go-back-2").unwrap();
+        let a = (t.run)(&g, &ExecConfig::default());
+        let b = (t.run)(&g, &ExecConfig::default());
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.coverage, b.coverage);
+        assert_eq!(a.violation, b.violation);
+    }
+
+    #[test]
+    fn truncated_runs_are_not_judged_for_liveness() {
+        // A tiny step budget truncates the run mid-delivery; DL8 must not
+        // fire on the truncated trace.
+        let g = genome(1, vec![Gene::Send]);
+        let out = (target("abp").unwrap().run)(
+            &g,
+            &ExecConfig {
+                max_steps: 4,
+                full_dl: false,
+            },
+        );
+        assert!(!out.quiescent);
+        assert!(out.violation.is_none(), "{:?}", out.violation);
+    }
+}

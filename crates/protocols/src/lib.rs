@@ -46,6 +46,7 @@ pub use abp::{AbpReceiver, AbpTransmitter};
 pub use fragmenting::{FragReceiver, FragTransmitter};
 pub use nonvolatile::{NvReceiver, NvTransmitter};
 pub use parity::{ParityReceiver, ParityTransmitter};
+pub use quirky::{QuirkyReceiver, QuirkyTransmitter};
 pub use selective_repeat::{SrReceiver, SrTransmitter};
 pub use sliding_window::{SwReceiver, SwTransmitter};
 pub use stenning::{StenningReceiver, StenningTransmitter};

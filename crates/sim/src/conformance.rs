@@ -27,6 +27,14 @@ pub struct ConformancePolicy {
     /// Check the schedule against `PL-FIFO` per direction (`false` = the
     /// weaker `PL`, for reordering channels).
     pub fifo_channels: bool,
+    /// Include physical-layer conclusions (PL3/PL4, PL5 under
+    /// `fifo_channels`) in *online* monitoring. Set to `false` when the
+    /// medium misbehaves by design — e.g. the duplication knob of
+    /// `dl-channels`' `FaultyChannel` violates PL3 on purpose — so the
+    /// online monitor aborts only on data-link violations of the protocol
+    /// under test. Only [`crate::Runner::with_online_conformance`] reads
+    /// this; the batch [`judge`] always reports both layers.
+    pub monitor_pl: bool,
     /// Patience for the liveness monitors; `None` disables them.
     pub patience: Option<usize>,
 }
@@ -37,6 +45,7 @@ impl Default for ConformancePolicy {
             full_dl: true,
             complete: true,
             fifo_channels: true,
+            monitor_pl: true,
             patience: None,
         }
     }

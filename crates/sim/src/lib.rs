@@ -17,7 +17,15 @@
 //! * **fault scripting** — [`Script`]s interleave environment inputs
 //!   (`send_msg`, `wake`, `fail`, `crash`) with bounded or run-to-
 //!   quiescence stretches of autonomous execution, which is how the
-//!   experiments inject link failures and host crashes.
+//!   experiments inject link failures and host crashes;
+//! * **decision injection and replay** — every seeded choice (which
+//!   enabled action to fire, which successor resolves its nondeterminism)
+//!   flows through one numbered decision point that can be overridden per
+//!   index, recorded, and replayed verbatim ([`Decision`],
+//!   [`Runner::with_decision_replay`]). This is the substrate of the
+//!   `dl-fuzz` coverage-guided fuzzer: a run is a pure function of
+//!   `(seed, overrides)`, and a recorded decision sequence reproduces it
+//!   byte-for-byte.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,7 +37,7 @@ pub mod script;
 pub mod system;
 
 pub use conformance::{judge, ConformancePolicy, ConformanceReport};
-pub use runner::{Metrics, RunReport, Runner};
+pub use runner::{Decision, DecisionPoint, Metrics, RunReport, Runner};
 pub use scenario::Scenario;
 pub use script::{Script, ScriptStep};
 pub use system::{link_system, LinkState, LinkSystem};

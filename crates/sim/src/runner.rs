@@ -1,6 +1,6 @@
 //! The fair, uid-stamping simulation runner.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -35,10 +35,19 @@ pub struct Metrics {
     pub steps: u64,
     /// Per-message delivery latency in steps (`receive_msg` step minus
     /// `send_msg` step), in delivery order.
+    ///
+    /// Latency uses **multiset FIFO-per-value** matching, mirroring the
+    /// `in_transit` semantics of the trace monitor: each `send_msg` of a
+    /// value pushes its step index onto that value's queue, and each
+    /// `receive_msg` pops the *earliest unmatched* send. Re-sending an
+    /// in-flight value therefore gets its own latency sample instead of
+    /// being collapsed onto the first send (which skewed re-sent values
+    /// before). Note the DL spec itself (DL3) considers duplicate-value
+    /// sends ill-formed; the metrics stay well-defined anyway.
     pub latencies: Vec<u64>,
-    /// Step index at which each in-flight message was sent (drained as
-    /// messages are delivered).
-    send_step: BTreeMap<dl_core::action::Msg, u64>,
+    /// Step indices at which each in-flight copy of a message value was
+    /// sent (FIFO queue per value, drained as copies are delivered).
+    send_step: BTreeMap<dl_core::action::Msg, VecDeque<u64>>,
 }
 
 impl Metrics {
@@ -47,12 +56,17 @@ impl Metrics {
         match a {
             DlAction::SendMsg(m) => {
                 self.msgs_sent += 1;
-                self.send_step.entry(*m).or_insert(self.steps);
+                self.send_step.entry(*m).or_default().push_back(self.steps);
             }
             DlAction::ReceiveMsg(m) => {
                 self.msgs_received += 1;
-                if let Some(at) = self.send_step.remove(m) {
-                    self.latencies.push(self.steps - at);
+                if let Some(q) = self.send_step.get_mut(m) {
+                    if let Some(at) = q.pop_front() {
+                        self.latencies.push(self.steps - at);
+                    }
+                    if q.is_empty() {
+                        self.send_step.remove(m);
+                    }
                 }
             }
             DlAction::SendPkt(d, p) => {
@@ -92,12 +106,39 @@ impl Metrics {
         }
     }
 
-    /// Messages sent but not (yet) delivered when the run ended — e.g.
-    /// stranded by a crash mid-flight.
+    /// Message copies sent but not (yet) delivered when the run ended —
+    /// e.g. stranded by a crash mid-flight. Counts every unmatched send,
+    /// so a value re-sent while in flight contributes twice.
     #[must_use]
     pub fn pending_messages(&self) -> usize {
-        self.send_step.len()
+        self.send_step.values().map(VecDeque::len).sum()
     }
+}
+
+/// Where in the executor a seeded choice is made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecisionPoint {
+    /// Which enabled action of the scheduled task class to take.
+    Action,
+    /// Which successor state resolves the taken action's nondeterminism.
+    Successor,
+}
+
+/// One seeded choice the executor made (or was forced to make): at a
+/// [`DecisionPoint`] with `arity` alternatives, alternative `pick` was
+/// taken. A run is fully determined by its start state, script, and
+/// decision sequence — recording the sequence
+/// ([`Runner::with_decision_recording`]) and playing it back
+/// ([`Runner::with_decision_replay`]) reproduces the exact execution,
+/// which is what makes fuzzer counterexamples replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decision {
+    /// The kind of choice.
+    pub point: DecisionPoint,
+    /// How many alternatives were available.
+    pub arity: usize,
+    /// The index chosen, `< arity`.
+    pub pick: usize,
 }
 
 /// The outcome of a scripted run.
@@ -119,6 +160,10 @@ pub struct RunReport<S> {
     /// [`RunReport::schedule`] *is* the offending prefix (the violation's
     /// `at` indexes into it).
     pub online_violation: Option<Violation>,
+    /// The decision sequence of this run, when the runner was built with
+    /// [`Runner::with_decision_recording`]; feeding it back through
+    /// [`Runner::with_decision_replay`] reproduces the run exactly.
+    pub decisions: Option<Vec<Decision>>,
 }
 
 impl<S: Clone + Eq + std::fmt::Debug> RunReport<S> {
@@ -137,6 +182,11 @@ pub struct Runner {
     next_uid: u64,
     max_steps: usize,
     conformance: Option<ConformancePolicy>,
+    overrides: BTreeMap<u64, u64>,
+    replay: Option<Vec<Decision>>,
+    record: bool,
+    decision_index: u64,
+    taken: Vec<Decision>,
 }
 
 /// Online conformance state threaded through one run: a streaming
@@ -152,10 +202,15 @@ impl OnlineConformance {
     fn observe(&mut self, action: &DlAction) {
         self.monitor.observe(action);
         if self.violation.is_none() {
-            self.violation = self
-                .monitor
-                .online_violation(self.policy.full_dl, self.policy.fifo_channels)
-                .cloned();
+            self.violation = if self.policy.monitor_pl {
+                self.monitor
+                    .online_violation(self.policy.full_dl, self.policy.fifo_channels)
+                    .cloned()
+            } else {
+                self.monitor
+                    .online_dl_violation(self.policy.full_dl)
+                    .cloned()
+            };
         }
     }
 }
@@ -169,6 +224,11 @@ impl Runner {
             next_uid: 1,
             max_steps,
             conformance: None,
+            overrides: BTreeMap::new(),
+            replay: None,
+            record: false,
+            decision_index: 0,
+            taken: Vec::new(),
         }
     }
 
@@ -189,6 +249,69 @@ impl Runner {
     pub fn with_online_conformance(mut self, policy: ConformancePolicy) -> Self {
         self.conformance = Some(policy);
         self
+    }
+
+    /// Forces specific decisions by index: at decision `i` (counted from 0
+    /// at the start of each run, across both [`DecisionPoint`]s), pick
+    /// alternative `overrides[i] % arity` instead of drawing from the RNG.
+    ///
+    /// Overridden decisions consume **no** RNG state, so an override at
+    /// index `i` also reshuffles every RNG-drawn decision after `i` — the
+    /// run is a function of `(seed, overrides)`, which is exactly the
+    /// genome shape the fuzzer mutates. Decisions not named stay
+    /// RNG-driven.
+    #[must_use]
+    pub fn with_decision_overrides(mut self, overrides: BTreeMap<u64, u64>) -> Self {
+        self.overrides = overrides;
+        self
+    }
+
+    /// Replays a recorded decision sequence verbatim: decision `i` takes
+    /// `decisions[i].pick % arity`, consuming no RNG state and ignoring
+    /// overrides. Decisions past the end of the sequence fall back to the
+    /// seeded RNG. Replaying the `decisions` of a recorded
+    /// [`RunReport`] over the same system and script reproduces that
+    /// run's execution byte-for-byte.
+    #[must_use]
+    pub fn with_decision_replay(mut self, decisions: Vec<Decision>) -> Self {
+        self.replay = Some(decisions);
+        self
+    }
+
+    /// Records every decision of subsequent runs into
+    /// [`RunReport::decisions`]. Recording does not perturb the run.
+    #[must_use]
+    pub fn with_decision_recording(mut self) -> Self {
+        self.record = true;
+        self
+    }
+
+    /// Resolves one seeded choice among `arity` alternatives.
+    ///
+    /// The default path draws from the RNG unconditionally (even for
+    /// `arity == 1`) so that runs without overrides or replay consume the
+    /// exact RNG stream they always did — seeds stay stable across this
+    /// feature.
+    fn decide(&mut self, point: DecisionPoint, arity: usize) -> usize {
+        debug_assert!(arity > 0, "decide() needs at least one alternative");
+        let index = self.decision_index;
+        self.decision_index += 1;
+        let replayed = self
+            .replay
+            .as_ref()
+            .and_then(|r| r.get(index as usize))
+            .map(|d| d.pick % arity);
+        let pick = match replayed {
+            Some(p) => p,
+            None => match self.overrides.get(&index) {
+                Some(v) => (*v % arity as u64) as usize,
+                None => self.rng.random_range(0..arity),
+            },
+        };
+        if self.record {
+            self.taken.push(Decision { point, arity, pick });
+        }
+        pick
     }
 
     /// Runs `system` from its first start state under `script`.
@@ -227,6 +350,9 @@ impl Runner {
         let mut metrics = Metrics::default();
         let mut next_task = 0usize;
         let mut fully_ran = true;
+        // Decision indexing (for overrides/replay) restarts with each run.
+        self.decision_index = 0;
+        self.taken.clear();
         let mut online = self.conformance.map(|policy| OnlineConformance {
             policy,
             monitor: TraceMonitor::new(),
@@ -304,6 +430,7 @@ impl Runner {
             quiescent,
             metrics,
             online_violation: online.and_then(|o| o.violation),
+            decisions: self.record.then(|| std::mem::take(&mut self.taken)),
         }
     }
 
@@ -335,7 +462,7 @@ impl Runner {
             if in_class.is_empty() {
                 continue;
             }
-            let pick = self.rng.random_range(0..in_class.len());
+            let pick = self.decide(DecisionPoint::Action, in_class.len());
             let action = in_class[pick];
             let took = self.take(system, exec, action, metrics, online);
             debug_assert!(took, "enabled_local returned a disabled action");
@@ -369,7 +496,7 @@ impl Runner {
         if succs.is_empty() {
             return false;
         }
-        let pick = self.rng.random_range(0..succs.len());
+        let pick = self.decide(DecisionPoint::Successor, succs.len());
         metrics.record(&action);
         if let Some(o) = online {
             o.observe(&action);
@@ -722,6 +849,80 @@ mod tests {
         assert!(report.metrics.latencies.iter().all(|&l| l >= 1));
         let mean = report.metrics.mean_latency().unwrap();
         assert!(mean >= 1.0);
+    }
+
+    #[test]
+    fn resent_value_latency_uses_multiset_semantics() {
+        // Two sends of the same value at different steps, two deliveries:
+        // each delivery must match the *earliest unmatched* send, yielding
+        // two latency samples — not one sample anchored at the first send
+        // with the second send silently dropped (the old `or_insert` bug).
+        let mut m = Metrics::default();
+        let v = dl_core::action::Msg(42);
+        m.record(&DlAction::SendMsg(v)); // step 1
+        m.record(&DlAction::Wake(Dir::TR)); // step 2
+        m.record(&DlAction::SendMsg(v)); // step 3
+        assert_eq!(m.pending_messages(), 2);
+        m.record(&DlAction::ReceiveMsg(v)); // step 4: matches send@1
+        m.record(&DlAction::ReceiveMsg(v)); // step 5: matches send@3
+        assert_eq!(m.latencies, vec![3, 2]);
+        assert_eq!(m.pending_messages(), 0);
+        // A further delivery with no matching send records no latency.
+        m.record(&DlAction::ReceiveMsg(v));
+        assert_eq!(m.latencies.len(), 2);
+        assert_eq!(m.msgs_received, 3);
+    }
+
+    #[test]
+    fn recorded_decisions_replay_byte_identically() {
+        let sys = abp_system(LossMode::Nondet);
+        let script = Script::deliver_n(5);
+        let recorded = Runner::new(21, 200_000)
+            .with_decision_recording()
+            .run(&sys, &script);
+        let decisions = recorded.decisions.clone().expect("recording on");
+        assert!(!decisions.is_empty());
+        assert!(decisions.iter().all(|d| d.pick < d.arity));
+        // A replaying runner with a *different* seed reproduces the run.
+        let replayed = Runner::new(999, 200_000)
+            .with_decision_replay(decisions)
+            .run(&sys, &script);
+        assert_eq!(recorded.schedule(), replayed.schedule());
+        assert_eq!(recorded.metrics, replayed.metrics);
+        // Recording does not perturb the run itself.
+        let plain = Runner::new(21, 200_000).run(&sys, &script);
+        assert_eq!(plain.schedule(), recorded.schedule());
+        assert!(plain.decisions.is_none());
+    }
+
+    #[test]
+    fn decision_overrides_steer_the_run() {
+        let sys = abp_system(LossMode::Nondet);
+        let script = Script::deliver_n(3);
+        let baseline = Runner::new(5, 200_000)
+            .with_decision_recording()
+            .run(&sys, &script);
+        // Flip the first successor decision with arity > 1 (a loss-vs-keep
+        // resolution of the nondeterministic channel).
+        let decisions = baseline.decisions.as_ref().unwrap();
+        let (idx, d) = decisions
+            .iter()
+            .enumerate()
+            .find(|(_, d)| d.point == DecisionPoint::Successor && d.arity > 1)
+            .expect("nondet channel produces successor choices");
+        let forced = (d.pick + 1) % d.arity;
+        let overrides = BTreeMap::from([(idx as u64, forced as u64)]);
+        let steered = Runner::new(5, 200_000)
+            .with_decision_overrides(overrides.clone())
+            .with_decision_recording()
+            .run(&sys, &script);
+        assert_eq!(steered.decisions.as_ref().unwrap()[idx].pick, forced);
+        assert_ne!(baseline.schedule(), steered.schedule());
+        // Same (seed, overrides) genome → same run.
+        let again = Runner::new(5, 200_000)
+            .with_decision_overrides(overrides)
+            .run(&sys, &script);
+        assert_eq!(steered.schedule(), again.schedule());
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Seed-stability regression: a [`Runner`] run is a pure function of its
+//! seed — byte-identical across repeated runs and across host threads —
+//! and the vendored `StdRng` stream itself is pinned so a silent change
+//! to the generator cannot drift every recorded seed in the repo.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SeedableRng};
+
+use dl_channels::{FaultSpec, FaultyChannel, LossMode, LossyFifoChannel};
+use dl_core::action::{Dir, DlAction};
+use dl_sim::{link_system, Runner, Scenario, Script};
+
+/// The vendored splitmix64-based `StdRng` stream, pinned. Every seed in
+/// the test suite, the explorer, and the fuzzer's recorded genomes
+/// assumes exactly this generator; a well-meaning swap (say, to a
+/// different vendored PRNG) must fail loudly here, not by quietly
+/// changing which executions those seeds denote.
+#[test]
+fn vendored_stdrng_stream_is_pinned() {
+    let mut r = StdRng::seed_from_u64(0xD1CE);
+    assert_eq!(r.next_u64(), 0x0FF1_EF08_D735_3D8F);
+    assert_eq!(r.next_u64(), 0xEFE7_A7E1_1929_D10E);
+    assert_eq!(r.next_u64(), 0xA9F2_C7F1_C115_76DA);
+
+    let mut r = StdRng::seed_from_u64(42);
+    let picks: Vec<usize> = (0..8).map(|_| r.random_range(0usize..7)).collect();
+    assert_eq!(picks, [5, 1, 2, 3, 2, 0, 2, 2]);
+}
+
+fn run_once(seed: u64) -> (Vec<DlAction>, Vec<DlAction>, bool) {
+    let p = dl_protocols::abp::protocol();
+    let sys = link_system(
+        p.transmitter,
+        p.receiver,
+        LossyFifoChannel::new(Dir::TR, LossMode::EveryNth(3)),
+        LossyFifoChannel::new(Dir::RT, LossMode::EveryNth(4)),
+    );
+    let script = Scenario::CrashStorm {
+        burst: 2,
+        crashes: 2,
+    }
+    .script();
+    let report = Runner::new(seed, 100_000).run(&sys, &script);
+    (report.schedule(), report.behavior.clone(), report.quiescent)
+}
+
+#[test]
+fn same_seed_same_run_byte_identical() {
+    for seed in [0, 1, 21, 0xDEAD_BEEF] {
+        let a = run_once(seed);
+        let b = run_once(seed);
+        assert_eq!(a, b, "seed {seed} diverged between two runs");
+    }
+}
+
+#[test]
+fn seeds_actually_steer_the_schedule() {
+    // Sanity check on the regressions here: if every seed produced the
+    // same run, byte-identical replay would be vacuous. A reordering
+    // channel gives the runner real multi-way decision points (which
+    // packet of the window to deliver), so seeds must diverge.
+    let schedules: Vec<_> = (0..8).map(run_faulty).collect();
+    assert!(
+        schedules.windows(2).any(|w| w[0] != w[1]),
+        "eight distinct seeds all produced the same schedule"
+    );
+}
+
+fn run_faulty(seed: u64) -> (Vec<DlAction>, bool) {
+    let spec = FaultSpec {
+        loss: 48,
+        dup: 48,
+        reorder: 3,
+        burst_good: 5,
+        burst_bad: 2,
+        salt: 9,
+    };
+    // A windowed protocol keeps several packets in flight, so the
+    // reordering window gives the scheduler real multi-way choices.
+    let p = dl_protocols::sliding_window::protocol(8);
+    let sys = link_system(
+        p.transmitter,
+        p.receiver,
+        FaultyChannel::new(Dir::TR, spec),
+        FaultyChannel::new(Dir::RT, FaultSpec::none()),
+    );
+    let script = Script::new().wake_both().send_msgs(0, 6).settle();
+    let report = Runner::new(seed, 100_000).run(&sys, &script);
+    (report.schedule(), report.quiescent)
+}
+
+#[test]
+fn runs_are_identical_across_thread_counts() {
+    // The runner owns all of its state; nothing about the host thread,
+    // core count, or scheduling may leak into a run. Execute the same
+    // seeded run on the main thread and from fleets of 1, 2, and 4
+    // spawned threads and demand byte-identical results.
+    let reference = run_once(21);
+    for threads in [1usize, 2, 4] {
+        let results: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(|| run_once(21))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("runner thread panicked"))
+                .collect()
+        });
+        for r in results {
+            assert_eq!(r, reference, "run diverged on a {threads}-thread fleet");
+        }
+    }
+}
+
+#[test]
+fn faulty_channel_runs_are_seed_stable_too() {
+    // Same regression over the fuzzer's medium: fault fates are derived
+    // from (salt, send index), never from ambient randomness.
+    assert_eq!(run_faulty(7), run_faulty(7));
+    assert_eq!(run_faulty(8), run_faulty(8));
+}

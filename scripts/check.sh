@@ -16,4 +16,7 @@ cargo test -q
 echo "==> checker scaling smoke (10^5-action trace, release, must stay well under 1 s)"
 cargo test --release -q -p dl-core --test monitor_props scaling_smoke
 
+echo "==> fuzz smoke (fixed seed, bounded execs, release: quirky DL4 + ABP crash pump rediscovered, every counterexample replays byte-identically)"
+cargo test --release -q -p dl-fuzz --test smoke
+
 echo "All checks passed."

@@ -13,7 +13,9 @@
 //!   counterexample engines (§7–§8);
 //! * [`sim`] (`dl-sim`) — the composition/fault-injection harness;
 //! * [`explore`] (`dl-explore`) — the parallel work-sharded model
-//!   checker behind experiment E9.
+//!   checker behind experiment E9;
+//! * [`fuzz`] (`dl-fuzz`) — the coverage-guided schedule fuzzer behind
+//!   experiment E12.
 //!
 //! # Example: refute a protocol's crash tolerance
 //!
@@ -33,6 +35,7 @@
 pub use dl_channels as channels;
 pub use dl_core as core;
 pub use dl_explore as explore;
+pub use dl_fuzz as fuzz;
 pub use dl_impossibility as impossibility;
 pub use dl_protocols as protocols;
 pub use dl_sim as sim;
