@@ -45,7 +45,7 @@ fn woken(sys: &Sys) -> <Sys as Automaton>::State {
     sys.step_first(&s1, &DlAction::Wake(Dir::RT)).unwrap()
 }
 
-fn explore_crash_free(cap: usize, msgs: u64) -> usize {
+fn explore_crash_free(cap: usize, msgs: u64) -> (usize, usize, u64) {
     let sys = system(cap);
     let start = woken(&sys);
     let explorer = ParallelExplorer::new(
@@ -67,7 +67,11 @@ fn explore_crash_free(cap: usize, msgs: u64) -> usize {
         report.holds(),
         "ABP crash-free safety must hold exhaustively"
     );
-    report.states_visited
+    (
+        report.states_visited,
+        report.arena_bytes,
+        report.dedup_hits(),
+    )
 }
 
 fn explore_with_crash(cap: usize) -> (usize, usize) {
@@ -99,8 +103,11 @@ fn explore_with_crash(cap: usize) -> (usize, usize) {
 fn bench_model_check(c: &mut Criterion) {
     eprintln!("E9: exhaustive ABP verification (2 messages, nondet loss)");
     for cap in [1usize, 2, 3] {
-        let states = explore_crash_free(cap, 2);
-        eprintln!("  channel capacity {cap}: {states} states, crash-free safe");
+        let (states, arena, dedup) = explore_crash_free(cap, 2);
+        eprintln!(
+            "  channel capacity {cap}: {states} states, crash-free safe \
+             (arena {arena} B, {dedup} dedup hits)"
+        );
     }
     let (states, path) = explore_with_crash(2);
     eprintln!("  with receiver crashes: DL4 found in {path}-step path ({states} states explored)");
@@ -109,7 +116,7 @@ fn bench_model_check(c: &mut Criterion) {
     group.sample_size(10);
     for cap in [1usize, 2] {
         group.bench_with_input(BenchmarkId::new("crash_free", cap), &cap, |b, &cap| {
-            b.iter(|| explore_crash_free(cap, 2))
+            b.iter(|| explore_crash_free(cap, 2).0)
         });
     }
     group.bench_function("find_dl4_with_crashes", |b| {

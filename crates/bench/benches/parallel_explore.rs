@@ -70,13 +70,16 @@ fn explore_sequential(sys: &Sys) -> (usize, usize) {
     (report.states_visited, report.quiescent_states)
 }
 
-fn explore_parallel(sys: &Sys, threads: usize) -> (usize, usize) {
+fn explore_parallel(
+    sys: &Sys,
+    threads: usize,
+) -> dl_explore::ExploreReport<DlAction, <Sys as Automaton>::State> {
     let start = woken(sys);
     let report = ParallelExplorer::new(sys, inputs, 8_000_000, 100_000)
         .threads(threads)
         .check_invariant_from(vec![start], |s| observer_of(s).is_safe());
     assert!(report.holds(), "parallel engine must verify safety");
-    (report.states_visited, report.quiescent_states)
+    report
 }
 
 /// Thread counts to sweep: 1, 2, 4, then doublings up to the machine's
@@ -114,16 +117,20 @@ fn bench_parallel_explore(c: &mut Criterion) {
     );
     for &threads in &thread_counts() {
         let t0 = std::time::Instant::now();
-        let verdict = explore_parallel(&sys, threads);
+        let report = explore_parallel(&sys, threads);
         let par_time = t0.elapsed();
         assert_eq!(
-            verdict, oracle,
+            (report.states_visited, report.quiescent_states),
+            oracle,
             "verdict diverged from sequential at {threads} threads"
         );
         eprintln!(
-            "  {threads} threads: {} states in {par_time:?} ({:.2}x vs sequential)",
-            verdict.0,
-            seq_time.as_secs_f64() / par_time.as_secs_f64()
+            "  {threads} threads: {} states in {par_time:?} ({:.2}x vs sequential; \
+             arena {} B, {} dedup hits)",
+            report.states_visited,
+            seq_time.as_secs_f64() / par_time.as_secs_f64(),
+            report.arena_bytes,
+            report.dedup_hits()
         );
     }
 

@@ -26,6 +26,8 @@
 //!   hypotheses (well-formedness, DL1–DL3) are unaffected by PL
 //!   violations, so protocol-level verdicts remain meaningful.
 
+use std::ops::ControlFlow;
+
 use ioa::action::ActionClass;
 use ioa::automaton::{Automaton, TaskId};
 
@@ -168,6 +170,41 @@ impl FaultyChannel {
     }
 }
 
+impl FaultyChannel {
+    /// Deterministic transition function: the unique post-state of `a`
+    /// from `s`, or `None` when `a` is not enabled.
+    fn next(&self, s: &FlightState, a: &DlAction) -> Option<FlightState> {
+        match a {
+            DlAction::SendPkt(d, p) if *d == self.dir => {
+                let (dropped, duplicated) = self.spec.fate(s.sends);
+                let mut t = s.clone();
+                t.sends += 1;
+                if !dropped {
+                    t.in_flight.push(*p);
+                    if duplicated {
+                        t.in_flight.push(*p);
+                    }
+                }
+                Some(t)
+            }
+            DlAction::ReceivePkt(d, p) if *d == self.dir => {
+                let window = self.spec.window().min(s.in_flight.len());
+                match s.in_flight[..window].iter().position(|q| q == p) {
+                    Some(k) => {
+                        let mut t = s.clone();
+                        t.in_flight.remove(k);
+                        Some(t)
+                    }
+                    None => None,
+                }
+            }
+            DlAction::Wake(d) | DlAction::Fail(d) if *d == self.dir => Some(s.clone()),
+            DlAction::Crash(x) if *x == self.dir.sender() => Some(s.clone()),
+            _ => None,
+        }
+    }
+}
+
 impl Automaton for FaultyChannel {
     type Action = DlAction;
     type State = FlightState;
@@ -181,34 +218,23 @@ impl Automaton for FaultyChannel {
     }
 
     fn successors(&self, s: &FlightState, a: &DlAction) -> Vec<FlightState> {
-        match a {
-            DlAction::SendPkt(d, p) if *d == self.dir => {
-                let (dropped, duplicated) = self.spec.fate(s.sends);
-                let mut t = s.clone();
-                t.sends += 1;
-                if !dropped {
-                    t.in_flight.push(*p);
-                    if duplicated {
-                        t.in_flight.push(*p);
-                    }
-                }
-                vec![t]
-            }
-            DlAction::ReceivePkt(d, p) if *d == self.dir => {
-                let window = self.spec.window().min(s.in_flight.len());
-                match s.in_flight[..window].iter().position(|q| q == p) {
-                    Some(k) => {
-                        let mut t = s.clone();
-                        t.in_flight.remove(k);
-                        vec![t]
-                    }
-                    None => vec![],
-                }
-            }
-            DlAction::Wake(d) | DlAction::Fail(d) if *d == self.dir => vec![s.clone()],
-            DlAction::Crash(x) if *x == self.dir.sender() => vec![s.clone()],
-            _ => vec![],
+        self.next(s, a).into_iter().collect()
+    }
+
+    fn try_for_each_successor(
+        &self,
+        s: &FlightState,
+        a: &DlAction,
+        f: &mut dyn FnMut(FlightState) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        match self.next(s, a) {
+            Some(t) => f(t),
+            None => ControlFlow::Continue(()),
         }
+    }
+
+    fn step_first(&self, s: &FlightState, a: &DlAction) -> Option<FlightState> {
+        self.next(s, a)
     }
 
     fn enabled_local(&self, s: &FlightState) -> Vec<DlAction> {
@@ -221,6 +247,25 @@ impl Automaton for FaultyChannel {
             }
         }
         out
+    }
+
+    fn for_each_enabled_local(
+        &self,
+        s: &FlightState,
+        f: &mut dyn FnMut(DlAction) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        // Same first-occurrence dedup as `enabled_local`, without the
+        // scratch Vec: windows are tiny (≤ 255), the quadratic scan is
+        // cheaper than an allocation.
+        let window = self.spec.window().min(s.in_flight.len());
+        let eligible = &s.in_flight[..window];
+        for (i, p) in eligible.iter().enumerate() {
+            if eligible[..i].iter().any(|q| q == p) {
+                continue;
+            }
+            f(DlAction::ReceivePkt(self.dir, *p))?;
+        }
+        ControlFlow::Continue(())
     }
 
     fn task_of(&self, _a: &DlAction) -> TaskId {

@@ -17,6 +17,8 @@
 //! Both ignore `wake`/`fail`/`crash` like the permissive channels; PL1 is
 //! the environment's obligation.
 
+use std::ops::ControlFlow;
+
 use ioa::action::ActionClass;
 use ioa::automaton::{Automaton, TaskId};
 
@@ -83,6 +85,50 @@ fn send_successors(
                 vec![drop]
             } else {
                 vec![keep]
+            }
+        }
+    }
+}
+
+/// Visitor twin of [`send_successors`]: same states, same order, no `Vec`.
+fn try_send_successors(
+    s: &FlightState,
+    p: &Packet,
+    mode: LossMode,
+    capacity: Option<usize>,
+    f: &mut dyn FnMut(FlightState) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let full = capacity.is_some_and(|c| s.in_flight.len() >= c);
+    let count = matches!(mode, LossMode::EveryNth(_));
+    let keep = |s: &FlightState| {
+        let mut t = s.clone();
+        if count {
+            t.sends += 1;
+        }
+        if !full {
+            t.in_flight.push(*p);
+        }
+        t
+    };
+    let drop = |s: &FlightState| {
+        let mut t = s.clone();
+        if count {
+            t.sends += 1;
+        }
+        t
+    };
+    match mode {
+        LossMode::None => f(keep(s)),
+        LossMode::Nondet => {
+            f(keep(s))?;
+            f(drop(s))
+        }
+        LossMode::EveryNth(n) => {
+            debug_assert!(n >= 2, "EveryNth(n) requires n >= 2");
+            if (s.sends + 1).is_multiple_of(n) {
+                f(drop(s))
+            } else {
+                f(keep(s))
             }
         }
     }
@@ -169,12 +215,47 @@ impl Automaton for LossyFifoChannel {
         }
     }
 
+    fn try_for_each_successor(
+        &self,
+        s: &FlightState,
+        a: &DlAction,
+        f: &mut dyn FnMut(FlightState) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        match a {
+            DlAction::SendPkt(d, p) if *d == self.dir => {
+                try_send_successors(s, p, self.mode, self.capacity, f)
+            }
+            DlAction::ReceivePkt(d, p) if *d == self.dir => match s.in_flight.first() {
+                Some(q) if q == p => {
+                    let mut t = s.clone();
+                    t.in_flight.remove(0);
+                    f(t)
+                }
+                _ => ControlFlow::Continue(()),
+            },
+            DlAction::Wake(d) | DlAction::Fail(d) if *d == self.dir => f(s.clone()),
+            DlAction::Crash(x) if *x == self.dir.sender() => f(s.clone()),
+            _ => ControlFlow::Continue(()),
+        }
+    }
+
     fn enabled_local(&self, s: &FlightState) -> Vec<DlAction> {
         s.in_flight
             .first()
             .map(|p| DlAction::ReceivePkt(self.dir, *p))
             .into_iter()
             .collect()
+    }
+
+    fn for_each_enabled_local(
+        &self,
+        s: &FlightState,
+        f: &mut dyn FnMut(DlAction) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if let Some(p) = s.in_flight.first() {
+            f(DlAction::ReceivePkt(self.dir, *p))?;
+        }
+        ControlFlow::Continue(())
     }
 
     fn task_of(&self, _a: &DlAction) -> TaskId {
@@ -263,6 +344,32 @@ impl Automaton for ReorderChannel {
         }
     }
 
+    fn try_for_each_successor(
+        &self,
+        s: &FlightState,
+        a: &DlAction,
+        f: &mut dyn FnMut(FlightState) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        match a {
+            DlAction::SendPkt(d, p) if *d == self.dir => {
+                try_send_successors(s, p, self.mode, self.capacity, f)
+            }
+            DlAction::ReceivePkt(d, p) if *d == self.dir => {
+                match s.in_flight.iter().position(|q| q == p) {
+                    Some(k) => {
+                        let mut t = s.clone();
+                        t.in_flight.remove(k);
+                        f(t)
+                    }
+                    None => ControlFlow::Continue(()),
+                }
+            }
+            DlAction::Wake(d) | DlAction::Fail(d) if *d == self.dir => f(s.clone()),
+            DlAction::Crash(x) if *x == self.dir.sender() => f(s.clone()),
+            _ => ControlFlow::Continue(()),
+        }
+    }
+
     fn enabled_local(&self, s: &FlightState) -> Vec<DlAction> {
         let mut out = Vec::new();
         for p in &s.in_flight {
@@ -272,6 +379,22 @@ impl Automaton for ReorderChannel {
             }
         }
         out
+    }
+
+    fn for_each_enabled_local(
+        &self,
+        s: &FlightState,
+        f: &mut dyn FnMut(DlAction) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        // Same first-occurrence dedup as `enabled_local`, without the
+        // scratch Vec: flights are short, so the quadratic scan is cheap.
+        for (i, p) in s.in_flight.iter().enumerate() {
+            if s.in_flight[..i].iter().any(|q| q == p) {
+                continue;
+            }
+            f(DlAction::ReceivePkt(self.dir, *p))?;
+        }
+        ControlFlow::Continue(())
     }
 
     fn task_of(&self, _a: &DlAction) -> TaskId {
@@ -380,12 +503,52 @@ impl Automaton for BurstLossChannel {
         }
     }
 
+    fn try_for_each_successor(
+        &self,
+        s: &BurstState,
+        a: &DlAction,
+        f: &mut dyn FnMut(BurstState) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        match a {
+            DlAction::SendPkt(d, p) if *d == self.dir => {
+                let mut t = s.clone();
+                if !self.in_bad_stretch(s.phase) {
+                    t.in_flight.push(*p);
+                }
+                t.phase = (t.phase + 1) % (self.good_len + self.bad_len);
+                f(t)
+            }
+            DlAction::ReceivePkt(d, p) if *d == self.dir => match s.in_flight.first() {
+                Some(q) if q == p => {
+                    let mut t = s.clone();
+                    t.in_flight.remove(0);
+                    f(t)
+                }
+                _ => ControlFlow::Continue(()),
+            },
+            DlAction::Wake(d) | DlAction::Fail(d) if *d == self.dir => f(s.clone()),
+            DlAction::Crash(x) if *x == self.dir.sender() => f(s.clone()),
+            _ => ControlFlow::Continue(()),
+        }
+    }
+
     fn enabled_local(&self, s: &BurstState) -> Vec<DlAction> {
         s.in_flight
             .first()
             .map(|p| DlAction::ReceivePkt(self.dir, *p))
             .into_iter()
             .collect()
+    }
+
+    fn for_each_enabled_local(
+        &self,
+        s: &BurstState,
+        f: &mut dyn FnMut(DlAction) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if let Some(p) = s.in_flight.first() {
+            f(DlAction::ReceivePkt(self.dir, *p))?;
+        }
+        ControlFlow::Continue(())
     }
 
     fn task_of(&self, _a: &DlAction) -> TaskId {

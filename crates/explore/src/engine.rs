@@ -1,23 +1,28 @@
 //! The layer-synchronous parallel BFS engine.
+//!
+//! States are interned once in a [`StateTable`] arena; everything else —
+//! the visited index, the spanning-tree links, the frontier itself (a
+//! contiguous id range per layer) — carries dense `u32` ids. The arena is
+//! frozen while workers expand a layer (they read it concurrently to
+//! resolve visited-index probes) and grows only at the layer barrier,
+//! where the engine admits the drained claims in deterministic sorted
+//! order. Workers reuse per-worker scratch buffers and enumerate
+//! transitions through the allocation-free [`Automaton`] callbacks, so a
+//! steady-state expansion allocates only for genuinely new states.
 
 use std::hash::Hash;
+use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use ioa::Automaton;
+use ioa::{Automaton, StateId, StateTable};
 
 use crate::property::{Invariant, Property, TraceProperty};
 use crate::report::{ExploreReport, LayerStats, Truncation, Violation};
-use crate::shard::{ClaimKey, ClaimOutcome, ShardedVisited};
+use crate::shard::{ClaimKey, ClaimOutcome, FreshClaim, ShardedVisited, SharedHasher};
 
-/// One admitted state with its deterministic predecessor link.
-struct Record<S, A> {
-    state: S,
-    /// Arena index of the predecessor, or `usize::MAX` for start states.
-    parent: usize,
-    /// Action taken from the predecessor (`None` for start states).
-    action: Option<A>,
-}
+/// Root marker in the spanning-tree link arrays.
+const NO_LINK: u32 = u32::MAX;
 
 #[derive(Default, Clone, Copy)]
 struct WorkerStats {
@@ -158,40 +163,50 @@ where
     {
         let t0 = Instant::now();
         let threads = self.effective_threads();
-        let mut visited: ShardedVisited<M::State, M::Action> = ShardedVisited::new(self.shards);
-        let mut arena: Vec<Record<M::State, M::Action>> = Vec::new();
-        // Trace-monitor states, parallel to `arena`. Stepping happens at
-        // admission time (single-threaded, between layers), so workers
+        let mut visited: ShardedVisited<M::State> = ShardedVisited::new(self.shards);
+        // The arena shares the visited index's hasher, so claim-time
+        // hashes are reused verbatim at admission.
+        let mut arena: StateTable<M::State, SharedHasher> =
+            StateTable::with_hasher(visited.arena_hasher());
+        // Spanning-tree links, parallel to the arena: `parents[i]` /
+        // `action_idx[i]` name the minimal claim that admitted state `i`
+        // (`NO_LINK` for roots). Actions are never stored — the index
+        // resolves against the parent's deterministic action list.
+        let mut parents: Vec<u32> = Vec::new();
+        let mut action_idx: Vec<u32> = Vec::new();
+        // Trace-monitor states, parallel to the arena. Stepping happens
+        // at admission time (single-threaded, between layers), so workers
         // never touch this.
         let mut tstates: Vec<TP::State> = Vec::new();
 
         for state in starts {
-            if visited.insert_done(&state) {
-                arena.push(Record {
-                    state,
-                    parent: usize::MAX,
-                    action: None,
-                });
+            let (id, fresh) = arena.intern(state);
+            if fresh {
+                visited.insert_done(id, &arena);
+                parents.push(NO_LINK);
+                action_idx.push(NO_LINK);
                 tstates.push(trace.start());
             }
         }
 
         // Check properties on start states first, in admission order.
-        for i in 0..arena.len() {
-            let failed = first_violation(properties, &arena[i].state)
-                .or_else(|| trace_violation(trace, &tstates[i]));
+        for (i, tstate) in tstates.iter().enumerate() {
+            let state = arena.get(StateId(i as u32));
+            let failed =
+                first_violation(properties, state).or_else(|| trace_violation(trace, tstate));
             if let Some(property) = failed {
                 return ExploreReport {
                     states_visited: arena.len(),
                     truncation: None,
                     violation: Some(Violation {
                         path: vec![],
-                        state: arena[i].state.clone(),
+                        state: state.clone(),
                         property,
                     }),
                     quiescent_states: 0,
                     layers: vec![],
                     threads,
+                    arena_bytes: arena.approx_bytes(),
                     duration: t0.elapsed(),
                 };
             }
@@ -203,6 +218,10 @@ where
         let mut violation: Option<Violation<M::Action, M::State>> = None;
         let mut layer_start = 0usize;
         let mut depth = 0usize;
+        // Scratch for admission-time action resolution, reused across
+        // layers (claims are sorted, so one rebuild per distinct parent).
+        let mut cached_parent: u32;
+        let mut parent_actions: Vec<M::Action> = Vec::new();
 
         loop {
             let layer_end = arena.len();
@@ -248,7 +267,7 @@ where
             if fresh.len() > room {
                 truncation = Some(Truncation::StateBudget);
                 for dropped in fresh.drain(room..) {
-                    visited.remove(&dropped.state);
+                    visited.discard(dropped.shard, dropped.hash, dropped.fresh_idx);
                 }
             }
             layers.push(LayerStats {
@@ -260,26 +279,51 @@ where
             });
 
             let admitted_start = arena.len();
+            cached_parent = NO_LINK;
             for claim in fresh {
-                tstates.push(trace.step(&tstates[claim.key.parent], &claim.action));
-                arena.push(Record {
-                    state: claim.state,
-                    parent: claim.key.parent,
-                    action: Some(claim.action),
-                });
+                let FreshClaim {
+                    key,
+                    state,
+                    hash,
+                    shard,
+                    fresh_idx,
+                } = claim;
+                // Resolve the admitting action only when a real trace
+                // property needs it: rebuild the parent's deterministic
+                // action list once per parent (claims arrive
+                // parent-grouped) and index it.
+                let tstate = if trace.is_vacuous() {
+                    trace.start()
+                } else {
+                    if key.parent != cached_parent {
+                        cached_parent = key.parent;
+                        self.enumerate_actions(arena.get(StateId(key.parent)), &mut parent_actions);
+                    }
+                    trace.step(
+                        &tstates[key.parent as usize],
+                        &parent_actions[key.action as usize],
+                    )
+                };
+                let (id, was_new) = arena.intern_prehashed(hash, state);
+                debug_assert!(was_new, "drained claim already interned");
+                visited.finalize(shard, hash, fresh_idx, id);
+                parents.push(key.parent);
+                action_idx.push(key.action);
+                tstates.push(tstate);
             }
 
             // Check properties on the admitted states in deterministic
             // (claim-key) order; the first violator is the counterexample
             // for every thread count. State properties outrank the trace
             // property on the same state, again deterministically.
-            for idx in admitted_start..arena.len() {
-                let failed = first_violation(properties, &arena[idx].state)
-                    .or_else(|| trace_violation(trace, &tstates[idx]));
+            for (idx, tstate) in tstates.iter().enumerate().skip(admitted_start) {
+                let state = arena.get(StateId(idx as u32));
+                let failed =
+                    first_violation(properties, state).or_else(|| trace_violation(trace, tstate));
                 if let Some(property) = failed {
                     violation = Some(Violation {
-                        path: reconstruct_path(&arena, idx),
-                        state: arena[idx].state.clone(),
+                        path: self.reconstruct_path(&arena, &parents, &action_idx, idx),
+                        state: state.clone(),
                         property,
                     });
                     break;
@@ -300,59 +344,97 @@ where
             quiescent_states: quiescent,
             layers,
             threads,
+            arena_bytes: arena.approx_bytes(),
             duration: t0.elapsed(),
         }
     }
 
     /// One worker's share of a layer expansion: steal frontier chunks,
-    /// enumerate each state's actions and successors, claim discoveries
-    /// in the sharded visited set.
+    /// enumerate each state's actions and successors through the
+    /// allocation-free callbacks, claim discoveries in the sharded
+    /// visited index. The action scratch buffer lives for the worker's
+    /// whole share.
     fn expand_worker(
         &self,
-        arena: &[Record<M::State, M::Action>],
+        arena: &StateTable<M::State, SharedHasher>,
         layer_end: usize,
         chunk: usize,
         counter: &AtomicUsize,
-        visited: &ShardedVisited<M::State, M::Action>,
+        visited: &ShardedVisited<M::State>,
     ) -> WorkerStats {
         let mut stats = WorkerStats::default();
+        let mut actions: Vec<M::Action> = Vec::new();
         loop {
             let begin = counter.fetch_add(chunk, Ordering::Relaxed);
             if begin >= layer_end {
                 break;
             }
             let end = (begin + chunk).min(layer_end);
-            for (idx, record) in arena.iter().enumerate().take(end).skip(begin) {
-                let state = &record.state;
-                let mut actions = self.automaton.enabled_local(state);
-                let extra = (self.inputs)(state);
-                if actions.is_empty() && extra.is_empty() {
+            for idx in begin..end {
+                let state = arena.get(StateId(idx as u32));
+                self.enumerate_actions(state, &mut actions);
+                if actions.is_empty() {
                     stats.quiescent += 1;
                     continue;
                 }
-                actions.extend(extra);
                 for (ai, action) in actions.iter().enumerate() {
-                    for (si, succ) in self
+                    let mut si = 0u32;
+                    let _ = self
                         .automaton
-                        .successors(state, action)
-                        .into_iter()
-                        .enumerate()
-                    {
-                        stats.edges += 1;
-                        let key = ClaimKey {
-                            parent: idx,
-                            action: ai,
-                            succ: si,
-                        };
-                        match visited.claim(succ, key, action) {
-                            ClaimOutcome::New => {}
-                            ClaimOutcome::Duplicate => stats.duplicates += 1,
-                        }
-                    }
+                        .try_for_each_successor(state, action, &mut |succ| {
+                            stats.edges += 1;
+                            let key = ClaimKey {
+                                parent: idx as u32,
+                                action: ai as u32,
+                                succ: si,
+                            };
+                            si += 1;
+                            match visited.claim(succ, key, arena) {
+                                ClaimOutcome::New => {}
+                                ClaimOutcome::Duplicate => stats.duplicates += 1,
+                            }
+                            ControlFlow::Continue(())
+                        });
                 }
             }
         }
         stats
+    }
+
+    /// Fills `into` with `state`'s deterministic action list: the enabled
+    /// locally controlled actions, then the permitted environment inputs.
+    /// Claim keys, admission-time trace labels, and lazy counterexample
+    /// reconstruction all index this one list.
+    fn enumerate_actions(&self, state: &M::State, into: &mut Vec<M::Action>) {
+        into.clear();
+        let _ = self.automaton.for_each_enabled_local(state, &mut |a| {
+            into.push(a);
+            ControlFlow::Continue(())
+        });
+        into.extend((self.inputs)(state));
+    }
+
+    /// Follows spanning-tree links from `idx` back to a root, resolving
+    /// each stored action *index* against the parent's re-enumerated
+    /// action list — labels are materialized lazily, only for the one
+    /// reported path, and identically to what the workers enumerated.
+    fn reconstruct_path(
+        &self,
+        arena: &StateTable<M::State, SharedHasher>,
+        parents: &[u32],
+        action_idx: &[u32],
+        mut idx: usize,
+    ) -> Vec<M::Action> {
+        let mut path = Vec::new();
+        let mut acts: Vec<M::Action> = Vec::new();
+        while parents[idx] != NO_LINK {
+            let parent = parents[idx] as usize;
+            self.enumerate_actions(arena.get(StateId(parent as u32)), &mut acts);
+            path.push(acts.swap_remove(action_idx[idx] as usize));
+            idx = parent;
+        }
+        path.reverse();
+        path
     }
 }
 
@@ -370,22 +452,6 @@ fn trace_violation<A, TP: TraceProperty<A>>(trace: &TP, tstate: &TP::State) -> O
     trace
         .violation(tstate)
         .map(|desc| format!("{}: {desc}", trace.name()))
-}
-
-/// Follows predecessor links from `idx` back to a start state.
-fn reconstruct_path<S, A: Clone>(arena: &[Record<S, A>], mut idx: usize) -> Vec<A> {
-    let mut path = Vec::new();
-    while arena[idx].parent != usize::MAX {
-        path.push(
-            arena[idx]
-                .action
-                .clone()
-                .expect("non-root record carries an action"),
-        );
-        idx = arena[idx].parent;
-    }
-    path.reverse();
-    path
 }
 
 #[cfg(test)]
@@ -485,6 +551,8 @@ mod tests {
         assert_eq!(1 + discovered, report.states_visited);
         assert!(report.edges_expanded() > 0);
         assert!(report.layers.iter().all(|l| l.frontier > 0));
+        // The interner reports a live footprint once states are admitted.
+        assert!(report.arena_bytes > 0);
     }
 
     #[test]
@@ -655,5 +723,18 @@ mod tests {
         let v = report.violation.unwrap();
         assert_eq!(v.state, 1);
         assert_eq!(v.property, "below-1");
+    }
+
+    #[test]
+    fn dedup_hits_are_counted() {
+        // The 10-state counter cycle revisits states constantly.
+        let report = ParallelExplorer::new(Counter { n: 10 }, bump, 1000, 100)
+            .threads(2)
+            .reachable_states();
+        assert!(report.dedup_hits() > 0);
+        assert_eq!(
+            report.dedup_hits(),
+            report.layers.iter().map(|l| l.duplicates).sum::<u64>()
+        );
     }
 }

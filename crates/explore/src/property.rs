@@ -79,6 +79,14 @@ pub trait TraceProperty<A>: Sync {
     /// `Some(description)` if the path summarized by `state` violates the
     /// property.
     fn violation(&self, state: &Self::State) -> Option<String>;
+
+    /// `true` if this property can never report a violation **and** its
+    /// monitor state is meaningless, so the engine may skip resolving
+    /// action labels and stepping entirely. Only the null property `()`
+    /// should override this.
+    fn is_vacuous(&self) -> bool {
+        false
+    }
 }
 
 /// The null trace property: never violated, zero-sized state. Lets the
@@ -96,5 +104,9 @@ impl<A> TraceProperty<A> for () {
 
     fn violation(&self, _state: &Self::State) -> Option<String> {
         None
+    }
+
+    fn is_vacuous(&self) -> bool {
+        true
     }
 }

@@ -61,6 +61,12 @@ pub struct ExploreReport<A, S> {
     pub layers: Vec<LayerStats>,
     /// Worker threads the engine actually used.
     pub threads: usize,
+    /// Resident bytes of the state arena (interned states, cached hashes,
+    /// index slots) when the search finished. A lower bound on footprint:
+    /// heap data owned *by* the states is not traversed. With the interned
+    /// core each state is stored once — the legacy engine's second copy in
+    /// the visited map is gone.
+    pub arena_bytes: usize,
     /// Wall-clock duration of the search.
     pub duration: Duration,
 }
@@ -97,5 +103,13 @@ impl<A, S> ExploreReport<A, S> {
     #[must_use]
     pub fn max_depth_reached(&self) -> usize {
         self.layers.last().map_or(0, |l| l.depth)
+    }
+
+    /// Total transitions that deduplicated against an already-known state
+    /// across all layers — the work the interned visited index absorbed
+    /// without storing a second state copy.
+    #[must_use]
+    pub fn dedup_hits(&self) -> u64 {
+        self.layers.iter().map(|l| l.duplicates).sum()
     }
 }

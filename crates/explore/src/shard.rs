@@ -1,14 +1,28 @@
-//! The work-sharded visited set.
+//! The work-sharded visited *index* over the global state arena.
 //!
-//! States are distributed over `N` independent shards by state hash, each
-//! shard a `Mutex<HashMap>`; concurrent workers claiming successors
-//! contend only when two discoveries land in the same shard at the same
-//! instant. Between layers the engine owns the set exclusively and drains
-//! the per-shard fresh lists without locking.
+//! States live exactly once, in the engine's [`StateTable`] arena. Each
+//! shard is an open-addressing table of `(hash, slot)` pairs behind a
+//! mutex; a slot names either an admitted arena id ([`Slot::Done`]) or an
+//! entry in the shard's fresh list ([`Slot::Pending`]) — never a second
+//! clone of the state. Concurrent workers claiming successors contend
+//! only when two discoveries land in the same shard at the same instant.
+//! Between layers the engine owns the set exclusively: it drains the
+//! fresh lists, interns the admitted states, and patches their slots to
+//! `Done` (or [`Slot::Tombstone`] for budget drops) without locking.
+//!
+//! The shards and the arena share one (deterministic) hasher, so a hash
+//! computed at claim time is reused for the arena insertion at admission.
 
-use std::collections::HashMap;
+use std::collections::hash_map::DefaultHasher;
 use std::hash::{BuildHasher, BuildHasherDefault, Hash};
 use std::sync::Mutex;
+
+use ioa::{StateId, StateTable};
+
+/// The hasher shared by the visited shards and the state arena.
+/// `DefaultHasher` with default keys is deterministic, which keeps shard
+/// routing and cached hashes reproducible across runs.
+pub(crate) type SharedHasher = BuildHasherDefault<DefaultHasher>;
 
 /// The identity of one discovery of a state: which frontier slot, which
 /// of its actions, which nondeterministic successor. Lexicographic order
@@ -18,19 +32,28 @@ use std::sync::Mutex;
 /// arrival order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub(crate) struct ClaimKey {
-    /// Arena index of the parent (frontier) state.
-    pub parent: usize,
+    /// Arena id of the parent (frontier) state.
+    pub parent: u32,
     /// Index of the action within the parent's deterministic action list.
-    pub action: usize,
+    pub action: u32,
     /// Index of the successor within the action's successor list.
-    pub succ: usize,
+    pub succ: u32,
 }
 
-/// A newly discovered state, with the minimal claim that reached it.
-pub(crate) struct FreshClaim<S, A> {
+/// A newly discovered state with the minimal claim that reached it. The
+/// action is *not* stored — `key.action` indexes the parent's
+/// deterministic action list, which the engine re-enumerates on demand.
+pub(crate) struct FreshClaim<S> {
     pub key: ClaimKey,
     pub state: S,
-    pub action: A,
+    /// The state's hash under the shared hasher, cached for admission.
+    pub hash: u64,
+    /// Which shard holds the pending slot.
+    pub shard: u32,
+    /// Index into that shard's fresh list at claim time; still the
+    /// `Pending` payload after draining, so admission can re-find the
+    /// slot unambiguously even among equal hashes.
+    pub fresh_idx: u32,
 }
 
 /// Outcome of one [`ShardedVisited::claim`] call.
@@ -38,114 +61,219 @@ pub(crate) struct FreshClaim<S, A> {
 pub(crate) enum ClaimOutcome {
     /// First discovery of this state.
     New,
-    /// Already pending this layer; duplicate (whether or not it improved
-    /// the pending claim key).
+    /// Already admitted or pending this layer; duplicate (whether or not
+    /// it improved the pending claim key).
     Duplicate,
 }
 
 #[derive(Clone, Copy)]
 enum Slot {
-    /// Admitted in a previous layer (or a start state).
-    Done,
-    /// Discovered this layer; payload is an index into the shard's fresh
-    /// list, where the current minimal claim lives.
-    Pending(usize),
+    /// Free; terminates probe chains.
+    Empty,
+    /// Admitted state; payload is its arena id.
+    Done(u32),
+    /// Discovered this layer; payload is the fresh-list index where the
+    /// current minimal claim lives.
+    Pending(u32),
+    /// A dropped (state-budget) entry: keeps probe chains intact but
+    /// matches nothing, so the state can be rediscovered later.
+    Tombstone,
 }
 
-struct Shard<S, A> {
-    map: HashMap<S, Slot>,
-    fresh: Vec<FreshClaim<S, A>>,
+struct Shard<S> {
+    /// Cached hash per table slot, probed before any `Eq` check.
+    hashes: Vec<u64>,
+    /// Parallel to `hashes`; length is a power of two.
+    slots: Vec<Slot>,
+    /// Live entries (`Done` + `Pending`).
+    live: usize,
+    /// Non-`Empty` entries (`live` + tombstones) — the load-factor input.
+    used: usize,
+    fresh: Vec<FreshClaim<S>>,
 }
 
-impl<S, A> Default for Shard<S, A> {
+impl<S> Default for Shard<S> {
     fn default() -> Self {
         Shard {
-            map: HashMap::new(),
+            hashes: Vec::new(),
+            slots: Vec::new(),
+            live: 0,
+            used: 0,
             fresh: Vec::new(),
         }
     }
 }
 
-pub(crate) struct ShardedVisited<S, A> {
-    shards: Vec<Mutex<Shard<S, A>>>,
-    /// Mask for the power-of-two shard count.
-    mask: usize,
-    hasher: BuildHasherDefault<std::collections::hash_map::DefaultHasher>,
+impl<S: Hash + Eq> Shard<S> {
+    /// Rebuilds the table at double capacity, dropping tombstones.
+    fn grow(&mut self) {
+        let cap = (self.slots.len() * 2).max(16);
+        let old_hashes = std::mem::take(&mut self.hashes);
+        let old_slots = std::mem::replace(&mut self.slots, vec![Slot::Empty; cap]);
+        self.hashes = vec![0; cap];
+        let mask = cap - 1;
+        for (hash, slot) in old_hashes.into_iter().zip(old_slots) {
+            if matches!(slot, Slot::Done(_) | Slot::Pending(_)) {
+                let mut i = (hash as usize) & mask;
+                while !matches!(self.slots[i], Slot::Empty) {
+                    i = (i + 1) & mask;
+                }
+                self.hashes[i] = hash;
+                self.slots[i] = slot;
+            }
+        }
+        self.used = self.live;
+    }
+
+    fn maybe_grow(&mut self) {
+        // Grow at 7/8 load so probe chains stay short.
+        if self.slots.is_empty() || (self.used + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+    }
+
+    /// Probes for the `Pending` slot `fresh_idx` names (hash known). Used
+    /// at admission, when the fresh list is already drained and state
+    /// equality can no longer be checked — the fresh index disambiguates.
+    fn find_pending(&self, hash: u64, fresh_idx: u32) -> usize {
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            match self.slots[i] {
+                Slot::Pending(fi) if self.hashes[i] == hash && fi == fresh_idx => return i,
+                Slot::Empty => panic!("pending slot missing from shard"),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
 }
 
-impl<S, A> ShardedVisited<S, A>
-where
-    S: Hash + Eq + Clone,
-    A: Clone,
-{
-    /// A visited set with `shards` shards, rounded up to a power of two.
+pub(crate) struct ShardedVisited<S> {
+    shards: Vec<Mutex<Shard<S>>>,
+    /// Mask for the power-of-two shard count.
+    mask: usize,
+    hasher: SharedHasher,
+}
+
+impl<S: Hash + Eq> ShardedVisited<S> {
+    /// A visited index with `shards` shards, rounded up to a power of two.
     pub fn new(shards: usize) -> Self {
         let n = shards.max(1).next_power_of_two();
         ShardedVisited {
             shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
             mask: n - 1,
-            hasher: BuildHasherDefault::default(),
+            hasher: SharedHasher::default(),
         }
     }
 
-    fn shard_of(&self, state: &S) -> usize {
-        // Use the upper bits: HashMap's probing consumes the lower ones,
-        // so this keeps shard choice and in-shard placement independent.
-        (self.hasher.hash_one(state) >> 32) as usize & self.mask
+    /// A hasher identical to the shards' own, for the arena to share so
+    /// claim-time hashes stay valid at intern time.
+    pub fn arena_hasher(&self) -> SharedHasher {
+        SharedHasher::default()
     }
 
-    /// Records that a start state is visited. Returns `false` if it was
-    /// already present (duplicate start).
-    pub fn insert_done(&mut self, state: &S) -> bool {
-        let idx = self.shard_of(state);
-        let shard = self.shards[idx].get_mut().expect("shard lock poisoned");
-        shard.map.insert(state.clone(), Slot::Done).is_none()
+    fn place(&self, hash: u64) -> usize {
+        // Use the upper bits: in-shard probing consumes the lower ones,
+        // so this keeps shard choice and slot placement independent.
+        (hash >> 32) as usize & self.mask
     }
 
-    /// Claims `state` as discovered via `key`/`action`. Concurrent claims
-    /// of the same state race only for the shard lock; the stored claim
-    /// is always the minimal key seen, so the final claim set is
-    /// independent of scheduling.
-    pub fn claim(&self, state: S, key: ClaimKey, action: &A) -> ClaimOutcome {
-        let idx = self.shard_of(&state);
-        let mut shard = self.shards[idx].lock().expect("shard lock poisoned");
-        match shard.map.get(&state).copied() {
-            Some(Slot::Done) => ClaimOutcome::Duplicate,
-            Some(Slot::Pending(i)) => {
-                let pending = &mut shard.fresh[i];
-                if key < pending.key {
-                    pending.key = key;
-                    pending.action = action.clone();
+    /// Records an already-interned start state. Requires exclusive access
+    /// (called before workers exist); the caller guarantees `id` is fresh.
+    pub fn insert_done<H: BuildHasher>(&mut self, id: StateId, arena: &StateTable<S, H>) {
+        let hash = self.hasher.hash_one(arena.get(id));
+        let at = self.place(hash);
+        let shard = self.shards[at].get_mut().expect("shard lock poisoned");
+        shard.maybe_grow();
+        let mask = shard.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        let mut free = None;
+        loop {
+            match shard.slots[i] {
+                Slot::Empty => break,
+                Slot::Tombstone => {
+                    free.get_or_insert(i);
                 }
-                ClaimOutcome::Duplicate
+                _ => {}
             }
-            None => {
-                let i = shard.fresh.len();
-                shard.map.insert(state.clone(), Slot::Pending(i));
-                shard.fresh.push(FreshClaim {
-                    key,
-                    state,
-                    action: action.clone(),
-                });
-                ClaimOutcome::New
-            }
+            i = (i + 1) & mask;
         }
+        let at = free.unwrap_or(i);
+        if matches!(shard.slots[at], Slot::Empty) {
+            shard.used += 1;
+        }
+        shard.hashes[at] = hash;
+        shard.slots[at] = Slot::Done(id.0);
+        shard.live += 1;
     }
 
-    /// Drains every pending claim (marking the states `Done`) and returns
-    /// them sorted by claim key — the deterministic admission order.
-    /// Called between layers, when no worker holds a lock.
-    pub fn drain_fresh_sorted(&mut self) -> Vec<FreshClaim<S, A>> {
+    /// Claims `state` as discovered via `key`. Concurrent claims of the
+    /// same state race only for the shard lock; the stored claim is
+    /// always the minimal key seen, so the final claim set is independent
+    /// of scheduling. `arena` (frozen during the layer) resolves equality
+    /// for admitted states.
+    pub fn claim<H: BuildHasher>(
+        &self,
+        state: S,
+        key: ClaimKey,
+        arena: &StateTable<S, H>,
+    ) -> ClaimOutcome {
+        let hash = self.hasher.hash_one(&state);
+        let shard_idx = self.place(hash);
+        let mut shard = self.shards[shard_idx].lock().expect("shard lock poisoned");
+        shard.maybe_grow();
+        let mask = shard.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        let mut free = None;
+        loop {
+            match shard.slots[i] {
+                Slot::Empty => break,
+                Slot::Tombstone => {
+                    free.get_or_insert(i);
+                }
+                Slot::Done(id) if shard.hashes[i] == hash && *arena.get(StateId(id)) == state => {
+                    return ClaimOutcome::Duplicate;
+                }
+                Slot::Pending(fi)
+                    if shard.hashes[i] == hash && shard.fresh[fi as usize].state == state =>
+                {
+                    let pending = &mut shard.fresh[fi as usize];
+                    if key < pending.key {
+                        pending.key = key;
+                    }
+                    return ClaimOutcome::Duplicate;
+                }
+                _ => {}
+            }
+            i = (i + 1) & mask;
+        }
+        let at = free.unwrap_or(i);
+        if matches!(shard.slots[at], Slot::Empty) {
+            shard.used += 1;
+        }
+        let fresh_idx = u32::try_from(shard.fresh.len()).expect("fresh list overflowed u32");
+        shard.hashes[at] = hash;
+        shard.slots[at] = Slot::Pending(fresh_idx);
+        shard.live += 1;
+        shard.fresh.push(FreshClaim {
+            key,
+            state,
+            hash,
+            shard: shard_idx as u32,
+            fresh_idx,
+        });
+        ClaimOutcome::New
+    }
+
+    /// Drains every pending claim, sorted by claim key — the deterministic
+    /// admission order. Slots stay `Pending` until the engine either
+    /// [`finalize`](Self::finalize)s or [`discard`](Self::discard)s each
+    /// claim. Called between layers, when no worker holds a lock.
+    pub fn drain_fresh_sorted(&mut self) -> Vec<FreshClaim<S>> {
         let mut all = Vec::new();
         for shard in &mut self.shards {
             let shard = shard.get_mut().expect("shard lock poisoned");
-            for claim in shard.fresh.drain(..) {
-                *shard
-                    .map
-                    .get_mut(&claim.state)
-                    .expect("pending state missing from shard map") = Slot::Done;
-                all.push(claim);
-            }
+            all.append(&mut shard.fresh);
         }
         // Claim keys are unique (one fresh entry per distinct state, and
         // distinct states that share a parent differ in action/successor
@@ -154,12 +282,25 @@ where
         all
     }
 
-    /// Forgets a state dropped by the state budget, so the set's contents
-    /// stay exactly "admitted states".
-    pub fn remove(&mut self, state: &S) {
-        let idx = self.shard_of(state);
-        let shard = self.shards[idx].get_mut().expect("shard lock poisoned");
-        shard.map.remove(state);
+    /// Patches a drained claim's slot to its freshly assigned arena id.
+    pub fn finalize(&mut self, shard: u32, hash: u64, fresh_idx: u32, id: StateId) {
+        let shard = self.shards[shard as usize]
+            .get_mut()
+            .expect("shard lock poisoned");
+        let i = shard.find_pending(hash, fresh_idx);
+        shard.slots[i] = Slot::Done(id.0);
+    }
+
+    /// Tombstones a drained claim dropped by the state budget, so the
+    /// index's contents stay exactly "admitted states" and the state can
+    /// be rediscovered.
+    pub fn discard(&mut self, shard: u32, hash: u64, fresh_idx: u32) {
+        let shard = self.shards[shard as usize]
+            .get_mut()
+            .expect("shard lock poisoned");
+        let i = shard.find_pending(hash, fresh_idx);
+        shard.slots[i] = Slot::Tombstone;
+        shard.live -= 1;
     }
 }
 
@@ -167,101 +308,79 @@ where
 mod tests {
     use super::*;
 
+    fn key(parent: u32, action: u32, succ: u32) -> ClaimKey {
+        ClaimKey {
+            parent,
+            action,
+            succ,
+        }
+    }
+
     #[test]
     fn minimal_claim_wins_regardless_of_order() {
-        let keys = [
-            ClaimKey {
-                parent: 2,
-                action: 0,
-                succ: 0,
-            },
-            ClaimKey {
-                parent: 0,
-                action: 1,
-                succ: 0,
-            },
-            ClaimKey {
-                parent: 0,
-                action: 0,
-                succ: 1,
-            },
-        ];
+        let keys = [key(2, 0, 0), key(0, 1, 0), key(0, 0, 1)];
         // Insert in two different orders; the surviving claim must match.
         for order in [[0usize, 1, 2], [2, 1, 0]] {
-            let mut v: ShardedVisited<u32, &'static str> = ShardedVisited::new(4);
+            let arena: StateTable<u32> = StateTable::new();
+            let v: ShardedVisited<u32> = ShardedVisited::new(4);
             for i in order {
-                v.claim(7, keys[i], &"a");
+                v.claim(7, keys[i], &arena);
             }
+            let mut v = v;
             let fresh = v.drain_fresh_sorted();
             assert_eq!(fresh.len(), 1);
-            assert_eq!(
-                fresh[0].key,
-                ClaimKey {
-                    parent: 0,
-                    action: 0,
-                    succ: 1
-                }
-            );
+            assert_eq!(fresh[0].key, key(0, 0, 1));
         }
     }
 
     #[test]
-    fn drain_sorts_across_shards() {
-        let mut v: ShardedVisited<u32, ()> = ShardedVisited::new(8);
+    fn drain_sorts_across_shards_and_finalized_states_are_duplicates() {
+        let mut arena: StateTable<u32> = StateTable::new();
+        let mut v: ShardedVisited<u32> = ShardedVisited::new(8);
         for s in (0..100u32).rev() {
-            v.claim(
-                s,
-                ClaimKey {
-                    parent: s as usize,
-                    action: 0,
-                    succ: 0,
-                },
-                &(),
-            );
+            v.claim(s, key(s, 0, 0), &arena);
         }
         let fresh = v.drain_fresh_sorted();
-        let parents: Vec<usize> = fresh.iter().map(|c| c.key.parent).collect();
+        let parents: Vec<u32> = fresh.iter().map(|c| c.key.parent).collect();
         assert_eq!(parents, (0..100).collect::<Vec<_>>());
+        for claim in fresh {
+            let (id, new) = arena.intern(claim.state);
+            assert!(new);
+            v.finalize(claim.shard, claim.hash, claim.fresh_idx, id);
+        }
         // Everything is now Done: re-claiming is a duplicate.
-        assert_eq!(
-            v.claim(
-                5,
-                ClaimKey {
-                    parent: 0,
-                    action: 0,
-                    succ: 0
-                },
-                &()
-            ),
-            ClaimOutcome::Duplicate
-        );
+        assert_eq!(v.claim(5, key(0, 0, 0), &arena), ClaimOutcome::Duplicate);
     }
 
     #[test]
-    fn removed_states_can_be_rediscovered() {
-        let mut v: ShardedVisited<u32, ()> = ShardedVisited::new(2);
-        v.claim(
-            9,
-            ClaimKey {
-                parent: 0,
-                action: 0,
-                succ: 0,
-            },
-            &(),
-        );
+    fn discarded_states_can_be_rediscovered() {
+        let arena: StateTable<u32> = StateTable::new();
+        let mut v: ShardedVisited<u32> = ShardedVisited::new(2);
+        v.claim(9, key(0, 0, 0), &arena);
         let fresh = v.drain_fresh_sorted();
-        v.remove(&fresh[0].state);
-        assert_eq!(
-            v.claim(
-                9,
-                ClaimKey {
-                    parent: 3,
-                    action: 1,
-                    succ: 0
-                },
-                &()
-            ),
-            ClaimOutcome::New
-        );
+        v.discard(fresh[0].shard, fresh[0].hash, fresh[0].fresh_idx);
+        assert_eq!(v.claim(9, key(3, 1, 0), &arena), ClaimOutcome::New);
+    }
+
+    #[test]
+    fn survives_growth_with_mixed_done_and_pending() {
+        let mut arena: StateTable<u32> = StateTable::new();
+        let mut v: ShardedVisited<u32> = ShardedVisited::new(1);
+        // Admit a first wave so Done slots are rehashed during growth.
+        for s in 0..50u32 {
+            v.claim(s, key(0, s, 0), &arena);
+        }
+        for claim in v.drain_fresh_sorted() {
+            let (id, _) = arena.intern(claim.state);
+            v.finalize(claim.shard, claim.hash, claim.fresh_idx, id);
+        }
+        // A second wave forces growth while Done slots coexist.
+        for s in 50..500u32 {
+            assert_eq!(v.claim(s, key(1, s, 0), &arena), ClaimOutcome::New);
+        }
+        for s in 0..500u32 {
+            assert_eq!(v.claim(s, key(9, s, 9), &arena), ClaimOutcome::Duplicate);
+        }
+        assert_eq!(v.drain_fresh_sorted().len(), 450);
     }
 }

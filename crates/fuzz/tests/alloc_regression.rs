@@ -1,0 +1,110 @@
+//! Allocation-regression smoke for the interned execution core.
+//!
+//! One fuzz exec used to clone the full enabled-action set, a per-class
+//! filter vector, and the full successor list on **every step** — tens of
+//! allocations per step, hundreds of thousands per exec. The scratch-
+//! buffer runner reduced the steady state to the unavoidable residue:
+//! constructing successor states (channel states own heap collections),
+//! recording the execution, and the report's output vectors. This test
+//! pins that residue with a counting global allocator so a future change
+//! that quietly reintroduces per-step cloning fails loudly here rather
+//! than as a silent throughput loss in the benches.
+//!
+//! The ceiling is deliberately generous (~1.5× current measurements) so it
+//! only trips on asymptotic regressions, not allocator or libstd noise.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dl_fuzz::{ExecConfig, Gene, Genome};
+
+/// Counts every allocation (and growth reallocation); frees are not
+/// interesting for a regression bound.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_for_one_exec(target_name: &str, genome: &Genome, cfg: &ExecConfig) -> (u64, usize) {
+    let t = dl_fuzz::target(target_name).expect("known target");
+    // Warm up once so lazily-initialized runtime state (thread-locals,
+    // hasher seeds) is excluded from the measurement.
+    let _ = (t.run)(genome, cfg);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let outcome = (t.run)(genome, cfg);
+    let after = ALLOCS.load(Ordering::Relaxed);
+    (after - before, outcome.steps)
+}
+
+#[test]
+fn fuzz_exec_allocations_stay_bounded() {
+    // A busy but realistic genome: several messages, a crash, lossy
+    // duplicating media — enough work to reach the 800-step default
+    // budget's neighborhood on the chattier protocols.
+    let genome = Genome {
+        seed: 0xFEED_F00D,
+        genes: vec![
+            Gene::Send,
+            Gene::Send,
+            Gene::Send,
+            Gene::Send,
+            Gene::Steps(120),
+            Gene::Crash(dl_core::action::Station::T),
+            Gene::Send,
+            Gene::Send,
+            Gene::Send,
+            Gene::Steps(200),
+        ],
+    };
+    let cfg = ExecConfig::default();
+
+    // Measured on the scratch-buffer core (debug build): abp ≈ 721 allocs
+    // over 74 steps; go-back-8 ≈ 10_013 and selective-repeat-4 ≈ 10_068
+    // over the full 800-step budget — ≈ 10–13 per step, all from successor
+    // state construction, execution recording, and report assembly.
+    for (name, ceiling) in [
+        ("abp", 1_500u64),
+        ("go-back-8", 16_000),
+        ("selective-repeat-4", 16_000),
+    ] {
+        let (allocs, steps) = allocs_for_one_exec(name, &genome, &cfg);
+        eprintln!("{name}: {allocs} allocations over {steps} steps");
+        assert!(
+            steps > 50,
+            "{name}: exec too short ({steps} steps) to be meaningful"
+        );
+        assert!(
+            allocs < ceiling,
+            "{name}: {allocs} allocations in one exec ({steps} steps) — \
+             above the pinned ceiling {ceiling}; did per-step cloning sneak \
+             back into the runner?"
+        );
+        // Also bound the per-step rate: the clone-based executor sat at
+        // dozens per step, the scratch-buffer core at a handful.
+        let per_step = allocs as f64 / steps as f64;
+        assert!(
+            per_step < 20.0,
+            "{name}: {per_step:.1} allocations per step ({allocs}/{steps})"
+        );
+    }
+}

@@ -33,6 +33,7 @@
 use std::fmt;
 
 use ioa::schedule_module::{ScheduleModule, TraceKind, Verdict, Violation};
+use ioa::InternedSeq;
 
 use dl_channels::permissive::SurgeryError;
 use dl_core::action::{DlAction, Msg, Packet, Station};
@@ -164,14 +165,21 @@ pub struct CrashCounterexample {
 
 /// The reference execution `α` (Lemma 4.1): actions plus the protocol
 /// component states after each step.
-#[derive(Debug, Clone)]
+///
+/// The per-step component states are interned: each sequence stores every
+/// distinct state once and records 4-byte ids per step, so the steps where
+/// the *other* components move (the majority, in a composed execution)
+/// cost one id instead of a full state clone. Indexing (`t_states[k]`)
+/// still yields the projected state `s_k`, exactly as the old
+/// state-per-step vectors did.
+#[derive(Debug)]
 pub struct Reference<TS, RS> {
     /// The schedule `π₁ … πₙ`.
     pub actions: Vec<DlAction>,
-    /// Transmitter states `s₀ … sₙ` (projected).
-    pub t_states: Vec<TS>,
-    /// Receiver states `s₀ … sₙ` (projected).
-    pub r_states: Vec<RS>,
+    /// Transmitter states `s₀ … sₙ` (projected, interned).
+    pub t_states: InternedSeq<TS>,
+    /// Receiver states `s₀ … sₙ` (projected, interned).
+    pub r_states: InternedSeq<RS>,
     /// The end-of-`α` system state, channels cleaned (Lemma 6.3).
     pub end: crate::driver::SystemState<TS, RS>,
     /// The message delivered in `α`.
@@ -285,27 +293,31 @@ where
     })
 }
 
-/// Replays `trace` through one automaton, returning its state after each
-/// step (length `trace.len() + 1`).
+/// Replays `trace` through one automaton, returning its interned state
+/// sequence after each step (length `trace.len() + 1`). Out-of-signature
+/// steps stutter: they repeat the previous id without cloning or hashing
+/// the state.
 fn states_along<M: ProtocolAutomaton>(
     aut: &M,
     trace: &[DlAction],
-) -> Result<Vec<M::State>, CrashError> {
-    let mut out = vec![aut
-        .start_states()
-        .into_iter()
-        .next()
-        .expect("protocol automata have a start state")];
+) -> Result<InternedSeq<M::State>, CrashError> {
+    let mut out = InternedSeq::new();
+    out.push(
+        aut.start_states()
+            .into_iter()
+            .next()
+            .expect("protocol automata have a start state"),
+    );
     for a in trace {
-        let cur = out.last().expect("non-empty").clone();
-        let next = if aut.in_signature(a) {
-            aut.step_first(&cur, a).ok_or_else(|| {
+        if aut.in_signature(a) {
+            let cur = out.last().expect("non-empty");
+            let next = aut.step_first(cur, a).ok_or_else(|| {
                 CrashError::ReferenceFailed(format!("reference step {a} not reproducible"))
-            })?
+            })?;
+            out.push(next);
         } else {
-            cur
-        };
-        out.push(next);
+            out.repeat_last();
+        }
     }
     Ok(out)
 }
@@ -799,6 +811,16 @@ mod tests {
         assert_eq!(r.actions[1], DlAction::Wake(Dir::RT));
         assert_eq!(r.t_states.len(), 9);
         assert_eq!(r.r_states.len(), 9);
+        // Interning collapses stuttering steps: each station moves on only
+        // its own in-signature actions, so far fewer distinct states than
+        // steps are stored.
+        assert!(r.t_states.distinct() < r.t_states.len());
+        assert!(r.r_states.distinct() < r.r_states.len());
+        // α's step 2 is the receiver's wake: the transmitter stutters, and
+        // the stutter is id-level (no second copy of the state).
+        assert_eq!(r.actions[1], DlAction::Wake(Dir::RT));
+        assert_eq!(r.t_states.id_at(1), r.t_states.id_at(2));
+        assert_eq!(r.t_states[1], r.t_states[2]);
         // Projections.
         assert_eq!(r.acts_of(Station::T, 3).len(), 2); // wake, send_msg
         assert_eq!(r.in_pkts(Station::T, 8).len(), 1); // the ack

@@ -19,9 +19,12 @@ use dl_core::protocol::{MessageIndependent, StationAutomaton};
 
 /// Everything the engines demand of a protocol automaton: the data-link
 /// action universe, a station, message-independence, and cloneability.
-/// Engines additionally assume *determinism* — one start state and
-/// singleton successor sets — which every protocol in `dl-protocols`
-/// satisfies; divergence is caught at replay time.
+/// (`Automaton` already guarantees hashable states, which the engines use
+/// to intern per-step component states: the §7 equivalence checks index an
+/// [`ioa::InternedSeq`] instead of a state-per-step vector.) Engines
+/// additionally assume *determinism* — one start state and singleton
+/// successor sets — which every protocol in `dl-protocols` satisfies;
+/// divergence is caught at replay time.
 pub trait ProtocolAutomaton:
     Automaton<Action = DlAction> + StationAutomaton + MessageIndependent + Clone
 {

@@ -109,6 +109,36 @@ impl<A> Signature<A> {
             some => some,
         })
     }
+
+    /// Memoizes classification over a sampled action table.
+    ///
+    /// Detached signatures accrete boxed-closure layers (composition
+    /// chains, [`external`](Signature::external) wrappers, automaton
+    /// captures); on a per-action hot path that dispatch is pure overhead,
+    /// since for an enum universe the classes of the recurring actions are
+    /// a finite table. `memoized` evaluates the signature once for every
+    /// sampled action and answers subsequent `classify` calls for those
+    /// actions from the table; unsampled actions fall through to the
+    /// original classification chain, so the signature's meaning is
+    /// unchanged.
+    #[must_use]
+    pub fn memoized(self, sample: impl IntoIterator<Item = A>) -> Signature<A>
+    where
+        A: std::hash::Hash + Eq + Send + Sync + 'static,
+    {
+        let inner = self.classify;
+        let table: std::collections::HashMap<A, Option<ActionClass>> = sample
+            .into_iter()
+            .map(|a| {
+                let class = inner(&a);
+                (a, class)
+            })
+            .collect();
+        Signature::new(move |a| match table.get(a) {
+            Some(&class) => class,
+            None => inner(a),
+        })
+    }
 }
 
 impl<A> fmt::Debug for Signature<A> {
@@ -152,6 +182,39 @@ mod tests {
         assert!(sig.is_external(&1));
         assert!(!sig.is_external(&2));
         assert!(!sig.is_external(&3));
+    }
+
+    #[test]
+    fn memoized_signature_agrees_with_original_and_falls_through() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let calls = Arc::new(AtomicUsize::new(0));
+        let counted = Arc::clone(&calls);
+        let sig = Signature::new(move |a: &i32| {
+            counted.fetch_add(1, Ordering::Relaxed);
+            match a {
+                0 => Some(ActionClass::Input),
+                1 => Some(ActionClass::Output),
+                2 => Some(ActionClass::Internal),
+                _ => None,
+            }
+        })
+        .memoized(0..=3);
+        let after_build = calls.load(Ordering::Relaxed);
+        assert_eq!(after_build, 4, "each sampled action classified once");
+
+        // Sampled actions (including a sampled non-member) answer from the
+        // table without re-entering the closure chain.
+        assert_eq!(sig.classify(&0), Some(ActionClass::Input));
+        assert_eq!(sig.classify(&1), Some(ActionClass::Output));
+        assert_eq!(sig.classify(&2), Some(ActionClass::Internal));
+        assert_eq!(sig.classify(&3), None);
+        assert_eq!(calls.load(Ordering::Relaxed), after_build);
+
+        // Unsampled actions fall through, preserving the signature.
+        assert_eq!(sig.classify(&42), None);
+        assert_eq!(calls.load(Ordering::Relaxed), after_build + 1);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::fmt::Debug;
 use std::hash::Hash;
+use std::ops::ControlFlow;
 
 use crate::action::{ActionClass, Signature};
 
@@ -42,8 +43,12 @@ pub struct TaskId(pub usize);
 pub trait Automaton {
     /// The action universe this automaton's signature draws from.
     type Action: Clone + Eq + Debug;
-    /// Automaton states. Cloneable values so executions can be recorded.
-    type State: Clone + Eq + Debug;
+    /// Automaton states. Cloneable so executions can be recorded, and
+    /// hashable so every execution layer — explorer visited sets,
+    /// [`StateTable`](crate::intern::StateTable) arenas,
+    /// [`InternedSeq`](crate::intern::InternedSeq) recordings — can intern
+    /// states instead of storing copies.
+    type State: Clone + Eq + Hash + Debug;
 
     /// The set `start(A)` of start states; must be non-empty.
     fn start_states(&self) -> Vec<Self::State>;
@@ -74,24 +79,96 @@ pub trait Automaton {
     /// Number of classes in the task partition.
     fn task_count(&self) -> usize;
 
+    /// Visits every successor of `(state, action)` in the same order
+    /// [`successors`](Automaton::successors) would return them, stopping
+    /// early when `f` breaks. Returns whatever the last `f` call returned.
+    ///
+    /// This is the **single override point** for allocation-free
+    /// transitions: [`successors_into`](Automaton::successors_into),
+    /// [`is_enabled`](Automaton::is_enabled) and
+    /// [`step_first`](Automaton::step_first) are all derived from it, so an
+    /// automaton that overrides it (the protocol zoo, the channels, and
+    /// [`Compose2`](crate::composition::Compose2) do) gets a Vec-free hot
+    /// path everywhere at once. Overrides must enumerate **exactly** the
+    /// `successors` list — same states, same order — since executors pick
+    /// successors by position.
+    fn try_for_each_successor(
+        &self,
+        state: &Self::State,
+        action: &Self::Action,
+        f: &mut dyn FnMut(Self::State) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        for s in self.successors(state, action) {
+            f(s)?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Appends all successors of `(state, action)` to `out` — the
+    /// buffer-reuse form of [`successors`](Automaton::successors). Callers
+    /// own the buffer lifecycle (typically `clear()` + `successors_into` in
+    /// a loop), so steady-state stepping performs no allocation once the
+    /// buffer has grown to its high-water mark.
+    fn successors_into(
+        &self,
+        state: &Self::State,
+        action: &Self::Action,
+        out: &mut Vec<Self::State>,
+    ) {
+        let _ = self.try_for_each_successor(state, action, &mut |s| {
+            out.push(s);
+            ControlFlow::Continue(())
+        });
+    }
+
+    /// Visits every enabled locally-controlled action in the same order
+    /// [`enabled_local`](Automaton::enabled_local) would return them,
+    /// stopping early when `f` breaks — the allocation-free form of
+    /// `enabled_local` for automata that override it.
+    fn for_each_enabled_local(
+        &self,
+        state: &Self::State,
+        f: &mut dyn FnMut(Self::Action) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        for a in self.enabled_local(state) {
+            f(a)?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Convenience: `true` if some locally-controlled action is enabled —
+    /// the quiescence test, without materializing the enabled set.
+    fn has_enabled_local(&self, state: &Self::State) -> bool {
+        self.for_each_enabled_local(state, &mut |_| ControlFlow::Break(()))
+            .is_break()
+    }
+
     /// Convenience: `true` if the action is in the signature.
     fn in_signature(&self, action: &Self::Action) -> bool {
         self.classify(action).is_some()
     }
 
     /// Convenience: `true` if `action` has at least one successor from
-    /// `state`.
+    /// `state`. Short-circuits on the first successor found instead of
+    /// materializing the full list.
     fn is_enabled(&self, state: &Self::State, action: &Self::Action) -> bool {
-        !self.successors(state, action).is_empty()
+        self.try_for_each_successor(state, action, &mut |_| ControlFlow::Break(()))
+            .is_break()
     }
 
     /// Takes one step, resolving nondeterminism by picking the first
-    /// successor. Returns `None` if the action is not enabled.
+    /// successor. Returns `None` if the action is not enabled. Stops
+    /// enumerating after the first successor.
     ///
     /// Deterministic automata (one successor per step, one start state) can
     /// be driven entirely through `step_first`.
     fn step_first(&self, state: &Self::State, action: &Self::Action) -> Option<Self::State> {
-        self.successors(state, action).into_iter().next()
+        let mut first = None;
+        let _ = self.try_for_each_successor(state, action, &mut |s| {
+            first = Some(s);
+            ControlFlow::Break(())
+        });
+        first
     }
 
     /// Spot-checks determinism: a unique start state and at most one
@@ -117,7 +194,20 @@ pub trait Automaton {
         }
         for s in states {
             for a in actions {
-                if self.successors(s, a).len() > 1 {
+                // Stop enumerating at the second successor — the audit
+                // only needs to know whether more than one exists.
+                let mut seen = 0u32;
+                let two = self
+                    .try_for_each_successor(s, a, &mut |_| {
+                        seen += 1;
+                        if seen > 1 {
+                            ControlFlow::Break(())
+                        } else {
+                            ControlFlow::Continue(())
+                        }
+                    })
+                    .is_break();
+                if two {
                     return Ok(Some((s, a)));
                 }
             }
@@ -177,6 +267,44 @@ impl<A: Automaton + ?Sized> Automaton for &A {
     }
     fn task_count(&self) -> usize {
         (**self).task_count()
+    }
+    // Forward the hot-path defaults explicitly so a reference does not
+    // silently fall back to the allocating defaults when the underlying
+    // automaton overrides them.
+    fn try_for_each_successor(
+        &self,
+        state: &Self::State,
+        action: &Self::Action,
+        f: &mut dyn FnMut(Self::State) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        (**self).try_for_each_successor(state, action, f)
+    }
+    fn successors_into(
+        &self,
+        state: &Self::State,
+        action: &Self::Action,
+        out: &mut Vec<Self::State>,
+    ) {
+        (**self).successors_into(state, action, out);
+    }
+    fn for_each_enabled_local(
+        &self,
+        state: &Self::State,
+        f: &mut dyn FnMut(Self::Action) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        (**self).for_each_enabled_local(state, f)
+    }
+    fn has_enabled_local(&self, state: &Self::State) -> bool {
+        (**self).has_enabled_local(state)
+    }
+    fn is_enabled(&self, state: &Self::State, action: &Self::Action) -> bool {
+        (**self).is_enabled(state, action)
+    }
+    fn step_first(&self, state: &Self::State, action: &Self::Action) -> Option<Self::State> {
+        (**self).step_first(state, action)
+    }
+    fn in_signature(&self, action: &Self::Action) -> bool {
+        (**self).in_signature(action)
     }
 }
 
@@ -305,6 +433,82 @@ mod tests {
         }
         let found = Coin.check_deterministic(&[0], &[Act::Reset]).unwrap();
         assert!(found.is_some());
+    }
+
+    #[test]
+    fn buffer_reuse_and_callback_defaults_match_vec_apis() {
+        let c = Counter;
+        let mut buf = Vec::new();
+        c.successors_into(&1, &Act::Tick, &mut buf);
+        assert_eq!(buf, c.successors(&1, &Act::Tick));
+        // Append semantics: the caller owns clearing.
+        c.successors_into(&1, &Act::Reset, &mut buf);
+        assert_eq!(buf, vec![2, 0]);
+
+        let mut seen = Vec::new();
+        let flow = c.for_each_enabled_local(&0, &mut |a| {
+            seen.push(a);
+            ControlFlow::Continue(())
+        });
+        assert_eq!(flow, ControlFlow::Continue(()));
+        assert_eq!(seen, c.enabled_local(&0));
+        assert!(c.has_enabled_local(&0));
+    }
+
+    #[test]
+    fn is_enabled_short_circuits_enumeration() {
+        /// Two successors; counts how many the visitor materialized.
+        #[derive(Clone)]
+        struct Pair2(std::sync::Arc<std::sync::atomic::AtomicUsize>);
+        impl Automaton for Pair2 {
+            type Action = Act;
+            type State = u8;
+            fn start_states(&self) -> Vec<u8> {
+                vec![0]
+            }
+            fn classify(&self, _a: &Act) -> Option<ActionClass> {
+                Some(ActionClass::Input)
+            }
+            fn successors(&self, _s: &u8, _a: &Act) -> Vec<u8> {
+                vec![0, 1]
+            }
+            fn try_for_each_successor(
+                &self,
+                _s: &u8,
+                _a: &Act,
+                f: &mut dyn FnMut(u8) -> ControlFlow<()>,
+            ) -> ControlFlow<()> {
+                for s in [0u8, 1] {
+                    self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    f(s)?;
+                }
+                ControlFlow::Continue(())
+            }
+            fn enabled_local(&self, _s: &u8) -> Vec<Act> {
+                vec![]
+            }
+            fn task_of(&self, _a: &Act) -> TaskId {
+                TaskId(0)
+            }
+            fn task_count(&self) -> usize {
+                1
+            }
+        }
+
+        let made = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let p = Pair2(std::sync::Arc::clone(&made));
+        assert!(p.is_enabled(&0, &Act::Reset));
+        assert_eq!(
+            made.load(std::sync::atomic::Ordering::Relaxed),
+            1,
+            "is_enabled must stop at the first successor"
+        );
+        assert_eq!(p.step_first(&0, &Act::Reset), Some(0));
+        assert_eq!(
+            made.load(std::sync::atomic::Ordering::Relaxed),
+            2,
+            "step_first must stop at the first successor"
+        );
     }
 
     #[test]

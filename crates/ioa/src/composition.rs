@@ -8,6 +8,7 @@
 //! unchanged.
 
 use std::fmt;
+use std::ops::ControlFlow;
 
 use crate::action::ActionClass;
 use crate::automaton::{Automaton, TaskId};
@@ -249,6 +250,84 @@ where
             }
         }
         out
+    }
+
+    fn try_for_each_successor(
+        &self,
+        state: &Self::State,
+        action: &A,
+        f: &mut dyn FnMut(Self::State) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        // Mirrors `successors` exactly — same product states, same (left
+        // outer, right inner) order — without materializing per-component
+        // successor lists or the full cross product.
+        let in_l = self.left.in_signature(action);
+        let in_r = self.right.in_signature(action);
+        match (in_l, in_r) {
+            (false, false) => ControlFlow::Continue(()),
+            (true, false) => self
+                .left
+                .try_for_each_successor(&state.left, action, &mut |l| {
+                    f(Pair::new(l, state.right.clone()))
+                }),
+            (false, true) => self
+                .right
+                .try_for_each_successor(&state.right, action, &mut |r| {
+                    f(Pair::new(state.left.clone(), r))
+                }),
+            (true, true) => self
+                .left
+                .try_for_each_successor(&state.left, action, &mut |l| {
+                    self.right
+                        .try_for_each_successor(&state.right, action, &mut |r| {
+                            f(Pair::new(l.clone(), r))
+                        })
+                }),
+        }
+    }
+
+    fn is_enabled(&self, state: &Self::State, action: &A) -> bool {
+        // The cross product is non-empty iff both factors are, so the
+        // composite never needs to build a single `Pair` to decide
+        // enabledness — this was the hot path's worst offender (the
+        // shared-action arm materialized |L|·|R| product states).
+        let in_l = self.left.in_signature(action);
+        let in_r = self.right.in_signature(action);
+        match (in_l, in_r) {
+            (false, false) => false,
+            (true, false) => self.left.is_enabled(&state.left, action),
+            (false, true) => self.right.is_enabled(&state.right, action),
+            (true, true) => {
+                self.left.is_enabled(&state.left, action)
+                    && self.right.is_enabled(&state.right, action)
+            }
+        }
+    }
+
+    fn for_each_enabled_local(
+        &self,
+        state: &Self::State,
+        f: &mut dyn FnMut(A) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        // Same order as `enabled_local`: left's enabled actions (filtered
+        // by the defensive other-side check), then right's. The Vec path
+        // also dedups right-side actions against the left's — a case strong
+        // compatibility makes unreachable (an action locally controlled on
+        // one side is at most an *input* on the other, and `enabled_local`
+        // returns locally-controlled actions only), so the callback form
+        // omits it.
+        self.left.for_each_enabled_local(&state.left, &mut |a| {
+            if !self.right.in_signature(&a) || self.right.is_enabled(&state.right, &a) {
+                f(a)?;
+            }
+            ControlFlow::Continue(())
+        })?;
+        self.right.for_each_enabled_local(&state.right, &mut |a| {
+            if !self.left.in_signature(&a) || self.left.is_enabled(&state.left, &a) {
+                f(a)?;
+            }
+            ControlFlow::Continue(())
+        })
     }
 
     fn task_of(&self, action: &A) -> TaskId {

@@ -6,9 +6,30 @@
 //! of external actions.
 
 use std::fmt::Debug;
+use std::ops::ControlFlow;
 
 use crate::action::ActionClass;
 use crate::automaton::Automaton;
+
+/// `true` if `(state, action, post)` is a step of the automaton.
+/// Short-circuits on the matching successor instead of collecting the
+/// full list.
+fn is_successor<M: Automaton>(
+    automaton: &M,
+    state: &M::State,
+    action: &M::Action,
+    post: &M::State,
+) -> bool {
+    automaton
+        .try_for_each_successor(state, action, &mut |s| {
+            if s == *post {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        })
+        .is_break()
+}
 
 /// One step of an execution: the action taken and the post-state.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,8 +125,19 @@ where
     where
         M: Automaton<Action = A, State = S>,
     {
-        let succs = automaton.successors(self.last_state(), &action);
-        match succs.into_iter().nth(choose) {
+        // Stream successors and stop at index `choose` — no full list.
+        let mut seen = 0usize;
+        let mut post = None;
+        let _ = automaton.try_for_each_successor(self.last_state(), &action, &mut |s| {
+            if seen == choose {
+                post = Some(s);
+                ControlFlow::Break(())
+            } else {
+                seen += 1;
+                ControlFlow::Continue(())
+            }
+        });
+        match post {
             Some(post) => {
                 self.steps.push(Step { action, post });
                 true
@@ -121,10 +153,7 @@ where
     where
         M: Automaton<Action = A, State = S>,
     {
-        if automaton
-            .successors(self.last_state(), &action)
-            .contains(&post)
-        {
+        if is_successor(automaton, self.last_state(), &action, &post) {
             self.steps.push(Step { action, post });
             true
         } else {
@@ -191,7 +220,7 @@ where
     {
         let mut cur = &self.first;
         for (i, step) in self.steps.iter().enumerate() {
-            if !automaton.successors(cur, &step.action).contains(&step.post) {
+            if !is_successor(automaton, cur, &step.action, &step.post) {
                 return Err(i);
             }
             cur = &step.post;

@@ -18,6 +18,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
+use std::ops::ControlFlow;
 
 use crate::automaton::Automaton;
 
@@ -181,35 +182,46 @@ where
                 continue;
             }
             for a in actions {
-                for succ in self.automaton.successors(&state, &a) {
-                    if index.contains_key(&succ) {
-                        continue;
-                    }
-                    if order.len() >= self.max_states {
-                        truncated = true;
-                        continue;
-                    }
-                    let sid = order.len();
-                    index.insert(succ.clone(), sid);
-                    order.push(succ.clone());
-                    meta.push((id, Some(a.clone()), depth + 1));
-                    if !invariant(&succ) {
-                        // Reconstruct the path.
-                        let mut path = Vec::new();
-                        let mut cur = sid;
-                        while let (parent, Some(action), _) = &meta[cur] {
-                            path.push(action.clone());
-                            cur = *parent;
+                // Successors stream through the callback — no per-action
+                // successor vector is materialized.
+                let mut violating: Option<(usize, M::State)> = None;
+                let flow = self
+                    .automaton
+                    .try_for_each_successor(&state, &a, &mut |succ| {
+                        if index.contains_key(&succ) {
+                            return ControlFlow::Continue(());
                         }
-                        path.reverse();
-                        return ExploreReport {
-                            states_visited: order.len(),
-                            truncated,
-                            violation: Some((path, succ)),
-                            quiescent_states: quiescent,
-                        };
+                        if order.len() >= self.max_states {
+                            truncated = true;
+                            return ControlFlow::Continue(());
+                        }
+                        let sid = order.len();
+                        index.insert(succ.clone(), sid);
+                        order.push(succ.clone());
+                        meta.push((id, Some(a.clone()), depth + 1));
+                        if !invariant(&succ) {
+                            violating = Some((sid, succ));
+                            return ControlFlow::Break(());
+                        }
+                        queue.push_back(sid);
+                        ControlFlow::Continue(())
+                    });
+                if flow.is_break() {
+                    let (sid, succ) = violating.expect("break implies a recorded violation");
+                    // Reconstruct the path.
+                    let mut path = Vec::new();
+                    let mut cur = sid;
+                    while let (parent, Some(action), _) = &meta[cur] {
+                        path.push(action.clone());
+                        cur = *parent;
                     }
-                    queue.push_back(sid);
+                    path.reverse();
+                    return ExploreReport {
+                        states_visited: order.len(),
+                        truncated,
+                        violation: Some((path, succ)),
+                        quiescent_states: quiescent,
+                    };
                 }
             }
         }

@@ -123,12 +123,14 @@ impl FairExecutor {
         let tasks = automaton.task_count().max(1);
         let mut next_task = 0usize;
         let mut since_inject = 0usize;
+        // Successor scratch, reused across every step of the run.
+        let mut succs: Vec<M::State> = Vec::new();
 
         while exec.len() < self.max_steps {
             // Inject the next scripted input if it is due.
             if !script.remaining().is_empty() && since_inject >= script.gap {
                 if let Some(input) = script.pop() {
-                    let took = self.take(automaton, &mut exec, input);
+                    let took = self.take(automaton, &mut exec, input, &mut succs);
                     assert!(
                         took,
                         "input action was not enabled: automaton is not input-enabled"
@@ -166,7 +168,7 @@ impl FairExecutor {
                 }
                 let pick = self.rng.random_range(0..in_class.len());
                 let action = in_class[pick].clone();
-                let took = self.take(automaton, &mut exec, action);
+                let took = self.take(automaton, &mut exec, action, &mut succs);
                 debug_assert!(took, "enabled_local returned a non-enabled action");
                 next_task = (next_task + offset + 1) % tasks;
                 since_inject += 1;
@@ -180,7 +182,7 @@ impl FairExecutor {
         }
 
         let quiescent =
-            script.remaining().is_empty() && automaton.enabled_local(exec.last_state()).is_empty();
+            script.remaining().is_empty() && !automaton.has_enabled_local(exec.last_state());
         RunOutcome {
             execution: exec,
             quiescent,
@@ -192,16 +194,18 @@ impl FairExecutor {
         automaton: &M,
         exec: &mut Execution<M::Action, M::State>,
         action: M::Action,
+        succs: &mut Vec<M::State>,
     ) -> bool
     where
         M: Automaton,
     {
-        let succs = automaton.successors(exec.last_state(), &action);
+        succs.clear();
+        automaton.successors_into(exec.last_state(), &action, succs);
         if succs.is_empty() {
             return false;
         }
         let pick = self.rng.random_range(0..succs.len());
-        exec.push_unchecked(action, succs.into_iter().nth(pick).expect("index in range"));
+        exec.push_unchecked(action, succs.swap_remove(pick));
         true
     }
 }

@@ -5,6 +5,8 @@
 //! actions of a data link implementation so that only data-link-layer
 //! actions remain external (§5.2).
 
+use std::ops::ControlFlow;
+
 use crate::action::ActionClass;
 use crate::automaton::{Automaton, TaskId};
 
@@ -72,6 +74,47 @@ where
 
     fn task_count(&self) -> usize {
         self.inner.task_count()
+    }
+
+    // Hiding only relabels the signature; the transition structure — and
+    // therefore every hot-path method — delegates, so the inner automaton's
+    // allocation-free overrides survive the wrapper.
+    fn try_for_each_successor(
+        &self,
+        state: &Self::State,
+        action: &Self::Action,
+        f: &mut dyn FnMut(Self::State) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        self.inner.try_for_each_successor(state, action, f)
+    }
+
+    fn successors_into(
+        &self,
+        state: &Self::State,
+        action: &Self::Action,
+        out: &mut Vec<Self::State>,
+    ) {
+        self.inner.successors_into(state, action, out);
+    }
+
+    fn for_each_enabled_local(
+        &self,
+        state: &Self::State,
+        f: &mut dyn FnMut(Self::Action) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        self.inner.for_each_enabled_local(state, f)
+    }
+
+    fn has_enabled_local(&self, state: &Self::State) -> bool {
+        self.inner.has_enabled_local(state)
+    }
+
+    fn is_enabled(&self, state: &Self::State, action: &Self::Action) -> bool {
+        self.inner.is_enabled(state, action)
+    }
+
+    fn step_first(&self, state: &Self::State, action: &Self::Action) -> Option<Self::State> {
+        self.inner.step_first(state, action)
     }
 }
 

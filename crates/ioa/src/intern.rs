@@ -1,0 +1,448 @@
+//! State interning: dense `u32` ids for explicit-state search.
+//!
+//! Exhaustive reachability over composed link systems (the E9 sweeps) is
+//! dominated by cloning and re-hashing full composite states: a
+//! `HashMap<S, _>` visited set stores every state **twice** (once as the
+//! map key, once in the exploration arena) and re-hashes it on every
+//! probe. [`StateTable`] fixes both costs: states live exactly once in an
+//! append-only arena, an open-addressing index maps hashes to arena slots,
+//! and everything downstream — frontiers, parent links, cross-shard
+//! exchanges — carries copyable [`StateId`]s instead of cloned states.
+//!
+//! Id stability: ids are assigned in **insertion order** (the arena is
+//! append-only, nothing is ever removed), so any interleaving-independent
+//! insertion schedule yields interleaving-independent ids. The parallel
+//! explorer admits states at layer barriers in a deterministic sorted
+//! order, which makes ids — and therefore everything keyed on them —
+//! independent of thread count.
+
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hash};
+
+/// Dense identifier of an interned state: an index into a
+/// [`StateTable`]'s arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// The arena index this id names.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+const EMPTY: u32 = u32::MAX;
+
+/// An append-only state interner: arena + open-addressing hash index.
+///
+/// Each distinct state is stored once; [`intern`](StateTable::intern)
+/// returns the existing id on a duplicate. Lookups compare candidates
+/// against the arena-resident value (the index itself stores only `u32`
+/// slots and cached hashes), so the table adds 12 bytes of overhead per
+/// state instead of a second full clone.
+pub struct StateTable<S, H = RandomState> {
+    /// The arena: `states[id]` is the interned state.
+    states: Vec<S>,
+    /// Cached hash per arena slot, probed before the full `Eq` check.
+    hashes: Vec<u64>,
+    /// Open-addressing index into the arena; `EMPTY` marks a free slot.
+    /// Length is always a power of two.
+    table: Vec<u32>,
+    hasher: H,
+}
+
+impl<S: Hash + Eq> StateTable<S> {
+    /// An empty table with a randomly seeded hasher.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_hasher(RandomState::new())
+    }
+}
+
+impl<S: Hash + Eq> Default for StateTable<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Hash + Eq, H: BuildHasher> StateTable<S, H> {
+    /// An empty table using the given hasher (shared hashers let sharded
+    /// consumers route states consistently).
+    pub fn with_hasher(hasher: H) -> Self {
+        StateTable {
+            states: Vec::new(),
+            hashes: Vec::new(),
+            table: Vec::new(),
+            hasher,
+        }
+    }
+
+    /// Number of distinct states interned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` if nothing has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The state an id names. Panics on a foreign id.
+    #[must_use]
+    pub fn get(&self, id: StateId) -> &S {
+        &self.states[id.index()]
+    }
+
+    /// The interned states in id order.
+    #[must_use]
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// The id of `state` if it is already interned.
+    #[must_use]
+    pub fn lookup(&self, state: &S) -> Option<StateId> {
+        if self.table.is_empty() {
+            return None;
+        }
+        self.find(self.hasher.hash_one(state), state)
+    }
+
+    /// Interns a state, returning its id and whether it was new.
+    pub fn intern(&mut self, state: S) -> (StateId, bool) {
+        let hash = self.hasher.hash_one(&state);
+        if let Some(id) = self.find(hash, &state) {
+            return (id, false);
+        }
+        (self.insert_new(hash, state), true)
+    }
+
+    /// Interns a state whose hash under this table's hasher the caller
+    /// already knows (a sharded front-end sharing the hasher computed it
+    /// at claim time). `hash` **must** equal `hasher.hash_one(&state)`;
+    /// a wrong hash silently corrupts the index.
+    pub fn intern_prehashed(&mut self, hash: u64, state: S) -> (StateId, bool) {
+        debug_assert_eq!(
+            hash,
+            self.hasher.hash_one(&state),
+            "prehashed hash mismatch"
+        );
+        if let Some(id) = self.find(hash, &state) {
+            return (id, false);
+        }
+        (self.insert_new(hash, state), true)
+    }
+
+    /// Interns by reference, cloning only on a miss.
+    pub fn intern_ref(&mut self, state: &S) -> (StateId, bool)
+    where
+        S: Clone,
+    {
+        let hash = self.hasher.hash_one(state);
+        if let Some(id) = self.find(hash, state) {
+            return (id, false);
+        }
+        (self.insert_new(hash, state.clone()), true)
+    }
+
+    /// Absorbs another table (a per-shard arena, at a merge barrier) into
+    /// this one, returning the remap `other id index -> id in self`.
+    /// States already present keep their existing ids — merging is
+    /// idempotent and never perturbs ids handed out earlier.
+    pub fn absorb<H2: BuildHasher>(&mut self, other: StateTable<S, H2>) -> Vec<StateId> {
+        other.states.into_iter().map(|s| self.intern(s).0).collect()
+    }
+
+    /// Resident bytes of the interner itself: arena slots, cached hashes,
+    /// and index slots. Heap data owned *by* the states (queues, buffers)
+    /// is not traversed, so this is a lower bound on total footprint.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.states.capacity() * std::mem::size_of::<S>()
+            + self.hashes.capacity() * std::mem::size_of::<u64>()
+            + self.table.capacity() * std::mem::size_of::<u32>()
+    }
+
+    fn find(&self, hash: u64, state: &S) -> Option<StateId> {
+        if self.table.is_empty() {
+            return None;
+        }
+        let mask = self.table.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let slot = self.table[i];
+            if slot == EMPTY {
+                return None;
+            }
+            let idx = slot as usize;
+            if self.hashes[idx] == hash && self.states[idx] == *state {
+                return Some(StateId(slot));
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn insert_new(&mut self, hash: u64, state: S) -> StateId {
+        let id = u32::try_from(self.states.len()).expect("state arena overflowed u32 ids");
+        self.states.push(state);
+        self.hashes.push(hash);
+        // Grow at 7/8 load so probe chains stay short.
+        if self.table.is_empty() || (self.states.len() + 1) * 8 > self.table.len() * 7 {
+            self.grow();
+        } else {
+            self.place(hash, id);
+        }
+        StateId(id)
+    }
+
+    fn place(&mut self, hash: u64, id: u32) {
+        Self::place_in(&mut self.table, hash, id);
+    }
+
+    fn place_in(table: &mut [u32], hash: u64, id: u32) {
+        let mask = table.len() - 1;
+        let mut i = (hash as usize) & mask;
+        while table[i] != EMPTY {
+            i = (i + 1) & mask;
+        }
+        table[i] = id;
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.table.len() * 2).max(16);
+        self.table.clear();
+        self.table.resize(cap, EMPTY);
+        for (idx, &hash) in self.hashes.iter().enumerate() {
+            Self::place_in(&mut self.table, hash, idx as u32);
+        }
+    }
+}
+
+impl<S: std::fmt::Debug, H> std::fmt::Debug for StateTable<S, H> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StateTable")
+            .field("len", &self.states.len())
+            .field("slots", &self.table.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A sequence of (possibly repeating) states stored as ids over a private
+/// interner — the memory shape of a recorded execution.
+///
+/// The impossibility engines replay long executions and keep *every*
+/// per-step component state for the §7 equivalence checks; consecutive
+/// steps usually leave a given component untouched, so interning collapses
+/// the sequence to its handful of distinct states plus 4 bytes per step.
+#[derive(Debug)]
+pub struct InternedSeq<S, H = RandomState> {
+    table: StateTable<S, H>,
+    ids: Vec<StateId>,
+}
+
+impl<S: Hash + Eq> InternedSeq<S> {
+    /// An empty sequence.
+    #[must_use]
+    pub fn new() -> Self {
+        InternedSeq {
+            table: StateTable::new(),
+            ids: Vec::new(),
+        }
+    }
+}
+
+impl<S: Hash + Eq> Default for InternedSeq<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Hash + Eq, H: BuildHasher> InternedSeq<S, H> {
+    /// Appends a state to the sequence, interning it.
+    pub fn push(&mut self, state: S) {
+        let (id, _) = self.table.intern(state);
+        self.ids.push(id);
+    }
+
+    /// Sequence length (in steps, not distinct states).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` if the sequence has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The state at position `k`.
+    #[must_use]
+    pub fn get(&self, k: usize) -> &S {
+        self.table.get(self.ids[k])
+    }
+
+    /// The last state, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<&S> {
+        self.ids.last().map(|&id| self.table.get(id))
+    }
+
+    /// The id at position `k` — equal ids mean equal states, so §7's
+    /// repeated-state scans compare 4-byte ids instead of full states.
+    #[must_use]
+    pub fn id_at(&self, k: usize) -> StateId {
+        self.ids[k]
+    }
+
+    /// Appends a stuttering step: the last entry repeats without hashing
+    /// or cloning the state. This is the common case when recording one
+    /// component of a composed execution — every step of the *other*
+    /// components leaves this one untouched.
+    ///
+    /// # Panics
+    ///
+    /// If the sequence is empty (there is nothing to repeat).
+    pub fn repeat_last(&mut self) {
+        let id = *self.ids.last().expect("repeat_last on an empty sequence");
+        self.ids.push(id);
+    }
+
+    /// Number of distinct states in the sequence.
+    #[must_use]
+    pub fn distinct(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Approximate resident bytes: the backing [`StateTable`] plus 4
+    /// bytes per recorded step. Same lower-bound caveat as
+    /// [`StateTable::approx_bytes`].
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.table.approx_bytes() + self.ids.capacity() * std::mem::size_of::<StateId>()
+    }
+}
+
+impl<S: Hash + Eq, H: BuildHasher> std::ops::Index<usize> for InternedSeq<S, H> {
+    type Output = S;
+    fn index(&self, k: usize) -> &S {
+        self.get(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedups_and_ids_are_dense() {
+        let mut t = StateTable::new();
+        let (a, fresh_a) = t.intern("alpha".to_string());
+        let (b, fresh_b) = t.intern("beta".to_string());
+        let (a2, fresh_a2) = t.intern("alpha".to_string());
+        assert!(fresh_a && fresh_b && !fresh_a2);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!((a.0, b.0), (0, 1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a), "alpha");
+        assert_eq!(t.get(b), "beta");
+    }
+
+    #[test]
+    fn lookup_without_insertion() {
+        let mut t = StateTable::new();
+        assert_eq!(t.lookup(&7u64), None);
+        let (id, _) = t.intern(7u64);
+        assert_eq!(t.lookup(&7u64), Some(id));
+        assert_eq!(t.lookup(&8u64), None);
+    }
+
+    #[test]
+    fn intern_ref_clones_only_on_miss() {
+        let mut t = StateTable::new();
+        let s = vec![1u8, 2, 3];
+        let (id, fresh) = t.intern_ref(&s);
+        assert!(fresh);
+        let (id2, fresh2) = t.intern_ref(&s);
+        assert!(!fresh2);
+        assert_eq!(id, id2);
+    }
+
+    #[test]
+    fn survives_growth_past_initial_capacity() {
+        let mut t = StateTable::new();
+        let ids: Vec<StateId> = (0..10_000u64).map(|n| t.intern(n).0).collect();
+        assert_eq!(t.len(), 10_000);
+        for (n, id) in ids.iter().enumerate() {
+            assert_eq!(*t.get(*id), n as u64);
+            assert_eq!(t.lookup(&(n as u64)), Some(*id));
+        }
+        // Ids are insertion-dense.
+        assert!(ids.iter().enumerate().all(|(i, id)| id.index() == i));
+    }
+
+    #[test]
+    fn absorb_remaps_and_preserves_existing_ids() {
+        let mut base = StateTable::new();
+        let (a, _) = base.intern("a".to_string());
+        let (b, _) = base.intern("b".to_string());
+
+        let mut shard = StateTable::new();
+        shard.intern("b".to_string());
+        shard.intern("c".to_string());
+
+        let remap = base.absorb(shard);
+        assert_eq!(remap[0], b, "duplicate keeps the pre-existing id");
+        assert_eq!(remap[1].index(), 2, "fresh state appended");
+        assert_eq!(base.get(a), "a");
+        assert_eq!(base.len(), 3);
+    }
+
+    #[test]
+    fn interned_seq_collapses_repeats() {
+        let mut seq = InternedSeq::new();
+        for k in [0u8, 0, 1, 0, 1, 1, 2] {
+            seq.push(k);
+        }
+        assert_eq!(seq.len(), 7);
+        assert_eq!(seq.distinct(), 3);
+        assert_eq!(seq[3], 0);
+        assert_eq!(seq.last(), Some(&2));
+        assert_eq!(seq.id_at(2), seq.id_at(4), "equal states share an id");
+        assert_ne!(seq.id_at(0), seq.id_at(6));
+    }
+
+    #[test]
+    fn approx_bytes_is_nonzero_once_populated() {
+        let mut t = StateTable::new();
+        t.intern(1u64);
+        assert!(t.approx_bytes() >= std::mem::size_of::<u64>());
+    }
+
+    #[test]
+    fn repeat_last_stutters_without_new_entries() {
+        let mut seq = InternedSeq::new();
+        seq.push("s0".to_string());
+        seq.repeat_last();
+        seq.repeat_last();
+        seq.push("s1".to_string());
+        seq.repeat_last();
+        assert_eq!(seq.len(), 5);
+        assert_eq!(seq.distinct(), 2);
+        assert_eq!(seq.id_at(0), seq.id_at(2));
+        assert_eq!(seq.id_at(3), seq.id_at(4));
+        assert_eq!(seq[1], "s0");
+        assert_eq!(seq.last(), Some(&"s1".to_string()));
+        assert!(seq.approx_bytes() >= 5 * std::mem::size_of::<StateId>());
+    }
+
+    #[test]
+    #[should_panic(expected = "repeat_last on an empty sequence")]
+    fn repeat_last_panics_on_empty() {
+        InternedSeq::<u8>::new().repeat_last();
+    }
+}

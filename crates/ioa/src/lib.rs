@@ -81,6 +81,7 @@ pub mod execution;
 pub mod explore;
 pub mod fairness;
 pub mod hiding;
+pub mod intern;
 pub mod schedule_module;
 
 pub use action::{ActionClass, Signature};
@@ -90,4 +91,5 @@ pub use execution::{Execution, Step};
 pub use explore::{ExploreReport, Explorer};
 pub use fairness::{EnvScript, FairExecutor, RunOutcome};
 pub use hiding::Hide;
+pub use intern::{InternedSeq, StateId, StateTable};
 pub use schedule_module::{ScheduleModule, Verdict, Violation};

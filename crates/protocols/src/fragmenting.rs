@@ -20,6 +20,7 @@
 //! exercising the per-class multiplicity counting in Lemma 8.4's matching.
 
 use std::collections::VecDeque;
+use std::ops::ControlFlow;
 
 use ioa::action::ActionClass;
 use ioa::automaton::{Automaton, TaskId};
@@ -64,15 +65,53 @@ pub struct FragTransmitter;
 
 impl FragTransmitter {
     fn fragments(s: &FragTxState) -> Vec<Packet> {
-        s.queue
-            .front()
-            .map(|m| {
-                vec![
-                    Packet::data(frag_seq(s.bit, 0), *m),
-                    Packet::data(frag_seq(s.bit, 1), *m),
-                ]
-            })
-            .unwrap_or_default()
+        (0..2).filter_map(|i| Self::nth_fragment(s, i)).collect()
+    }
+
+    /// Fragment `i` of the front message, without materializing the list.
+    fn nth_fragment(s: &FragTxState, i: u8) -> Option<Packet> {
+        let m = *s.queue.front()?;
+        (i < 2).then(|| Packet::data(frag_seq(s.bit, i), m))
+    }
+
+    /// Deterministic transition function: the unique post-state of `a`
+    /// from `s`, or `None` when `a` is not enabled.
+    fn next(s: &FragTxState, a: &DlAction) -> Option<FragTxState> {
+        match a {
+            DlAction::SendMsg(m) => {
+                let mut t = s.clone();
+                t.queue.push_back(*m);
+                Some(t)
+            }
+            DlAction::ReceivePkt(Dir::RT, p) => {
+                let mut t = s.clone();
+                if p.header.tag == Tag::Ack
+                    && p.header.seq == u64::from(s.bit)
+                    && !t.queue.is_empty()
+                {
+                    t.queue.pop_front();
+                    t.bit = !t.bit;
+                }
+                Some(t)
+            }
+            DlAction::Wake(Dir::TR) => {
+                let mut t = s.clone();
+                t.active = true;
+                Some(t)
+            }
+            DlAction::Fail(Dir::TR) => {
+                let mut t = s.clone();
+                t.active = false;
+                Some(t)
+            }
+            DlAction::Crash(Station::T) => Some(FragTxState::default()),
+            DlAction::SendPkt(Dir::TR, p) => {
+                let fires = s.active
+                    && (0..2).any(|i| Self::nth_fragment(s, i).is_some_and(|q| p.content() == q));
+                fires.then(|| s.clone())
+            }
+            _ => None,
+        }
     }
 }
 
@@ -89,43 +128,23 @@ impl Automaton for FragTransmitter {
     }
 
     fn successors(&self, s: &FragTxState, a: &DlAction) -> Vec<FragTxState> {
-        match a {
-            DlAction::SendMsg(m) => {
-                let mut t = s.clone();
-                t.queue.push_back(*m);
-                vec![t]
-            }
-            DlAction::ReceivePkt(Dir::RT, p) => {
-                let mut t = s.clone();
-                if p.header.tag == Tag::Ack
-                    && p.header.seq == u64::from(s.bit)
-                    && !t.queue.is_empty()
-                {
-                    t.queue.pop_front();
-                    t.bit = !t.bit;
-                }
-                vec![t]
-            }
-            DlAction::Wake(Dir::TR) => {
-                let mut t = s.clone();
-                t.active = true;
-                vec![t]
-            }
-            DlAction::Fail(Dir::TR) => {
-                let mut t = s.clone();
-                t.active = false;
-                vec![t]
-            }
-            DlAction::Crash(Station::T) => vec![FragTxState::default()],
-            DlAction::SendPkt(Dir::TR, p) => {
-                if s.active && Self::fragments(s).iter().any(|q| p.content() == *q) {
-                    vec![s.clone()]
-                } else {
-                    vec![]
-                }
-            }
-            _ => vec![],
+        Self::next(s, a).into_iter().collect()
+    }
+
+    fn try_for_each_successor(
+        &self,
+        s: &FragTxState,
+        a: &DlAction,
+        f: &mut dyn FnMut(FragTxState) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        match Self::next(s, a) {
+            Some(t) => f(t),
+            None => ControlFlow::Continue(()),
         }
+    }
+
+    fn step_first(&self, s: &FragTxState, a: &DlAction) -> Option<FragTxState> {
+        Self::next(s, a)
     }
 
     fn enabled_local(&self, s: &FragTxState) -> Vec<DlAction> {
@@ -136,6 +155,22 @@ impl Automaton for FragTransmitter {
             .into_iter()
             .map(|p| DlAction::SendPkt(Dir::TR, p))
             .collect()
+    }
+
+    fn for_each_enabled_local(
+        &self,
+        s: &FragTxState,
+        f: &mut dyn FnMut(DlAction) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if s.active {
+            for i in 0..2 {
+                match Self::nth_fragment(s, i) {
+                    Some(p) => f(DlAction::SendPkt(Dir::TR, p))?,
+                    None => break,
+                }
+            }
+        }
+        ControlFlow::Continue(())
     }
 
     fn task_of(&self, _a: &DlAction) -> TaskId {
@@ -185,19 +220,10 @@ pub struct FragRxState {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FragReceiver;
 
-impl Automaton for FragReceiver {
-    type Action = DlAction;
-    type State = FragRxState;
-
-    fn start_states(&self) -> Vec<FragRxState> {
-        vec![FragRxState::default()]
-    }
-
-    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
-        receiver_classify(a)
-    }
-
-    fn successors(&self, s: &FragRxState, a: &DlAction) -> Vec<FragRxState> {
+impl FragReceiver {
+    /// Deterministic transition function: the unique post-state of `a`
+    /// from `s`, or `None` when `a` is not enabled.
+    fn next(s: &FragRxState, a: &DlAction) -> Option<FragRxState> {
         match a {
             DlAction::ReceivePkt(Dir::TR, p) => {
                 let mut t = s.clone();
@@ -223,37 +249,70 @@ impl Automaton for FragReceiver {
                         }
                     }
                 }
-                vec![t]
+                Some(t)
             }
             DlAction::Wake(Dir::RT) => {
                 let mut t = s.clone();
                 t.active = true;
-                vec![t]
+                Some(t)
             }
             DlAction::Fail(Dir::RT) => {
                 let mut t = s.clone();
                 t.active = false;
-                vec![t]
+                Some(t)
             }
-            DlAction::Crash(Station::R) => vec![FragRxState::default()],
+            DlAction::Crash(Station::R) => Some(FragRxState::default()),
             DlAction::ReceiveMsg(m) => match s.deliver.front() {
                 Some(front) if front == m => {
                     let mut t = s.clone();
                     t.deliver.pop_front();
-                    vec![t]
+                    Some(t)
                 }
-                _ => vec![],
+                _ => None,
             },
             DlAction::SendPkt(Dir::RT, p) => match s.acks.front() {
                 Some(&b) if s.active && p.content() == Packet::ack(u64::from(b)) => {
                     let mut t = s.clone();
                     t.acks.pop_front();
-                    vec![t]
+                    Some(t)
                 }
-                _ => vec![],
+                _ => None,
             },
-            _ => vec![],
+            _ => None,
         }
+    }
+}
+
+impl Automaton for FragReceiver {
+    type Action = DlAction;
+    type State = FragRxState;
+
+    fn start_states(&self) -> Vec<FragRxState> {
+        vec![FragRxState::default()]
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        receiver_classify(a)
+    }
+
+    fn successors(&self, s: &FragRxState, a: &DlAction) -> Vec<FragRxState> {
+        Self::next(s, a).into_iter().collect()
+    }
+
+    fn try_for_each_successor(
+        &self,
+        s: &FragRxState,
+        a: &DlAction,
+        f: &mut dyn FnMut(FragRxState) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        match Self::next(s, a) {
+            Some(t) => f(t),
+            None => ControlFlow::Continue(()),
+        }
+    }
+
+    fn step_first(&self, s: &FragRxState, a: &DlAction) -> Option<FragRxState> {
+        Self::next(s, a)
     }
 
     fn enabled_local(&self, s: &FragRxState) -> Vec<DlAction> {
@@ -267,6 +326,22 @@ impl Automaton for FragReceiver {
             out.push(DlAction::ReceiveMsg(*m));
         }
         out
+    }
+
+    fn for_each_enabled_local(
+        &self,
+        s: &FragRxState,
+        f: &mut dyn FnMut(DlAction) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if let Some(&b) = s.acks.front() {
+            if s.active {
+                f(DlAction::SendPkt(Dir::RT, Packet::ack(u64::from(b))))?;
+            }
+        }
+        if let Some(m) = s.deliver.front() {
+            f(DlAction::ReceiveMsg(*m))?;
+        }
+        ControlFlow::Continue(())
     }
 
     fn task_of(&self, a: &DlAction) -> TaskId {

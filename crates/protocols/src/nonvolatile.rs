@@ -28,6 +28,7 @@
 //! (that is fine: the crash theorem is about FIFO channels, not headers).
 
 use std::collections::VecDeque;
+use std::ops::ControlFlow;
 
 use ioa::action::ActionClass;
 use ioa::automaton::{Automaton, TaskId};
@@ -70,6 +71,56 @@ pub struct NvTxState {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct NvTransmitter;
 
+impl NvTransmitter {
+    /// Deterministic transition function: the unique post-state of `a`
+    /// from `s`, or `None` when `a` is not enabled.
+    fn next(s: &NvTxState, a: &DlAction) -> Option<NvTxState> {
+        match a {
+            DlAction::SendMsg(m) => {
+                let mut t = s.clone();
+                t.queue.push_back(*m);
+                Some(t)
+            }
+            DlAction::ReceivePkt(Dir::RT, p) => {
+                let mut t = s.clone();
+                if p.header.tag == Tag::Ack {
+                    let (e, q) = unpack(p.header.seq);
+                    if e == s.epoch && q == s.seq && !t.queue.is_empty() {
+                        t.queue.pop_front();
+                        t.seq += 1;
+                    }
+                }
+                Some(t)
+            }
+            DlAction::Wake(Dir::TR) => {
+                let mut t = s.clone();
+                t.active = true;
+                Some(t)
+            }
+            DlAction::Fail(Dir::TR) => {
+                let mut t = s.clone();
+                t.active = false;
+                Some(t)
+            }
+            DlAction::Crash(Station::T) => {
+                // Volatile state lost; the non-volatile epoch survives and
+                // advances, so post-crash packets are distinguishable.
+                Some(NvTxState {
+                    epoch: s.epoch + 1,
+                    ..NvTxState::default()
+                })
+            }
+            DlAction::SendPkt(Dir::TR, p) => match s.queue.front() {
+                Some(m) if s.active && p.content() == Packet::data(pack(s.epoch, s.seq), *m) => {
+                    Some(s.clone())
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
 impl Automaton for NvTransmitter {
     type Action = DlAction;
     type State = NvTxState;
@@ -83,49 +134,23 @@ impl Automaton for NvTransmitter {
     }
 
     fn successors(&self, s: &NvTxState, a: &DlAction) -> Vec<NvTxState> {
-        match a {
-            DlAction::SendMsg(m) => {
-                let mut t = s.clone();
-                t.queue.push_back(*m);
-                vec![t]
-            }
-            DlAction::ReceivePkt(Dir::RT, p) => {
-                let mut t = s.clone();
-                if p.header.tag == Tag::Ack {
-                    let (e, q) = unpack(p.header.seq);
-                    if e == s.epoch && q == s.seq && !t.queue.is_empty() {
-                        t.queue.pop_front();
-                        t.seq += 1;
-                    }
-                }
-                vec![t]
-            }
-            DlAction::Wake(Dir::TR) => {
-                let mut t = s.clone();
-                t.active = true;
-                vec![t]
-            }
-            DlAction::Fail(Dir::TR) => {
-                let mut t = s.clone();
-                t.active = false;
-                vec![t]
-            }
-            DlAction::Crash(Station::T) => {
-                // Volatile state lost; the non-volatile epoch survives and
-                // advances, so post-crash packets are distinguishable.
-                vec![NvTxState {
-                    epoch: s.epoch + 1,
-                    ..NvTxState::default()
-                }]
-            }
-            DlAction::SendPkt(Dir::TR, p) => match s.queue.front() {
-                Some(m) if s.active && p.content() == Packet::data(pack(s.epoch, s.seq), *m) => {
-                    vec![s.clone()]
-                }
-                _ => vec![],
-            },
-            _ => vec![],
+        Self::next(s, a).into_iter().collect()
+    }
+
+    fn try_for_each_successor(
+        &self,
+        s: &NvTxState,
+        a: &DlAction,
+        f: &mut dyn FnMut(NvTxState) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        match Self::next(s, a) {
+            Some(t) => f(t),
+            None => ControlFlow::Continue(()),
         }
+    }
+
+    fn step_first(&self, s: &NvTxState, a: &DlAction) -> Option<NvTxState> {
+        Self::next(s, a)
     }
 
     fn enabled_local(&self, s: &NvTxState) -> Vec<DlAction> {
@@ -137,6 +162,22 @@ impl Automaton for NvTransmitter {
             .map(|m| DlAction::SendPkt(Dir::TR, Packet::data(pack(s.epoch, s.seq), *m)))
             .into_iter()
             .collect()
+    }
+
+    fn for_each_enabled_local(
+        &self,
+        s: &NvTxState,
+        f: &mut dyn FnMut(DlAction) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if s.active {
+            if let Some(m) = s.queue.front() {
+                f(DlAction::SendPkt(
+                    Dir::TR,
+                    Packet::data(pack(s.epoch, s.seq), *m),
+                ))?;
+            }
+        }
+        ControlFlow::Continue(())
     }
 
     fn task_of(&self, _a: &DlAction) -> TaskId {
@@ -188,19 +229,10 @@ pub struct NvRxState {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct NvReceiver;
 
-impl Automaton for NvReceiver {
-    type Action = DlAction;
-    type State = NvRxState;
-
-    fn start_states(&self) -> Vec<NvRxState> {
-        vec![NvRxState::default()]
-    }
-
-    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
-        receiver_classify(a)
-    }
-
-    fn successors(&self, s: &NvRxState, a: &DlAction) -> Vec<NvRxState> {
+impl NvReceiver {
+    /// Deterministic transition function: the unique post-state of `a`
+    /// from `s`, or `None` when `a` is not enabled.
+    fn next(s: &NvRxState, a: &DlAction) -> Option<NvRxState> {
         match a {
             DlAction::ReceivePkt(Dir::TR, p) => {
                 let mut t = s.clone();
@@ -228,17 +260,17 @@ impl Automaton for NvReceiver {
                         // e < s.epoch: stale epoch, ignore entirely.
                     }
                 }
-                vec![t]
+                Some(t)
             }
             DlAction::Wake(Dir::RT) => {
                 let mut t = s.clone();
                 t.active = true;
-                vec![t]
+                Some(t)
             }
             DlAction::Fail(Dir::RT) => {
                 let mut t = s.clone();
                 t.active = false;
-                vec![t]
+                Some(t)
             }
             DlAction::Crash(Station::R) => {
                 // Non-volatile storage: only the medium flag and the
@@ -246,26 +278,59 @@ impl Automaton for NvReceiver {
                 let mut t = s.clone();
                 t.active = false;
                 t.acks.clear();
-                vec![t]
+                Some(t)
             }
             DlAction::ReceiveMsg(m) => match s.deliver.front() {
                 Some(front) if front == m => {
                     let mut t = s.clone();
                     t.deliver.pop_front();
-                    vec![t]
+                    Some(t)
                 }
-                _ => vec![],
+                _ => None,
             },
             DlAction::SendPkt(Dir::RT, p) => match s.acks.front() {
                 Some(&seq) if s.active && p.content() == Packet::ack(seq) => {
                     let mut t = s.clone();
                     t.acks.pop_front();
-                    vec![t]
+                    Some(t)
                 }
-                _ => vec![],
+                _ => None,
             },
-            _ => vec![],
+            _ => None,
         }
+    }
+}
+
+impl Automaton for NvReceiver {
+    type Action = DlAction;
+    type State = NvRxState;
+
+    fn start_states(&self) -> Vec<NvRxState> {
+        vec![NvRxState::default()]
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        receiver_classify(a)
+    }
+
+    fn successors(&self, s: &NvRxState, a: &DlAction) -> Vec<NvRxState> {
+        Self::next(s, a).into_iter().collect()
+    }
+
+    fn try_for_each_successor(
+        &self,
+        s: &NvRxState,
+        a: &DlAction,
+        f: &mut dyn FnMut(NvRxState) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        match Self::next(s, a) {
+            Some(t) => f(t),
+            None => ControlFlow::Continue(()),
+        }
+    }
+
+    fn step_first(&self, s: &NvRxState, a: &DlAction) -> Option<NvRxState> {
+        Self::next(s, a)
     }
 
     fn enabled_local(&self, s: &NvRxState) -> Vec<DlAction> {
@@ -279,6 +344,22 @@ impl Automaton for NvReceiver {
             out.push(DlAction::ReceiveMsg(*m));
         }
         out
+    }
+
+    fn for_each_enabled_local(
+        &self,
+        s: &NvRxState,
+        f: &mut dyn FnMut(DlAction) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if let Some(&seq) = s.acks.front() {
+            if s.active {
+                f(DlAction::SendPkt(Dir::RT, Packet::ack(seq)))?;
+            }
+        }
+        if let Some(m) = s.deliver.front() {
+            f(DlAction::ReceiveMsg(*m))?;
+        }
+        ControlFlow::Continue(())
     }
 
     fn task_of(&self, a: &DlAction) -> TaskId {

@@ -24,6 +24,7 @@
 //! the §9 refinement of the equivalence relation is needed.
 
 use std::collections::VecDeque;
+use std::ops::ControlFlow;
 
 use ioa::action::ActionClass;
 use ioa::automaton::{Automaton, TaskId};
@@ -70,13 +71,58 @@ pub struct ParityTransmitter;
 
 impl ParityTransmitter {
     fn packets(s: &ParityTxState) -> Vec<Packet> {
-        match s.queue.front() {
-            None => vec![],
-            Some(m) if is_whole_class(*m) => vec![Packet::data(whole_seq(s.bit), *m)],
-            Some(m) => vec![
-                Packet::data(part_seq(s.bit, 0), *m),
-                Packet::data(part_seq(s.bit, 1), *m),
-            ],
+        (0..2).filter_map(|i| Self::nth_packet(s, i)).collect()
+    }
+
+    /// The `i`-th packet the front message enables, without materializing
+    /// the whole list: one `WHOLE` packet for even messages, two `PART`
+    /// fragments for odd ones.
+    fn nth_packet(s: &ParityTxState, i: u8) -> Option<Packet> {
+        let m = *s.queue.front()?;
+        if is_whole_class(m) {
+            (i == 0).then(|| Packet::data(whole_seq(s.bit), m))
+        } else {
+            (i < 2).then(|| Packet::data(part_seq(s.bit, i), m))
+        }
+    }
+
+    /// Deterministic transition function: the unique post-state of `a`
+    /// from `s`, or `None` when `a` is not enabled.
+    fn next(s: &ParityTxState, a: &DlAction) -> Option<ParityTxState> {
+        match a {
+            DlAction::SendMsg(m) => {
+                let mut t = s.clone();
+                t.queue.push_back(*m);
+                Some(t)
+            }
+            DlAction::ReceivePkt(Dir::RT, p) => {
+                let mut t = s.clone();
+                if p.header.tag == Tag::Ack
+                    && p.header.seq == u64::from(s.bit)
+                    && !t.queue.is_empty()
+                {
+                    t.queue.pop_front();
+                    t.bit = !t.bit;
+                }
+                Some(t)
+            }
+            DlAction::Wake(Dir::TR) => {
+                let mut t = s.clone();
+                t.active = true;
+                Some(t)
+            }
+            DlAction::Fail(Dir::TR) => {
+                let mut t = s.clone();
+                t.active = false;
+                Some(t)
+            }
+            DlAction::Crash(Station::T) => Some(ParityTxState::default()),
+            DlAction::SendPkt(Dir::TR, p) => {
+                let fires = s.active
+                    && (0..2).any(|i| Self::nth_packet(s, i).is_some_and(|q| p.content() == q));
+                fires.then(|| s.clone())
+            }
+            _ => None,
         }
     }
 }
@@ -94,43 +140,23 @@ impl Automaton for ParityTransmitter {
     }
 
     fn successors(&self, s: &ParityTxState, a: &DlAction) -> Vec<ParityTxState> {
-        match a {
-            DlAction::SendMsg(m) => {
-                let mut t = s.clone();
-                t.queue.push_back(*m);
-                vec![t]
-            }
-            DlAction::ReceivePkt(Dir::RT, p) => {
-                let mut t = s.clone();
-                if p.header.tag == Tag::Ack
-                    && p.header.seq == u64::from(s.bit)
-                    && !t.queue.is_empty()
-                {
-                    t.queue.pop_front();
-                    t.bit = !t.bit;
-                }
-                vec![t]
-            }
-            DlAction::Wake(Dir::TR) => {
-                let mut t = s.clone();
-                t.active = true;
-                vec![t]
-            }
-            DlAction::Fail(Dir::TR) => {
-                let mut t = s.clone();
-                t.active = false;
-                vec![t]
-            }
-            DlAction::Crash(Station::T) => vec![ParityTxState::default()],
-            DlAction::SendPkt(Dir::TR, p) => {
-                if s.active && Self::packets(s).iter().any(|q| p.content() == *q) {
-                    vec![s.clone()]
-                } else {
-                    vec![]
-                }
-            }
-            _ => vec![],
+        Self::next(s, a).into_iter().collect()
+    }
+
+    fn try_for_each_successor(
+        &self,
+        s: &ParityTxState,
+        a: &DlAction,
+        f: &mut dyn FnMut(ParityTxState) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        match Self::next(s, a) {
+            Some(t) => f(t),
+            None => ControlFlow::Continue(()),
         }
+    }
+
+    fn step_first(&self, s: &ParityTxState, a: &DlAction) -> Option<ParityTxState> {
+        Self::next(s, a)
     }
 
     fn enabled_local(&self, s: &ParityTxState) -> Vec<DlAction> {
@@ -141,6 +167,22 @@ impl Automaton for ParityTransmitter {
             .into_iter()
             .map(|p| DlAction::SendPkt(Dir::TR, p))
             .collect()
+    }
+
+    fn for_each_enabled_local(
+        &self,
+        s: &ParityTxState,
+        f: &mut dyn FnMut(DlAction) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if s.active {
+            for i in 0..2 {
+                match Self::nth_packet(s, i) {
+                    Some(p) => f(DlAction::SendPkt(Dir::TR, p))?,
+                    None => break,
+                }
+            }
+        }
+        ControlFlow::Continue(())
     }
 
     fn task_of(&self, _a: &DlAction) -> TaskId {
@@ -205,21 +247,10 @@ impl ParityReceiver {
         t.pending = None;
         Self::push_ack(t, bit);
     }
-}
 
-impl Automaton for ParityReceiver {
-    type Action = DlAction;
-    type State = ParityRxState;
-
-    fn start_states(&self) -> Vec<ParityRxState> {
-        vec![ParityRxState::default()]
-    }
-
-    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
-        receiver_classify(a)
-    }
-
-    fn successors(&self, s: &ParityRxState, a: &DlAction) -> Vec<ParityRxState> {
+    /// Deterministic transition function: the unique post-state of `a`
+    /// from `s`, or `None` when `a` is not enabled.
+    fn next(s: &ParityRxState, a: &DlAction) -> Option<ParityRxState> {
         match a {
             DlAction::ReceivePkt(Dir::TR, p) => {
                 let mut t = s.clone();
@@ -251,37 +282,70 @@ impl Automaton for ParityReceiver {
                         }
                     }
                 }
-                vec![t]
+                Some(t)
             }
             DlAction::Wake(Dir::RT) => {
                 let mut t = s.clone();
                 t.active = true;
-                vec![t]
+                Some(t)
             }
             DlAction::Fail(Dir::RT) => {
                 let mut t = s.clone();
                 t.active = false;
-                vec![t]
+                Some(t)
             }
-            DlAction::Crash(Station::R) => vec![ParityRxState::default()],
+            DlAction::Crash(Station::R) => Some(ParityRxState::default()),
             DlAction::ReceiveMsg(m) => match s.deliver.front() {
                 Some(front) if front == m => {
                     let mut t = s.clone();
                     t.deliver.pop_front();
-                    vec![t]
+                    Some(t)
                 }
-                _ => vec![],
+                _ => None,
             },
             DlAction::SendPkt(Dir::RT, p) => match s.acks.front() {
                 Some(&b) if s.active && p.content() == Packet::ack(u64::from(b)) => {
                     let mut t = s.clone();
                     t.acks.pop_front();
-                    vec![t]
+                    Some(t)
                 }
-                _ => vec![],
+                _ => None,
             },
-            _ => vec![],
+            _ => None,
         }
+    }
+}
+
+impl Automaton for ParityReceiver {
+    type Action = DlAction;
+    type State = ParityRxState;
+
+    fn start_states(&self) -> Vec<ParityRxState> {
+        vec![ParityRxState::default()]
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        receiver_classify(a)
+    }
+
+    fn successors(&self, s: &ParityRxState, a: &DlAction) -> Vec<ParityRxState> {
+        Self::next(s, a).into_iter().collect()
+    }
+
+    fn try_for_each_successor(
+        &self,
+        s: &ParityRxState,
+        a: &DlAction,
+        f: &mut dyn FnMut(ParityRxState) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        match Self::next(s, a) {
+            Some(t) => f(t),
+            None => ControlFlow::Continue(()),
+        }
+    }
+
+    fn step_first(&self, s: &ParityRxState, a: &DlAction) -> Option<ParityRxState> {
+        Self::next(s, a)
     }
 
     fn enabled_local(&self, s: &ParityRxState) -> Vec<DlAction> {
@@ -295,6 +359,22 @@ impl Automaton for ParityReceiver {
             out.push(DlAction::ReceiveMsg(*m));
         }
         out
+    }
+
+    fn for_each_enabled_local(
+        &self,
+        s: &ParityRxState,
+        f: &mut dyn FnMut(DlAction) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if let Some(&b) = s.acks.front() {
+            if s.active {
+                f(DlAction::SendPkt(Dir::RT, Packet::ack(u64::from(b))))?;
+            }
+        }
+        if let Some(m) = s.deliver.front() {
+            f(DlAction::ReceiveMsg(*m))?;
+        }
+        ControlFlow::Continue(())
     }
 
     fn task_of(&self, a: &DlAction) -> TaskId {

@@ -16,6 +16,7 @@
 //! counterexample.
 
 use std::collections::VecDeque;
+use std::ops::ControlFlow;
 
 use ioa::action::ActionClass;
 use ioa::automaton::{Automaton, TaskId};
@@ -46,6 +47,42 @@ impl QuirkyTransmitter {
         // message-dependence under test.
         s.queue.front().map(|m| Packet::data(m.0, *m))
     }
+
+    /// Deterministic transition function: the unique post-state of `a`
+    /// from `s`, or `None` when `a` is not enabled.
+    fn next(s: &QuirkyTxState, a: &DlAction) -> Option<QuirkyTxState> {
+        match a {
+            DlAction::SendMsg(m) => {
+                let mut t = s.clone();
+                t.queue.push_back(*m);
+                Some(t)
+            }
+            DlAction::ReceivePkt(Dir::RT, p) => {
+                let mut t = s.clone();
+                if p.header.tag == Tag::Ack && s.queue.front().is_some_and(|m| m.0 == p.header.seq)
+                {
+                    t.queue.pop_front();
+                }
+                Some(t)
+            }
+            DlAction::Wake(Dir::TR) => {
+                let mut t = s.clone();
+                t.active = true;
+                Some(t)
+            }
+            DlAction::Fail(Dir::TR) => {
+                let mut t = s.clone();
+                t.active = false;
+                Some(t)
+            }
+            DlAction::Crash(Station::T) => Some(QuirkyTxState::default()),
+            DlAction::SendPkt(Dir::TR, p) => match Self::current_packet(s) {
+                Some(q) if s.active && p.content() == q => Some(s.clone()),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
 }
 
 impl Automaton for QuirkyTransmitter {
@@ -61,37 +98,23 @@ impl Automaton for QuirkyTransmitter {
     }
 
     fn successors(&self, s: &QuirkyTxState, a: &DlAction) -> Vec<QuirkyTxState> {
-        match a {
-            DlAction::SendMsg(m) => {
-                let mut t = s.clone();
-                t.queue.push_back(*m);
-                vec![t]
-            }
-            DlAction::ReceivePkt(Dir::RT, p) => {
-                let mut t = s.clone();
-                if p.header.tag == Tag::Ack && s.queue.front().is_some_and(|m| m.0 == p.header.seq)
-                {
-                    t.queue.pop_front();
-                }
-                vec![t]
-            }
-            DlAction::Wake(Dir::TR) => {
-                let mut t = s.clone();
-                t.active = true;
-                vec![t]
-            }
-            DlAction::Fail(Dir::TR) => {
-                let mut t = s.clone();
-                t.active = false;
-                vec![t]
-            }
-            DlAction::Crash(Station::T) => vec![QuirkyTxState::default()],
-            DlAction::SendPkt(Dir::TR, p) => match Self::current_packet(s) {
-                Some(q) if s.active && p.content() == q => vec![s.clone()],
-                _ => vec![],
-            },
-            _ => vec![],
+        Self::next(s, a).into_iter().collect()
+    }
+
+    fn try_for_each_successor(
+        &self,
+        s: &QuirkyTxState,
+        a: &DlAction,
+        f: &mut dyn FnMut(QuirkyTxState) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        match Self::next(s, a) {
+            Some(t) => f(t),
+            None => ControlFlow::Continue(()),
         }
+    }
+
+    fn step_first(&self, s: &QuirkyTxState, a: &DlAction) -> Option<QuirkyTxState> {
+        Self::next(s, a)
     }
 
     fn enabled_local(&self, s: &QuirkyTxState) -> Vec<DlAction> {
@@ -102,6 +125,19 @@ impl Automaton for QuirkyTransmitter {
             .map(|p| DlAction::SendPkt(Dir::TR, p))
             .into_iter()
             .collect()
+    }
+
+    fn for_each_enabled_local(
+        &self,
+        s: &QuirkyTxState,
+        f: &mut dyn FnMut(DlAction) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if s.active {
+            if let Some(p) = Self::current_packet(s) {
+                f(DlAction::SendPkt(Dir::TR, p))?;
+            }
+        }
+        ControlFlow::Continue(())
     }
 
     fn task_of(&self, _a: &DlAction) -> TaskId {
@@ -148,19 +184,10 @@ pub struct QuirkyRxState {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct QuirkyReceiver;
 
-impl Automaton for QuirkyReceiver {
-    type Action = DlAction;
-    type State = QuirkyRxState;
-
-    fn start_states(&self) -> Vec<QuirkyRxState> {
-        vec![QuirkyRxState::default()]
-    }
-
-    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
-        receiver_classify(a)
-    }
-
-    fn successors(&self, s: &QuirkyRxState, a: &DlAction) -> Vec<QuirkyRxState> {
+impl QuirkyReceiver {
+    /// Deterministic transition function: the unique post-state of `a`
+    /// from `s`, or `None` when `a` is not enabled.
+    fn next(s: &QuirkyRxState, a: &DlAction) -> Option<QuirkyRxState> {
         match a {
             DlAction::ReceivePkt(Dir::TR, p) => {
                 let mut t = s.clone();
@@ -175,37 +202,70 @@ impl Automaton for QuirkyReceiver {
                         }
                     }
                 }
-                vec![t]
+                Some(t)
             }
             DlAction::Wake(Dir::RT) => {
                 let mut t = s.clone();
                 t.active = true;
-                vec![t]
+                Some(t)
             }
             DlAction::Fail(Dir::RT) => {
                 let mut t = s.clone();
                 t.active = false;
-                vec![t]
+                Some(t)
             }
-            DlAction::Crash(Station::R) => vec![QuirkyRxState::default()],
+            DlAction::Crash(Station::R) => Some(QuirkyRxState::default()),
             DlAction::ReceiveMsg(m) => match s.deliver.front() {
                 Some(front) if front == m => {
                     let mut t = s.clone();
                     t.deliver.pop_front();
-                    vec![t]
+                    Some(t)
                 }
-                _ => vec![],
+                _ => None,
             },
             DlAction::SendPkt(Dir::RT, p) => match s.acks.front() {
                 Some(&seq) if s.active && p.content() == Packet::ack(seq) => {
                     let mut t = s.clone();
                     t.acks.pop_front();
-                    vec![t]
+                    Some(t)
                 }
-                _ => vec![],
+                _ => None,
             },
-            _ => vec![],
+            _ => None,
         }
+    }
+}
+
+impl Automaton for QuirkyReceiver {
+    type Action = DlAction;
+    type State = QuirkyRxState;
+
+    fn start_states(&self) -> Vec<QuirkyRxState> {
+        vec![QuirkyRxState::default()]
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        receiver_classify(a)
+    }
+
+    fn successors(&self, s: &QuirkyRxState, a: &DlAction) -> Vec<QuirkyRxState> {
+        Self::next(s, a).into_iter().collect()
+    }
+
+    fn try_for_each_successor(
+        &self,
+        s: &QuirkyRxState,
+        a: &DlAction,
+        f: &mut dyn FnMut(QuirkyRxState) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        match Self::next(s, a) {
+            Some(t) => f(t),
+            None => ControlFlow::Continue(()),
+        }
+    }
+
+    fn step_first(&self, s: &QuirkyRxState, a: &DlAction) -> Option<QuirkyRxState> {
+        Self::next(s, a)
     }
 
     fn enabled_local(&self, s: &QuirkyRxState) -> Vec<DlAction> {
@@ -219,6 +279,22 @@ impl Automaton for QuirkyReceiver {
             out.push(DlAction::ReceiveMsg(*m));
         }
         out
+    }
+
+    fn for_each_enabled_local(
+        &self,
+        s: &QuirkyRxState,
+        f: &mut dyn FnMut(DlAction) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if let Some(&seq) = s.acks.front() {
+            if s.active {
+                f(DlAction::SendPkt(Dir::RT, Packet::ack(seq)))?;
+            }
+        }
+        if let Some(m) = s.deliver.front() {
+            f(DlAction::ReceiveMsg(*m))?;
+        }
+        ControlFlow::Continue(())
     }
 
     fn task_of(&self, a: &DlAction) -> TaskId {

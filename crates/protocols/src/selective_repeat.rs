@@ -21,6 +21,7 @@
 //! family does not (per-packet acks, receiver buffering).
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::ops::ControlFlow;
 
 use ioa::action::ActionClass;
 use ioa::automaton::{Automaton, TaskId};
@@ -96,29 +97,23 @@ impl SrTransmitter {
         let n = (self.window as usize).min(s.queue.len());
         (0..n as u64)
             .filter(|k| !s.acked.contains(k))
-            .map(|k| Packet::data((s.base + k) % self.modulus(), s.queue[k as usize]))
+            .map(|k| self.outstanding_packet(s, k))
             .collect()
     }
-}
 
-impl Automaton for SrTransmitter {
-    type Action = DlAction;
-    type State = SrTxState;
-
-    fn start_states(&self) -> Vec<SrTxState> {
-        vec![SrTxState::default()]
+    /// The data packet at window offset `k` (callers bound and filter `k`).
+    fn outstanding_packet(&self, s: &SrTxState, k: u64) -> Packet {
+        Packet::data((s.base + k) % self.modulus(), s.queue[k as usize])
     }
 
-    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
-        transmitter_classify(a)
-    }
-
-    fn successors(&self, s: &SrTxState, a: &DlAction) -> Vec<SrTxState> {
+    /// Deterministic transition core: the unique post-state, or `None`
+    /// when the action is not enabled.
+    fn next(&self, s: &SrTxState, a: &DlAction) -> Option<SrTxState> {
         match a {
             DlAction::SendMsg(m) => {
                 let mut t = s.clone();
                 t.queue.push_back(*m);
-                vec![t]
+                Some(t)
             }
             DlAction::ReceivePkt(Dir::RT, p) => {
                 let mut t = s.clone();
@@ -151,33 +146,67 @@ impl Automaton for SrTransmitter {
                         }
                     }
                 }
-                vec![t]
+                Some(t)
             }
             DlAction::Wake(Dir::TR) => {
                 let mut t = s.clone();
                 t.active = true;
-                vec![t]
+                Some(t)
             }
             DlAction::Fail(Dir::TR) => {
                 let mut t = s.clone();
                 t.active = false;
-                vec![t]
+                Some(t)
             }
-            DlAction::Crash(Station::T) => vec![SrTxState::default()],
+            DlAction::Crash(Station::T) => Some(SrTxState::default()),
             DlAction::SendPkt(Dir::TR, p) => {
+                let n = (self.window as usize).min(s.queue.len()) as u64;
+                let c = p.content();
                 if s.active
-                    && self
-                        .outstanding_packets(s)
-                        .iter()
-                        .any(|q| p.content() == *q)
+                    && (0..n)
+                        .filter(|k| !s.acked.contains(k))
+                        .any(|k| c == self.outstanding_packet(s, k))
                 {
-                    vec![s.clone()]
+                    Some(s.clone())
                 } else {
-                    vec![]
+                    None
                 }
             }
-            _ => vec![],
+            _ => None,
         }
+    }
+}
+
+impl Automaton for SrTransmitter {
+    type Action = DlAction;
+    type State = SrTxState;
+
+    fn start_states(&self) -> Vec<SrTxState> {
+        vec![SrTxState::default()]
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        transmitter_classify(a)
+    }
+
+    fn successors(&self, s: &SrTxState, a: &DlAction) -> Vec<SrTxState> {
+        self.next(s, a).into_iter().collect()
+    }
+
+    fn try_for_each_successor(
+        &self,
+        s: &SrTxState,
+        a: &DlAction,
+        f: &mut dyn FnMut(SrTxState) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        match self.next(s, a) {
+            Some(t) => f(t),
+            None => ControlFlow::Continue(()),
+        }
+    }
+
+    fn step_first(&self, s: &SrTxState, a: &DlAction) -> Option<SrTxState> {
+        self.next(s, a)
     }
 
     fn enabled_local(&self, s: &SrTxState) -> Vec<DlAction> {
@@ -188,6 +217,21 @@ impl Automaton for SrTransmitter {
             .into_iter()
             .map(|p| DlAction::SendPkt(Dir::TR, p))
             .collect()
+    }
+
+    fn for_each_enabled_local(
+        &self,
+        s: &SrTxState,
+        f: &mut dyn FnMut(DlAction) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if !s.active {
+            return ControlFlow::Continue(());
+        }
+        let n = (self.window as usize).min(s.queue.len()) as u64;
+        for k in (0..n).filter(|k| !s.acked.contains(k)) {
+            f(DlAction::SendPkt(Dir::TR, self.outstanding_packet(s, k)))?;
+        }
+        ControlFlow::Continue(())
     }
 
     fn task_of(&self, _a: &DlAction) -> TaskId {
@@ -255,21 +299,9 @@ impl SrReceiver {
     pub fn modulus(&self) -> u64 {
         2 * self.window
     }
-}
 
-impl Automaton for SrReceiver {
-    type Action = DlAction;
-    type State = SrRxState;
-
-    fn start_states(&self) -> Vec<SrRxState> {
-        vec![SrRxState::default()]
-    }
-
-    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
-        receiver_classify(a)
-    }
-
-    fn successors(&self, s: &SrRxState, a: &DlAction) -> Vec<SrRxState> {
+    /// Deterministic transition core.
+    fn next(&self, s: &SrRxState, a: &DlAction) -> Option<SrRxState> {
         match a {
             DlAction::ReceivePkt(Dir::TR, p) => {
                 let mut t = s.clone();
@@ -307,37 +339,70 @@ impl Automaton for SrReceiver {
                         }
                     }
                 }
-                vec![t]
+                Some(t)
             }
             DlAction::Wake(Dir::RT) => {
                 let mut t = s.clone();
                 t.active = true;
-                vec![t]
+                Some(t)
             }
             DlAction::Fail(Dir::RT) => {
                 let mut t = s.clone();
                 t.active = false;
-                vec![t]
+                Some(t)
             }
-            DlAction::Crash(Station::R) => vec![SrRxState::default()],
+            DlAction::Crash(Station::R) => Some(SrRxState::default()),
             DlAction::ReceiveMsg(m) => match s.deliver.front() {
                 Some(front) if front == m => {
                     let mut t = s.clone();
                     t.deliver.pop_front();
-                    vec![t]
+                    Some(t)
                 }
-                _ => vec![],
+                _ => None,
             },
             DlAction::SendPkt(Dir::RT, p) => match s.acks.front() {
                 Some(&seq) if s.active && p.content() == Packet::ack(seq) => {
                     let mut t = s.clone();
                     t.acks.pop_front();
-                    vec![t]
+                    Some(t)
                 }
-                _ => vec![],
+                _ => None,
             },
-            _ => vec![],
+            _ => None,
         }
+    }
+}
+
+impl Automaton for SrReceiver {
+    type Action = DlAction;
+    type State = SrRxState;
+
+    fn start_states(&self) -> Vec<SrRxState> {
+        vec![SrRxState::default()]
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        receiver_classify(a)
+    }
+
+    fn successors(&self, s: &SrRxState, a: &DlAction) -> Vec<SrRxState> {
+        self.next(s, a).into_iter().collect()
+    }
+
+    fn try_for_each_successor(
+        &self,
+        s: &SrRxState,
+        a: &DlAction,
+        f: &mut dyn FnMut(SrRxState) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        match self.next(s, a) {
+            Some(t) => f(t),
+            None => ControlFlow::Continue(()),
+        }
+    }
+
+    fn step_first(&self, s: &SrRxState, a: &DlAction) -> Option<SrRxState> {
+        self.next(s, a)
     }
 
     fn enabled_local(&self, s: &SrRxState) -> Vec<DlAction> {
@@ -351,6 +416,22 @@ impl Automaton for SrReceiver {
             out.push(DlAction::ReceiveMsg(*m));
         }
         out
+    }
+
+    fn for_each_enabled_local(
+        &self,
+        s: &SrRxState,
+        f: &mut dyn FnMut(DlAction) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if let Some(&seq) = s.acks.front() {
+            if s.active {
+                f(DlAction::SendPkt(Dir::RT, Packet::ack(seq)))?;
+            }
+        }
+        if let Some(m) = s.deliver.front() {
+            f(DlAction::ReceiveMsg(*m))?;
+        }
+        ControlFlow::Continue(())
     }
 
     fn task_of(&self, a: &DlAction) -> TaskId {

@@ -14,6 +14,7 @@
 //! dial (experiment E3).
 
 use std::collections::VecDeque;
+use std::ops::ControlFlow;
 
 use ioa::action::ActionClass;
 use ioa::automaton::{Automaton, TaskId};
@@ -71,30 +72,22 @@ impl SwTransmitter {
 
     fn in_window_packets(&self, s: &SwTxState) -> Vec<Packet> {
         let n = (self.window as usize).min(s.queue.len());
-        (0..n)
-            .map(|i| Packet::data((s.base + i as u64) % self.modulus(), s.queue[i]))
-            .collect()
-    }
-}
-
-impl Automaton for SwTransmitter {
-    type Action = DlAction;
-    type State = SwTxState;
-
-    fn start_states(&self) -> Vec<SwTxState> {
-        vec![SwTxState::default()]
+        (0..n).map(|i| self.window_packet(s, i)).collect()
     }
 
-    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
-        transmitter_classify(a)
+    /// The `i`-th in-window packet (callers bound `i` by the window).
+    fn window_packet(&self, s: &SwTxState, i: usize) -> Packet {
+        Packet::data((s.base + i as u64) % self.modulus(), s.queue[i])
     }
 
-    fn successors(&self, s: &SwTxState, a: &DlAction) -> Vec<SwTxState> {
+    /// Deterministic transition core: the unique post-state, or `None`
+    /// when the action is not enabled.
+    fn next(&self, s: &SwTxState, a: &DlAction) -> Option<SwTxState> {
         match a {
             DlAction::SendMsg(m) => {
                 let mut t = s.clone();
                 t.queue.push_back(*m);
-                vec![t]
+                Some(t)
             }
             DlAction::ReceivePkt(Dir::RT, p) => {
                 let mut t = s.clone();
@@ -112,28 +105,63 @@ impl Automaton for SwTransmitter {
                         t.base += k;
                     }
                 }
-                vec![t]
+                Some(t)
             }
             DlAction::Wake(Dir::TR) => {
                 let mut t = s.clone();
                 t.active = true;
-                vec![t]
+                Some(t)
             }
             DlAction::Fail(Dir::TR) => {
                 let mut t = s.clone();
                 t.active = false;
-                vec![t]
+                Some(t)
             }
-            DlAction::Crash(Station::T) => vec![SwTxState::default()],
+            DlAction::Crash(Station::T) => Some(SwTxState::default()),
             DlAction::SendPkt(Dir::TR, p) => {
-                if s.active && self.in_window_packets(s).iter().any(|q| p.content() == *q) {
-                    vec![s.clone()]
+                let n = (self.window as usize).min(s.queue.len());
+                let c = p.content();
+                if s.active && (0..n).any(|i| c == self.window_packet(s, i)) {
+                    Some(s.clone())
                 } else {
-                    vec![]
+                    None
                 }
             }
-            _ => vec![],
+            _ => None,
         }
+    }
+}
+
+impl Automaton for SwTransmitter {
+    type Action = DlAction;
+    type State = SwTxState;
+
+    fn start_states(&self) -> Vec<SwTxState> {
+        vec![SwTxState::default()]
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        transmitter_classify(a)
+    }
+
+    fn successors(&self, s: &SwTxState, a: &DlAction) -> Vec<SwTxState> {
+        self.next(s, a).into_iter().collect()
+    }
+
+    fn try_for_each_successor(
+        &self,
+        s: &SwTxState,
+        a: &DlAction,
+        f: &mut dyn FnMut(SwTxState) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        match self.next(s, a) {
+            Some(t) => f(t),
+            None => ControlFlow::Continue(()),
+        }
+    }
+
+    fn step_first(&self, s: &SwTxState, a: &DlAction) -> Option<SwTxState> {
+        self.next(s, a)
     }
 
     fn enabled_local(&self, s: &SwTxState) -> Vec<DlAction> {
@@ -144,6 +172,21 @@ impl Automaton for SwTransmitter {
             .into_iter()
             .map(|p| DlAction::SendPkt(Dir::TR, p))
             .collect()
+    }
+
+    fn for_each_enabled_local(
+        &self,
+        s: &SwTxState,
+        f: &mut dyn FnMut(DlAction) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if !s.active {
+            return ControlFlow::Continue(());
+        }
+        let n = (self.window as usize).min(s.queue.len());
+        for i in 0..n {
+            f(DlAction::SendPkt(Dir::TR, self.window_packet(s, i)))?;
+        }
+        ControlFlow::Continue(())
     }
 
     fn task_of(&self, _a: &DlAction) -> TaskId {
@@ -210,21 +253,9 @@ impl SwReceiver {
     pub fn modulus(&self) -> u64 {
         self.modulus
     }
-}
 
-impl Automaton for SwReceiver {
-    type Action = DlAction;
-    type State = SwRxState;
-
-    fn start_states(&self) -> Vec<SwRxState> {
-        vec![SwRxState::default()]
-    }
-
-    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
-        receiver_classify(a)
-    }
-
-    fn successors(&self, s: &SwRxState, a: &DlAction) -> Vec<SwRxState> {
+    /// Deterministic transition core.
+    fn next(&self, s: &SwRxState, a: &DlAction) -> Option<SwRxState> {
         match a {
             DlAction::ReceivePkt(Dir::TR, p) => {
                 let mut t = s.clone();
@@ -242,37 +273,70 @@ impl Automaton for SwReceiver {
                         }
                     }
                 }
-                vec![t]
+                Some(t)
             }
             DlAction::Wake(Dir::RT) => {
                 let mut t = s.clone();
                 t.active = true;
-                vec![t]
+                Some(t)
             }
             DlAction::Fail(Dir::RT) => {
                 let mut t = s.clone();
                 t.active = false;
-                vec![t]
+                Some(t)
             }
-            DlAction::Crash(Station::R) => vec![SwRxState::default()],
+            DlAction::Crash(Station::R) => Some(SwRxState::default()),
             DlAction::ReceiveMsg(m) => match s.deliver.front() {
                 Some(front) if front == m => {
                     let mut t = s.clone();
                     t.deliver.pop_front();
-                    vec![t]
+                    Some(t)
                 }
-                _ => vec![],
+                _ => None,
             },
             DlAction::SendPkt(Dir::RT, p) => match s.acks.front() {
                 Some(&seq) if s.active && p.content() == Packet::ack(seq) => {
                     let mut t = s.clone();
                     t.acks.pop_front();
-                    vec![t]
+                    Some(t)
                 }
-                _ => vec![],
+                _ => None,
             },
-            _ => vec![],
+            _ => None,
         }
+    }
+}
+
+impl Automaton for SwReceiver {
+    type Action = DlAction;
+    type State = SwRxState;
+
+    fn start_states(&self) -> Vec<SwRxState> {
+        vec![SwRxState::default()]
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        receiver_classify(a)
+    }
+
+    fn successors(&self, s: &SwRxState, a: &DlAction) -> Vec<SwRxState> {
+        self.next(s, a).into_iter().collect()
+    }
+
+    fn try_for_each_successor(
+        &self,
+        s: &SwRxState,
+        a: &DlAction,
+        f: &mut dyn FnMut(SwRxState) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        match self.next(s, a) {
+            Some(t) => f(t),
+            None => ControlFlow::Continue(()),
+        }
+    }
+
+    fn step_first(&self, s: &SwRxState, a: &DlAction) -> Option<SwRxState> {
+        self.next(s, a)
     }
 
     fn enabled_local(&self, s: &SwRxState) -> Vec<DlAction> {
@@ -286,6 +350,22 @@ impl Automaton for SwReceiver {
             out.push(DlAction::ReceiveMsg(*m));
         }
         out
+    }
+
+    fn for_each_enabled_local(
+        &self,
+        s: &SwRxState,
+        f: &mut dyn FnMut(DlAction) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if let Some(&seq) = s.acks.front() {
+            if s.active {
+                f(DlAction::SendPkt(Dir::RT, Packet::ack(seq)))?;
+            }
+        }
+        if let Some(m) = s.deliver.front() {
+            f(DlAction::ReceiveMsg(*m))?;
+        }
+        ControlFlow::Continue(())
     }
 
     fn task_of(&self, a: &DlAction) -> TaskId {

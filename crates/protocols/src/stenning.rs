@@ -12,6 +12,7 @@
 //! experiment E7).
 
 use std::collections::VecDeque;
+use std::ops::ControlFlow;
 
 use ioa::action::ActionClass;
 use ioa::automaton::{Automaton, TaskId};
@@ -38,6 +39,44 @@ pub struct StenningTxState {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StenningTransmitter;
 
+impl StenningTransmitter {
+    /// Deterministic transition function: the unique post-state of `a`
+    /// from `s`, or `None` when `a` is not enabled.
+    fn next(s: &StenningTxState, a: &DlAction) -> Option<StenningTxState> {
+        match a {
+            DlAction::SendMsg(m) => {
+                let mut t = s.clone();
+                t.queue.push_back(*m);
+                Some(t)
+            }
+            DlAction::ReceivePkt(Dir::RT, p) => {
+                let mut t = s.clone();
+                if p.header.tag == Tag::Ack && p.header.seq == s.seq && !t.queue.is_empty() {
+                    t.queue.pop_front();
+                    t.seq += 1;
+                }
+                Some(t)
+            }
+            DlAction::Wake(Dir::TR) => {
+                let mut t = s.clone();
+                t.active = true;
+                Some(t)
+            }
+            DlAction::Fail(Dir::TR) => {
+                let mut t = s.clone();
+                t.active = false;
+                Some(t)
+            }
+            DlAction::Crash(Station::T) => Some(StenningTxState::default()),
+            DlAction::SendPkt(Dir::TR, p) => match s.queue.front() {
+                Some(m) if s.active && p.content() == Packet::data(s.seq, *m) => Some(s.clone()),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
 impl Automaton for StenningTransmitter {
     type Action = DlAction;
     type State = StenningTxState;
@@ -51,39 +90,23 @@ impl Automaton for StenningTransmitter {
     }
 
     fn successors(&self, s: &StenningTxState, a: &DlAction) -> Vec<StenningTxState> {
-        match a {
-            DlAction::SendMsg(m) => {
-                let mut t = s.clone();
-                t.queue.push_back(*m);
-                vec![t]
-            }
-            DlAction::ReceivePkt(Dir::RT, p) => {
-                let mut t = s.clone();
-                if p.header.tag == Tag::Ack && p.header.seq == s.seq && !t.queue.is_empty() {
-                    t.queue.pop_front();
-                    t.seq += 1;
-                }
-                vec![t]
-            }
-            DlAction::Wake(Dir::TR) => {
-                let mut t = s.clone();
-                t.active = true;
-                vec![t]
-            }
-            DlAction::Fail(Dir::TR) => {
-                let mut t = s.clone();
-                t.active = false;
-                vec![t]
-            }
-            DlAction::Crash(Station::T) => vec![StenningTxState::default()],
-            DlAction::SendPkt(Dir::TR, p) => match s.queue.front() {
-                Some(m) if s.active && p.content() == Packet::data(s.seq, *m) => {
-                    vec![s.clone()]
-                }
-                _ => vec![],
-            },
-            _ => vec![],
+        Self::next(s, a).into_iter().collect()
+    }
+
+    fn try_for_each_successor(
+        &self,
+        s: &StenningTxState,
+        a: &DlAction,
+        f: &mut dyn FnMut(StenningTxState) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        match Self::next(s, a) {
+            Some(t) => f(t),
+            None => ControlFlow::Continue(()),
         }
+    }
+
+    fn step_first(&self, s: &StenningTxState, a: &DlAction) -> Option<StenningTxState> {
+        Self::next(s, a)
     }
 
     fn enabled_local(&self, s: &StenningTxState) -> Vec<DlAction> {
@@ -95,6 +118,19 @@ impl Automaton for StenningTransmitter {
             .map(|m| DlAction::SendPkt(Dir::TR, Packet::data(s.seq, *m)))
             .into_iter()
             .collect()
+    }
+
+    fn for_each_enabled_local(
+        &self,
+        s: &StenningTxState,
+        f: &mut dyn FnMut(DlAction) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if s.active {
+            if let Some(m) = s.queue.front() {
+                f(DlAction::SendPkt(Dir::TR, Packet::data(s.seq, *m)))?;
+            }
+        }
+        ControlFlow::Continue(())
     }
 
     fn task_of(&self, _a: &DlAction) -> TaskId {
@@ -139,19 +175,10 @@ pub struct StenningRxState {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StenningReceiver;
 
-impl Automaton for StenningReceiver {
-    type Action = DlAction;
-    type State = StenningRxState;
-
-    fn start_states(&self) -> Vec<StenningRxState> {
-        vec![StenningRxState::default()]
-    }
-
-    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
-        receiver_classify(a)
-    }
-
-    fn successors(&self, s: &StenningRxState, a: &DlAction) -> Vec<StenningRxState> {
+impl StenningReceiver {
+    /// Deterministic transition function: the unique post-state of `a`
+    /// from `s`, or `None` when `a` is not enabled.
+    fn next(s: &StenningRxState, a: &DlAction) -> Option<StenningRxState> {
         match a {
             DlAction::ReceivePkt(Dir::TR, p) => {
                 let mut t = s.clone();
@@ -175,37 +202,70 @@ impl Automaton for StenningReceiver {
                         // transmitter; ignore defensively.
                     }
                 }
-                vec![t]
+                Some(t)
             }
             DlAction::Wake(Dir::RT) => {
                 let mut t = s.clone();
                 t.active = true;
-                vec![t]
+                Some(t)
             }
             DlAction::Fail(Dir::RT) => {
                 let mut t = s.clone();
                 t.active = false;
-                vec![t]
+                Some(t)
             }
-            DlAction::Crash(Station::R) => vec![StenningRxState::default()],
+            DlAction::Crash(Station::R) => Some(StenningRxState::default()),
             DlAction::ReceiveMsg(m) => match s.deliver.front() {
                 Some(front) if front == m => {
                     let mut t = s.clone();
                     t.deliver.pop_front();
-                    vec![t]
+                    Some(t)
                 }
-                _ => vec![],
+                _ => None,
             },
             DlAction::SendPkt(Dir::RT, p) => match s.acks.front() {
                 Some(&seq) if s.active && p.content() == Packet::ack(seq) => {
                     let mut t = s.clone();
                     t.acks.pop_front();
-                    vec![t]
+                    Some(t)
                 }
-                _ => vec![],
+                _ => None,
             },
-            _ => vec![],
+            _ => None,
         }
+    }
+}
+
+impl Automaton for StenningReceiver {
+    type Action = DlAction;
+    type State = StenningRxState;
+
+    fn start_states(&self) -> Vec<StenningRxState> {
+        vec![StenningRxState::default()]
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        receiver_classify(a)
+    }
+
+    fn successors(&self, s: &StenningRxState, a: &DlAction) -> Vec<StenningRxState> {
+        Self::next(s, a).into_iter().collect()
+    }
+
+    fn try_for_each_successor(
+        &self,
+        s: &StenningRxState,
+        a: &DlAction,
+        f: &mut dyn FnMut(StenningRxState) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        match Self::next(s, a) {
+            Some(t) => f(t),
+            None => ControlFlow::Continue(()),
+        }
+    }
+
+    fn step_first(&self, s: &StenningRxState, a: &DlAction) -> Option<StenningRxState> {
+        Self::next(s, a)
     }
 
     fn enabled_local(&self, s: &StenningRxState) -> Vec<DlAction> {
@@ -219,6 +279,22 @@ impl Automaton for StenningReceiver {
             out.push(DlAction::ReceiveMsg(*m));
         }
         out
+    }
+
+    fn for_each_enabled_local(
+        &self,
+        s: &StenningRxState,
+        f: &mut dyn FnMut(DlAction) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if let Some(&seq) = s.acks.front() {
+            if s.active {
+                f(DlAction::SendPkt(Dir::RT, Packet::ack(seq)))?;
+            }
+        }
+        if let Some(m) = s.deliver.front() {
+            f(DlAction::ReceiveMsg(*m))?;
+        }
+        ControlFlow::Continue(())
     }
 
     fn task_of(&self, a: &DlAction) -> TaskId {

@@ -189,6 +189,27 @@ pub struct Runner {
     taken: Vec<Decision>,
 }
 
+/// Reusable per-run buffers: the enabled-action set, the per-task-class
+/// filter, and the successor list are refilled in place every step, so a
+/// steady-state run allocates only when a buffer grows past its
+/// high-water mark. Lives in [`Runner::run_from`] (the `Runner` itself is
+/// not generic over the system's state type).
+struct Scratch<S> {
+    enabled: Vec<DlAction>,
+    in_class: Vec<DlAction>,
+    succs: Vec<S>,
+}
+
+impl<S> Default for Scratch<S> {
+    fn default() -> Self {
+        Scratch {
+            enabled: Vec::new(),
+            in_class: Vec::new(),
+            succs: Vec::new(),
+        }
+    }
+}
+
 /// Online conformance state threaded through one run: a streaming
 /// [`TraceMonitor`] fed every taken action, plus the first violation it
 /// reported.
@@ -350,6 +371,7 @@ impl Runner {
         let mut metrics = Metrics::default();
         let mut next_task = 0usize;
         let mut fully_ran = true;
+        let mut scratch = Scratch::default();
         // Decision indexing (for overrides/replay) restarts with each run.
         self.decision_index = 0;
         self.taken.clear();
@@ -374,7 +396,14 @@ impl Runner {
                         fully_ran = false;
                         break;
                     }
-                    let ok = self.take(system, &mut exec, *a, &mut metrics, &mut online);
+                    let ok = self.take(
+                        system,
+                        &mut exec,
+                        *a,
+                        &mut metrics,
+                        &mut online,
+                        &mut scratch,
+                    );
                     assert!(ok, "input {a} was not enabled: system is not input-enabled");
                     if tripped(&online) {
                         fully_ran = false;
@@ -390,6 +419,7 @@ impl Runner {
                                 &mut next_task,
                                 &mut metrics,
                                 &mut online,
+                                &mut scratch,
                             )
                         {
                             break;
@@ -411,6 +441,7 @@ impl Runner {
                         &mut next_task,
                         &mut metrics,
                         &mut online,
+                        &mut scratch,
                     ) {
                         break;
                     }
@@ -422,7 +453,7 @@ impl Runner {
             }
         }
 
-        let quiescent = fully_ran && system.enabled_local(exec.last_state()).is_empty();
+        let quiescent = fully_ran && !system.has_enabled_local(exec.last_state());
         let behavior = ioa::execution::behavior_of_schedule(system, &exec.schedule());
         RunReport {
             execution: exec,
@@ -443,28 +474,36 @@ impl Runner {
         next_task: &mut usize,
         metrics: &mut Metrics,
         online: &mut Option<OnlineConformance>,
+        scratch: &mut Scratch<M::State>,
     ) -> bool
     where
         M: Automaton<Action = DlAction>,
     {
-        let enabled = system.enabled_local(exec.last_state());
-        if enabled.is_empty() {
+        scratch.enabled.clear();
+        let _ = system.for_each_enabled_local(exec.last_state(), &mut |a| {
+            scratch.enabled.push(a);
+            std::ops::ControlFlow::Continue(())
+        });
+        if scratch.enabled.is_empty() {
             return false;
         }
         let tasks = system.task_count().max(1);
         for offset in 0..tasks {
             let t = TaskId((*next_task + offset) % tasks);
-            let in_class: Vec<_> = enabled
-                .iter()
-                .filter(|a| system.task_of(a) == t)
-                .cloned()
-                .collect();
-            if in_class.is_empty() {
+            scratch.in_class.clear();
+            scratch.in_class.extend(
+                scratch
+                    .enabled
+                    .iter()
+                    .filter(|a| system.task_of(a) == t)
+                    .copied(),
+            );
+            if scratch.in_class.is_empty() {
                 continue;
             }
-            let pick = self.decide(DecisionPoint::Action, in_class.len());
-            let action = in_class[pick];
-            let took = self.take(system, exec, action, metrics, online);
+            let pick = self.decide(DecisionPoint::Action, scratch.in_class.len());
+            let action = scratch.in_class[pick];
+            let took = self.take(system, exec, action, metrics, online, scratch);
             debug_assert!(took, "enabled_local returned a disabled action");
             *next_task = (*next_task + offset + 1) % tasks;
             return took;
@@ -482,6 +521,7 @@ impl Runner {
         mut action: DlAction,
         metrics: &mut Metrics,
         online: &mut Option<OnlineConformance>,
+        scratch: &mut Scratch<M::State>,
     ) -> bool
     where
         M: Automaton<Action = DlAction>,
@@ -492,16 +532,17 @@ impl Runner {
                 self.next_uid += 1;
             }
         }
-        let succs = system.successors(exec.last_state(), &action);
-        if succs.is_empty() {
+        scratch.succs.clear();
+        system.successors_into(exec.last_state(), &action, &mut scratch.succs);
+        if scratch.succs.is_empty() {
             return false;
         }
-        let pick = self.decide(DecisionPoint::Successor, succs.len());
+        let pick = self.decide(DecisionPoint::Successor, scratch.succs.len());
         metrics.record(&action);
         if let Some(o) = online {
             o.observe(&action);
         }
-        exec.push_unchecked(action, succs.into_iter().nth(pick).expect("index in range"));
+        exec.push_unchecked(action, scratch.succs.swap_remove(pick));
         true
     }
 }

@@ -19,4 +19,13 @@ cargo test --release -q -p dl-core --test monitor_props scaling_smoke
 echo "==> fuzz smoke (fixed seed, bounded execs, release: quirky DL4 + ABP crash pump rediscovered, every counterexample replays byte-identically)"
 cargo test --release -q -p dl-fuzz --test smoke
 
+echo "==> allocation-regression smoke (counting allocator: steady-state allocs per fuzz exec under the pinned ceiling)"
+cargo test -q -p dl-fuzz --test alloc_regression
+
+echo "==> interned-runner differential (scratch-buffer runner byte-identical to the frozen clone-based executor)"
+cargo test -q -p dl-sim --test interned_runner_differential
+
+echo "==> bench compile smoke (release: model_check + parallel_explore build without running)"
+cargo bench --no-run -q -p dl-bench --bench model_check --bench parallel_explore
+
 echo "All checks passed."

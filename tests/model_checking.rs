@@ -325,6 +325,104 @@ fn differential_abp_crash_counterexample_matches_sequential_at_1_2_4_threads() {
     }
 }
 
+/// Full-zoo differential sweep: every protocol target, bounded lossy FIFO
+/// channels (capacity 1 keeps even go-back-8 exhaustive in milliseconds),
+/// parallel engine vs the sequential clone-based oracle at 1, 2, and 4
+/// threads. Safe runs must agree on the reachable-state counts; violating
+/// runs on the (minimal) counterexample length — and the parallel report
+/// (counts, violating state, exact path) must be byte-identical across
+/// thread counts.
+macro_rules! differential_zoo_test {
+    ($name:ident, $proto:expr) => {
+        #[test]
+        fn $name() {
+            let p = $proto;
+            let sys = checked_system(
+                p.transmitter,
+                p.receiver,
+                LossyFifoChannel::with_capacity(Dir::TR, LossMode::Nondet, 1),
+                LossyFifoChannel::with_capacity(Dir::RT, LossMode::Nondet, 1),
+            );
+            let start = woken_start(&sys);
+            let seq = Explorer::new(&sys, crash_free_inputs(2), 2_000_000, 10_000)
+                .check_invariant_from(vec![start.clone()], |s| observer_of(s).is_safe());
+            assert!(seq.exhaustive(), "oracle truncated: widen the budget");
+
+            let mut baseline = None;
+            for threads in [1usize, 2, 4] {
+                let par = ParallelExplorer::new(&sys, crash_free_inputs(2), 2_000_000, 10_000)
+                    .threads(threads)
+                    .check_invariant_from(vec![start.clone()], |s| observer_of(s).is_safe());
+                assert!(par.exhaustive());
+                match (&seq.violation, &par.violation) {
+                    (None, None) => {
+                        assert_eq!(par.states_visited, seq.states_visited);
+                        assert_eq!(par.quiescent_states, seq.quiescent_states);
+                    }
+                    (Some((seq_path, _)), Some(v)) => {
+                        assert_eq!(
+                            v.path.len(),
+                            seq_path.len(),
+                            "counterexample length diverged at {threads} threads"
+                        );
+                    }
+                    (seq_v, par_v) => panic!(
+                        "verdicts diverged at {threads} threads: sequential {:?}, parallel {:?}",
+                        seq_v.is_some(),
+                        par_v.is_some()
+                    ),
+                }
+                let summary = (
+                    par.states_visited,
+                    par.quiescent_states,
+                    par.violation.clone().map(|v| (v.state, v.path)),
+                );
+                match &baseline {
+                    None => baseline = Some(summary),
+                    Some(b) => assert_eq!(
+                        *b, summary,
+                        "report not thread-count-independent at {threads} threads"
+                    ),
+                }
+            }
+        }
+    };
+}
+
+differential_zoo_test!(differential_zoo_abp, datalink::protocols::abp::protocol());
+differential_zoo_test!(
+    differential_zoo_go_back_2,
+    datalink::protocols::sliding_window::protocol(2)
+);
+differential_zoo_test!(
+    differential_zoo_go_back_8,
+    datalink::protocols::sliding_window::protocol(8)
+);
+differential_zoo_test!(
+    differential_zoo_selective_repeat_4,
+    datalink::protocols::selective_repeat::protocol(4)
+);
+differential_zoo_test!(
+    differential_zoo_fragmenting,
+    datalink::protocols::fragmenting::protocol()
+);
+differential_zoo_test!(
+    differential_zoo_parity,
+    datalink::protocols::parity::protocol()
+);
+differential_zoo_test!(
+    differential_zoo_stenning,
+    datalink::protocols::stenning::protocol()
+);
+differential_zoo_test!(
+    differential_zoo_nonvolatile,
+    datalink::protocols::nonvolatile::protocol()
+);
+differential_zoo_test!(
+    differential_zoo_quirky,
+    datalink::protocols::quirky::protocol()
+);
+
 // ---------------------------------------------------------------------
 // Streaming monitor as a trace property: `dl-core`'s online TraceMonitor
 // threaded along the BFS spanning tree, against the composed-observer

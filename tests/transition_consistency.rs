@@ -1,0 +1,261 @@
+//! Differential audit of the allocation-free transition APIs.
+//!
+//! The interned execution core relies on three callback-based trait
+//! methods — `try_for_each_successor`, `for_each_enabled_local`, and the
+//! derived `is_enabled`/`step_first`/`has_enabled_local` — agreeing
+//! **exactly** (same elements, same order) with the legacy Vec-returning
+//! `successors`/`enabled_local` they shadow. Executors pick successors by
+//! position, so even a reordering would silently change schedules.
+//!
+//! This suite walks the full composed `link_system` (Hide ∘ Compose2 ∘
+//! protocol stations ∘ channels) for every protocol of the zoo and checks
+//! the agreement at every visited state, over every locally controlled
+//! action and a dense sample of environment inputs.
+
+use std::ops::ControlFlow;
+
+use datalink::channels::{FaultSpec, FaultyChannel};
+use datalink::core::action::{Dir, DlAction, Msg, Station};
+use datalink::core::protocol::action_sample;
+use datalink::ioa::Automaton;
+use datalink::sim::link_system;
+
+/// Deterministic splitmix64 step for the walk's choices.
+fn mix(z: u64) -> u64 {
+    let mut z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Asserts every callback-based API agrees with its Vec-based twin at
+/// state `s`, for each action in `actions`.
+fn check_state<A>(auto: &A, s: &A::State, actions: &[A::Action])
+where
+    A: Automaton,
+    A::State: Clone + PartialEq + std::fmt::Debug,
+    A::Action: Clone + PartialEq + std::fmt::Debug,
+{
+    // enabled_local == collect(for_each_enabled_local), same order.
+    let legacy_enabled = auto.enabled_local(s);
+    let mut cb_enabled = Vec::new();
+    let flow = auto.for_each_enabled_local(s, &mut |a| {
+        cb_enabled.push(a);
+        ControlFlow::Continue(())
+    });
+    assert_eq!(flow, ControlFlow::Continue(()));
+    assert_eq!(legacy_enabled, cb_enabled, "enabled_local order differs");
+    assert_eq!(auto.has_enabled_local(s), !legacy_enabled.is_empty());
+
+    for a in actions.iter().chain(legacy_enabled.iter()) {
+        let legacy = auto.successors(s, a);
+        let mut cb = Vec::new();
+        let _ = auto.try_for_each_successor(s, a, &mut |t| {
+            cb.push(t);
+            ControlFlow::Continue(())
+        });
+        assert_eq!(legacy, cb, "successors order differs for {a:?}");
+        let mut into = Vec::new();
+        auto.successors_into(s, a, &mut into);
+        assert_eq!(legacy, into, "successors_into differs for {a:?}");
+        assert_eq!(auto.is_enabled(s, a), !legacy.is_empty());
+        assert_eq!(auto.step_first(s, a), legacy.first().cloned());
+    }
+}
+
+/// Walks `auto` for `steps` transitions, checking consistency at every
+/// state. Inputs offered: the dense action sample plus fresh messages.
+fn walk_and_check<A>(auto: &A, steps: usize, seed: u64)
+where
+    A: Automaton<Action = DlAction>,
+    A::State: Clone + PartialEq + std::fmt::Debug,
+{
+    let mut inputs = action_sample();
+    inputs.extend((0..4).map(|i| DlAction::SendMsg(Msg(i))));
+    inputs.push(DlAction::Crash(Station::T));
+    inputs.push(DlAction::Crash(Station::R));
+    for d in [Dir::TR, Dir::RT] {
+        inputs.push(DlAction::Wake(d));
+        inputs.push(DlAction::Fail(d));
+    }
+
+    let mut s = auto.start_states().remove(0);
+    let mut rng = seed;
+    for _ in 0..steps {
+        check_state(auto, &s, &inputs);
+        // Advance: pick among enabled locals and enabled inputs.
+        let mut candidates: Vec<DlAction> = auto.enabled_local(&s);
+        candidates.extend(
+            inputs
+                .iter()
+                .filter(|a| auto.in_signature(a) && auto.is_enabled(&s, a))
+                .cloned(),
+        );
+        if candidates.is_empty() {
+            break;
+        }
+        rng = mix(rng);
+        let a = &candidates[(rng % candidates.len() as u64) as usize];
+        let succs = auto.successors(&s, a);
+        rng = mix(rng);
+        s = succs[(rng % succs.len() as u64) as usize].clone();
+    }
+}
+
+/// One faulty spec per direction so duplication and reorder windows (the
+/// non-FIFO branches of `FaultyChannel`) are exercised too.
+fn faulty_pair() -> (FaultyChannel, FaultyChannel) {
+    let spec_tr = FaultSpec {
+        loss: 48,
+        dup: 64,
+        reorder: 3,
+        burst_good: 3,
+        burst_bad: 2,
+        salt: 11,
+    };
+    let spec_rt = FaultSpec {
+        loss: 32,
+        dup: 0,
+        reorder: 2,
+        burst_good: 0,
+        burst_bad: 0,
+        salt: 5,
+    };
+    (
+        FaultyChannel::new(Dir::TR, spec_tr),
+        FaultyChannel::new(Dir::RT, spec_rt),
+    )
+}
+
+macro_rules! consistency_test {
+    ($name:ident, $tx:expr, $rx:expr) => {
+        #[test]
+        fn $name() {
+            for seed in [1u64, 99, 2026] {
+                let (ch1, ch2) = faulty_pair();
+                let sys = link_system($tx, $rx, ch1, ch2);
+                walk_and_check(&sys, 160, seed);
+                let perfect = link_system(
+                    $tx,
+                    $rx,
+                    FaultyChannel::perfect(Dir::TR),
+                    FaultyChannel::perfect(Dir::RT),
+                );
+                walk_and_check(&perfect, 160, seed);
+            }
+        }
+    };
+}
+
+consistency_test!(
+    abp_interned_apis_match_legacy,
+    datalink::protocols::abp::protocol().transmitter,
+    datalink::protocols::abp::protocol().receiver
+);
+consistency_test!(
+    go_back_2_interned_apis_match_legacy,
+    datalink::protocols::sliding_window::protocol(2).transmitter,
+    datalink::protocols::sliding_window::protocol(2).receiver
+);
+consistency_test!(
+    go_back_8_interned_apis_match_legacy,
+    datalink::protocols::sliding_window::protocol(8).transmitter,
+    datalink::protocols::sliding_window::protocol(8).receiver
+);
+consistency_test!(
+    selective_repeat_4_interned_apis_match_legacy,
+    datalink::protocols::selective_repeat::protocol(4).transmitter,
+    datalink::protocols::selective_repeat::protocol(4).receiver
+);
+consistency_test!(
+    fragmenting_interned_apis_match_legacy,
+    datalink::protocols::fragmenting::protocol().transmitter,
+    datalink::protocols::fragmenting::protocol().receiver
+);
+consistency_test!(
+    parity_interned_apis_match_legacy,
+    datalink::protocols::parity::protocol().transmitter,
+    datalink::protocols::parity::protocol().receiver
+);
+consistency_test!(
+    stenning_interned_apis_match_legacy,
+    datalink::protocols::stenning::protocol().transmitter,
+    datalink::protocols::stenning::protocol().receiver
+);
+consistency_test!(
+    nonvolatile_interned_apis_match_legacy,
+    datalink::protocols::nonvolatile::protocol().transmitter,
+    datalink::protocols::nonvolatile::protocol().receiver
+);
+consistency_test!(
+    quirky_interned_apis_match_legacy,
+    datalink::protocols::quirky::protocol().transmitter,
+    datalink::protocols::quirky::protocol().receiver
+);
+
+/// The simulated channels (nondeterministic loss, reordering, burst) get
+/// their own walk: they are the only automata with multi-successor
+/// transitions besides composition cross-products.
+#[test]
+fn simulated_channels_interned_apis_match_legacy() {
+    use datalink::channels::{BurstLossChannel, LossMode, LossyFifoChannel, ReorderChannel};
+    use datalink::core::action::Packet;
+
+    let mut inputs: Vec<DlAction> = Vec::new();
+    for d in [Dir::TR, Dir::RT] {
+        for n in 0..4 {
+            let p = Packet::data(n, Msg(n)).with_uid(n + 10);
+            inputs.push(DlAction::SendPkt(d, p));
+            inputs.push(DlAction::ReceivePkt(d, p));
+        }
+        // Duplicate content with a distinct uid exercises the dedup scan.
+        let dup = Packet::data(0, Msg(0)).with_uid(77);
+        inputs.push(DlAction::SendPkt(d, dup));
+        inputs.push(DlAction::ReceivePkt(d, dup));
+        inputs.push(DlAction::Wake(d));
+        inputs.push(DlAction::Fail(d));
+    }
+    inputs.push(DlAction::Crash(Station::T));
+    inputs.push(DlAction::Crash(Station::R));
+
+    fn drive<A>(auto: &A, inputs: &[DlAction], seed: u64)
+    where
+        A: Automaton<Action = DlAction>,
+        A::State: Clone + PartialEq + std::fmt::Debug,
+    {
+        let mut s = auto.start_states().remove(0);
+        let mut rng = seed;
+        for _ in 0..80 {
+            check_state(auto, &s, inputs);
+            let mut candidates: Vec<DlAction> = auto.enabled_local(&s);
+            candidates.extend(inputs.iter().filter(|a| auto.is_enabled(&s, a)).cloned());
+            if candidates.is_empty() {
+                break;
+            }
+            rng = mix(rng);
+            let a = &candidates[(rng % candidates.len() as u64) as usize];
+            let succs = auto.successors(&s, a);
+            rng = mix(rng);
+            s = succs[(rng % succs.len() as u64) as usize].clone();
+        }
+    }
+
+    for seed in [3u64, 41] {
+        drive(
+            &LossyFifoChannel::new(Dir::TR, LossMode::Nondet),
+            &inputs,
+            seed,
+        );
+        drive(
+            &LossyFifoChannel::with_capacity(Dir::TR, LossMode::EveryNth(3), 2),
+            &inputs,
+            seed,
+        );
+        drive(
+            &ReorderChannel::new(Dir::RT, LossMode::Nondet),
+            &inputs,
+            seed,
+        );
+        drive(&BurstLossChannel::new(Dir::TR, 2, 2), &inputs, seed);
+    }
+}
