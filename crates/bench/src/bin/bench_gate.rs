@@ -1,0 +1,43 @@
+//! Compares a fresh bench file against the committed baseline and exits
+//! nonzero on regression.
+//!
+//! ```text
+//! bench_gate BASELINE.json CURRENT.json
+//! ```
+//!
+//! Rules (see `dl_obs::gate`): `*_per_sec` gauges must not drop more than
+//! 25 % below baseline, `*_micros` gauges and `*_bytes` / `*_allocs`
+//! counters must not exceed baseline by more than 25 %, and every
+//! baseline run/metric must still exist. The full finding list is printed
+//! either way.
+
+use dl_obs::{gate, BenchFile, GateConfig};
+
+fn load(path: &str) -> BenchFile {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_gate: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    BenchFile::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("bench_gate: {path} is not a valid bench file: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, current_path] = args.as_slice() else {
+        eprintln!("usage: bench_gate BASELINE.json CURRENT.json");
+        std::process::exit(2);
+    };
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+    let report = gate(&baseline, &current, &GateConfig::default());
+    println!("{report}");
+    if report.passed() {
+        println!("bench gate: PASS");
+    } else {
+        println!("bench gate: FAIL");
+        std::process::exit(1);
+    }
+}

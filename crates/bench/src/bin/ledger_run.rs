@@ -1,0 +1,73 @@
+//! Runs the ledger-emitting experiment workloads and writes a
+//! [`dl_obs::BenchFile`].
+//!
+//! ```text
+//! ledger_run [--out PATH] [--threads N] [--relax-baseline] [--markdown]
+//! ```
+//!
+//! * `--out PATH` — write the JSON bench file there (stdout otherwise).
+//! * `--threads N` — worker threads for the E9 exploration (default 1,
+//!   keeping every counter reproducible by definition).
+//! * `--relax-baseline` — apply the baseline relaxation (throughput
+//!   floors halved, latency ceilings doubled) before writing; used once
+//!   per baseline refresh, see DESIGN.md.
+//! * `--markdown` — print the Markdown metric table to stdout as well.
+//!
+//! Honors `DL_BENCH_SLEEP_US`: a per-workload stall in microseconds
+//! injected inside the measured window. Only the gate's *tests* set it —
+//! it exists to prove a synthetic slowdown fails the gate.
+
+use dl_bench::ledger_runs;
+
+fn usage() -> ! {
+    eprintln!("usage: ledger_run [--out PATH] [--threads N] [--relax-baseline] [--markdown]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut threads = 1usize;
+    let mut relax = false;
+    let mut print_markdown = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--relax-baseline" => relax = true,
+            "--markdown" => print_markdown = true,
+            _ => usage(),
+        }
+    }
+
+    let sleep_micros = ledger_runs::sleep_from_env();
+
+    let mut file = ledger_runs::all_runs(threads, sleep_micros);
+    if relax {
+        ledger_runs::relax_into_baseline(&mut file);
+    }
+    if print_markdown {
+        print!("{}", ledger_runs::markdown(&file));
+    }
+    let json = file.to_json();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("ledger_run: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("ledger_run: wrote {} runs to {path}", file.runs.len());
+        }
+        None => {
+            if !print_markdown {
+                println!("{json}");
+            }
+        }
+    }
+}

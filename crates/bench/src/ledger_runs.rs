@@ -1,0 +1,345 @@
+//! Ledger-emitting release runs of the headline experiments.
+//!
+//! One function per workload — E9 (exhaustive ABP model check), E11
+//! (monitored simulation run), E12 (fuzz rediscovery), and the two
+//! impossibility constructions — each returning a [`RunLedger`] whose
+//! **counters** are pure functions of the run configuration (the ledger
+//! round-trip tests compare them exactly across re-runs) and whose
+//! **gauges** are wall-clock measurements consumed by the bench gate.
+//!
+//! Timing is measured *here*, around the whole engine invocation, and the
+//! throughput/latency gauges are recomputed from that outer wall clock.
+//! That keeps one definition of "elapsed" across engines — and it is what
+//! makes the synthetic-slowdown test honest: every function takes
+//! `sleep_micros`, a deliberate stall injected inside the measured window
+//! (`scripts/bench.sh` forwards the `DL_BENCH_SLEEP_US` environment
+//! variable through the `ledger_run` binary), so a fake 30 % slowdown
+//! provably fails the gate while leaving every counter untouched.
+
+use std::time::{Duration, Instant};
+
+use dl_channels::{LossMode, LossyFifoChannel};
+use dl_core::action::{Dir, DlAction, Msg};
+use dl_core::observer::{ObserverState, WdlObserver};
+use dl_explore::ParallelExplorer;
+use dl_fuzz::{fuzz, target, FuzzConfig};
+use dl_impossibility::crash::CrashConfig;
+use dl_impossibility::headers::HeaderConfig;
+use dl_impossibility::{crash_ledger, header_ledger};
+use dl_obs::{BenchFile, RunLedger};
+use dl_sim::{link_system, ConformancePolicy, Runner, Script};
+use ioa::composition::Compose2;
+use ioa::Automaton;
+
+/// The E9 system: ABP over capacity-bounded nondeterministically-lossy
+/// channels, composed with the WDL-safety observer (closed and finite).
+type E9Sys = Compose2<
+    Compose2<dl_protocols::AbpTransmitter, dl_protocols::AbpReceiver>,
+    Compose2<Compose2<LossyFifoChannel, LossyFifoChannel>, WdlObserver>,
+>;
+
+fn e9_system(cap: usize) -> E9Sys {
+    let p = dl_protocols::abp::protocol();
+    Compose2::new(
+        Compose2::new(p.transmitter, p.receiver),
+        Compose2::new(
+            Compose2::new(
+                LossyFifoChannel::with_capacity(Dir::TR, LossMode::Nondet, cap),
+                LossyFifoChannel::with_capacity(Dir::RT, LossMode::Nondet, cap),
+            ),
+            WdlObserver,
+        ),
+    )
+}
+
+fn e9_observer(s: &<E9Sys as Automaton>::State) -> &ObserverState {
+    &s.right.right
+}
+
+fn e9_woken(sys: &E9Sys) -> <E9Sys as Automaton>::State {
+    let s0 = sys.start_states().remove(0);
+    let s1 = sys.step_first(&s0, &DlAction::Wake(Dir::TR)).unwrap();
+    sys.step_first(&s1, &DlAction::Wake(Dir::RT)).unwrap()
+}
+
+fn stall(sleep_micros: u64) {
+    if sleep_micros > 0 {
+        std::thread::sleep(Duration::from_micros(sleep_micros));
+    }
+}
+
+/// Reads the `DL_BENCH_SLEEP_US` synthetic-stall knob (0 when unset or
+/// unparsable). This is the *only* place the environment reaches the
+/// workloads — everything else takes the stall as an explicit parameter.
+#[must_use]
+pub fn sleep_from_env() -> u64 {
+    std::env::var("DL_BENCH_SLEEP_US")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// E9: exhaustive crash-free ABP verification at channel capacity 3
+/// (1178 reachable states, 2 messages), on `threads` worker threads.
+///
+/// Counters are thread-count-independent by the engine's determinism
+/// contract; the round-trip test relies on that.
+///
+/// # Panics
+///
+/// Panics if the exhaustively-verified safety result ever changes — a
+/// bench must not silently measure a broken model.
+#[must_use]
+pub fn explore_e9(threads: usize, sleep_micros: u64) -> RunLedger {
+    let sys = e9_system(3);
+    let start = e9_woken(&sys);
+    let explorer = ParallelExplorer::new(
+        &sys,
+        move |s: &<E9Sys as Automaton>::State| {
+            let obs = e9_observer(s);
+            (0..2)
+                .map(Msg)
+                .find(|m| !obs.sent.contains(m))
+                .map(DlAction::SendMsg)
+                .into_iter()
+                .collect()
+        },
+        4_000_000,
+        100_000,
+    )
+    .threads(threads);
+    let t0 = Instant::now();
+    let report = explorer.check_invariant_from(vec![start], |s| e9_observer(s).is_safe());
+    stall(sleep_micros);
+    let elapsed = t0.elapsed();
+    assert!(report.holds(), "E9: ABP crash-free safety must hold");
+
+    let mut ledger = report.to_ledger("e9");
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    ledger.gauge("states_per_sec", report.states_visited as f64 / secs);
+    ledger.gauge("edges_per_sec", report.edges_expanded() as f64 / secs);
+    ledger.gauge("duration_micros", elapsed.as_secs_f64() * 1e6);
+    ledger
+}
+
+/// E11 (runner side): a monitored ABP run over nondeterministically-lossy
+/// channels delivering 50 messages, online conformance on — the monitor
+/// span plus verdict-latency cost lands in the ledger.
+///
+/// # Panics
+///
+/// Panics if the run fails to quiesce or delivers short.
+#[must_use]
+pub fn sim_e11(sleep_micros: u64) -> RunLedger {
+    let p = dl_protocols::abp::protocol();
+    let sys = link_system(
+        p.transmitter,
+        p.receiver,
+        LossyFifoChannel::new(Dir::TR, LossMode::Nondet),
+        LossyFifoChannel::new(Dir::RT, LossMode::Nondet),
+    );
+    let mut runner =
+        Runner::new(7, 2_000_000).with_online_conformance(ConformancePolicy::default());
+    let t0 = Instant::now();
+    let report = runner.run(&sys, &Script::deliver_n(50));
+    stall(sleep_micros);
+    let elapsed = t0.elapsed();
+    assert!(report.quiescent, "E11: monitored ABP run must quiesce");
+    assert_eq!(report.metrics.msgs_received, 50, "E11: short delivery");
+    report.to_ledger("e11", elapsed)
+}
+
+/// E12: the single-worker fuzz campaign that rediscovers ABP's DL4 from
+/// cold start (seed 7, 600 executions, step bound 400) — the ledger's
+/// `exec_micros` gauge machine-checks the "~30 µs per execution" claim
+/// against the committed baseline.
+///
+/// # Panics
+///
+/// Panics if the campaign no longer finds the DL4 counterexample.
+#[must_use]
+pub fn fuzz_e12(sleep_micros: u64) -> RunLedger {
+    let cfg = FuzzConfig {
+        seed: 7,
+        workers: 1,
+        max_execs: 600,
+        max_steps: 400,
+        stop_on_violation: false,
+        ..FuzzConfig::default()
+    };
+    let t0 = Instant::now();
+    let report = fuzz(target("abp").expect("abp target"), &cfg);
+    stall(sleep_micros);
+    let elapsed = t0.elapsed();
+    assert!(report.found("DL4"), "E12: fuzzer must rediscover ABP DL4");
+
+    let mut ledger = report.to_ledger("e12");
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    ledger.gauge("execs_per_sec", report.executions as f64 / secs);
+    ledger.gauge("duration_micros", elapsed.as_secs_f64() * 1e6);
+    if report.executions > 0 {
+        ledger.gauge(
+            "exec_micros",
+            elapsed.as_secs_f64() * 1e6 / report.executions as f64,
+        );
+    }
+    ledger
+}
+
+/// Theorem 7.5: the ABP crash pump, with the reference-projection
+/// footprint (`projection_bytes`) as an alloc-ceiling for the gate.
+///
+/// # Panics
+///
+/// Panics if the construction fails — ABP satisfies the hypotheses.
+#[must_use]
+pub fn impossibility_crash(sleep_micros: u64) -> RunLedger {
+    let p = dl_protocols::abp::protocol();
+    let t0 = Instant::now();
+    let (_cx, mut ledger) = crash_ledger(
+        p.transmitter,
+        p.receiver,
+        CrashConfig::default(),
+        "crash_abp",
+    )
+    .expect("Theorem 7.5 construction on ABP");
+    stall(sleep_micros);
+    let elapsed = t0.elapsed();
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let trace_len = ledger.counters["trace_len"] as f64;
+    ledger.gauge("trace_actions_per_sec", trace_len / secs);
+    ledger.gauge("duration_micros", elapsed.as_secs_f64() * 1e6);
+    ledger
+}
+
+/// Theorem 8.5: the ABP header pump.
+///
+/// # Panics
+///
+/// Panics if the pump fails to produce a violation — ABP's headers are
+/// bounded.
+#[must_use]
+pub fn impossibility_header(sleep_micros: u64) -> RunLedger {
+    let p = dl_protocols::abp::protocol();
+    let t0 = Instant::now();
+    let (outcome, mut ledger) = header_ledger(
+        p.transmitter,
+        p.receiver,
+        HeaderConfig::default(),
+        "header_abp",
+    )
+    .expect("Theorem 8.5 construction on ABP");
+    stall(sleep_micros);
+    let elapsed = t0.elapsed();
+    assert!(
+        matches!(outcome, dl_impossibility::HeaderOutcome::Violation(_)),
+        "ABP's bounded headers must be pumped into a violation"
+    );
+    ledger.gauge("duration_micros", elapsed.as_secs_f64() * 1e6);
+    ledger
+}
+
+/// Runs every workload and collects the ledgers into a [`BenchFile`]
+/// stamped with the current Unix time.
+#[must_use]
+pub fn all_runs(threads: usize, sleep_micros: u64) -> BenchFile {
+    let created = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    BenchFile {
+        created: format!("unix:{created}"),
+        runs: vec![
+            explore_e9(threads, sleep_micros),
+            sim_e11(sleep_micros),
+            fuzz_e12(sleep_micros),
+            impossibility_crash(sleep_micros),
+            impossibility_header(sleep_micros),
+        ],
+    }
+}
+
+/// Relaxes a fresh run into a commit-worthy baseline: throughput floors
+/// (`*_per_sec`) are halved and latency ceilings (`*_micros`) doubled, so
+/// the committed `bench/baseline.json` tolerates cross-machine variance
+/// while the gate's 25 % rules still catch real regressions against it.
+/// Counters (including the alloc ceilings) are left exact — they are
+/// deterministic.
+pub fn relax_into_baseline(file: &mut BenchFile) {
+    for run in &mut file.runs {
+        for (key, value) in &mut run.gauges {
+            if key.ends_with("_per_sec") {
+                *value *= 0.5;
+            } else if key.ends_with("_micros") {
+                *value *= 2.0;
+            }
+        }
+    }
+}
+
+/// Renders a bench file as the Markdown table EXPERIMENTS.md embeds:
+/// one row per counter and gauge, grouped by run.
+#[must_use]
+pub fn markdown(file: &BenchFile) -> String {
+    let mut out = String::from("| run | metric | value |\n|---|---|---|\n");
+    for run in &file.runs {
+        let name = format!("{}/{}", run.engine, run.run_id);
+        for (key, value) in &run.counters {
+            out.push_str(&format!("| {name} | {key} | {value} |\n"));
+        }
+        for (key, value) in &run.gauges {
+            out.push_str(&format!("| {name} | {key} | {value:.1} |\n"));
+        }
+        for (key, nanos) in &run.spans {
+            out.push_str(&format!("| {name} | span:{key} | {nanos} ns |\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e9_counters_match_the_published_state_count() {
+        let ledger = explore_e9(1, 0);
+        assert_eq!(ledger.engine, "explore");
+        assert_eq!(ledger.counters["states"], 1178);
+        assert_eq!(ledger.counters["violation"], 0);
+        assert_eq!(ledger.counters["threads"], 1);
+        assert!(ledger.gauges["states_per_sec"] > 0.0);
+    }
+
+    #[test]
+    fn markdown_lists_every_run() {
+        let mut file = BenchFile {
+            created: "test".into(),
+            runs: vec![],
+        };
+        let mut ledger = RunLedger::new("sim", "e11");
+        ledger.counter("steps", 5);
+        ledger.gauge("actions_per_sec", 123.4);
+        file.runs.push(ledger);
+        let md = markdown(&file);
+        assert!(md.contains("| sim/e11 | steps | 5 |"));
+        assert!(md.contains("| sim/e11 | actions_per_sec | 123.4 |"));
+    }
+
+    #[test]
+    fn baseline_relaxation_halves_floors_and_doubles_ceilings() {
+        let mut file = BenchFile {
+            created: "test".into(),
+            runs: vec![],
+        };
+        let mut ledger = RunLedger::new("fuzz", "e12");
+        ledger.counter("corpus_steps", 10);
+        ledger.gauge("execs_per_sec", 1000.0);
+        ledger.gauge("exec_micros", 30.0);
+        file.runs.push(ledger);
+        relax_into_baseline(&mut file);
+        let run = &file.runs[0];
+        assert_eq!(run.gauges["execs_per_sec"], 500.0);
+        assert_eq!(run.gauges["exec_micros"], 60.0);
+        assert_eq!(run.counters["corpus_steps"], 10);
+    }
+}

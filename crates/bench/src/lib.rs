@@ -10,6 +10,8 @@ use dl_core::action::{Dir, DlAction};
 use dl_sim::{link_system, Metrics, Runner, Script};
 use ioa::Automaton;
 
+pub mod ledger_runs;
+
 /// Runs `protocol` over a symmetric pair of lossy FIFO channels under
 /// `script`, asserting quiescence, and returns the metrics.
 ///

@@ -1,0 +1,50 @@
+//! The acceptance-criterion test: a synthetic ~30 % slowdown, injected
+//! through the same `DL_BENCH_SLEEP_US` environment variable that
+//! `scripts/bench.sh` and the `ledger_run` binary honor, must fail the
+//! bench gate against the committed baseline.
+//!
+//! This is deliberately the only `#[test]` in the file: `std::env::set_var`
+//! is process-global, and the single-test-per-binary layout guarantees no
+//! concurrently-running test observes the variable.
+
+use dl_bench::ledger_runs::{explore_e9, relax_into_baseline, sleep_from_env};
+use dl_obs::{gate, BenchFile, GateConfig};
+
+#[test]
+fn env_var_slowdown_fails_the_gate() {
+    // Unset → no stall: the clean run passes its own relaxed baseline.
+    assert_eq!(sleep_from_env(), 0);
+    let mut baseline = BenchFile {
+        created: "test".into(),
+        runs: vec![explore_e9(1, 0)],
+    };
+    relax_into_baseline(&mut baseline);
+    let clean = BenchFile {
+        created: "test".into(),
+        runs: vec![explore_e9(1, sleep_from_env())],
+    };
+    let report = gate(&baseline, &clean, &GateConfig::default());
+    assert!(report.passed(), "clean run must pass:\n{report}");
+
+    // The E9 workload finishes in well under a second even in debug
+    // builds; a two-second stall is a guaranteed >30 % slowdown against
+    // even the relaxed (halved) throughput floor.
+    // SAFETY: single-threaded at this point — this is the only test in
+    // the binary and no worker threads are alive.
+    unsafe { std::env::set_var("DL_BENCH_SLEEP_US", "2000000") };
+    assert_eq!(sleep_from_env(), 2_000_000);
+    let slowed = BenchFile {
+        created: "test".into(),
+        runs: vec![explore_e9(1, sleep_from_env())],
+    };
+    unsafe { std::env::remove_var("DL_BENCH_SLEEP_US") };
+
+    let report = gate(&baseline, &slowed, &GateConfig::default());
+    assert!(!report.passed(), "stalled run must fail:\n{report}");
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == "throughput-floor" && !f.ok));
+    // Pure timing injection: every counter is untouched.
+    assert_eq!(clean.runs[0].counters, slowed.runs[0].counters);
+}

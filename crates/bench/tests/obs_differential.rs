@@ -1,0 +1,79 @@
+//! Differential pin: enabling the `obs` feature must not perturb any
+//! engine output.
+//!
+//! Timing instrumentation must be observation-only: stopwatches never
+//! feed back into a decision, so verdicts, counterexamples, schedules,
+//! RNG streams, and every ledger *counter* are byte-identical whether the
+//! feature is on or off. A single process cannot compile both
+//! configurations, so the expected values are pinned as constants and
+//! `scripts/check.sh` runs this test twice — once plain, once with
+//! `--features obs`. A divergence in either run fails here; a divergence
+//! *between* runs is impossible without one of them failing.
+
+use dl_bench::ledger_runs::explore_e9;
+use dl_fuzz::{fuzz, target, FuzzConfig};
+use dl_sim::{ConformancePolicy, Runner, Script};
+
+/// E9 at capacity 3, 2 messages — the values the baseline and
+/// EXPERIMENTS.md publish.
+#[test]
+fn explore_counters_are_pinned_across_feature_configs() {
+    let ledger = explore_e9(2, 0);
+    assert_eq!(ledger.counters["states"], 1178);
+    assert_eq!(ledger.counters["quiescent_states"], 1);
+    assert_eq!(ledger.counters["edges"], 6267);
+    assert_eq!(ledger.counters["dedup_hits"], 5090);
+    assert_eq!(ledger.counters["layers"], 28);
+    assert_eq!(ledger.counters["max_depth"], 27);
+    assert_eq!(ledger.counters["arena_bytes"], 516096);
+    assert_eq!(ledger.counters["violation"], 0);
+    let frontier = &ledger.histograms["frontier_states"];
+    assert_eq!(frontier.count, 28);
+    assert_eq!(frontier.sum, 1178);
+    assert_eq!(frontier.max, 97);
+}
+
+/// The monitored simulation run: seed stream, schedule, and metrics must
+/// not move when the monitor is timed.
+#[test]
+fn sim_run_is_pinned_across_feature_configs() {
+    let p = dl_protocols::abp::protocol();
+    let sys = dl_sim::link_system(
+        p.transmitter,
+        p.receiver,
+        dl_channels::LossyFifoChannel::new(dl_core::action::Dir::TR, dl_channels::LossMode::Nondet),
+        dl_channels::LossyFifoChannel::new(dl_core::action::Dir::RT, dl_channels::LossMode::Nondet),
+    );
+    let mut runner = Runner::new(7, 200_000).with_online_conformance(ConformancePolicy::default());
+    let report = runner.run(&sys, &Script::deliver_n(5));
+    assert!(report.quiescent);
+    assert!(report.online_violation.is_none());
+    assert_eq!(report.metrics.msgs_received, 5);
+    assert_eq!(report.metrics.steps, 60);
+    assert_eq!(report.schedule().len(), 60);
+    assert_eq!(report.scratch_refills, 3);
+}
+
+/// The fuzz campaign: executions, coverage, and the shrunk witness are a
+/// pure function of the config in either configuration.
+#[test]
+fn fuzz_campaign_is_pinned_across_feature_configs() {
+    let cfg = FuzzConfig {
+        seed: 7,
+        workers: 1,
+        max_execs: 100,
+        max_steps: 400,
+        stop_on_violation: false,
+        ..FuzzConfig::default()
+    };
+    let report = fuzz(target("abp").unwrap(), &cfg);
+    let ledger = report.to_ledger("pin");
+    assert_eq!(ledger.counters["executions"], 100);
+    assert_eq!(ledger.counters["coverage_points"], 1681);
+    assert_eq!(ledger.counters["counterexamples"], 2);
+    assert_eq!(ledger.counters["shrink_execs"], 63);
+    assert_eq!(
+        report.counterexample("DL4").map(|c| c.found_at_exec),
+        Some(11)
+    );
+}

@@ -15,6 +15,7 @@ use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+use dl_obs::Stopwatch;
 use ioa::{Automaton, StateId, StateTable};
 
 use crate::property::{Invariant, Property, TraceProperty};
@@ -208,12 +209,17 @@ where
                     threads,
                     arena_bytes: arena.approx_bytes(),
                     duration: t0.elapsed(),
+                    barrier_nanos: 0,
                 };
             }
         }
 
         let mut layers: Vec<LayerStats> = Vec::new();
         let mut quiescent = 0usize;
+        // Wall-clock spent single-threaded at layer barriers (draining
+        // claims, admitting states, checking properties) — the stall the
+        // workers sit out. Zero (and free) without the `obs` feature.
+        let mut barrier_nanos = 0u64;
         let mut truncation: Option<Truncation> = None;
         let mut violation: Option<Violation<M::Action, M::State>> = None;
         let mut layer_start = 0usize;
@@ -262,6 +268,7 @@ where
             };
             quiescent += stats.quiescent;
 
+            let barrier_sw = Stopwatch::start();
             let mut fresh = visited.drain_fresh_sorted();
             let room = self.max_states.saturating_sub(arena.len());
             if fresh.len() > room {
@@ -329,6 +336,7 @@ where
                     break;
                 }
             }
+            barrier_nanos += barrier_sw.elapsed_nanos();
             if violation.is_some() {
                 break;
             }
@@ -346,6 +354,7 @@ where
             threads,
             arena_bytes: arena.approx_bytes(),
             duration: t0.elapsed(),
+            barrier_nanos,
         }
     }
 

@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use dl_obs::{Histogram, RunLedger};
+
 /// Why the search stopped before exhausting the reachable state space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Truncation {
@@ -69,6 +71,10 @@ pub struct ExploreReport<A, S> {
     pub arena_bytes: usize,
     /// Wall-clock duration of the search.
     pub duration: Duration,
+    /// Nanoseconds spent single-threaded at layer barriers (claim
+    /// draining, admission, property checks) — the stall time the worker
+    /// pool sits out. Always 0 unless the `obs` feature is enabled.
+    pub barrier_nanos: u64,
 }
 
 impl<A, S> ExploreReport<A, S> {
@@ -111,5 +117,48 @@ impl<A, S> ExploreReport<A, S> {
     #[must_use]
     pub fn dedup_hits(&self) -> u64 {
         self.layers.iter().map(|l| l.duplicates).sum()
+    }
+
+    /// Serializes the run into a [`RunLedger`] under the `explore` engine.
+    ///
+    /// Counters (`states`, `edges`, `dedup_hits`, …) are pure functions of
+    /// the model, budgets, and thread count — the ledger round-trip tests
+    /// compare them exactly across re-runs. Gauges (`states_per_sec`,
+    /// `duration_micros`) and the `barrier` span are wall-clock-derived
+    /// and feed the regression gate only.
+    #[must_use]
+    pub fn to_ledger(&self, run_id: &str) -> RunLedger {
+        let mut ledger = RunLedger::new("explore", run_id);
+        ledger.counter("states", self.states_visited as u64);
+        ledger.counter("quiescent_states", self.quiescent_states as u64);
+        ledger.counter("edges", self.edges_expanded());
+        ledger.counter("dedup_hits", self.dedup_hits());
+        ledger.counter("layers", self.layers.len() as u64);
+        ledger.counter("max_depth", self.max_depth_reached() as u64);
+        ledger.counter("threads", self.threads as u64);
+        ledger.counter("truncated", u64::from(self.truncation.is_some()));
+        ledger.counter("violation", u64::from(self.violation.is_some()));
+        ledger.counter(
+            "violation_path_len",
+            self.violation.as_ref().map_or(0, |v| v.path.len() as u64),
+        );
+        ledger.counter("arena_bytes", self.arena_bytes as u64);
+
+        let secs = self.duration.as_secs_f64().max(1e-9);
+        ledger.gauge("states_per_sec", self.states_visited as f64 / secs);
+        ledger.gauge("edges_per_sec", self.edges_expanded() as f64 / secs);
+        ledger.gauge("duration_micros", self.duration.as_secs_f64() * 1e6);
+
+        let mut frontier = Histogram::new();
+        let mut discovered = Histogram::new();
+        for layer in &self.layers {
+            frontier.record(layer.frontier as u64);
+            discovered.record(layer.discovered as u64);
+        }
+        ledger.histogram("frontier_states", &frontier);
+        ledger.histogram("layer_discovered", &discovered);
+
+        ledger.span("barrier", self.barrier_nanos);
+        ledger
     }
 }

@@ -13,7 +13,7 @@ use crate::corpus::{Corpus, CorpusEntry};
 use crate::coverage::ShardedCoverage;
 use crate::genome::Genome;
 use crate::report::{Counterexample, FuzzReport};
-use crate::shrink::{replays_identically, shrink};
+use crate::shrink::{replays_identically, shrink_counted};
 use crate::target::{ExecConfig, Target};
 
 /// Campaign-level configuration.
@@ -161,10 +161,13 @@ pub fn fuzz(target: &Target, cfg: &FuzzConfig) -> FuzzReport {
     let mut raw = findings.into_inner().expect("findings lock poisoned");
     raw.sort_by_key(|f| (f.violation.property, f.at_exec));
     raw.dedup_by_key(|f| f.violation.property);
+    let mut shrink_execs = 0u64;
     let mut counterexamples: Vec<Counterexample> = raw
         .into_iter()
         .map(|f| {
-            let shrunk = shrink(target, &f.genome, &exec_cfg, f.violation.property);
+            let (shrunk, spent) =
+                shrink_counted(target, &f.genome, &exec_cfg, f.violation.property);
+            shrink_execs += spent;
             let out = (target.run)(&shrunk, &exec_cfg);
             let verified =
                 out.violation.is_some() && replays_identically(target, &shrunk, &exec_cfg);
@@ -192,6 +195,7 @@ pub fn fuzz(target: &Target, cfg: &FuzzConfig) -> FuzzReport {
         coverage_curve,
         corpus: corpus.stats(),
         counterexamples,
+        shrink_execs,
     }
 }
 

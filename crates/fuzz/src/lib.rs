@@ -67,5 +67,5 @@ pub use coverage::ShardedCoverage;
 pub use fleet::{fuzz, FuzzConfig};
 pub use genome::{Gene, Genome, Plan};
 pub use report::{Counterexample, FuzzReport};
-pub use shrink::{replays_identically, shrink};
+pub use shrink::{replays_identically, shrink, shrink_counted};
 pub use target::{all_targets, target, ExecConfig, ExecOutcome, Target};

@@ -78,6 +78,10 @@ pub struct FuzzReport {
     /// Shrunk counterexamples, one per violated property (earliest
     /// finding wins).
     pub counterexamples: Vec<Counterexample>,
+    /// Candidate executions the shrinker spent across all
+    /// counterexamples (ddmin cuts plus numeric simplifications), not
+    /// counted in [`FuzzReport::executions`].
+    pub shrink_execs: u64,
 }
 
 impl FuzzReport {
@@ -90,6 +94,78 @@ impl FuzzReport {
         } else {
             0.0
         }
+    }
+
+    /// Mean wall-clock microseconds per campaign execution; `None` for an
+    /// empty campaign. This is the machine-checked form of the "~30 µs
+    /// per execution" throughput claim: the bench gate holds the
+    /// `exec_micros` gauge of the ledger below its baseline ceiling.
+    #[must_use]
+    pub fn exec_micros(&self) -> Option<f64> {
+        if self.executions == 0 {
+            None
+        } else {
+            Some(self.elapsed.as_secs_f64() * 1e6 / self.executions as f64)
+        }
+    }
+
+    /// Serializes the campaign into a [`dl_obs::RunLedger`] under the
+    /// `fuzz` engine.
+    ///
+    /// With a single worker every counter is a pure function of the
+    /// [`FuzzConfig`](crate::FuzzConfig) — the ledger round-trip tests
+    /// compare them exactly. Gauges (`execs_per_sec`, `exec_micros`,
+    /// `duration_micros`) are wall-clock-derived and feed the regression
+    /// gate only.
+    #[must_use]
+    pub fn to_ledger(&self, run_id: &str) -> dl_obs::RunLedger {
+        let mut ledger = dl_obs::RunLedger::new("fuzz", run_id);
+        ledger.counter("executions", self.executions);
+        ledger.counter("shrink_execs", self.shrink_execs);
+        ledger.counter("coverage_points", self.coverage_points as u64);
+        ledger.counter("coverage_admissions", self.coverage_curve.len() as u64);
+        ledger.counter("corpus_entries", self.corpus.entries as u64);
+        ledger.counter("corpus_steps", self.corpus.total_steps as u64);
+        ledger.counter("corpus_novelty", self.corpus.total_novelty as u64);
+        ledger.counter("counterexamples", self.counterexamples.len() as u64);
+        ledger.counter(
+            "replay_verified",
+            self.counterexamples
+                .iter()
+                .filter(|c| c.replay_verified)
+                .count() as u64,
+        );
+        ledger.counter(
+            "trace_actions",
+            self.counterexamples
+                .iter()
+                .map(|c| c.trace.len() as u64)
+                .sum(),
+        );
+
+        let secs = self.elapsed.as_secs_f64().max(1e-9);
+        ledger.gauge("execs_per_sec", self.executions as f64 / secs);
+        ledger.gauge("duration_micros", self.elapsed.as_secs_f64() * 1e6);
+        if let Some(micros) = self.exec_micros() {
+            ledger.gauge("exec_micros", micros);
+        }
+
+        // Gaps between successive coverage admissions (in executions):
+        // how fast the campaign goes stale.
+        let mut gap = dl_obs::Histogram::new();
+        let mut last = 0u64;
+        for &(at, _) in &self.coverage_curve {
+            gap.record(at - last);
+            last = at;
+        }
+        ledger.histogram("coverage_gap_execs", &gap);
+
+        let mut genes = dl_obs::Histogram::new();
+        for c in &self.counterexamples {
+            genes.record(c.genome.genes.len() as u64);
+        }
+        ledger.histogram("shrunk_genes", &genes);
+        ledger
     }
 
     /// `true` if some counterexample violates `property`.
@@ -165,6 +241,7 @@ mod tests {
                 trace: vec![],
                 replay_verified: true,
             }],
+            shrink_execs: 12,
         };
         assert!((report.execs_per_sec() - 200.0).abs() < 1e-9);
         assert!(report.found("DL4"));

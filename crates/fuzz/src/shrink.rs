@@ -77,8 +77,23 @@ fn spec_simplifications(s: &FaultSpec) -> Vec<FaultSpec> {
 /// deterministic), the input is returned unchanged.
 #[must_use]
 pub fn shrink(target: &Target, genome: &Genome, cfg: &ExecConfig, property: &str) -> Genome {
+    shrink_counted(target, genome, cfg, property).0
+}
+
+/// Like [`shrink`], additionally returning how many candidate executions
+/// the search spent (every ddmin cut and numeric simplification costs one
+/// deterministic run). Deterministic for a fixed input, so the count
+/// lands in the fuzz ledger as a counter.
+#[must_use]
+pub fn shrink_counted(
+    target: &Target,
+    genome: &Genome,
+    cfg: &ExecConfig,
+    property: &str,
+) -> (Genome, u64) {
+    let mut execs = 1u64;
     if !reproduces(target, genome, cfg, property) {
-        return genome.clone();
+        return (genome.clone(), execs);
     }
     let mut best = genome.clone();
 
@@ -94,6 +109,7 @@ pub fn shrink(target: &Target, genome: &Genome, cfg: &ExecConfig, property: &str
                 let end = (i + chunk).min(best.genes.len());
                 let mut candidate = best.clone();
                 candidate.genes.drain(i..end);
+                execs += 1;
                 if reproduces(target, &candidate, cfg, property) {
                     best = candidate;
                 } else {
@@ -117,6 +133,7 @@ pub fn shrink(target: &Target, genome: &Genome, cfg: &ExecConfig, property: &str
             for simpler in simplifications(&best.genes[i]) {
                 let mut candidate = best.clone();
                 candidate.genes[i] = simpler;
+                execs += 1;
                 if reproduces(target, &candidate, cfg, property) {
                     best = candidate;
                     changed = true;
@@ -129,7 +146,7 @@ pub fn shrink(target: &Target, genome: &Genome, cfg: &ExecConfig, property: &str
         }
     }
 
-    best
+    (best, execs)
 }
 
 /// Runs `genome` twice and checks the two executions are byte-identical

@@ -1,0 +1,173 @@
+//! Ledger-emitting wrappers around the two impossibility engines.
+//!
+//! The engines themselves stay untouched — a proof construction has no
+//! business carrying telemetry. These helpers sample what the engines
+//! already expose (reference length, interned-projection footprint, pump
+//! rounds, trace sizes) into a [`RunLedger`] under the `impossibility`
+//! engine name, plus wall-clock gauges for the bench gate.
+//!
+//! Timing here uses [`std::time::Instant`] unconditionally (not the
+//! feature-gated stopwatch): these wrappers exist *for* measurement, run
+//! once per experiment, and their timing never feeds back into the
+//! construction — counters are identical with the `obs` feature on or
+//! off.
+
+use std::time::Instant;
+
+use dl_obs::RunLedger;
+
+use crate::crash::{
+    CounterexampleFlavor, CrashConfig, CrashCounterexample, CrashEngine, CrashError,
+};
+use crate::driver::ProtocolAutomaton;
+use crate::headers::{HeaderConfig, HeaderEngine, HeaderError, HeaderOutcome};
+
+/// Runs the Theorem 7.5 crash construction and serializes the run into a
+/// ledger alongside the counterexample.
+///
+/// Counters: `pumps` (crash-replay rounds), `reference_len` (steps of the
+/// reference execution `α`), `projection_bytes` (interned footprint of
+/// `α`'s per-step component-state projections — an alloc-ceiling for the
+/// gate), `trace_len` / `behavior_len` of the counterexample, and a 0/1
+/// `dl8_flavor` flag for which endgame fired. All are pure functions of
+/// the protocol and config.
+///
+/// # Errors
+///
+/// See [`CrashError`] — the ledger is only produced for a successful
+/// construction.
+pub fn crash_ledger<T, R>(
+    tx: T,
+    rx: R,
+    config: CrashConfig,
+    run_id: &str,
+) -> Result<(CrashCounterexample, RunLedger), CrashError>
+where
+    T: ProtocolAutomaton,
+    R: ProtocolAutomaton,
+{
+    let t0 = Instant::now();
+    let engine = CrashEngine::new(tx, rx, config)?;
+    let reference = engine.reference();
+    let reference_len = reference.actions.len() as u64;
+    let projection_bytes =
+        (reference.t_states.approx_bytes() + reference.r_states.approx_bytes()) as u64;
+    let cx = engine.run()?;
+    let elapsed = t0.elapsed();
+
+    let mut ledger = RunLedger::new("impossibility", run_id);
+    ledger.counter("pumps", cx.pumps as u64);
+    ledger.counter("reference_len", reference_len);
+    ledger.counter("projection_bytes", projection_bytes);
+    ledger.counter("trace_len", cx.trace.len() as u64);
+    ledger.counter("behavior_len", cx.behavior.len() as u64);
+    ledger.counter(
+        "dl8_flavor",
+        u64::from(matches!(cx.flavor, CounterexampleFlavor::Dl8Liveness)),
+    );
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    ledger.gauge("trace_actions_per_sec", cx.trace.len() as f64 / secs);
+    ledger.gauge("duration_micros", elapsed.as_secs_f64() * 1e6);
+    Ok((cx, ledger))
+}
+
+/// Runs the Theorem 8.5 header pump and serializes the run into a ledger
+/// alongside the outcome.
+///
+/// Counters: `rounds` (pump rounds performed), `violation` (1 when the
+/// bounded-header match fired), and per-outcome sizes — `matched` /
+/// `trace_len` / `behavior_len` for a violation, `transit_size` /
+/// `distinct_classes` for an escape (Stenning's linear header growth).
+///
+/// # Errors
+///
+/// See [`HeaderError`] — the ledger is only produced when the engine
+/// terminates normally (either outcome).
+pub fn header_ledger<T, R>(
+    tx: T,
+    rx: R,
+    config: HeaderConfig,
+    run_id: &str,
+) -> Result<(HeaderOutcome, RunLedger), HeaderError>
+where
+    T: ProtocolAutomaton,
+    R: ProtocolAutomaton,
+{
+    let t0 = Instant::now();
+    let outcome = HeaderEngine::new(tx, rx, config).run()?;
+    let elapsed = t0.elapsed();
+
+    let mut ledger = RunLedger::new("impossibility", run_id);
+    match &outcome {
+        HeaderOutcome::Violation(cx) => {
+            ledger.counter("rounds", cx.rounds as u64);
+            ledger.counter("violation", 1);
+            ledger.counter("matched", cx.matched.len() as u64);
+            ledger.counter("trace_len", cx.trace.len() as u64);
+            ledger.counter("behavior_len", cx.behavior.len() as u64);
+        }
+        HeaderOutcome::Exhausted {
+            rounds,
+            transit_size,
+            distinct_classes,
+        } => {
+            ledger.counter("rounds", *rounds as u64);
+            ledger.counter("violation", 0);
+            ledger.counter("transit_size", *transit_size as u64);
+            ledger.counter("distinct_classes", *distinct_classes as u64);
+        }
+    }
+    ledger.gauge("duration_micros", elapsed.as_secs_f64() * 1e6);
+    Ok((outcome, ledger))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_ledger_carries_the_construction_counters() {
+        let p = dl_protocols::abp::protocol();
+        let (cx, ledger) =
+            crash_ledger(p.transmitter, p.receiver, CrashConfig::default(), "abp").unwrap();
+        assert_eq!(ledger.engine, "impossibility");
+        assert_eq!(ledger.counters["pumps"], cx.pumps as u64);
+        assert_eq!(ledger.counters["trace_len"], cx.trace.len() as u64);
+        assert!(ledger.counters["reference_len"] > 0);
+        assert!(ledger.counters["projection_bytes"] > 0);
+        assert!(ledger.gauges.contains_key("duration_micros"));
+    }
+
+    #[test]
+    fn crash_ledger_counters_are_reproducible() {
+        let run = || {
+            let p = dl_protocols::abp::protocol();
+            crash_ledger(p.transmitter, p.receiver, CrashConfig::default(), "abp")
+                .unwrap()
+                .1
+        };
+        assert_eq!(run().counters, run().counters);
+    }
+
+    #[test]
+    fn header_ledger_distinguishes_violation_from_escape() {
+        let p = dl_protocols::abp::protocol();
+        let (outcome, ledger) =
+            header_ledger(p.transmitter, p.receiver, HeaderConfig::default(), "abp").unwrap();
+        assert!(matches!(outcome, HeaderOutcome::Violation(_)));
+        assert_eq!(ledger.counters["violation"], 1);
+        assert!(ledger.counters["rounds"] > 0);
+        assert!(ledger.counters["matched"] > 0);
+
+        let p = dl_protocols::stenning::protocol();
+        let config = HeaderConfig {
+            max_rounds: 6,
+            ..HeaderConfig::default()
+        };
+        let (outcome, ledger) =
+            header_ledger(p.transmitter, p.receiver, config, "stenning").unwrap();
+        assert!(matches!(outcome, HeaderOutcome::Exhausted { .. }));
+        assert_eq!(ledger.counters["violation"], 0);
+        assert!(ledger.counters["distinct_classes"] > 0);
+    }
+}

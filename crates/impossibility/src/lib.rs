@@ -39,6 +39,7 @@
 pub mod crash;
 pub mod driver;
 pub mod headers;
+pub mod ledger;
 pub mod report;
 
 pub use crash::{
@@ -46,4 +47,5 @@ pub use crash::{
 };
 pub use driver::{Driver, ProtocolAutomaton};
 pub use headers::{refute_bounded_headers, HeaderEngine, HeaderError, HeaderOutcome};
+pub use ledger::{crash_ledger, header_ledger};
 pub use report::{explain_crash, explain_header};

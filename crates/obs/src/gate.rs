@@ -1,0 +1,283 @@
+//! The benchmark regression gate: committed baseline vs. fresh run.
+//!
+//! `scripts/bench.sh --gate` compares the just-emitted `BENCH_<date>.json`
+//! against `bench/baseline.json` with suffix-driven rules:
+//!
+//! * gauges ending in `_per_sec` are **throughput floors** — the gate
+//!   fails when the current value drops more than
+//!   [`GateConfig::max_throughput_drop`] below the baseline;
+//! * gauges ending in `_micros` are **latency ceilings** — the gate fails
+//!   when the current value exceeds the baseline by more than
+//!   [`GateConfig::max_growth`];
+//! * counters ending in `_bytes` or `_allocs` are **allocation ceilings**
+//!   — any breach of `baseline × (1 + max_growth)` fails.
+//!
+//! Every other metric is informational. A run present in the baseline but
+//! absent from the current file fails the gate (a silently dropped
+//! workload must not read as a pass), as does a baseline-gated key the
+//! current run no longer emits.
+
+use std::fmt;
+
+use crate::ledger::{BenchFile, RunLedger};
+
+/// Gate tolerances.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Maximum tolerated relative drop of a `*_per_sec` gauge (0.25 =
+    /// fail below 75 % of baseline).
+    pub max_throughput_drop: f64,
+    /// Maximum tolerated relative growth of `*_micros` gauges and
+    /// `*_bytes` / `*_allocs` counters.
+    pub max_growth: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            max_throughput_drop: 0.25,
+            max_growth: 0.25,
+        }
+    }
+}
+
+/// One gated comparison.
+#[derive(Debug, Clone)]
+pub struct GateFinding {
+    /// `engine/run_id` of the run the metric belongs to.
+    pub run: String,
+    /// Metric key.
+    pub key: String,
+    /// Which rule applied (`"throughput-floor"`, `"latency-ceiling"`,
+    /// `"alloc-ceiling"`, `"missing-metric"`).
+    pub rule: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value (0 when the metric is missing).
+    pub current: f64,
+    /// `false` when this finding fails the gate.
+    pub ok: bool,
+}
+
+impl fmt::Display for GateFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} [{}]: baseline {:.1}, current {:.1}",
+            if self.ok { "ok  " } else { "FAIL" },
+            self.run,
+            self.key,
+            self.rule,
+            self.baseline,
+            self.current,
+        )
+    }
+}
+
+/// The gate's verdict over a whole bench file pair.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Every gated comparison, in baseline order.
+    pub findings: Vec<GateFinding>,
+    /// Baseline runs with no counterpart in the current file.
+    pub missing_runs: Vec<String>,
+}
+
+impl GateReport {
+    /// `true` when no finding failed and no run went missing.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.missing_runs.is_empty() && self.findings.iter().all(|f| f.ok)
+    }
+
+    /// Number of failed findings (missing runs included).
+    #[must_use]
+    pub fn failures(&self) -> usize {
+        self.missing_runs.len() + self.findings.iter().filter(|f| !f.ok).count()
+    }
+}
+
+impl fmt::Display for GateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for run in &self.missing_runs {
+            writeln!(f, "FAIL {run}: run missing from the current bench file")?;
+        }
+        for finding in &self.findings {
+            writeln!(f, "{finding}")?;
+        }
+        write!(
+            f,
+            "gate: {} comparisons, {} failure(s)",
+            self.findings.len(),
+            self.failures()
+        )
+    }
+}
+
+fn check(
+    findings: &mut Vec<GateFinding>,
+    run: &str,
+    key: &str,
+    rule: &'static str,
+    baseline: f64,
+    current: Option<f64>,
+    ok: impl Fn(f64) -> bool,
+) {
+    match current {
+        Some(current) => findings.push(GateFinding {
+            run: run.to_string(),
+            key: key.to_string(),
+            rule,
+            baseline,
+            current,
+            ok: ok(current),
+        }),
+        None => findings.push(GateFinding {
+            run: run.to_string(),
+            key: key.to_string(),
+            rule: "missing-metric",
+            baseline,
+            current: 0.0,
+            ok: false,
+        }),
+    }
+}
+
+fn gate_run(findings: &mut Vec<GateFinding>, base: &RunLedger, cur: &RunLedger, cfg: &GateConfig) {
+    let run = format!("{}/{}", base.engine, base.run_id);
+    for (key, b) in &base.gauges {
+        if key.ends_with("_per_sec") {
+            let floor = b * (1.0 - cfg.max_throughput_drop);
+            let cur_v = cur.gauges.get(key).copied();
+            check(findings, &run, key, "throughput-floor", *b, cur_v, |c| {
+                c >= floor
+            });
+        } else if key.ends_with("_micros") {
+            let ceiling = b * (1.0 + cfg.max_growth);
+            let cur_v = cur.gauges.get(key).copied();
+            check(findings, &run, key, "latency-ceiling", *b, cur_v, |c| {
+                c <= ceiling
+            });
+        }
+    }
+    for (key, b) in &base.counters {
+        if key.ends_with("_bytes") || key.ends_with("_allocs") {
+            let b = *b as f64;
+            let ceiling = b * (1.0 + cfg.max_growth);
+            let cur_v = cur.counters.get(key).map(|c| *c as f64);
+            check(findings, &run, key, "alloc-ceiling", b, cur_v, |c| {
+                c <= ceiling
+            });
+        }
+    }
+}
+
+/// Gates `current` against `baseline`.
+#[must_use]
+pub fn gate(baseline: &BenchFile, current: &BenchFile, cfg: &GateConfig) -> GateReport {
+    let mut report = GateReport::default();
+    for base in &baseline.runs {
+        match current.find(&base.engine, &base.run_id) {
+            Some(cur) => gate_run(&mut report.findings, base, cur, cfg),
+            None => report
+                .missing_runs
+                .push(format!("{}/{}", base.engine, base.run_id)),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(throughput: f64, micros: f64, bytes: u64) -> BenchFile {
+        let mut ledger = RunLedger::new("explore", "e9");
+        ledger.gauge("states_per_sec", throughput);
+        ledger.gauge("duration_micros", micros);
+        ledger.counter("arena_bytes", bytes);
+        ledger.counter("states", 100); // not gated
+        BenchFile {
+            created: "test".into(),
+            runs: vec![ledger],
+        }
+    }
+
+    #[test]
+    fn identical_files_pass() {
+        let base = file(1000.0, 500.0, 4096);
+        let report = gate(&base, &base.clone(), &GateConfig::default());
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.findings.len(), 3);
+    }
+
+    #[test]
+    fn thirty_percent_throughput_drop_fails() {
+        let base = file(1000.0, 500.0, 4096);
+        let slow = file(700.0, 500.0, 4096);
+        let report = gate(&base, &slow, &GateConfig::default());
+        assert!(!report.passed());
+        let f = report.findings.iter().find(|f| !f.ok).unwrap();
+        assert_eq!(f.rule, "throughput-floor");
+        assert_eq!(f.key, "states_per_sec");
+    }
+
+    #[test]
+    fn twenty_percent_drop_passes() {
+        let base = file(1000.0, 500.0, 4096);
+        let ok = file(800.0, 550.0, 4100);
+        assert!(gate(&base, &ok, &GateConfig::default()).passed());
+    }
+
+    #[test]
+    fn alloc_ceiling_breach_fails() {
+        let base = file(1000.0, 500.0, 4096);
+        let bloated = file(1000.0, 500.0, 8192);
+        let report = gate(&base, &bloated, &GateConfig::default());
+        assert!(!report.passed());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == "alloc-ceiling" && !f.ok));
+    }
+
+    #[test]
+    fn latency_ceiling_breach_fails() {
+        let base = file(1000.0, 500.0, 4096);
+        let slow = file(1000.0, 700.0, 4096);
+        let report = gate(&base, &slow, &GateConfig::default());
+        assert!(!report.passed());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == "latency-ceiling" && !f.ok));
+    }
+
+    #[test]
+    fn missing_run_and_missing_metric_fail() {
+        let base = file(1000.0, 500.0, 4096);
+        let empty = BenchFile {
+            created: "test".into(),
+            runs: vec![],
+        };
+        let report = gate(&base, &empty, &GateConfig::default());
+        assert!(!report.passed());
+        assert_eq!(report.missing_runs, vec!["explore/e9".to_string()]);
+
+        let mut stripped = base.clone();
+        stripped.runs[0].gauges.remove("states_per_sec");
+        let report = gate(&base, &stripped, &GateConfig::default());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == "missing-metric" && !f.ok));
+    }
+
+    #[test]
+    fn ungated_counters_are_informational() {
+        let base = file(1000.0, 500.0, 4096);
+        let mut drifted = base.clone();
+        drifted.runs[0].counters.insert("states".into(), 999_999);
+        assert!(gate(&base, &drifted, &GateConfig::default()).passed());
+    }
+}

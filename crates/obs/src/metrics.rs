@@ -1,0 +1,244 @@
+//! Counters and log2-bucket histograms for per-thread sharded
+//! accumulation.
+//!
+//! Neither type is atomic or locked on purpose: the intended discipline —
+//! the one `dl-explore`'s layer-synchronous BFS uses for its worker
+//! statistics — is that **each worker thread owns its own instance** and
+//! the engine merges them with [`Counter::merge`] / [`Histogram::merge`]
+//! at a barrier, where it holds the results exclusively anyway. The hot
+//! path therefore costs one integer add (counter) or a handful of integer
+//! ops (histogram), with no cache-line contention.
+
+/// A monotonic event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Folds another shard's count into this one (barrier merge).
+    #[inline]
+    pub fn merge(&mut self, other: Counter) {
+        self.0 += other.0;
+    }
+}
+
+/// Number of log2 buckets: bucket `i` counts values whose bit length is
+/// `i`, i.e. bucket 0 holds the value 0, bucket 1 holds 1, bucket 2 holds
+/// 2–3, …, bucket 64 holds values ≥ 2⁶³.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-size log2-bucket histogram of `u64` samples.
+///
+/// Recording is allocation-free and branch-light: the bucket index is the
+/// sample's bit length. Exact `count`/`sum`/`min`/`max` ride along so
+/// means and totals are not quantized.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[(u64::BITS - value.leading_zeros()) as usize] += 1;
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 if empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Folds another shard's samples into this one (barrier merge).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// A sparse, serializable view of this histogram.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c > 0)
+                .map(|(i, c)| (i as u8, *c))
+                .collect(),
+        }
+    }
+}
+
+/// Sparse serialized form of a [`Histogram`]: only non-empty buckets are
+/// kept, as `(bit_length, count)` pairs in ascending bucket order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples (saturating).
+    pub sum: u64,
+    /// Smallest sample (0 if empty).
+    pub min: u64,
+    /// Largest sample (0 if empty).
+    pub max: u64,
+    /// Non-empty `(bucket index, count)` pairs; bucket index is the
+    /// sample's bit length (see [`BUCKETS`]).
+    pub buckets: Vec<(u8, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_and_merges() {
+        let mut a = Counter::new();
+        a.inc();
+        a.add(4);
+        let mut b = Counter::new();
+        b.add(10);
+        a.merge(b);
+        assert_eq!(a.get(), 15);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 1024, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        let snap = h.snapshot();
+        // 0 → bucket 0; 1 → 1; 2,3 → 2; 4 → 3; 1024 → 11; MAX → 64.
+        assert_eq!(
+            snap.buckets,
+            vec![(0, 1), (1, 1), (2, 2), (3, 1), (11, 1), (64, 1)]
+        );
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.snapshot().buckets, vec![]);
+    }
+
+    #[test]
+    fn merge_combines_shards() {
+        let mut a = Histogram::new();
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(100);
+        b.record(1);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 106);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 100);
+    }
+
+    #[test]
+    fn saturating_sum_never_wraps() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+    }
+}

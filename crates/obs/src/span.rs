@@ -1,0 +1,143 @@
+//! Wall-clock spans with a compile-time-off fast path.
+//!
+//! With the `obs` feature **off** (the default), [`Stopwatch::start`]
+//! captures nothing and [`Stopwatch::elapsed_nanos`] is an `#[inline]`
+//! constant zero; [`Spans`] stores nothing. The instrumentation calls in
+//! the engines therefore compile away entirely, and — as the differential
+//! tests pin — engine outputs are byte-identical in both configurations,
+//! because timing never feeds back into any decision.
+//!
+//! With the feature **on**, a [`Stopwatch`] wraps [`std::time::Instant`]
+//! and [`Spans`] accumulates named nanosecond totals suitable for
+//! [`RunLedger::span`](crate::ledger::RunLedger::span).
+
+use std::collections::BTreeMap;
+
+/// A start-time capture; zero-sized and inert without the `obs` feature.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    #[cfg(feature = "obs")]
+    start: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing (a no-op without the `obs` feature).
+    #[inline]
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch {
+            #[cfg(feature = "obs")]
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since [`start`](Stopwatch::start); always 0 without
+    /// the `obs` feature.
+    #[inline]
+    #[must_use]
+    pub fn elapsed_nanos(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            0
+        }
+    }
+}
+
+/// Named nanosecond accumulators — one entry per span name.
+///
+/// Without the `obs` feature this is an empty shell: [`Spans::add`] and
+/// [`Spans::time`] keep nothing (`time` still runs its closure, inlined
+/// with no timing around it) and [`Spans::totals`] is always empty.
+#[derive(Debug, Clone, Default)]
+pub struct Spans {
+    #[cfg(feature = "obs")]
+    totals: BTreeMap<&'static str, u64>,
+    #[cfg(not(feature = "obs"))]
+    _off: (),
+}
+
+impl Spans {
+    /// An empty span set.
+    #[must_use]
+    pub fn new() -> Self {
+        Spans::default()
+    }
+
+    /// Adds `nanos` to the span `name`.
+    #[inline]
+    pub fn add(&mut self, name: &'static str, nanos: u64) {
+        #[cfg(feature = "obs")]
+        {
+            *self.totals.entry(name).or_insert(0) += nanos;
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (name, nanos);
+        }
+    }
+
+    /// Runs `f`, attributing its wall-clock time to the span `name`.
+    #[inline]
+    pub fn time<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let sw = Stopwatch::start();
+        let out = f();
+        self.add(name, sw.elapsed_nanos());
+        out
+    }
+
+    /// The accumulated `(name, total nanoseconds)` pairs, sorted by name;
+    /// empty without the `obs` feature.
+    #[must_use]
+    pub fn totals(&self) -> BTreeMap<&'static str, u64> {
+        #[cfg(feature = "obs")]
+        {
+            self.totals.clone()
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            BTreeMap::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_returns_the_closure_result_in_both_configurations() {
+        let mut spans = Spans::new();
+        let v = spans.time("work", || 41 + 1);
+        assert_eq!(v, 42);
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let mut spans = Spans::new();
+        spans.add("a", 100);
+        spans.time("b", || std::hint::black_box(7));
+        assert!(spans.totals().is_empty());
+        assert_eq!(Stopwatch::start().elapsed_nanos(), 0);
+        // The disabled stopwatch is genuinely zero-sized.
+        assert_eq!(std::mem::size_of::<Stopwatch>(), 0);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn enabled_spans_accumulate_named_totals() {
+        let mut spans = Spans::new();
+        spans.add("a", 100);
+        spans.add("a", 50);
+        spans.time("b", || {
+            std::thread::sleep(std::time::Duration::from_micros(200))
+        });
+        let totals = spans.totals();
+        assert_eq!(totals["a"], 150);
+        assert!(totals["b"] >= 200_000, "b = {}", totals["b"]);
+    }
+}

@@ -164,6 +164,14 @@ pub struct RunReport<S> {
     /// [`Runner::with_decision_recording`]; feeding it back through
     /// [`Runner::with_decision_replay`] reproduces the run exactly.
     pub decisions: Option<Vec<Decision>>,
+    /// Nanoseconds the online conformance monitor spent judging actions.
+    /// Always 0 unless the `obs` feature is enabled (and the runner was
+    /// built with [`Runner::with_online_conformance`]).
+    pub monitor_nanos: u64,
+    /// How many times a reusable scratch buffer (enabled set, task-class
+    /// filter, successor list) outgrew its capacity and reallocated — the
+    /// steady-state target is a handful of warm-up growths and then zero.
+    pub scratch_refills: u64,
 }
 
 impl<S: Clone + Eq + std::fmt::Debug> RunReport<S> {
@@ -171,6 +179,55 @@ impl<S: Clone + Eq + std::fmt::Debug> RunReport<S> {
     #[must_use]
     pub fn schedule(&self) -> Vec<DlAction> {
         self.execution.schedule()
+    }
+}
+
+impl<S> RunReport<S> {
+    /// Serializes the run into a [`dl_obs::RunLedger`] under the `sim`
+    /// engine. `elapsed` is the caller-measured wall clock of the run
+    /// (the report itself carries no timing).
+    ///
+    /// Counters are pure functions of `(system, seed, script)` — the
+    /// ledger round-trip tests compare them exactly across re-runs.
+    /// Gauges and the `monitor` span are wall-clock-derived and feed the
+    /// regression gate only.
+    #[must_use]
+    pub fn to_ledger(&self, run_id: &str, elapsed: std::time::Duration) -> dl_obs::RunLedger {
+        let m = &self.metrics;
+        let mut ledger = dl_obs::RunLedger::new("sim", run_id);
+        ledger.counter("steps", m.steps);
+        ledger.counter("msgs_sent", m.msgs_sent);
+        ledger.counter("msgs_received", m.msgs_received);
+        ledger.counter("pkts_sent_tr", m.pkts_sent[0]);
+        ledger.counter("pkts_sent_rt", m.pkts_sent[1]);
+        ledger.counter("pkts_received_tr", m.pkts_received[0]);
+        ledger.counter("pkts_received_rt", m.pkts_received[1]);
+        ledger.counter("crashes", m.crashes);
+        ledger.counter("distinct_headers", m.headers_used.len() as u64);
+        ledger.counter("pending_messages", m.pending_messages() as u64);
+        ledger.counter("behavior_len", self.behavior.len() as u64);
+        ledger.counter("quiescent", u64::from(self.quiescent));
+        ledger.counter(
+            "online_violation",
+            u64::from(self.online_violation.is_some()),
+        );
+        ledger.counter("scratch_refills", self.scratch_refills);
+
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        ledger.gauge("actions_per_sec", m.steps as f64 / secs);
+        ledger.gauge("duration_micros", elapsed.as_secs_f64() * 1e6);
+        if let Some(overhead) = m.overhead() {
+            ledger.gauge("overhead_ratio", overhead);
+        }
+
+        let mut latency = dl_obs::Histogram::new();
+        for &sample in &m.latencies {
+            latency.record(sample);
+        }
+        ledger.histogram("latency_steps", &latency);
+
+        ledger.span("monitor", self.monitor_nanos);
+        ledger
     }
 }
 
@@ -198,6 +255,10 @@ struct Scratch<S> {
     enabled: Vec<DlAction>,
     in_class: Vec<DlAction>,
     succs: Vec<S>,
+    /// Capacity-growth events across all three buffers; deterministic for
+    /// a fixed run (Vec growth is), so it lands in the ledger as a
+    /// counter rather than a gauge.
+    refills: u64,
 }
 
 impl<S> Default for Scratch<S> {
@@ -206,6 +267,7 @@ impl<S> Default for Scratch<S> {
             enabled: Vec::new(),
             in_class: Vec::new(),
             succs: Vec::new(),
+            refills: 0,
         }
     }
 }
@@ -217,10 +279,14 @@ struct OnlineConformance {
     policy: ConformancePolicy,
     monitor: TraceMonitor,
     violation: Option<Violation>,
+    /// Wall clock spent inside [`observe`](OnlineConformance::observe);
+    /// always 0 without the `obs` feature.
+    nanos: u64,
 }
 
 impl OnlineConformance {
     fn observe(&mut self, action: &DlAction) {
+        let sw = dl_obs::Stopwatch::start();
         self.monitor.observe(action);
         if self.violation.is_none() {
             self.violation = if self.policy.monitor_pl {
@@ -233,6 +299,7 @@ impl OnlineConformance {
                     .cloned()
             };
         }
+        self.nanos += sw.elapsed_nanos();
     }
 }
 
@@ -379,6 +446,7 @@ impl Runner {
             policy,
             monitor: TraceMonitor::new(),
             violation: None,
+            nanos: 0,
         });
         let tripped = |online: &Option<OnlineConformance>| {
             online.as_ref().is_some_and(|o| o.violation.is_some())
@@ -460,8 +528,10 @@ impl Runner {
             behavior,
             quiescent,
             metrics,
-            online_violation: online.and_then(|o| o.violation),
+            online_violation: online.as_ref().and_then(|o| o.violation.clone()),
             decisions: self.record.then(|| std::mem::take(&mut self.taken)),
+            monitor_nanos: online.map_or(0, |o| o.nanos),
+            scratch_refills: scratch.refills,
         }
     }
 
@@ -480,10 +550,12 @@ impl Runner {
         M: Automaton<Action = DlAction>,
     {
         scratch.enabled.clear();
+        let cap = scratch.enabled.capacity();
         let _ = system.for_each_enabled_local(exec.last_state(), &mut |a| {
             scratch.enabled.push(a);
             std::ops::ControlFlow::Continue(())
         });
+        scratch.refills += u64::from(scratch.enabled.capacity() != cap);
         if scratch.enabled.is_empty() {
             return false;
         }
@@ -491,6 +563,7 @@ impl Runner {
         for offset in 0..tasks {
             let t = TaskId((*next_task + offset) % tasks);
             scratch.in_class.clear();
+            let cap = scratch.in_class.capacity();
             scratch.in_class.extend(
                 scratch
                     .enabled
@@ -498,6 +571,7 @@ impl Runner {
                     .filter(|a| system.task_of(a) == t)
                     .copied(),
             );
+            scratch.refills += u64::from(scratch.in_class.capacity() != cap);
             if scratch.in_class.is_empty() {
                 continue;
             }
@@ -533,7 +607,9 @@ impl Runner {
             }
         }
         scratch.succs.clear();
+        let cap = scratch.succs.capacity();
         system.successors_into(exec.last_state(), &action, &mut scratch.succs);
+        scratch.refills += u64::from(scratch.succs.capacity() != cap);
         if scratch.succs.is_empty() {
             return false;
         }

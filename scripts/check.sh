@@ -1,31 +1,135 @@
 #!/usr/bin/env bash
-# Repository check gate: formatting, lints (warnings are errors), tests.
-# Run from anywhere; operates on the workspace containing this script.
+# Repository check gate, split into named fail-fast stages.
+#
+#   scripts/check.sh                 run every stage in order
+#   scripts/check.sh --stage NAME    run a single stage
+#   scripts/check.sh --list          list stage names and exit
+#
+# Each stage's wall-clock time is reported as it finishes and summarized
+# at the end. The first failing stage aborts the run (set -e), so the
+# summary of a failed run shows exactly how far it got.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+STAGES=(toolchain fmt clippy test obs scaling fuzz-smoke alloc differential bench-smoke)
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+stage_toolchain() {
+  # The container pins the toolchain by version, not by channel file
+  # alone: rust-toolchain.toml says "stable", and this stage verifies
+  # that "stable" still means the version the repo was validated with.
+  local pinned actual
+  pinned=$(sed -n 's/^# pinned-version: //p' rust-toolchain.toml)
+  actual=$(cargo --version | awk '{print $2}')
+  echo "    pinned ${pinned}, active ${actual}"
+  if [[ -z "$pinned" ]]; then
+    echo "toolchain: rust-toolchain.toml is missing its pinned-version comment" >&2
+    return 1
+  fi
+  if [[ "$actual" != "$pinned" ]]; then
+    echo "toolchain: active cargo ${actual} != pinned ${pinned} (update rust-toolchain.toml deliberately)" >&2
+    return 1
+  fi
+}
 
-echo "==> cargo test -q"
-cargo test -q
+stage_fmt() {
+  cargo fmt --all -- --check
+}
 
-echo "==> checker scaling smoke (10^5-action trace, release, must stay well under 1 s)"
-cargo test --release -q -p dl-core --test monitor_props scaling_smoke
+stage_clippy() {
+  cargo clippy --workspace --all-targets -- -D warnings
+  cargo clippy --workspace --all-targets --features dl-bench/obs -- -D warnings
+}
 
-echo "==> fuzz smoke (fixed seed, bounded execs, release: quirky DL4 + ABP crash pump rediscovered, every counterexample replays byte-identically)"
-cargo test --release -q -p dl-fuzz --test smoke
+stage_test() {
+  cargo test -q --workspace
+}
 
-echo "==> allocation-regression smoke (counting allocator: steady-state allocs per fuzz exec under the pinned ceiling)"
-cargo test -q -p dl-fuzz --test alloc_regression
+stage_obs() {
+  # The observability differential: every pinned engine output must be
+  # identical with the `obs` feature off (default) and on. One process
+  # cannot compile both configurations, so the test runs twice.
+  cargo test -q -p dl-bench --test obs_differential
+  cargo test -q -p dl-bench --test obs_differential --features obs
+  cargo test -q -p dl-bench --features obs
+}
 
-echo "==> interned-runner differential (scratch-buffer runner byte-identical to the frozen clone-based executor)"
-cargo test -q -p dl-sim --test interned_runner_differential
+stage_scaling() {
+  # 10^5-action trace through the streaming checkers, release; must stay
+  # well under 1 s.
+  cargo test --release -q -p dl-core --test monitor_props scaling_smoke
+}
 
-echo "==> bench compile smoke (release: model_check + parallel_explore build without running)"
-cargo bench --no-run -q -p dl-bench --bench model_check --bench parallel_explore
+stage_fuzz_smoke() {
+  # Fixed seed, bounded execs, release: quirky DL4 + ABP crash pump
+  # rediscovered, every counterexample replays byte-identically.
+  cargo test --release -q -p dl-fuzz --test smoke
+}
 
+stage_alloc() {
+  # Counting allocator: steady-state allocs per fuzz exec under the
+  # pinned ceiling.
+  cargo test -q -p dl-fuzz --test alloc_regression
+}
+
+stage_differential() {
+  # Scratch-buffer runner byte-identical to the frozen clone-based
+  # executor.
+  cargo test -q -p dl-sim --test interned_runner_differential
+}
+
+stage_bench_smoke() {
+  # Release benches + ledger binaries build without running.
+  cargo bench --no-run -q -p dl-bench --bench model_check --bench parallel_explore
+  cargo build -q --release -p dl-bench --features obs --bin ledger_run --bin bench_gate
+}
+
+list_stages() {
+  printf '%s\n' "${STAGES[@]}"
+}
+
+run_stage() {
+  local name=$1 fn=stage_${1//-/_}
+  echo "==> ${name}"
+  local start end
+  start=$(date +%s)
+  "$fn"
+  end=$(date +%s)
+  TIMINGS+=("$(printf '%-12s %4ds' "$name" $((end - start)))")
+  echo "    ${name}: $((end - start))s"
+}
+
+TIMINGS=()
+
+case "${1:-}" in
+  --list)
+    list_stages
+    exit 0
+    ;;
+  --stage)
+    stage=${2:?"usage: check.sh --stage NAME (see --list)"}
+    if ! printf '%s\n' "${STAGES[@]}" | grep -qx "$stage"; then
+      echo "check.sh: unknown stage '${stage}'; stages: ${STAGES[*]}" >&2
+      exit 2
+    fi
+    run_stage "$stage"
+    exit 0
+    ;;
+  "")
+    ;;
+  *)
+    echo "usage: check.sh [--stage NAME | --list]" >&2
+    exit 2
+    ;;
+esac
+
+overall_start=$(date +%s)
+for s in "${STAGES[@]}"; do
+  run_stage "$s"
+done
+overall_end=$(date +%s)
+
+echo
+echo "stage timings:"
+printf '  %s\n' "${TIMINGS[@]}"
+echo "  total        $((overall_end - overall_start))s"
 echo "All checks passed."

@@ -1,0 +1,129 @@
+//! CI determinism matrix: the parallel explorer's verdict and counts are
+//! a pure function of the model, independent of worker-thread count.
+//!
+//! The CI workflow runs this test once per matrix leg with
+//! `DL_EXPLORE_THREADS` set to 1, 2, and 4; each leg compares that single
+//! thread count against the sequential `ioa::Explorer` oracle. Run
+//! locally without the variable, it sweeps all three counts in one go.
+//!
+//! The model is E9 — ABP over capacity-3 nondeterministically-lossy
+//! channels with the WDL observer, two messages — so the pinned state
+//! count (1178) is the same figure the bench baseline and EXPERIMENTS.md
+//! publish.
+
+use datalink::channels::{LossMode, LossyFifoChannel};
+use datalink::core::action::{Dir, DlAction, Msg};
+use datalink::core::observer::{ObserverState, WdlObserver};
+use datalink::explore::ParallelExplorer;
+use datalink::ioa::composition::Compose2;
+use datalink::ioa::{Automaton, Explorer};
+
+type Sys = Compose2<
+    Compose2<datalink::protocols::AbpTransmitter, datalink::protocols::AbpReceiver>,
+    Compose2<Compose2<LossyFifoChannel, LossyFifoChannel>, WdlObserver>,
+>;
+
+type SysState = <Sys as Automaton>::State;
+
+fn e9_system() -> Sys {
+    let p = datalink::protocols::abp::protocol();
+    Compose2::new(
+        Compose2::new(p.transmitter, p.receiver),
+        Compose2::new(
+            Compose2::new(
+                LossyFifoChannel::with_capacity(Dir::TR, LossMode::Nondet, 3),
+                LossyFifoChannel::with_capacity(Dir::RT, LossMode::Nondet, 3),
+            ),
+            WdlObserver,
+        ),
+    )
+}
+
+fn observer_of(s: &SysState) -> &ObserverState {
+    &s.right.right
+}
+
+fn inputs(s: &SysState) -> Vec<DlAction> {
+    let obs = observer_of(s);
+    (0..2u64)
+        .map(Msg)
+        .find(|m| !obs.sent.contains(m))
+        .map(DlAction::SendMsg)
+        .into_iter()
+        .collect()
+}
+
+fn woken_start(sys: &Sys) -> SysState {
+    let s0 = sys.start_states().remove(0);
+    let s1 = sys.step_first(&s0, &DlAction::Wake(Dir::TR)).unwrap();
+    sys.step_first(&s1, &DlAction::Wake(Dir::RT)).unwrap()
+}
+
+/// Thread counts under test: `DL_EXPLORE_THREADS` selects one CI matrix
+/// leg; unset means the full local sweep.
+fn thread_matrix() -> Vec<usize> {
+    match std::env::var("DL_EXPLORE_THREADS") {
+        Ok(v) => vec![v
+            .parse()
+            .unwrap_or_else(|_| panic!("DL_EXPLORE_THREADS must be a thread count, got {v:?}"))],
+        Err(_) => vec![1, 2, 4],
+    }
+}
+
+#[test]
+fn e9_explore_is_deterministic_across_thread_counts() {
+    let sys = e9_system();
+    let start = woken_start(&sys);
+
+    let seq = Explorer::new(&sys, inputs, 4_000_000, 100_000)
+        .check_invariant_from(vec![start.clone()], |s| observer_of(s).is_safe());
+    assert!(
+        seq.holds(),
+        "sequential oracle: ABP must be safe crash-free"
+    );
+    assert_eq!(seq.states_visited, 1178, "E9 state count moved");
+
+    for threads in thread_matrix() {
+        let par = ParallelExplorer::new(&sys, inputs, 4_000_000, 100_000)
+            .threads(threads)
+            .check_invariant_from(vec![start.clone()], |s| observer_of(s).is_safe());
+        assert!(
+            par.holds(),
+            "parallel verdict diverged at {threads} threads"
+        );
+        assert_eq!(par.threads, threads);
+        assert_eq!(
+            par.states_visited, seq.states_visited,
+            "states_visited diverged at {threads} threads"
+        );
+        assert_eq!(
+            par.quiescent_states, seq.quiescent_states,
+            "quiescent_states diverged at {threads} threads"
+        );
+        // The sequential report carries no layer statistics, so the
+        // deeper counts are pinned to the published E9 constants — the
+        // same ones `bench/baseline.json` and the differential test pin.
+        // A CI matrix leg runs exactly one thread count, and agreeing
+        // with a shared constant is agreeing across legs.
+        assert_eq!(
+            par.edges_expanded(),
+            6267,
+            "edges diverged at {threads} threads"
+        );
+        assert_eq!(
+            par.dedup_hits(),
+            5090,
+            "dedup hits diverged at {threads} threads"
+        );
+        assert_eq!(
+            par.max_depth_reached(),
+            27,
+            "BFS depth diverged at {threads} threads"
+        );
+        assert_eq!(
+            par.layers.len(),
+            28,
+            "layer count diverged at {threads} threads"
+        );
+    }
+}
