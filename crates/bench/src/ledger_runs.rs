@@ -1,8 +1,9 @@
 //! Ledger-emitting release runs of the headline experiments.
 //!
 //! One function per workload — E9 (exhaustive ABP model check), E11
-//! (monitored simulation run), E12 (fuzz rediscovery), and the two
-//! impossibility constructions — each returning a [`RunLedger`] whose
+//! (monitored simulation run), E12 (fuzz rediscovery), E13 (fleet
+//! traffic engine), and the two impossibility constructions — each
+//! returning a [`RunLedger`] whose
 //! **counters** are pure functions of the run configuration (the ledger
 //! round-trip tests compare them exactly across re-runs) and whose
 //! **gauges** are wall-clock measurements consumed by the bench gate.
@@ -186,6 +187,45 @@ pub fn fuzz_e12(sleep_micros: u64) -> RunLedger {
     ledger
 }
 
+/// E13: the fleet traffic engine — 3000 mixed-protocol sessions with
+/// per-session fault schedules, crash scripts, and online monitors, on
+/// `workers` worker threads.
+///
+/// Counters (including `peak_session_bytes`, the fleet's session-memory
+/// ceiling) are worker-count-independent by the engine's determinism
+/// contract; the round-trip test relies on that.
+///
+/// # Panics
+///
+/// Panics if the fleet stops delivering traffic — a bench must not
+/// silently measure a dead engine.
+#[must_use]
+pub fn fleet_e13(workers: usize, sleep_micros: u64) -> RunLedger {
+    let spec = dl_fleet::FleetSpec {
+        seed: 13,
+        sessions: 3_000,
+        crash_per256: 32,
+        workers,
+        ..dl_fleet::FleetSpec::default()
+    };
+    let t0 = Instant::now();
+    let report = dl_fleet::run_fleet(&spec);
+    stall(sleep_micros);
+    let elapsed = t0.elapsed();
+    assert_eq!(report.sessions(), 3_000, "E13: sessions went missing");
+    assert!(
+        report.msgs_delivered > 2 * report.sessions(),
+        "E13: fleet delivered almost nothing"
+    );
+
+    let mut ledger = report.to_ledger("e13");
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    ledger.gauge("sessions_per_sec", report.sessions() as f64 / secs);
+    ledger.gauge("actions_per_sec", report.actions as f64 / secs);
+    ledger.gauge("duration_micros", elapsed.as_secs_f64() * 1e6);
+    ledger
+}
+
 /// Theorem 7.5: the ABP crash pump, with the reference-projection
 /// footprint (`projection_bytes`) as an alloc-ceiling for the gate.
 ///
@@ -252,6 +292,7 @@ pub fn all_runs(threads: usize, sleep_micros: u64) -> BenchFile {
             explore_e9(threads, sleep_micros),
             sim_e11(sleep_micros),
             fuzz_e12(sleep_micros),
+            fleet_e13(threads, sleep_micros),
             impossibility_crash(sleep_micros),
             impossibility_header(sleep_micros),
         ],

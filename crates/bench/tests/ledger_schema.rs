@@ -7,7 +7,7 @@
 //! wall-clock-derived and deliberately excluded from (2).
 
 use dl_bench::ledger_runs::{
-    explore_e9, fuzz_e12, impossibility_crash, impossibility_header, sim_e11,
+    explore_e9, fleet_e13, fuzz_e12, impossibility_crash, impossibility_header, sim_e11,
 };
 use dl_obs::{BenchFile, RunLedger, ENGINES, SCHEMA_VERSION};
 
@@ -18,6 +18,7 @@ fn workloads() -> Vec<RunLedger> {
         fuzz_e12(0),
         impossibility_crash(0),
         impossibility_header(0),
+        fleet_e13(1, 0),
     ]
 }
 
@@ -53,7 +54,7 @@ fn every_engine_emits_a_schema_valid_ledger() {
         assert_eq!(parsed.to_json(), json);
     }
 
-    // The five workloads cover all four engines.
+    // The six workloads cover all five engines.
     for engine in ENGINES {
         assert!(
             runs.iter().any(|r| r.engine == *engine),

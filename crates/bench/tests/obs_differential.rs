@@ -54,6 +54,37 @@ fn sim_run_is_pinned_across_feature_configs() {
     assert_eq!(report.scratch_refills, 3);
 }
 
+/// The fleet traffic engine: per-session verdicts, fleet counters, and
+/// both histograms are a pure function of the spec in either
+/// configuration (and of the worker count — pinned constants are shared
+/// across the 1/2/4-worker determinism matrix by the same argument as
+/// E9's).
+#[test]
+fn fleet_counters_are_pinned_across_feature_configs() {
+    let spec = dl_fleet::FleetSpec {
+        seed: 13,
+        sessions: 200,
+        crash_per256: 32,
+        workers: 2,
+        ..dl_fleet::FleetSpec::default()
+    };
+    let report = dl_fleet::run_fleet(&spec);
+    let ledger = report.to_ledger("pin");
+    assert_eq!(ledger.counters["sessions"], 200);
+    assert_eq!(ledger.counters["actions"], 21576);
+    assert_eq!(ledger.counters["msgs_sent"], 800);
+    assert_eq!(ledger.counters["msgs_delivered"], 761);
+    assert_eq!(ledger.counters["crash_sessions"], 24);
+    assert_eq!(ledger.counters["quiescent_sessions"], 194);
+    assert_eq!(ledger.counters["violations"], 3);
+    let steps = &ledger.histograms["session_steps"];
+    assert_eq!(steps.count, 200);
+    assert_eq!(steps.sum, 21576);
+    let latency = &ledger.histograms["latency_steps"];
+    assert_eq!(latency.count, 758);
+    assert_eq!(latency.sum, 19369);
+}
+
 /// The fuzz campaign: executions, coverage, and the shrunk witness are a
 /// pure function of the config in either configuration.
 #[test]

@@ -115,6 +115,27 @@ impl FaultSpec {
         n % cycle >= u64::from(self.burst_good)
     }
 
+    /// Derives the per-session variant of this specification: the same
+    /// knobs, with the salt replaced by a documented pure function of
+    /// `(self.salt, salt, session_id)`.
+    ///
+    /// This is the one sanctioned way to fan a single fleet seed out into
+    /// decorrelated per-session fault streams — `dl-fleet` calls it once
+    /// per channel with `salt` set to the fleet seed and `session_id` set
+    /// to `2·id` (`t→r`) or `2·id + 1` (`r→t`), so a whole fleet is
+    /// replayable from `(fleet seed, fleet spec)` with no ad-hoc hashing
+    /// at call sites. Deriving is stable (same inputs, same spec),
+    /// injective in practice over the avalanche mix, and keeps the base
+    /// spec's own salt in the mix so two template specs that differ only
+    /// by salt stay decorrelated after derivation.
+    #[must_use]
+    pub fn derive(&self, salt: u64, session_id: u64) -> FaultSpec {
+        FaultSpec {
+            salt: mix(mix(salt, self.salt), session_id),
+            ..*self
+        }
+    }
+
     /// The deterministic fate of send number `n`: `(dropped, duplicated)`.
     #[must_use]
     pub fn fate(&self, n: u64) -> (bool, bool) {
@@ -329,6 +350,42 @@ mod tests {
         // Roughly half the sends dropped at loss = 128.
         let drops = (0..256).filter(|&n| spec.fate(n).0).count();
         assert!((64..192).contains(&drops), "drops = {drops}");
+    }
+
+    #[test]
+    fn derive_is_a_pure_decorrelating_function_of_its_inputs() {
+        let base = FaultSpec {
+            loss: 64,
+            dup: 16,
+            reorder: 2,
+            burst_good: 8,
+            burst_bad: 2,
+            salt: 3,
+        };
+        // Stable: same (base, salt, session) → same spec.
+        assert_eq!(base.derive(9, 41), base.derive(9, 41));
+        // Only the salt moves; every knob survives derivation.
+        let d = base.derive(9, 41);
+        assert_eq!(
+            (d.loss, d.dup, d.reorder, d.burst_good, d.burst_bad),
+            (
+                base.loss,
+                base.dup,
+                base.reorder,
+                base.burst_good,
+                base.burst_bad
+            )
+        );
+        // Decorrelated along every argument: fleet seed, session id, and
+        // the template's own salt all separate the derived streams.
+        assert_ne!(base.derive(9, 41).salt, base.derive(10, 41).salt);
+        assert_ne!(base.derive(9, 41).salt, base.derive(9, 42).salt);
+        let resalted = FaultSpec { salt: 4, ..base };
+        assert_ne!(base.derive(9, 41).salt, resalted.derive(9, 41).salt);
+        // Neighboring sessions draw visibly different fault streams.
+        let a = base.derive(9, 0);
+        let b = base.derive(9, 1);
+        assert!((0..64).any(|n| a.fate(n) != b.fate(n)));
     }
 
     #[test]

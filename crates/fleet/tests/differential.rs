@@ -1,0 +1,178 @@
+//! The fleet-vs-independent-runners differential suite.
+//!
+//! A fleet of N sessions must be **byte-identical** to N independent
+//! `Runner::run` calls with the same derived seeds: same schedules (via
+//! the rolling digest), same step counts, same quiescence, same
+//! violation verdicts — at 1, 2, and 4 workers. This is the contract
+//! that makes fleet results meaningful: multiplexing is pacing, never
+//! semantics.
+
+use ioa::automaton::Automaton;
+use ioa::schedule_module::{ScheduleModule, TraceKind, Verdict};
+
+use dl_channels::FaultyChannel;
+use dl_core::action::{Dir, DlAction};
+use dl_core::protocol::DataLinkProtocol;
+use dl_core::spec::datalink::DlModule;
+use dl_fleet::{fleet_policy, run_fleet, session_config, FleetSpec, ProtocolKind, SessionConfig};
+use dl_sim::{link_system, schedule_digest, Runner};
+
+/// What one independent `Runner::run` left behind, shaped like a fleet
+/// [`dl_fleet::SessionOutcome`].
+#[derive(Debug, PartialEq, Eq)]
+struct Independent {
+    id: u64,
+    steps: u64,
+    digest: u64,
+    quiescent: bool,
+    violation: Option<&'static str>,
+    msgs_delivered: u64,
+}
+
+fn run_independent_protocol<T, R>(
+    protocol: DataLinkProtocol<T, R>,
+    cfg: &SessionConfig,
+    spec: &FleetSpec,
+) -> Independent
+where
+    T: Automaton<Action = DlAction>,
+    R: Automaton<Action = DlAction>,
+{
+    let system = link_system(
+        protocol.transmitter,
+        protocol.receiver,
+        FaultyChannel::new(Dir::TR, cfg.faults[0]),
+        FaultyChannel::new(Dir::RT, cfg.faults[1]),
+    );
+    let mut runner = Runner::new(cfg.seed, spec.max_steps).with_online_conformance(fleet_policy());
+    let report = runner.run(&system, &cfg.script);
+
+    // Verdict exactly as the fleet concludes it: online safety first,
+    // then the complete-trace WDL module on quiescent crash-free runs
+    // (the monitor's `dl_verdict` is documented identical to the batch
+    // module, which is what this suite cross-checks).
+    let mut violation = report.online_violation.as_ref().map(|v| v.property);
+    if violation.is_none() && report.quiescent && !cfg.crashed {
+        if let Verdict::Violated(v) = DlModule::weak().check(&report.behavior, TraceKind::Complete)
+        {
+            violation = Some(v.property);
+        }
+    }
+    Independent {
+        id: cfg.id,
+        steps: report.metrics.steps,
+        digest: schedule_digest(&report.schedule()),
+        quiescent: report.quiescent,
+        violation,
+        msgs_delivered: report.metrics.msgs_received,
+    }
+}
+
+fn run_independent(cfg: &SessionConfig, spec: &FleetSpec) -> Independent {
+    match cfg.protocol {
+        ProtocolKind::Abp => run_independent_protocol(dl_protocols::abp::protocol(), cfg, spec),
+        ProtocolKind::GoBack2 => {
+            run_independent_protocol(dl_protocols::sliding_window::protocol(2), cfg, spec)
+        }
+        ProtocolKind::GoBack8 => {
+            run_independent_protocol(dl_protocols::sliding_window::protocol(8), cfg, spec)
+        }
+        ProtocolKind::SelectiveRepeat4 => {
+            run_independent_protocol(dl_protocols::selective_repeat::protocol(4), cfg, spec)
+        }
+        ProtocolKind::Fragmenting => {
+            run_independent_protocol(dl_protocols::fragmenting::protocol(), cfg, spec)
+        }
+        ProtocolKind::Parity => {
+            run_independent_protocol(dl_protocols::parity::protocol(), cfg, spec)
+        }
+        ProtocolKind::Stenning => {
+            run_independent_protocol(dl_protocols::stenning::protocol(), cfg, spec)
+        }
+        ProtocolKind::Nonvolatile => {
+            run_independent_protocol(dl_protocols::nonvolatile::protocol(), cfg, spec)
+        }
+        ProtocolKind::Quirky => {
+            run_independent_protocol(dl_protocols::quirky::protocol(), cfg, spec)
+        }
+    }
+}
+
+fn differential_spec() -> FleetSpec {
+    FleetSpec {
+        // Seed and crash rate picked so the 45-session mix provably
+        // contains both violating and clean-quiescent sessions.
+        seed: 7,
+        crash_per256: 64,
+        sessions: 45, // five sessions per protocol of the zoo
+        // Small chunks and batches so chunk boundaries and round-robin
+        // interleaving are actually exercised.
+        chunk: 7,
+        batch: 5,
+        ..FleetSpec::default()
+    }
+}
+
+#[test]
+fn fleet_of_n_is_byte_identical_to_n_independent_runners() {
+    let spec = differential_spec();
+    let oracle: Vec<Independent> = (0..spec.sessions)
+        .map(|id| run_independent(&session_config(&spec, id), &spec))
+        .collect();
+    // The mix must have exercised real behavior: some sessions crash,
+    // and the crash pumps of the non-tolerant protocols produce
+    // violations (Theorem 7.5 made operational).
+    assert!(oracle.iter().any(|o| o.violation.is_some()));
+    assert!(oracle.iter().any(|o| o.violation.is_none() && o.quiescent));
+
+    for workers in [1, 2, 4] {
+        let report = run_fleet(&FleetSpec {
+            workers,
+            ..spec.clone()
+        });
+        assert_eq!(report.outcomes.len(), oracle.len());
+        for (fleet, solo) in report.outcomes.iter().zip(&oracle) {
+            assert_eq!(fleet.id, solo.id);
+            assert_eq!(
+                fleet.digest,
+                solo.digest,
+                "schedule diverged for session {} ({}) at {workers} workers",
+                solo.id,
+                fleet.protocol.name(),
+            );
+            assert_eq!(fleet.steps, solo.steps, "session {}", solo.id);
+            assert_eq!(fleet.quiescent, solo.quiescent, "session {}", solo.id);
+            assert_eq!(fleet.violation, solo.violation, "session {}", solo.id);
+            assert_eq!(
+                fleet.msgs_delivered, solo.msgs_delivered,
+                "session {}",
+                solo.id
+            );
+        }
+    }
+}
+
+#[test]
+fn monitorless_fleet_still_matches_on_clean_schedules() {
+    // Without monitors there are no verdicts, but on sessions the
+    // monitor never aborted (no violation) schedules and metrics must be
+    // byte-identical — observing an execution must never perturb it.
+    // (Violating sessions legitimately differ: first-violation abort
+    // stops them early, while the bare fleet runs them to completion.)
+    let spec = FleetSpec {
+        monitor: false,
+        ..differential_spec()
+    };
+    let monitored = run_fleet(&differential_spec());
+    let bare = run_fleet(&spec);
+    let mut compared = 0;
+    for (a, b) in monitored.outcomes.iter().zip(&bare.outcomes) {
+        assert_eq!(b.violation, None, "session {}", b.id);
+        if a.violation.is_none() {
+            assert_eq!(a.digest, b.digest, "session {}", a.id);
+            assert_eq!(a.steps, b.steps, "session {}", a.id);
+            compared += 1;
+        }
+    }
+    assert!(compared > 0, "the mix must include clean sessions");
+}

@@ -38,7 +38,7 @@ use crate::metrics::{Histogram, HistogramSnapshot};
 pub const SCHEMA_VERSION: u64 = 1;
 
 /// The engines a ledger may come from.
-pub const ENGINES: &[&str] = &["explore", "sim", "fuzz", "impossibility"];
+pub const ENGINES: &[&str] = &["explore", "sim", "fuzz", "impossibility", "fleet"];
 
 /// Metrics of one engine run, keyed for serialization.
 #[derive(Debug, Clone, Default, PartialEq)]

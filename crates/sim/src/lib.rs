@@ -37,7 +37,9 @@ pub mod script;
 pub mod system;
 
 pub use conformance::{judge, ConformancePolicy, ConformanceReport};
-pub use runner::{Decision, DecisionPoint, Metrics, RunReport, Runner};
+pub use runner::{
+    schedule_digest, Decision, DecisionPoint, Metrics, RunReport, Runner, SessionStep,
+};
 pub use scenario::Scenario;
 pub use script::{Script, ScriptStep};
 pub use system::{link_system, LinkState, LinkSystem};

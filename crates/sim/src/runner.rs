@@ -249,8 +249,8 @@ pub struct Runner {
 /// Reusable per-run buffers: the enabled-action set, the per-task-class
 /// filter, and the successor list are refilled in place every step, so a
 /// steady-state run allocates only when a buffer grows past its
-/// high-water mark. Lives in [`Runner::run_from`] (the `Runner` itself is
-/// not generic over the system's state type).
+/// high-water mark. Lives in [`SessionStep`] (the `Runner` itself is not
+/// generic over the system's state type).
 struct Scratch<S> {
     enabled: Vec<DlAction>,
     in_class: Vec<DlAction>,
@@ -422,6 +422,12 @@ impl Runner {
 
     /// Runs `system` from an explicit start state under `script`.
     ///
+    /// Implemented on top of [`SessionStep`]: the runner is threaded
+    /// through an incremental session which is driven to completion in
+    /// one go, so a `run_from` call and an externally-stepped session are
+    /// the same execution by construction (the interned-runner
+    /// differential suite pins this byte-identically).
+    ///
     /// # Panics
     ///
     /// Panics if a scripted injection is not an enabled input.
@@ -434,193 +440,576 @@ impl Runner {
     where
         M: Automaton<Action = DlAction>,
     {
-        let mut exec = Execution::new(start);
-        let mut metrics = Metrics::default();
-        let mut next_task = 0usize;
-        let mut fully_ran = true;
-        let mut scratch = Scratch::default();
+        let runner = std::mem::replace(self, Runner::new(0, 0));
+        let mut session: SessionStep<M, &M> =
+            SessionStep::from_state(runner, system, start, script.clone());
+        session.run_to_end();
+        let (runner, report) = session.into_report();
+        *self = runner;
+        report
+    }
+}
+
+/// How much of an execution a session retains.
+///
+/// A recording session keeps the full [`Execution`] (every action and
+/// post-state) and can produce a [`RunReport`]; a lean session keeps only
+/// the last state and a running length, which is what lets a fleet of
+/// many thousands of sessions cost hundreds of bytes each instead of a
+/// trace allocation storm. Both modes feed the same rolling schedule
+/// digest, so lean runs remain comparable action-for-action against
+/// recorded ones.
+enum Trace<S> {
+    /// Full execution retained (the [`Runner::run`] path).
+    Full(Execution<DlAction, S>),
+    /// Only the frontier: current state plus the number of steps taken.
+    Tail { last: S, len: usize },
+}
+
+impl<S: Clone + Eq + std::fmt::Debug> Trace<S> {
+    fn len(&self) -> usize {
+        match self {
+            Trace::Full(e) => e.len(),
+            Trace::Tail { len, .. } => *len,
+        }
+    }
+
+    fn last_state(&self) -> &S {
+        match self {
+            Trace::Full(e) => e.last_state(),
+            Trace::Tail { last, .. } => last,
+        }
+    }
+
+    fn push(&mut self, action: DlAction, post: S) {
+        match self {
+            Trace::Full(e) => e.push_unchecked(action, post),
+            Trace::Tail { last, len } => {
+                *last = post;
+                *len += 1;
+            }
+        }
+    }
+}
+
+/// Mixes one action into a rolling schedule digest.
+///
+/// The per-action hash comes from the std `DefaultHasher` with its fixed
+/// default keys, so digests are deterministic across processes of the
+/// same build — two sessions have equal digests iff they took the same
+/// action sequence (up to 64-bit collision), which is the comparison the
+/// fleet-vs-runners differential suite rests on.
+fn digest_action(digest: u64, action: &DlAction) -> u64 {
+    use std::hash::BuildHasher;
+    let hasher =
+        std::hash::BuildHasherDefault::<std::collections::hash_map::DefaultHasher>::default();
+    let h = hasher.hash_one(action);
+    let mut z = digest.rotate_left(17) ^ h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+/// Folds a complete schedule into the same rolling digest a
+/// [`SessionStep`] maintains incrementally — the bridge the
+/// fleet-vs-independent-runners differential suite uses to compare a lean
+/// fleet session (which keeps only the digest) against a full
+/// [`RunReport::schedule`].
+#[must_use]
+pub fn schedule_digest<'a, I>(actions: I) -> u64
+where
+    I: IntoIterator<Item = &'a DlAction>,
+{
+    actions.into_iter().fold(0, digest_action)
+}
+
+/// Where a session's cursor sits inside its script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cursor {
+    /// About to process script step `i` (with, for an in-progress
+    /// `Local` stretch, the remaining iteration budget).
+    At {
+        step: usize,
+        local_left: Option<usize>,
+    },
+    /// The run is over: script consumed, budget exhausted at an
+    /// injection, or aborted by the online monitor.
+    Halted,
+}
+
+/// One resumable scripted run: the reusable session-stepping entry point
+/// the fleet engine drives.
+///
+/// A `SessionStep` owns everything mutable about a run — the seeded
+/// [`Runner`] (RNG stream, uid counter, decision log), the current state,
+/// the script cursor, scratch buffers, metrics, and the optional online
+/// conformance monitor — while the system itself is accessed through
+/// [`Borrow`], so callers can either lend a shared system (`B = &M`, the
+/// [`Runner::run_from`] path) or move a per-session copy in (`B = M`, the
+/// `dl-fleet` path, where each session's channels carry session-derived
+/// fault salts).
+///
+/// Driving a session to completion with [`SessionStep::run_to_end`] is
+/// *the same execution* as `Runner::run_from` with the same runner,
+/// system, start state, and script — `run_from` is implemented as exactly
+/// that — so interleaving many sessions action-by-action (what a fleet
+/// does) cannot perturb any individual run: sessions share no mutable
+/// state, and each consumes only its own RNG stream.
+pub struct SessionStep<M, B = M>
+where
+    M: Automaton<Action = DlAction>,
+    B: std::borrow::Borrow<M>,
+{
+    runner: Runner,
+    system: B,
+    script: crate::Script,
+    cursor: Cursor,
+    trace: Trace<M::State>,
+    digest: u64,
+    metrics: Metrics,
+    online: Option<OnlineConformance>,
+    scratch: Scratch<M::State>,
+    next_task: usize,
+    fully_ran: bool,
+}
+
+impl<M, B> SessionStep<M, B>
+where
+    M: Automaton<Action = DlAction>,
+    B: std::borrow::Borrow<M>,
+{
+    /// A recording session from the system's first start state: the full
+    /// execution is retained and [`SessionStep::into_report`] produces
+    /// the usual [`RunReport`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has no start state.
+    #[must_use]
+    pub fn new(runner: Runner, system: B, script: crate::Script) -> Self {
+        let start = system
+            .borrow()
+            .start_states()
+            .into_iter()
+            .next()
+            .expect("automaton has a start state");
+        Self::from_state(runner, system, start, script)
+    }
+
+    /// A recording session from an explicit start state.
+    #[must_use]
+    pub fn from_state(runner: Runner, system: B, start: M::State, script: crate::Script) -> Self {
+        Self::build(runner, system, start, script, true)
+    }
+
+    /// A lean session from the system's first start state: only the
+    /// current state is retained (no execution, no behavior), which is
+    /// the fleet configuration — per-session cost stays in the hundreds
+    /// of bytes regardless of run length. Verdicts still flow from the
+    /// online monitor and the [`Metrics`]; the rolling
+    /// [`SessionStep::digest`] stands in for the schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has no start state.
+    #[must_use]
+    pub fn lean(runner: Runner, system: B, script: crate::Script) -> Self {
+        let start = system
+            .borrow()
+            .start_states()
+            .into_iter()
+            .next()
+            .expect("automaton has a start state");
+        Self::build(runner, system, start, script, false)
+    }
+
+    fn build(
+        mut runner: Runner,
+        system: B,
+        start: M::State,
+        script: crate::Script,
+        retain: bool,
+    ) -> Self {
         // Decision indexing (for overrides/replay) restarts with each run.
-        self.decision_index = 0;
-        self.taken.clear();
-        let mut online = self.conformance.map(|policy| OnlineConformance {
+        runner.decision_index = 0;
+        runner.taken.clear();
+        let online = runner.conformance.map(|policy| OnlineConformance {
             policy,
             monitor: TraceMonitor::new(),
             violation: None,
             nanos: 0,
         });
-        let tripped = |online: &Option<OnlineConformance>| {
-            online.as_ref().is_some_and(|o| o.violation.is_some())
+        let trace = if retain {
+            Trace::Full(Execution::new(start))
+        } else {
+            Trace::Tail {
+                last: start,
+                len: 0,
+            }
         };
+        SessionStep {
+            runner,
+            system,
+            script,
+            cursor: Cursor::At {
+                step: 0,
+                local_left: None,
+            },
+            trace,
+            digest: 0,
+            metrics: Metrics::default(),
+            online,
+            scratch: Scratch::default(),
+            next_task: 0,
+            fully_ran: true,
+        }
+    }
 
-        'script: for step in script.steps() {
-            match step {
+    /// Advances the session by exactly one taken action (skipping over
+    /// script bookkeeping as needed); returns `false` once the run is
+    /// over — script consumed, budget exhausted, or monitor-aborted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scripted injection is not an enabled input of the
+    /// system, exactly as [`Runner::run_from`] does.
+    pub fn advance(&mut self) -> bool {
+        loop {
+            let Cursor::At { step, local_left } = self.cursor else {
+                return false;
+            };
+            let view = match self.script.steps().get(step) {
+                None => {
+                    self.cursor = Cursor::Halted;
+                    return false;
+                }
+                Some(s) => s.clone(),
+            };
+            let Self {
+                runner,
+                system,
+                trace,
+                digest,
+                metrics,
+                online,
+                scratch,
+                next_task,
+                ..
+            } = self;
+            let system: &M = (*system).borrow();
+            let tripped = |online: &Option<OnlineConformance>| {
+                online.as_ref().is_some_and(|o| o.violation.is_some())
+            };
+            match view {
                 crate::ScriptStep::Inject(a) => {
                     assert_eq!(
-                        system.classify(a),
+                        system.classify(&a),
                         Some(ActionClass::Input),
                         "scripted action {a} is not an input of the system"
                     );
-                    if exec.len() >= self.max_steps {
-                        fully_ran = false;
-                        break;
+                    if trace.len() >= runner.max_steps {
+                        self.fully_ran = false;
+                        self.cursor = Cursor::Halted;
+                        return false;
                     }
-                    let ok = self.take(
-                        system,
-                        &mut exec,
-                        *a,
-                        &mut metrics,
-                        &mut online,
-                        &mut scratch,
-                    );
+                    let ok = take(runner, system, trace, digest, a, metrics, online, scratch);
                     assert!(ok, "input {a} was not enabled: system is not input-enabled");
-                    if tripped(&online) {
-                        fully_ran = false;
-                        break 'script;
+                    self.cursor = Cursor::At {
+                        step: step + 1,
+                        local_left: None,
+                    };
+                    if tripped(online) {
+                        self.fully_ran = false;
+                        self.cursor = Cursor::Halted;
                     }
+                    return true;
                 }
                 crate::ScriptStep::Local(n) => {
-                    for _ in 0..*n {
-                        if exec.len() >= self.max_steps
-                            || !self.fair_local_step(
-                                system,
-                                &mut exec,
-                                &mut next_task,
-                                &mut metrics,
-                                &mut online,
-                                &mut scratch,
-                            )
-                        {
-                            break;
-                        }
-                        if tripped(&online) {
-                            fully_ran = false;
-                            break 'script;
-                        }
+                    let left = local_left.unwrap_or(n);
+                    if left == 0
+                        || trace.len() >= runner.max_steps
+                        || !fair_local_step(
+                            runner, system, trace, digest, next_task, metrics, online, scratch,
+                        )
+                    {
+                        self.cursor = Cursor::At {
+                            step: step + 1,
+                            local_left: None,
+                        };
+                        continue;
                     }
+                    self.cursor = Cursor::At {
+                        step,
+                        local_left: Some(left - 1),
+                    };
+                    if tripped(online) {
+                        self.fully_ran = false;
+                        self.cursor = Cursor::Halted;
+                    }
+                    return true;
                 }
-                crate::ScriptStep::Settle => loop {
-                    if exec.len() >= self.max_steps {
-                        fully_ran = false;
-                        break;
+                crate::ScriptStep::Settle => {
+                    if trace.len() >= runner.max_steps {
+                        self.fully_ran = false;
+                        self.cursor = Cursor::At {
+                            step: step + 1,
+                            local_left: None,
+                        };
+                        continue;
                     }
-                    if !self.fair_local_step(
-                        system,
-                        &mut exec,
-                        &mut next_task,
-                        &mut metrics,
-                        &mut online,
-                        &mut scratch,
+                    if !fair_local_step(
+                        runner, system, trace, digest, next_task, metrics, online, scratch,
                     ) {
-                        break;
+                        self.cursor = Cursor::At {
+                            step: step + 1,
+                            local_left: None,
+                        };
+                        continue;
                     }
-                    if tripped(&online) {
-                        fully_ran = false;
-                        break 'script;
+                    if tripped(online) {
+                        self.fully_ran = false;
+                        self.cursor = Cursor::Halted;
                     }
-                },
+                    return true;
+                }
             }
         }
+    }
 
-        let quiescent = fully_ran && !system.has_enabled_local(exec.last_state());
-        let behavior = ioa::execution::behavior_of_schedule(system, &exec.schedule());
-        RunReport {
+    /// Takes up to `budget` actions; returns how many were actually taken
+    /// (fewer when the run ends first). The fleet's round-robin batch
+    /// quantum.
+    pub fn advance_batch(&mut self, budget: usize) -> usize {
+        let mut taken = 0;
+        while taken < budget && self.advance() {
+            taken += 1;
+        }
+        taken
+    }
+
+    /// Drives the session to completion.
+    pub fn run_to_end(&mut self) {
+        while self.advance() {}
+    }
+
+    /// `true` once the run is over (no further [`SessionStep::advance`]
+    /// will take an action).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        match self.cursor {
+            Cursor::Halted => true,
+            Cursor::At { step, .. } => step >= self.script.steps().len(),
+        }
+    }
+
+    /// Actions taken so far.
+    #[must_use]
+    pub fn steps_taken(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// The rolling schedule digest: a deterministic 64-bit fold of every
+    /// taken action, equal across two sessions iff they took the same
+    /// action sequence (modulo hash collisions).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Counters so far.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// First online conformance violation, when monitoring is on.
+    #[must_use]
+    pub fn online_violation(&self) -> Option<&Violation> {
+        self.online.as_ref().and_then(|o| o.violation.as_ref())
+    }
+
+    /// The streaming trace monitor, when the session's runner was built
+    /// with [`Runner::with_online_conformance`] — the fleet reads final
+    /// complete-trace verdicts (DL8) from here without retaining the
+    /// trace.
+    #[must_use]
+    pub fn monitor(&self) -> Option<&TraceMonitor> {
+        self.online.as_ref().map(|o| &o.monitor)
+    }
+
+    /// Scratch-buffer capacity growths so far (see
+    /// [`RunReport::scratch_refills`]).
+    #[must_use]
+    pub fn scratch_refills(&self) -> u64 {
+        self.scratch.refills
+    }
+
+    /// `true` if the run ended quiescent with the script fully consumed.
+    /// Meaningful once [`SessionStep::is_done`]; mid-run it reports on
+    /// the prefix so far.
+    #[must_use]
+    pub fn quiescent(&self) -> bool {
+        self.fully_ran
+            && !self
+                .system
+                .borrow()
+                .has_enabled_local(self.trace.last_state())
+    }
+
+    /// An estimate of this session's resident footprint in bytes: the
+    /// struct itself plus every reachable heap buffer (scratch
+    /// capacities, script steps, metrics queues, decision log). The
+    /// monitor's internal maps are not reachable from here and are not
+    /// counted — treat the figure as a documented lower bound, good for
+    /// relative fleet accounting rather than absolute RSS.
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let scratch = self.scratch.enabled.capacity() * size_of::<DlAction>()
+            + self.scratch.in_class.capacity() * size_of::<DlAction>()
+            + self.scratch.succs.capacity() * size_of::<M::State>();
+        let script = std::mem::size_of_val(self.script.steps());
+        let metrics = self.metrics.latencies.capacity() * size_of::<u64>()
+            + self.metrics.send_step.len() * (size_of::<dl_core::action::Msg>() + 32)
+            + self.metrics.headers_used.len() * size_of::<Header>();
+        let decisions = self.runner.taken.capacity() * size_of::<Decision>();
+        let trace = match &self.trace {
+            Trace::Full(e) => e.len() * (size_of::<DlAction>() + size_of::<M::State>()),
+            Trace::Tail { .. } => 0,
+        };
+        (size_of::<Self>() + scratch + script + metrics + decisions + trace) as u64
+    }
+
+    /// Tears a *recording* session down into its runner and the standard
+    /// [`RunReport`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a lean session — there is no retained execution to
+    /// report. Use the accessor methods
+    /// ([`SessionStep::metrics`], [`SessionStep::online_violation`],
+    /// [`SessionStep::digest`], …) instead.
+    #[must_use]
+    pub fn into_report(self) -> (Runner, RunReport<M::State>) {
+        let quiescent = self.quiescent();
+        let exec = match self.trace {
+            Trace::Full(e) => e,
+            Trace::Tail { .. } => panic!("lean sessions retain no execution to report"),
+        };
+        let behavior = ioa::execution::behavior_of_schedule(self.system.borrow(), &exec.schedule());
+        let mut runner = self.runner;
+        let report = RunReport {
             execution: exec,
             behavior,
             quiescent,
-            metrics,
-            online_violation: online.as_ref().and_then(|o| o.violation.clone()),
-            decisions: self.record.then(|| std::mem::take(&mut self.taken)),
-            monitor_nanos: online.map_or(0, |o| o.nanos),
-            scratch_refills: scratch.refills,
-        }
+            metrics: self.metrics,
+            online_violation: self.online.as_ref().and_then(|o| o.violation.clone()),
+            decisions: runner.record.then(|| std::mem::take(&mut runner.taken)),
+            monitor_nanos: self.online.map_or(0, |o| o.nanos),
+            scratch_refills: self.scratch.refills,
+        };
+        (runner, report)
     }
 
-    /// Takes one fair locally-controlled step; returns `false` if none is
-    /// enabled.
-    fn fair_local_step<M>(
-        &mut self,
-        system: &M,
-        exec: &mut Execution<DlAction, M::State>,
-        next_task: &mut usize,
-        metrics: &mut Metrics,
-        online: &mut Option<OnlineConformance>,
-        scratch: &mut Scratch<M::State>,
-    ) -> bool
-    where
-        M: Automaton<Action = DlAction>,
-    {
-        scratch.enabled.clear();
-        let cap = scratch.enabled.capacity();
-        let _ = system.for_each_enabled_local(exec.last_state(), &mut |a| {
-            scratch.enabled.push(a);
-            std::ops::ControlFlow::Continue(())
-        });
-        scratch.refills += u64::from(scratch.enabled.capacity() != cap);
-        if scratch.enabled.is_empty() {
-            return false;
-        }
-        let tasks = system.task_count().max(1);
-        for offset in 0..tasks {
-            let t = TaskId((*next_task + offset) % tasks);
-            scratch.in_class.clear();
-            let cap = scratch.in_class.capacity();
-            scratch.in_class.extend(
-                scratch
-                    .enabled
-                    .iter()
-                    .filter(|a| system.task_of(a) == t)
-                    .copied(),
-            );
-            scratch.refills += u64::from(scratch.in_class.capacity() != cap);
-            if scratch.in_class.is_empty() {
-                continue;
-            }
-            let pick = self.decide(DecisionPoint::Action, scratch.in_class.len());
-            let action = scratch.in_class[pick];
-            let took = self.take(system, exec, action, metrics, online, scratch);
-            debug_assert!(took, "enabled_local returned a disabled action");
-            *next_task = (*next_task + offset + 1) % tasks;
-            return took;
-        }
-        false
+    /// Tears any session down into its runner (RNG stream and uid counter
+    /// intact, for reuse across runs).
+    #[must_use]
+    pub fn into_runner(self) -> Runner {
+        self.runner
     }
+}
 
-    /// Takes `action`, stamping a fresh uid if it is an unstamped
-    /// `send_pkt`, and resolving successor nondeterminism with the seeded
-    /// RNG.
-    fn take<M>(
-        &mut self,
-        system: &M,
-        exec: &mut Execution<DlAction, M::State>,
-        mut action: DlAction,
-        metrics: &mut Metrics,
-        online: &mut Option<OnlineConformance>,
-        scratch: &mut Scratch<M::State>,
-    ) -> bool
-    where
-        M: Automaton<Action = DlAction>,
-    {
-        if let DlAction::SendPkt(_, p) = &action {
-            if p.uid == Packet::UNSTAMPED {
-                action = action.with_packet_uid(self.next_uid);
-                self.next_uid += 1;
-            }
-        }
-        scratch.succs.clear();
-        let cap = scratch.succs.capacity();
-        system.successors_into(exec.last_state(), &action, &mut scratch.succs);
-        scratch.refills += u64::from(scratch.succs.capacity() != cap);
-        if scratch.succs.is_empty() {
-            return false;
-        }
-        let pick = self.decide(DecisionPoint::Successor, scratch.succs.len());
-        metrics.record(&action);
-        if let Some(o) = online {
-            o.observe(&action);
-        }
-        exec.push_unchecked(action, scratch.succs.swap_remove(pick));
-        true
+/// Takes one fair locally-controlled step; returns `false` if none is
+/// enabled. Free-standing so [`SessionStep::advance`] can borrow its
+/// fields disjointly.
+#[allow(clippy::too_many_arguments)]
+fn fair_local_step<M>(
+    runner: &mut Runner,
+    system: &M,
+    trace: &mut Trace<M::State>,
+    digest: &mut u64,
+    next_task: &mut usize,
+    metrics: &mut Metrics,
+    online: &mut Option<OnlineConformance>,
+    scratch: &mut Scratch<M::State>,
+) -> bool
+where
+    M: Automaton<Action = DlAction>,
+{
+    scratch.enabled.clear();
+    let cap = scratch.enabled.capacity();
+    let _ = system.for_each_enabled_local(trace.last_state(), &mut |a| {
+        scratch.enabled.push(a);
+        std::ops::ControlFlow::Continue(())
+    });
+    scratch.refills += u64::from(scratch.enabled.capacity() != cap);
+    if scratch.enabled.is_empty() {
+        return false;
     }
+    let tasks = system.task_count().max(1);
+    for offset in 0..tasks {
+        let t = TaskId((*next_task + offset) % tasks);
+        scratch.in_class.clear();
+        let cap = scratch.in_class.capacity();
+        scratch.in_class.extend(
+            scratch
+                .enabled
+                .iter()
+                .filter(|a| system.task_of(a) == t)
+                .copied(),
+        );
+        scratch.refills += u64::from(scratch.in_class.capacity() != cap);
+        if scratch.in_class.is_empty() {
+            continue;
+        }
+        let pick = runner.decide(DecisionPoint::Action, scratch.in_class.len());
+        let action = scratch.in_class[pick];
+        let took = take(
+            runner, system, trace, digest, action, metrics, online, scratch,
+        );
+        debug_assert!(took, "enabled_local returned a disabled action");
+        *next_task = (*next_task + offset + 1) % tasks;
+        return took;
+    }
+    false
+}
+
+/// Takes `action`, stamping a fresh uid if it is an unstamped `send_pkt`,
+/// and resolving successor nondeterminism with the seeded RNG.
+#[allow(clippy::too_many_arguments)]
+fn take<M>(
+    runner: &mut Runner,
+    system: &M,
+    trace: &mut Trace<M::State>,
+    digest: &mut u64,
+    mut action: DlAction,
+    metrics: &mut Metrics,
+    online: &mut Option<OnlineConformance>,
+    scratch: &mut Scratch<M::State>,
+) -> bool
+where
+    M: Automaton<Action = DlAction>,
+{
+    if let DlAction::SendPkt(_, p) = &action {
+        if p.uid == Packet::UNSTAMPED {
+            action = action.with_packet_uid(runner.next_uid);
+            runner.next_uid += 1;
+        }
+    }
+    scratch.succs.clear();
+    let cap = scratch.succs.capacity();
+    system.successors_into(trace.last_state(), &action, &mut scratch.succs);
+    scratch.refills += u64::from(scratch.succs.capacity() != cap);
+    if scratch.succs.is_empty() {
+        return false;
+    }
+    let pick = runner.decide(DecisionPoint::Successor, scratch.succs.len());
+    metrics.record(&action);
+    if let Some(o) = online {
+        o.observe(&action);
+    }
+    *digest = digest_action(*digest, &action);
+    trace.push(action, scratch.succs.swap_remove(pick));
+    true
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-STAGES=(toolchain fmt clippy test obs scaling fuzz-smoke alloc differential bench-smoke)
+STAGES=(toolchain fmt clippy test obs scaling fuzz-smoke fleet-smoke alloc differential bench-smoke)
 
 stage_toolchain() {
   # The container pins the toolchain by version, not by channel file
@@ -63,6 +63,14 @@ stage_fuzz_smoke() {
   # Fixed seed, bounded execs, release: quirky DL4 + ABP crash pump
   # rediscovered, every counterexample replays byte-identically.
   cargo test --release -q -p dl-fuzz --test smoke
+}
+
+stage_fleet_smoke() {
+  # Bounded mixed-protocol fleet: 400 monitored sessions with per-session
+  # fault schedules and crash scripts complete, replay byte-identically,
+  # and emit a well-formed ledger; plus the fleet-vs-independent-runners
+  # differential at 1/2/4 workers.
+  cargo test --release -q -p dl-fleet --test fleet_smoke --test differential
 }
 
 stage_alloc() {

@@ -15,7 +15,9 @@
 //! * [`explore`] (`dl-explore`) — the parallel work-sharded model
 //!   checker behind experiment E9;
 //! * [`fuzz`] (`dl-fuzz`) — the coverage-guided schedule fuzzer behind
-//!   experiment E12.
+//!   experiment E12;
+//! * [`fleet`] (`dl-fleet`) — the many-session traffic engine behind
+//!   experiment E13.
 //!
 //! # Example: refute a protocol's crash tolerance
 //!
@@ -35,6 +37,7 @@
 pub use dl_channels as channels;
 pub use dl_core as core;
 pub use dl_explore as explore;
+pub use dl_fleet as fleet;
 pub use dl_fuzz as fuzz;
 pub use dl_impossibility as impossibility;
 pub use dl_protocols as protocols;

@@ -1,0 +1,71 @@
+//! CI determinism matrix, fleet edition: per-session verdicts and fleet
+//! ledger counters are a pure function of the fleet spec, independent of
+//! worker-thread count.
+//!
+//! The CI workflow runs this test once per matrix leg with
+//! `DL_FLEET_WORKERS` set to 1, 2, and 4; each leg compares that single
+//! worker count against the 1-worker oracle. Run locally without the
+//! variable, it sweeps all three counts in one go.
+//!
+//! This is the deployment-shaped complement of
+//! `determinism_matrix.rs`: the explorer's determinism covers the model
+//! checker, this covers the traffic engine that E13 scales to 10⁶
+//! sessions.
+
+use datalink::fleet::{run_fleet, FleetSpec};
+
+fn matrix_spec(workers: usize) -> FleetSpec {
+    FleetSpec {
+        seed: 0xD1,
+        sessions: 270, // 30 sessions per protocol of the zoo
+        crash_per256: 64,
+        workers,
+        chunk: 32,
+        batch: 16,
+        ..FleetSpec::default()
+    }
+}
+
+/// Worker counts under test: `DL_FLEET_WORKERS` selects one CI matrix
+/// leg; unset means the full local sweep.
+fn worker_matrix() -> Vec<usize> {
+    match std::env::var("DL_FLEET_WORKERS") {
+        Ok(v) => vec![v
+            .parse()
+            .unwrap_or_else(|_| panic!("DL_FLEET_WORKERS must be a worker count, got {v:?}"))],
+        Err(_) => vec![1, 2, 4],
+    }
+}
+
+#[test]
+fn fleet_results_are_deterministic_across_worker_counts() {
+    let oracle = run_fleet(&matrix_spec(1));
+    assert_eq!(oracle.sessions(), 270);
+    assert!(oracle.crash_sessions > 0, "the mix must include crashes");
+    assert!(
+        oracle.quiescent_sessions > 0,
+        "the mix must include clean sessions"
+    );
+    let oracle_ledger = oracle.to_ledger("matrix");
+
+    for workers in worker_matrix() {
+        let report = run_fleet(&matrix_spec(workers));
+        assert_eq!(report.workers, workers);
+        // Per-session verdicts: identical outcome records, id for id.
+        assert_eq!(
+            report.outcomes, oracle.outcomes,
+            "per-session outcomes diverged at {workers} workers"
+        );
+        // Fleet ledger: every deterministic counter and histogram
+        // agrees; only wall-clock gauges may differ.
+        let ledger = report.to_ledger("matrix");
+        assert_eq!(
+            ledger.counters, oracle_ledger.counters,
+            "ledger counters diverged at {workers} workers"
+        );
+        assert_eq!(
+            ledger.histograms, oracle_ledger.histograms,
+            "ledger histograms diverged at {workers} workers"
+        );
+    }
+}
