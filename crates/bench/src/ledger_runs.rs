@@ -20,8 +20,9 @@
 use std::time::{Duration, Instant};
 
 use dl_channels::{LossMode, LossyFifoChannel};
-use dl_core::action::{Dir, DlAction, Msg};
+use dl_core::action::{Dir, DlAction, Msg, Packet};
 use dl_core::observer::{ObserverState, WdlObserver};
+use dl_core::spec::monitor::TraceMonitor;
 use dl_explore::ParallelExplorer;
 use dl_fuzz::{fuzz, target, FuzzConfig};
 use dl_impossibility::crash::CrashConfig;
@@ -30,6 +31,7 @@ use dl_impossibility::{crash_ledger, header_ledger};
 use dl_obs::{BenchFile, RunLedger};
 use dl_sim::{link_system, ConformancePolicy, Runner, Script};
 use ioa::composition::Compose2;
+use ioa::schedule_module::{TraceKind, Verdict};
 use ioa::Automaton;
 
 /// The E9 system: ABP over capacity-bounded nondeterministically-lossy
@@ -226,6 +228,240 @@ pub fn fleet_e13(workers: usize, sleep_micros: u64) -> RunLedger {
     ledger
 }
 
+/// Deterministic traffic source for the monitor-ingest workload: a
+/// splitmix-driven stream of plausible link traffic (packet sends with
+/// matching in-order receives, message sends/deliveries, working-interval
+/// churn) produced chunk by chunk so the 10⁷-action run never
+/// materializes the whole trace. Every action is a pure function of the
+/// seed, so the ledger's counters reproduce exactly across re-runs.
+struct MonitorTraceGen {
+    state: u64,
+    up: [bool; 2],
+    next_uid: u64,
+    next_msg: u64,
+    /// Sent-but-undelivered packets per direction, oldest first (receives
+    /// pop from the front, keeping the stream PL-clean and FIFO).
+    pending: [std::collections::VecDeque<Packet>; 2],
+    undelivered: std::collections::VecDeque<Msg>,
+}
+
+impl MonitorTraceGen {
+    fn new(seed: u64) -> Self {
+        MonitorTraceGen {
+            state: seed,
+            up: [false; 2],
+            next_uid: 0,
+            next_msg: 0,
+            pending: [
+                std::collections::VecDeque::new(),
+                std::collections::VecDeque::new(),
+            ],
+            undelivered: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64: full-period, deterministic, dependency-free.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn dir(k: usize) -> Dir {
+        Dir::BOTH[k]
+    }
+
+    /// Appends `n` actions to `out` (which is cleared first).
+    fn fill(&mut self, out: &mut Vec<DlAction>, n: usize) {
+        out.clear();
+        while out.len() < n {
+            let roll = self.next_u64();
+            let k = (roll & 1) as usize;
+            match roll % 100 {
+                // Working-interval churn, rare enough that long
+                // send/receive stretches dominate.
+                0 => out.push(if self.up[k] {
+                    self.up[k] = false;
+                    DlAction::Fail(Self::dir(k))
+                } else {
+                    self.up[k] = true;
+                    DlAction::Wake(Self::dir(k))
+                }),
+                // Message traffic (~16 %): fresh sends while the tx
+                // medium is up, in-order deliveries of the backlog.
+                1..=8 => {
+                    if self.up[0] {
+                        let m = Msg(self.next_msg);
+                        self.next_msg += 1;
+                        self.undelivered.push_back(m);
+                        out.push(DlAction::SendMsg(m));
+                    }
+                }
+                9..=16 => {
+                    if let Some(m) = self.undelivered.pop_front() {
+                        out.push(DlAction::ReceiveMsg(m));
+                    }
+                }
+                // Packet traffic (~83 %), balanced sends and receives
+                // with a bounded in-flight window per direction.
+                n if n % 2 == 0 => {
+                    if self.up[k] && self.pending[k].len() < 48 {
+                        let p =
+                            Packet::data(self.next_uid, Msg(self.next_uid)).with_uid(self.next_uid);
+                        self.next_uid += 1;
+                        self.pending[k].push_back(p);
+                        out.push(DlAction::SendPkt(Self::dir(k), p));
+                    }
+                }
+                _ => {
+                    if let Some(p) = self.pending[k].pop_front() {
+                        out.push(DlAction::ReceivePkt(Self::dir(k), p));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The conformant epilogue: wake both media and deliver every
+    /// outstanding packet and message, so all eight module verdicts on
+    /// the finished stream are `Satisfied` (nothing in transit, no open
+    /// DL8 obligations, DL1's both-up case).
+    fn finish(&mut self, out: &mut Vec<DlAction>) {
+        out.clear();
+        for k in [0, 1] {
+            if !self.up[k] {
+                self.up[k] = true;
+                out.push(DlAction::Wake(Self::dir(k)));
+            }
+        }
+        for k in [0, 1] {
+            while let Some(p) = self.pending[k].pop_front() {
+                out.push(DlAction::ReceivePkt(Self::dir(k), p));
+            }
+        }
+        while let Some(m) = self.undelivered.pop_front() {
+            out.push(DlAction::ReceiveMsg(m));
+        }
+    }
+}
+
+/// The monitor line-rate workload: 10⁷ generated actions, sharded into
+/// session-sized streams (the regime every real consumer — `dl-sim`
+/// runs, fuzz executions, fleet sessions — actually operates in), each
+/// ingested by its own [`TraceMonitor`] in 16 Ki-action slices via
+/// `observe_all`, all eight module verdicts queried per session, and
+/// the per-session verdicts folded through the fleet's lossless
+/// [`VerdictShard`](dl_fleet::VerdictShard) merge. The measured window
+/// covers ingestion and verdicts but not trace generation —
+/// `actions_per_sec` is the monitor's own batched throughput, the
+/// number E11 cites.
+///
+/// (A single unsharded 10⁷-action stream is deliberately *not* the
+/// headline: PL2 forces every conformant packet value to be globally
+/// distinct, so a monolithic monitor's value tables outgrow cache and
+/// the run measures DRAM probe latency, ~2 · 10⁶ actions/s — the
+/// `checker_scaling` sweep covers that regime explicitly.)
+///
+/// Counters (session/verdict tallies, in-transit population, and the
+/// `peak_monitor_bytes` footprint that gates the bounded-memory claim)
+/// are pure functions of the seed.
+///
+/// # Panics
+///
+/// Panics if the generated traffic stops being conformant — the workload
+/// must measure the clean fast path, not violation bookkeeping.
+#[must_use]
+pub fn monitor_ingest(sleep_micros: u64) -> RunLedger {
+    monitor_ingest_n(10_000_000, sleep_micros)
+}
+
+/// [`monitor_ingest`] at a configurable total action count (the
+/// check-stage smoke runs fewer sessions with the same shape).
+#[must_use]
+pub fn monitor_ingest_n(actions: usize, sleep_micros: u64) -> RunLedger {
+    const CHUNK: usize = 16 * 1024;
+    const SESSION_ACTIONS: usize = 50_000;
+    let sessions = actions.div_ceil(SESSION_ACTIONS).max(1);
+
+    let mut chunk = Vec::with_capacity(CHUNK);
+    let mut busy = Duration::ZERO;
+    let mut total_actions = 0u64;
+    let mut satisfied = 0u64;
+    let mut in_transit = 0u64;
+    let mut peak_bytes = 0u64;
+    let mut shard = dl_fleet::VerdictShard::new();
+    let mut remaining = actions;
+    for session in 0..sessions {
+        let budget = remaining.min(SESSION_ACTIONS);
+        remaining -= budget;
+        // Domain-separated per-session seed, splitmix-style.
+        let mut gen = MonitorTraceGen::new(
+            0x11_2233_4455 ^ (session as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        let mut mon = TraceMonitor::new();
+        let mut fed = 0usize;
+        while fed < budget {
+            let n = CHUNK.min(budget - fed);
+            gen.fill(&mut chunk, n);
+            let t0 = Instant::now();
+            mon.observe_all(&chunk);
+            busy += t0.elapsed();
+            fed += n;
+        }
+        gen.finish(&mut chunk);
+        let t0 = Instant::now();
+        mon.observe_all(&chunk);
+        for dir in Dir::BOTH {
+            for fifo in [false, true] {
+                if mon.pl_verdict(dir, fifo) == Verdict::Satisfied {
+                    satisfied += 1;
+                }
+            }
+        }
+        for weak in [false, true] {
+            for kind in [TraceKind::Prefix, TraceKind::Complete] {
+                if mon.dl_verdict(weak, kind) == Verdict::Satisfied {
+                    satisfied += 1;
+                }
+            }
+        }
+        busy += t0.elapsed();
+        let violation = match mon.dl_verdict(false, TraceKind::Complete) {
+            Verdict::Violated(v) => Some(v.property),
+            _ => None,
+        };
+        shard.record(session as u64, violation);
+        total_actions += mon.actions_observed() as u64;
+        in_transit += (mon.in_transit_count(Dir::TR) + mon.in_transit_count(Dir::RT)) as u64;
+        peak_bytes = peak_bytes.max(mon.approx_bytes() as u64);
+    }
+    stall(sleep_micros);
+    // The generator emits only conformant traffic and each epilogue
+    // settles its stream, so every module verdict must be `Satisfied`
+    // and the verdict shard must be all-clean.
+    assert_eq!(
+        satisfied,
+        8 * sessions as u64,
+        "monitor workload saw unexpected violations"
+    );
+    assert_eq!(shard.clean, sessions as u64);
+    assert_eq!(shard.violations(), 0);
+
+    let mut ledger = RunLedger::new("monitor", "ingest");
+    ledger.counter("actions", total_actions);
+    ledger.counter("sessions", sessions as u64);
+    ledger.counter("verdicts_satisfied", satisfied);
+    ledger.counter("clean_sessions", shard.clean);
+    ledger.counter("in_transit", in_transit);
+    ledger.counter("peak_monitor_bytes", peak_bytes);
+    let secs = busy.as_secs_f64().max(1e-9);
+    ledger.gauge("actions_per_sec", total_actions as f64 / secs);
+    ledger.gauge("duration_micros", busy.as_secs_f64() * 1e6);
+    ledger
+}
+
 /// Theorem 7.5: the ABP crash pump, with the reference-projection
 /// footprint (`projection_bytes`) as an alloc-ceiling for the gate.
 ///
@@ -291,6 +527,7 @@ pub fn all_runs(threads: usize, sleep_micros: u64) -> BenchFile {
         runs: vec![
             explore_e9(threads, sleep_micros),
             sim_e11(sleep_micros),
+            monitor_ingest(sleep_micros),
             fuzz_e12(sleep_micros),
             fleet_e13(threads, sleep_micros),
             impossibility_crash(sleep_micros),

@@ -7,7 +7,8 @@
 //! wall-clock-derived and deliberately excluded from (2).
 
 use dl_bench::ledger_runs::{
-    explore_e9, fleet_e13, fuzz_e12, impossibility_crash, impossibility_header, sim_e11,
+    explore_e9, fleet_e13, fuzz_e12, impossibility_crash, impossibility_header, monitor_ingest_n,
+    sim_e11,
 };
 use dl_obs::{BenchFile, RunLedger, ENGINES, SCHEMA_VERSION};
 
@@ -19,6 +20,9 @@ fn workloads() -> Vec<RunLedger> {
         impossibility_crash(0),
         impossibility_header(0),
         fleet_e13(1, 0),
+        // Schema-shape only: the full 10⁷-action bench length lives in
+        // `scripts/bench.sh`; here a short ingest keeps the suite fast.
+        monitor_ingest_n(50_000, 0),
     ]
 }
 
@@ -54,7 +58,7 @@ fn every_engine_emits_a_schema_valid_ledger() {
         assert_eq!(parsed.to_json(), json);
     }
 
-    // The six workloads cover all five engines.
+    // The seven workloads cover all six engines.
     for engine in ENGINES {
         assert!(
             runs.iter().any(|r| r.engine == *engine),

@@ -1,0 +1,50 @@
+//! Monitor-throughput smoke: the check-stage guard for the batched
+//! ingest path.
+//!
+//! Runs the ledger monitor workload at a fifth of its bench length and
+//! asserts a deliberately loose throughput floor — far enough under the
+//! measured line rate that only an asymptotic regression (per-action
+//! allocation, a quadratic scan, SipHash sneaking back into the value
+//! maps) can trip it on a noisy CI box. The tight floor lives in
+//! `bench/baseline.json` and is enforced by `scripts/bench.sh --gate`.
+//!
+//! Run in release (`scripts/check.sh --stage monitor-smoke` does): a
+//! debug build legitimately misses the floor.
+
+use dl_bench::ledger_runs::monitor_ingest_n;
+
+#[test]
+fn batched_ingest_holds_line_rate() {
+    let ledger = monitor_ingest_n(2_000_000, 0);
+    assert_eq!(ledger.engine, "monitor");
+    // Each session's conformant epilogue drains outstanding traffic, so
+    // a few actions ride on top of the nominal stream length.
+    assert!(ledger.counters["actions"] >= 2_000_000);
+    assert_eq!(ledger.counters["sessions"], 40);
+    assert_eq!(ledger.counters["verdicts_satisfied"], 8 * 40);
+    assert_eq!(ledger.counters["clean_sessions"], 40);
+    assert_eq!(ledger.counters["in_transit"], 0);
+    // Session-scoped monitors stay cache-resident: peak footprint is a
+    // few MB of value tables, never the total-send-proportional hundreds
+    // the unsharded stream would accumulate.
+    assert!(ledger.counters["peak_monitor_bytes"] < 8 * 1024 * 1024);
+
+    // Timing floor only where timing is meaningful: a debug build (the
+    // tier-1 `cargo test -q`) legitimately runs ~4× slower, so the floor
+    // is enforced in the release-profile monitor-smoke check stage.
+    if !cfg!(debug_assertions) {
+        let aps = ledger.gauges["actions_per_sec"];
+        assert!(
+            aps > 10_000_000.0,
+            "batched ingest ran at {aps:.0} actions/s — an order of magnitude \
+             below line rate; did a per-action allocation or rehash sneak in?"
+        );
+    }
+}
+
+#[test]
+fn ingest_counters_are_reproducible() {
+    let a = monitor_ingest_n(100_000, 0);
+    let b = monitor_ingest_n(100_000, 0);
+    assert_eq!(a.counters, b.counters);
+}

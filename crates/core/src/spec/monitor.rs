@@ -1,14 +1,31 @@
 //! Streaming, single-pass conformance monitor for the layer specifications.
 //!
-//! [`TraceMonitor`] consumes one [`DlAction`] at a time and maintains just
-//! enough hash-indexed state to judge the physical-layer properties PL1–PL5
-//! (per direction), the data-link properties DL1–DL8, well-formedness, and
-//! the in-transit packet multiset — all in amortized `O(1)` per action.
-//! The batch checkers in [`crate::spec::physical`] and
-//! [`crate::spec::datalink`] are thin replay wrappers over this monitor, so
-//! there is exactly one code path and every verdict (property name, trace
-//! index, reason string) matches what the original quadratic checkers
-//! produced.
+//! [`TraceMonitor`] consumes [`DlAction`]s — one at a time via
+//! [`observe`](TraceMonitor::observe) or a slice at a time via
+//! [`observe_all`](TraceMonitor::observe_all) — and maintains just enough
+//! state to judge the physical-layer properties PL1–PL5 (per direction),
+//! the data-link properties DL1–DL8, well-formedness, and the in-transit
+//! packet multiset — all in amortized `O(1)` per action. The batch
+//! checkers in [`crate::spec::physical`] and [`crate::spec::datalink`] are
+//! thin replay wrappers over this monitor, so there is exactly one code
+//! path and every verdict (property name, trace index, reason string)
+//! matches what the original quadratic checkers produced.
+//!
+//! # State layout
+//!
+//! Packet and message values are interned through
+//! [`ioa::intern::StateTable`] keyed by the deterministic
+//! [`FxBuildHasher`], so each observed action pays **one** hash-and-probe
+//! and every per-value fact afterwards is an array index on the dense
+//! `u32` id. The facts themselves are struct-of-arrays columns aligned
+//! with the interner: a sent/received bit-flag column and a first-send
+//! ordinal column (the FIFO checkers' send-position map). The in-transit
+//! multiset is a slot arena threaded by two intrusive lists — a per-value
+//! FIFO chain (which pending copy a receive cancels) and a global
+//! send-order list (what [`in_transit`](TraceMonitor::in_transit)
+//! enumerates) — with cancelled slots recycled through a free list, so
+//! monitor memory is bounded by the **live** in-transit population plus
+//! the distinct-value tables, never by total sends.
 //!
 //! Two kinds of properties coexist:
 //!
@@ -32,11 +49,26 @@
 //! violation to report). Violations recorded *before* the poisoning event
 //! stand.
 
-use std::collections::{HashMap, HashSet, VecDeque};
-
+use ioa::intern::{FxBuildHasher, StateId, StateTable};
 use ioa::schedule_module::{TraceKind, Verdict, Violation};
 
 use crate::action::{Dir, DlAction, Msg, Packet};
+
+/// Null link/slot marker in the intrusive lists and id columns.
+const NONE: u32 = u32::MAX;
+
+/// "No send position recorded" sentinel in the FIFO ordinal column.
+const NO_POS: u64 = u64::MAX;
+
+/// `flags` bit: the value has been sent at least once.
+const SENT: u8 = 1;
+
+/// `flags` bit: the value has been received at least once.
+const RECEIVED: u8 = 2;
+
+/// Batches below this length skip the reserve pre-scan: the scan only
+/// pays off when a slice is long enough for mid-stream table doublings.
+const RESERVE_THRESHOLD: usize = 4096;
 
 /// Online well-formedness state for one medium direction: the streaming
 /// equivalent of [`crate::spec::wellformed::MediumTimeline`].
@@ -78,44 +110,182 @@ impl StatusState {
     }
 }
 
+/// Per-value history columns, indexed by interned value id.
+#[derive(Debug, Clone, Default)]
+struct ValueCols {
+    /// [`SENT`] / [`RECEIVED`] bit-flags.
+    flags: Vec<u8>,
+    /// First-send ordinal for the FIFO checker, [`NO_POS`] if none.
+    /// Written only while the checker is unpoisoned, mirroring the
+    /// insertion discipline of the old `send_pos` map.
+    send_pos: Vec<u64>,
+}
+
+impl ValueCols {
+    /// Appends the columns for a freshly interned id.
+    #[inline]
+    fn push_value(&mut self) {
+        self.flags.push(0);
+        self.send_pos.push(NO_POS);
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.flags.reserve(additional);
+        self.send_pos.reserve(additional);
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.flags.capacity() + self.send_pos.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
 /// In-transit packet tracking with **multiset** semantics: each receive
 /// cancels the earliest still-pending send of the same packet value, and a
 /// receive with no pending copy pre-cancels the *next* send of that value
 /// (net in-transit count per value = sends − receives, clamped at zero,
 /// surviving copies being the latest sends).
-#[derive(Debug, Clone, Default)]
+///
+/// Struct-of-arrays slot arena. A pending send occupies one slot carrying
+/// its value id; slots are threaded onto two intrusive lists — the
+/// per-value FIFO chain rooted at `q_head`/`q_tail` and the global
+/// send-order list rooted at `ord_head`/`ord_tail`. A cancelled slot is
+/// unlinked from both and pushed on the free list (reusing the
+/// `next_same` column as the link), so the arena never outgrows the
+/// **peak live** in-transit population.
+#[derive(Debug, Clone)]
 struct TransitState {
-    /// Pending sends in send order; cancelled entries become `None`.
-    slots: Vec<Option<Packet>>,
-    /// Live slot indices per packet value, oldest first.
-    live: HashMap<Packet, VecDeque<usize>>,
-    /// Receives observed with no pending matching send, per packet value.
-    unmatched: HashMap<Packet, usize>,
+    /// Interned value id of each slot.
+    slot_val: Vec<u32>,
+    /// Live slot: next pending slot of the same value, oldest first.
+    /// Freed slot: next entry on the free list.
+    next_same: Vec<u32>,
+    /// Global send-order doubly-linked list.
+    ord_prev: Vec<u32>,
+    ord_next: Vec<u32>,
+    ord_head: u32,
+    ord_tail: u32,
+    free_head: u32,
+    live: u32,
+    /// Per-value (id-indexed): oldest/newest pending slot of that value.
+    q_head: Vec<u32>,
+    q_tail: Vec<u32>,
+    /// Per-value: receives observed with no pending matching send.
+    unmatched: Vec<u32>,
+}
+
+impl Default for TransitState {
+    fn default() -> Self {
+        TransitState {
+            slot_val: Vec::new(),
+            next_same: Vec::new(),
+            ord_prev: Vec::new(),
+            ord_next: Vec::new(),
+            ord_head: NONE,
+            ord_tail: NONE,
+            free_head: NONE,
+            live: 0,
+            q_head: Vec::new(),
+            q_tail: Vec::new(),
+            unmatched: Vec::new(),
+        }
+    }
 }
 
 impl TransitState {
-    fn send(&mut self, p: Packet) {
-        if let Some(n) = self.unmatched.get_mut(&p) {
-            *n -= 1;
-            if *n == 0 {
-                self.unmatched.remove(&p);
-            }
+    /// Appends the per-value columns for a freshly interned id.
+    #[inline]
+    fn push_value(&mut self) {
+        self.q_head.push(NONE);
+        self.q_tail.push(NONE);
+        self.unmatched.push(0);
+    }
+
+    fn send(&mut self, id: u32) {
+        let v = id as usize;
+        if self.unmatched[v] > 0 {
+            self.unmatched[v] -= 1;
             return;
         }
-        let idx = self.slots.len();
-        self.slots.push(Some(p));
-        self.live.entry(p).or_default().push_back(idx);
-    }
-
-    fn receive(&mut self, p: &Packet) {
-        match self.live.get_mut(p).and_then(VecDeque::pop_front) {
-            Some(idx) => self.slots[idx] = None,
-            None => *self.unmatched.entry(*p).or_insert(0) += 1,
+        let slot = if self.free_head == NONE {
+            let s = u32::try_from(self.slot_val.len()).expect("transit arena overflowed u32");
+            self.slot_val.push(id);
+            self.next_same.push(NONE);
+            self.ord_prev.push(NONE);
+            self.ord_next.push(NONE);
+            s
+        } else {
+            let s = self.free_head;
+            self.free_head = self.next_same[s as usize];
+            self.slot_val[s as usize] = id;
+            self.next_same[s as usize] = NONE;
+            s
+        };
+        let si = slot as usize;
+        // Append to this value's FIFO chain…
+        if self.q_tail[v] == NONE {
+            self.q_head[v] = slot;
+        } else {
+            self.next_same[self.q_tail[v] as usize] = slot;
         }
+        self.q_tail[v] = slot;
+        // …and to the global send-order list.
+        self.ord_prev[si] = self.ord_tail;
+        self.ord_next[si] = NONE;
+        if self.ord_tail == NONE {
+            self.ord_head = slot;
+        } else {
+            self.ord_next[self.ord_tail as usize] = slot;
+        }
+        self.ord_tail = slot;
+        self.live += 1;
     }
 
-    fn pending(&self) -> Vec<Packet> {
-        self.slots.iter().flatten().copied().collect()
+    fn receive(&mut self, id: u32) {
+        let v = id as usize;
+        let slot = self.q_head[v];
+        if slot == NONE {
+            self.unmatched[v] += 1;
+            return;
+        }
+        let si = slot as usize;
+        // Pop the oldest pending copy off the value chain…
+        self.q_head[v] = self.next_same[si];
+        if self.q_head[v] == NONE {
+            self.q_tail[v] = NONE;
+        }
+        // …unlink it from the send-order list…
+        let (p, n) = (self.ord_prev[si], self.ord_next[si]);
+        if p == NONE {
+            self.ord_head = n;
+        } else {
+            self.ord_next[p as usize] = n;
+        }
+        if n == NONE {
+            self.ord_tail = p;
+        } else {
+            self.ord_prev[n as usize] = p;
+        }
+        // …and recycle the slot.
+        self.next_same[si] = self.free_head;
+        self.free_head = slot;
+        self.live -= 1;
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.q_head.reserve(additional);
+        self.q_tail.reserve(additional);
+        self.unmatched.reserve(additional);
+    }
+
+    fn approx_bytes(&self) -> usize {
+        (self.slot_val.capacity()
+            + self.next_same.capacity()
+            + self.ord_prev.capacity()
+            + self.ord_next.capacity()
+            + self.q_head.capacity()
+            + self.q_tail.capacity()
+            + self.unmatched.capacity())
+            * std::mem::size_of::<u32>()
     }
 }
 
@@ -123,16 +293,15 @@ impl TransitState {
 #[derive(Debug, Clone, Default)]
 struct PlState {
     status: StatusState,
-    sent: HashSet<Packet>,
-    received: HashSet<Packet>,
-    /// Send position (0-based ordinal among this direction's sends) per
-    /// packet value, for PL5.
-    send_pos: HashMap<Packet, usize>,
-    sends: usize,
-    last_recv_pos: Option<usize>,
+    /// Packet value interner: every send/receive pays one probe here and
+    /// indexes the columns below with the resulting dense id.
+    values: StateTable<Packet, FxBuildHasher>,
+    vals: ValueCols,
+    transit: TransitState,
+    sends: u64,
+    last_recv_pos: Option<u64>,
     /// PL5 stops judging after a duplicate send or a receive-of-unsent.
     fifo_poisoned: bool,
-    transit: TransitState,
     pl1: Option<Violation>,
     pl2: Option<Violation>,
     pl3: Option<Violation>,
@@ -141,6 +310,16 @@ struct PlState {
 }
 
 impl PlState {
+    #[inline]
+    fn intern(&mut self, p: &Packet) -> u32 {
+        let (id, fresh) = self.values.intern(*p);
+        if fresh {
+            self.vals.push_value();
+            self.transit.push_value();
+        }
+        id.0
+    }
+
     fn send(&mut self, i: usize, dir: Dir, p: &Packet) {
         if !self.status.up && self.pl1.is_none() {
             self.pl1 = Some(Violation {
@@ -149,33 +328,43 @@ impl PlState {
                 reason: format!("send_pkt^{dir} outside any working interval"),
             });
         }
-        if !self.sent.insert(*p) && self.pl2.is_none() {
-            self.pl2 = Some(Violation {
-                property: "PL2",
-                at: Some(i),
-                reason: format!("packet {p} sent twice"),
-            });
+        let v = self.intern(p) as usize;
+        if self.vals.flags[v] & SENT != 0 {
+            if self.pl2.is_none() {
+                self.pl2 = Some(Violation {
+                    property: "PL2",
+                    at: Some(i),
+                    reason: format!("packet {p} sent twice"),
+                });
+            }
+        } else {
+            self.vals.flags[v] |= SENT;
         }
         if !self.fifo_poisoned {
-            if self.send_pos.contains_key(p) {
-                self.fifo_poisoned = true;
+            if self.vals.send_pos[v] == NO_POS {
+                self.vals.send_pos[v] = self.sends;
             } else {
-                self.send_pos.insert(*p, self.sends);
+                self.fifo_poisoned = true;
             }
         }
         self.sends += 1;
-        self.transit.send(*p);
+        self.transit.send(v as u32);
     }
 
     fn receive(&mut self, i: usize, p: &Packet) {
-        if !self.received.insert(*p) && self.pl3.is_none() {
-            self.pl3 = Some(Violation {
-                property: "PL3",
-                at: Some(i),
-                reason: format!("packet {p} received twice"),
-            });
+        let v = self.intern(p) as usize;
+        if self.vals.flags[v] & RECEIVED != 0 {
+            if self.pl3.is_none() {
+                self.pl3 = Some(Violation {
+                    property: "PL3",
+                    at: Some(i),
+                    reason: format!("packet {p} received twice"),
+                });
+            }
+        } else {
+            self.vals.flags[v] |= RECEIVED;
         }
-        if !self.sent.contains(p) && self.pl4.is_none() {
+        if self.vals.flags[v] & SENT == 0 && self.pl4.is_none() {
             self.pl4 = Some(Violation {
                 property: "PL4",
                 at: Some(i),
@@ -183,26 +372,30 @@ impl PlState {
             });
         }
         if !self.fifo_poisoned && self.pl5.is_none() {
-            match self.send_pos.get(p) {
-                None => self.fifo_poisoned = true,
-                Some(&pos) => {
-                    if let Some(prev) = self.last_recv_pos {
-                        if pos < prev {
-                            self.pl5 = Some(Violation {
-                                property: "PL5 (FIFO)",
-                                at: Some(i),
-                                reason: format!(
-                                    "packet {p} (send position {pos}) received after a packet \
-                                     with send position {prev}"
-                                ),
-                            });
-                        }
+            let pos = self.vals.send_pos[v];
+            if pos == NO_POS {
+                self.fifo_poisoned = true;
+            } else {
+                if let Some(prev) = self.last_recv_pos {
+                    if pos < prev {
+                        self.pl5 = Some(Violation {
+                            property: "PL5 (FIFO)",
+                            at: Some(i),
+                            reason: format!(
+                                "packet {p} (send position {pos}) received after a packet \
+                                 with send position {prev}"
+                            ),
+                        });
                     }
-                    self.last_recv_pos = Some(pos);
                 }
+                self.last_recv_pos = Some(pos);
             }
         }
-        self.transit.receive(p);
+        self.transit.receive(v as u32);
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.values.approx_bytes() + self.vals.approx_bytes() + self.transit.approx_bytes()
     }
 }
 
@@ -210,19 +403,18 @@ impl PlState {
 /// monitors at query time).
 #[derive(Debug, Clone, Default)]
 struct DlState {
-    sent: HashSet<Msg>,
-    received: HashSet<Msg>,
-    /// Send position per message, for DL6.
-    send_pos: HashMap<Msg, usize>,
-    sends: usize,
-    last_recv_pos: Option<usize>,
+    /// Message value interner; columns below are indexed by its dense ids.
+    values: StateTable<Msg, FxBuildHasher>,
+    vals: ValueCols,
+    sends: u64,
+    last_recv_pos: Option<u64>,
     /// DL6 stops judging after a duplicate send or a receive-of-unsent.
     fifo_poisoned: bool,
-    /// `(trace index, message)` of each `send_msg` inside a *closed*
+    /// `(trace index, message id)` of each `send_msg` inside a *closed*
     /// transmitter working interval, grouped per interval in trace order.
-    closed_interval_sends: Vec<Vec<(usize, Msg)>>,
+    closed_interval_sends: Vec<Vec<(usize, u32)>>,
     /// Sends inside the currently open transmitter working interval.
-    open_interval_sends: Vec<(usize, Msg)>,
+    open_interval_sends: Vec<(usize, u32)>,
     dl2: Option<Violation>,
     dl3: Option<Violation>,
     dl4: Option<Violation>,
@@ -231,6 +423,15 @@ struct DlState {
 }
 
 impl DlState {
+    #[inline]
+    fn intern(&mut self, m: Msg) -> u32 {
+        let (id, fresh) = self.values.intern(m);
+        if fresh {
+            self.vals.push_value();
+        }
+        id.0
+    }
+
     fn on_tx_wake(&mut self) {
         // On a malformed double wake the previous interval's sends are
         // sealed off as well; the module verdict is vacuous then anyway.
@@ -246,8 +447,9 @@ impl DlState {
     }
 
     fn send(&mut self, i: usize, m: Msg, tx_up: bool) {
+        let v = self.intern(m) as usize;
         if tx_up {
-            self.open_interval_sends.push((i, m));
+            self.open_interval_sends.push((i, v as u32));
         } else if self.dl2.is_none() {
             self.dl2 = Some(Violation {
                 property: "DL2",
@@ -255,32 +457,41 @@ impl DlState {
                 reason: format!("send_msg({m}) outside any transmitter working interval"),
             });
         }
-        if !self.sent.insert(m) && self.dl3.is_none() {
-            self.dl3 = Some(Violation {
-                property: "DL3",
-                at: Some(i),
-                reason: format!("message {m} sent twice"),
-            });
+        if self.vals.flags[v] & SENT != 0 {
+            if self.dl3.is_none() {
+                self.dl3 = Some(Violation {
+                    property: "DL3",
+                    at: Some(i),
+                    reason: format!("message {m} sent twice"),
+                });
+            }
+        } else {
+            self.vals.flags[v] |= SENT;
         }
         if !self.fifo_poisoned {
-            if self.send_pos.contains_key(&m) {
-                self.fifo_poisoned = true;
+            if self.vals.send_pos[v] == NO_POS {
+                self.vals.send_pos[v] = self.sends;
             } else {
-                self.send_pos.insert(m, self.sends);
+                self.fifo_poisoned = true;
             }
         }
         self.sends += 1;
     }
 
     fn receive(&mut self, i: usize, m: Msg) {
-        if !self.received.insert(m) && self.dl4.is_none() {
-            self.dl4 = Some(Violation {
-                property: "DL4",
-                at: Some(i),
-                reason: format!("message {m} received twice"),
-            });
+        let v = self.intern(m) as usize;
+        if self.vals.flags[v] & RECEIVED != 0 {
+            if self.dl4.is_none() {
+                self.dl4 = Some(Violation {
+                    property: "DL4",
+                    at: Some(i),
+                    reason: format!("message {m} received twice"),
+                });
+            }
+        } else {
+            self.vals.flags[v] |= RECEIVED;
         }
-        if !self.sent.contains(&m) && self.dl5.is_none() {
+        if self.vals.flags[v] & SENT == 0 && self.dl5.is_none() {
             self.dl5 = Some(Violation {
                 property: "DL5",
                 at: Some(i),
@@ -288,33 +499,68 @@ impl DlState {
             });
         }
         if !self.fifo_poisoned && self.dl6.is_none() {
-            match self.send_pos.get(&m) {
-                None => self.fifo_poisoned = true,
-                Some(&pos) => {
-                    if let Some(prev) = self.last_recv_pos {
-                        if pos < prev {
-                            self.dl6 = Some(Violation {
-                                property: "DL6 (FIFO)",
-                                at: Some(i),
-                                reason: format!(
-                                    "message {m} (send position {pos}) received after a \
-                                     message with send position {prev}"
-                                ),
-                            });
-                        }
+            let pos = self.vals.send_pos[v];
+            if pos == NO_POS {
+                self.fifo_poisoned = true;
+            } else {
+                if let Some(prev) = self.last_recv_pos {
+                    if pos < prev {
+                        self.dl6 = Some(Violation {
+                            property: "DL6 (FIFO)",
+                            at: Some(i),
+                            reason: format!(
+                                "message {m} (send position {pos}) received after a \
+                                 message with send position {prev}"
+                            ),
+                        });
                     }
-                    self.last_recv_pos = Some(pos);
                 }
+                self.last_recv_pos = Some(pos);
             }
         }
+    }
+
+    /// `true` if the message with interned id `id` has been received.
+    #[inline]
+    fn is_received(&self, id: u32) -> bool {
+        self.vals.flags[id as usize] & RECEIVED != 0
+    }
+
+    #[inline]
+    fn msg(&self, id: u32) -> Msg {
+        *self.values.get(StateId(id))
+    }
+
+    fn approx_bytes(&self) -> usize {
+        let pair = std::mem::size_of::<(usize, u32)>();
+        self.values.approx_bytes()
+            + self.vals.approx_bytes()
+            + self.open_interval_sends.capacity() * pair
+            + self
+                .closed_interval_sends
+                .iter()
+                .map(|v| v.capacity() * pair)
+                .sum::<usize>()
+            + self.closed_interval_sends.capacity() * std::mem::size_of::<Vec<(usize, u32)>>()
+    }
+}
+
+/// Of two recorded violations, the one observed earlier (first argument
+/// wins ties) — the allocation-free core of the online candidate filter.
+fn earlier<'a>(best: Option<&'a Violation>, cand: Option<&'a Violation>) -> Option<&'a Violation> {
+    match (best, cand) {
+        (Some(b), Some(c)) if c.at < b.at => Some(c),
+        (Some(b), _) => Some(b),
+        (None, c) => c,
     }
 }
 
 /// A single-pass, incremental conformance checker over `DlAction` traces.
 ///
 /// Feed it a trace one action at a time with [`observe`](Self::observe)
-/// (or all at once with [`scan`](Self::scan)) and query verdicts at any
-/// prefix. Verdicts are exactly those of the batch schedule modules
+/// (or slice-at-a-time with [`observe_all`](Self::observe_all) /
+/// [`scan`](Self::scan)) and query verdicts at any prefix. Verdicts are
+/// exactly those of the batch schedule modules
 /// [`crate::spec::physical::PlModule`] and
 /// [`crate::spec::datalink::DlModule`] on the observed prefix.
 ///
@@ -351,6 +597,34 @@ fn dir_index(dir: Dir) -> usize {
     }
 }
 
+/// Iterator over the pending in-transit packets of one direction, oldest
+/// (earliest surviving send) first. See
+/// [`TraceMonitor::in_transit_iter`].
+pub struct InTransit<'a> {
+    pl: &'a PlState,
+    slot: u32,
+}
+
+impl Iterator for InTransit<'_> {
+    type Item = Packet;
+
+    fn next(&mut self) -> Option<Packet> {
+        if self.slot == NONE {
+            return None;
+        }
+        let si = self.slot as usize;
+        self.slot = self.pl.transit.ord_next[si];
+        Some(*self.pl.values.get(StateId(self.pl.transit.slot_val[si])))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Exact only when fresh; after partial consumption still an
+        // upper bound (the list never grows mid-iteration).
+        let n = self.pl.transit.live as usize;
+        (0, Some(n))
+    }
+}
+
 impl TraceMonitor {
     /// A monitor that has observed the empty trace.
     #[must_use]
@@ -369,7 +643,58 @@ impl TraceMonitor {
     /// Observes one action. Amortized `O(1)`.
     pub fn observe(&mut self, a: &DlAction) {
         let i = self.next_index;
-        self.next_index += 1;
+        self.next_index = i + 1;
+        self.ingest(i, a);
+    }
+
+    /// Observes a slice of actions, in order — the batched fast path.
+    ///
+    /// Equivalent to calling [`observe`](Self::observe) per action (the
+    /// differential suites pin this), but long slices first take a
+    /// counting pre-scan that reserves the value tables and columns up
+    /// front, so ingestion never pauses for a mid-stream rehash.
+    pub fn observe_all(&mut self, trace: &[DlAction]) {
+        if trace.len() >= RESERVE_THRESHOLD {
+            self.reserve_for(trace);
+        }
+        let mut i = self.next_index;
+        for a in trace {
+            self.ingest(i, a);
+            i += 1;
+        }
+        self.next_index = i;
+    }
+
+    /// Sizes tables for a pending batch: each packet/message action can
+    /// introduce at most one fresh value, so the per-kind action counts
+    /// are a safe (if loose) reservation bound.
+    fn reserve_for(&mut self, trace: &[DlAction]) {
+        let mut pkts = [0usize; 2];
+        let mut msgs = 0usize;
+        for a in trace {
+            match a {
+                DlAction::SendPkt(d, _) | DlAction::ReceivePkt(d, _) => {
+                    pkts[dir_index(*d)] += 1;
+                }
+                DlAction::SendMsg(_) | DlAction::ReceiveMsg(_) => msgs += 1,
+                _ => {}
+            }
+        }
+        for (k, d) in self.dirs.iter_mut().enumerate() {
+            if pkts[k] > 0 {
+                d.values.reserve(pkts[k]);
+                d.vals.reserve(pkts[k]);
+                d.transit.reserve(pkts[k]);
+            }
+        }
+        if msgs > 0 {
+            self.dl.values.reserve(msgs);
+            self.dl.vals.reserve(msgs);
+        }
+    }
+
+    #[inline]
+    fn ingest(&mut self, i: usize, a: &DlAction) {
         match a {
             DlAction::Wake(d) => {
                 self.saw_wake = true;
@@ -403,13 +728,6 @@ impl TraceMonitor {
         }
     }
 
-    /// Observes a slice of actions, in order.
-    pub fn observe_all(&mut self, trace: &[DlAction]) {
-        for a in trace {
-            self.observe(a);
-        }
-    }
-
     /// How many actions have been observed so far.
     #[must_use]
     pub fn actions_observed(&self) -> usize {
@@ -426,6 +744,16 @@ impl TraceMonitor {
     #[must_use]
     pub fn saw_fail_or_crash(&self) -> bool {
         self.saw_fail_or_crash
+    }
+
+    /// Approximate resident heap bytes of the monitor state: value
+    /// interners, per-value columns, transit arena, and interval lists.
+    /// Bounded by distinct observed values plus **peak live** in-transit
+    /// packets — independent of trace length (the allocation-ceiling
+    /// regression test pins this).
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.dirs.iter().map(PlState::approx_bytes).sum::<usize>() + self.dl.approx_bytes()
     }
 
     /// First well-formedness violation for `dir`, if any.
@@ -499,10 +827,12 @@ impl TraceMonitor {
             .iter()
             .chain(std::iter::once(&self.dl.open_interval_sends));
         for sends in intervals {
-            let mut first_lost: Option<(usize, Msg)> = None;
-            for &(i, m) in sends {
-                if self.dl.received.contains(&m) {
-                    if let Some((j, lost)) = first_lost {
+            let mut first_lost: Option<(usize, u32)> = None;
+            for &(i, id) in sends {
+                if self.dl.is_received(id) {
+                    if let Some((j, lost_id)) = first_lost {
+                        let lost = self.dl.msg(lost_id);
+                        let m = self.dl.msg(id);
                         return Some(Violation {
                             property: "DL7",
                             at: Some(j),
@@ -513,7 +843,7 @@ impl TraceMonitor {
                         });
                     }
                 } else if first_lost.is_none() {
-                    first_lost = Some((i, m));
+                    first_lost = Some((i, id));
                 }
             }
         }
@@ -528,8 +858,9 @@ impl TraceMonitor {
         if !self.dirs[0].status.up {
             return None;
         }
-        for &(i, m) in &self.dl.open_interval_sends {
-            if !self.dl.received.contains(&m) {
+        for &(i, id) in &self.dl.open_interval_sends {
+            if !self.dl.is_received(id) {
+                let m = self.dl.msg(id);
                 return Some(Violation {
                     property: "DL8",
                     at: Some(i),
@@ -545,9 +876,30 @@ impl TraceMonitor {
 
     /// The packets currently in transit on `dir`: sent but not (yet)
     /// received, under multiset semantics, in send order.
+    ///
+    /// Allocates a fresh `Vec`; on hot paths prefer
+    /// [`in_transit_iter`](Self::in_transit_iter) or
+    /// [`in_transit_count`](Self::in_transit_count).
     #[must_use]
     pub fn in_transit(&self, dir: Dir) -> Vec<Packet> {
-        self.dirs[dir_index(dir)].transit.pending()
+        self.in_transit_iter(dir).collect()
+    }
+
+    /// Iterates the in-transit packets of `dir` in send order without
+    /// allocating.
+    #[must_use]
+    pub fn in_transit_iter(&self, dir: Dir) -> InTransit<'_> {
+        let pl = &self.dirs[dir_index(dir)];
+        InTransit {
+            pl,
+            slot: pl.transit.ord_head,
+        }
+    }
+
+    /// How many packets are currently in transit on `dir`. `O(1)`.
+    #[must_use]
+    pub fn in_transit_count(&self, dir: Dir) -> usize {
+        self.dirs[dir_index(dir)].transit.live as usize
     }
 
     /// The physical-layer module verdict (`PL^{dir}` or `PL-FIFO^{dir}`)
@@ -636,22 +988,22 @@ impl TraceMonitor {
     /// unconstrained — its conclusions are suppressed, matching the batch
     /// verdict's vacuity). End-of-trace properties (DL1, DL7, DL8) are
     /// never reported online: they can only be judged once the trace is
-    /// complete, and the post-run batch verdict covers them. `O(1)`.
+    /// complete, and the post-run batch verdict covers them. `O(1)` and
+    /// allocation-free — it runs after every simulated action.
     #[must_use]
     pub fn online_violation(&self, full_dl: bool, fifo: bool) -> Option<&Violation> {
-        let mut candidates: Vec<&Violation> = Vec::new();
+        let mut best: Option<&Violation> = None;
         for d in &self.dirs {
             if d.status.error.is_some() || d.pl1.is_some() || d.pl2.is_some() {
                 continue;
             }
-            candidates.extend(d.pl3.iter());
-            candidates.extend(d.pl4.iter());
+            best = earlier(best, d.pl3.as_ref());
+            best = earlier(best, d.pl4.as_ref());
             if fifo {
-                candidates.extend(d.pl5.iter());
+                best = earlier(best, d.pl5.as_ref());
             }
         }
-        candidates.extend(self.online_dl_violation(full_dl));
-        candidates.into_iter().min_by_key(|v| v.at)
+        earlier(best, self.online_dl_violation(full_dl))
     }
 
     /// The earliest *data-link* conclusion-class violation on the observed
@@ -676,13 +1028,11 @@ impl TraceMonitor {
         if !hypotheses_hold {
             return None;
         }
-        let mut candidates: Vec<&Violation> = Vec::new();
-        candidates.extend(self.dl.dl4.iter());
-        candidates.extend(self.dl.dl5.iter());
+        let mut best = earlier(self.dl.dl4.as_ref(), self.dl.dl5.as_ref());
         if full_dl {
-            candidates.extend(self.dl.dl6.iter());
+            best = earlier(best, self.dl.dl6.as_ref());
         }
-        candidates.into_iter().min_by_key(|v| v.at)
+        best
     }
 }
 
@@ -809,6 +1159,9 @@ mod tests {
         ]);
         assert_eq!(mon.in_transit(Dir::TR), vec![p]);
         assert!(mon.in_transit(Dir::RT).is_empty());
+        assert_eq!(mon.in_transit_count(Dir::TR), 1);
+        assert_eq!(mon.in_transit_count(Dir::RT), 0);
+        assert_eq!(mon.in_transit_iter(Dir::TR).collect::<Vec<_>>(), vec![p]);
     }
 
     #[test]
@@ -868,5 +1221,83 @@ mod tests {
         mon.observe(&SendPkt(Dir::TR, pkt(0, 1)));
         assert_eq!(mon.pl_violation(Dir::TR, 5).unwrap().at, Some(4));
         assert!(matches!(mon.pl_verdict(Dir::TR, true), Verdict::Vacuous(_)));
+    }
+
+    #[test]
+    fn transit_free_list_recycles_cancelled_slots() {
+        // A long alternating send/receive stream over one recurring value
+        // keeps exactly one live slot: the arena must stop growing after
+        // the first round trip instead of growing with total sends.
+        let p = pkt(0, 9);
+        let mut mon = TraceMonitor::new();
+        mon.observe(&Wake(Dir::TR));
+        mon.observe(&SendPkt(Dir::TR, p));
+        let bytes_after_first = mon.approx_bytes();
+        for _ in 0..10_000 {
+            mon.observe(&ReceivePkt(Dir::TR, p));
+            mon.observe(&SendPkt(Dir::TR, p));
+        }
+        assert_eq!(mon.in_transit(Dir::TR), vec![p]);
+        assert_eq!(
+            mon.approx_bytes(),
+            bytes_after_first,
+            "recycled transit slots must not grow the arena"
+        );
+    }
+
+    #[test]
+    fn in_transit_order_survives_slot_reuse() {
+        // Interleave cancellations so recycled slots land mid-stream; the
+        // order list must still report pure send order.
+        let (a, b, c) = (pkt(0, 1), pkt(1, 2), pkt(2, 3));
+        let mut mon = TraceMonitor::new();
+        mon.observe(&Wake(Dir::TR));
+        mon.observe(&SendPkt(Dir::TR, a));
+        mon.observe(&SendPkt(Dir::TR, b));
+        mon.observe(&ReceivePkt(Dir::TR, a)); // slot of `a` freed
+        mon.observe(&SendPkt(Dir::TR, c)); // reuses it
+        assert_eq!(mon.in_transit(Dir::TR), vec![b, c]);
+        assert_eq!(mon.in_transit_count(Dir::TR), 2);
+        mon.observe(&ReceivePkt(Dir::TR, b));
+        assert_eq!(mon.in_transit(Dir::TR), vec![c]);
+    }
+
+    #[test]
+    fn chunked_observe_all_equals_per_action_observe() {
+        let p = pkt(0, 1);
+        let trace = [
+            Wake(Dir::TR),
+            Wake(Dir::RT),
+            SendMsg(Msg(1)),
+            SendPkt(Dir::TR, p),
+            ReceivePkt(Dir::TR, p),
+            ReceiveMsg(Msg(1)),
+            SendMsg(Msg(2)),
+            Fail(Dir::TR),
+        ];
+        for split in 0..=trace.len() {
+            let mut chunked = TraceMonitor::new();
+            chunked.observe_all(&trace[..split]);
+            chunked.observe_all(&trace[split..]);
+            let mut stepped = TraceMonitor::new();
+            for a in &trace {
+                stepped.observe(a);
+            }
+            assert_eq!(chunked.actions_observed(), stepped.actions_observed());
+            for weak in [false, true] {
+                for kind in [TraceKind::Prefix, TraceKind::Complete] {
+                    assert_eq!(
+                        chunked.dl_verdict(weak, kind),
+                        stepped.dl_verdict(weak, kind)
+                    );
+                }
+            }
+            for dir in Dir::BOTH {
+                for fifo in [false, true] {
+                    assert_eq!(chunked.pl_verdict(dir, fifo), stepped.pl_verdict(dir, fifo));
+                }
+                assert_eq!(chunked.in_transit(dir), stepped.in_transit(dir));
+            }
+        }
     }
 }

@@ -17,14 +17,16 @@ use dl_obs::Histogram;
 use crate::report::FleetReport;
 use crate::session::{build_session, SessionOutcome};
 use crate::spec::{session_config, FleetSpec};
+use crate::verdicts::VerdictShard;
 
 /// One worker's fold: outcomes for its contiguous id range plus the
-/// commutatively-mergeable histograms.
+/// commutatively-mergeable histograms and verdict shard.
 struct WorkerYield {
     first_id: u64,
     outcomes: Vec<SessionOutcome>,
     steps_hist: Histogram,
     latency_hist: Histogram,
+    verdicts: VerdictShard,
 }
 
 /// Runs the whole fleet described by `spec` and returns its report.
@@ -65,6 +67,7 @@ pub fn run_fleet(spec: &FleetSpec) -> FleetReport {
                     outcomes: Vec::with_capacity((hi - lo) as usize),
                     steps_hist: Histogram::new(),
                     latency_hist: Histogram::new(),
+                    verdicts: VerdictShard::new(),
                 };
                 let mut chunk_lo = lo;
                 while chunk_lo < hi {
@@ -87,11 +90,10 @@ pub fn run_fleet(spec: &FleetSpec) -> FleetReport {
                     }
                     for (cfg, session) in live {
                         debug_assert!(session.is_done());
-                        fold.outcomes.push(session.finish(
-                            &cfg,
-                            &mut fold.steps_hist,
-                            &mut fold.latency_hist,
-                        ));
+                        let outcome =
+                            session.finish(&cfg, &mut fold.steps_hist, &mut fold.latency_hist);
+                        fold.verdicts.record(outcome.id, outcome.violation);
+                        fold.outcomes.push(outcome);
                     }
                     chunk_lo = chunk_hi;
                 }
@@ -108,12 +110,19 @@ pub fn run_fleet(spec: &FleetSpec) -> FleetReport {
     let mut outcomes = Vec::with_capacity(spec.sessions as usize);
     let mut steps_hist = Histogram::new();
     let mut latency_hist = Histogram::new();
+    let mut verdicts = VerdictShard::new();
     for y in yields {
         outcomes.extend(y.outcomes);
         steps_hist.merge(&y.steps_hist);
         latency_hist.merge(&y.latency_hist);
+        verdicts.merge(&y.verdicts);
     }
     debug_assert!(outcomes.windows(2).all(|p| p[0].id < p[1].id));
+    debug_assert_eq!(
+        verdicts,
+        VerdictShard::from_outcomes(&outcomes),
+        "worker verdict shards must merge losslessly"
+    );
 
     FleetReport::from_outcomes(
         spec,
@@ -121,6 +130,7 @@ pub fn run_fleet(spec: &FleetSpec) -> FleetReport {
         outcomes,
         steps_hist,
         latency_hist,
+        verdicts,
         t0.elapsed(),
     )
 }

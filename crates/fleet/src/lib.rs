@@ -31,6 +31,10 @@
 //!   counters and histograms, emitted as a `dl-obs`
 //!   [`RunLedger`](dl_obs::RunLedger) (engine `"fleet"`) gated by
 //!   `bench/baseline.json`.
+//! * [`verdicts`] — [`VerdictShard`]: each session's monitor verdict is
+//!   folded per worker and merged commutatively and losslessly, so the
+//!   fleet's per-property tallies (count + earliest replayable exemplar
+//!   id) are identical at any worker count.
 //!
 //! # Example
 //!
@@ -59,8 +63,10 @@ pub mod engine;
 pub mod report;
 pub mod session;
 pub mod spec;
+pub mod verdicts;
 
 pub use engine::run_fleet;
 pub use report::FleetReport;
 pub use session::{build_session, fleet_policy, FleetSystem, SessionOutcome, ZooSession};
 pub use spec::{session_config, FleetSpec, ProtocolKind, SessionConfig};
+pub use verdicts::{PropertyTally, VerdictShard};

@@ -7,6 +7,7 @@ use dl_obs::{Histogram, RunLedger};
 
 use crate::session::SessionOutcome;
 use crate::spec::FleetSpec;
+use crate::verdicts::{property_slug, VerdictShard};
 
 /// What a whole fleet run produced.
 ///
@@ -33,6 +34,13 @@ pub struct FleetReport {
     pub quiescent_sessions: u64,
     /// Largest per-session resident-footprint estimate seen.
     pub peak_session_bytes: u64,
+    /// Largest per-session monitor footprint seen (0 when the fleet runs
+    /// unmonitored).
+    pub peak_monitor_bytes: u64,
+    /// Merged per-property verdict tallies (see [`VerdictShard`]):
+    /// worker shards merge losslessly, so this equals a sequential fold
+    /// over all sessions at any worker count.
+    pub verdicts: VerdictShard,
     /// Distribution of per-session step counts.
     pub steps_hist: Histogram,
     /// Distribution of per-message delivery latencies (in steps).
@@ -50,6 +58,7 @@ impl FleetReport {
         outcomes: Vec<SessionOutcome>,
         steps_hist: Histogram,
         latency_hist: Histogram,
+        verdicts: VerdictShard,
         elapsed: Duration,
     ) -> Self {
         debug_assert_eq!(outcomes.len() as u64, spec.sessions);
@@ -63,6 +72,8 @@ impl FleetReport {
             violations: 0,
             quiescent_sessions: 0,
             peak_session_bytes: 0,
+            peak_monitor_bytes: 0,
+            verdicts,
             steps_hist,
             latency_hist,
             elapsed,
@@ -75,6 +86,7 @@ impl FleetReport {
             report.violations += u64::from(o.violation.is_some());
             report.quiescent_sessions += u64::from(o.quiescent);
             report.peak_session_bytes = report.peak_session_bytes.max(o.resident_bytes);
+            report.peak_monitor_bytes = report.peak_monitor_bytes.max(o.monitor_bytes);
         }
         report.outcomes = outcomes;
         report
@@ -100,6 +112,13 @@ impl FleetReport {
         ledger.counter("violations", self.violations);
         ledger.counter("quiescent_sessions", self.quiescent_sessions);
         ledger.counter("peak_session_bytes", self.peak_session_bytes);
+        ledger.counter("peak_monitor_bytes", self.peak_monitor_bytes);
+        ledger.counter("clean_sessions", self.verdicts.clean);
+        for tally in self.verdicts.tallies() {
+            let slug = property_slug(tally.property);
+            ledger.counter(&format!("verdict_{slug}_sessions"), tally.sessions);
+            ledger.counter(&format!("verdict_{slug}_exemplar"), tally.exemplar);
+        }
         let secs = self.elapsed.as_secs_f64().max(1e-9);
         ledger.gauge("sessions_per_sec", self.sessions() as f64 / secs);
         ledger.gauge("actions_per_sec", self.actions as f64 / secs);
@@ -132,12 +151,19 @@ impl FleetReport {
             self.violations,
         ));
         out.push_str(&format!(
-            "  peak session bytes {}  steps/session min {} max {} mean {:.1}\n",
+            "  peak session bytes {} (monitor {})  steps/session min {} max {} mean {:.1}\n",
             self.peak_session_bytes,
+            self.peak_monitor_bytes,
             self.steps_hist.min(),
             self.steps_hist.max(),
             self.steps_hist.mean().unwrap_or(0.0),
         ));
+        for tally in self.verdicts.tallies() {
+            out.push_str(&format!(
+                "  verdict {}: {} session(s), exemplar id {}\n",
+                tally.property, tally.sessions, tally.exemplar,
+            ));
+        }
         out
     }
 }

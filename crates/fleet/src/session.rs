@@ -194,6 +194,7 @@ impl ZooSession {
                 msgs_sent: metrics.msgs_sent,
                 msgs_delivered: metrics.msgs_received,
                 resident_bytes: s.resident_bytes(),
+                monitor_bytes: s.monitor_bytes(),
             }
         })
     }
@@ -225,4 +226,7 @@ pub struct SessionOutcome {
     /// Resident-footprint estimate at teardown (see
     /// [`SessionStep::resident_bytes`]).
     pub resident_bytes: u64,
+    /// The online monitor's footprint at teardown (see
+    /// [`SessionStep::monitor_bytes`]); 0 when unmonitored.
+    pub monitor_bytes: u64,
 }

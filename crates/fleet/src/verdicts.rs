@@ -1,0 +1,231 @@
+//! Shard-per-session verdict aggregation.
+//!
+//! Every session runs under its own streaming `TraceMonitor`, so fleet
+//! verdicts start out maximally sharded: one verdict per session. A
+//! [`VerdictShard`] is the commutative fold of any set of those
+//! per-session verdicts — each worker folds the sessions in its id
+//! range, and the engine merges the worker shards into the fleet-wide
+//! one. Because [`VerdictShard::merge`] is commutative and associative
+//! and [`VerdictShard::record`] never discards a property name, an id,
+//! or a count, the merged shard is *lossless*: it equals the shard a
+//! single sequential fold over all sessions would have produced, at any
+//! worker count. The fleet differential suite pins exactly that.
+//!
+//! The shard intentionally stores per-property tallies, not per-session
+//! rows — the fleet already keeps a [`SessionOutcome`] per session, and
+//! the shard's job is the aggregate view: *which* properties failed,
+//! *how many* sessions concluded each, and the *earliest* session id
+//! exhibiting it (the canonical exemplar: smallest id wins under merge
+//! in every order, so it is worker-count-independent and can be replayed
+//! in isolation via `session_config`).
+
+use crate::session::SessionOutcome;
+
+/// Tally for one violated property across some set of sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PropertyTally {
+    /// The violated property name, as concluded by the session monitor
+    /// (e.g. `"DL4"`).
+    pub property: &'static str,
+    /// Sessions in the shard that concluded this property.
+    pub sessions: u64,
+    /// Smallest session id exhibiting the violation — the replayable
+    /// exemplar.
+    pub exemplar: u64,
+}
+
+/// A commutative, lossless fold of per-session monitor verdicts.
+///
+/// The default shard is the identity element of [`merge`]: zero
+/// sessions, no tallies.
+///
+/// [`merge`]: VerdictShard::merge
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerdictShard {
+    /// Sessions folded into this shard.
+    pub sessions: u64,
+    /// Sessions whose monitor concluded no violation.
+    pub clean: u64,
+    /// Per-property tallies, sorted by property name.
+    tallies: Vec<PropertyTally>,
+}
+
+impl VerdictShard {
+    /// An empty shard (the merge identity).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one session's verdict into the shard.
+    pub fn record(&mut self, id: u64, violation: Option<&'static str>) {
+        self.sessions += 1;
+        let Some(property) = violation else {
+            self.clean += 1;
+            return;
+        };
+        match self.tallies.binary_search_by(|t| t.property.cmp(property)) {
+            Ok(i) => {
+                let t = &mut self.tallies[i];
+                t.sessions += 1;
+                t.exemplar = t.exemplar.min(id);
+            }
+            Err(i) => self.tallies.insert(
+                i,
+                PropertyTally {
+                    property,
+                    sessions: 1,
+                    exemplar: id,
+                },
+            ),
+        }
+    }
+
+    /// Folds a whole outcome slice (a worker's id range, typically).
+    #[must_use]
+    pub fn from_outcomes(outcomes: &[SessionOutcome]) -> Self {
+        let mut shard = Self::new();
+        for o in outcomes {
+            shard.record(o.id, o.violation);
+        }
+        shard
+    }
+
+    /// Merges `other` into `self`.
+    ///
+    /// Counts add, exemplars take the minimum, and tallies stay sorted
+    /// by property name, so the operation is commutative, associative,
+    /// and lossless over disjoint session sets.
+    pub fn merge(&mut self, other: &VerdictShard) {
+        self.sessions += other.sessions;
+        self.clean += other.clean;
+        for t in &other.tallies {
+            match self
+                .tallies
+                .binary_search_by(|own| own.property.cmp(t.property))
+            {
+                Ok(i) => {
+                    let own = &mut self.tallies[i];
+                    own.sessions += t.sessions;
+                    own.exemplar = own.exemplar.min(t.exemplar);
+                }
+                Err(i) => self.tallies.insert(i, *t),
+            }
+        }
+    }
+
+    /// Per-property tallies, sorted by property name.
+    #[must_use]
+    pub fn tallies(&self) -> &[PropertyTally] {
+        &self.tallies
+    }
+
+    /// Total sessions with a concluded violation (any property).
+    #[must_use]
+    pub fn violations(&self) -> u64 {
+        self.tallies.iter().map(|t| t.sessions).sum()
+    }
+}
+
+/// Lowercases a property name into a ledger-counter slug: `"DL4"` →
+/// `"dl4"`, non-alphanumerics → `_`.
+#[must_use]
+pub fn property_slug(property: &str) -> String {
+    property
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ProtocolKind;
+
+    fn outcome(id: u64, violation: Option<&'static str>) -> SessionOutcome {
+        SessionOutcome {
+            id,
+            protocol: ProtocolKind::Abp,
+            steps: 1,
+            digest: 0,
+            quiescent: violation.is_none(),
+            crashed: false,
+            violation,
+            msgs_sent: 0,
+            msgs_delivered: 0,
+            resident_bytes: 0,
+            monitor_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn sequential_fold_matches_any_split() {
+        let outcomes: Vec<_> = (0..40)
+            .map(|id| {
+                outcome(
+                    id,
+                    match id % 7 {
+                        0 => Some("DL4"),
+                        3 => Some("DL5"),
+                        5 => Some("PL3 TR"),
+                        _ => None,
+                    },
+                )
+            })
+            .collect();
+        let whole = VerdictShard::from_outcomes(&outcomes);
+        for split in [1usize, 7, 13, 39] {
+            let mut merged = VerdictShard::new();
+            for chunk in outcomes.chunks(split) {
+                merged.merge(&VerdictShard::from_outcomes(chunk));
+            }
+            assert_eq!(merged, whole, "split {split} lost information");
+        }
+        assert_eq!(whole.sessions, 40);
+        assert_eq!(whole.clean + whole.violations(), 40);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_keeps_earliest_exemplar() {
+        let mut a = VerdictShard::new();
+        a.record(9, Some("DL4"));
+        a.record(10, None);
+        let mut b = VerdictShard::new();
+        b.record(2, Some("DL4"));
+        b.record(3, Some("DL6"));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+
+        assert_eq!(ab.tallies().len(), 2);
+        assert_eq!(ab.tallies()[0].property, "DL4");
+        assert_eq!(ab.tallies()[0].sessions, 2);
+        assert_eq!(ab.tallies()[0].exemplar, 2);
+        assert_eq!(ab.tallies()[1].exemplar, 3);
+    }
+
+    #[test]
+    fn empty_shard_is_merge_identity() {
+        let mut shard = VerdictShard::new();
+        shard.record(4, Some("DL5"));
+        let before = shard.clone();
+        shard.merge(&VerdictShard::new());
+        assert_eq!(shard, before);
+    }
+
+    #[test]
+    fn slugs_are_counter_safe() {
+        assert_eq!(property_slug("DL4"), "dl4");
+        assert_eq!(property_slug("PL3 TR"), "pl3_tr");
+        assert_eq!(property_slug("WDL well-formed"), "wdl_well_formed");
+    }
+}

@@ -14,7 +14,9 @@ use dl_channels::FaultyChannel;
 use dl_core::action::{Dir, DlAction};
 use dl_core::protocol::DataLinkProtocol;
 use dl_core::spec::datalink::DlModule;
-use dl_fleet::{fleet_policy, run_fleet, session_config, FleetSpec, ProtocolKind, SessionConfig};
+use dl_fleet::{
+    fleet_policy, run_fleet, session_config, FleetSpec, ProtocolKind, SessionConfig, VerdictShard,
+};
 use dl_sim::{link_system, schedule_digest, Runner};
 
 /// What one independent `Runner::run` left behind, shaped like a fleet
@@ -149,6 +151,38 @@ fn fleet_of_n_is_byte_identical_to_n_independent_runners() {
                 solo.id
             );
         }
+    }
+}
+
+#[test]
+fn verdict_shards_merge_losslessly_at_any_worker_count() {
+    // The per-session monitors are the shards; the fleet's merged
+    // verdict tallies must equal a sequential fold over the independent
+    // oracle — same properties, same counts, same earliest exemplar ids
+    // — no matter how sessions were split across workers.
+    let spec = differential_spec();
+    let mut oracle = VerdictShard::new();
+    for id in 0..spec.sessions {
+        let cfg = session_config(&spec, id);
+        oracle.record(id, run_independent(&cfg, &spec).violation);
+    }
+    assert!(oracle.violations() > 0, "the mix must include violations");
+    assert!(oracle.tallies().iter().all(|t| t.exemplar < spec.sessions));
+
+    for workers in [1, 2, 4] {
+        let report = run_fleet(&FleetSpec {
+            workers,
+            ..spec.clone()
+        });
+        assert_eq!(
+            report.verdicts, oracle,
+            "verdict shard diverged at {workers} workers"
+        );
+        assert_eq!(report.verdicts.violations(), report.violations);
+        assert_eq!(
+            report.verdicts.clean + report.verdicts.violations(),
+            spec.sessions
+        );
     }
 }
 

@@ -17,7 +17,94 @@
 //! independent of thread count.
 
 use std::collections::hash_map::RandomState;
-use std::hash::{BuildHasher, Hash};
+use std::hash::{BuildHasher, Hash, Hasher};
+
+/// A fast, **deterministic** build-hasher for small fixed-width keys:
+/// the multiply-rotate ("fx") scheme. `RandomState` stays the right
+/// default for long-lived interners fed arbitrary input, but per-run
+/// tables keyed on tiny `Copy` action values are probed once per
+/// observed action — there the SipHash setup cost *is* the hot path.
+/// Determinism is a feature for those consumers: identically-fed tables
+/// assign identical ids and layouts regardless of process or shard.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher { hash: 0 }
+    }
+}
+
+/// Hasher half of [`FxBuildHasher`].
+#[derive(Debug, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" and "ab\0" differ.
+            self.add(u64::from_le_bytes(tail) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n.into());
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n.into());
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n.into());
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add(n as u64);
+        self.add((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
 
 /// Dense identifier of an interned state: an index into a
 /// [`StateTable`]'s arena.
@@ -60,9 +147,20 @@ impl<S: Hash + Eq> StateTable<S> {
     }
 }
 
-impl<S: Hash + Eq> Default for StateTable<S> {
+impl<S: Hash + Eq, H: BuildHasher + Default> Default for StateTable<S, H> {
     fn default() -> Self {
-        Self::new()
+        Self::with_hasher(H::default())
+    }
+}
+
+impl<S: Clone, H: Clone> Clone for StateTable<S, H> {
+    fn clone(&self) -> Self {
+        StateTable {
+            states: self.states.clone(),
+            hashes: self.hashes.clone(),
+            table: self.table.clone(),
+            hasher: self.hasher.clone(),
+        }
     }
 }
 
@@ -156,6 +254,23 @@ impl<S: Hash + Eq, H: BuildHasher> StateTable<S, H> {
         other.states.into_iter().map(|s| self.intern(s).0).collect()
     }
 
+    /// Reserves room for at least `additional` more distinct states:
+    /// arena, hash cache, and index grow once, up front. A batched
+    /// ingest hint — without it a large slice of fresh states pays a
+    /// rehash storm of doubling re-insertions mid-stream.
+    pub fn reserve(&mut self, additional: usize) {
+        self.states.reserve(additional);
+        self.hashes.reserve(additional);
+        let needed = self.states.len() + additional;
+        if (needed + 1) * 8 > self.table.len() * 7 {
+            let mut cap = self.table.len().max(16);
+            while (needed + 1) * 8 > cap * 7 {
+                cap *= 2;
+            }
+            self.grow_to(cap);
+        }
+    }
+
     /// Resident bytes of the interner itself: arena slots, cached hashes,
     /// and index slots. Heap data owned *by* the states (queues, buffers)
     /// is not traversed, so this is a lower bound on total footprint.
@@ -212,7 +327,10 @@ impl<S: Hash + Eq, H: BuildHasher> StateTable<S, H> {
     }
 
     fn grow(&mut self) {
-        let cap = (self.table.len() * 2).max(16);
+        self.grow_to((self.table.len() * 2).max(16));
+    }
+
+    fn grow_to(&mut self, cap: usize) {
         self.table.clear();
         self.table.resize(cap, EMPTY);
         for (idx, &hash) in self.hashes.iter().enumerate() {
@@ -444,5 +562,64 @@ mod tests {
     #[should_panic(expected = "repeat_last on an empty sequence")]
     fn repeat_last_panics_on_empty() {
         InternedSeq::<u8>::new().repeat_last();
+    }
+
+    #[test]
+    fn fx_hasher_is_deterministic_and_spreads() {
+        let h = FxBuildHasher;
+        assert_eq!(h.hash_one(42u64), h.hash_one(42u64));
+        assert_ne!(h.hash_one(42u64), h.hash_one(43u64));
+        // Byte-slice path: length is folded in, so a zero-padded tail
+        // does not collide with its extension.
+        assert_ne!(h.hash_one([0xabu8, 0xcd]), h.hash_one([0xabu8, 0xcd, 0x00]));
+        // Two processes (two builder values) agree — the determinism
+        // that makes fx-backed tables shard- and replay-stable.
+        assert_eq!(FxBuildHasher.hash_one(7u32), FxBuildHasher.hash_one(7u32));
+    }
+
+    #[test]
+    fn fx_backed_table_assigns_stable_dense_ids() {
+        let mut a: StateTable<u64, FxBuildHasher> = StateTable::default();
+        let mut b: StateTable<u64, FxBuildHasher> = StateTable::default();
+        for n in 0..1000u64 {
+            assert_eq!(a.intern(n * 17), b.intern(n * 17));
+        }
+        assert_eq!(a.len(), 1000);
+        assert!((0..1000u64).all(|n| a.lookup(&(n * 17)) == b.lookup(&(n * 17))));
+    }
+
+    #[test]
+    fn cloned_table_is_independent() {
+        let mut t: StateTable<u64, FxBuildHasher> = StateTable::default();
+        let (id, _) = t.intern(5);
+        let mut c = t.clone();
+        let (id2, fresh) = c.intern(5);
+        assert_eq!(id, id2);
+        assert!(!fresh);
+        c.intern(6);
+        assert_eq!(c.len(), 2);
+        assert_eq!(t.len(), 1, "clone growth must not touch the original");
+        assert_eq!(t.lookup(&6), None);
+    }
+
+    #[test]
+    fn reserve_presizes_without_changing_ids() {
+        let mut plain: StateTable<u64, FxBuildHasher> = StateTable::default();
+        let mut reserved: StateTable<u64, FxBuildHasher> = StateTable::default();
+        reserved.reserve(10_000);
+        let bytes_before = reserved.approx_bytes();
+        for n in 0..10_000u64 {
+            assert_eq!(plain.intern(n).0, reserved.intern(n).0);
+        }
+        assert_eq!(
+            reserved.approx_bytes(),
+            bytes_before,
+            "a fully reserved table must not reallocate during ingest"
+        );
+        // Reserving on a non-empty table keeps existing ids valid.
+        let mut t: StateTable<u64, FxBuildHasher> = StateTable::default();
+        let (early, _) = t.intern(1);
+        t.reserve(5000);
+        assert_eq!(t.lookup(&1), Some(early));
     }
 }

@@ -38,7 +38,14 @@ use crate::metrics::{Histogram, HistogramSnapshot};
 pub const SCHEMA_VERSION: u64 = 1;
 
 /// The engines a ledger may come from.
-pub const ENGINES: &[&str] = &["explore", "sim", "fuzz", "impossibility", "fleet"];
+pub const ENGINES: &[&str] = &[
+    "explore",
+    "sim",
+    "fuzz",
+    "impossibility",
+    "fleet",
+    "monitor",
+];
 
 /// Metrics of one engine run, keyed for serialization.
 #[derive(Debug, Clone, Default, PartialEq)]

@@ -858,9 +858,10 @@ where
     /// An estimate of this session's resident footprint in bytes: the
     /// struct itself plus every reachable heap buffer (scratch
     /// capacities, script steps, metrics queues, decision log). The
-    /// monitor's internal maps are not reachable from here and are not
-    /// counted — treat the figure as a documented lower bound, good for
-    /// relative fleet accounting rather than absolute RSS.
+    /// conformance monitor's tables are accounted separately by
+    /// [`SessionStep::monitor_bytes`] — they scale with the *observed
+    /// trace's* value population, not with the session core, and the
+    /// fleet reports the two peaks independently.
     #[must_use]
     pub fn resident_bytes(&self) -> u64 {
         use std::mem::size_of;
@@ -877,6 +878,19 @@ where
             Trace::Tail { .. } => 0,
         };
         (size_of::<Self>() + scratch + script + metrics + decisions + trace) as u64
+    }
+
+    /// The online conformance monitor's estimated footprint in bytes
+    /// ([`TraceMonitor::approx_bytes`]): interned value tables, SoA
+    /// per-value columns, and the transit slot arena. 0 when the session
+    /// runs unmonitored. Distinct-value tables grow with the observed
+    /// trace (PL2 obliges the monitor to remember every sent value);
+    /// the transit arena is bounded by *peak live* in-transit packets.
+    #[must_use]
+    pub fn monitor_bytes(&self) -> u64 {
+        self.online
+            .as_ref()
+            .map_or(0, |o| o.monitor.approx_bytes() as u64)
     }
 
     /// Tears a *recording* session down into its runner and the standard

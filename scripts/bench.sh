@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Performance harness: ledger-emitting release runs of the headline
-# experiments (E9 explore, E11 sim, E12 fuzz, E13 fleet, both
-# impossibility constructions), written to BENCH_<date>.json and gated
-# against the committed bench/baseline.json.
+# experiments (E9 explore, E11 sim, E12 fuzz, E13 fleet, the 10⁷-action
+# session-sharded monitor ingest, both impossibility constructions),
+# written to BENCH_<date>.json and gated against the committed
+# bench/baseline.json.
 #
 #   scripts/bench.sh                  run workloads, write BENCH_<date>.json
 #   scripts/bench.sh --gate           ...and fail on regression vs baseline

@@ -11,7 +11,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-STAGES=(toolchain fmt clippy test obs scaling fuzz-smoke fleet-smoke alloc differential bench-smoke)
+STAGES=(toolchain fmt clippy test obs scaling monitor-smoke fuzz-smoke fleet-smoke alloc differential bench-smoke)
 
 stage_toolchain() {
   # The container pins the toolchain by version, not by channel file
@@ -57,6 +57,16 @@ stage_scaling() {
   # 10^5-action trace through the streaming checkers, release; must stay
   # well under 1 s.
   cargo test --release -q -p dl-core --test monitor_props scaling_smoke
+}
+
+stage_monitor_smoke() {
+  # Batched monitor ingest at line rate, release: session-sharded 2·10⁶
+  # action stream holds a loose actions/sec floor (the tight floor lives
+  # in bench/baseline.json), plus the monitor's own alloc ceiling —
+  # steady-state ingestion allocates nothing and the footprint tracks
+  # peak live transit, not total sends.
+  cargo test --release -q -p dl-bench --test monitor_smoke
+  cargo test -q -p dl-fuzz --test monitor_alloc_ceiling
 }
 
 stage_fuzz_smoke() {
