@@ -2,7 +2,8 @@
 //!
 //! One function per workload — E9 (exhaustive ABP model check), E11
 //! (monitored simulation run), E12 (fuzz rediscovery), E13 (fleet
-//! traffic engine), and the two impossibility constructions — each
+//! traffic engine), E14 (self-stabilization from corrupted
+//! configurations), and the two impossibility constructions — each
 //! returning a [`RunLedger`] whose
 //! **counters** are pure functions of the run configuration (the ledger
 //! round-trip tests compare them exactly across re-runs) and whose
@@ -228,6 +229,70 @@ pub fn fleet_e13(workers: usize, sleep_micros: u64) -> RunLedger {
     ledger
 }
 
+/// E14: the self-stabilization workload — 600 stabilizing-only sessions,
+/// every one from a densely corrupted initial configuration (skewed
+/// station counters, ghost packets in both non-FIFO channels), judged in
+/// suffix mode with the corruption-budget liveness oracle.
+///
+/// Counters are worker-count-independent by the fleet's determinism
+/// contract. The headline pair is `converged_sessions` (must equal
+/// `sessions`: arXiv 1011.3632's possibility result, made operational)
+/// and `convergence_actions_total` (aggregate stabilization time).
+///
+/// # Panics
+///
+/// Panics if any corrupted configuration fails to converge within the
+/// step bound — a bench must not silently measure a broken protocol.
+#[must_use]
+pub fn stabilize_converge(workers: usize, sleep_micros: u64) -> RunLedger {
+    let spec = dl_fleet::FleetSpec {
+        seed: 14,
+        sessions: 600,
+        protocols: vec![dl_fleet::ProtocolKind::Stabilizing],
+        corruption_per256: 255,
+        workers,
+        ..dl_fleet::FleetSpec::default()
+    };
+    let t0 = Instant::now();
+    let report = dl_fleet::run_fleet(&spec);
+    stall(sleep_micros);
+    let elapsed = t0.elapsed();
+    assert_eq!(report.sessions(), 600, "E14: sessions went missing");
+    assert_eq!(
+        report.verdicts.converged,
+        600,
+        "E14: a corrupted configuration failed to converge: {:?}",
+        report
+            .outcomes
+            .iter()
+            .filter(|o| o.convergence.is_none())
+            .take(3)
+            .collect::<Vec<_>>()
+    );
+
+    let mut ledger = RunLedger::new("stabilize", "converge");
+    ledger.counter("sessions", report.sessions());
+    ledger.counter("actions", report.actions);
+    ledger.counter("msgs_sent", report.msgs_sent);
+    ledger.counter("msgs_delivered", report.msgs_delivered);
+    ledger.counter("converged_sessions", report.verdicts.converged);
+    ledger.counter(
+        "convergence_actions_total",
+        report.verdicts.convergence_actions_total,
+    );
+    ledger.counter(
+        "convergence_actions_max",
+        report.verdicts.convergence_actions_max,
+    );
+    ledger.counter("violations", report.violations);
+    ledger.counter("peak_session_bytes", report.peak_session_bytes);
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    ledger.gauge("sessions_per_sec", report.sessions() as f64 / secs);
+    ledger.gauge("actions_per_sec", report.actions as f64 / secs);
+    ledger.gauge("duration_micros", elapsed.as_secs_f64() * 1e6);
+    ledger
+}
+
 /// Deterministic traffic source for the monitor-ingest workload: a
 /// splitmix-driven stream of plausible link traffic (packet sends with
 /// matching in-order receives, message sends/deliveries, working-interval
@@ -432,7 +497,7 @@ pub fn monitor_ingest_n(actions: usize, sleep_micros: u64) -> RunLedger {
             Verdict::Violated(v) => Some(v.property),
             _ => None,
         };
-        shard.record(session as u64, violation);
+        shard.record(session as u64, violation, None);
         total_actions += mon.actions_observed() as u64;
         in_transit += (mon.in_transit_count(Dir::TR) + mon.in_transit_count(Dir::RT)) as u64;
         peak_bytes = peak_bytes.max(mon.approx_bytes() as u64);
@@ -530,6 +595,7 @@ pub fn all_runs(threads: usize, sleep_micros: u64) -> BenchFile {
             monitor_ingest(sleep_micros),
             fuzz_e12(sleep_micros),
             fleet_e13(threads, sleep_micros),
+            stabilize_converge(threads, sleep_micros),
             impossibility_crash(sleep_micros),
             impossibility_header(sleep_micros),
         ],

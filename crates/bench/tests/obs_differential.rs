@@ -85,6 +85,44 @@ fn fleet_counters_are_pinned_across_feature_configs() {
     assert_eq!(latency.sum, 19369);
 }
 
+/// The stabilization workload's new ledger fields: convergence counters
+/// are a pure function of the spec in either feature configuration —
+/// and they appear *only* when stabilizing sessions ran, so the classic
+/// fleet ledger above keeps its exact counter set.
+#[test]
+fn stabilize_convergence_counters_are_pinned_across_feature_configs() {
+    let spec = dl_fleet::FleetSpec {
+        seed: 14,
+        sessions: 60,
+        protocols: vec![dl_fleet::ProtocolKind::Stabilizing],
+        corruption_per256: 255,
+        workers: 2,
+        ..dl_fleet::FleetSpec::default()
+    };
+    let report = dl_fleet::run_fleet(&spec);
+    let ledger = report.to_ledger("pin");
+    assert_eq!(ledger.counters["sessions"], 60);
+    assert_eq!(ledger.counters["converged_sessions"], 60);
+    assert_eq!(ledger.counters["convergence_actions_total"], 89);
+    assert_eq!(ledger.counters["convergence_actions_max"], 5);
+    assert_eq!(ledger.counters["violations"], 0);
+
+    // The classic mix never grows the new counters (the pinned fleet
+    // ledger above and `bench/baseline.json` rely on this).
+    let classic = dl_fleet::run_fleet(&dl_fleet::FleetSpec {
+        sessions: 18,
+        ..dl_fleet::FleetSpec::default()
+    });
+    let classic_ledger = classic.to_ledger("pin");
+    assert!(!classic_ledger.counters.contains_key("converged_sessions"));
+    assert!(!classic_ledger
+        .counters
+        .contains_key("convergence_actions_total"));
+    assert!(!classic_ledger
+        .counters
+        .contains_key("convergence_actions_max"));
+}
+
 /// The fuzz campaign: executions, coverage, and the shrunk witness are a
 /// pure function of the config in either configuration.
 #[test]

@@ -12,7 +12,11 @@
 //!   end-to-end;
 //! * [`faulty`] — a single channel parameterized by a [`FaultSpec`] knob
 //!   block (loss/dup/reorder rates, burst windows) whose per-send fault
-//!   decisions are pure hashes, making fuzzer runs replayable.
+//!   decisions are pure hashes, making fuzzer runs replayable;
+//! * [`corrupt`] — the corrupted-initial-configuration fault class: a
+//!   bounded-capacity, non-FIFO, never-duplicating channel that may start
+//!   holding arbitrary ghost packets ([`CorruptSpec`]), the adversarial
+//!   medium of the self-stabilizing protocol.
 //!
 //! Both families solve the `PL` specification of `dl-core` (and the FIFO
 //! variants solve `PL-FIFO`); this is checked by unit and property tests
@@ -22,11 +26,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corrupt;
 pub mod delivery_set;
 pub mod faulty;
 pub mod permissive;
 pub mod simulated;
 
+pub use corrupt::{CorruptChannel, CorruptSpec};
 pub use delivery_set::{DeliverySet, DeliverySetError};
 pub use faulty::{FaultSpec, FaultyChannel};
 pub use permissive::{ChannelState, PermissiveChannel, SurgeryError};

@@ -1,0 +1,164 @@
+//! Property tests for [`FaultSpec::derive`]'s domain-separation
+//! contract — the one sanctioned fan-out from a fleet seed into
+//! per-session, per-direction fault streams.
+//!
+//! `dl-fleet` derives session `id`'s two channel specs as
+//! `base.derive(fleet_seed, 2·id)` (t→r) and `base.derive(fleet_seed,
+//! 2·id + 1)` (r→t). The whole replayability story rests on that map
+//! being (a) stable, (b) knob-preserving, and (c) decorrelating: any two
+//! distinct `(salt, session_id, direction)` triples must land on
+//! different derived salts, and therefore on statistically independent
+//! per-send fate streams. These properties pin all three over random
+//! triples, not just the fleet's particular call pattern.
+
+use proptest::prelude::*;
+
+use dl_channels::{CorruptSpec, FaultSpec};
+use dl_core::action::Dir;
+
+/// The fleet's encoding of a `(session, direction)` pair into the
+/// `session_id` argument of [`FaultSpec::derive`].
+fn lane(session: u64, dir: Dir) -> u64 {
+    match dir {
+        Dir::TR => 2 * session,
+        Dir::RT => 2 * session + 1,
+    }
+}
+
+/// Sorts and deduplicates a sampled vector (the vendored proptest has no
+/// hash-set strategy; distinctness is what the properties need).
+fn dedup(mut v: Vec<u64>) -> Vec<u64> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn base_spec() -> impl Strategy<Value = FaultSpec> {
+    (any::<u8>(), any::<u8>(), 0u8..4, any::<u64>()).prop_map(|(loss, dup, reorder, salt)| {
+        FaultSpec {
+            loss,
+            dup,
+            reorder,
+            salt,
+            ..FaultSpec::none()
+        }
+    })
+}
+
+proptest! {
+    /// Deriving is a pure function: same `(base, salt, session_id)` in,
+    /// byte-identical spec out — and every knob except the salt is
+    /// carried through untouched.
+    #[test]
+    fn derive_is_stable_and_knob_preserving(
+        base in base_spec(),
+        salt in any::<u64>(),
+        session in 0u64..1 << 48,
+    ) {
+        for dir in [Dir::TR, Dir::RT] {
+            let a = base.derive(salt, lane(session, dir));
+            let b = base.derive(salt, lane(session, dir));
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(a.loss, base.loss);
+            prop_assert_eq!(a.dup, base.dup);
+            prop_assert_eq!(a.reorder, base.reorder);
+            prop_assert_eq!(a.burst_good, base.burst_good);
+            prop_assert_eq!(a.burst_bad, base.burst_bad);
+        }
+    }
+
+    /// Domain separation proper: distinct `(salt, session_id, direction)`
+    /// triples never collide on the derived salt. (The mix is a 64-bit
+    /// avalanche, so a collision in a few hundred random triples would be
+    /// astronomically unlikely for a correct mix and near-certain for a
+    /// broken one — e.g. one that dropped `session_id` or xor-folded the
+    /// two salts symmetrically.)
+    #[test]
+    fn distinct_triples_decorrelate(
+        base in base_spec(),
+        salts in prop::collection::vec(any::<u64>(), 2..6),
+        sessions in prop::collection::vec(0u64..1 << 40, 2..8),
+    ) {
+        let (salts, sessions) = (dedup(salts), dedup(sessions));
+        let mut derived = Vec::new();
+        for &salt in &salts {
+            for &session in &sessions {
+                for dir in [Dir::TR, Dir::RT] {
+                    derived.push(((salt, session, dir), base.derive(salt, lane(session, dir)).salt));
+                }
+            }
+        }
+        for (i, (ta, a)) in derived.iter().enumerate() {
+            for (tb, b) in &derived[i + 1..] {
+                prop_assert_ne!(a, b, "salt collision between {:?} and {:?}", ta, tb);
+            }
+        }
+    }
+
+    /// The two directions of one session differ in their *fate streams*,
+    /// not just the salt: with loss pinned mid-range the per-send drop
+    /// decisions of the t→r and r→t lanes disagree somewhere in a short
+    /// window. (A derivation that decorrelated salts but fed the fates
+    /// from the session id alone would fail this.)
+    #[test]
+    fn direction_lanes_have_independent_fates(
+        salt in any::<u64>(),
+        session in 0u64..1 << 40,
+    ) {
+        let base = FaultSpec { loss: 128, ..FaultSpec::none() };
+        let tr = base.derive(salt, lane(session, Dir::TR));
+        let rt = base.derive(salt, lane(session, Dir::RT));
+        let disagree = (0..256u64).any(|n| tr.fate(n) != rt.fate(n));
+        prop_assert!(disagree, "t→r and r→t fate streams are identical");
+    }
+
+    /// The base spec's own salt stays in the mix: two template specs that
+    /// differ only by salt remain decorrelated after derivation with the
+    /// same `(salt, session_id)`.
+    #[test]
+    fn base_salt_participates(
+        salt_a in any::<u64>(),
+        salt_b in any::<u64>(),
+        fleet in any::<u64>(),
+        session in 0u64..1 << 40,
+    ) {
+        // No prop_assume in the vendored proptest; skew unequal instead.
+        let salt_b = if salt_a == salt_b { salt_b.wrapping_add(1) } else { salt_b };
+        let a = FaultSpec { salt: salt_a, ..FaultSpec::none() };
+        let b = FaultSpec { salt: salt_b, ..FaultSpec::none() };
+        for dir in [Dir::TR, Dir::RT] {
+            prop_assert_ne!(
+                a.derive(fleet, lane(session, dir)).salt,
+                b.derive(fleet, lane(session, dir)).salt
+            );
+        }
+    }
+
+    /// [`CorruptSpec::derive`] honors the same fan-out contract (it is
+    /// documented as sharing `FaultSpec::derive`'s): stable, knob-
+    /// preserving, and decorrelating across sessions and directions.
+    #[test]
+    fn corrupt_spec_derivation_matches_the_contract(
+        seed in any::<u64>(),
+        fleet in any::<u64>(),
+        sessions in prop::collection::vec(0u64..1 << 40, 2..6),
+    ) {
+        let sessions = dedup(sessions);
+        let base = CorruptSpec { capacity: 3, ghosts: 2, loss: 16, seed };
+        let mut seen = Vec::new();
+        for &session in &sessions {
+            for dir in [Dir::TR, Dir::RT] {
+                let d = base.derive(fleet, lane(session, dir));
+                prop_assert_eq!(d, base.derive(fleet, lane(session, dir)));
+                prop_assert_eq!(d.capacity, base.capacity);
+                prop_assert_eq!(d.ghosts, base.ghosts);
+                prop_assert_eq!(d.loss, base.loss);
+                seen.push(d.seed);
+            }
+        }
+        seen.sort_unstable();
+        let len = seen.len();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), len, "derived corruption seeds collided");
+    }
+}

@@ -11,11 +11,15 @@
 //! * [`reference`] — the frozen quadratic reference checkers, kept as the
 //!   oracle for differential tests and the `checker_scaling` bench;
 //! * [`liveness`] — patience monitors, the prefix surrogates of the
-//!   liveness properties PL6 and DL8.
+//!   liveness properties PL6 and DL8;
+//! * [`stabilize`] — suffix-mode conformance ([`stabilize::SuffixMonitor`]):
+//!   DL verdicts measured from the convergence point, for self-stabilizing
+//!   protocols whose correctness is eventual.
 
 pub mod datalink;
 pub mod liveness;
 pub mod monitor;
 pub mod physical;
 pub mod reference;
+pub mod stabilize;
 pub mod wellformed;

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! fleet_run [--sessions N] [--seed S] [--protocols a,b,c] [--msgs N]
-//!           [--crash-per256 N] [--loss N] [--dup N] [--reorder N]
+//!           [--crash-per256 N] [--corrupt-per256 N]
+//!           [--loss N] [--dup N] [--reorder N]
 //!           [--workers N] [--max-steps N] [--chunk N] [--batch N]
 //!           [--no-monitor] [--run-id ID] [--ledger PATH]
 //! ```
@@ -17,11 +18,12 @@ use dl_fleet::{run_fleet, FleetSpec, ProtocolKind};
 
 fn usage() -> &'static str {
     "usage: fleet_run [--sessions N] [--seed S] [--protocols a,b,c] [--msgs N]\n\
-     \t[--crash-per256 N] [--loss N] [--dup N] [--reorder N]\n\
+     \t[--crash-per256 N] [--corrupt-per256 N] [--loss N] [--dup N] [--reorder N]\n\
      \t[--workers N] [--max-steps N] [--chunk N] [--batch N]\n\
      \t[--no-monitor] [--run-id ID] [--ledger PATH]\n\
      protocols: abp go-back-2 go-back-8 selective-repeat-4 fragmenting\n\
-     \tparity stenning nonvolatile quirky (default: the full zoo)"
+     \tparity stenning nonvolatile quirky stabilizing\n\
+     \t(default: the classic nine; stabilizing is opt-in)"
 }
 
 fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, String> {
@@ -44,6 +46,7 @@ fn parse_spec(
             "--seed" => spec.seed = parse(&flag, args.next())?,
             "--msgs" => spec.msgs_per_session = parse(&flag, args.next())?,
             "--crash-per256" => spec.crash_per256 = parse(&flag, args.next())?,
+            "--corrupt-per256" => spec.corruption_per256 = parse(&flag, args.next())?,
             "--loss" => spec.faults.loss = parse(&flag, args.next())?,
             "--dup" => spec.faults.dup = parse(&flag, args.next())?,
             "--reorder" => spec.faults.reorder = parse(&flag, args.next())?,
@@ -59,8 +62,16 @@ fn parse_spec(
                 spec.protocols = list
                     .split(',')
                     .map(|name| {
-                        ProtocolKind::from_name(name.trim())
-                            .ok_or_else(|| format!("unknown protocol {name:?}"))
+                        let name = name.trim();
+                        if name.is_empty() {
+                            return Err(format!(
+                                "--protocols: empty entry in {list:?} \
+                                 (write a comma-separated list like \"abp,stabilizing\")"
+                            ));
+                        }
+                        ProtocolKind::from_name(name).ok_or_else(|| {
+                            format!("--protocols: unknown protocol {name:?}\n{}", usage())
+                        })
                     })
                     .collect::<Result<Vec<_>, _>>()?;
                 if spec.protocols.is_empty() {
@@ -71,7 +82,34 @@ fn parse_spec(
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
+    validate(&spec)?;
     Ok((spec, run_id, ledger_path))
+}
+
+/// Rejects specs that would run nothing or hang the engine, before any
+/// thread is spawned: a zero-session fleet, zero workers, and degenerate
+/// pacing or step budgets all get a clear message instead of a silent
+/// no-op run.
+fn validate(spec: &FleetSpec) -> Result<(), String> {
+    if spec.sessions == 0 {
+        return Err("--sessions must be at least 1 (a zero-session fleet runs nothing)".into());
+    }
+    if spec.workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    if spec.msgs_per_session == 0 {
+        return Err("--msgs must be at least 1 (sessions need traffic to judge)".into());
+    }
+    if spec.max_steps == 0 {
+        return Err("--max-steps must be at least 1".into());
+    }
+    if spec.chunk == 0 {
+        return Err("--chunk must be at least 1".into());
+    }
+    if spec.batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -94,4 +132,74 @@ fn main() -> ExitCode {
         println!("ledger written to {path}");
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(args: &[&str]) -> Result<(FleetSpec, String, Option<String>), String> {
+        parse_spec(args.iter().map(|s| (*s).to_string()))
+    }
+
+    #[test]
+    fn default_flags_parse_to_the_default_spec() {
+        let (spec, run_id, ledger) = parsed(&[]).unwrap();
+        assert_eq!(spec, FleetSpec::default());
+        assert_eq!(run_id, "cli");
+        assert_eq!(ledger, None);
+    }
+
+    #[test]
+    fn zero_workers_are_rejected_with_a_clear_error() {
+        let err = parsed(&["--workers", "0"]).unwrap_err();
+        assert!(err.contains("--workers"), "unclear error: {err}");
+        assert!(err.contains("at least 1"), "unclear error: {err}");
+    }
+
+    #[test]
+    fn zero_session_fleets_are_rejected() {
+        let err = parsed(&["--sessions", "0"]).unwrap_err();
+        assert!(err.contains("--sessions"), "unclear error: {err}");
+        assert!(err.contains("zero-session"), "unclear error: {err}");
+    }
+
+    #[test]
+    fn degenerate_pacing_and_budgets_are_rejected() {
+        for flag in ["--msgs", "--max-steps", "--chunk", "--batch"] {
+            let err = parsed(&[flag, "0"]).unwrap_err();
+            assert!(err.contains(flag), "unclear error for {flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn malformed_protocol_mixes_are_rejected() {
+        let err = parsed(&["--protocols", "abp,no-such"]).unwrap_err();
+        assert!(err.contains("no-such"), "unclear error: {err}");
+        assert!(err.contains("usage:"), "error should carry usage: {err}");
+        // Empty entries (trailing comma, double comma) name the problem
+        // instead of reporting an unknown protocol "".
+        let err = parsed(&["--protocols", "abp,,quirky"]).unwrap_err();
+        assert!(err.contains("empty entry"), "unclear error: {err}");
+        let err = parsed(&["--protocols", ""]).unwrap_err();
+        assert!(err.contains("empty entry"), "unclear error: {err}");
+    }
+
+    #[test]
+    fn the_stabilizing_protocol_is_selectable() {
+        let (spec, ..) =
+            parsed(&["--protocols", "stabilizing,abp", "--corrupt-per256", "255"]).unwrap();
+        assert_eq!(
+            spec.protocols,
+            vec![ProtocolKind::Stabilizing, ProtocolKind::Abp]
+        );
+        assert_eq!(spec.corruption_per256, 255);
+    }
+
+    #[test]
+    fn unknown_flags_point_at_usage() {
+        let err = parsed(&["--bogus"]).unwrap_err();
+        assert!(err.contains("--bogus"));
+        assert!(err.contains("usage:"));
+    }
 }

@@ -92,7 +92,8 @@ pub fn run_fleet(spec: &FleetSpec) -> FleetReport {
                         debug_assert!(session.is_done());
                         let outcome =
                             session.finish(&cfg, &mut fold.steps_hist, &mut fold.latency_hist);
-                        fold.verdicts.record(outcome.id, outcome.violation);
+                        fold.verdicts
+                            .record(outcome.id, outcome.violation, outcome.convergence);
                         fold.outcomes.push(outcome);
                     }
                     chunk_lo = chunk_hi;

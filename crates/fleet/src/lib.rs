@@ -67,6 +67,8 @@ pub mod verdicts;
 
 pub use engine::run_fleet;
 pub use report::FleetReport;
-pub use session::{build_session, fleet_policy, FleetSystem, SessionOutcome, ZooSession};
-pub use spec::{session_config, FleetSpec, ProtocolKind, SessionConfig};
+pub use session::{
+    build_session, fleet_policy, FleetSystem, SessionOutcome, StabilizeSystem, ZooSession,
+};
+pub use spec::{session_config, CorruptionSpec, FleetSpec, ProtocolKind, SessionConfig};
 pub use verdicts::{PropertyTally, VerdictShard};

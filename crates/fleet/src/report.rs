@@ -114,6 +114,23 @@ impl FleetReport {
         ledger.counter("peak_session_bytes", self.peak_session_bytes);
         ledger.counter("peak_monitor_bytes", self.peak_monitor_bytes);
         ledger.counter("clean_sessions", self.verdicts.clean);
+        // Convergence counters exist only when stabilizing sessions ran,
+        // so pinned classic-fleet ledgers keep their exact counter set.
+        if self
+            .outcomes
+            .iter()
+            .any(|o| o.protocol == crate::spec::ProtocolKind::Stabilizing)
+        {
+            ledger.counter("converged_sessions", self.verdicts.converged);
+            ledger.counter(
+                "convergence_actions_total",
+                self.verdicts.convergence_actions_total,
+            );
+            ledger.counter(
+                "convergence_actions_max",
+                self.verdicts.convergence_actions_max,
+            );
+        }
         for tally in self.verdicts.tallies() {
             let slug = property_slug(tally.property);
             ledger.counter(&format!("verdict_{slug}_sessions"), tally.sessions);
@@ -158,6 +175,14 @@ impl FleetReport {
             self.steps_hist.max(),
             self.steps_hist.mean().unwrap_or(0.0),
         ));
+        if self.verdicts.converged > 0 {
+            out.push_str(&format!(
+                "  converged {} session(s)  stabilization actions mean {:.1} max {}\n",
+                self.verdicts.converged,
+                self.verdicts.convergence_actions_total as f64 / self.verdicts.converged as f64,
+                self.verdicts.convergence_actions_max,
+            ));
+        }
         for tally in self.verdicts.tallies() {
             out.push_str(&format!(
                 "  verdict {}: {} session(s), exemplar id {}\n",

@@ -9,6 +9,10 @@
 //! [`SessionStep`], built **lean** so no execution trace is retained.
 //! A session's resident cost is therefore a few hundred bytes
 //! (see [`SessionOutcome::resident_bytes`]) no matter how long it runs.
+//! The one exception is the stabilizing variant, which records its trace
+//! (suffix-mode judgment needs the whole behavior) and therefore pays
+//! trace-proportional memory — the corrupted-start fault class buys its
+//! eventual-correctness verdicts with that footprint.
 //!
 //! Monitoring posture mirrors `dl-fuzz`: `monitor_pl = false` (the
 //! duplication fault knob violates PL3 *by design*), `full_dl = false`,
@@ -19,9 +23,10 @@
 
 use ioa::schedule_module::{TraceKind, Verdict};
 
-use dl_channels::FaultyChannel;
+use dl_channels::{CorruptChannel, FaultyChannel};
 use dl_core::action::{Dir, DlAction};
 use dl_core::protocol::DataLinkProtocol;
+use dl_core::spec::stabilize::SuffixMonitor;
 use dl_obs::Histogram;
 use dl_sim::{link_system, ConformancePolicy, LinkSystem, Runner, SessionStep};
 use ioa::automaton::Automaton;
@@ -30,6 +35,15 @@ use crate::spec::{FleetSpec, ProtocolKind, SessionConfig};
 
 /// The composed per-session system: `hide_Φ(protocol ∥ FaultyChannel²)`.
 pub type FleetSystem<T, R> = LinkSystem<T, R, FaultyChannel, FaultyChannel>;
+
+/// The stabilizing session's system: the self-stabilizing protocol over
+/// bounded-capacity, non-FIFO, possibly ghost-loaded [`CorruptChannel`]s.
+pub type StabilizeSystem = LinkSystem<
+    dl_protocols::StabTransmitter,
+    dl_protocols::StabReceiver,
+    CorruptChannel,
+    CorruptChannel,
+>;
 
 type Step<T, R> = SessionStep<FleetSystem<T, R>>;
 
@@ -52,6 +66,11 @@ pub enum ZooSession {
     Nonvolatile(Step<dl_protocols::NvTransmitter, dl_protocols::NvReceiver>),
     /// The deliberately message-dependent negative control.
     Quirky(Step<dl_protocols::QuirkyTransmitter, dl_protocols::QuirkyReceiver>),
+    /// The self-stabilizing protocol, possibly from a corrupted initial
+    /// configuration. Unlike every other variant this one *records* its
+    /// trace (no online monitor — a corrupted start is supposed to
+    /// misbehave for a prefix) and is judged in suffix mode at teardown.
+    Stabilizing(SessionStep<StabilizeSystem>),
 }
 
 /// Runs `$body` with `$s` bound to the inner [`SessionStep`], whatever
@@ -67,6 +86,7 @@ macro_rules! with_session {
             ZooSession::Stenning($s) => $body,
             ZooSession::Nonvolatile($s) => $body,
             ZooSession::Quirky($s) => $body,
+            ZooSession::Stabilizing($s) => $body,
         }
     };
 }
@@ -140,6 +160,27 @@ pub fn build_session(cfg: &SessionConfig, spec: &FleetSpec) -> ZooSession {
         ProtocolKind::Quirky => {
             ZooSession::Quirky(lean_step(dl_protocols::quirky::protocol(), cfg, spec))
         }
+        ProtocolKind::Stabilizing => {
+            let corruption = cfg
+                .corruption
+                .expect("stabilizing session configs carry a corruption spec");
+            let protocol = dl_protocols::stabilizing::corrupted(
+                u64::from(corruption.channels[0].capacity),
+                corruption.tx_seq,
+                corruption.rx_expected,
+            );
+            // No online conformance: the divergent prefix would trip it.
+            // Recording (not lean): the suffix monitor judges the full
+            // behavior at teardown.
+            let runner = Runner::new(cfg.seed, spec.max_steps);
+            let system = link_system(
+                protocol.transmitter,
+                protocol.receiver,
+                CorruptChannel::new(Dir::TR, corruption.channels[0]),
+                CorruptChannel::new(Dir::RT, corruption.channels[1]),
+            );
+            ZooSession::Stabilizing(SessionStep::new(runner, system, cfg.script.clone()))
+        }
     }
 }
 
@@ -165,6 +206,9 @@ impl ZooSession {
         steps_hist: &mut Histogram,
         latency_hist: &mut Histogram,
     ) -> SessionOutcome {
+        if let ZooSession::Stabilizing(s) = self {
+            return finish_stabilizing(s, cfg, steps_hist, latency_hist);
+        }
         with_session!(self, s => {
             let quiescent = s.quiescent();
             // Online safety conclusion first; quiescent crash-free runs
@@ -195,8 +239,65 @@ impl ZooSession {
                 msgs_delivered: metrics.msgs_received,
                 resident_bytes: s.resident_bytes(),
                 monitor_bytes: s.monitor_bytes(),
+                convergence: None,
             }
         })
+    }
+}
+
+/// Tears a stabilizing session down: suffix-mode conformance over the
+/// recorded behavior, plus the corruption-budget liveness check (the
+/// convergence climb may consume [`CorruptionSpec::budget`] messages —
+/// losing one more means the protocol failed to stabilize).
+///
+/// [`CorruptionSpec::budget`]: crate::spec::CorruptionSpec::budget
+fn finish_stabilizing(
+    s: SessionStep<StabilizeSystem>,
+    cfg: &SessionConfig,
+    steps_hist: &mut Histogram,
+    latency_hist: &mut Histogram,
+) -> SessionOutcome {
+    let corruption = cfg
+        .corruption
+        .expect("stabilizing session configs carry a corruption spec");
+    let quiescent = s.quiescent();
+    let digest = s.digest();
+    let resident_bytes = s.resident_bytes();
+    let monitor_bytes = s.monitor_bytes();
+    let (_, report) = s.into_report();
+    steps_hist.record(report.metrics.steps);
+    for latency in &report.metrics.latencies {
+        latency_hist.record(*latency);
+    }
+    let mut violation = None;
+    let mut convergence = None;
+    if quiescent {
+        let suffix = SuffixMonitor::scan(&report.behavior, false);
+        let lost = report
+            .metrics
+            .msgs_sent
+            .saturating_sub(report.metrics.msgs_received);
+        match suffix.violation {
+            Some("DL8") | None if lost > corruption.budget() => {
+                violation = Some("DL8");
+            }
+            Some(property) if property != "DL8" => violation = Some(property),
+            _ => convergence = Some(suffix.convergence_index as u64),
+        }
+    }
+    SessionOutcome {
+        id: cfg.id,
+        protocol: cfg.protocol,
+        steps: report.metrics.steps,
+        digest,
+        quiescent,
+        crashed: cfg.crashed,
+        violation,
+        msgs_sent: report.metrics.msgs_sent,
+        msgs_delivered: report.metrics.msgs_received,
+        resident_bytes,
+        monitor_bytes,
+        convergence,
     }
 }
 
@@ -229,4 +330,10 @@ pub struct SessionOutcome {
     /// The online monitor's footprint at teardown (see
     /// [`SessionStep::monitor_bytes`]); 0 when unmonitored.
     pub monitor_bytes: u64,
+    /// For stabilizing sessions that converged: the convergence index —
+    /// the behavior position where the conforming suffix begins, i.e.
+    /// the stabilization time in actions (0 = conformant from the
+    /// start). `None` for every other kind, for truncated runs, and for
+    /// stabilizing sessions that failed to converge.
+    pub convergence: Option<u64>,
 }

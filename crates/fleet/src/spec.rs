@@ -7,7 +7,7 @@
 //! session can be rebuilt in isolation — which is exactly what the
 //! fleet-vs-independent-runners differential suite does.
 
-use dl_channels::FaultSpec;
+use dl_channels::{CorruptSpec, FaultSpec};
 use dl_core::action::Station;
 use dl_sim::Script;
 
@@ -35,11 +35,32 @@ pub enum ProtocolKind {
     Nonvolatile,
     /// The deliberately message-dependent negative control.
     Quirky,
+    /// The self-stabilizing repetition/counting protocol over bounded
+    /// non-FIFO channels; its sessions may start from a derived corrupted
+    /// configuration and are judged in suffix mode.
+    Stabilizing,
 }
 
 impl ProtocolKind {
     /// Every kind, in registry order.
-    pub const ALL: [ProtocolKind; 9] = [
+    pub const ALL: [ProtocolKind; 10] = [
+        ProtocolKind::Abp,
+        ProtocolKind::GoBack2,
+        ProtocolKind::GoBack8,
+        ProtocolKind::SelectiveRepeat4,
+        ProtocolKind::Fragmenting,
+        ProtocolKind::Parity,
+        ProtocolKind::Stenning,
+        ProtocolKind::Nonvolatile,
+        ProtocolKind::Quirky,
+        ProtocolKind::Stabilizing,
+    ];
+
+    /// The classic from-a-clean-start mix — everything except
+    /// [`ProtocolKind::Stabilizing`]. This is the default fleet mix, and
+    /// keeping it frozen keeps the pinned default-fleet ledgers
+    /// byte-identical as the zoo grows.
+    pub const CLASSIC: [ProtocolKind; 9] = [
         ProtocolKind::Abp,
         ProtocolKind::GoBack2,
         ProtocolKind::GoBack8,
@@ -64,6 +85,7 @@ impl ProtocolKind {
             ProtocolKind::Stenning => "stenning",
             ProtocolKind::Nonvolatile => "nonvolatile",
             ProtocolKind::Quirky => "quirky",
+            ProtocolKind::Stabilizing => "stabilizing",
         }
     }
 
@@ -87,7 +109,17 @@ pub struct FleetSpec {
     pub msgs_per_session: u64,
     /// Per-256 probability that a session's script includes a mid-run
     /// station crash (hash-decided per session; `0` disables crashes).
+    /// [`ProtocolKind::Stabilizing`] sessions are always crash-free:
+    /// their memory is volatile by design, so crash-loss is outside the
+    /// stabilization claim being measured.
     pub crash_per256: u8,
+    /// Per-256 probability that a [`ProtocolKind::Stabilizing`] session
+    /// starts from a *corrupted initial configuration* (hash-decided per
+    /// session): skewed station counters plus ghost packets pre-loaded
+    /// into both channels, all derived from `(seed, id)`. Sessions of
+    /// every other kind ignore the knob — corruption density is a
+    /// property of the stabilizing fault class only.
+    pub corruption_per256: u8,
     /// Fault-knob template for every channel; per-channel salts are
     /// derived via [`FaultSpec::derive`] so no two channels in the fleet
     /// share a fault schedule.
@@ -112,9 +144,10 @@ impl Default for FleetSpec {
         FleetSpec {
             seed: 0,
             sessions: 100,
-            protocols: ProtocolKind::ALL.to_vec(),
+            protocols: ProtocolKind::CLASSIC.to_vec(),
             msgs_per_session: 4,
             crash_per256: 32,
+            corruption_per256: 192,
             faults: FaultSpec {
                 loss: 32,
                 dup: 8,
@@ -145,10 +178,43 @@ fn mix(a: u64, b: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Domain separators so the seed/crash/station streams decorrelate.
+/// Domain separators so the seed/crash/station/corruption streams
+/// decorrelate.
 const DOMAIN_SEED: u64 = 0x5EED;
 const DOMAIN_CRASH: u64 = 0xC4A5;
 const DOMAIN_STATION: u64 = 0x57A7;
+const DOMAIN_CORRUPT: u64 = 0xC02F;
+
+/// A derived corrupted initial configuration for one stabilizing session:
+/// skewed station counters plus per-direction [`CorruptSpec`] channel
+/// states (bounded capacity, ghost packets, loss). A clean stabilizing
+/// session carries zeros everywhere except the channel loss knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptionSpec {
+    /// The transmitter's initial sequence counter.
+    pub tx_seq: u64,
+    /// The receiver's initial expectation counter (`>= tx_seq`; the
+    /// difference is the message budget the convergence climb may
+    /// consume).
+    pub rx_expected: u64,
+    /// Channel configurations `(t→r, r→t)`.
+    pub channels: [CorruptSpec; 2],
+}
+
+impl CorruptionSpec {
+    /// Messages the corrupted counters entitle the convergence climb to
+    /// consume: sends beyond this budget must be delivered.
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        self.rx_expected.saturating_sub(self.tx_seq)
+    }
+
+    /// `true` if this is a clean start (no counter skew, no ghosts).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.tx_seq == 0 && self.rx_expected == 0 && self.channels.iter().all(|c| c.ghosts == 0)
+    }
+}
 
 /// Everything one session is a function of, derived from the fleet spec.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -168,6 +234,10 @@ pub struct SessionConfig {
     /// `true` if the script contains a crash (such sessions are judged
     /// for safety only, never DL8 liveness).
     pub crashed: bool,
+    /// The derived corrupted initial configuration — `Some` exactly for
+    /// [`ProtocolKind::Stabilizing`] sessions (possibly clean, when the
+    /// per-session corruption hash says so), `None` for every other kind.
+    pub corruption: Option<CorruptionSpec>,
 }
 
 /// Derives session `id`'s full configuration from the fleet spec — the
@@ -190,7 +260,28 @@ pub fn session_config(spec: &FleetSpec, id: u64) -> SessionConfig {
     ];
     let crashed = spec.crash_per256 > 0
         && spec.msgs_per_session > 0
+        && protocol != ProtocolKind::Stabilizing
         && (mix(spec.seed ^ DOMAIN_CRASH, id) & 0xFF) < u64::from(spec.crash_per256);
+    let corruption = (protocol == ProtocolKind::Stabilizing).then(|| {
+        let h = mix(spec.seed ^ DOMAIN_CORRUPT, id);
+        let capacity = dl_protocols::stabilizing::DEFAULT_CAPACITY as u8;
+        let corrupted = (h & 0xFF) < u64::from(spec.corruption_per256);
+        let tx_seq = if corrupted { (h >> 8) & 0x7 } else { 0 };
+        CorruptionSpec {
+            tx_seq,
+            rx_expected: tx_seq + if corrupted { (h >> 11) & 0x7 } else { 0 },
+            channels: [0u64, 1].map(|lane| CorruptSpec {
+                capacity,
+                ghosts: if corrupted {
+                    ((h >> (14 + 2 * lane)) & 0x3) as u8
+                } else {
+                    0
+                },
+                loss: faults[lane as usize].loss,
+                seed: mix(h, 2 * id + lane),
+            }),
+        }
+    });
     let msgs = spec.msgs_per_session;
     let script = if crashed {
         let station = if mix(spec.seed ^ DOMAIN_STATION, id) & 1 == 0 {
@@ -216,6 +307,7 @@ pub fn session_config(spec: &FleetSpec, id: u64) -> SessionConfig {
         faults,
         script,
         crashed,
+        corruption,
     }
 }
 
@@ -270,5 +362,75 @@ mod tests {
             cfg.script.input_count() as u64,
             2 + spec.msgs_per_session + 2
         );
+    }
+
+    #[test]
+    fn the_default_mix_is_the_frozen_classic_nine() {
+        assert_eq!(FleetSpec::default().protocols, ProtocolKind::CLASSIC);
+        assert_eq!(ProtocolKind::ALL.len(), ProtocolKind::CLASSIC.len() + 1);
+        assert!(!ProtocolKind::CLASSIC.contains(&ProtocolKind::Stabilizing));
+    }
+
+    #[test]
+    fn only_stabilizing_sessions_carry_corruption() {
+        let spec = FleetSpec {
+            protocols: ProtocolKind::ALL.to_vec(),
+            corruption_per256: 255,
+            ..FleetSpec::default()
+        };
+        for id in 0..40 {
+            let cfg = session_config(&spec, id);
+            assert_eq!(
+                cfg.corruption.is_some(),
+                cfg.protocol == ProtocolKind::Stabilizing,
+                "session {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn stabilizing_sessions_are_always_crash_free() {
+        let spec = FleetSpec {
+            protocols: vec![ProtocolKind::Stabilizing],
+            crash_per256: 255,
+            ..FleetSpec::default()
+        };
+        assert!((0..64).all(|id| !session_config(&spec, id).crashed));
+    }
+
+    #[test]
+    fn corruption_density_follows_the_knob() {
+        let clean = FleetSpec {
+            protocols: vec![ProtocolKind::Stabilizing],
+            corruption_per256: 0,
+            ..FleetSpec::default()
+        };
+        for id in 0..64 {
+            let c = session_config(&clean, id).corruption.unwrap();
+            assert!(c.is_clean(), "knob 0 must mean clean starts");
+            assert_eq!(c.budget(), 0);
+        }
+        let dense = FleetSpec {
+            corruption_per256: 255,
+            ..clean
+        };
+        let corrupted = (0..64)
+            .filter(|&id| !session_config(&dense, id).corruption.unwrap().is_clean())
+            .count();
+        assert!(corrupted > 48, "255/256 density too low: {corrupted}");
+        // Derived ghost populations respect the channel capacity, and the
+        // counter skew keeps the budget small enough to converge within a
+        // default session's message budget window.
+        for id in 0..64 {
+            let c = session_config(&dense, id).corruption.unwrap();
+            for ch in c.channels {
+                assert!(ch.ghost_count() as u64 <= u64::from(ch.capacity));
+            }
+            assert!(c.budget() <= 7);
+            assert!(c.rx_expected >= c.tx_seq);
+        }
+        // The two directions' ghost seeds decorrelate.
+        let c = session_config(&dense, 0).corruption.unwrap();
+        assert_ne!(c.channels[0].seed, c.channels[1].seed);
     }
 }

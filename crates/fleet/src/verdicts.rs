@@ -46,6 +46,16 @@ pub struct VerdictShard {
     pub sessions: u64,
     /// Sessions whose monitor concluded no violation.
     pub clean: u64,
+    /// Stabilizing sessions that converged (suffix-mode verdict with a
+    /// conforming suffix); always 0 in fleets without stabilizing
+    /// sessions.
+    pub converged: u64,
+    /// Sum of convergence indices over converged sessions (stabilization
+    /// time in actions; divide by [`VerdictShard::converged`] for the
+    /// mean).
+    pub convergence_actions_total: u64,
+    /// Largest convergence index over converged sessions.
+    pub convergence_actions_max: u64,
     /// Per-property tallies, sorted by property name.
     tallies: Vec<PropertyTally>,
 }
@@ -57,9 +67,16 @@ impl VerdictShard {
         Self::default()
     }
 
-    /// Folds one session's verdict into the shard.
-    pub fn record(&mut self, id: u64, violation: Option<&'static str>) {
+    /// Folds one session's verdict into the shard. `convergence` is the
+    /// session's convergence index when it is a stabilizing session that
+    /// converged (see `SessionOutcome::convergence`), `None` otherwise.
+    pub fn record(&mut self, id: u64, violation: Option<&'static str>, convergence: Option<u64>) {
         self.sessions += 1;
+        if let Some(at) = convergence {
+            self.converged += 1;
+            self.convergence_actions_total += at;
+            self.convergence_actions_max = self.convergence_actions_max.max(at);
+        }
         let Some(property) = violation else {
             self.clean += 1;
             return;
@@ -86,19 +103,25 @@ impl VerdictShard {
     pub fn from_outcomes(outcomes: &[SessionOutcome]) -> Self {
         let mut shard = Self::new();
         for o in outcomes {
-            shard.record(o.id, o.violation);
+            shard.record(o.id, o.violation, o.convergence);
         }
         shard
     }
 
     /// Merges `other` into `self`.
     ///
-    /// Counts add, exemplars take the minimum, and tallies stay sorted
-    /// by property name, so the operation is commutative, associative,
-    /// and lossless over disjoint session sets.
+    /// Counts add, exemplars take the minimum, the convergence maximum
+    /// takes the maximum, and tallies stay sorted by property name, so
+    /// the operation is commutative, associative, and lossless over
+    /// disjoint session sets.
     pub fn merge(&mut self, other: &VerdictShard) {
         self.sessions += other.sessions;
         self.clean += other.clean;
+        self.converged += other.converged;
+        self.convergence_actions_total += other.convergence_actions_total;
+        self.convergence_actions_max = self
+            .convergence_actions_max
+            .max(other.convergence_actions_max);
         for t in &other.tallies {
             match self
                 .tallies
@@ -161,6 +184,7 @@ mod tests {
             msgs_delivered: 0,
             resident_bytes: 0,
             monitor_bytes: 0,
+            convergence: None,
         }
     }
 
@@ -168,7 +192,7 @@ mod tests {
     fn sequential_fold_matches_any_split() {
         let outcomes: Vec<_> = (0..40)
             .map(|id| {
-                outcome(
+                let mut o = outcome(
                     id,
                     match id % 7 {
                         0 => Some("DL4"),
@@ -176,7 +200,11 @@ mod tests {
                         5 => Some("PL3 TR"),
                         _ => None,
                     },
-                )
+                );
+                if id % 4 == 1 {
+                    o.convergence = Some(id * 3);
+                }
+                o
             })
             .collect();
         let whole = VerdictShard::from_outcomes(&outcomes);
@@ -194,11 +222,11 @@ mod tests {
     #[test]
     fn merge_is_commutative_and_keeps_earliest_exemplar() {
         let mut a = VerdictShard::new();
-        a.record(9, Some("DL4"));
-        a.record(10, None);
+        a.record(9, Some("DL4"), None);
+        a.record(10, None, None);
         let mut b = VerdictShard::new();
-        b.record(2, Some("DL4"));
-        b.record(3, Some("DL6"));
+        b.record(2, Some("DL4"), None);
+        b.record(3, Some("DL6"), None);
 
         let mut ab = a.clone();
         ab.merge(&b);
@@ -216,10 +244,31 @@ mod tests {
     #[test]
     fn empty_shard_is_merge_identity() {
         let mut shard = VerdictShard::new();
-        shard.record(4, Some("DL5"));
+        shard.record(4, Some("DL5"), None);
+        shard.record(5, None, Some(120));
         let before = shard.clone();
         shard.merge(&VerdictShard::new());
         assert_eq!(shard, before);
+    }
+
+    #[test]
+    fn convergence_counters_merge_losslessly() {
+        let mut a = VerdictShard::new();
+        a.record(0, None, Some(10));
+        a.record(1, None, Some(40));
+        let mut b = VerdictShard::new();
+        b.record(2, None, Some(25));
+        b.record(3, None, None); // truncated stabilizing session, say
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.converged, 3);
+        assert_eq!(ab.convergence_actions_total, 75);
+        assert_eq!(ab.convergence_actions_max, 40);
+        assert_eq!(ab.clean, 4);
     }
 
     #[test]

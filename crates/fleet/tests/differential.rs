@@ -10,10 +10,11 @@
 use ioa::automaton::Automaton;
 use ioa::schedule_module::{ScheduleModule, TraceKind, Verdict};
 
-use dl_channels::FaultyChannel;
+use dl_channels::{CorruptChannel, FaultyChannel};
 use dl_core::action::{Dir, DlAction};
 use dl_core::protocol::DataLinkProtocol;
 use dl_core::spec::datalink::DlModule;
+use dl_core::spec::stabilize::SuffixMonitor;
 use dl_fleet::{
     fleet_policy, run_fleet, session_config, FleetSpec, ProtocolKind, SessionConfig, VerdictShard,
 };
@@ -29,6 +30,7 @@ struct Independent {
     quiescent: bool,
     violation: Option<&'static str>,
     msgs_delivered: u64,
+    convergence: Option<u64>,
 }
 
 fn run_independent_protocol<T, R>(
@@ -67,6 +69,53 @@ where
         quiescent: report.quiescent,
         violation,
         msgs_delivered: report.metrics.msgs_received,
+        convergence: None,
+    }
+}
+
+/// The stabilizing path, replicated from scratch: a corrupted protocol
+/// instance over `CorruptChannel`s, no online conformance, and the
+/// suffix-mode verdict with the corruption-budget liveness check — the
+/// same conclusion `dl_fleet`'s session teardown draws.
+fn run_independent_stabilizing(cfg: &SessionConfig, spec: &FleetSpec) -> Independent {
+    let corruption = cfg
+        .corruption
+        .expect("stabilizing session configs carry a corruption spec");
+    let protocol = dl_protocols::stabilizing::corrupted(
+        u64::from(corruption.channels[0].capacity),
+        corruption.tx_seq,
+        corruption.rx_expected,
+    );
+    let system = link_system(
+        protocol.transmitter,
+        protocol.receiver,
+        CorruptChannel::new(Dir::TR, corruption.channels[0]),
+        CorruptChannel::new(Dir::RT, corruption.channels[1]),
+    );
+    let mut runner = Runner::new(cfg.seed, spec.max_steps);
+    let report = runner.run(&system, &cfg.script);
+    let mut violation = None;
+    let mut convergence = None;
+    if report.quiescent {
+        let suffix = SuffixMonitor::scan(&report.behavior, false);
+        let lost = report
+            .metrics
+            .msgs_sent
+            .saturating_sub(report.metrics.msgs_received);
+        match suffix.violation {
+            Some("DL8") | None if lost > corruption.budget() => violation = Some("DL8"),
+            Some(property) if property != "DL8" => violation = Some(property),
+            _ => convergence = Some(suffix.convergence_index as u64),
+        }
+    }
+    Independent {
+        id: cfg.id,
+        steps: report.metrics.steps,
+        digest: schedule_digest(&report.schedule()),
+        quiescent: report.quiescent,
+        violation,
+        msgs_delivered: report.metrics.msgs_received,
+        convergence,
     }
 }
 
@@ -97,6 +146,7 @@ fn run_independent(cfg: &SessionConfig, spec: &FleetSpec) -> Independent {
         ProtocolKind::Quirky => {
             run_independent_protocol(dl_protocols::quirky::protocol(), cfg, spec)
         }
+        ProtocolKind::Stabilizing => run_independent_stabilizing(cfg, spec),
     }
 }
 
@@ -150,7 +200,98 @@ fn fleet_of_n_is_byte_identical_to_n_independent_runners() {
                 "session {}",
                 solo.id
             );
+            assert_eq!(fleet.convergence, solo.convergence, "session {}", solo.id);
         }
+    }
+}
+
+/// E14's determinism leg: a fleet with stabilizing sessions (corrupted
+/// initial configurations over non-FIFO `CorruptChannel`s) must match
+/// per-session independent replays *including the convergence index*,
+/// and the merged convergence counters must be worker-count-invariant.
+#[test]
+fn stabilizing_fleet_convergence_is_worker_count_invariant() {
+    let spec = FleetSpec {
+        seed: 29,
+        sessions: 36,
+        crash_per256: 64,
+        corruption_per256: 224,
+        protocols: vec![
+            ProtocolKind::Stabilizing,
+            ProtocolKind::Abp,
+            ProtocolKind::Stabilizing,
+            ProtocolKind::GoBack2,
+        ],
+        chunk: 5,
+        batch: 3,
+        ..FleetSpec::default()
+    };
+    let oracle: Vec<Independent> = (0..spec.sessions)
+        .map(|id| run_independent(&session_config(&spec, id), &spec))
+        .collect();
+    let mut fold = VerdictShard::new();
+    for solo in &oracle {
+        fold.record(solo.id, solo.violation, solo.convergence);
+    }
+    // The mix must exercise the interesting regimes: corrupted sessions
+    // that had to climb (positive stabilization time), clean-start
+    // stabilizing sessions (index 0), and classic sessions alongside.
+    assert!(
+        oracle
+            .iter()
+            .any(|o| o.convergence.is_some_and(|at| at > 0)),
+        "no corrupted session had to stabilize"
+    );
+    assert!(
+        oracle.iter().any(|o| o.convergence == Some(0)),
+        "no stabilizing session started conformant"
+    );
+    // Every stabilizing session in the sweep converges within the step
+    // bound — the operational face of arXiv 1011.3632's possibility
+    // result (and the E14 acceptance bar).
+    let stabilizing = (0..spec.sessions)
+        .filter(|&id| session_config(&spec, id).protocol == ProtocolKind::Stabilizing)
+        .count() as u64;
+    assert!(stabilizing > 0);
+    assert_eq!(
+        fold.converged, stabilizing,
+        "a corrupted configuration failed to converge"
+    );
+
+    for workers in [1, 2, 4] {
+        let report = run_fleet(&FleetSpec {
+            workers,
+            ..spec.clone()
+        });
+        assert_eq!(report.outcomes.len(), oracle.len());
+        for (fleet, solo) in report.outcomes.iter().zip(&oracle) {
+            assert_eq!(fleet.id, solo.id);
+            assert_eq!(fleet.digest, solo.digest, "session {}", solo.id);
+            assert_eq!(fleet.steps, solo.steps, "session {}", solo.id);
+            assert_eq!(fleet.violation, solo.violation, "session {}", solo.id);
+            assert_eq!(fleet.convergence, solo.convergence, "session {}", solo.id);
+        }
+        assert_eq!(
+            report.verdicts, fold,
+            "convergence counters diverged at {workers} workers"
+        );
+        assert_eq!(report.verdicts.converged, fold.converged);
+        assert_eq!(
+            report.verdicts.convergence_actions_total,
+            fold.convergence_actions_total
+        );
+        assert_eq!(
+            report.verdicts.convergence_actions_max,
+            fold.convergence_actions_max
+        );
+        // The ledger carries the convergence counters whenever a
+        // stabilizing session ran.
+        let ledger = report.to_ledger("e14");
+        assert_eq!(ledger.counters["converged_sessions"], fold.converged);
+        assert_eq!(
+            ledger.counters["convergence_actions_max"],
+            fold.convergence_actions_max
+        );
     }
 }
 
@@ -164,7 +305,8 @@ fn verdict_shards_merge_losslessly_at_any_worker_count() {
     let mut oracle = VerdictShard::new();
     for id in 0..spec.sessions {
         let cfg = session_config(&spec, id);
-        oracle.record(id, run_independent(&cfg, &spec).violation);
+        let solo = run_independent(&cfg, &spec);
+        oracle.record(id, solo.violation, solo.convergence);
     }
     assert!(oracle.violations() > 0, "the mix must include violations");
     assert!(oracle.tallies().iter().all(|t| t.exemplar < spec.sessions));

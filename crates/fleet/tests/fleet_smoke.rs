@@ -11,6 +11,9 @@ fn smoke_spec() -> FleetSpec {
         sessions: 400,
         workers: 2,
         chunk: 64,
+        // The whole zoo, stabilizing included (the default mix stays the
+        // frozen classic nine to keep pinned ledgers stable).
+        protocols: ProtocolKind::ALL.to_vec(),
         ..FleetSpec::default()
     }
 }

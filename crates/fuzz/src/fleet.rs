@@ -117,13 +117,14 @@ pub fn fuzz(target: &Target, cfg: &FuzzConfig) -> FuzzReport {
                         executions.fetch_sub(1, Ordering::Relaxed);
                         break;
                     }
+                    let corrupt = target.corrupting;
                     let genome = if !corpus.is_empty() && rng.random_range(0u32..4) != 0 {
                         match corpus.pick(&mut rng) {
-                            Some(parent) => parent.mutate(&mut rng, cfg.max_genes),
-                            None => Genome::random(&mut rng, cfg.max_genes),
+                            Some(parent) => parent.mutate(&mut rng, cfg.max_genes, corrupt),
+                            None => Genome::random(&mut rng, cfg.max_genes, corrupt),
                         }
                     } else {
-                        Genome::random(&mut rng, cfg.max_genes)
+                        Genome::random(&mut rng, cfg.max_genes, corrupt)
                     };
                     let outcome = (target.run)(&genome, &exec_cfg);
                     let novel = coverage.observe(&outcome.coverage);

@@ -48,6 +48,28 @@ pub enum Gene {
         /// Forced pick, reduced modulo the decision's arity.
         value: u32,
     },
+    /// Corrupt the initial configuration (stations *and* channels) of a
+    /// self-stabilizing target. The last corruption gene wins; targets
+    /// whose protocols assume a clean start ignore it. Only generated
+    /// when a target opts in (see `Target::corrupting`), so the random
+    /// streams of the classic targets stay byte-identical.
+    Corrupt(Corruption),
+}
+
+/// A decoded corrupted initial configuration: small station counters and
+/// per-direction ghost populations, everything derived deterministically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Corruption {
+    /// Transmitter's initial sequence counter.
+    pub tx_seq: u8,
+    /// Receiver's initial expectation counter.
+    pub rx_expected: u8,
+    /// Ghost packets pre-loaded into the `t → r` channel.
+    pub ghosts_tr: u8,
+    /// Ghost packets pre-loaded into the `r → t` channel.
+    pub ghosts_rt: u8,
+    /// Seed for ghost derivation and channel loss decisions.
+    pub seed: u64,
 }
 
 /// A complete heritable run description.
@@ -73,6 +95,9 @@ pub struct Plan {
     pub overrides: BTreeMap<u64, u64>,
     /// How many distinct messages the script sends.
     pub messages: u64,
+    /// Corrupted initial configuration, if any [`Gene::Corrupt`] gene is
+    /// present (the last wins). `None` means a clean start.
+    pub corruption: Option<Corruption>,
 }
 
 impl Genome {
@@ -83,6 +108,7 @@ impl Genome {
         let mut faults = [FaultSpec::none(), FaultSpec::none()];
         let mut overrides = BTreeMap::new();
         let mut messages = 0u64;
+        let mut corruption = None;
         for gene in &self.genes {
             match gene {
                 Gene::Send => {
@@ -102,6 +128,7 @@ impl Genome {
                 Gene::Sched { index, value } => {
                     overrides.insert(u64::from(*index), u64::from(*value));
                 }
+                Gene::Corrupt(c) => corruption = Some(*c),
             }
         }
         Plan {
@@ -109,16 +136,20 @@ impl Genome {
             faults,
             overrides,
             messages,
+            corruption,
         }
     }
 
-    /// A fresh random genome with `1..=max_genes` genes.
+    /// A fresh random genome with `1..=max_genes` genes. With `corrupt`,
+    /// corrupted-initial-configuration genes join the pool; without it the
+    /// gene distribution (and thus the random stream) is exactly the
+    /// classic one.
     #[must_use]
-    pub fn random(rng: &mut StdRng, max_genes: usize) -> Genome {
+    pub fn random(rng: &mut StdRng, max_genes: usize, corrupt: bool) -> Genome {
         let len = rng.random_range(1..max_genes.max(2));
         let mut genes = Vec::with_capacity(len);
         for _ in 0..len {
-            genes.push(random_gene(rng));
+            genes.push(random_gene(rng, corrupt));
         }
         Genome {
             seed: rng.next_u64(),
@@ -128,14 +159,14 @@ impl Genome {
 
     /// One mutation step: insert, remove, duplicate, or replace a gene,
     /// tweak a numeric field, or reseed. The result is a new genome; the
-    /// parent is untouched.
+    /// parent is untouched. `corrupt` as in [`Genome::random`].
     #[must_use]
-    pub fn mutate(&self, rng: &mut StdRng, max_genes: usize) -> Genome {
+    pub fn mutate(&self, rng: &mut StdRng, max_genes: usize, corrupt: bool) -> Genome {
         let mut child = self.clone();
         match rng.random_range(0u32..6) {
             0 if child.genes.len() < max_genes => {
                 let at = rng.random_range(0..child.genes.len() + 1);
-                child.genes.insert(at, random_gene(rng));
+                child.genes.insert(at, random_gene(rng, corrupt));
             }
             1 if child.genes.len() > 1 => {
                 let at = rng.random_range(0..child.genes.len());
@@ -148,12 +179,12 @@ impl Genome {
             }
             3 if !child.genes.is_empty() => {
                 let at = rng.random_range(0..child.genes.len());
-                child.genes[at] = random_gene(rng);
+                child.genes[at] = random_gene(rng, corrupt);
             }
             4 => child.seed = rng.next_u64(),
             _ => {
                 if child.genes.len() < max_genes {
-                    child.genes.push(random_gene(rng));
+                    child.genes.push(random_gene(rng, corrupt));
                 } else {
                     child.seed = rng.next_u64();
                 }
@@ -174,8 +205,25 @@ fn random_spec(rng: &mut StdRng) -> FaultSpec {
     }
 }
 
-fn random_gene(rng: &mut StdRng) -> Gene {
-    match rng.random_range(0u32..16) {
+fn random_corruption(rng: &mut StdRng) -> Corruption {
+    Corruption {
+        tx_seq: rng.random_range(0u8..8),
+        rx_expected: rng.random_range(0u8..8),
+        ghosts_tr: rng.random_range(0u8..4),
+        ghosts_rt: rng.random_range(0u8..4),
+        seed: rng.next_u64(),
+    }
+}
+
+fn random_gene(rng: &mut StdRng, corrupt: bool) -> Gene {
+    // `corrupt = false` must draw exactly the classic `0..16` stream so
+    // existing seeds keep reproducing byte-identical campaigns.
+    let roll = if corrupt {
+        rng.random_range(0u32..20)
+    } else {
+        rng.random_range(0u32..16)
+    };
+    match roll {
         0..=3 => Gene::Send,
         4..=6 => Gene::Steps(rng.random_range(1u16..48)),
         7 => Gene::Settle,
@@ -184,10 +232,11 @@ fn random_gene(rng: &mut StdRng) -> Gene {
         10 => Gene::Flap(if rng.random_bool() { Dir::TR } else { Dir::RT }),
         11 => Gene::FaultsTr(random_spec(rng)),
         12 => Gene::FaultsRt(random_spec(rng)),
-        _ => Gene::Sched {
+        13..=15 => Gene::Sched {
             index: rng.random_range(0u32..512),
             value: rng.random_range(0u32..8),
         },
+        _ => Gene::Corrupt(random_corruption(rng)),
     }
 }
 
@@ -250,20 +299,68 @@ mod tests {
     fn random_and_mutate_are_deterministic() {
         let mut a = StdRng::seed_from_u64(5);
         let mut b = StdRng::seed_from_u64(5);
-        let ga = Genome::random(&mut a, 16);
-        let gb = Genome::random(&mut b, 16);
+        let ga = Genome::random(&mut a, 16, false);
+        let gb = Genome::random(&mut b, 16, false);
         assert_eq!(ga, gb);
-        assert_eq!(ga.mutate(&mut a, 16), gb.mutate(&mut b, 16));
+        assert_eq!(ga.mutate(&mut a, 16, false), gb.mutate(&mut b, 16, false));
     }
 
     #[test]
     fn mutation_respects_max_genes() {
         let mut rng = StdRng::seed_from_u64(9);
-        let mut g = Genome::random(&mut rng, 8);
+        let mut g = Genome::random(&mut rng, 8, false);
         for _ in 0..200 {
-            g = g.mutate(&mut rng, 8);
+            g = g.mutate(&mut rng, 8, false);
             assert!(!g.genes.is_empty());
             assert!(g.genes.len() <= 8);
         }
+    }
+
+    #[test]
+    fn classic_generation_never_emits_corruption_genes() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let g = Genome::random(&mut rng, 24, false);
+            assert!(
+                !g.genes.iter().any(|g| matches!(g, Gene::Corrupt(_))),
+                "corruption genes must be opt-in"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupting_generation_reaches_corruption_genes() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let found = (0..200).any(|_| {
+            Genome::random(&mut rng, 24, true)
+                .genes
+                .iter()
+                .any(|g| matches!(g, Gene::Corrupt(_)))
+        });
+        assert!(found, "1 in 5 genes over 200 genomes should corrupt");
+    }
+
+    #[test]
+    fn decode_keeps_the_last_corruption_gene() {
+        let first = Corruption {
+            tx_seq: 1,
+            ..Corruption::default()
+        };
+        let last = Corruption {
+            rx_expected: 5,
+            ghosts_tr: 2,
+            seed: 9,
+            ..Corruption::default()
+        };
+        let g = Genome {
+            seed: 0,
+            genes: vec![Gene::Corrupt(first), Gene::Send, Gene::Corrupt(last)],
+        };
+        assert_eq!(g.decode().corruption, Some(last));
+        let clean = Genome {
+            seed: 0,
+            genes: vec![Gene::Send],
+        };
+        assert_eq!(clean.decode().corruption, None);
     }
 }

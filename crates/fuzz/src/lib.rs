@@ -16,11 +16,16 @@
 //!   every remaining executor choice through `dl-sim`'s decision points.
 //!   Executions are **pure functions of the genome** — no hidden
 //!   randomness — so every result replays.
-//! * [`target`] — all nine protocols of the zoo, each composed with two
+//! * [`target`] — all ten protocols of the zoo, each composed with two
 //!   [`FaultyChannel`](dl_channels::FaultyChannel)s and executed under an
 //!   online conformance monitor (`monitor_pl = false`: the fault knobs
 //!   violate the physical layer on purpose; the quarry is data-link
-//!   violations of the protocol under test).
+//!   violations of the protocol under test). The `stabilizing` target is
+//!   special: it runs over [`CorruptChannel`](dl_channels::CorruptChannel)s
+//!   whose initial contents (and the stations' initial counters) come from
+//!   [`Gene::Corrupt`] genes, with no online monitor at all — quiescent
+//!   runs are judged in *suffix mode* by `dl-core`'s `SuffixMonitor`, so
+//!   only a failure to stabilize counts as a counterexample.
 //! * [`coverage`] / [`corpus`] — novelty detection over per-step
 //!   `(post-state, progress digest, action class)` hashes, deduplicated
 //!   in a sharded set modeled on `dl-explore`'s visited set; genomes that
@@ -65,7 +70,7 @@ pub mod target;
 pub use corpus::{Corpus, CorpusEntry, CorpusStats};
 pub use coverage::ShardedCoverage;
 pub use fleet::{fuzz, FuzzConfig};
-pub use genome::{Gene, Genome, Plan};
+pub use genome::{Corruption, Gene, Genome, Plan};
 pub use report::{Counterexample, FuzzReport};
 pub use shrink::{replays_identically, shrink, shrink_counted};
 pub use target::{all_targets, target, ExecConfig, ExecOutcome, Target};

@@ -12,7 +12,7 @@
 
 use dl_channels::FaultSpec;
 
-use crate::genome::{Gene, Genome};
+use crate::genome::{Corruption, Gene, Genome};
 use crate::target::{ExecConfig, Target};
 
 /// Returns `true` if `genome` still exhibits a violation of `property`.
@@ -39,6 +39,27 @@ fn simplifications(gene: &Gene) -> Vec<Gene> {
             index: *index,
             value: 0,
         }],
+        Gene::Corrupt(c) if *c != Corruption::default() => {
+            let mut out = vec![Gene::Corrupt(Corruption::default())];
+            if c.ghosts_tr > 0 || c.ghosts_rt > 0 {
+                out.push(Gene::Corrupt(Corruption {
+                    ghosts_tr: 0,
+                    ghosts_rt: 0,
+                    ..*c
+                }));
+            }
+            if c.tx_seq > 0 || c.rx_expected > 0 {
+                out.push(Gene::Corrupt(Corruption {
+                    tx_seq: 0,
+                    rx_expected: 0,
+                    ..*c
+                }));
+            }
+            if c.seed != 0 {
+                out.push(Gene::Corrupt(Corruption { seed: 0, ..*c }));
+            }
+            out
+        }
         _ => vec![],
     }
 }

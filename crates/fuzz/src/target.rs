@@ -21,11 +21,12 @@ use std::hash::{BuildHasher, BuildHasherDefault};
 use ioa::automaton::Automaton;
 use ioa::schedule_module::{ScheduleModule, TraceKind, Verdict, Violation};
 
-use dl_channels::FaultyChannel;
+use dl_channels::{CorruptChannel, CorruptSpec, FaultyChannel};
 use dl_core::action::{Dir, DlAction, Station};
 use dl_core::protocol::DataLinkProtocol;
 use dl_core::spec::datalink::DlModule;
-use dl_sim::{link_system, ConformancePolicy, Runner};
+use dl_core::spec::stabilize::SuffixMonitor;
+use dl_sim::{link_system, ConformancePolicy, RunReport, Runner};
 
 use crate::genome::Genome;
 
@@ -71,9 +72,14 @@ pub struct Target {
     pub name: &'static str,
     /// Executes one genome against this target's composed system.
     pub run: fn(&Genome, &ExecConfig) -> ExecOutcome,
+    /// `true` if this target decodes [`Corruption`](crate::genome::Corruption)
+    /// genes — the fleet generates them only for such targets, keeping the
+    /// classic targets' random streams byte-identical to before the fault
+    /// class existed.
+    pub corrupting: bool,
 }
 
-/// The full target registry: all nine protocols of the zoo.
+/// The full target registry: all ten protocols of the zoo.
 #[must_use]
 pub fn all_targets() -> &'static [Target] {
     &TARGETS
@@ -85,42 +91,56 @@ pub fn target(name: &str) -> Option<&'static Target> {
     TARGETS.iter().find(|t| t.name == name)
 }
 
-static TARGETS: [Target; 9] = [
+static TARGETS: [Target; 10] = [
     Target {
         name: "abp",
         run: |g, c| run_protocol(dl_protocols::abp::protocol(), g, c),
+        corrupting: false,
     },
     Target {
         name: "go-back-2",
         run: |g, c| run_protocol(dl_protocols::sliding_window::protocol(2), g, c),
+        corrupting: false,
     },
     Target {
         name: "go-back-8",
         run: |g, c| run_protocol(dl_protocols::sliding_window::protocol(8), g, c),
+        corrupting: false,
     },
     Target {
         name: "selective-repeat-4",
         run: |g, c| run_protocol(dl_protocols::selective_repeat::protocol(4), g, c),
+        corrupting: false,
     },
     Target {
         name: "fragmenting",
         run: |g, c| run_protocol(dl_protocols::fragmenting::protocol(), g, c),
+        corrupting: false,
     },
     Target {
         name: "parity",
         run: |g, c| run_protocol(dl_protocols::parity::protocol(), g, c),
+        corrupting: false,
     },
     Target {
         name: "stenning",
         run: |g, c| run_protocol(dl_protocols::stenning::protocol(), g, c),
+        corrupting: false,
     },
     Target {
         name: "nonvolatile",
         run: |g, c| run_protocol(dl_protocols::nonvolatile::protocol(), g, c),
+        corrupting: false,
     },
     Target {
         name: "quirky",
         run: |g, c| run_protocol(dl_protocols::quirky::protocol(), g, c),
+        corrupting: false,
+    },
+    Target {
+        name: "stabilizing",
+        run: run_stabilizing,
+        corrupting: true,
     },
 ];
 
@@ -200,10 +220,24 @@ where
         }
     }
 
-    // Coverage: one key per step, hashing the composed post-state, a
-    // log-bucketed progress digest (the monitor-visible counters), and the
-    // action class — the `(protocol state, monitor state, action class)`
-    // tuple, collapsed to 64 bits.
+    let coverage = coverage_keys(&report);
+    ExecOutcome {
+        violation,
+        quiescent: report.quiescent,
+        steps: report.execution.len(),
+        coverage,
+        schedule: report.schedule(),
+    }
+}
+
+/// Coverage: one key per step, hashing the composed post-state, a
+/// log-bucketed progress digest (the monitor-visible counters), and the
+/// action class — the `(protocol state, monitor state, action class)`
+/// tuple, collapsed to 64 bits.
+fn coverage_keys<S>(report: &RunReport<S>) -> Vec<u64>
+where
+    S: std::hash::Hash + Clone + Eq + std::fmt::Debug,
+{
     let hasher = BuildHasherDefault::<std::collections::hash_map::DefaultHasher>::default();
     let (mut sent, mut delivered, mut crashes) = (0u64, 0u64, 0u64);
     let mut coverage = Vec::with_capacity(report.execution.len());
@@ -221,7 +255,103 @@ where
             action_class(&step.action),
         ));
     }
+    coverage
+}
 
+/// Runs one genome against the self-stabilizing protocol (zoo member #10)
+/// over bounded-capacity, non-FIFO [`CorruptChannel`]s, decoding any
+/// [`Corruption`](crate::genome::Corruption) gene into a corrupted initial
+/// configuration (station counters and ghost packet populations).
+///
+/// Judged in **suffix mode**: the execution runs with no online
+/// conformance at all (a corrupted start is *supposed* to misbehave for a
+/// finite prefix), and quiescent complete runs are judged by the
+/// [`SuffixMonitor`] plus a **corruption budget**: a corrupted receiver
+/// expecting sequence `e` against a transmitter at sequence `s < e` is
+/// entitled to consume up to `e − s` messages while the counters climb
+/// into agreement, so only losses *beyond* that budget — or a suffix
+/// safety violation surviving every candidate convergence point — count
+/// as counterexamples. Crashy runs are not judged for liveness at all:
+/// the stabilizing protocol's memory is volatile, crash-loss is outside
+/// its claim (Theorem 7.5 territory, not arXiv 1011.3632's).
+fn run_stabilizing(genome: &Genome, cfg: &ExecConfig) -> ExecOutcome {
+    let plan = genome.decode();
+    let c = plan.corruption.unwrap_or_default();
+    let capacity = dl_protocols::stabilizing::DEFAULT_CAPACITY;
+    let protocol = dl_protocols::stabilizing::corrupted(
+        capacity,
+        u64::from(c.tx_seq),
+        u64::from(c.rx_expected),
+    );
+    // The corrupt channel's loss knob reuses the fault genes' loss rates,
+    // so shrinking toward `FaultSpec::none` also cleans the medium.
+    let spec = |ghosts: u8, loss: u8, lane: u64| CorruptSpec {
+        capacity: capacity as u8,
+        ghosts,
+        loss,
+        seed: c.seed ^ lane,
+    };
+    let system = link_system(
+        protocol.transmitter,
+        protocol.receiver,
+        CorruptChannel::new(Dir::TR, spec(c.ghosts_tr, plan.faults[0].loss, 0x7121)),
+        CorruptChannel::new(Dir::RT, spec(c.ghosts_rt, plan.faults[1].loss, 0x1217)),
+    );
+    let mut runner =
+        Runner::new(genome.seed, cfg.max_steps).with_decision_overrides(plan.overrides.clone());
+    let report = runner.run(&system, &plan.script);
+
+    let mut violation = None;
+    let crash_free = !report
+        .behavior
+        .iter()
+        .any(|a| matches!(a, DlAction::Crash(_)));
+    if report.quiescent && crash_free {
+        let suffix = SuffixMonitor::scan(&report.behavior, cfg.full_dl);
+        let budget = u64::from(c.rx_expected.saturating_sub(c.tx_seq));
+        let (mut sent, mut delivered) = (0u64, 0u64);
+        for a in &report.behavior {
+            match a {
+                DlAction::SendMsg(_) => sent += 1,
+                DlAction::ReceiveMsg(_) => delivered += 1,
+                _ => {}
+            }
+        }
+        let lost = sent.saturating_sub(delivered);
+        match suffix.violation {
+            // Liveness: the climb may consume `budget` messages; one more
+            // lost is a genuine failure to stabilize.
+            Some("DL8") | None if lost > budget => {
+                violation = Some(Violation {
+                    property: "DL8",
+                    at: Some(suffix.convergence_index),
+                    reason: format!(
+                        "{lost} messages lost exceeds the corruption budget {budget} \
+                         ({} resets)",
+                        suffix.resets
+                    ),
+                });
+            }
+            // Safety violations surviving every candidate convergence
+            // point (none are reachable from the current protocol — the
+            // monitor resets absorb prefix noise — but a counting-
+            // discipline regression would land here).
+            Some(property) if property != "DL8" => {
+                violation = Some(Violation {
+                    property,
+                    at: Some(suffix.convergence_index),
+                    reason: format!(
+                        "no conforming suffix: {property} survives past every candidate \
+                         convergence point ({} resets)",
+                        suffix.resets
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+
+    let coverage = coverage_keys(&report);
     ExecOutcome {
         violation,
         quiescent: report.quiescent,
@@ -243,12 +373,121 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_resolvable() {
         let mut names: Vec<_> = all_targets().iter().map(|t| t.name).collect();
-        assert_eq!(names.len(), 9);
+        assert_eq!(names.len(), 10);
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 9, "duplicate target names");
+        assert_eq!(names.len(), 10, "duplicate target names");
         assert!(target("quirky").is_some());
+        assert!(target("stabilizing").is_some());
         assert!(target("no-such-protocol").is_none());
+    }
+
+    #[test]
+    fn only_the_stabilizing_target_opts_into_corruption() {
+        for t in all_targets() {
+            assert_eq!(t.corrupting, t.name == "stabilizing", "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn corrupted_stabilizing_run_converges_without_counterexample() {
+        // A corrupted start misbehaves for a prefix; suffix-mode judgment
+        // must not call that a violation once the run stabilizes.
+        let g = genome(
+            6,
+            vec![
+                Gene::Corrupt(crate::genome::Corruption {
+                    tx_seq: 2,
+                    rx_expected: 5,
+                    ghosts_tr: 3,
+                    ghosts_rt: 2,
+                    seed: 77,
+                }),
+                Gene::Send,
+                Gene::Send,
+                Gene::Send,
+            ],
+        );
+        let out = (target("stabilizing").unwrap().run)(
+            &g,
+            &ExecConfig {
+                max_steps: 2_000,
+                full_dl: false,
+            },
+        );
+        assert!(out.quiescent, "corrupted run must still quiesce");
+        assert!(
+            out.violation.is_none(),
+            "stabilization is not a counterexample: {:?}",
+            out.violation
+        );
+    }
+
+    #[test]
+    fn sends_beyond_the_corruption_budget_are_delivered() {
+        // Gap of 3 (rx expects 5, tx starts at 2): the climb consumes at
+        // most 3 messages, so 5 sends must deliver the surplus 2.
+        let g = genome(
+            8,
+            vec![
+                Gene::Corrupt(crate::genome::Corruption {
+                    tx_seq: 2,
+                    rx_expected: 5,
+                    ghosts_tr: 3,
+                    ghosts_rt: 3,
+                    seed: 31,
+                }),
+                Gene::Send,
+                Gene::Send,
+                Gene::Send,
+                Gene::Send,
+                Gene::Send,
+            ],
+        );
+        let out = (target("stabilizing").unwrap().run)(
+            &g,
+            &ExecConfig {
+                max_steps: 4_000,
+                full_dl: false,
+            },
+        );
+        assert!(out.quiescent);
+        assert!(out.violation.is_none(), "{:?}", out.violation);
+        let delivered = out
+            .schedule
+            .iter()
+            .filter(|a| matches!(a, DlAction::ReceiveMsg(_)))
+            .count();
+        assert_eq!(delivered, 2, "the surplus past the climb must arrive");
+    }
+
+    #[test]
+    fn stabilizing_runs_replay_identically() {
+        let g = genome(
+            9,
+            vec![
+                Gene::Corrupt(crate::genome::Corruption {
+                    tx_seq: 1,
+                    rx_expected: 3,
+                    ghosts_tr: 2,
+                    ghosts_rt: 1,
+                    seed: 5,
+                }),
+                Gene::Send,
+                Gene::Crash(Station::T),
+                Gene::Send,
+            ],
+        );
+        let t = target("stabilizing").unwrap();
+        let cfg = ExecConfig {
+            max_steps: 2_000,
+            full_dl: false,
+        };
+        let a = (t.run)(&g, &cfg);
+        let b = (t.run)(&g, &cfg);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.coverage, b.coverage);
+        assert_eq!(a.violation, b.violation);
     }
 
     #[test]

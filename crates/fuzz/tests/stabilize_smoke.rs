@@ -1,0 +1,108 @@
+//! Bounded stabilization smoke: the `stabilize-smoke` check.sh stage.
+//!
+//! Two legs, both offline and wall-clock independent:
+//!
+//! 1. **Bounded convergence runs from corrupted configurations** — hand-
+//!    built genomes with explicit [`Corruption`] genes (skewed station
+//!    counters, ghost packets in both non-FIFO channels) execute through
+//!    the stabilizing target and converge: quiescent, and judged clean by
+//!    the suffix-mode monitor with the corruption-budget liveness oracle.
+//! 2. **Fuzz rediscovery** — a cold-start campaign over the stabilizing
+//!    target, whose genome pool includes the corruption genes, explores
+//!    the corrupted-initial-configuration fault class without ever
+//!    producing a counterexample (arXiv 1011.3632's possibility result,
+//!    as a fuzzing null result), and reproduces byte-identically.
+
+use dl_fuzz::{fuzz, target, Corruption, ExecConfig, FuzzConfig, Gene, Genome};
+
+fn smoke_cfg() -> FuzzConfig {
+    FuzzConfig {
+        seed: 42,
+        workers: 1,
+        max_execs: 400,
+        max_steps: 2_000,
+        stop_on_violation: false,
+        ..FuzzConfig::default()
+    }
+}
+
+/// A genome that sends `msgs` messages from an explicitly corrupted
+/// initial configuration.
+fn corrupted_genome(corruption: Corruption, msgs: usize) -> Genome {
+    let mut genes = vec![Gene::Corrupt(corruption)];
+    genes.extend(std::iter::repeat_n(Gene::Send, msgs));
+    genes.push(Gene::Settle);
+    Genome { seed: 7, genes }
+}
+
+#[test]
+fn corrupted_configurations_converge_within_the_bound() {
+    let t = target("stabilizing").expect("stabilizing is registered");
+    assert!(t.corrupting, "the stabilizing target decodes corruption");
+    let cfg = ExecConfig {
+        max_steps: 4_000,
+        full_dl: false,
+    };
+    // A sweep over counter skews and ghost populations: every corrupted
+    // start must converge — quiesce and conclude no violation under the
+    // suffix-mode judgment.
+    for (tx_seq, rx_expected) in [(0, 0), (1, 1), (0, 3), (2, 5), (5, 5)] {
+        for ghosts in [0u8, 2, 3] {
+            let corruption = Corruption {
+                tx_seq,
+                rx_expected,
+                ghosts_tr: ghosts,
+                ghosts_rt: ghosts / 2,
+                seed: 0xD0_1E5 ^ u64::from(ghosts),
+            };
+            // Send strictly more messages than the corruption budget so
+            // the run proves post-convergence delivery, not just a climb.
+            let budget = u64::from(rx_expected - tx_seq);
+            let outcome = (t.run)(&corrupted_genome(corruption, budget as usize + 3), &cfg);
+            assert!(
+                outcome.quiescent,
+                "corrupted start {corruption:?} did not quiesce"
+            );
+            assert_eq!(
+                outcome.violation, None,
+                "corrupted start {corruption:?} failed to stabilize"
+            );
+        }
+    }
+}
+
+#[test]
+fn fuzzing_the_corrupted_fault_class_finds_no_counterexample() {
+    let t = target("stabilizing").expect("stabilizing is registered");
+    let report = fuzz(t, &smoke_cfg());
+    assert_eq!(report.executions, 400);
+    assert!(
+        report.counterexamples.is_empty(),
+        "the stabilizing protocol must survive the corrupted fault class: {:?}",
+        report
+            .counterexamples
+            .iter()
+            .map(|c| (c.violation.property, &c.genome.genes))
+            .collect::<Vec<_>>()
+    );
+    // The campaign genuinely explored: coverage accumulated and the
+    // corpus retained novelty-bearing genomes.
+    assert!(
+        report.coverage_points > 200,
+        "campaign barely explored: {} coverage points",
+        report.coverage_points
+    );
+    assert!(report.corpus.entries > 0);
+}
+
+#[test]
+fn stabilize_campaign_is_deterministic() {
+    let t = target("stabilizing").expect("stabilizing is registered");
+    let a = fuzz(t, &smoke_cfg());
+    let b = fuzz(t, &smoke_cfg());
+    assert_eq!(a.executions, b.executions);
+    assert_eq!(a.coverage_points, b.coverage_points);
+    assert_eq!(a.coverage_curve, b.coverage_curve);
+    assert_eq!(a.corpus.entries, b.corpus.entries);
+    assert_eq!(a.corpus.total_novelty, b.corpus.total_novelty);
+}

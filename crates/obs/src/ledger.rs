@@ -45,6 +45,7 @@ pub const ENGINES: &[&str] = &[
     "impossibility",
     "fleet",
     "monitor",
+    "stabilize",
 ];
 
 /// Metrics of one engine run, keyed for serialization.

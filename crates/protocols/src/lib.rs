@@ -11,6 +11,7 @@
 //! | [`stenning`] — Stenning's protocol (§1) | unbounded | yes | non-FIFO, no crashes | shows Theorem 8.5's hypothesis is tight |
 //! | [`nonvolatile`] — epoch protocol with non-volatile memory | unbounded | **no** | FIFO, *with* crashes | shows Theorem 7.5's hypothesis is tight ("BS83" boundary) |
 //! | [`quirky`] — deliberately message-dependent | unbounded | yes | FIFO, no crashes | negative control: engines detect its false independence claim |
+//! | [`stabilizing`] — repetition/counting self-stabilizing link (arXiv 1011.3632) | unbounded | yes | **non-FIFO, arbitrary initial configuration** (eventual) | the Theorem 8.5 boundary revisited: unbounded headers + counting make even corrupted starts converge |
 //!
 //! Every protocol implements the `dl-core` traits ([`ioa::Automaton`],
 //! `StationAutomaton`, `MessageIndependent`) and follows the §5.1
@@ -40,6 +41,7 @@ pub mod parity;
 pub mod quirky;
 pub mod selective_repeat;
 pub mod sliding_window;
+pub mod stabilizing;
 pub mod stenning;
 
 pub use abp::{AbpReceiver, AbpTransmitter};
@@ -49,4 +51,5 @@ pub use parity::{ParityReceiver, ParityTransmitter};
 pub use quirky::{QuirkyReceiver, QuirkyTransmitter};
 pub use selective_repeat::{SrReceiver, SrTransmitter};
 pub use sliding_window::{SwReceiver, SwTransmitter};
+pub use stabilizing::{StabReceiver, StabTransmitter};
 pub use stenning::{StenningReceiver, StenningTransmitter};

@@ -13,7 +13,7 @@
 
 use proptest::prelude::*;
 
-use dl_channels::{FaultSpec, FaultyChannel};
+use dl_channels::{CorruptChannel, CorruptSpec, FaultSpec, FaultyChannel};
 use dl_core::action::{Dir, DlAction};
 use dl_core::protocol::DataLinkProtocol;
 use dl_core::spec::monitor::TraceMonitor;
@@ -66,8 +66,32 @@ fn zoo_schedule(proto: usize, seed: u64, faults: [FaultSpec; 2], script: &Script
         6 => zoo_schedule_for(dl_protocols::stenning::protocol(), seed, faults, script),
         7 => zoo_schedule_for(dl_protocols::nonvolatile::protocol(), seed, faults, script),
         8 => zoo_schedule_for(dl_protocols::quirky::protocol(), seed, faults, script),
-        _ => unreachable!("the zoo has nine protocols"),
+        9 => stabilizing_schedule(seed, faults, script),
+        _ => unreachable!("the zoo has ten protocols"),
     }
+}
+
+/// Zoo member #10 runs over the non-FIFO [`CorruptChannel`] from a
+/// **corrupted initial configuration** (skewed counters, ghost packets
+/// derived from the seed) — the monitor must digest these maximally
+/// reordered, ghost-seeded schedules exactly like any other. The loss
+/// knobs of `faults` carry over; duplication and windows do not apply
+/// (the channel never duplicates and is wholly unordered).
+fn stabilizing_schedule(seed: u64, faults: [FaultSpec; 2], script: &Script) -> Vec<DlAction> {
+    let protocol = dl_protocols::stabilizing::corrupted(3, seed & 3, (seed >> 2) & 7);
+    let corrupt = |lane: u64| CorruptSpec {
+        capacity: 3,
+        ghosts: ((seed >> (4 + 2 * lane)) & 3) as u8,
+        loss: faults[lane as usize].loss,
+        seed: seed ^ (0x0DD5 << lane),
+    };
+    let sys = link_system(
+        protocol.transmitter,
+        protocol.receiver,
+        CorruptChannel::new(Dir::TR, corrupt(0)),
+        CorruptChannel::new(Dir::RT, corrupt(1)),
+    );
+    Runner::new(seed, 30_000).run(&sys, script).schedule()
 }
 
 /// Everything a consumer can observe about a monitor's final state.
@@ -128,7 +152,7 @@ proptest! {
 
     #[test]
     fn batched_ingestion_is_observationally_identical(
-        proto in 0usize..9,
+        proto in 0usize..10,
         seed in any::<u64>(),
         knobs in (0u8..97, 0u8..65, 0u8..4),
         msgs in 1u64..10,
@@ -173,7 +197,7 @@ proptest! {
     /// chunk patterns and compare after every aligned boundary.
     #[test]
     fn in_transit_agrees_at_aligned_chunk_boundaries(
-        proto in 0usize..9,
+        proto in 0usize..10,
         seed in any::<u64>(),
         chunk in 2usize..64,
     ) {
@@ -204,5 +228,45 @@ proptest! {
             }
         }
         prop_assert_eq!(&observables(&one), &observables(&batched));
+    }
+
+    /// Reorder-dense traces: wide reorder windows on the windowed
+    /// protocols, and the wholly unordered ghost-seeded `CorruptChannel`
+    /// for the stabilizing member. Reordering is where batching could
+    /// plausibly fork from streaming — the in-transit multiset churns on
+    /// nearly every action and out-of-order receipts drive the PL-FIFO
+    /// and DL value tables down their rare paths — so it gets its own
+    /// generator: maximal windows, no loss masking, long message runs,
+    /// and adversarial chunk sizes including 1 and the whole trace.
+    #[test]
+    fn reorder_dense_traces_agree_batched_and_streaming(
+        proto in 0usize..10,
+        seed in any::<u64>(),
+        window in 4u8..16,
+        dup in 0u8..33,
+        msgs in 6u64..16,
+        chunk in 1usize..128,
+    ) {
+        let faults = [
+            FaultSpec { loss: 0, dup, reorder: window, burst_good: 0, burst_bad: 0, salt: seed ^ 0xD1 },
+            FaultSpec { loss: 0, dup: 0, reorder: window, burst_good: 0, burst_bad: 0, salt: seed ^ 0x1D },
+        ];
+        let script = Script::new().wake_both().send_msgs(0, msgs).settle();
+        let schedule = zoo_schedule(proto, seed, faults, &script);
+        if schedule.is_empty() {
+            return Ok(());
+        }
+        let mut streaming = TraceMonitor::new();
+        let mut batched = TraceMonitor::new();
+        for slice in schedule.chunks(chunk) {
+            batched.observe_all(slice);
+        }
+        for a in &schedule {
+            streaming.observe(a);
+        }
+        let whole = TraceMonitor::scan(&schedule);
+        let reference = observables(&streaming);
+        prop_assert_eq!(&observables(&batched), &reference, "chunk size {}", chunk);
+        prop_assert_eq!(&observables(&whole), &reference, "one-shot scan");
     }
 }

@@ -11,7 +11,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-STAGES=(toolchain fmt clippy test obs scaling monitor-smoke fuzz-smoke fleet-smoke alloc differential bench-smoke)
+STAGES=(toolchain fmt clippy test obs scaling monitor-smoke fuzz-smoke fleet-smoke stabilize-smoke alloc differential bench-smoke)
 
 stage_toolchain() {
   # The container pins the toolchain by version, not by channel file
@@ -81,6 +81,18 @@ stage_fleet_smoke() {
   # and emit a well-formed ledger; plus the fleet-vs-independent-runners
   # differential at 1/2/4 workers.
   cargo test --release -q -p dl-fleet --test fleet_smoke --test differential
+}
+
+stage_stabilize_smoke() {
+  # Self-stabilization from corrupted initial configurations, release:
+  # bounded convergence runs over the corrupted fault class (hand-built
+  # corruption genes + a cold-start fuzz campaign that must find no
+  # counterexample), the stabilizing-fleet worker-count differential
+  # with convergence-index pins, and the explorer's shortest path into
+  # the stabilized region.
+  cargo test --release -q -p dl-fuzz --test stabilize_smoke
+  cargo test --release -q -p dl-fleet --test differential stabilizing_fleet
+  cargo test --release -q --test model_checking corrupted_stabilizing
 }
 
 stage_alloc() {

@@ -69,3 +69,51 @@ fn fleet_results_are_deterministic_across_worker_counts() {
         );
     }
 }
+
+/// The E14 leg: a fleet whose mix includes the stabilizing protocol —
+/// every corrupted session carries per-session derived corruption
+/// (skewed counters, ghost packets, non-FIFO channels) and is judged in
+/// suffix mode — must be just as worker-count-independent, including the
+/// convergence-index outcomes and the `converged_sessions` /
+/// `convergence_actions_*` ledger counters.
+#[test]
+fn stabilizing_fleet_results_are_deterministic_across_worker_counts() {
+    use datalink::fleet::ProtocolKind;
+    let spec = |workers| FleetSpec {
+        protocols: ProtocolKind::ALL.to_vec(),
+        sessions: 200, // 20 sessions per protocol, stabilizing included
+        corruption_per256: 224,
+        ..matrix_spec(workers)
+    };
+    let oracle = run_fleet(&spec(1));
+    assert!(
+        oracle.verdicts.converged > 0,
+        "the mix must include converged stabilizing sessions"
+    );
+    assert!(
+        oracle
+            .outcomes
+            .iter()
+            .any(|o| o.convergence.is_some_and(|at| at > 0)),
+        "the mix must include sessions that had to climb to converge"
+    );
+    let oracle_ledger = oracle.to_ledger("matrix-stabilize");
+    assert!(oracle_ledger.counters.contains_key("converged_sessions"));
+
+    for workers in worker_matrix() {
+        let report = run_fleet(&spec(workers));
+        assert_eq!(
+            report.outcomes, oracle.outcomes,
+            "per-session outcomes diverged at {workers} workers"
+        );
+        assert_eq!(
+            report.verdicts, oracle.verdicts,
+            "verdict shard (incl. convergence counters) diverged at {workers} workers"
+        );
+        let ledger = report.to_ledger("matrix-stabilize");
+        assert_eq!(
+            ledger.counters, oracle_ledger.counters,
+            "ledger counters diverged at {workers} workers"
+        );
+    }
+}

@@ -537,3 +537,67 @@ fn monitor_trace_property_quiet_on_crash_free_abp() {
     assert_eq!(traced.states_visited, observer.states_visited);
     assert_eq!(traced.quiescent_states, observer.quiescent_states);
 }
+
+/// E14's reachability leg: from a **corrupted** initial configuration —
+/// skewed station counters *and* ghost packets pre-loaded into both
+/// non-FIFO channels — the stabilized region (`stabilizing::converged`)
+/// is reachable, and the explorer produces a shortest path into it.
+/// Phrased as the invariant "the system is never converged", which the
+/// search must refute; the counterexample path is the model-checking
+/// face of the convergence the fleet and fuzz engines observe
+/// statistically.
+#[test]
+fn corrupted_stabilizing_system_reaches_the_converged_region() {
+    use datalink::channels::{CorruptChannel, CorruptSpec};
+    use datalink::protocols::stabilizing;
+
+    let capacity = 2u64;
+    // Receiver three ahead of the transmitter, ghosts in both lanes.
+    let p = stabilizing::corrupted(capacity, 1, 4);
+    let ghosts = |seed: u64| CorruptSpec {
+        capacity: capacity as u8,
+        ghosts: 2,
+        loss: 0,
+        seed,
+    };
+    let sys = checked_system(
+        p.transmitter,
+        p.receiver,
+        CorruptChannel::new(Dir::TR, ghosts(5)),
+        CorruptChannel::new(Dir::RT, ghosts(6)),
+    );
+    let start = woken_start(&sys);
+    assert!(
+        !stabilizing::converged(&start.left.left, &start.left.right),
+        "the corrupted start must lie outside the converged region"
+    );
+    for threads in [1, 2] {
+        let report = ParallelExplorer::new(&sys, crash_free_inputs(2), 2_000_000, 10_000)
+            .threads(threads)
+            .check_invariant_from(vec![start.clone()], |s| {
+                !stabilizing::converged(&s.left.left, &s.left.right)
+            });
+        assert!(
+            report.truncation.is_none(),
+            "state budget too small for the model"
+        );
+        let violation = report
+            .violation
+            .as_ref()
+            .expect("the stabilized region must be reachable");
+        assert!(stabilizing::converged(
+            &violation.state.left.left,
+            &violation.state.left.right
+        ));
+        assert!(
+            !violation.path.is_empty(),
+            "convergence from a corrupted start takes work"
+        );
+        eprintln!(
+            "stabilizing convergence reachable in {} actions over {} states ({} threads)",
+            violation.path.len(),
+            report.states_visited,
+            threads,
+        );
+    }
+}
