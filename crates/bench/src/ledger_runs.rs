@@ -1,6 +1,7 @@
 //! Ledger-emitting release runs of the headline experiments.
 //!
-//! One function per workload — E9 (exhaustive ABP model check), E11
+//! One function per workload — E9 (exhaustive ABP model check), E15
+//! (the same model pushed past 10⁶ states on the packed backend), E11
 //! (monitored simulation run), E12 (fuzz rediscovery), E13 (fleet
 //! traffic engine), E14 (self-stabilization from corrupted
 //! configurations), and the two impossibility constructions — each
@@ -97,21 +98,7 @@ pub fn sleep_from_env() -> u64 {
 pub fn explore_e9(threads: usize, sleep_micros: u64) -> RunLedger {
     let sys = e9_system(3);
     let start = e9_woken(&sys);
-    let explorer = ParallelExplorer::new(
-        &sys,
-        move |s: &<E9Sys as Automaton>::State| {
-            let obs = e9_observer(s);
-            (0..2)
-                .map(Msg)
-                .find(|m| !obs.sent.contains(m))
-                .map(DlAction::SendMsg)
-                .into_iter()
-                .collect()
-        },
-        4_000_000,
-        100_000,
-    )
-    .threads(threads);
+    let explorer = ParallelExplorer::new(&sys, e9_inputs(2), 4_000_000, 100_000).threads(threads);
     let t0 = Instant::now();
     let report = explorer.check_invariant_from(vec![start], |s| e9_observer(s).is_safe());
     stall(sleep_micros);
@@ -119,6 +106,77 @@ pub fn explore_e9(threads: usize, sleep_micros: u64) -> RunLedger {
     assert!(report.holds(), "E9: ABP crash-free safety must hold");
 
     let mut ledger = report.to_ledger("e9");
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    ledger.gauge("states_per_sec", report.states_visited as f64 / secs);
+    ledger.gauge("edges_per_sec", report.edges_expanded() as f64 / secs);
+    ledger.gauge("duration_micros", elapsed.as_secs_f64() * 1e6);
+    ledger
+}
+
+/// The deep-exploration inputs closure: sends the first message in
+/// `0..msgs` the observer has not seen yet.
+fn e9_inputs(msgs: u64) -> impl Fn(&<E9Sys as Automaton>::State) -> Vec<DlAction> + Sync {
+    move |s: &<E9Sys as Automaton>::State| {
+        let obs = e9_observer(s);
+        (0..msgs)
+            .map(Msg)
+            .find(|m| !obs.sent.contains(m))
+            .map(DlAction::SendMsg)
+            .into_iter()
+            .collect()
+    }
+}
+
+/// E15: the deep-exploration workload — the E9 system pushed three
+/// orders of magnitude past E9 (channel capacity 6, 16 messages,
+/// 1,172,809 reachable states) on the **packed** storage backend, so the
+/// ledger's `arena_bytes` counter is the packed-encoding ceiling the
+/// bench gate enforces (an alloc-ceiling rule: +25 % fails).
+///
+/// Counters are thread-count-independent by the engine's determinism
+/// contract, exactly as for E9.
+///
+/// # Panics
+///
+/// Panics if safety stops holding, the search truncates, or the state
+/// count drops below 10⁶ — the workload exists to pin deep reach.
+#[must_use]
+pub fn explore_deep(threads: usize, sleep_micros: u64) -> RunLedger {
+    explore_deep_n(6, 16, 1_000_000, threads, sleep_micros)
+}
+
+/// Parameterized deep exploration (capacity, message alphabet, minimum
+/// reach): [`explore_deep`] is the published `explore/deep` point; the
+/// check-gate smoke stage runs a small instance through the same path.
+#[must_use]
+pub fn explore_deep_n(
+    cap: usize,
+    msgs: u64,
+    min_states: usize,
+    threads: usize,
+    sleep_micros: u64,
+) -> RunLedger {
+    let sys = e9_system(cap);
+    let start = e9_woken(&sys);
+    let explorer = ParallelExplorer::new(&sys, e9_inputs(msgs), 16_000_000, 100_000)
+        .threads(threads)
+        .packed();
+    let t0 = Instant::now();
+    let report = explorer.check_invariant_from(vec![start], |s| e9_observer(s).is_safe());
+    stall(sleep_micros);
+    let elapsed = t0.elapsed();
+    assert!(report.holds(), "deep: ABP crash-free safety must hold");
+    assert!(
+        report.truncation.is_none(),
+        "deep: the search must complete, not truncate"
+    );
+    assert!(
+        report.states_visited >= min_states,
+        "deep: reached only {} of the required {min_states} states",
+        report.states_visited
+    );
+
+    let mut ledger = report.to_ledger("deep");
     let secs = elapsed.as_secs_f64().max(1e-9);
     ledger.gauge("states_per_sec", report.states_visited as f64 / secs);
     ledger.gauge("edges_per_sec", report.edges_expanded() as f64 / secs);
@@ -237,7 +295,9 @@ pub fn fleet_e13(workers: usize, sleep_micros: u64) -> RunLedger {
 /// Counters are worker-count-independent by the fleet's determinism
 /// contract. The headline pair is `converged_sessions` (must equal
 /// `sessions`: arXiv 1011.3632's possibility result, made operational)
-/// and `convergence_actions_total` (aggregate stabilization time).
+/// and the `convergence_actions` histogram (the full distribution of
+/// per-session stabilization times; its exact `sum`/`max` replace the
+/// old aggregate counters).
 ///
 /// # Panics
 ///
@@ -276,14 +336,7 @@ pub fn stabilize_converge(workers: usize, sleep_micros: u64) -> RunLedger {
     ledger.counter("msgs_sent", report.msgs_sent);
     ledger.counter("msgs_delivered", report.msgs_delivered);
     ledger.counter("converged_sessions", report.verdicts.converged);
-    ledger.counter(
-        "convergence_actions_total",
-        report.verdicts.convergence_actions_total,
-    );
-    ledger.counter(
-        "convergence_actions_max",
-        report.verdicts.convergence_actions_max,
-    );
+    ledger.histogram("convergence_actions", &report.verdicts.convergence_hist);
     ledger.counter("violations", report.violations);
     ledger.counter("peak_session_bytes", report.peak_session_bytes);
     let secs = elapsed.as_secs_f64().max(1e-9);
@@ -591,6 +644,7 @@ pub fn all_runs(threads: usize, sleep_micros: u64) -> BenchFile {
         created: format!("unix:{created}"),
         runs: vec![
             explore_e9(threads, sleep_micros),
+            explore_deep(threads, sleep_micros),
             sim_e11(sleep_micros),
             monitor_ingest(sleep_micros),
             fuzz_e12(sleep_micros),

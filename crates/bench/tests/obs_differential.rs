@@ -85,12 +85,12 @@ fn fleet_counters_are_pinned_across_feature_configs() {
     assert_eq!(latency.sum, 19369);
 }
 
-/// The stabilization workload's new ledger fields: convergence counters
-/// are a pure function of the spec in either feature configuration —
-/// and they appear *only* when stabilizing sessions ran, so the classic
-/// fleet ledger above keeps its exact counter set.
+/// The stabilization workload's new ledger fields: the convergence-time
+/// histogram is a pure function of the spec in either feature
+/// configuration — and it appears *only* when stabilizing sessions ran,
+/// so the classic fleet ledger above keeps its exact metric set.
 #[test]
-fn stabilize_convergence_counters_are_pinned_across_feature_configs() {
+fn stabilize_convergence_histogram_is_pinned_across_feature_configs() {
     let spec = dl_fleet::FleetSpec {
         seed: 14,
         sessions: 60,
@@ -103,11 +103,13 @@ fn stabilize_convergence_counters_are_pinned_across_feature_configs() {
     let ledger = report.to_ledger("pin");
     assert_eq!(ledger.counters["sessions"], 60);
     assert_eq!(ledger.counters["converged_sessions"], 60);
-    assert_eq!(ledger.counters["convergence_actions_total"], 89);
-    assert_eq!(ledger.counters["convergence_actions_max"], 5);
     assert_eq!(ledger.counters["violations"], 0);
+    let convergence = &ledger.histograms["convergence_actions"];
+    assert_eq!(convergence.count, 60);
+    assert_eq!(convergence.sum, 89);
+    assert_eq!(convergence.max, 5);
 
-    // The classic mix never grows the new counters (the pinned fleet
+    // The classic mix never grows the new metrics (the pinned fleet
     // ledger above and `bench/baseline.json` rely on this).
     let classic = dl_fleet::run_fleet(&dl_fleet::FleetSpec {
         sessions: 18,
@@ -116,11 +118,8 @@ fn stabilize_convergence_counters_are_pinned_across_feature_configs() {
     let classic_ledger = classic.to_ledger("pin");
     assert!(!classic_ledger.counters.contains_key("converged_sessions"));
     assert!(!classic_ledger
-        .counters
-        .contains_key("convergence_actions_total"));
-    assert!(!classic_ledger
-        .counters
-        .contains_key("convergence_actions_max"));
+        .histograms
+        .contains_key("convergence_actions"));
 }
 
 /// The fuzz campaign: executions, coverage, and the shrunk witness are a

@@ -31,7 +31,7 @@ use std::ops::ControlFlow;
 use ioa::action::ActionClass;
 use ioa::automaton::{Automaton, TaskId};
 
-use dl_core::action::{Dir, DlAction};
+use dl_core::action::{Dir, DlAction, Header, Msg, Packet, Tag};
 use dl_core::protocol::channel_classify;
 
 use crate::simulated::FlightState;
@@ -152,6 +152,65 @@ impl Default for FaultSpec {
     }
 }
 
+/// A deterministic preload of *ghost packets*: the channel half of the
+/// corrupted-configuration fault class (arXiv 1011.3632). A corrupted
+/// configuration may place arbitrary packets in flight before the run
+/// starts; `GhostSpec` generates them as a pure function of `(seed, i)`,
+/// so a corrupted start is replayable from the spec alone — the same
+/// posture as [`FaultSpec::fate`] for in-run faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GhostSpec {
+    /// How many ghost packets to preload (in generation order).
+    pub count: u8,
+    /// Decorrelates ghost streams across channels and genomes.
+    pub seed: u64,
+}
+
+impl GhostSpec {
+    /// No ghosts: the honest empty-channel start.
+    #[must_use]
+    pub fn none() -> Self {
+        GhostSpec { count: 0, seed: 0 }
+    }
+
+    /// `true` when no ghosts are preloaded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The `i`-th ghost packet: tag, sequence number, and payload message
+    /// are all drawn from the avalanche mix of `(seed, i)`; the uid is
+    /// `u64::MAX - 1 - i`, far above any uid a run-stamping monitor
+    /// assigns (and distinct from [`Packet::UNSTAMPED`]), so ghosts never
+    /// collide with genuine traffic in uid-keyed analyses.
+    #[must_use]
+    pub fn packet(&self, i: u8) -> Packet {
+        let h = mix(self.seed, u64::from(i));
+        let tag = match h & 3 {
+            0 => Tag::Data,
+            1 => Tag::Ack,
+            2 => Tag::Init,
+            _ => Tag::InitAck,
+        };
+        let payload = (tag == Tag::Data).then_some(Msg((h >> 4) & 3));
+        Packet {
+            uid: u64::MAX - 1 - u64::from(i),
+            header: Header {
+                tag,
+                seq: (h >> 2) & 3,
+            },
+            payload,
+        }
+    }
+}
+
+impl Default for GhostSpec {
+    fn default() -> Self {
+        GhostSpec::none()
+    }
+}
+
 /// A deterministic fault-injecting channel parameterized by [`FaultSpec`].
 ///
 /// State is the shared [`FlightState`] (in-flight packets + send counter);
@@ -159,17 +218,39 @@ impl Default for FaultSpec {
 /// nondeterminism of its own — all schedule variation comes from the
 /// executor, all fault variation from the spec. That keeps composed runs
 /// reproducible from the runner seed and the spec alone.
+///
+/// An optional [`GhostSpec`] preloads the start state with in-flight ghost
+/// packets, modeling the channel part of a corrupted configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultyChannel {
     dir: Dir,
     spec: FaultSpec,
+    ghosts: GhostSpec,
 }
 
 impl FaultyChannel {
-    /// A channel in `dir` with the given fault knobs.
+    /// A channel in `dir` with the given fault knobs and no ghosts.
     #[must_use]
     pub fn new(dir: Dir, spec: FaultSpec) -> Self {
-        FaultyChannel { dir, spec }
+        FaultyChannel {
+            dir,
+            spec,
+            ghosts: GhostSpec::none(),
+        }
+    }
+
+    /// The same channel starting from a corrupted configuration: `ghosts`
+    /// are already in flight when the run begins.
+    #[must_use]
+    pub fn with_ghosts(mut self, ghosts: GhostSpec) -> Self {
+        self.ghosts = ghosts;
+        self
+    }
+
+    /// This channel's ghost preload.
+    #[must_use]
+    pub fn ghosts(&self) -> GhostSpec {
+        self.ghosts
     }
 
     /// A fault-free (perfect FIFO) channel.
@@ -231,7 +312,11 @@ impl Automaton for FaultyChannel {
     type State = FlightState;
 
     fn start_states(&self) -> Vec<FlightState> {
-        vec![FlightState::default()]
+        let mut s = FlightState::default();
+        for i in 0..self.ghosts.count {
+            s.in_flight.push(self.ghosts.packet(i));
+        }
+        vec![s]
     }
 
     fn classify(&self, a: &DlAction) -> Option<ActionClass> {
@@ -485,6 +570,37 @@ mod tests {
         );
         assert!(ch.successors(&s, &DlAction::Wake(Dir::TR)).is_empty());
         assert_eq!(ch.dir(), Dir::RT);
+    }
+
+    #[test]
+    fn ghost_preload_models_a_corrupted_configuration() {
+        let ghosts = GhostSpec { count: 3, seed: 9 };
+        let ch = FaultyChannel::perfect(Dir::TR).with_ghosts(ghosts);
+        let s = ch.start_states().remove(0);
+        // Deterministic, replayable from the spec alone.
+        assert_eq!(s, ch.start_states().remove(0));
+        assert_eq!(s.in_flight.len(), 3);
+        assert_eq!(s.sends, 0);
+        // Ghost uids sit in their reserved band, away from UNSTAMPED.
+        for p in &s.in_flight {
+            assert!(p.uid >= u64::MAX - 3 && p.uid != Packet::UNSTAMPED);
+        }
+        // Seeds decorrelate ghost streams.
+        let other = FaultyChannel::perfect(Dir::TR).with_ghosts(GhostSpec { count: 3, seed: 10 });
+        assert_ne!(other.start_states(), ch.start_states());
+        // No ghosts ≡ the honest start.
+        assert_eq!(
+            FaultyChannel::perfect(Dir::TR)
+                .with_ghosts(GhostSpec::none())
+                .start_states(),
+            FaultyChannel::perfect(Dir::TR).start_states()
+        );
+        // Ghosts are genuine in-flight packets: the head is deliverable.
+        let head = s.in_flight[0];
+        let t = ch
+            .step_first(&s, &DlAction::ReceivePkt(Dir::TR, head))
+            .expect("ghost head deliverable");
+        assert_eq!(t.in_flight.len(), 2);
     }
 
     #[test]

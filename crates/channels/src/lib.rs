@@ -34,7 +34,7 @@ pub mod simulated;
 
 pub use corrupt::{CorruptChannel, CorruptSpec};
 pub use delivery_set::{DeliverySet, DeliverySetError};
-pub use faulty::{FaultSpec, FaultyChannel};
+pub use faulty::{FaultSpec, FaultyChannel, GhostSpec};
 pub use permissive::{ChannelState, PermissiveChannel, SurgeryError};
 pub use simulated::{
     BurstLossChannel, BurstState, FlightState, LossMode, LossyFifoChannel, ReorderChannel,

@@ -24,6 +24,8 @@ use ioa::automaton::{Automaton, TaskId};
 
 use dl_core::action::{Dir, DlAction, Packet};
 use dl_core::protocol::channel_classify;
+use dl_core::symmetry::{MsgRelabel, MsgVisit};
+use ioa::intern::PackedCodec;
 
 /// Loss behavior of a simulated channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +49,37 @@ pub struct FlightState {
     pub in_flight: Vec<Packet>,
     /// Total `send_pkt` events seen.
     pub sends: u64,
+}
+
+impl PackedCodec for FlightState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.in_flight.encode(out);
+        self.sends.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        FlightState {
+            in_flight: Vec::<Packet>::decode(input),
+            sends: u64::decode(input),
+        }
+    }
+}
+
+impl MsgVisit for FlightState {
+    fn visit_msgs(&self, f: &mut dyn FnMut(dl_core::action::Msg)) {
+        self.in_flight.visit_msgs(f);
+    }
+}
+
+impl MsgRelabel for FlightState {
+    fn relabel_msgs(
+        &self,
+        f: &mut dyn FnMut(dl_core::action::Msg) -> dl_core::action::Msg,
+    ) -> Self {
+        FlightState {
+            in_flight: self.in_flight.relabel_msgs(f),
+            sends: self.sends,
+        }
+    }
 }
 
 fn send_successors(

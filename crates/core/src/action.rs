@@ -10,6 +10,8 @@
 
 use std::fmt;
 
+use ioa::intern::{read_varint, write_varint, PackedCodec};
+
 /// A station name: the transmitter `t` or the receiver `r`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Station {
@@ -115,6 +117,15 @@ impl fmt::Display for Msg {
     }
 }
 
+impl PackedCodec for Msg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.0);
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        Msg(read_varint(input))
+    }
+}
+
 /// The protocol-interpreted part of a packet header: its role.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Tag {
@@ -138,6 +149,26 @@ impl fmt::Display for Tag {
             Tag::InitAck => "INIT-ACK",
         };
         f.write_str(s)
+    }
+}
+
+impl PackedCodec for Tag {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Tag::Data => 0,
+            Tag::Ack => 1,
+            Tag::Init => 2,
+            Tag::InitAck => 3,
+        });
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        match u8::decode(input) {
+            0 => Tag::Data,
+            1 => Tag::Ack,
+            2 => Tag::Init,
+            3 => Tag::InitAck,
+            other => panic!("invalid Tag discriminant {other}"),
+        }
     }
 }
 
@@ -179,6 +210,19 @@ impl Header {
 impl fmt::Display for Header {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}#{}", self.tag, self.seq)
+    }
+}
+
+impl PackedCodec for Header {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.tag.encode(out);
+        write_varint(out, self.seq);
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        Header {
+            tag: Tag::decode(input),
+            seq: read_varint(input),
+        }
     }
 }
 
@@ -244,6 +288,23 @@ impl Packet {
     pub fn content(mut self) -> Self {
         self.uid = Packet::UNSTAMPED;
         self
+    }
+}
+
+impl PackedCodec for Packet {
+    fn encode(&self, out: &mut Vec<u8>) {
+        // Unstamped packets are the common case in explorer states; the
+        // +1 wrap folds `UNSTAMPED` (u64::MAX) to a one-byte varint.
+        write_varint(out, self.uid.wrapping_add(1));
+        self.header.encode(out);
+        self.payload.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        Packet {
+            uid: read_varint(input).wrapping_sub(1),
+            header: Header::decode(input),
+            payload: Option::<Msg>::decode(input),
+        }
     }
 }
 

@@ -20,6 +20,7 @@ use std::collections::BTreeSet;
 
 use ioa::action::ActionClass;
 use ioa::automaton::{Automaton, TaskId};
+use ioa::intern::{read_delta_seq, write_delta_seq, PackedCodec};
 
 use crate::action::{DlAction, Msg};
 
@@ -48,6 +49,53 @@ impl ObserverState {
     #[must_use]
     pub fn is_safe(&self) -> bool {
         self.flag.is_none()
+    }
+}
+
+impl PackedCodec for SafetyFlag {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            SafetyFlag::Duplicate(m) => {
+                out.push(0);
+                m.encode(out);
+            }
+            SafetyFlag::Phantom(m) => {
+                out.push(1);
+                m.encode(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        match u8::decode(input) {
+            0 => SafetyFlag::Duplicate(Msg::decode(input)),
+            1 => SafetyFlag::Phantom(Msg::decode(input)),
+            other => panic!("invalid SafetyFlag discriminant {other}"),
+        }
+    }
+}
+
+impl PackedCodec for ObserverState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        // The message sets are sorted by construction — exactly the
+        // shape delta coding wants.
+        write_delta_seq(out, self.sent.len(), self.sent.iter().map(|m| m.0));
+        write_delta_seq(out, self.received.len(), self.received.iter().map(|m| m.0));
+        self.flag.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        let mut sent = BTreeSet::new();
+        read_delta_seq(input, |v| {
+            sent.insert(Msg(v));
+        });
+        let mut received = BTreeSet::new();
+        read_delta_seq(input, |v| {
+            received.insert(Msg(v));
+        });
+        ObserverState {
+            sent,
+            received,
+            flag: Option::<SafetyFlag>::decode(input),
+        }
     }
 }
 

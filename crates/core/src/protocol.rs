@@ -116,6 +116,99 @@ pub fn owning_station(a: &DlAction) -> Station {
 pub trait StationAutomaton: Automaton<Action = DlAction> {
     /// The station this automaton runs at.
     fn station(&self) -> Station;
+
+    /// A **corrupted initial configuration** (the arXiv 1011.3632 fault
+    /// class, generalized to the whole zoo): the start state with its
+    /// protocol counters skewed by `seq`. Protocols override this to map
+    /// `seq` into whatever sequence/window/bit machinery they keep;
+    /// the default is the honest start state, and every implementation
+    /// must satisfy `corrupted_start(0) == start_states()[0]` so that a
+    /// zero skew is indistinguishable from no corruption at all.
+    fn corrupted_start(&self, seq: u64) -> Self::State {
+        let _ = seq;
+        self.start_states()
+            .into_iter()
+            .next()
+            .expect("station automata have a start state")
+    }
+}
+
+/// An adapter placing a station automaton in a corrupted initial
+/// configuration: identical to the inner automaton except that its unique
+/// start state is [`StationAutomaton::corrupted_start`] of `seq`.
+///
+/// With `seq == 0` the adapter is behaviorally identical to the inner
+/// automaton (see the `corrupted_start` contract), which is what lets the
+/// fuzz targets wrap stations unconditionally without perturbing
+/// corruption-free runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptedStart<A> {
+    inner: A,
+    seq: u64,
+}
+
+impl<A> CorruptedStart<A> {
+    /// Wraps `inner` with its start state skewed by `seq`.
+    pub fn new(inner: A, seq: u64) -> Self {
+        CorruptedStart { inner, seq }
+    }
+}
+
+impl<A: StationAutomaton> Automaton for CorruptedStart<A> {
+    type Action = DlAction;
+    type State = A::State;
+
+    fn start_states(&self) -> Vec<A::State> {
+        vec![self.inner.corrupted_start(self.seq)]
+    }
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        self.inner.classify(a)
+    }
+    fn successors(&self, s: &A::State, a: &DlAction) -> Vec<A::State> {
+        self.inner.successors(s, a)
+    }
+    fn try_for_each_successor(
+        &self,
+        s: &A::State,
+        a: &DlAction,
+        f: &mut dyn FnMut(A::State) -> std::ops::ControlFlow<()>,
+    ) -> std::ops::ControlFlow<()> {
+        self.inner.try_for_each_successor(s, a, f)
+    }
+    fn step_first(&self, s: &A::State, a: &DlAction) -> Option<A::State> {
+        self.inner.step_first(s, a)
+    }
+    fn enabled_local(&self, s: &A::State) -> Vec<DlAction> {
+        self.inner.enabled_local(s)
+    }
+    fn for_each_enabled_local(
+        &self,
+        s: &A::State,
+        f: &mut dyn FnMut(DlAction) -> std::ops::ControlFlow<()>,
+    ) -> std::ops::ControlFlow<()> {
+        self.inner.for_each_enabled_local(s, f)
+    }
+    fn task_of(&self, a: &DlAction) -> ioa::automaton::TaskId {
+        self.inner.task_of(a)
+    }
+    fn task_count(&self) -> usize {
+        self.inner.task_count()
+    }
+}
+
+impl<A: StationAutomaton> StationAutomaton for CorruptedStart<A> {
+    fn station(&self) -> Station {
+        self.inner.station()
+    }
+    fn corrupted_start(&self, seq: u64) -> Self::State {
+        self.inner.corrupted_start(seq)
+    }
+}
+
+impl<A: StationAutomaton + MessageIndependent> MessageIndependent for CorruptedStart<A> {
+    fn relabel_state(&self, state: &Self::State, renaming: &MsgRenaming) -> Self::State {
+        self.inner.relabel_state(state, renaming)
+    }
 }
 
 /// Message-independence (§5.3.1) as an executable capability: applying a

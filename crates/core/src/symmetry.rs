@@ -1,0 +1,773 @@
+//! Message-symmetry quotients: canonical renamings, a quotient automaton,
+//! and counterexample lifting.
+//!
+//! §5.3.1's message-independence axiom says protocol automata commute with
+//! message renamings: if `s —a→ t` then `ρ(s) —ρ(a)→ ρ(t)` for any
+//! bijective renaming `ρ` of the message universe. Exploration engines can
+//! therefore identify states that differ only by which concrete messages
+//! occupy which protocol slots — the *orbit* of a state under the renaming
+//! group — and explore one representative per orbit.
+//!
+//! This module provides the machinery:
+//!
+//! * [`MsgVisit`] / [`MsgRelabel`] — structural traits letting a state
+//!   enumerate the messages it mentions (in a fixed traversal order) and
+//!   rebuild itself under a message substitution;
+//! * [`canonical_renaming`] / [`canonicalize`] — the first-occurrence
+//!   canonical form: traversing the state, the `j`-th distinct message of
+//!   residue class `r` (classes modulo [`ProtocolInfo::msg_class_modulus`],
+//!   or the single class when unbounded) is renamed to `Msg(r + j·c)`;
+//! * [`Quotient`] — an automaton wrapper that canonicalizes start states
+//!   and every successor, so a downstream explorer visits orbit
+//!   representatives only;
+//! * [`lift_canonical_path`] — replays a canonical-level counterexample
+//!   into a concrete execution of the unquotiented system, so minimal
+//!   claims stay checkable against the real automaton.
+//!
+//! # Soundness and completeness
+//!
+//! Canonicalization is a pure function of the state, so quotient runs are
+//! deterministic and independent of thread count. Soundness (every
+//! canonical trace lifts to a concrete trace) follows from
+//! message-independence; [`lift_canonical_path`] realizes the lift
+//! constructively. Completeness is *up to renaming*: a property violated
+//! by some concrete execution is violated by a canonical one **provided**
+//! the property itself is renaming-invariant (the WDL observer flags are)
+//! and the environment offers inputs symmetrically.
+//!
+//! One deliberate approximation: containers with content-dependent
+//! iteration order (`BTreeSet`) traverse in *sorted* order, which is not
+//! equivariant under renaming — two orbit-equivalent states can
+//! canonicalize differently when their sorted orders interleave
+//! differently. The quotient then merges only part of each orbit. That
+//! costs reduction, never correctness: canonical states are still genuine
+//! reachable-modulo-renaming states, and the visited-set semantics is
+//! unchanged.
+//!
+//! [`ProtocolInfo::msg_class_modulus`]: crate::protocol::ProtocolInfo::msg_class_modulus
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use ioa::action::ActionClass;
+use ioa::automaton::{Automaton, TaskId};
+use ioa::composition::Pair;
+
+use crate::action::{DlAction, Msg, Packet};
+use crate::equivalence::MsgRenaming;
+use crate::observer::ObserverState;
+
+/// Enumerates the messages a value mentions, in a deterministic traversal
+/// order (field order, then container order).
+///
+/// The traversal order defines the canonical form, so implementations must
+/// be stable: same value, same sequence of callbacks.
+pub trait MsgVisit {
+    /// Calls `f` once per message *occurrence* (duplicates included).
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg));
+}
+
+/// Rebuilds a value with every message passed through a substitution.
+///
+/// The substitution is an arbitrary function, not necessarily a
+/// [`MsgRenaming`]; callers (canonicalization, lifting) guarantee
+/// injectivity on the messages the value actually mentions.
+pub trait MsgRelabel: Sized {
+    /// Returns a copy of `self` with each message `m` replaced by `f(m)`.
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self;
+}
+
+impl MsgVisit for Msg {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        f(*self);
+    }
+}
+
+impl MsgRelabel for Msg {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        f(*self)
+    }
+}
+
+impl MsgVisit for Packet {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        if let Some(m) = self.payload {
+            f(m);
+        }
+    }
+}
+
+impl MsgRelabel for Packet {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        Packet {
+            uid: self.uid,
+            header: self.header,
+            payload: self.payload.map(&mut *f),
+        }
+    }
+}
+
+/// Scalars mention no messages; blanket-style impls keep generic container
+/// impls usable for fields like `VecDeque<bool>`.
+macro_rules! msg_opaque {
+    ($($t:ty),* $(,)?) => {$(
+        impl MsgVisit for $t {
+            fn visit_msgs(&self, _f: &mut dyn FnMut(Msg)) {}
+        }
+        impl MsgRelabel for $t {
+            fn relabel_msgs(&self, _f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+                *self
+            }
+        }
+    )*};
+}
+
+msg_opaque!(bool, u8, u16, u32, u64, usize, i64);
+
+impl<T: MsgVisit> MsgVisit for Option<T> {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        if let Some(x) = self {
+            x.visit_msgs(f);
+        }
+    }
+}
+
+impl<T: MsgRelabel> MsgRelabel for Option<T> {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        self.as_ref().map(|x| x.relabel_msgs(f))
+    }
+}
+
+impl<T: MsgVisit> MsgVisit for Vec<T> {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        for x in self {
+            x.visit_msgs(f);
+        }
+    }
+}
+
+impl<T: MsgRelabel> MsgRelabel for Vec<T> {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        self.iter().map(|x| x.relabel_msgs(f)).collect()
+    }
+}
+
+impl<T: MsgVisit> MsgVisit for VecDeque<T> {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        for x in self {
+            x.visit_msgs(f);
+        }
+    }
+}
+
+impl<T: MsgRelabel> MsgRelabel for VecDeque<T> {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        self.iter().map(|x| x.relabel_msgs(f)).collect()
+    }
+}
+
+impl<T: MsgVisit, const N: usize> MsgVisit for [T; N] {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        for x in self {
+            x.visit_msgs(f);
+        }
+    }
+}
+
+impl<T: MsgRelabel, const N: usize> MsgRelabel for [T; N] {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        std::array::from_fn(|i| self[i].relabel_msgs(f))
+    }
+}
+
+/// Sequence-number sets carry no messages.
+impl MsgVisit for BTreeSet<u64> {
+    fn visit_msgs(&self, _f: &mut dyn FnMut(Msg)) {}
+}
+
+impl MsgRelabel for BTreeSet<u64> {
+    fn relabel_msgs(&self, _f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        self.clone()
+    }
+}
+
+/// Reassembly buffers visit payloads in key order (keys are sequence
+/// numbers, not messages, so the traversal *is* equivariant here).
+impl MsgVisit for BTreeMap<u64, Msg> {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        for m in self.values() {
+            f(*m);
+        }
+    }
+}
+
+impl MsgRelabel for BTreeMap<u64, Msg> {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        self.iter().map(|(&k, m)| (k, f(*m))).collect()
+    }
+}
+
+impl<A: MsgVisit, B: MsgVisit> MsgVisit for (A, B) {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        self.0.visit_msgs(f);
+        self.1.visit_msgs(f);
+    }
+}
+
+impl<A: MsgRelabel, B: MsgRelabel> MsgRelabel for (A, B) {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        (self.0.relabel_msgs(f), self.1.relabel_msgs(f))
+    }
+}
+
+impl<L: MsgVisit, R: MsgVisit> MsgVisit for Pair<L, R> {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        self.left.visit_msgs(f);
+        self.right.visit_msgs(f);
+    }
+}
+
+impl<L: MsgRelabel, R: MsgRelabel> MsgRelabel for Pair<L, R> {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        Pair {
+            left: self.left.relabel_msgs(f),
+            right: self.right.relabel_msgs(f),
+        }
+    }
+}
+
+/// `BTreeSet<Msg>` visits in sorted order — deterministic, but *not*
+/// equivariant under renaming (see the module docs on partial orbit
+/// merging).
+impl MsgVisit for BTreeSet<Msg> {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        for m in self {
+            f(*m);
+        }
+    }
+}
+
+impl MsgRelabel for BTreeSet<Msg> {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        self.iter().map(|m| f(*m)).collect()
+    }
+}
+
+impl MsgVisit for ObserverState {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        self.sent.visit_msgs(f);
+        self.received.visit_msgs(f);
+        if let Some(flag) = &self.flag {
+            match flag {
+                crate::observer::SafetyFlag::Duplicate(m)
+                | crate::observer::SafetyFlag::Phantom(m) => f(*m),
+            }
+        }
+    }
+}
+
+impl MsgRelabel for ObserverState {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        ObserverState {
+            sent: self.sent.relabel_msgs(f),
+            received: self.received.relabel_msgs(f),
+            flag: self.flag.map(|flag| match flag {
+                crate::observer::SafetyFlag::Duplicate(m) => {
+                    crate::observer::SafetyFlag::Duplicate(f(m))
+                }
+                crate::observer::SafetyFlag::Phantom(m) => {
+                    crate::observer::SafetyFlag::Phantom(f(m))
+                }
+            }),
+        }
+    }
+}
+
+impl MsgVisit for DlAction {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        match self {
+            DlAction::SendMsg(m) | DlAction::ReceiveMsg(m) => f(*m),
+            DlAction::SendPkt(_, p) | DlAction::ReceivePkt(_, p) => p.visit_msgs(f),
+            _ => {}
+        }
+    }
+}
+
+impl MsgRelabel for DlAction {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        match self {
+            DlAction::SendMsg(m) => DlAction::SendMsg(f(*m)),
+            DlAction::ReceiveMsg(m) => DlAction::ReceiveMsg(f(*m)),
+            DlAction::SendPkt(d, p) => DlAction::SendPkt(*d, p.relabel_msgs(f)),
+            DlAction::ReceivePkt(d, p) => DlAction::ReceivePkt(*d, p.relabel_msgs(f)),
+            other => *other,
+        }
+    }
+}
+
+/// The canonical renaming of `state`: traversing via [`MsgVisit`], the
+/// `j`-th distinct message of residue class `r = m mod c` maps to
+/// `Msg(r + j·c)` (with `c = class_modulus.unwrap_or(1)`, a single class).
+///
+/// The result is injective on the messages the state mentions; its action
+/// off that set is unspecified (and never used).
+#[must_use]
+pub fn canonical_renaming(state: &impl MsgVisit, class_modulus: Option<u64>) -> MsgRenaming {
+    let c = class_modulus.unwrap_or(1).max(1);
+    let mut next: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut seen: BTreeSet<Msg> = BTreeSet::new();
+    let mut rho = MsgRenaming::identity();
+    state.visit_msgs(&mut |m| {
+        if !seen.insert(m) {
+            return;
+        }
+        let r = m.0 % c;
+        let j = next.entry(r).or_insert(0);
+        let target = Msg(r + *j * c);
+        *j += 1;
+        if target != m {
+            rho.insert(m, target)
+                .expect("first-occurrence targets are distinct per class");
+        }
+    });
+    rho
+}
+
+/// Canonicalizes a state: returns the orbit representative together with
+/// the renaming `ρ` that produced it (`canon = ρ(state)`).
+#[must_use]
+pub fn canonicalize<S: MsgVisit + MsgRelabel>(
+    state: &S,
+    class_modulus: Option<u64>,
+) -> (S, MsgRenaming) {
+    let rho = canonical_renaming(state, class_modulus);
+    let canon = state.relabel_msgs(&mut |m| rho.apply(m));
+    (canon, rho)
+}
+
+/// An automaton whose states are the canonical orbit representatives of an
+/// inner automaton's states: start states and successors are passed
+/// through [`canonicalize`] before being handed to the caller.
+///
+/// With `class_modulus = None` and states whose messages already appear in
+/// first-occurrence order, canonicalization is the identity and the
+/// quotient explores exactly the inner graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quotient<M> {
+    inner: M,
+    class_modulus: Option<u64>,
+}
+
+impl<M> Quotient<M> {
+    /// Wraps `inner`, canonicalizing modulo `class_modulus` message
+    /// classes (`None` = one class).
+    pub fn new(inner: M, class_modulus: Option<u64>) -> Self {
+        Quotient {
+            inner,
+            class_modulus,
+        }
+    }
+
+    /// The wrapped automaton.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The class modulus used for canonicalization.
+    #[must_use]
+    pub fn class_modulus(&self) -> Option<u64> {
+        self.class_modulus
+    }
+}
+
+impl<M> Automaton for Quotient<M>
+where
+    M: Automaton<Action = DlAction>,
+    M::State: MsgVisit + MsgRelabel,
+{
+    type Action = DlAction;
+    type State = M::State;
+
+    fn start_states(&self) -> Vec<M::State> {
+        self.inner
+            .start_states()
+            .into_iter()
+            .map(|s| canonicalize(&s, self.class_modulus).0)
+            .collect()
+    }
+
+    fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+        self.inner.classify(a)
+    }
+
+    fn successors(&self, s: &M::State, a: &DlAction) -> Vec<M::State> {
+        self.inner
+            .successors(s, a)
+            .into_iter()
+            .map(|t| canonicalize(&t, self.class_modulus).0)
+            .collect()
+    }
+
+    fn try_for_each_successor(
+        &self,
+        s: &M::State,
+        a: &DlAction,
+        f: &mut dyn FnMut(M::State) -> std::ops::ControlFlow<()>,
+    ) -> std::ops::ControlFlow<()> {
+        let c = self.class_modulus;
+        self.inner
+            .try_for_each_successor(s, a, &mut |t| f(canonicalize(&t, c).0))
+    }
+
+    fn enabled_local(&self, s: &M::State) -> Vec<DlAction> {
+        self.inner.enabled_local(s)
+    }
+
+    fn for_each_enabled_local(
+        &self,
+        s: &M::State,
+        f: &mut dyn FnMut(DlAction) -> std::ops::ControlFlow<()>,
+    ) -> std::ops::ControlFlow<()> {
+        self.inner.for_each_enabled_local(s, f)
+    }
+
+    fn task_of(&self, a: &DlAction) -> TaskId {
+        self.inner.task_of(a)
+    }
+
+    fn task_count(&self) -> usize {
+        self.inner.task_count()
+    }
+}
+
+/// A concrete execution recovered from a canonical-level action path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiftedPath<S> {
+    /// The concrete start state (an actual inner start state).
+    pub start: S,
+    /// The concrete steps: action taken, state reached.
+    pub steps: Vec<(DlAction, S)>,
+}
+
+/// Substitution state threaded through the lift: a canonical→concrete
+/// message map for the *current* step plus the set of concrete messages
+/// ever used (so fresh picks never collide with history).
+struct Sigma {
+    map: BTreeMap<Msg, Msg>,
+    used: BTreeSet<Msg>,
+    class_modulus: u64,
+}
+
+impl Sigma {
+    /// Resolves a canonical message, minting a fresh class-preserving
+    /// concrete message for canonically-new ones.
+    fn resolve(&mut self, m: Msg) -> Msg {
+        if let Some(&v) = self.map.get(&m) {
+            return v;
+        }
+        let c = self.class_modulus;
+        let r = m.0 % c;
+        let mut j = 0u64;
+        let fresh = loop {
+            let cand = Msg(r + j * c);
+            if !self.used.contains(&cand) {
+                break cand;
+            }
+            j += 1;
+        };
+        self.map.insert(m, fresh);
+        self.used.insert(fresh);
+        fresh
+    }
+}
+
+/// Lifts a canonical-level counterexample path back to a concrete
+/// execution of `inner`.
+///
+/// `actions` is the action sequence of a path in
+/// [`Quotient`]`(inner, class_modulus)` starting from one of its start
+/// states; `accept` judges the *final concrete state* (it must be
+/// renaming-invariant, as the WDL observer flags are). The lift replays
+/// the path by depth-first search over the inner automaton's
+/// nondeterministic successor choices, threading the canonical→concrete
+/// substitution `σ` across steps: at each transition the raw successor `t`
+/// canonicalizes via `ρ`, the new substitution is `σ ∘ ρ⁻¹` restricted to
+/// the messages of `ρ(t)`, and the concrete successor is `σ(t)` — a real
+/// successor of the concrete state by message-independence. Canonically
+/// fresh messages are mapped to fresh concrete messages of the same class,
+/// so the concrete trace never conflates two canonical messages.
+///
+/// Returns the first concrete execution whose final state satisfies
+/// `accept`, or `None` if no successor resolution realizes the path. When
+/// the quotient is trivial (canonicalization fixed every state on the
+/// path), the lifted path is byte-identical to the canonical one.
+pub fn lift_canonical_path<M>(
+    inner: &M,
+    class_modulus: Option<u64>,
+    actions: &[DlAction],
+    accept: &dyn Fn(&M::State) -> bool,
+) -> Option<LiftedPath<M::State>>
+where
+    M: Automaton<Action = DlAction>,
+    M::State: MsgVisit + MsgRelabel,
+{
+    let c = class_modulus.unwrap_or(1).max(1);
+    for concrete_start in inner.start_states() {
+        let (canon_start, rho) = canonicalize(&concrete_start, class_modulus);
+        // σ₀ sends each canonical message back to the concrete one it
+        // came from; `used` seeds with the start's concrete messages.
+        let mut sigma = Sigma {
+            map: BTreeMap::new(),
+            used: BTreeSet::new(),
+            class_modulus: c,
+        };
+        concrete_start.visit_msgs(&mut |m| {
+            sigma.map.insert(rho.apply(m), m);
+            sigma.used.insert(m);
+        });
+        if let Some(steps) = lift_dfs(inner, class_modulus, &canon_start, sigma, actions, accept) {
+            return Some(LiftedPath {
+                start: concrete_start,
+                steps,
+            });
+        }
+    }
+    None
+}
+
+fn lift_dfs<M>(
+    inner: &M,
+    class_modulus: Option<u64>,
+    canon: &M::State,
+    mut sigma: Sigma,
+    rest: &[DlAction],
+    accept: &dyn Fn(&M::State) -> bool,
+) -> Option<Vec<(DlAction, M::State)>>
+where
+    M: Automaton<Action = DlAction>,
+    M::State: MsgVisit + MsgRelabel,
+{
+    let Some((action, tail)) = rest.split_first() else {
+        let concrete = canon.relabel_msgs(&mut |m| sigma.resolve(m));
+        return accept(&concrete).then(Vec::new);
+    };
+    // Bind the action's messages first so the concrete action and the
+    // concrete successor agree on fresh picks.
+    let concrete_action = action.relabel_msgs(&mut |m| sigma.resolve(m));
+    for t in inner.successors(canon, action) {
+        // Extend σ over everything `t` mentions (it can only add the
+        // action's messages, already bound above, but stay defensive),
+        // then rebase it through this successor's canonical renaming.
+        let mut fork = Sigma {
+            map: sigma.map.clone(),
+            used: sigma.used.clone(),
+            class_modulus: sigma.class_modulus,
+        };
+        let concrete_t = t.relabel_msgs(&mut |m| fork.resolve(m));
+        let (canon_t, rho) = canonicalize(&t, class_modulus);
+        let mut rebased: BTreeMap<Msg, Msg> = BTreeMap::new();
+        t.visit_msgs(&mut |m| {
+            rebased.insert(rho.apply(m), *fork.map.get(&m).expect("σ is total on t"));
+        });
+        let next = Sigma {
+            map: rebased,
+            used: fork.used,
+            class_modulus: fork.class_modulus,
+        };
+        if let Some(mut steps) = lift_dfs(inner, class_modulus, &canon_t, next, tail, accept) {
+            let mut out = Vec::with_capacity(steps.len() + 1);
+            out.push((concrete_action, concrete_t));
+            out.append(&mut steps);
+            return Some(out);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{Dir, Header, Tag};
+
+    #[test]
+    fn canonical_renaming_is_first_occurrence_order() {
+        // Visit order 7, 3, 7, 9 → 7↦0, 3↦1, 9↦2.
+        let state = vec![Msg(7), Msg(3), Msg(7), Msg(9)];
+        let rho = canonical_renaming(&state, None);
+        assert_eq!(rho.apply(Msg(7)), Msg(0));
+        assert_eq!(rho.apply(Msg(3)), Msg(1));
+        assert_eq!(rho.apply(Msg(9)), Msg(2));
+        let (canon, _) = canonicalize(&state, None);
+        assert_eq!(canon, vec![Msg(0), Msg(1), Msg(0), Msg(2)]);
+    }
+
+    #[test]
+    fn canonical_renaming_preserves_classes() {
+        // Modulus 3: class 1 gets 1, 4, 7…; class 2 gets 2, 5, 8….
+        let state = vec![Msg(10), Msg(5), Msg(4)];
+        let (canon, _) = canonicalize(&state, Some(3));
+        assert_eq!(canon, vec![Msg(1), Msg(2), Msg(4)]);
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent() {
+        let state = vec![Msg(42), Msg(17), Msg(42), Msg(5)];
+        let (canon, _) = canonicalize(&state, None);
+        let (again, rho) = canonicalize(&canon, None);
+        assert_eq!(canon, again);
+        assert_eq!(rho.support_len(), 0);
+    }
+
+    #[test]
+    fn orbit_equivalent_states_share_a_canonical_form() {
+        let a = vec![Msg(2), Msg(9)];
+        let b = vec![Msg(100), Msg(3)];
+        assert_eq!(canonicalize(&a, None).0, canonicalize(&b, None).0);
+    }
+
+    #[test]
+    fn packets_relabel_payload_only() {
+        let p = Packet {
+            uid: 12,
+            header: Header {
+                tag: Tag::Data,
+                seq: 1,
+            },
+            payload: Some(Msg(9)),
+        };
+        let q = p.relabel_msgs(&mut |m| Msg(m.0 + 1));
+        assert_eq!(q.uid, 12);
+        assert_eq!(q.header, p.header);
+        assert_eq!(q.payload, Some(Msg(10)));
+        let mut seen = Vec::new();
+        p.visit_msgs(&mut |m| seen.push(m));
+        assert_eq!(seen, vec![Msg(9)]);
+    }
+
+    #[test]
+    fn composition_after_applies_right_then_left() {
+        let mut r1 = MsgRenaming::identity();
+        r1.insert(Msg(0), Msg(1)).unwrap();
+        r1.insert(Msg(1), Msg(0)).unwrap();
+        let mut r2 = MsgRenaming::identity();
+        r2.insert(Msg(5), Msg(0)).unwrap();
+        r2.insert(Msg(0), Msg(5)).unwrap();
+        let composed = r1.after(&r2).unwrap();
+        // 5 →(r2) 0 →(r1) 1.
+        assert_eq!(composed.apply(Msg(5)), Msg(1));
+        // 0 →(r2) 5 →(r1) 5.
+        assert_eq!(composed.apply(Msg(0)), Msg(5));
+        // 1 →(r2) 1 →(r1) 0.
+        assert_eq!(composed.apply(Msg(1)), Msg(0));
+    }
+
+    #[test]
+    fn composition_with_inverse_cancels() {
+        let state = vec![Msg(8), Msg(2), Msg(11)];
+        let rho = canonical_renaming(&state, None);
+        let id = rho.inverse().after(&rho).unwrap();
+        for m in &state {
+            assert_eq!(id.apply(*m), *m);
+        }
+    }
+
+    /// A toy 1-place channel: `send_pkt` stores the packet, `receive_pkt`
+    /// emits it. Nondeterministic start (empty or pre-loaded) to exercise
+    /// the DFS in [`lift_canonical_path`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Cell;
+
+    impl Automaton for Cell {
+        type Action = DlAction;
+        type State = Option<Packet>;
+
+        fn start_states(&self) -> Vec<Self::State> {
+            vec![None]
+        }
+        fn classify(&self, a: &DlAction) -> Option<ActionClass> {
+            match a {
+                DlAction::SendPkt(Dir::TR, _) => Some(ActionClass::Input),
+                DlAction::ReceivePkt(Dir::TR, _) => Some(ActionClass::Output),
+                _ => None,
+            }
+        }
+        fn successors(&self, s: &Self::State, a: &DlAction) -> Vec<Self::State> {
+            match a {
+                DlAction::SendPkt(Dir::TR, p) => vec![Some(*p)],
+                DlAction::ReceivePkt(Dir::TR, p) if s.as_ref() == Some(p) => vec![None],
+                _ => vec![],
+            }
+        }
+        fn enabled_local(&self, s: &Self::State) -> Vec<DlAction> {
+            s.iter()
+                .map(|p| DlAction::ReceivePkt(Dir::TR, *p))
+                .collect()
+        }
+        fn task_of(&self, _a: &DlAction) -> TaskId {
+            TaskId(0)
+        }
+        fn task_count(&self) -> usize {
+            1
+        }
+    }
+
+    fn pkt(m: u64) -> Packet {
+        Packet {
+            uid: Packet::UNSTAMPED,
+            header: Header {
+                tag: Tag::Data,
+                seq: 0,
+            },
+            payload: Some(Msg(m)),
+        }
+    }
+
+    #[test]
+    fn quotient_canonicalizes_successors() {
+        let q = Quotient::new(Cell, None);
+        let s = q.start_states().remove(0);
+        let succ = q.successors(&s, &DlAction::SendPkt(Dir::TR, pkt(77)));
+        // The stored payload canonicalizes to the least message.
+        assert_eq!(succ, vec![Some(pkt(0))]);
+    }
+
+    #[test]
+    fn lift_recovers_a_concrete_execution() {
+        // Canonical path: send pkt(0); receive pkt(0).
+        let actions = vec![
+            DlAction::SendPkt(Dir::TR, pkt(0)),
+            DlAction::ReceivePkt(Dir::TR, pkt(0)),
+        ];
+        let lifted =
+            lift_canonical_path(&Cell, None, &actions, &|s| s.is_none()).expect("path lifts");
+        assert_eq!(lifted.start, None);
+        assert_eq!(lifted.steps.len(), 2);
+        // Concrete actions stay consistent: the packet received is the
+        // packet sent.
+        let (a0, s0) = &lifted.steps[0];
+        let (a1, s1) = &lifted.steps[1];
+        let DlAction::SendPkt(Dir::TR, p_sent) = a0 else {
+            panic!("expected send, got {a0:?}");
+        };
+        assert_eq!(*s0, Some(*p_sent));
+        assert_eq!(*a1, DlAction::ReceivePkt(Dir::TR, *p_sent));
+        assert_eq!(*s1, None);
+        // Each concrete step really is a step of the inner automaton.
+        let mut cur = lifted.start;
+        for (a, s) in &lifted.steps {
+            assert!(Cell.successors(&cur, a).contains(s), "invalid step {a:?}");
+            cur = *s;
+        }
+    }
+
+    #[test]
+    fn trivial_quotient_lift_is_byte_identical() {
+        // Messages already in canonical order: the lift must reproduce
+        // the canonical path exactly.
+        let actions = vec![DlAction::SendPkt(Dir::TR, pkt(0))];
+        let lifted = lift_canonical_path(&Cell, None, &actions, &|s| s.is_some()).unwrap();
+        assert_eq!(
+            lifted.steps,
+            vec![(DlAction::SendPkt(Dir::TR, pkt(0)), Some(pkt(0)))]
+        );
+    }
+}

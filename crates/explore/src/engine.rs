@@ -1,29 +1,42 @@
 //! The layer-synchronous parallel BFS engine.
 //!
-//! States are interned once in a [`StateTable`] arena; everything else —
-//! the visited index, the spanning-tree links, the frontier itself (a
-//! contiguous id range per layer) — carries dense `u32` ids. The arena is
-//! frozen while workers expand a layer (they read it concurrently to
-//! resolve visited-index probes) and grows only at the layer barrier,
-//! where the engine admits the drained claims in deterministic sorted
-//! order. Workers reuse per-worker scratch buffers and enumerate
-//! transitions through the allocation-free [`Automaton`] callbacks, so a
-//! steady-state expansion allocates only for genuinely new states.
+//! States are admitted once into a pluggable [`StateStore`] arena;
+//! everything else — the spanning-tree links, the frontier itself (a
+//! contiguous id range per layer) — carries dense `u32` ids. The store
+//! is frozen while workers expand a layer: membership for admitted
+//! states is a read-only store lookup, and intra-layer discoveries are
+//! coordinated through the lock-free [`LayerFilter`]. The store grows
+//! only at the layer barrier, where the engine merges worker-local
+//! overflow claims with the drained filter, sorts by minimal claim key,
+//! and admits in that deterministic order. Workers reuse per-worker
+//! scratch buffers and enumerate transitions through the
+//! allocation-free [`Automaton`] callbacks, so a steady-state expansion
+//! allocates only for genuinely new states (plus, on the packed
+//! backend, one encoding buffer per discovered edge).
 
-use std::hash::Hash;
+use std::collections::HashMap;
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use dl_obs::Stopwatch;
-use ioa::{Automaton, StateId, StateTable};
+use ioa::Automaton;
 
 use crate::property::{Invariant, Property, TraceProperty};
 use crate::report::{ExploreReport, LayerStats, Truncation, Violation};
-use crate::shard::{ClaimKey, ClaimOutcome, FreshClaim, ShardedVisited, SharedHasher};
+use crate::shard::{ClaimKey, Claimed, LayerFilter, PendingState};
+use crate::store::{ExploreBackend, PackedBackend, PlainBackend, StateStore};
 
 /// Root marker in the spanning-tree link arrays.
 const NO_LINK: u32 = u32::MAX;
+
+/// The claim representation a backend's store circulates.
+type ReprOf<B, S> = <<B as ExploreBackend<S>>::Store as StateStore<S>>::Repr;
+
+/// What one worker hands back from a layer expansion: its local stats
+/// and the claims the lock-free filter could not decide (merged at the
+/// barrier).
+type WorkerOutcome<R> = (WorkerStats, Vec<PendingState<R>>);
 
 #[derive(Default, Clone, Copy)]
 struct WorkerStats {
@@ -47,9 +60,11 @@ impl WorkerStats {
 /// Drop-in generalization of [`ioa::Explorer`]: same constructor shape
 /// (`automaton`, permitted-inputs closure, state and depth budgets), plus
 /// [`threads`](ParallelExplorer::threads) /
-/// [`shards`](ParallelExplorer::shards) controls and multi-property
-/// search via [`check_properties_from`](ParallelExplorer::check_properties_from).
-pub struct ParallelExplorer<M, I> {
+/// [`shards`](ParallelExplorer::shards) controls, pluggable state
+/// storage ([`packed`](ParallelExplorer::packed) swaps the struct arena
+/// for bit-packed encodings), and multi-property search via
+/// [`check_properties_from`](ParallelExplorer::check_properties_from).
+pub struct ParallelExplorer<M, I, B = PlainBackend> {
     automaton: M,
     /// Environment inputs permitted in a given state.
     inputs: I,
@@ -57,19 +72,14 @@ pub struct ParallelExplorer<M, I> {
     max_depth: usize,
     threads: usize,
     shards: usize,
+    backend: B,
 }
 
-impl<M, I> ParallelExplorer<M, I>
-where
-    M: Automaton + Sync,
-    M::State: Hash + Send + Sync,
-    M::Action: Send + Sync,
-    I: Fn(&M::State) -> Vec<M::Action> + Sync,
-{
-    /// Creates an explorer. `inputs(state)` returns the environment input
-    /// actions to consider from `state` (return an empty vector for a
-    /// closed system). Thread count defaults to the machine's available
-    /// parallelism.
+impl<M, I> ParallelExplorer<M, I, PlainBackend> {
+    /// Creates an explorer over the default plain (full-struct) storage.
+    /// `inputs(state)` returns the environment input actions to consider
+    /// from `state` (return an empty vector for a closed system). Thread
+    /// count defaults to the machine's available parallelism.
     pub fn new(automaton: M, inputs: I, max_states: usize, max_depth: usize) -> Self {
         ParallelExplorer {
             automaton,
@@ -78,9 +88,12 @@ where
             max_depth,
             threads: 0,
             shards: 64,
+            backend: PlainBackend,
         }
     }
+}
 
+impl<M, I, B> ParallelExplorer<M, I, B> {
     /// Sets the worker thread count; `0` means available parallelism.
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
@@ -88,11 +101,38 @@ where
         self
     }
 
-    /// Sets the visited-set shard count (rounded up to a power of two).
+    /// Sets the claim-filter segment count (rounded up to a power of
+    /// two).
     #[must_use]
     pub fn shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
         self
+    }
+
+    /// Swaps the state-storage backend, keeping every other setting.
+    pub fn with_backend<B2>(self, backend: B2) -> ParallelExplorer<M, I, B2> {
+        ParallelExplorer {
+            automaton: self.automaton,
+            inputs: self.inputs,
+            max_states: self.max_states,
+            max_depth: self.max_depth,
+            threads: self.threads,
+            shards: self.shards,
+            backend,
+        }
+    }
+
+    /// Stores states as packed canonical encodings ([`PackedBackend`]):
+    /// same admitted states, same ids, same verdicts — a fraction of the
+    /// arena bytes. Requires `M::State: PackedCodec`.
+    pub fn packed(self) -> ParallelExplorer<M, I, PackedBackend> {
+        self.with_backend(PackedBackend::new())
+    }
+
+    /// Packed storage with the disk-spill path enabled: resident arena
+    /// bytes beyond `threshold` move to an unlinked temp file.
+    pub fn packed_with_spill(self, threshold: usize) -> ParallelExplorer<M, I, PackedBackend> {
+        self.with_backend(PackedBackend::new().with_spill_threshold(threshold))
     }
 
     fn effective_threads(&self) -> usize {
@@ -102,7 +142,16 @@ where
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         }
     }
+}
 
+impl<M, I, B> ParallelExplorer<M, I, B>
+where
+    M: Automaton + Sync,
+    M::State: Send + Sync,
+    M::Action: Send + Sync,
+    I: Fn(&M::State) -> Vec<M::Action> + Sync,
+    B: ExploreBackend<M::State> + Sync,
+{
     /// Explores breadth-first from the automaton's start states, checking
     /// `invariant` on every admitted state (start states included).
     pub fn check_invariant(
@@ -164,11 +213,7 @@ where
     {
         let t0 = Instant::now();
         let threads = self.effective_threads();
-        let mut visited: ShardedVisited<M::State> = ShardedVisited::new(self.shards);
-        // The arena shares the visited index's hasher, so claim-time
-        // hashes are reused verbatim at admission.
-        let mut arena: StateTable<M::State, SharedHasher> =
-            StateTable::with_hasher(visited.arena_hasher());
+        let mut store = self.backend.new_store();
         // Spanning-tree links, parallel to the arena: `parents[i]` /
         // `action_idx[i]` name the minimal claim that admitted state `i`
         // (`NO_LINK` for roots). Actions are never stored — the index
@@ -181,9 +226,9 @@ where
         let mut tstates: Vec<TP::State> = Vec::new();
 
         for state in starts {
-            let (id, fresh) = arena.intern(state);
-            if fresh {
-                visited.insert_done(id, &arena);
+            let (hash, repr) = store.absorb(state);
+            if store.lookup(hash, &repr).is_none() {
+                store.intern_new(hash, repr);
                 parents.push(NO_LINK);
                 action_idx.push(NO_LINK);
                 tstates.push(trace.start());
@@ -192,22 +237,22 @@ where
 
         // Check properties on start states first, in admission order.
         for (i, tstate) in tstates.iter().enumerate() {
-            let state = arena.get(StateId(i as u32));
+            let state = store.load(i as u32);
             let failed =
-                first_violation(properties, state).or_else(|| trace_violation(trace, tstate));
+                first_violation(properties, &state).or_else(|| trace_violation(trace, tstate));
             if let Some(property) = failed {
                 return ExploreReport {
-                    states_visited: arena.len(),
+                    states_visited: store.len(),
                     truncation: None,
                     violation: Some(Violation {
                         path: vec![],
-                        state: state.clone(),
+                        state: state.into_owned(),
                         property,
                     }),
                     quiescent_states: 0,
                     layers: vec![],
                     threads,
-                    arena_bytes: arena.approx_bytes(),
+                    arena_bytes: store.approx_bytes(),
                     duration: t0.elapsed(),
                     barrier_nanos: 0,
                 };
@@ -216,7 +261,7 @@ where
 
         let mut layers: Vec<LayerStats> = Vec::new();
         let mut quiescent = 0usize;
-        // Wall-clock spent single-threaded at layer barriers (draining
+        // Wall-clock spent single-threaded at layer barriers (merging
         // claims, admitting states, checking properties) — the stall the
         // workers sit out. Zero (and free) without the `obs` feature.
         let mut barrier_nanos = 0u64;
@@ -230,7 +275,7 @@ where
         let mut parent_actions: Vec<M::Action> = Vec::new();
 
         loop {
-            let layer_end = arena.len();
+            let layer_end = store.len();
             if layer_start == layer_end {
                 break;
             }
@@ -248,53 +293,82 @@ where
             let fan_out = if frontier < threads * 4 { 1 } else { threads };
             let counter = AtomicUsize::new(layer_start);
             let chunk = (frontier / (fan_out * 8)).max(1);
+            // Fresh claim filter per layer, generously sized from the
+            // frontier; undersizing is safe (claims overflow, the
+            // barrier merge stays exact).
+            let mut filter: LayerFilter<ReprOf<B, M::State>> =
+                LayerFilter::new(frontier * 8 + 64, self.shards);
 
-            let stats = if fan_out == 1 {
-                self.expand_worker(&arena, layer_end, chunk, &counter, &visited)
+            let (stats, overflow) = if fan_out == 1 {
+                self.expand_worker(&store, layer_end, chunk, &counter, &filter)
             } else {
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = (0..fan_out)
                         .map(|_| {
                             scope.spawn(|| {
-                                self.expand_worker(&arena, layer_end, chunk, &counter, &visited)
+                                self.expand_worker(&store, layer_end, chunk, &counter, &filter)
                             })
                         })
                         .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("explore worker panicked"))
-                        .fold(WorkerStats::default(), WorkerStats::merge)
+                    let mut stats = WorkerStats::default();
+                    let mut overflow = Vec::new();
+                    for handle in handles {
+                        let (s, mut o) = handle.join().expect("explore worker panicked");
+                        stats = stats.merge(s);
+                        overflow.append(&mut o);
+                    }
+                    (stats, overflow)
                 })
             };
             quiescent += stats.quiescent;
 
             let barrier_sw = Stopwatch::start();
-            let mut fresh = visited.drain_fresh_sorted();
-            let room = self.max_states.saturating_sub(arena.len());
-            if fresh.len() > room {
-                truncation = Some(Truncation::StateBudget);
-                for dropped in fresh.drain(room..) {
-                    visited.discard(dropped.shard, dropped.hash, dropped.fresh_idx);
+            // Merge overflow claims into the drained filter entries. The
+            // hash index is only ever *probed* (never iterated), and
+            // min/set-union are order-independent, so the merged entry
+            // set and keys do not depend on scheduling.
+            let mut entries = filter.drain();
+            let mut merged_dups = 0u64;
+            {
+                let mut index: HashMap<u64, Vec<usize>> = HashMap::with_capacity(entries.len());
+                for (i, entry) in entries.iter().enumerate() {
+                    index.entry(entry.hash).or_default().push(i);
                 }
+                for pending in overflow {
+                    let slots = index.entry(pending.hash).or_default();
+                    if let Some(&i) = slots.iter().find(|&&i| entries[i].repr == pending.repr) {
+                        merged_dups += 1;
+                        if pending.key < entries[i].key {
+                            entries[i].key = pending.key;
+                        }
+                    } else {
+                        slots.push(entries.len());
+                        entries.push(pending);
+                    }
+                }
+            }
+            // Claim keys are unique (one entry per distinct state, and
+            // distinct states that share a parent differ in action or
+            // successor index), so this order is total and deterministic.
+            entries.sort_unstable_by_key(|entry| entry.key);
+            let room = self.max_states.saturating_sub(store.len());
+            if entries.len() > room {
+                truncation = Some(Truncation::StateBudget);
+                // The filter dies with the layer, so dropped states are
+                // naturally rediscoverable later.
+                entries.truncate(room);
             }
             layers.push(LayerStats {
                 depth,
                 frontier,
-                discovered: fresh.len(),
+                discovered: entries.len(),
                 edges: stats.edges,
-                duplicates: stats.duplicates,
+                duplicates: stats.duplicates + merged_dups,
             });
 
-            let admitted_start = arena.len();
+            let admitted_start = store.len();
             cached_parent = NO_LINK;
-            for claim in fresh {
-                let FreshClaim {
-                    key,
-                    state,
-                    hash,
-                    shard,
-                    fresh_idx,
-                } = claim;
+            for PendingState { key, hash, repr } in entries {
                 // Resolve the admitting action only when a real trace
                 // property needs it: rebuild the parent's deterministic
                 // action list once per parent (claims arrive
@@ -304,16 +378,14 @@ where
                 } else {
                     if key.parent != cached_parent {
                         cached_parent = key.parent;
-                        self.enumerate_actions(arena.get(StateId(key.parent)), &mut parent_actions);
+                        self.enumerate_actions(&store.load(key.parent), &mut parent_actions);
                     }
                     trace.step(
                         &tstates[key.parent as usize],
                         &parent_actions[key.action as usize],
                     )
                 };
-                let (id, was_new) = arena.intern_prehashed(hash, state);
-                debug_assert!(was_new, "drained claim already interned");
-                visited.finalize(shard, hash, fresh_idx, id);
+                store.intern_new(hash, repr);
                 parents.push(key.parent);
                 action_idx.push(key.action);
                 tstates.push(tstate);
@@ -324,13 +396,13 @@ where
             // for every thread count. State properties outrank the trace
             // property on the same state, again deterministically.
             for (idx, tstate) in tstates.iter().enumerate().skip(admitted_start) {
-                let state = arena.get(StateId(idx as u32));
+                let state = store.load(idx as u32);
                 let failed =
-                    first_violation(properties, state).or_else(|| trace_violation(trace, tstate));
+                    first_violation(properties, &state).or_else(|| trace_violation(trace, tstate));
                 if let Some(property) = failed {
                     violation = Some(Violation {
-                        path: self.reconstruct_path(&arena, &parents, &action_idx, idx),
-                        state: state.clone(),
+                        path: self.reconstruct_path(&store, &parents, &action_idx, idx),
+                        state: state.into_owned(),
                         property,
                     });
                     break;
@@ -346,13 +418,13 @@ where
         }
 
         ExploreReport {
-            states_visited: arena.len(),
+            states_visited: store.len(),
             truncation,
             violation,
             quiescent_states: quiescent,
             layers,
             threads,
-            arena_bytes: arena.approx_bytes(),
+            arena_bytes: store.approx_bytes(),
             duration: t0.elapsed(),
             barrier_nanos,
         }
@@ -360,18 +432,20 @@ where
 
     /// One worker's share of a layer expansion: steal frontier chunks,
     /// enumerate each state's actions and successors through the
-    /// allocation-free callbacks, claim discoveries in the sharded
-    /// visited index. The action scratch buffer lives for the worker's
-    /// whole share.
+    /// allocation-free callbacks, dedup against the frozen store, claim
+    /// genuinely new discoveries in the lock-free layer filter. Claims
+    /// the filter cannot decide go to the returned overflow list, merged
+    /// exactly at the barrier.
     fn expand_worker(
         &self,
-        arena: &StateTable<M::State, SharedHasher>,
+        store: &B::Store,
         layer_end: usize,
         chunk: usize,
         counter: &AtomicUsize,
-        visited: &ShardedVisited<M::State>,
-    ) -> WorkerStats {
+        filter: &LayerFilter<ReprOf<B, M::State>>,
+    ) -> WorkerOutcome<ReprOf<B, M::State>> {
         let mut stats = WorkerStats::default();
+        let mut overflow = Vec::new();
         let mut actions: Vec<M::Action> = Vec::new();
         loop {
             let begin = counter.fetch_add(chunk, Ordering::Relaxed);
@@ -380,8 +454,8 @@ where
             }
             let end = (begin + chunk).min(layer_end);
             for idx in begin..end {
-                let state = arena.get(StateId(idx as u32));
-                self.enumerate_actions(state, &mut actions);
+                let state = store.load(idx as u32);
+                self.enumerate_actions(&state, &mut actions);
                 if actions.is_empty() {
                     stats.quiescent += 1;
                     continue;
@@ -390,7 +464,7 @@ where
                     let mut si = 0u32;
                     let _ = self
                         .automaton
-                        .try_for_each_successor(state, action, &mut |succ| {
+                        .try_for_each_successor(&state, action, &mut |succ| {
                             stats.edges += 1;
                             let key = ClaimKey {
                                 parent: idx as u32,
@@ -398,16 +472,24 @@ where
                                 succ: si,
                             };
                             si += 1;
-                            match visited.claim(succ, key, arena) {
-                                ClaimOutcome::New => {}
-                                ClaimOutcome::Duplicate => stats.duplicates += 1,
+                            let (hash, repr) = store.absorb(succ);
+                            if store.lookup(hash, &repr).is_some() {
+                                stats.duplicates += 1;
+                            } else {
+                                match filter.claim(hash, key, repr) {
+                                    Claimed::New => {}
+                                    Claimed::Duplicate => stats.duplicates += 1,
+                                    Claimed::Overflow(repr) => {
+                                        overflow.push(PendingState { key, hash, repr });
+                                    }
+                                }
                             }
                             ControlFlow::Continue(())
                         });
                 }
             }
         }
-        stats
+        (stats, overflow)
     }
 
     /// Fills `into` with `state`'s deterministic action list: the enabled
@@ -429,7 +511,7 @@ where
     /// reported path, and identically to what the workers enumerated.
     fn reconstruct_path(
         &self,
-        arena: &StateTable<M::State, SharedHasher>,
+        store: &B::Store,
         parents: &[u32],
         action_idx: &[u32],
         mut idx: usize,
@@ -438,7 +520,7 @@ where
         let mut acts: Vec<M::Action> = Vec::new();
         while parents[idx] != NO_LINK {
             let parent = parents[idx] as usize;
-            self.enumerate_actions(arena.get(StateId(parent as u32)), &mut acts);
+            self.enumerate_actions(&store.load(parent as u32), &mut acts);
             path.push(acts.swap_remove(action_idx[idx] as usize));
             idx = parent;
         }
@@ -745,5 +827,76 @@ mod tests {
             report.dedup_hits(),
             report.layers.iter().map(|l| l.duplicates).sum::<u64>()
         );
+    }
+
+    #[test]
+    fn packed_backend_matches_plain_verdicts_and_counts() {
+        let plain = ParallelExplorer::new(Counter { n: 10 }, bump, 1000, 100)
+            .threads(2)
+            .reachable_states();
+        for threads in [1, 2, 4] {
+            let packed = ParallelExplorer::new(Counter { n: 10 }, bump, 1000, 100)
+                .threads(threads)
+                .packed()
+                .reachable_states();
+            assert!(packed.holds() && packed.exhaustive());
+            assert_eq!(packed.states_visited, plain.states_visited);
+            assert_eq!(packed.quiescent_states, plain.quiescent_states);
+            assert_eq!(packed.dedup_hits(), plain.dedup_hits());
+            assert_eq!(packed.layers.len(), plain.layers.len());
+            for (p, q) in packed.layers.iter().zip(&plain.layers) {
+                assert_eq!(
+                    (p.frontier, p.discovered, p.edges),
+                    (q.frontier, q.discovered, q.edges)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_backend_reports_identical_counterexamples() {
+        for threads in [1, 2, 4] {
+            let e = ParallelExplorer::new(Diamond, |_s: &u8| vec![], 100, 100)
+                .threads(threads)
+                .packed();
+            let report = e.check_invariant(|s| *s != 3);
+            let v = report.violation.unwrap();
+            assert_eq!(v.path, vec![1, 3]);
+            assert_eq!(v.state, 3);
+        }
+    }
+
+    #[test]
+    fn packed_spill_keeps_results_and_bounds_resident_bytes() {
+        let reference = ParallelExplorer::new(Counter { n: 100 }, bump, 1000, 200)
+            .threads(2)
+            .packed()
+            .reachable_states();
+        let spilled = ParallelExplorer::new(Counter { n: 100 }, bump, 1000, 200)
+            .threads(2)
+            .packed_with_spill(16)
+            .reachable_states();
+        assert_eq!(spilled.states_visited, reference.states_visited);
+        assert_eq!(spilled.quiescent_states, reference.quiescent_states);
+        assert_eq!(spilled.dedup_hits(), reference.dedup_hits());
+        // With a 16-byte resident ceiling the encoding arena must have
+        // spilled, so the packed run's resident bytes shrink further.
+        assert!(spilled.arena_bytes < reference.arena_bytes);
+    }
+
+    #[test]
+    fn tiny_filters_stay_exact_through_the_overflow_path() {
+        // One segment and a frontier-derived size that the branching
+        // factor of the bumping counter overwhelms: correctness must
+        // come from the barrier merge, not filter capacity.
+        let seq = Explorer::new(Counter { n: 100 }, bump, 1000, 200).reachable_states();
+        for threads in [1, 2, 4] {
+            let par = ParallelExplorer::new(Counter { n: 100 }, bump, 1000, 200)
+                .threads(threads)
+                .shards(1)
+                .reachable_states();
+            assert_eq!(par.states_visited, seq.states_visited);
+            assert_eq!(par.quiescent_states, seq.quiescent_states);
+        }
     }
 }

@@ -11,8 +11,17 @@
 //! * the breadth-first frontier is expanded one depth layer at a time by a
 //!   pool of scoped worker threads ([`std::thread::scope`] — no external
 //!   dependencies);
-//! * the visited set is **sharded N ways by state hash** behind per-shard
-//!   locks, so concurrent discovery rarely contends on a single lock;
+//! * admitted states live in a frozen, read-only arena during expansion,
+//!   and intra-layer discoveries go through a **lock-free claim filter**
+//!   sharded by state hash: slots are claimed by compare-and-swap, rival
+//!   claims fold together with an atomic `fetch_min` on the packed claim
+//!   key, and anything the filter cannot decide overflows to worker-local
+//!   lists that the layer barrier merges exactly;
+//! * state storage is **pluggable**: the default [`PlainBackend`] interns
+//!   full structs, while [`PackedBackend`] interns canonical bit-packed
+//!   [`ioa::intern::PackedCodec`] encodings (same states, same ids, same
+//!   verdicts, a fraction of the arena bytes) with an optional
+//!   disk-spill threshold that bounds resident memory on deep searches;
 //! * every newly discovered state records the **minimal claim** that
 //!   reached it — the lexicographically least `(parent index, action
 //!   index, successor index)` triple — which makes state numbering,
@@ -80,8 +89,10 @@ mod monitor;
 mod property;
 mod report;
 mod shard;
+mod store;
 
 pub use engine::ParallelExplorer;
 pub use monitor::MonitorProperty;
 pub use property::{Invariant, Property, TraceProperty};
 pub use report::{ExploreReport, LayerStats, Truncation, Violation};
+pub use store::{ExploreBackend, PackedBackend, PackedStore, PlainBackend, PlainStore, StateStore};

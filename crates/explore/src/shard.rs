@@ -1,27 +1,42 @@
-//! The work-sharded visited *index* over the global state arena.
+//! The lock-free, sharded **per-layer claim filter**.
 //!
-//! States live exactly once, in the engine's [`StateTable`] arena. Each
-//! shard is an open-addressing table of `(hash, slot)` pairs behind a
-//! mutex; a slot names either an admitted arena id ([`Slot::Done`]) or an
-//! entry in the shard's fresh list ([`Slot::Pending`]) — never a second
-//! clone of the state. Concurrent workers claiming successors contend
-//! only when two discoveries land in the same shard at the same instant.
-//! Between layers the engine owns the set exclusively: it drains the
-//! fresh lists, interns the admitted states, and patches their slots to
-//! `Done` (or [`Slot::Tombstone`] for budget drops) without locking.
+//! Admitted states live in the engine's state store, which is frozen
+//! while workers expand a layer — membership for *admitted* states is a
+//! plain read-only store lookup, no synchronization at all. What needs
+//! concurrent coordination is only the set of states discovered *within
+//! the current layer*, and that set is handled here by a fixed-capacity
+//! open-addressing filter whose slots are claimed by atomic
+//! compare-and-swap instead of per-shard mutexes:
 //!
-//! The shards and the arena share one (deterministic) hasher, so a hash
-//! computed at claim time is reused for the arena insertion at admission.
+//! * a worker **claims** a slot by CAS-ing the slot's tag from the empty
+//!   sentinel to the state's hash; the single CAS winner publishes the
+//!   `(hash, representation)` payload through a [`OnceLock`];
+//! * losers that verify payload equality fold their claim in with a
+//!   single `fetch_min` on the slot's packed claim key — the minimal
+//!   `(parent, action, successor)` triple survives regardless of arrival
+//!   order, which is what keeps results thread-count-independent;
+//! * anything the filter cannot prove — an unverifiable race with a
+//!   winner mid-publish, a probe chain past its limit, a claim key too
+//!   large for the packed 64-bit form — is returned to the caller as
+//!   [`Claimed::Overflow`] *with ownership of the representation*, and
+//!   exactness is restored at the layer barrier where the engine merges
+//!   worker-local overflow lists into the drained entries.
+//!
+//! The filter is built fresh per layer and drained at the barrier, so a
+//! state dropped by the state budget is naturally rediscoverable in a
+//! later layer (the role the old visited-set tombstones played). The
+//! segment count honors the explorer's `shards` knob; segments are
+//! selected by the hash's upper bits while in-segment probing consumes
+//! the lower bits, keeping the two choices independent.
 
 use std::collections::hash_map::DefaultHasher;
-use std::hash::{BuildHasher, BuildHasherDefault, Hash};
-use std::sync::Mutex;
+use std::hash::BuildHasherDefault;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
-use ioa::{StateId, StateTable};
-
-/// The hasher shared by the visited shards and the state arena.
-/// `DefaultHasher` with default keys is deterministic, which keeps shard
-/// routing and cached hashes reproducible across runs.
+/// The hasher shared by the claim filter and the state store.
+/// `DefaultHasher` with default keys is deterministic, which keeps
+/// segment routing and cached hashes reproducible across runs.
 pub(crate) type SharedHasher = BuildHasherDefault<DefaultHasher>;
 
 /// The identity of one discovery of a state: which frontier slot, which
@@ -40,267 +55,180 @@ pub(crate) struct ClaimKey {
     pub succ: u32,
 }
 
-/// A newly discovered state with the minimal claim that reached it. The
-/// action is *not* stored — `key.action` indexes the parent's
-/// deterministic action list, which the engine re-enumerates on demand.
-pub(crate) struct FreshClaim<S> {
+/// Bits of the packed key reserved for the successor index.
+const SUCC_BITS: u32 = 12;
+/// Bits of the packed key reserved for the action index.
+const ACTION_BITS: u32 = 20;
+
+impl ClaimKey {
+    /// Packs the triple into one `u64` whose numeric order equals the
+    /// triple's lexicographic order, so a `fetch_min` on the packed form
+    /// is a lock-free "keep the minimal claim". `None` when the action
+    /// or successor index exceeds its bit-field — such claims take the
+    /// overflow path and are merged exactly at the barrier.
+    pub fn pack(self) -> Option<u64> {
+        (self.action < (1 << ACTION_BITS) && self.succ < (1 << SUCC_BITS)).then(|| {
+            (u64::from(self.parent) << (ACTION_BITS + SUCC_BITS))
+                | (u64::from(self.action) << SUCC_BITS)
+                | u64::from(self.succ)
+        })
+    }
+
+    /// Inverse of [`pack`](Self::pack).
+    pub fn unpack(packed: u64) -> ClaimKey {
+        ClaimKey {
+            parent: (packed >> (ACTION_BITS + SUCC_BITS)) as u32,
+            action: ((packed >> SUCC_BITS) & ((1 << ACTION_BITS) - 1)) as u32,
+            succ: (packed & ((1 << SUCC_BITS) - 1)) as u32,
+        }
+    }
+}
+
+/// A state pending admission: the minimal claim seen so far, the state's
+/// hash under the shared hasher, and its store representation. Produced
+/// by [`LayerFilter::drain`] and by overflowing claims; the engine merges
+/// both populations at the layer barrier.
+pub(crate) struct PendingState<R> {
     pub key: ClaimKey,
-    pub state: S,
-    /// The state's hash under the shared hasher, cached for admission.
     pub hash: u64,
-    /// Which shard holds the pending slot.
-    pub shard: u32,
-    /// Index into that shard's fresh list at claim time; still the
-    /// `Pending` payload after draining, so admission can re-find the
-    /// slot unambiguously even among equal hashes.
-    pub fresh_idx: u32,
+    pub repr: R,
 }
 
-/// Outcome of one [`ShardedVisited::claim`] call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum ClaimOutcome {
-    /// First discovery of this state.
+/// Outcome of one [`LayerFilter::claim`] call.
+pub(crate) enum Claimed<R> {
+    /// First discovery of this state in the current layer.
     New,
-    /// Already admitted or pending this layer; duplicate (whether or not
-    /// it improved the pending claim key).
+    /// Verified equal to a state already claimed this layer; the minimal
+    /// claim key was folded in.
     Duplicate,
+    /// The filter could not decide (probe limit, unverifiable race, or
+    /// an unpackable claim key). Ownership of the representation returns
+    /// to the caller, which records it in a worker-local overflow list;
+    /// the barrier merge restores exact dedup semantics.
+    Overflow(R),
 }
 
-#[derive(Clone, Copy)]
-enum Slot {
-    /// Free; terminates probe chains.
-    Empty,
-    /// Admitted state; payload is its arena id.
-    Done(u32),
-    /// Discovered this layer; payload is the fresh-list index where the
-    /// current minimal claim lives.
-    Pending(u32),
-    /// A dropped (state-budget) entry: keeps probe chains intact but
-    /// matches nothing, so the state can be rediscovered later.
-    Tombstone,
+/// How many slots a claim probes before giving up and overflowing.
+/// Overflow is correctness-neutral (the barrier dedups exactly), so this
+/// only bounds the worst-case work under pathological clustering.
+const PROBE_LIMIT: usize = 64;
+
+/// One filter slot. `tag` is the claim CAS target (0 = empty sentinel;
+/// a state hashing to 0 is tagged 1, and the true hash stored in `val`
+/// disambiguates). `key` accumulates the minimal packed claim key via
+/// `fetch_min`. `val` is published exactly once, by the CAS winner.
+struct FilterSlot<R> {
+    tag: AtomicU64,
+    key: AtomicU64,
+    val: OnceLock<(u64, R)>,
 }
 
-struct Shard<S> {
-    /// Cached hash per table slot, probed before any `Eq` check.
-    hashes: Vec<u64>,
-    /// Parallel to `hashes`; length is a power of two.
-    slots: Vec<Slot>,
-    /// Live entries (`Done` + `Pending`).
-    live: usize,
-    /// Non-`Empty` entries (`live` + tombstones) — the load-factor input.
-    used: usize,
-    fresh: Vec<FreshClaim<S>>,
-}
-
-impl<S> Default for Shard<S> {
-    fn default() -> Self {
-        Shard {
-            hashes: Vec::new(),
-            slots: Vec::new(),
-            live: 0,
-            used: 0,
-            fresh: Vec::new(),
+impl<R> FilterSlot<R> {
+    fn empty() -> Self {
+        FilterSlot {
+            tag: AtomicU64::new(0),
+            key: AtomicU64::new(u64::MAX),
+            val: OnceLock::new(),
         }
     }
 }
 
-impl<S: Hash + Eq> Shard<S> {
-    /// Rebuilds the table at double capacity, dropping tombstones.
-    fn grow(&mut self) {
-        let cap = (self.slots.len() * 2).max(16);
-        let old_hashes = std::mem::take(&mut self.hashes);
-        let old_slots = std::mem::replace(&mut self.slots, vec![Slot::Empty; cap]);
-        self.hashes = vec![0; cap];
-        let mask = cap - 1;
-        for (hash, slot) in old_hashes.into_iter().zip(old_slots) {
-            if matches!(slot, Slot::Done(_) | Slot::Pending(_)) {
-                let mut i = (hash as usize) & mask;
-                while !matches!(self.slots[i], Slot::Empty) {
-                    i = (i + 1) & mask;
-                }
-                self.hashes[i] = hash;
-                self.slots[i] = slot;
-            }
-        }
-        self.used = self.live;
-    }
-
-    fn maybe_grow(&mut self) {
-        // Grow at 7/8 load so probe chains stay short.
-        if self.slots.is_empty() || (self.used + 1) * 8 > self.slots.len() * 7 {
-            self.grow();
-        }
-    }
-
-    /// Probes for the `Pending` slot `fresh_idx` names (hash known). Used
-    /// at admission, when the fresh list is already drained and state
-    /// equality can no longer be checked — the fresh index disambiguates.
-    fn find_pending(&self, hash: u64, fresh_idx: u32) -> usize {
-        let mask = self.slots.len() - 1;
-        let mut i = (hash as usize) & mask;
-        loop {
-            match self.slots[i] {
-                Slot::Pending(fi) if self.hashes[i] == hash && fi == fresh_idx => return i,
-                Slot::Empty => panic!("pending slot missing from shard"),
-                _ => i = (i + 1) & mask,
-            }
-        }
-    }
+/// The per-layer claim filter: `segments` independent power-of-two slot
+/// arrays. See the module docs for the protocol.
+pub(crate) struct LayerFilter<R> {
+    segments: Vec<Vec<FilterSlot<R>>>,
+    /// Mask for the power-of-two segment count (upper hash bits).
+    seg_mask: usize,
+    /// Mask for the power-of-two per-segment slot count (lower bits).
+    slot_mask: usize,
 }
 
-pub(crate) struct ShardedVisited<S> {
-    shards: Vec<Mutex<Shard<S>>>,
-    /// Mask for the power-of-two shard count.
-    mask: usize,
-    hasher: SharedHasher,
-}
-
-impl<S: Hash + Eq> ShardedVisited<S> {
-    /// A visited index with `shards` shards, rounded up to a power of two.
-    pub fn new(shards: usize) -> Self {
-        let n = shards.max(1).next_power_of_two();
-        ShardedVisited {
-            shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
-            mask: n - 1,
-            hasher: SharedHasher::default(),
+impl<R: Eq> LayerFilter<R> {
+    /// A filter sized for about `expected` distinct discoveries, split
+    /// into `segments` segments (both rounded up to powers of two; small
+    /// layers collapse to fewer segments so each keeps a useful probe
+    /// neighborhood). Claims beyond capacity overflow, they never block.
+    pub fn new(expected: usize, segments: usize) -> Self {
+        let total = expected.next_power_of_two().max(16);
+        let segs = segments.max(1).next_power_of_two().min((total / 16).max(1));
+        let per_seg = (total / segs).next_power_of_two();
+        LayerFilter {
+            segments: (0..segs)
+                .map(|_| (0..per_seg).map(|_| FilterSlot::empty()).collect())
+                .collect(),
+            seg_mask: segs - 1,
+            slot_mask: per_seg - 1,
         }
     }
 
-    /// A hasher identical to the shards' own, for the arena to share so
-    /// claim-time hashes stay valid at intern time.
-    pub fn arena_hasher(&self) -> SharedHasher {
-        SharedHasher::default()
-    }
-
-    fn place(&self, hash: u64) -> usize {
-        // Use the upper bits: in-shard probing consumes the lower ones,
-        // so this keeps shard choice and slot placement independent.
-        (hash >> 32) as usize & self.mask
-    }
-
-    /// Records an already-interned start state. Requires exclusive access
-    /// (called before workers exist); the caller guarantees `id` is fresh.
-    pub fn insert_done<H: BuildHasher>(&mut self, id: StateId, arena: &StateTable<S, H>) {
-        let hash = self.hasher.hash_one(arena.get(id));
-        let at = self.place(hash);
-        let shard = self.shards[at].get_mut().expect("shard lock poisoned");
-        shard.maybe_grow();
-        let mask = shard.slots.len() - 1;
-        let mut i = (hash as usize) & mask;
-        let mut free = None;
-        loop {
-            match shard.slots[i] {
-                Slot::Empty => break,
-                Slot::Tombstone => {
-                    free.get_or_insert(i);
-                }
-                _ => {}
-            }
-            i = (i + 1) & mask;
-        }
-        let at = free.unwrap_or(i);
-        if matches!(shard.slots[at], Slot::Empty) {
-            shard.used += 1;
-        }
-        shard.hashes[at] = hash;
-        shard.slots[at] = Slot::Done(id.0);
-        shard.live += 1;
-    }
-
-    /// Claims `state` as discovered via `key`. Concurrent claims of the
-    /// same state race only for the shard lock; the stored claim is
-    /// always the minimal key seen, so the final claim set is independent
-    /// of scheduling. `arena` (frozen during the layer) resolves equality
-    /// for admitted states.
-    pub fn claim<H: BuildHasher>(
-        &self,
-        state: S,
-        key: ClaimKey,
-        arena: &StateTable<S, H>,
-    ) -> ClaimOutcome {
-        let hash = self.hasher.hash_one(&state);
-        let shard_idx = self.place(hash);
-        let mut shard = self.shards[shard_idx].lock().expect("shard lock poisoned");
-        shard.maybe_grow();
-        let mask = shard.slots.len() - 1;
-        let mut i = (hash as usize) & mask;
-        let mut free = None;
-        loop {
-            match shard.slots[i] {
-                Slot::Empty => break,
-                Slot::Tombstone => {
-                    free.get_or_insert(i);
-                }
-                Slot::Done(id) if shard.hashes[i] == hash && *arena.get(StateId(id)) == state => {
-                    return ClaimOutcome::Duplicate;
-                }
-                Slot::Pending(fi)
-                    if shard.hashes[i] == hash && shard.fresh[fi as usize].state == state =>
+    /// Claims `repr` (hashing to `hash`) as discovered via `key`.
+    /// Lock-free: the only writes are one CAS on an empty slot's tag, a
+    /// `OnceLock` publish by the unique CAS winner, and `fetch_min` folds
+    /// of the packed claim key.
+    pub fn claim(&self, hash: u64, key: ClaimKey, repr: R) -> Claimed<R> {
+        let Some(packed) = key.pack() else {
+            return Claimed::Overflow(repr);
+        };
+        let tag = if hash == 0 { 1 } else { hash };
+        let segment = &self.segments[(hash >> 32) as usize & self.seg_mask];
+        let mut i = (hash as usize) & self.slot_mask;
+        for _ in 0..PROBE_LIMIT.min(segment.len()) {
+            let slot = &segment[i];
+            let mut current = slot.tag.load(Ordering::Acquire);
+            if current == 0 {
+                match slot
+                    .tag
+                    .compare_exchange(0, tag, Ordering::AcqRel, Ordering::Acquire)
                 {
-                    let pending = &mut shard.fresh[fi as usize];
-                    if key < pending.key {
-                        pending.key = key;
+                    Ok(_) => {
+                        // We own the slot: publish, then fold our key.
+                        let published = slot.val.set((hash, repr)).is_ok();
+                        debug_assert!(published, "CAS winner is the only publisher");
+                        slot.key.fetch_min(packed, Ordering::AcqRel);
+                        return Claimed::New;
                     }
-                    return ClaimOutcome::Duplicate;
+                    Err(raced) => current = raced,
                 }
-                _ => {}
             }
-            i = (i + 1) & mask;
+            if current == tag {
+                match slot.val.get() {
+                    Some((h, r)) if *h == hash && *r == repr => {
+                        slot.key.fetch_min(packed, Ordering::AcqRel);
+                        return Claimed::Duplicate;
+                    }
+                    // A different state sharing the tag: keep probing.
+                    Some(_) => {}
+                    // Winner mid-publish; defer to the barrier merge
+                    // rather than spin.
+                    None => return Claimed::Overflow(repr),
+                }
+            }
+            i = (i + 1) & self.slot_mask;
         }
-        let at = free.unwrap_or(i);
-        if matches!(shard.slots[at], Slot::Empty) {
-            shard.used += 1;
-        }
-        let fresh_idx = u32::try_from(shard.fresh.len()).expect("fresh list overflowed u32");
-        shard.hashes[at] = hash;
-        shard.slots[at] = Slot::Pending(fresh_idx);
-        shard.live += 1;
-        shard.fresh.push(FreshClaim {
-            key,
-            state,
-            hash,
-            shard: shard_idx as u32,
-            fresh_idx,
-        });
-        ClaimOutcome::New
+        Claimed::Overflow(repr)
     }
 
-    /// Drains every pending claim, sorted by claim key — the deterministic
-    /// admission order. Slots stay `Pending` until the engine either
-    /// [`finalize`](Self::finalize)s or [`discard`](Self::discard)s each
-    /// claim. Called between layers, when no worker holds a lock.
-    pub fn drain_fresh_sorted(&mut self) -> Vec<FreshClaim<S>> {
-        let mut all = Vec::new();
-        for shard in &mut self.shards {
-            let shard = shard.get_mut().expect("shard lock poisoned");
-            all.append(&mut shard.fresh);
+    /// Drains every claimed slot. Called at the layer barrier with
+    /// exclusive access (all workers joined), so every claimed slot has
+    /// a published payload and a folded key. Slot order is scheduling
+    /// dependent — the engine sorts the merged entries by claim key
+    /// before admitting, which is what makes admission deterministic.
+    pub fn drain(&mut self) -> Vec<PendingState<R>> {
+        let mut out = Vec::new();
+        for segment in &mut self.segments {
+            for slot in segment {
+                if *slot.tag.get_mut() == 0 {
+                    continue;
+                }
+                let (hash, repr) = slot.val.take().expect("claimed slot has a payload");
+                out.push(PendingState {
+                    key: ClaimKey::unpack(*slot.key.get_mut()),
+                    hash,
+                    repr,
+                });
+            }
         }
-        // Claim keys are unique (one fresh entry per distinct state, and
-        // distinct states that share a parent differ in action/successor
-        // index), so this order is total and deterministic.
-        all.sort_unstable_by_key(|c| c.key);
-        all
-    }
-
-    /// Patches a drained claim's slot to its freshly assigned arena id.
-    pub fn finalize(&mut self, shard: u32, hash: u64, fresh_idx: u32, id: StateId) {
-        let shard = self.shards[shard as usize]
-            .get_mut()
-            .expect("shard lock poisoned");
-        let i = shard.find_pending(hash, fresh_idx);
-        shard.slots[i] = Slot::Done(id.0);
-    }
-
-    /// Tombstones a drained claim dropped by the state budget, so the
-    /// index's contents stay exactly "admitted states" and the state can
-    /// be rediscovered.
-    pub fn discard(&mut self, shard: u32, hash: u64, fresh_idx: u32) {
-        let shard = self.shards[shard as usize]
-            .get_mut()
-            .expect("shard lock poisoned");
-        let i = shard.find_pending(hash, fresh_idx);
-        shard.slots[i] = Slot::Tombstone;
-        shard.live -= 1;
+        out
     }
 }
 
@@ -317,70 +245,151 @@ mod tests {
     }
 
     #[test]
+    fn pack_order_matches_lexicographic_order() {
+        let keys = [
+            key(0, 0, 0),
+            key(0, 0, 1),
+            key(0, 1, 0),
+            key(1, 0, 0),
+            key(1, 2, 3),
+            key(u32::MAX, (1 << 20) - 1, (1 << 12) - 1),
+        ];
+        for a in &keys {
+            for b in &keys {
+                let (pa, pb) = (a.pack().unwrap(), b.pack().unwrap());
+                assert_eq!(pa.cmp(&pb), a.cmp(b), "{a:?} vs {b:?}");
+                assert_eq!(ClaimKey::unpack(pa), *a);
+            }
+        }
+        assert!(key(0, 1 << 20, 0).pack().is_none());
+        assert!(key(0, 0, 1 << 12).pack().is_none());
+    }
+
+    #[test]
     fn minimal_claim_wins_regardless_of_order() {
         let keys = [key(2, 0, 0), key(0, 1, 0), key(0, 0, 1)];
-        // Insert in two different orders; the surviving claim must match.
         for order in [[0usize, 1, 2], [2, 1, 0]] {
-            let arena: StateTable<u32> = StateTable::new();
-            let v: ShardedVisited<u32> = ShardedVisited::new(4);
+            let mut filter: LayerFilter<u32> = LayerFilter::new(16, 4);
+            let mut news = 0;
             for i in order {
-                v.claim(7, keys[i], &arena);
+                if matches!(filter.claim(7, keys[i], 99), Claimed::New) {
+                    news += 1;
+                }
             }
-            let mut v = v;
-            let fresh = v.drain_fresh_sorted();
-            assert_eq!(fresh.len(), 1);
-            assert_eq!(fresh[0].key, key(0, 0, 1));
+            assert_eq!(news, 1);
+            let drained = filter.drain();
+            assert_eq!(drained.len(), 1);
+            assert_eq!(drained[0].key, key(0, 0, 1));
+            assert_eq!(drained[0].hash, 7);
+            assert_eq!(drained[0].repr, 99);
         }
     }
 
     #[test]
-    fn drain_sorts_across_shards_and_finalized_states_are_duplicates() {
-        let mut arena: StateTable<u32> = StateTable::new();
-        let mut v: ShardedVisited<u32> = ShardedVisited::new(8);
-        for s in (0..100u32).rev() {
-            v.claim(s, key(s, 0, 0), &arena);
-        }
-        let fresh = v.drain_fresh_sorted();
-        let parents: Vec<u32> = fresh.iter().map(|c| c.key.parent).collect();
-        assert_eq!(parents, (0..100).collect::<Vec<_>>());
-        for claim in fresh {
-            let (id, new) = arena.intern(claim.state);
-            assert!(new);
-            v.finalize(claim.shard, claim.hash, claim.fresh_idx, id);
-        }
-        // Everything is now Done: re-claiming is a duplicate.
-        assert_eq!(v.claim(5, key(0, 0, 0), &arena), ClaimOutcome::Duplicate);
+    fn distinct_states_with_equal_hashes_coexist() {
+        let mut filter: LayerFilter<u32> = LayerFilter::new(16, 1);
+        assert!(matches!(filter.claim(5, key(0, 0, 0), 10), Claimed::New));
+        assert!(matches!(filter.claim(5, key(0, 0, 1), 20), Claimed::New));
+        assert!(matches!(
+            filter.claim(5, key(9, 0, 0), 10),
+            Claimed::Duplicate
+        ));
+        assert!(matches!(
+            filter.claim(5, key(9, 0, 0), 20),
+            Claimed::Duplicate
+        ));
+        let mut drained = filter.drain();
+        drained.sort_unstable_by_key(|p| p.key);
+        assert_eq!(drained.len(), 2);
+        assert_eq!((drained[0].repr, drained[1].repr), (10, 20));
     }
 
     #[test]
-    fn discarded_states_can_be_rediscovered() {
-        let arena: StateTable<u32> = StateTable::new();
-        let mut v: ShardedVisited<u32> = ShardedVisited::new(2);
-        v.claim(9, key(0, 0, 0), &arena);
-        let fresh = v.drain_fresh_sorted();
-        v.discard(fresh[0].shard, fresh[0].hash, fresh[0].fresh_idx);
-        assert_eq!(v.claim(9, key(3, 1, 0), &arena), ClaimOutcome::New);
+    fn zero_hash_is_remapped_but_disambiguated() {
+        let mut filter: LayerFilter<u32> = LayerFilter::new(16, 1);
+        assert!(matches!(filter.claim(0, key(0, 0, 0), 1), Claimed::New));
+        // Hash 1 shares the tag with remapped hash 0; the stored true
+        // hash keeps them distinct states.
+        assert!(matches!(filter.claim(1, key(0, 0, 1), 1), Claimed::New));
+        assert!(matches!(
+            filter.claim(0, key(5, 0, 0), 1),
+            Claimed::Duplicate
+        ));
+        let drained = filter.drain();
+        assert_eq!(drained.len(), 2);
     }
 
     #[test]
-    fn survives_growth_with_mixed_done_and_pending() {
-        let mut arena: StateTable<u32> = StateTable::new();
-        let mut v: ShardedVisited<u32> = ShardedVisited::new(1);
-        // Admit a first wave so Done slots are rehashed during growth.
-        for s in 0..50u32 {
-            v.claim(s, key(0, s, 0), &arena);
+    fn unpackable_keys_overflow_with_ownership() {
+        let filter: LayerFilter<String> = LayerFilter::new(16, 1);
+        let big = key(0, 1 << 20, 0);
+        match filter.claim(3, big, "payload".to_string()) {
+            Claimed::Overflow(s) => assert_eq!(s, "payload"),
+            _ => panic!("unpackable key must overflow"),
         }
-        for claim in v.drain_fresh_sorted() {
-            let (id, _) = arena.intern(claim.state);
-            v.finalize(claim.shard, claim.hash, claim.fresh_idx, id);
+    }
+
+    #[test]
+    fn capacity_exhaustion_overflows_instead_of_blocking() {
+        let mut filter: LayerFilter<u64> = LayerFilter::new(1, 1); // 16 slots
+        let (mut news, mut overflows) = (0, 0);
+        for s in 0..100u64 {
+            // Spread hashes so probing is realistic.
+            match filter.claim(
+                s.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                key(s as u32, 0, 0),
+                s,
+            ) {
+                Claimed::New => news += 1,
+                Claimed::Overflow(_) => overflows += 1,
+                Claimed::Duplicate => panic!("all states distinct"),
+            }
         }
-        // A second wave forces growth while Done slots coexist.
-        for s in 50..500u32 {
-            assert_eq!(v.claim(s, key(1, s, 0), &arena), ClaimOutcome::New);
+        assert_eq!(news + overflows, 100);
+        assert!(news <= 16);
+        assert!(overflows >= 84);
+        assert_eq!(filter.drain().len(), news);
+    }
+
+    #[test]
+    fn concurrent_claims_merge_to_minimal_keys() {
+        let filter: LayerFilter<u64> = LayerFilter::new(1024, 8);
+        // Worker-local overflow lists, merged below exactly the way the
+        // engine's layer barrier merges them.
+        let overflow = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let (filter, overflow) = (&filter, &overflow);
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    for s in 0..256u64 {
+                        let hash = s.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                        let k = key(s as u32, t, 0);
+                        if let Claimed::Overflow(r) = filter.claim(hash, k, s) {
+                            local.push(PendingState {
+                                key: k,
+                                hash,
+                                repr: r,
+                            });
+                        }
+                    }
+                    overflow.lock().unwrap().append(&mut local);
+                });
+            }
+        });
+        let mut filter = filter;
+        let mut best = std::collections::BTreeMap::new();
+        for p in filter
+            .drain()
+            .into_iter()
+            .chain(overflow.into_inner().unwrap())
+        {
+            let k = best.entry(p.repr).or_insert(p.key);
+            *k = (*k).min(p.key);
         }
-        for s in 0..500u32 {
-            assert_eq!(v.claim(s, key(9, s, 9), &arena), ClaimOutcome::Duplicate);
-        }
-        assert_eq!(v.drain_fresh_sorted().len(), 450);
+        // After the merge every state survives exactly once, with the
+        // overall minimal claim (action index 0 beats 1..4).
+        assert_eq!(best.len(), 256);
+        assert!(best.values().all(|k| k.action == 0));
     }
 }

@@ -114,22 +114,15 @@ impl FleetReport {
         ledger.counter("peak_session_bytes", self.peak_session_bytes);
         ledger.counter("peak_monitor_bytes", self.peak_monitor_bytes);
         ledger.counter("clean_sessions", self.verdicts.clean);
-        // Convergence counters exist only when stabilizing sessions ran,
-        // so pinned classic-fleet ledgers keep their exact counter set.
+        // Convergence metrics exist only when stabilizing sessions ran,
+        // so pinned classic-fleet ledgers keep their exact metric set.
         if self
             .outcomes
             .iter()
             .any(|o| o.protocol == crate::spec::ProtocolKind::Stabilizing)
         {
             ledger.counter("converged_sessions", self.verdicts.converged);
-            ledger.counter(
-                "convergence_actions_total",
-                self.verdicts.convergence_actions_total,
-            );
-            ledger.counter(
-                "convergence_actions_max",
-                self.verdicts.convergence_actions_max,
-            );
+            ledger.histogram("convergence_actions", &self.verdicts.convergence_hist);
         }
         for tally in self.verdicts.tallies() {
             let slug = property_slug(tally.property);
@@ -177,10 +170,11 @@ impl FleetReport {
         ));
         if self.verdicts.converged > 0 {
             out.push_str(&format!(
-                "  converged {} session(s)  stabilization actions mean {:.1} max {}\n",
+                "  converged {} session(s)  stabilization actions min {} mean {:.1} max {}\n",
                 self.verdicts.converged,
-                self.verdicts.convergence_actions_total as f64 / self.verdicts.converged as f64,
-                self.verdicts.convergence_actions_max,
+                self.verdicts.convergence_hist.min(),
+                self.verdicts.convergence_hist.mean().unwrap_or(0.0),
+                self.verdicts.convergence_hist.max(),
             ));
         }
         for tally in self.verdicts.tallies() {

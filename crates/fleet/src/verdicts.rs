@@ -19,6 +19,8 @@
 //! in every order, so it is worker-count-independent and can be replayed
 //! in isolation via `session_config`).
 
+use dl_obs::Histogram;
+
 use crate::session::SessionOutcome;
 
 /// Tally for one violated property across some set of sessions.
@@ -50,12 +52,12 @@ pub struct VerdictShard {
     /// conforming suffix); always 0 in fleets without stabilizing
     /// sessions.
     pub converged: u64,
-    /// Sum of convergence indices over converged sessions (stabilization
-    /// time in actions; divide by [`VerdictShard::converged`] for the
-    /// mean).
-    pub convergence_actions_total: u64,
-    /// Largest convergence index over converged sessions.
-    pub convergence_actions_max: u64,
+    /// Log2-bucket distribution of per-session convergence indices
+    /// (stabilization time in actions) over converged sessions. The
+    /// exact `count`/`sum`/`min`/`max` ride along, so the classic
+    /// aggregates (total, mean, max) are recoverable without
+    /// quantization; empty in fleets without stabilizing sessions.
+    pub convergence_hist: Histogram,
     /// Per-property tallies, sorted by property name.
     tallies: Vec<PropertyTally>,
 }
@@ -74,8 +76,7 @@ impl VerdictShard {
         self.sessions += 1;
         if let Some(at) = convergence {
             self.converged += 1;
-            self.convergence_actions_total += at;
-            self.convergence_actions_max = self.convergence_actions_max.max(at);
+            self.convergence_hist.record(at);
         }
         let Some(property) = violation else {
             self.clean += 1;
@@ -110,18 +111,15 @@ impl VerdictShard {
 
     /// Merges `other` into `self`.
     ///
-    /// Counts add, exemplars take the minimum, the convergence maximum
-    /// takes the maximum, and tallies stay sorted by property name, so
-    /// the operation is commutative, associative, and lossless over
-    /// disjoint session sets.
+    /// Counts add, exemplars take the minimum, the convergence
+    /// histograms fold bucket-wise, and tallies stay sorted by property
+    /// name, so the operation is commutative, associative, and lossless
+    /// over disjoint session sets.
     pub fn merge(&mut self, other: &VerdictShard) {
         self.sessions += other.sessions;
         self.clean += other.clean;
         self.converged += other.converged;
-        self.convergence_actions_total += other.convergence_actions_total;
-        self.convergence_actions_max = self
-            .convergence_actions_max
-            .max(other.convergence_actions_max);
+        self.convergence_hist.merge(&other.convergence_hist);
         for t in &other.tallies {
             match self
                 .tallies
@@ -252,7 +250,7 @@ mod tests {
     }
 
     #[test]
-    fn convergence_counters_merge_losslessly() {
+    fn convergence_histograms_merge_losslessly() {
         let mut a = VerdictShard::new();
         a.record(0, None, Some(10));
         a.record(1, None, Some(40));
@@ -266,9 +264,14 @@ mod tests {
         ba.merge(&a);
         assert_eq!(ab, ba);
         assert_eq!(ab.converged, 3);
-        assert_eq!(ab.convergence_actions_total, 75);
-        assert_eq!(ab.convergence_actions_max, 40);
+        assert_eq!(ab.convergence_hist.count(), 3);
+        assert_eq!(ab.convergence_hist.sum(), 75);
+        assert_eq!(ab.convergence_hist.min(), 10);
+        assert_eq!(ab.convergence_hist.max(), 40);
         assert_eq!(ab.clean, 4);
+        // Samples land in their log2 buckets: 10 → bits 4, 25 → 5, 40 → 6.
+        let snap = ab.convergence_hist.snapshot();
+        assert_eq!(snap.buckets, vec![(4, 1), (5, 1), (6, 1)]);
     }
 
     #[test]

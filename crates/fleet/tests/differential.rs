@@ -273,24 +273,17 @@ fn stabilizing_fleet_convergence_is_worker_count_invariant() {
         }
         assert_eq!(
             report.verdicts, fold,
-            "convergence counters diverged at {workers} workers"
+            "convergence verdicts diverged at {workers} workers"
         );
         assert_eq!(report.verdicts.converged, fold.converged);
-        assert_eq!(
-            report.verdicts.convergence_actions_total,
-            fold.convergence_actions_total
-        );
-        assert_eq!(
-            report.verdicts.convergence_actions_max,
-            fold.convergence_actions_max
-        );
-        // The ledger carries the convergence counters whenever a
+        assert_eq!(report.verdicts.convergence_hist, fold.convergence_hist);
+        // The ledger carries the convergence distribution whenever a
         // stabilizing session ran.
         let ledger = report.to_ledger("e14");
         assert_eq!(ledger.counters["converged_sessions"], fold.converged);
         assert_eq!(
-            ledger.counters["convergence_actions_max"],
-            fold.convergence_actions_max
+            ledger.histograms["convergence_actions"],
+            fold.convergence_hist.snapshot()
         );
     }
 }

@@ -40,6 +40,13 @@ pub struct FuzzConfig {
     /// with `false` the campaign runs its full budget and reports one
     /// counterexample per violated property.
     pub stop_on_violation: bool,
+    /// Generate corrupted-initial-configuration genes for *every* target,
+    /// not just the ones that opt in (`Target::corrupting`): the classic
+    /// nine then start from skewed station counters and ghost-packet
+    /// preloads, making their misbehavior under the arXiv 1011.3632 fault
+    /// class measurable. Off by default so classic campaigns' random
+    /// streams (and their pinned ledgers) stay byte-identical.
+    pub corrupt_starts: bool,
     /// Coverage map shards (rounded up to a power of two).
     pub coverage_shards: usize,
 }
@@ -55,6 +62,7 @@ impl Default for FuzzConfig {
             full_dl: false,
             max_genes: 24,
             stop_on_violation: true,
+            corrupt_starts: false,
             coverage_shards: 16,
         }
     }
@@ -117,7 +125,7 @@ pub fn fuzz(target: &Target, cfg: &FuzzConfig) -> FuzzReport {
                         executions.fetch_sub(1, Ordering::Relaxed);
                         break;
                     }
-                    let corrupt = target.corrupting;
+                    let corrupt = target.corrupting || cfg.corrupt_starts;
                     let genome = if !corpus.is_empty() && rng.random_range(0u32..4) != 0 {
                         match corpus.pick(&mut rng) {
                             Some(parent) => parent.mutate(&mut rng, cfg.max_genes, corrupt),

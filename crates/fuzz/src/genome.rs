@@ -48,11 +48,14 @@ pub enum Gene {
         /// Forced pick, reduced modulo the decision's arity.
         value: u32,
     },
-    /// Corrupt the initial configuration (stations *and* channels) of a
-    /// self-stabilizing target. The last corruption gene wins; targets
-    /// whose protocols assume a clean start ignore it. Only generated
-    /// when a target opts in (see `Target::corrupting`), so the random
-    /// streams of the classic targets stay byte-identical.
+    /// Corrupt the initial configuration (stations *and* channels). The
+    /// last corruption gene wins. Every target decodes it — the classic
+    /// nine map it through their `corrupted_start` counter skews and
+    /// ghost-packet preloads, the stabilizing target through its corrupt
+    /// channels. Only generated when a target opts in by default (see
+    /// `Target::corrupting`) or the campaign opts the classic targets in
+    /// (`FuzzConfig::corrupt_starts`), so the classic random streams
+    /// stay byte-identical.
     Corrupt(Corruption),
 }
 

@@ -22,6 +22,8 @@ OPTIONS:
     --max-genes N     gene bound per genome (default 24)
     --full-dl         judge against full DL instead of weak WDL
     --keep-going      do not stop at the first violation
+    --corrupt-starts  generate corrupted-initial-configuration genes for
+                      every target, not just the stabilizing one
     --list            list targets and exit
     --help            this text
 ";
@@ -64,6 +66,7 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--max-genes" => cfg.max_genes = parse_num(&value("--max-genes")?)? as usize,
             "--full-dl" => cfg.full_dl = true,
             "--keep-going" => cfg.stop_on_violation = false,
+            "--corrupt-starts" => cfg.corrupt_starts = true,
             other => return Err(format!("unknown option {other:?} (try --help)")),
         }
     }

@@ -18,12 +18,11 @@
 
 use std::hash::{BuildHasher, BuildHasherDefault};
 
-use ioa::automaton::Automaton;
 use ioa::schedule_module::{ScheduleModule, TraceKind, Verdict, Violation};
 
-use dl_channels::{CorruptChannel, CorruptSpec, FaultyChannel};
+use dl_channels::{CorruptChannel, CorruptSpec, FaultyChannel, GhostSpec};
 use dl_core::action::{Dir, DlAction, Station};
-use dl_core::protocol::DataLinkProtocol;
+use dl_core::protocol::{CorruptedStart, DataLinkProtocol, StationAutomaton};
 use dl_core::spec::datalink::DlModule;
 use dl_core::spec::stabilize::SuffixMonitor;
 use dl_sim::{link_system, ConformancePolicy, RunReport, Runner};
@@ -72,10 +71,13 @@ pub struct Target {
     pub name: &'static str,
     /// Executes one genome against this target's composed system.
     pub run: fn(&Genome, &ExecConfig) -> ExecOutcome,
-    /// `true` if this target decodes [`Corruption`](crate::genome::Corruption)
-    /// genes — the fleet generates them only for such targets, keeping the
-    /// classic targets' random streams byte-identical to before the fault
-    /// class existed.
+    /// `true` if the fleet generates
+    /// [`Corruption`](crate::genome::Corruption) genes for this target *by
+    /// default*, keeping the classic targets' random streams
+    /// byte-identical to before the fault class existed. Every target
+    /// *decodes* corruption genes (see [`run_protocol`]); campaigns opt
+    /// the classic nine into generating them with
+    /// [`FuzzConfig::corrupt_starts`](crate::FuzzConfig::corrupt_starts).
     pub corrupting: bool,
 }
 
@@ -178,23 +180,38 @@ fn mix3(a: u64, b: u64, c: u64) -> u64 {
 }
 
 /// Runs one genome against one protocol over fault-injected channels.
+///
+/// Any [`Corruption`](crate::genome::Corruption) gene is decoded into a
+/// corrupted initial configuration for the *classic* zoo too: the
+/// stations start with their counters skewed ([`CorruptedStart`], via
+/// each protocol's `corrupted_start` mapping) and the channels start
+/// with ghost packets already in flight ([`GhostSpec`]). A missing or
+/// all-zero corruption gene decodes to the honest start (`seq == 0`
+/// wrappers and empty ghost preloads are behaviorally identity), so
+/// corruption-free genomes execute byte-identically to before the fault
+/// class reached these targets.
 pub fn run_protocol<T, R>(
     protocol: DataLinkProtocol<T, R>,
     genome: &Genome,
     cfg: &ExecConfig,
 ) -> ExecOutcome
 where
-    T: Automaton<Action = DlAction>,
-    R: Automaton<Action = DlAction>,
+    T: StationAutomaton,
+    R: StationAutomaton,
     T::State: std::hash::Hash,
     R::State: std::hash::Hash,
 {
     let plan = genome.decode();
+    let c = plan.corruption.unwrap_or_default();
+    let ghosts = |count: u8, lane: u64| GhostSpec {
+        count,
+        seed: c.seed ^ lane,
+    };
     let system = link_system(
-        protocol.transmitter,
-        protocol.receiver,
-        FaultyChannel::new(Dir::TR, plan.faults[0]),
-        FaultyChannel::new(Dir::RT, plan.faults[1]),
+        CorruptedStart::new(protocol.transmitter, u64::from(c.tx_seq)),
+        CorruptedStart::new(protocol.receiver, u64::from(c.rx_expected)),
+        FaultyChannel::new(Dir::TR, plan.faults[0]).with_ghosts(ghosts(c.ghosts_tr, 0x7121)),
+        FaultyChannel::new(Dir::RT, plan.faults[1]).with_ghosts(ghosts(c.ghosts_rt, 0x1217)),
     );
     let policy = ConformancePolicy {
         full_dl: cfg.full_dl,
@@ -383,10 +400,105 @@ mod tests {
     }
 
     #[test]
-    fn only_the_stabilizing_target_opts_into_corruption() {
+    fn only_the_stabilizing_target_generates_corruption_by_default() {
         for t in all_targets() {
             assert_eq!(t.corrupting, t.name == "stabilizing", "{}", t.name);
         }
+    }
+
+    #[test]
+    fn zero_corruption_gene_is_identity_on_classic_targets() {
+        // `corrupted_start(0)` and an empty ghost preload are the honest
+        // start, so an all-zero corruption gene must not perturb a classic
+        // run at all (this is what keeps the pinned campaigns exact).
+        let clean = genome(4, vec![Gene::Send, Gene::Send]);
+        let zeroed = genome(
+            4,
+            vec![
+                Gene::Corrupt(crate::genome::Corruption::default()),
+                Gene::Send,
+                Gene::Send,
+            ],
+        );
+        for name in ["abp", "go-back-2", "stenning"] {
+            let t = target(name).unwrap();
+            let a = (t.run)(&clean, &ExecConfig::default());
+            let b = (t.run)(&zeroed, &ExecConfig::default());
+            assert_eq!(a.schedule, b.schedule, "{name}");
+            assert_eq!(a.coverage, b.coverage, "{name}");
+            assert_eq!(a.violation, b.violation, "{name}");
+        }
+    }
+
+    #[test]
+    fn corrupted_abp_start_misbehaves_measurably() {
+        // ABP with its alternating bits skewed out of agreement: the
+        // transmitter believes it is past the receiver's expectation, so
+        // the first message is swallowed by the duplicate filter — the
+        // classic-zoo face of the corrupted-configuration fault class.
+        let g = genome(
+            5,
+            vec![
+                Gene::Corrupt(crate::genome::Corruption {
+                    tx_seq: 1,
+                    rx_expected: 0,
+                    ghosts_tr: 0,
+                    ghosts_rt: 0,
+                    seed: 0,
+                }),
+                Gene::Send,
+                Gene::Send,
+            ],
+        );
+        let out = (target("abp").unwrap().run)(&g, &ExecConfig::default());
+        let v = out.violation.expect("skewed counters must misbehave");
+        assert!(
+            ["DL4", "DL5", "DL8"].contains(&v.property),
+            "unexpected property {}",
+            v.property
+        );
+    }
+
+    #[test]
+    fn ghost_packets_reach_classic_receivers() {
+        // A ghost DATA packet preloaded into t→r carries a message no one
+        // sent; if the receiver trusts it, WDL safety (DL4) catches the
+        // delivery. Either way the run must stay deterministic.
+        let g = genome(
+            10,
+            vec![
+                Gene::Corrupt(crate::genome::Corruption {
+                    tx_seq: 0,
+                    rx_expected: 0,
+                    ghosts_tr: 4,
+                    ghosts_rt: 2,
+                    seed: 21,
+                }),
+                Gene::Send,
+            ],
+        );
+        let t = target("go-back-2").unwrap();
+        let a = (t.run)(&g, &ExecConfig::default());
+        let b = (t.run)(&g, &ExecConfig::default());
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.coverage, b.coverage);
+        assert_eq!(a.violation, b.violation);
+        // The ghosts are really in flight: the schedule must contain
+        // more TR packet receptions than TR packet sends can explain.
+        let sends = a
+            .schedule
+            .iter()
+            .filter(|x| matches!(x, DlAction::SendPkt(Dir::TR, _)))
+            .count();
+        let recvs = a
+            .schedule
+            .iter()
+            .filter(|x| matches!(x, DlAction::ReceivePkt(Dir::TR, _)))
+            .count();
+        assert!(
+            recvs > 0 && (recvs > sends || a.violation.is_some()),
+            "ghost traffic left no trace: {sends} sends, {recvs} recvs"
+        );
     }
 
     #[test]

@@ -40,6 +40,21 @@ impl<S: fmt::Debug, T: fmt::Debug> fmt::Debug for Pair<S, T> {
     }
 }
 
+impl<S: crate::intern::PackedCodec, T: crate::intern::PackedCodec> crate::intern::PackedCodec
+    for Pair<S, T>
+{
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.left.encode(out);
+        self.right.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        Pair {
+            left: S::decode(input),
+            right: T::decode(input),
+        }
+    }
+}
+
 /// Why two automata failed the strong-compatibility check (paper §2.5.1).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompatibilityError<A> {

@@ -17,7 +17,9 @@
 //! independent of thread count.
 
 use std::collections::hash_map::RandomState;
+use std::collections::VecDeque;
 use std::hash::{BuildHasher, Hash, Hasher};
+use std::os::unix::fs::FileExt;
 
 /// A fast, **deterministic** build-hasher for small fixed-width keys:
 /// the multiply-rotate ("fx") scheme. `RandomState` stays the right
@@ -234,6 +236,15 @@ impl<S: Hash + Eq, H: BuildHasher> StateTable<S, H> {
         (self.insert_new(hash, state), true)
     }
 
+    /// The id of `state` when its hash under this table's hasher is
+    /// already known (a front-end sharing the hasher computed it at claim
+    /// time). `hash` **must** equal `hasher.hash_one(state)`.
+    #[must_use]
+    pub fn lookup_prehashed(&self, hash: u64, state: &S) -> Option<StateId> {
+        debug_assert_eq!(hash, self.hasher.hash_one(state), "prehashed hash mismatch");
+        self.find(hash, state)
+    }
+
     /// Interns by reference, cloning only on a miss.
     pub fn intern_ref(&mut self, state: &S) -> (StateId, bool)
     where
@@ -346,6 +357,536 @@ impl<S: std::fmt::Debug, H> std::fmt::Debug for StateTable<S, H> {
             .field("slots", &self.table.len())
             .finish_non_exhaustive()
     }
+}
+
+// ---------------------------------------------------------------------------
+// Packed state encodings
+// ---------------------------------------------------------------------------
+
+/// A compact, canonical byte encoding for explorer states.
+///
+/// Zoo states are mostly small queues and counters; hashing and storing
+/// them as full structs wastes both cycles (padding, pointer-chased
+/// `VecDeque` buffers) and arena bytes (`size_of::<S>()` per state
+/// regardless of occupancy). A `PackedCodec` implementation flattens a
+/// state to a short varint/delta byte string instead; the packed arena
+/// ([`PackedTable`]) then hashes and dedups those bytes directly.
+///
+/// Contract: `encode` is **canonical** — equal states produce identical
+/// bytes, distinct states produce distinct bytes (the encoding is
+/// self-delimiting and injective) — and `decode` is its exact inverse:
+/// `decode(encode(s)) == s` consuming exactly the bytes `encode` wrote.
+/// Byte equality of encodings is therefore state equality, which is what
+/// lets the packed arena skip `Eq` on decoded values entirely.
+///
+/// `decode` may panic on malformed input: encodings never leave the
+/// process, so corruption is a logic error, not an input error.
+pub trait PackedCodec: Sized {
+    /// Appends the canonical encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Reconstructs a value, consuming its encoding from the front of
+    /// `input`.
+    fn decode(input: &mut &[u8]) -> Self;
+}
+
+/// Appends `v` to `out` as a LEB128 varint (7 bits per byte, low first).
+#[inline]
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Consumes one LEB128 varint from the front of `input`.
+///
+/// # Panics
+///
+/// On truncated input (a logic error; see [`PackedCodec`]).
+#[inline]
+pub fn read_varint(input: &mut &[u8]) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let (&byte, rest) = input.split_first().expect("truncated varint");
+        *input = rest;
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-folds a signed value so small magnitudes get small varints.
+#[inline]
+#[must_use]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+#[must_use]
+pub fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+/// Delta-encodes an ascending `u64` sequence: count, first value, then
+/// successive differences — the shape of sorted id sets
+/// (`BTreeSet<Msg>` contents, say), where deltas are tiny varints.
+///
+/// # Panics
+///
+/// Debug-asserts that the sequence is ascending.
+pub fn write_delta_seq(out: &mut Vec<u8>, len: usize, vals: impl Iterator<Item = u64>) {
+    write_varint(out, len as u64);
+    let mut prev = 0u64;
+    let mut first = true;
+    for v in vals {
+        if first {
+            write_varint(out, v);
+            first = false;
+        } else {
+            debug_assert!(v >= prev, "delta sequence must be ascending");
+            write_varint(out, v - prev);
+        }
+        prev = v;
+    }
+}
+
+/// Inverse of [`write_delta_seq`]: calls `f` once per decoded value, in
+/// order.
+pub fn read_delta_seq(input: &mut &[u8], mut f: impl FnMut(u64)) {
+    let len = read_varint(input);
+    let mut prev = 0u64;
+    for i in 0..len {
+        let v = if i == 0 {
+            read_varint(input)
+        } else {
+            prev + read_varint(input)
+        };
+        f(v);
+        prev = v;
+    }
+}
+
+macro_rules! varint_codec {
+    ($($t:ty),*) => {$(
+        impl PackedCodec for $t {
+            #[inline]
+            fn encode(&self, out: &mut Vec<u8>) {
+                write_varint(out, u64::from(*self));
+            }
+            #[inline]
+            fn decode(input: &mut &[u8]) -> Self {
+                <$t>::try_from(read_varint(input)).expect("varint out of range")
+            }
+        }
+    )*};
+}
+
+varint_codec!(u8, u16, u32, u64);
+
+impl PackedCodec for usize {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, *self as u64);
+    }
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Self {
+        usize::try_from(read_varint(input)).expect("varint out of range")
+    }
+}
+
+impl PackedCodec for i64 {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, zigzag(*self));
+    }
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Self {
+        unzigzag(read_varint(input))
+    }
+}
+
+impl PackedCodec for bool {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Self {
+        u8::decode(input) != 0
+    }
+}
+
+impl<T: PackedCodec> PackedCodec for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        if bool::decode(input) {
+            Some(T::decode(input))
+        } else {
+            None
+        }
+    }
+}
+
+impl<T: PackedCodec> PackedCodec for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.len() as u64);
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        let len = read_varint(input) as usize;
+        (0..len).map(|_| T::decode(input)).collect()
+    }
+}
+
+impl<T: PackedCodec> PackedCodec for VecDeque<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.len() as u64);
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        let len = read_varint(input) as usize;
+        (0..len).map(|_| T::decode(input)).collect()
+    }
+}
+
+impl<A: PackedCodec, B: PackedCodec> PackedCodec for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        (A::decode(input), B::decode(input))
+    }
+}
+
+impl<T: PackedCodec, const N: usize> PackedCodec for [T; N] {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        // `from_fn` fills indices in order, matching the encode order.
+        std::array::from_fn(|_| T::decode(input))
+    }
+}
+
+/// Ordered maps encode as a length followed by `(key, value)` pairs in
+/// key order — canonical because iteration order is.
+impl<K: PackedCodec + Ord, V: PackedCodec> PackedCodec for std::collections::BTreeMap<K, V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.len() as u64);
+        for (k, v) in self {
+            k.encode(out);
+            v.encode(out);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        let len = read_varint(input);
+        (0..len)
+            .map(|_| (K::decode(input), V::decode(input)))
+            .collect()
+    }
+}
+
+/// Sorted `u64` sets delta-encode like the message sets they usually are.
+impl PackedCodec for std::collections::BTreeSet<u64> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_delta_seq(out, self.len(), self.iter().copied());
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        let mut set = std::collections::BTreeSet::new();
+        read_delta_seq(input, |v| {
+            set.insert(v);
+        });
+        set
+    }
+}
+
+/// An append-only interner over **packed byte encodings**: the
+/// [`PackedCodec`] twin of [`StateTable`].
+///
+/// States are stored as concatenated encodings in one contiguous byte
+/// arena plus an end-offset per state; the open-addressing index maps
+/// byte-string hashes to ids and dedups by byte equality (canonical
+/// encodings make that state equality). Per-state overhead is
+/// `bytes + 8 (end) + 8 (hash) + ~4.6 (index)` — for zoo states whose
+/// structs run 50–150 bytes plus queue allocations, the packed arena is
+/// several times smaller and the hasher touches a handful of bytes
+/// instead of walking a struct.
+///
+/// **Disk spill** (optional): with a nonzero `spill_threshold`, the
+/// resident byte arena is appended to an unlinked temp file whenever it
+/// exceeds the threshold, keeping only the tail in memory. Offsets are
+/// logical (stream-absolute), reads go through positional I/O
+/// (`read_at`), so lookups and decodes keep working — duplicate probes
+/// touch the file only on a full hash match, which true duplicates are.
+pub struct PackedTable<H = FxBuildHasher> {
+    /// Resident suffix of the logical byte stream.
+    bytes: Vec<u8>,
+    /// Absolute end offset of each state's encoding in the stream.
+    ends: Vec<u64>,
+    /// Cached byte-string hash per state.
+    hashes: Vec<u64>,
+    /// Open-addressing index; `EMPTY` marks a free slot.
+    table: Vec<u32>,
+    hasher: H,
+    /// Logical offset of `bytes[0]` (== bytes already spilled).
+    base: u64,
+    /// Spill file (created lazily) and the resident-size threshold that
+    /// triggers spilling; `0` disables the spill path entirely.
+    spill: Option<std::fs::File>,
+    spill_threshold: usize,
+}
+
+impl Default for PackedTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PackedTable {
+    /// An empty packed arena with the deterministic fx hasher and no
+    /// spill.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_hasher(FxBuildHasher)
+    }
+}
+
+impl<H: BuildHasher> PackedTable<H> {
+    /// An empty packed arena using `hasher` for byte-string hashes.
+    pub fn with_hasher(hasher: H) -> Self {
+        PackedTable {
+            bytes: Vec::new(),
+            ends: Vec::new(),
+            hashes: Vec::new(),
+            table: Vec::new(),
+            hasher,
+            base: 0,
+            spill: None,
+            spill_threshold: 0,
+        }
+    }
+
+    /// Enables disk spill: whenever the resident byte arena exceeds
+    /// `threshold` bytes it is appended to an unlinked temp file and the
+    /// in-memory copy is dropped. `0` disables spilling.
+    #[must_use]
+    pub fn with_spill_threshold(mut self, threshold: usize) -> Self {
+        self.spill_threshold = threshold;
+        self
+    }
+
+    /// Number of distinct states interned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// `true` if nothing has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// The hash this table assigns to an encoding (for claim-time
+    /// front-ends sharing the hasher).
+    #[must_use]
+    pub fn hash_bytes(&self, encoded: &[u8]) -> u64 {
+        self.hasher.hash_one(encoded)
+    }
+
+    /// The id of the state with this canonical encoding, if interned.
+    /// `hash` **must** equal [`hash_bytes`](Self::hash_bytes) of
+    /// `encoded`.
+    #[must_use]
+    pub fn lookup(&self, hash: u64, encoded: &[u8]) -> Option<u32> {
+        debug_assert_eq!(
+            hash,
+            self.hasher.hash_one(encoded),
+            "prehashed hash mismatch"
+        );
+        if self.table.is_empty() {
+            return None;
+        }
+        let mask = self.table.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let slot = self.table[i];
+            if slot == EMPTY {
+                return None;
+            }
+            let idx = slot as usize;
+            if self.hashes[idx] == hash && self.bytes_eq(idx, encoded) {
+                return Some(slot);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Interns an encoding, returning its id and whether it was new.
+    /// Same `hash` contract as [`lookup`](Self::lookup).
+    pub fn intern(&mut self, hash: u64, encoded: &[u8]) -> (u32, bool) {
+        if let Some(id) = self.lookup(hash, encoded) {
+            return (id, false);
+        }
+        let id = u32::try_from(self.ends.len()).expect("packed arena overflowed u32 ids");
+        self.bytes.extend_from_slice(encoded);
+        self.ends.push(self.base + self.bytes.len() as u64);
+        self.hashes.push(hash);
+        if self.table.is_empty() || (self.ends.len() + 1) * 8 > self.table.len() * 7 {
+            self.grow();
+        } else {
+            Self::place_in(&mut self.table, hash, id);
+        }
+        if self.spill_threshold > 0 && self.bytes.len() >= self.spill_threshold {
+            self.spill_resident();
+        }
+        (id, true)
+    }
+
+    /// Runs `f` over the stored encoding of state `idx`, reading it back
+    /// from the spill file when it is no longer resident.
+    pub fn with_bytes<R>(&self, idx: u32, f: impl FnOnce(&[u8]) -> R) -> R {
+        let (start, end) = self.span(idx);
+        if start >= self.base {
+            let lo = (start - self.base) as usize;
+            let hi = (end - self.base) as usize;
+            f(&self.bytes[lo..hi])
+        } else {
+            let mut buf = vec![0u8; (end - start) as usize];
+            self.spill
+                .as_ref()
+                .expect("offset below base implies a spill file")
+                .read_exact_at(&mut buf, start)
+                .expect("spill read failed");
+            f(&buf)
+        }
+    }
+
+    /// Decodes state `idx`.
+    #[must_use]
+    pub fn decode<S: PackedCodec>(&self, idx: u32) -> S {
+        self.with_bytes(idx, |mut b| {
+            let s = S::decode(&mut b);
+            debug_assert!(b.is_empty(), "encoding not fully consumed");
+            s
+        })
+    }
+
+    /// Resident bytes: byte arena, offsets, cached hashes, and index
+    /// slots. Spilled bytes are excluded — they are on disk, which is
+    /// the point; see [`spilled_bytes`](Self::spilled_bytes).
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes.capacity()
+            + self.ends.capacity() * std::mem::size_of::<u64>()
+            + self.hashes.capacity() * std::mem::size_of::<u64>()
+            + self.table.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Bytes moved to the spill file so far.
+    #[must_use]
+    pub fn spilled_bytes(&self) -> u64 {
+        self.base
+    }
+
+    fn span(&self, idx: u32) -> (u64, u64) {
+        let i = idx as usize;
+        let start = if i == 0 { 0 } else { self.ends[i - 1] };
+        (start, self.ends[i])
+    }
+
+    fn bytes_eq(&self, idx: usize, encoded: &[u8]) -> bool {
+        let (start, end) = self.span(idx as u32);
+        if end - start != encoded.len() as u64 {
+            return false;
+        }
+        self.with_bytes(idx as u32, |b| b == encoded)
+    }
+
+    fn spill_resident(&mut self) {
+        if self.spill.is_none() {
+            self.spill = Some(unlinked_temp_file());
+        }
+        let file = self.spill.as_ref().expect("just created");
+        file.write_all_at(&self.bytes, self.base)
+            .expect("spill write failed");
+        self.base += self.bytes.len() as u64;
+        self.bytes.clear();
+    }
+
+    fn place_in(table: &mut [u32], hash: u64, id: u32) {
+        let mask = table.len() - 1;
+        let mut i = (hash as usize) & mask;
+        while table[i] != EMPTY {
+            i = (i + 1) & mask;
+        }
+        table[i] = id;
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.table.len() * 2).max(16);
+        self.table.clear();
+        self.table.resize(cap, EMPTY);
+        for (idx, &hash) in self.hashes.iter().enumerate() {
+            Self::place_in(&mut self.table, hash, idx as u32);
+        }
+    }
+}
+
+impl<H> std::fmt::Debug for PackedTable<H> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PackedTable")
+            .field("len", &self.ends.len())
+            .field("resident_bytes", &self.bytes.len())
+            .field("spilled_bytes", &self.base)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Creates an anonymous (already-unlinked) temp file: readable and
+/// writable through the handle, invisible in the filesystem, reclaimed
+/// by the OS when the handle drops — no cleanup path needed.
+fn unlinked_temp_file() -> std::fs::File {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "ioa-packed-{}-{}.spill",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create_new(true)
+        .open(&path)
+        .expect("failed to create spill file");
+    std::fs::remove_file(&path).expect("failed to unlink spill file");
+    file
 }
 
 /// A sequence of (possibly repeating) states stored as ids over a private
@@ -600,6 +1141,138 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert_eq!(t.len(), 1, "clone growth must not touch the original");
         assert_eq!(t.lookup(&6), None);
+    }
+
+    #[test]
+    fn varint_roundtrips_at_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            16_383,
+            16_384,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut out = Vec::new();
+            write_varint(&mut out, v);
+            let mut r = out.as_slice();
+            assert_eq!(read_varint(&mut r), v);
+            assert!(r.is_empty());
+        }
+        // Small values take one byte — the whole point.
+        let mut out = Vec::new();
+        write_varint(&mut out, 42);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn zigzag_roundtrips_and_keeps_small_magnitudes_small() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert!(zigzag(-1) < 128, "small negatives must stay one byte");
+    }
+
+    #[test]
+    fn delta_seq_roundtrips_sorted_sets() {
+        let vals = [3u64, 9, 10, 500, 501];
+        let mut out = Vec::new();
+        write_delta_seq(&mut out, vals.len(), vals.iter().copied());
+        let mut back = Vec::new();
+        let mut r = out.as_slice();
+        read_delta_seq(&mut r, |v| back.push(v));
+        assert!(r.is_empty());
+        assert_eq!(back, vals);
+        // Empty sequence is fine too.
+        let mut out = Vec::new();
+        write_delta_seq(&mut out, 0, std::iter::empty());
+        let mut r = out.as_slice();
+        read_delta_seq(&mut r, |_| panic!("no values expected"));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn composite_codecs_roundtrip() {
+        fn rt<T: PackedCodec + PartialEq + std::fmt::Debug>(v: T) {
+            let mut out = Vec::new();
+            v.encode(&mut out);
+            let mut r = out.as_slice();
+            assert_eq!(T::decode(&mut r), v);
+            assert!(r.is_empty(), "encoding must be self-delimiting");
+        }
+        rt(Option::<u64>::None);
+        rt(Some(7u64));
+        rt(vec![1u32, 2, 3]);
+        rt(VecDeque::from([true, false, true]));
+        rt((5u8, vec![9u64]));
+        rt((Some(1u16), VecDeque::<u64>::new()));
+        rt(-12i64);
+        rt(3usize);
+    }
+
+    #[test]
+    fn packed_table_dedups_and_decodes() {
+        let mut t = PackedTable::new();
+        let mut enc = Vec::new();
+        vec![1u64, 2, 3].encode(&mut enc);
+        let h = t.hash_bytes(&enc);
+        let (a, fresh) = t.intern(h, &enc);
+        assert!(fresh);
+        let (a2, fresh2) = t.intern(h, &enc);
+        assert!(!fresh2);
+        assert_eq!(a, a2);
+        assert_eq!(t.lookup(h, &enc), Some(a));
+        assert_eq!(t.decode::<Vec<u64>>(a), vec![1, 2, 3]);
+        assert_eq!(t.len(), 1);
+        assert!(t.approx_bytes() > 0);
+        assert_eq!(t.spilled_bytes(), 0);
+    }
+
+    #[test]
+    fn packed_table_survives_growth_with_dense_ids() {
+        let mut t = PackedTable::new();
+        let mut enc = Vec::new();
+        for n in 0..5_000u64 {
+            enc.clear();
+            (n, n.wrapping_mul(3)).encode(&mut enc);
+            let h = t.hash_bytes(&enc);
+            let (id, fresh) = t.intern(h, &enc);
+            assert!(fresh);
+            assert_eq!(id as u64, n, "ids are insertion-dense");
+        }
+        for n in 0..5_000u64 {
+            assert_eq!(t.decode::<(u64, u64)>(n as u32), (n, n.wrapping_mul(3)));
+        }
+    }
+
+    #[test]
+    fn packed_table_spills_and_reads_back() {
+        let mut t = PackedTable::new().with_spill_threshold(256);
+        let mut enc = Vec::new();
+        let mut hashes = Vec::new();
+        for n in 0..2_000u64 {
+            enc.clear();
+            vec![n, n + 1, n + 2].encode(&mut enc);
+            let h = t.hash_bytes(&enc);
+            hashes.push(h);
+            assert!(t.intern(h, &enc).1);
+        }
+        assert!(t.spilled_bytes() > 0, "threshold must have triggered");
+        // Every state decodes back, resident or spilled.
+        for n in 0..2_000u64 {
+            assert_eq!(t.decode::<Vec<u64>>(n as u32), vec![n, n + 1, n + 2]);
+        }
+        // Duplicate probes across the spill boundary still dedup.
+        for n in (0..2_000u64).step_by(97) {
+            enc.clear();
+            vec![n, n + 1, n + 2].encode(&mut enc);
+            let (id, fresh) = t.intern(hashes[n as usize], &enc);
+            assert!(!fresh);
+            assert_eq!(id as u64, n);
+        }
     }
 
     #[test]

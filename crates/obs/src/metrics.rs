@@ -56,7 +56,7 @@ pub const BUCKETS: usize = 65;
 /// Recording is allocation-free and branch-light: the bucket index is the
 /// sample's bit length. Exact `count`/`sum`/`min`/`max` ride along so
 /// means and totals are not quantized.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     count: u64,
     sum: u64,

@@ -31,6 +31,8 @@ use dl_core::protocol::{
     receiver_classify, transmitter_classify, DataLinkProtocol, MessageIndependent, ProtocolInfo,
     StationAutomaton,
 };
+use dl_core::symmetry::{MsgRelabel, MsgVisit};
+use ioa::intern::PackedCodec;
 
 /// Header sequence for fragment `part` of bit `b`.
 #[must_use]
@@ -185,6 +187,14 @@ impl Automaton for FragTransmitter {
 impl StationAutomaton for FragTransmitter {
     fn station(&self) -> Station {
         Station::T
+    }
+
+    /// Corruption skews the alternating bit: `seq & 1`.
+    fn corrupted_start(&self, seq: u64) -> FragTxState {
+        FragTxState {
+            bit: seq & 1 != 0,
+            ..FragTxState::default()
+        }
     }
 }
 
@@ -360,6 +370,14 @@ impl StationAutomaton for FragReceiver {
     fn station(&self) -> Station {
         Station::R
     }
+
+    /// Corruption skews the expected bit: `seq & 1`.
+    fn corrupted_start(&self, seq: u64) -> FragRxState {
+        FragRxState {
+            expected: seq & 1 != 0,
+            ..FragRxState::default()
+        }
+    }
 }
 
 impl MessageIndependent for FragReceiver {
@@ -389,6 +407,78 @@ pub fn protocol() -> DataLinkProtocol<FragTransmitter, FragReceiver> {
             msg_class_modulus: None,
         },
     )
+}
+
+impl PackedCodec for FragTxState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.active.encode(out);
+        self.bit.encode(out);
+        self.queue.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        FragTxState {
+            active: bool::decode(input),
+            bit: bool::decode(input),
+            queue: std::collections::VecDeque::<Msg>::decode(input),
+        }
+    }
+}
+
+impl PackedCodec for FragRxState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.active.encode(out);
+        self.expected.encode(out);
+        self.got.encode(out);
+        self.pending.encode(out);
+        self.deliver.encode(out);
+        self.acks.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        FragRxState {
+            active: bool::decode(input),
+            expected: bool::decode(input),
+            got: <[bool; 2]>::decode(input),
+            pending: Option::<Msg>::decode(input),
+            deliver: std::collections::VecDeque::<Msg>::decode(input),
+            acks: std::collections::VecDeque::<bool>::decode(input),
+        }
+    }
+}
+
+impl MsgVisit for FragTxState {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        self.queue.visit_msgs(f);
+    }
+}
+
+impl MsgRelabel for FragTxState {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        FragTxState {
+            active: self.active,
+            bit: self.bit,
+            queue: self.queue.relabel_msgs(f),
+        }
+    }
+}
+
+impl MsgVisit for FragRxState {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        self.pending.visit_msgs(f);
+        self.deliver.visit_msgs(f);
+    }
+}
+
+impl MsgRelabel for FragRxState {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        FragRxState {
+            active: self.active,
+            expected: self.expected,
+            got: self.got,
+            pending: self.pending.relabel_msgs(f),
+            deliver: self.deliver.relabel_msgs(f),
+            acks: self.acks.clone(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -39,6 +39,8 @@ use dl_core::protocol::{
     receiver_classify, transmitter_classify, DataLinkProtocol, MessageIndependent, ProtocolInfo,
     StationAutomaton,
 };
+use dl_core::symmetry::{MsgRelabel, MsgVisit};
+use ioa::intern::PackedCodec;
 
 /// Packs `(epoch, seq)` into a header sequence value.
 #[must_use]
@@ -192,6 +194,15 @@ impl Automaton for NvTransmitter {
 impl StationAutomaton for NvTransmitter {
     fn station(&self) -> Station {
         Station::T
+    }
+
+    /// Corruption skews the in-RAM sequence counter; the non-volatile
+    /// epoch is ROM and stays clean.
+    fn corrupted_start(&self, seq: u64) -> NvTxState {
+        NvTxState {
+            seq,
+            ..NvTxState::default()
+        }
     }
 }
 
@@ -378,6 +389,14 @@ impl StationAutomaton for NvReceiver {
     fn station(&self) -> Station {
         Station::R
     }
+
+    /// Corruption skews the acceptance frontier; the epoch stays clean.
+    fn corrupted_start(&self, seq: u64) -> NvRxState {
+        NvRxState {
+            expected: seq,
+            ..NvRxState::default()
+        }
+    }
 }
 
 impl MessageIndependent for NvReceiver {
@@ -406,6 +425,77 @@ pub fn protocol() -> DataLinkProtocol<NvTransmitter, NvReceiver> {
             msg_class_modulus: None,
         },
     )
+}
+
+impl PackedCodec for NvTxState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.active.encode(out);
+        self.epoch.encode(out);
+        self.seq.encode(out);
+        self.queue.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        NvTxState {
+            active: bool::decode(input),
+            epoch: u64::decode(input),
+            seq: u64::decode(input),
+            queue: std::collections::VecDeque::<Msg>::decode(input),
+        }
+    }
+}
+
+impl PackedCodec for NvRxState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.active.encode(out);
+        self.epoch.encode(out);
+        self.expected.encode(out);
+        self.deliver.encode(out);
+        self.acks.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        NvRxState {
+            active: bool::decode(input),
+            epoch: u64::decode(input),
+            expected: u64::decode(input),
+            deliver: std::collections::VecDeque::<Msg>::decode(input),
+            acks: std::collections::VecDeque::<u64>::decode(input),
+        }
+    }
+}
+
+impl MsgVisit for NvTxState {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        self.queue.visit_msgs(f);
+    }
+}
+
+impl MsgRelabel for NvTxState {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        NvTxState {
+            active: self.active,
+            epoch: self.epoch,
+            seq: self.seq,
+            queue: self.queue.relabel_msgs(f),
+        }
+    }
+}
+
+impl MsgVisit for NvRxState {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        self.deliver.visit_msgs(f);
+    }
+}
+
+impl MsgRelabel for NvRxState {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        NvRxState {
+            active: self.active,
+            epoch: self.epoch,
+            expected: self.expected,
+            deliver: self.deliver.relabel_msgs(f),
+            acks: self.acks.clone(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -35,6 +35,8 @@ use dl_core::protocol::{
     receiver_classify, transmitter_classify, DataLinkProtocol, MessageIndependent, ProtocolInfo,
     StationAutomaton,
 };
+use dl_core::symmetry::{MsgRelabel, MsgVisit};
+use ioa::intern::PackedCodec;
 
 /// Header sequence for the single packet of an even message with bit `b`.
 #[must_use]
@@ -197,6 +199,14 @@ impl Automaton for ParityTransmitter {
 impl StationAutomaton for ParityTransmitter {
     fn station(&self) -> Station {
         Station::T
+    }
+
+    /// Corruption skews the alternating bit: `seq & 1`.
+    fn corrupted_start(&self, seq: u64) -> ParityTxState {
+        ParityTxState {
+            bit: seq & 1 != 0,
+            ..ParityTxState::default()
+        }
     }
 }
 
@@ -393,6 +403,14 @@ impl StationAutomaton for ParityReceiver {
     fn station(&self) -> Station {
         Station::R
     }
+
+    /// Corruption skews the expected bit: `seq & 1`.
+    fn corrupted_start(&self, seq: u64) -> ParityRxState {
+        ParityRxState {
+            expected: seq & 1 != 0,
+            ..ParityRxState::default()
+        }
+    }
 }
 
 impl MessageIndependent for ParityReceiver {
@@ -423,6 +441,78 @@ pub fn protocol() -> DataLinkProtocol<ParityTransmitter, ParityReceiver> {
             msg_class_modulus: Some(2),
         },
     )
+}
+
+impl PackedCodec for ParityTxState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.active.encode(out);
+        self.bit.encode(out);
+        self.queue.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        ParityTxState {
+            active: bool::decode(input),
+            bit: bool::decode(input),
+            queue: std::collections::VecDeque::<Msg>::decode(input),
+        }
+    }
+}
+
+impl PackedCodec for ParityRxState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.active.encode(out);
+        self.expected.encode(out);
+        self.got.encode(out);
+        self.pending.encode(out);
+        self.deliver.encode(out);
+        self.acks.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        ParityRxState {
+            active: bool::decode(input),
+            expected: bool::decode(input),
+            got: <[bool; 2]>::decode(input),
+            pending: Option::<Msg>::decode(input),
+            deliver: std::collections::VecDeque::<Msg>::decode(input),
+            acks: std::collections::VecDeque::<bool>::decode(input),
+        }
+    }
+}
+
+impl MsgVisit for ParityTxState {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        self.queue.visit_msgs(f);
+    }
+}
+
+impl MsgRelabel for ParityTxState {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        ParityTxState {
+            active: self.active,
+            bit: self.bit,
+            queue: self.queue.relabel_msgs(f),
+        }
+    }
+}
+
+impl MsgVisit for ParityRxState {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        self.pending.visit_msgs(f);
+        self.deliver.visit_msgs(f);
+    }
+}
+
+impl MsgRelabel for ParityRxState {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        ParityRxState {
+            active: self.active,
+            expected: self.expected,
+            got: self.got,
+            pending: self.pending.relabel_msgs(f),
+            deliver: self.deliver.relabel_msgs(f),
+            acks: self.acks.clone(),
+        }
+    }
 }
 
 #[cfg(test)]

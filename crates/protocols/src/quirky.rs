@@ -27,6 +27,8 @@ use dl_core::protocol::{
     receiver_classify, transmitter_classify, DataLinkProtocol, MessageIndependent, ProtocolInfo,
     StationAutomaton,
 };
+use dl_core::symmetry::{MsgRelabel, MsgVisit};
+use ioa::intern::PackedCodec;
 
 /// State of the quirky transmitter (an ABP-shaped stop-and-wait machine).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
@@ -313,6 +315,15 @@ impl StationAutomaton for QuirkyReceiver {
     fn station(&self) -> Station {
         Station::R
     }
+
+    /// Corruption pre-populates the seen-set with the first `min(seq, 8)`
+    /// sequence numbers, as if that many deliveries already happened.
+    fn corrupted_start(&self, seq: u64) -> QuirkyRxState {
+        QuirkyRxState {
+            seen: (0..seq.min(8)).collect(),
+            ..QuirkyRxState::default()
+        }
+    }
 }
 
 impl MessageIndependent for QuirkyReceiver {
@@ -342,6 +353,68 @@ pub fn protocol() -> DataLinkProtocol<QuirkyTransmitter, QuirkyReceiver> {
             msg_class_modulus: None,
         },
     )
+}
+
+impl PackedCodec for QuirkyTxState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.active.encode(out);
+        self.queue.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        QuirkyTxState {
+            active: bool::decode(input),
+            queue: std::collections::VecDeque::<Msg>::decode(input),
+        }
+    }
+}
+
+impl PackedCodec for QuirkyRxState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.active.encode(out);
+        self.seen.encode(out);
+        self.deliver.encode(out);
+        self.acks.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        QuirkyRxState {
+            active: bool::decode(input),
+            seen: std::collections::BTreeSet::<u64>::decode(input),
+            deliver: std::collections::VecDeque::<Msg>::decode(input),
+            acks: std::collections::VecDeque::<u64>::decode(input),
+        }
+    }
+}
+
+impl MsgVisit for QuirkyTxState {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        self.queue.visit_msgs(f);
+    }
+}
+
+impl MsgRelabel for QuirkyTxState {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        QuirkyTxState {
+            active: self.active,
+            queue: self.queue.relabel_msgs(f),
+        }
+    }
+}
+
+impl MsgVisit for QuirkyRxState {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        self.deliver.visit_msgs(f);
+    }
+}
+
+impl MsgRelabel for QuirkyRxState {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        QuirkyRxState {
+            active: self.active,
+            seen: self.seen.clone(),
+            deliver: self.deliver.relabel_msgs(f),
+            acks: self.acks.clone(),
+        }
+    }
 }
 
 #[cfg(test)]

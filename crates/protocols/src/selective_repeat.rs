@@ -32,6 +32,8 @@ use dl_core::protocol::{
     receiver_classify, transmitter_classify, DataLinkProtocol, MessageIndependent, ProtocolInfo,
     StationAutomaton,
 };
+use dl_core::symmetry::{MsgRelabel, MsgVisit};
+use ioa::intern::PackedCodec;
 
 /// Packs an ack payload: the cumulative next-expected value (mod M) and
 /// the bitmap of buffered out-of-order window offsets (bit `j` set means
@@ -247,6 +249,14 @@ impl StationAutomaton for SrTransmitter {
     fn station(&self) -> Station {
         Station::T
     }
+
+    /// Corruption skews the window base (the ack set stays clean).
+    fn corrupted_start(&self, seq: u64) -> SrTxState {
+        SrTxState {
+            base: seq,
+            ..SrTxState::default()
+        }
+    }
 }
 
 impl MessageIndependent for SrTransmitter {
@@ -450,6 +460,14 @@ impl StationAutomaton for SrReceiver {
     fn station(&self) -> Station {
         Station::R
     }
+
+    /// Corruption skews the acceptance frontier (empty buffer).
+    fn corrupted_start(&self, seq: u64) -> SrRxState {
+        SrRxState {
+            expected: seq,
+            ..SrRxState::default()
+        }
+    }
 }
 
 impl MessageIndependent for SrReceiver {
@@ -478,6 +496,78 @@ pub fn protocol(window: u64) -> DataLinkProtocol<SrTransmitter, SrReceiver> {
             msg_class_modulus: None,
         },
     )
+}
+
+impl PackedCodec for SrTxState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.active.encode(out);
+        self.base.encode(out);
+        self.queue.encode(out);
+        self.acked.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        SrTxState {
+            active: bool::decode(input),
+            base: u64::decode(input),
+            queue: std::collections::VecDeque::<Msg>::decode(input),
+            acked: std::collections::BTreeSet::<u64>::decode(input),
+        }
+    }
+}
+
+impl PackedCodec for SrRxState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.active.encode(out);
+        self.expected.encode(out);
+        self.buffer.encode(out);
+        self.deliver.encode(out);
+        self.acks.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        SrRxState {
+            active: bool::decode(input),
+            expected: u64::decode(input),
+            buffer: std::collections::BTreeMap::<u64, Msg>::decode(input),
+            deliver: std::collections::VecDeque::<Msg>::decode(input),
+            acks: std::collections::VecDeque::<u64>::decode(input),
+        }
+    }
+}
+
+impl MsgVisit for SrTxState {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        self.queue.visit_msgs(f);
+    }
+}
+
+impl MsgRelabel for SrTxState {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        SrTxState {
+            active: self.active,
+            base: self.base,
+            queue: self.queue.relabel_msgs(f),
+            acked: self.acked.clone(),
+        }
+    }
+}
+
+impl MsgVisit for SrRxState {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        self.buffer.visit_msgs(f);
+        self.deliver.visit_msgs(f);
+    }
+}
+
+impl MsgRelabel for SrRxState {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        SrRxState {
+            active: self.active,
+            expected: self.expected,
+            buffer: self.buffer.relabel_msgs(f),
+            deliver: self.deliver.relabel_msgs(f),
+            acks: self.acks.clone(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,8 @@ use dl_core::protocol::{
     receiver_classify, transmitter_classify, DataLinkProtocol, MessageIndependent, ProtocolInfo,
     StationAutomaton,
 };
+use dl_core::symmetry::{MsgRelabel, MsgVisit};
+use ioa::intern::PackedCodec;
 
 /// State of the sliding-window transmitter.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
@@ -201,6 +203,14 @@ impl Automaton for SwTransmitter {
 impl StationAutomaton for SwTransmitter {
     fn station(&self) -> Station {
         Station::T
+    }
+
+    /// Corruption skews the window base.
+    fn corrupted_start(&self, seq: u64) -> SwTxState {
+        SwTxState {
+            base: seq,
+            ..SwTxState::default()
+        }
     }
 }
 
@@ -384,6 +394,14 @@ impl StationAutomaton for SwReceiver {
     fn station(&self) -> Station {
         Station::R
     }
+
+    /// Corruption skews the acceptance frontier.
+    fn corrupted_start(&self, seq: u64) -> SwRxState {
+        SwRxState {
+            expected: seq,
+            ..SwRxState::default()
+        }
+    }
 }
 
 impl MessageIndependent for SwReceiver {
@@ -412,6 +430,71 @@ pub fn protocol(window: u64) -> DataLinkProtocol<SwTransmitter, SwReceiver> {
             msg_class_modulus: None,
         },
     )
+}
+
+impl PackedCodec for SwTxState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.active.encode(out);
+        self.base.encode(out);
+        self.queue.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        SwTxState {
+            active: bool::decode(input),
+            base: u64::decode(input),
+            queue: std::collections::VecDeque::<Msg>::decode(input),
+        }
+    }
+}
+
+impl PackedCodec for SwRxState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.active.encode(out);
+        self.expected.encode(out);
+        self.deliver.encode(out);
+        self.acks.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        SwRxState {
+            active: bool::decode(input),
+            expected: u64::decode(input),
+            deliver: std::collections::VecDeque::<Msg>::decode(input),
+            acks: std::collections::VecDeque::<u64>::decode(input),
+        }
+    }
+}
+
+impl MsgVisit for SwTxState {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        self.queue.visit_msgs(f);
+    }
+}
+
+impl MsgRelabel for SwTxState {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        SwTxState {
+            active: self.active,
+            base: self.base,
+            queue: self.queue.relabel_msgs(f),
+        }
+    }
+}
+
+impl MsgVisit for SwRxState {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        self.deliver.visit_msgs(f);
+    }
+}
+
+impl MsgRelabel for SwRxState {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        SwRxState {
+            active: self.active,
+            expected: self.expected,
+            deliver: self.deliver.relabel_msgs(f),
+            acks: self.acks.clone(),
+        }
+    }
 }
 
 #[cfg(test)]

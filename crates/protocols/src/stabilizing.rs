@@ -44,6 +44,8 @@ use dl_core::protocol::{
     receiver_classify, transmitter_classify, DataLinkProtocol, MessageIndependent, ProtocolInfo,
     StationAutomaton,
 };
+use dl_core::symmetry::{MsgRelabel, MsgVisit};
+use ioa::intern::PackedCodec;
 
 /// The canonical channel-capacity bound used by [`protocol`] (and by the
 /// fleet's stabilizing sessions).
@@ -196,6 +198,15 @@ impl Automaton for StabTransmitter {
 impl StationAutomaton for StabTransmitter {
     fn station(&self) -> Station {
         Station::T
+    }
+
+    /// Corruption skews the sequence counter *relative to* the declared
+    /// `init_seq`, so the adapter composes with [`corrupted`] instances.
+    fn corrupted_start(&self, seq: u64) -> StabTxState {
+        StabTxState {
+            seq: self.init_seq.wrapping_add(seq),
+            ..StabTxState::default()
+        }
     }
 }
 
@@ -394,6 +405,15 @@ impl StationAutomaton for StabReceiver {
     fn station(&self) -> Station {
         Station::R
     }
+
+    /// Corruption skews the acceptance frontier relative to
+    /// `init_expected`.
+    fn corrupted_start(&self, seq: u64) -> StabRxState {
+        StabRxState {
+            expected: self.init_expected.wrapping_add(seq),
+            ..StabRxState::default()
+        }
+    }
 }
 
 impl MessageIndependent for StabReceiver {
@@ -471,6 +491,81 @@ pub fn corrupted(
             msg_class_modulus: None,
         },
     )
+}
+
+impl PackedCodec for StabTxState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.active.encode(out);
+        self.seq.encode(out);
+        self.acked.encode(out);
+        self.queue.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        StabTxState {
+            active: bool::decode(input),
+            seq: u64::decode(input),
+            acked: u64::decode(input),
+            queue: std::collections::VecDeque::<Msg>::decode(input),
+        }
+    }
+}
+
+impl PackedCodec for StabRxState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.active.encode(out);
+        self.expected.encode(out);
+        self.candidate.encode(out);
+        self.copies.encode(out);
+        self.deliver.encode(out);
+        self.acks.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        StabRxState {
+            active: bool::decode(input),
+            expected: u64::decode(input),
+            candidate: Option::<(u64, Msg)>::decode(input),
+            copies: u64::decode(input),
+            deliver: std::collections::VecDeque::<Msg>::decode(input),
+            acks: std::collections::VecDeque::<u64>::decode(input),
+        }
+    }
+}
+
+impl MsgVisit for StabTxState {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        self.queue.visit_msgs(f);
+    }
+}
+
+impl MsgRelabel for StabTxState {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        StabTxState {
+            active: self.active,
+            seq: self.seq,
+            acked: self.acked,
+            queue: self.queue.relabel_msgs(f),
+        }
+    }
+}
+
+impl MsgVisit for StabRxState {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        self.candidate.visit_msgs(f);
+        self.deliver.visit_msgs(f);
+    }
+}
+
+impl MsgRelabel for StabRxState {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        StabRxState {
+            active: self.active,
+            expected: self.expected,
+            candidate: self.candidate.relabel_msgs(f),
+            copies: self.copies,
+            deliver: self.deliver.relabel_msgs(f),
+            acks: self.acks.clone(),
+        }
+    }
 }
 
 #[cfg(test)]

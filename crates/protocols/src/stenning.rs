@@ -23,6 +23,8 @@ use dl_core::protocol::{
     receiver_classify, transmitter_classify, DataLinkProtocol, MessageIndependent, ProtocolInfo,
     StationAutomaton,
 };
+use dl_core::symmetry::{MsgRelabel, MsgVisit};
+use ioa::intern::PackedCodec;
 
 /// State of the Stenning transmitter.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
@@ -145,6 +147,14 @@ impl Automaton for StenningTransmitter {
 impl StationAutomaton for StenningTransmitter {
     fn station(&self) -> Station {
         Station::T
+    }
+
+    /// Corruption skews the unbounded sequence counter.
+    fn corrupted_start(&self, seq: u64) -> StenningTxState {
+        StenningTxState {
+            seq,
+            ..StenningTxState::default()
+        }
     }
 }
 
@@ -313,6 +323,14 @@ impl StationAutomaton for StenningReceiver {
     fn station(&self) -> Station {
         Station::R
     }
+
+    /// Corruption skews the acceptance frontier.
+    fn corrupted_start(&self, seq: u64) -> StenningRxState {
+        StenningRxState {
+            expected: seq,
+            ..StenningRxState::default()
+        }
+    }
 }
 
 impl MessageIndependent for StenningReceiver {
@@ -340,6 +358,71 @@ pub fn protocol() -> DataLinkProtocol<StenningTransmitter, StenningReceiver> {
             msg_class_modulus: None,
         },
     )
+}
+
+impl PackedCodec for StenningTxState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.active.encode(out);
+        self.seq.encode(out);
+        self.queue.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        StenningTxState {
+            active: bool::decode(input),
+            seq: u64::decode(input),
+            queue: std::collections::VecDeque::<Msg>::decode(input),
+        }
+    }
+}
+
+impl PackedCodec for StenningRxState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.active.encode(out);
+        self.expected.encode(out);
+        self.deliver.encode(out);
+        self.acks.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Self {
+        StenningRxState {
+            active: bool::decode(input),
+            expected: u64::decode(input),
+            deliver: std::collections::VecDeque::<Msg>::decode(input),
+            acks: std::collections::VecDeque::<u64>::decode(input),
+        }
+    }
+}
+
+impl MsgVisit for StenningTxState {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        self.queue.visit_msgs(f);
+    }
+}
+
+impl MsgRelabel for StenningTxState {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        StenningTxState {
+            active: self.active,
+            seq: self.seq,
+            queue: self.queue.relabel_msgs(f),
+        }
+    }
+}
+
+impl MsgVisit for StenningRxState {
+    fn visit_msgs(&self, f: &mut dyn FnMut(Msg)) {
+        self.deliver.visit_msgs(f);
+    }
+}
+
+impl MsgRelabel for StenningRxState {
+    fn relabel_msgs(&self, f: &mut dyn FnMut(Msg) -> Msg) -> Self {
+        StenningRxState {
+            active: self.active,
+            expected: self.expected,
+            deliver: self.deliver.relabel_msgs(f),
+            acks: self.acks.clone(),
+        }
+    }
 }
 
 #[cfg(test)]

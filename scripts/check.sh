@@ -11,7 +11,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-STAGES=(toolchain fmt clippy test obs scaling monitor-smoke fuzz-smoke fleet-smoke stabilize-smoke alloc differential bench-smoke)
+STAGES=(toolchain fmt clippy test obs scaling explore-deep monitor-smoke fuzz-smoke fleet-smoke stabilize-smoke alloc differential bench-smoke)
 
 stage_toolchain() {
   # The container pins the toolchain by version, not by channel file
@@ -59,6 +59,14 @@ stage_scaling() {
   cargo test --release -q -p dl-core --test monitor_props scaling_smoke
 }
 
+stage_explore_deep() {
+  # Scaled-down `explore/deep` leg, release: the packed backend and the
+  # lock-free visited set reproduce identical counters and layer
+  # histograms at 1/2/4 threads (the full ≥10⁶-state run lives in
+  # `scripts/bench.sh` / bench/baseline.json).
+  cargo test --release -q -p dl-bench --test explore_deep_smoke
+}
+
 stage_monitor_smoke() {
   # Batched monitor ingest at line rate, release: session-sharded 2·10⁶
   # action stream holds a loose actions/sec floor (the tight floor lives
@@ -96,9 +104,10 @@ stage_stabilize_smoke() {
 }
 
 stage_alloc() {
-  # Counting allocator: steady-state allocs per fuzz exec under the
-  # pinned ceiling.
+  # Counting allocator: steady-state allocs per fuzz exec and per
+  # explored edge (both visited-set backends) under the pinned ceilings.
   cargo test -q -p dl-fuzz --test alloc_regression
+  cargo test -q -p dl-explore --test alloc_ceiling
 }
 
 stage_differential() {

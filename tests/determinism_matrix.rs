@@ -127,3 +127,43 @@ fn e9_explore_is_deterministic_across_thread_counts() {
         );
     }
 }
+
+/// The lock-free-visited-set leg: the same E9 model on the **packed**
+/// storage backend must agree with the sequential oracle on every
+/// deterministic count at every thread count — same states, same edges,
+/// same layers — while storing the arena in strictly fewer bytes than
+/// the plain backend's pinned 516096.
+#[test]
+fn e9_packed_backend_matches_the_plain_matrix() {
+    let sys = e9_system();
+    let start = woken_start(&sys);
+
+    let seq = Explorer::new(&sys, inputs, 4_000_000, 100_000)
+        .check_invariant_from(vec![start.clone()], |s| observer_of(s).is_safe());
+    assert!(seq.holds());
+
+    for threads in thread_matrix() {
+        let par = ParallelExplorer::new(&sys, inputs, 4_000_000, 100_000)
+            .threads(threads)
+            .packed()
+            .check_invariant_from(vec![start.clone()], |s| observer_of(s).is_safe());
+        assert!(par.holds(), "packed verdict diverged at {threads} threads");
+        assert_eq!(
+            par.states_visited, seq.states_visited,
+            "packed states_visited diverged at {threads} threads"
+        );
+        assert_eq!(
+            par.quiescent_states, seq.quiescent_states,
+            "packed quiescent_states diverged at {threads} threads"
+        );
+        assert_eq!(par.edges_expanded(), 6267);
+        assert_eq!(par.dedup_hits(), 5090);
+        assert_eq!(par.layers.len(), 28);
+        assert!(
+            par.arena_bytes < 516096,
+            "packed arena ({} bytes) must undercut the plain backend's \
+             pinned 516096",
+            par.arena_bytes
+        );
+    }
+}

@@ -74,8 +74,8 @@ fn fleet_results_are_deterministic_across_worker_counts() {
 /// every corrupted session carries per-session derived corruption
 /// (skewed counters, ghost packets, non-FIFO channels) and is judged in
 /// suffix mode — must be just as worker-count-independent, including the
-/// convergence-index outcomes and the `converged_sessions` /
-/// `convergence_actions_*` ledger counters.
+/// convergence-index outcomes, the `converged_sessions` counter, and the
+/// `convergence_actions` ledger histogram.
 #[test]
 fn stabilizing_fleet_results_are_deterministic_across_worker_counts() {
     use datalink::fleet::ProtocolKind;
@@ -108,12 +108,16 @@ fn stabilizing_fleet_results_are_deterministic_across_worker_counts() {
         );
         assert_eq!(
             report.verdicts, oracle.verdicts,
-            "verdict shard (incl. convergence counters) diverged at {workers} workers"
+            "verdict shard (incl. convergence histogram) diverged at {workers} workers"
         );
         let ledger = report.to_ledger("matrix-stabilize");
         assert_eq!(
             ledger.counters, oracle_ledger.counters,
             "ledger counters diverged at {workers} workers"
+        );
+        assert_eq!(
+            ledger.histograms, oracle_ledger.histograms,
+            "ledger histograms diverged at {workers} workers"
         );
     }
 }
