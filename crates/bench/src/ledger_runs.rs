@@ -4,7 +4,8 @@
 //! (the same model pushed past 10⁶ states on the packed backend), E11
 //! (monitored simulation run), E12 (fuzz rediscovery), E13 (fleet
 //! traffic engine), E14 (self-stabilization from corrupted
-//! configurations), and the two impossibility constructions — each
+//! configurations), E16 (the cross-formalism differential), and the two
+//! impossibility constructions — each
 //! returning a [`RunLedger`] whose
 //! **counters** are pure functions of the run configuration (the ledger
 //! round-trip tests compare them exactly across re-runs) and whose
@@ -25,6 +26,8 @@ use dl_channels::{LossMode, LossyFifoChannel};
 use dl_core::action::{Dir, DlAction, Msg, Packet};
 use dl_core::observer::{ObserverState, WdlObserver};
 use dl_core::spec::monitor::TraceMonitor;
+use dl_crosscheck::zoo;
+use dl_crosscheck::ZooOutcome;
 use dl_explore::ParallelExplorer;
 use dl_fuzz::{fuzz, target, FuzzConfig};
 use dl_impossibility::crash::CrashConfig;
@@ -633,6 +636,66 @@ pub fn impossibility_header(sleep_micros: u64) -> RunLedger {
     ledger
 }
 
+/// E16: the cross-formalism differential — the comparison zoo run by
+/// both the parallel explorer and the independent `dl-crosscheck`
+/// engine, with field-by-field agreement asserted before any metric is
+/// ledgered. Counters aggregate the *independent* engine's side, so the
+/// ledger pins would catch a drift in it even if the differential
+/// itself were ever weakened.
+///
+/// # Panics
+///
+/// Panics if the engines disagree on any instance, or if the Lemma 7.2
+/// crash pump stops producing its DL4 counterexample.
+#[must_use]
+pub fn crosscheck_e16(threads: usize, sleep_micros: u64) -> RunLedger {
+    let t0 = Instant::now();
+    let outcomes: Vec<ZooOutcome> = vec![
+        zoo::abp_lossy(3, threads),
+        zoo::go_back_n_lossy(2, 2, threads),
+        zoo::stabilizing_reorder(2, threads),
+        zoo::abp_crash_pump(threads),
+    ];
+    stall(sleep_micros);
+    let elapsed = t0.elapsed();
+
+    for outcome in &outcomes {
+        outcome.assert_agree();
+    }
+    let states: u64 = outcomes.iter().map(|o| o.crosscheck.states as u64).sum();
+    let edges: u64 = outcomes
+        .iter()
+        .flat_map(|o| &o.crosscheck.layers)
+        .map(|l| l.edges)
+        .sum();
+    let violations = outcomes
+        .iter()
+        .filter(|o| o.crosscheck.violation.is_some())
+        .count() as u64;
+    let pump_path_len = outcomes
+        .iter()
+        .find(|o| o.name == "abp_crash_pump")
+        .and_then(|o| o.crosscheck.violation.as_ref())
+        .map_or(0, |v| v.path.len() as u64);
+    assert!(
+        pump_path_len > 0,
+        "E16: the crash pump must reach a DL4 violation"
+    );
+
+    let mut ledger = RunLedger::new("crosscheck", "e16");
+    ledger.counter("instances", outcomes.len() as u64);
+    ledger.counter("disagreements", 0);
+    ledger.counter("states", states);
+    ledger.counter("edges", edges);
+    ledger.counter("violations", violations);
+    ledger.counter("crash_pump_path_len", pump_path_len);
+    ledger.counter("threads", threads as u64);
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    ledger.gauge("states_per_sec", states as f64 / secs);
+    ledger.gauge("duration_micros", elapsed.as_secs_f64() * 1e6);
+    ledger
+}
+
 /// Runs every workload and collects the ledgers into a [`BenchFile`]
 /// stamped with the current Unix time.
 #[must_use]
@@ -650,6 +713,7 @@ pub fn all_runs(threads: usize, sleep_micros: u64) -> BenchFile {
             fuzz_e12(sleep_micros),
             fleet_e13(threads, sleep_micros),
             stabilize_converge(threads, sleep_micros),
+            crosscheck_e16(threads, sleep_micros),
             impossibility_crash(sleep_micros),
             impossibility_header(sleep_micros),
         ],

@@ -7,8 +7,8 @@
 //! wall-clock-derived and deliberately excluded from (2).
 
 use dl_bench::ledger_runs::{
-    explore_e9, fleet_e13, fuzz_e12, impossibility_crash, impossibility_header, monitor_ingest_n,
-    sim_e11, stabilize_converge,
+    crosscheck_e16, explore_e9, fleet_e13, fuzz_e12, impossibility_crash, impossibility_header,
+    monitor_ingest_n, sim_e11, stabilize_converge,
 };
 use dl_obs::{BenchFile, RunLedger, ENGINES, SCHEMA_VERSION};
 
@@ -21,6 +21,7 @@ fn workloads() -> Vec<RunLedger> {
         impossibility_header(0),
         fleet_e13(1, 0),
         stabilize_converge(1, 0),
+        crosscheck_e16(1, 0),
         // Schema-shape only: the full 10⁷-action bench length lives in
         // `scripts/bench.sh`; here a short ingest keeps the suite fast.
         monitor_ingest_n(50_000, 0),
@@ -59,7 +60,7 @@ fn every_engine_emits_a_schema_valid_ledger() {
         assert_eq!(parsed.to_json(), json);
     }
 
-    // The eight workloads cover all seven engines.
+    // The workloads cover every registered engine.
     for engine in ENGINES {
         assert!(
             runs.iter().any(|r| r.engine == *engine),

@@ -10,7 +10,7 @@
 //! `--features obs`. A divergence in either run fails here; a divergence
 //! *between* runs is impossible without one of them failing.
 
-use dl_bench::ledger_runs::explore_e9;
+use dl_bench::ledger_runs::{crosscheck_e16, explore_e9};
 use dl_fuzz::{fuzz, target, FuzzConfig};
 use dl_sim::{ConformancePolicy, Runner, Script};
 
@@ -31,6 +31,22 @@ fn explore_counters_are_pinned_across_feature_configs() {
     assert_eq!(frontier.count, 28);
     assert_eq!(frontier.sum, 1178);
     assert_eq!(frontier.max, 97);
+}
+
+/// E16, the cross-formalism differential: both engines' agreed-upon
+/// totals are a pure function of the zoo — and thread-count-independent,
+/// since the workload asserts exact agreement with the sequential
+/// independent checker before ledgering anything.
+#[test]
+fn crosscheck_counters_are_pinned_across_feature_configs() {
+    let ledger = crosscheck_e16(2, 0);
+    assert_eq!(ledger.engine, "crosscheck");
+    assert_eq!(ledger.counters["instances"], 4);
+    assert_eq!(ledger.counters["disagreements"], 0);
+    assert_eq!(ledger.counters["states"], 6343);
+    assert_eq!(ledger.counters["edges"], 38507);
+    assert_eq!(ledger.counters["violations"], 1);
+    assert_eq!(ledger.counters["crash_pump_path_len"], 8);
 }
 
 /// The monitored simulation run: seed stream, schedule, and metrics must

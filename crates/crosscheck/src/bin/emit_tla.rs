@@ -1,0 +1,78 @@
+//! Emits (or verifies) the golden TLA+ modules.
+//!
+//! ```text
+//! emit_tla --out DIR     write every golden module into DIR
+//! emit_tla --check DIR   diff DIR against fresh emission; exit 1 on drift
+//! ```
+//!
+//! `--check` is what `scripts/check.sh --stage cross-check` and the CI
+//! `cross-check` job run: the committed goldens under
+//! `crates/crosscheck/tla/` must be byte-identical to fresh emission.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use dl_crosscheck::tla::golden_specs;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: emit_tla --out DIR | --check DIR");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [mode, dir] = args.as_slice() else {
+        return usage();
+    };
+    let dir = Path::new(dir);
+    match mode.as_str() {
+        "--out" => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("emit_tla: cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            for spec in golden_specs() {
+                let path = dir.join(spec.file_name());
+                if let Err(e) = std::fs::write(&path, &spec.text) {
+                    eprintln!("emit_tla: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "emit_tla: wrote {} ({} atoms)",
+                    path.display(),
+                    spec.atoms.len()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "--check" => {
+            let mut drifted = false;
+            for spec in golden_specs() {
+                let path = dir.join(spec.file_name());
+                match std::fs::read_to_string(&path) {
+                    Ok(on_disk) if on_disk == spec.text => {
+                        println!("emit_tla: {} up to date", path.display());
+                    }
+                    Ok(_) => {
+                        eprintln!(
+                            "emit_tla: {} differs from fresh emission; \
+                             regenerate with --out",
+                            path.display()
+                        );
+                        drifted = true;
+                    }
+                    Err(e) => {
+                        eprintln!("emit_tla: cannot read {}: {e}", path.display());
+                        drifted = true;
+                    }
+                }
+            }
+            if drifted {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        _ => usage(),
+    }
+}

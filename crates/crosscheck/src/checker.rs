@@ -1,0 +1,674 @@
+//! The independent layer-synchronous checker.
+//!
+//! This module is the heart of the cross-check: a second, sequential
+//! implementation of breadth-first reachability with property checking,
+//! written against [`CcModel`] and **nothing else**. It imports no code
+//! from `ioa` or any `dl-*` crate — no `FxHasher`, no `StateTable`, no
+//! `LayerFilter`, no interner. Its moving parts are deliberately
+//! different from `dl-explore`'s:
+//!
+//! - hashing is FNV-1a 64 ([`Fnv1a64`]), not the explorer's FxHash;
+//! - the visited index is a single open-addressing linear-probe table
+//!   over an arena `Vec<S>`, not a sharded lock-free claim filter;
+//! - identity is decided by full `Eq` on stored states — the hash only
+//!   routes probes;
+//! - the search is sequential, scanning parents in admission order,
+//!   actions in menu order, successors in `apply` order, with
+//!   first-discovery-wins deduplication;
+//! - spanning-tree edges store the admitting action *by value*, not as
+//!   an index resolved lazily against a re-enumerated menu.
+//!
+//! Why the differential is still exact: the explorer admits each layer
+//! in sorted minimal-claim-key order `(parent, action, successor)`, and
+//! a sequential scan in admission/menu/successor order encounters claim
+//! keys in exactly that increasing order — so first-discovery order
+//! here *is* the explorer's sorted order. Counts, per-layer statistics,
+//! diameter, and minimal counterexample traces must therefore agree
+//! action-for-action; any divergence indicts one of the two encodings.
+
+use std::fmt::Debug;
+use std::hash::{Hash, Hasher};
+
+use crate::model::{CcModel, CcProperty};
+
+/// FNV-1a 64-bit, written out from the published constants.
+///
+/// Chosen precisely because it shares nothing with the explorer's
+/// multiply-xor FxHash: different constants, different mixing, so a
+/// state encoding that collides one index into a wrong verdict would
+/// have to fool two unrelated hash functions *and* the `Eq`-based
+/// probe compare.
+#[derive(Clone, Copy)]
+pub struct Fnv1a64(u64);
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Fnv1a64(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// FNV-1a digest of a hashable value.
+fn fnv_hash<S: Hash>(value: &S) -> u64 {
+    let mut h = Fnv1a64::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Sentinel for "no slot" in the open-addressing table and "no parent"
+/// in the spanning tree.
+const EMPTY: u32 = u32::MAX;
+
+/// Open-addressing linear-probe index over an external arena.
+///
+/// Slots hold arena ids; the stored hash array short-circuits probe
+/// compares, but membership is always confirmed by `Eq` on the arena
+/// entry. Capacity is a power of two, grown at 3/4 load by re-probing
+/// the cached hashes (states are never rehashed).
+struct SlotIndex {
+    slots: Vec<u32>,
+    mask: u64,
+    len: usize,
+}
+
+impl SlotIndex {
+    fn new() -> SlotIndex {
+        SlotIndex {
+            slots: vec![EMPTY; 64],
+            mask: 63,
+            len: 0,
+        }
+    }
+
+    /// Arena id of `state` if present.
+    fn lookup<S: Eq>(&self, hash: u64, state: &S, arena: &[S], hashes: &[u64]) -> Option<u32> {
+        let mut slot = (hash & self.mask) as usize;
+        loop {
+            let id = self.slots[slot];
+            if id == EMPTY {
+                return None;
+            }
+            if hashes[id as usize] == hash && arena[id as usize] == *state {
+                return Some(id);
+            }
+            slot = (slot + 1) & self.mask as usize;
+        }
+    }
+
+    /// Records arena id `id` (whose hash is `hash`); the caller has
+    /// already established the state is absent.
+    fn insert(&mut self, hash: u64, id: u32, hashes: &[u64]) {
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow(hashes);
+        }
+        let mut slot = (hash & self.mask) as usize;
+        while self.slots[slot] != EMPTY {
+            slot = (slot + 1) & self.mask as usize;
+        }
+        self.slots[slot] = id;
+        self.len += 1;
+    }
+
+    fn grow(&mut self, hashes: &[u64]) {
+        let cap = self.slots.len() * 2;
+        let mask = (cap - 1) as u64;
+        let mut slots = vec![EMPTY; cap];
+        for &id in self.slots.iter().filter(|&&id| id != EMPTY) {
+            let mut slot = (hashes[id as usize] & mask) as usize;
+            while slots[slot] != EMPTY {
+                slot = (slot + 1) & mask as usize;
+            }
+            slots[slot] = id;
+        }
+        self.slots = slots;
+        self.mask = mask;
+    }
+
+    /// Resident bytes of the slot table.
+    fn bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Why the search stopped before exhausting the reachable states.
+/// Mirrors `dl-explore::Truncation` by meaning, not by code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcTruncation {
+    /// The state budget filled: later discoveries were dropped.
+    StateBudget,
+    /// The depth budget was reached with a non-empty frontier.
+    DepthBudget,
+}
+
+/// A property violation with a shortest action path reaching it.
+#[derive(Debug, Clone)]
+pub struct CcViolation<A, S> {
+    /// A shortest action sequence from an initial state to `state`,
+    /// assembled from the owned actions on the spanning-tree edges.
+    pub path: Vec<A>,
+    /// The violating state.
+    pub state: S,
+    /// Name of the violated [`CcProperty`].
+    pub property: String,
+}
+
+/// Statistics for one expanded BFS layer. Field-for-field comparable
+/// with `dl-explore::LayerStats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CcLayer {
+    /// Depth of the expanded frontier (initial states are depth 0).
+    pub depth: usize,
+    /// Number of states in the expanded frontier.
+    pub frontier: usize,
+    /// Distinct new states admitted from this expansion.
+    pub discovered: usize,
+    /// Transitions enumerated while expanding this layer.
+    pub edges: u64,
+    /// Transitions that landed on an already-known state.
+    pub duplicates: u64,
+}
+
+/// Result of an independent check. The differential harness compares
+/// every deterministic field here against the explorer's report.
+#[derive(Debug, Clone)]
+pub struct CcReport<A, S> {
+    /// Number of distinct states admitted to the search.
+    pub states_visited: usize,
+    /// Why the search was cut short, if it was.
+    pub truncation: Option<CcTruncation>,
+    /// The first violation in first-discovery order, if any.
+    pub violation: Option<CcViolation<A, S>>,
+    /// States whose action menu was empty when expanded.
+    pub quiescent_states: usize,
+    /// Statistics for each layer that was expanded.
+    pub layers: Vec<CcLayer>,
+    /// Resident bytes of the checker's arena-side bookkeeping (slot
+    /// table, hashes, spanning-tree links). States themselves are held
+    /// as full structs, so this is not comparable with the explorer's
+    /// interned `arena_bytes` — it is reported for the ledger only.
+    pub index_bytes: usize,
+}
+
+impl<A, S> CcReport<A, S> {
+    /// `true` if the search enumerated every reachable state.
+    #[must_use]
+    pub fn exhaustive(&self) -> bool {
+        self.truncation.is_none()
+    }
+
+    /// `true` if no property violation was found among admitted states.
+    #[must_use]
+    pub fn safe_within_budget(&self) -> bool {
+        self.violation.is_none()
+    }
+
+    /// `true` if every admitted state satisfied every property and the
+    /// search was exhaustive.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.safe_within_budget() && self.exhaustive()
+    }
+
+    /// Total transitions enumerated across all layers.
+    #[must_use]
+    pub fn edges_expanded(&self) -> u64 {
+        self.layers.iter().map(|l| l.edges).sum()
+    }
+
+    /// Total transitions that landed on an already-known state.
+    #[must_use]
+    pub fn dedup_hits(&self) -> u64 {
+        self.layers.iter().map(|l| l.duplicates).sum()
+    }
+
+    /// Depth of the deepest expanded frontier — the BFS diameter of the
+    /// reachable graph when the search was exhaustive.
+    #[must_use]
+    pub fn diameter(&self) -> usize {
+        self.layers.last().map_or(0, |l| l.depth)
+    }
+
+    /// Per-layer discovery counts, for histogram-level comparison.
+    #[must_use]
+    pub fn layer_discovered(&self) -> Vec<usize> {
+        self.layers.iter().map(|l| l.discovered).collect()
+    }
+}
+
+/// A state pending admission at the end of the current layer, with the
+/// spanning-tree edge that first discovered it.
+struct Pending<A, S> {
+    state: S,
+    hash: u64,
+    parent: u32,
+    action: A,
+}
+
+/// The independent checker: sequential layer-synchronous BFS over a
+/// [`CcModel`], with budgets matching the explorer's constructor shape.
+pub struct CcChecker<M> {
+    model: M,
+    max_states: usize,
+    max_depth: usize,
+}
+
+impl<M: CcModel> CcChecker<M> {
+    /// Creates a checker with the given state and depth budgets.
+    pub fn new(model: M, max_states: usize, max_depth: usize) -> CcChecker<M> {
+        CcChecker {
+            model,
+            max_states,
+            max_depth,
+        }
+    }
+
+    /// Counts reachable states from the model's initial states.
+    pub fn reachable(&self) -> CcReport<M::Action, M::State> {
+        self.check_from(self.model.init_states(), &[])
+    }
+
+    /// Checks every property on every admitted state, searching from
+    /// the model's initial states.
+    pub fn check(&self, props: &[CcProperty<'_, M::State>]) -> CcReport<M::Action, M::State> {
+        self.check_from(self.model.init_states(), props)
+    }
+
+    /// Checks every property on every admitted state, searching from
+    /// `starts` (deduplicated, in order). Initial states are checked
+    /// first; thereafter each layer's discoveries are checked in
+    /// first-discovery order, so the reported violation is the one the
+    /// explorer's sorted-minimal-claim admission also reports.
+    pub fn check_from(
+        &self,
+        starts: Vec<M::State>,
+        props: &[CcProperty<'_, M::State>],
+    ) -> CcReport<M::Action, M::State> {
+        let mut arena: Vec<M::State> = Vec::new();
+        let mut hashes: Vec<u64> = Vec::new();
+        let mut index = SlotIndex::new();
+        // Spanning tree: the edge that first discovered each state.
+        // Roots carry `EMPTY` and no action.
+        let mut parents: Vec<u32> = Vec::new();
+        let mut actions: Vec<Option<M::Action>> = Vec::new();
+
+        for state in starts {
+            let hash = fnv_hash(&state);
+            if index.lookup(hash, &state, &arena, &hashes).is_none() {
+                let id = arena.len() as u32;
+                arena.push(state);
+                hashes.push(hash);
+                index.insert(hash, id, &hashes);
+                parents.push(EMPTY);
+                actions.push(None);
+            }
+        }
+
+        let index_bytes = |index: &SlotIndex, n: usize| {
+            index.bytes() + n * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>())
+        };
+
+        // Initial states are checked before any expansion, in admission
+        // order, and a root violation reports an empty path.
+        for (id, state) in arena.iter().enumerate() {
+            if let Some(name) = CcProperty::first_violated(props, state) {
+                return CcReport {
+                    states_visited: arena.len(),
+                    truncation: None,
+                    violation: Some(CcViolation {
+                        path: vec![],
+                        state: arena[id].clone(),
+                        property: name.to_string(),
+                    }),
+                    quiescent_states: 0,
+                    layers: vec![],
+                    index_bytes: index_bytes(&index, arena.len()),
+                };
+            }
+        }
+
+        let mut layers: Vec<CcLayer> = Vec::new();
+        let mut quiescent = 0usize;
+        let mut truncation: Option<CcTruncation> = None;
+        let mut violation: Option<CcViolation<M::Action, M::State>> = None;
+        let mut layer_start = 0usize;
+        let mut depth = 0usize;
+        let mut menu: Vec<M::Action> = Vec::new();
+        let mut succs: Vec<M::State> = Vec::new();
+
+        loop {
+            let layer_end = arena.len();
+            if layer_start == layer_end {
+                break;
+            }
+            if depth >= self.max_depth {
+                truncation = Some(CcTruncation::DepthBudget);
+                break;
+            }
+
+            let frontier = layer_end - layer_start;
+            let mut edges = 0u64;
+            let mut duplicates = 0u64;
+            // This layer's discoveries, in first-discovery order, with a
+            // hash-bucketed side index for intra-layer deduplication.
+            let mut pending: Vec<Pending<M::Action, M::State>> = Vec::new();
+            let mut pending_index: std::collections::HashMap<u64, Vec<usize>> =
+                std::collections::HashMap::new();
+
+            for parent_id in layer_start..layer_end {
+                menu.clear();
+                self.model.actions(&arena[parent_id], &mut menu);
+                if menu.is_empty() {
+                    quiescent += 1;
+                    continue;
+                }
+                for action in &menu {
+                    succs.clear();
+                    self.model.apply(&arena[parent_id], action, &mut succs);
+                    for succ in succs.drain(..) {
+                        edges += 1;
+                        let hash = fnv_hash(&succ);
+                        if index.lookup(hash, &succ, &arena, &hashes).is_some() {
+                            duplicates += 1;
+                            continue;
+                        }
+                        let bucket = pending_index.entry(hash).or_default();
+                        if bucket.iter().any(|&i| pending[i].state == succ) {
+                            duplicates += 1;
+                            continue;
+                        }
+                        bucket.push(pending.len());
+                        pending.push(Pending {
+                            state: succ,
+                            hash,
+                            parent: parent_id as u32,
+                            action: action.clone(),
+                        });
+                    }
+                }
+            }
+
+            // Admission barrier: first-discovery order here equals the
+            // explorer's sorted minimal-claim-key order (see module
+            // docs), so truncating the same prefix drops the same
+            // states.
+            let room = self.max_states.saturating_sub(arena.len());
+            if pending.len() > room {
+                truncation = Some(CcTruncation::StateBudget);
+                pending.truncate(room);
+            }
+            layers.push(CcLayer {
+                depth,
+                frontier,
+                discovered: pending.len(),
+                edges,
+                duplicates,
+            });
+
+            let admitted_start = arena.len();
+            for p in pending {
+                let id = arena.len() as u32;
+                arena.push(p.state);
+                hashes.push(p.hash);
+                index.insert(p.hash, id, &hashes);
+                parents.push(p.parent);
+                actions.push(Some(p.action));
+            }
+
+            for (id, state) in arena.iter().enumerate().skip(admitted_start) {
+                if let Some(name) = CcProperty::first_violated(props, state) {
+                    violation = Some(CcViolation {
+                        path: reconstruct(&parents, &actions, id),
+                        state: state.clone(),
+                        property: name.to_string(),
+                    });
+                    break;
+                }
+            }
+            if violation.is_some() {
+                break;
+            }
+
+            layer_start = admitted_start;
+            depth += 1;
+        }
+
+        CcReport {
+            states_visited: arena.len(),
+            truncation,
+            violation,
+            quiescent_states: quiescent,
+            layers,
+            index_bytes: index_bytes(&index, arena.len()),
+        }
+    }
+}
+
+/// Follows the spanning tree from `id` back to a root, collecting the
+/// owned edge actions. No menus are re-enumerated: the checker pays for
+/// action storage up front so reconstruction cannot disagree with what
+/// was expanded.
+fn reconstruct<A: Clone>(parents: &[u32], actions: &[Option<A>], mut id: usize) -> Vec<A> {
+    let mut path = Vec::new();
+    while parents[id] != EMPTY {
+        path.push(
+            actions[id]
+                .clone()
+                .expect("non-root states carry their admitting action"),
+        );
+        id = parents[id] as usize;
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counter modulo `n` with a local `Tick` (from even states, +2)
+    /// and an environment `Bump` (+1) — the same shape as the explorer
+    /// unit-test model, rebuilt against `CcModel`.
+    struct Counter {
+        n: u8,
+        bump: bool,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Act {
+        Tick,
+        Bump,
+    }
+
+    impl CcModel for Counter {
+        type State = u8;
+        type Action = Act;
+
+        fn init_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+
+        fn actions(&self, s: &u8, out: &mut Vec<Act>) {
+            if s.is_multiple_of(2) {
+                out.push(Act::Tick);
+            }
+            if self.bump {
+                out.push(Act::Bump);
+            }
+        }
+
+        fn apply(&self, s: &u8, a: &Act, out: &mut Vec<u8>) {
+            match a {
+                Act::Tick => {
+                    if s.is_multiple_of(2) {
+                        out.push((s + 2) % self.n);
+                    }
+                }
+                Act::Bump => out.push((s + 1) % self.n),
+            }
+        }
+    }
+
+    fn counter(n: u8) -> CcChecker<Counter> {
+        CcChecker::new(Counter { n, bump: true }, 1000, 100)
+    }
+
+    #[test]
+    fn exhausts_the_counter_cycle() {
+        let report = counter(10).reachable();
+        assert!(report.holds());
+        assert_eq!(report.states_visited, 10);
+        assert_eq!(report.quiescent_states, 0);
+        assert!(report.dedup_hits() > 0);
+        let discovered: usize = report.layers.iter().map(|l| l.discovered).sum();
+        assert_eq!(1 + discovered, report.states_visited);
+    }
+
+    #[test]
+    fn finds_shortest_violation_with_canonical_path() {
+        let holds = |s: &u8| *s != 3;
+        let props = [CcProperty {
+            name: "not-three",
+            holds: &holds,
+        }];
+        let report = counter(10).check(&props);
+        let v = report.violation.expect("3 is reachable");
+        assert_eq!(v.state, 3);
+        assert_eq!(v.property, "not-three");
+        // Tick (0→2) then Bump (2→3): local action first on the menu, so
+        // the minimal first-discovery path prefers it — the explorer's
+        // claim-key order does the same.
+        assert_eq!(v.path, vec![Act::Tick, Act::Bump]);
+    }
+
+    #[test]
+    fn violated_initial_state_reports_empty_path() {
+        let holds = |s: &u8| *s != 0;
+        let props = [CcProperty {
+            name: "nonzero",
+            holds: &holds,
+        }];
+        let report = counter(10).check(&props);
+        let v = report.violation.unwrap();
+        assert!(v.path.is_empty());
+        assert_eq!(v.state, 0);
+        assert!(report.layers.is_empty());
+    }
+
+    #[test]
+    fn state_budget_truncates() {
+        let report = CcChecker::new(Counter { n: 100, bump: true }, 5, 100).reachable();
+        assert_eq!(report.truncation, Some(CcTruncation::StateBudget));
+        assert!(!report.exhaustive());
+        assert!(report.safe_within_budget());
+        assert!(!report.holds());
+        assert!(report.states_visited <= 5);
+    }
+
+    #[test]
+    fn depth_budget_truncates() {
+        let report = CcChecker::new(Counter { n: 100, bump: true }, 1000, 3).reachable();
+        assert_eq!(report.truncation, Some(CcTruncation::DepthBudget));
+        assert!(report.diameter() < 3);
+        assert!(report.states_visited <= 8);
+    }
+
+    #[test]
+    fn quiescent_states_are_counted() {
+        // Without the environment bump, odd states have an empty menu;
+        // from 0 only even states are reachable and 8 ticks to 0 — so
+        // no quiescent state exists, while seeding an odd start does.
+        let report =
+            CcChecker::new(Counter { n: 10, bump: false }, 1000, 100).check_from(vec![0, 1], &[]);
+        assert_eq!(report.states_visited, 6);
+        assert_eq!(report.quiescent_states, 1);
+    }
+
+    /// Two one-step actions reach the same state; the first action on
+    /// the menu must win the parent race, matching the explorer's
+    /// minimal-claim rule.
+    struct Diamond;
+
+    impl CcModel for Diamond {
+        type State = u8;
+        type Action = u8;
+
+        fn init_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+
+        fn actions(&self, s: &u8, out: &mut Vec<u8>) {
+            match s {
+                0 => out.extend([1, 2]),
+                1 => out.push(3),
+                2 => out.push(4),
+                _ => {}
+            }
+        }
+
+        fn apply(&self, s: &u8, a: &u8, out: &mut Vec<u8>) {
+            match (s, a) {
+                (0, 1) => out.push(1),
+                (0, 2) => out.push(2),
+                (1, 3) | (2, 4) => out.push(3),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_merge_picks_canonical_parent() {
+        let holds = |s: &u8| *s != 3;
+        let props = [CcProperty {
+            name: "not-three",
+            holds: &holds,
+        }];
+        let report = CcChecker::new(Diamond, 100, 100).check(&props);
+        let v = report.violation.unwrap();
+        assert_eq!(v.path, vec![1, 3]);
+    }
+
+    #[test]
+    fn duplicate_starts_are_deduplicated() {
+        let report = CcChecker::new(Diamond, 100, 100).check_from(vec![0, 0, 1], &[]);
+        // 0 admitted once, 1 admitted as a root; {0,1,2,3} reachable.
+        assert_eq!(report.states_visited, 4);
+    }
+
+    #[test]
+    fn fnv_vectors_match_the_published_constants() {
+        // Spot-check the hasher against independently computed FNV-1a
+        // values so "independent hash function" is a tested fact, not
+        // an intention: fnv1a64("") is the offset basis, and "a" /
+        // "foobar" are the classic published vectors.
+        let mut h = Fnv1a64::default();
+        h.write(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a64::default();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv1a64::default();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn index_survives_growth_and_collisions() {
+        // Push the index well past several doublings; every admitted
+        // state must remain findable (no lost or duplicated ids).
+        let report = CcChecker::new(Counter { n: 251, bump: true }, 10_000, 1000).reachable();
+        assert!(report.holds());
+        assert_eq!(report.states_visited, 251);
+    }
+}

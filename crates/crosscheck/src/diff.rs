@@ -1,0 +1,319 @@
+//! The differential harness: normalizing both engines' reports into a
+//! formalism-neutral summary and diffing them field by field.
+//!
+//! The summary keeps only the *deterministic* facts — reachable-state
+//! count, quiescent count, truncation, diameter, per-layer statistics,
+//! and the minimal counterexample rendered action-for-action — so a
+//! comparison failure always names a semantic disagreement, never a
+//! wall-clock artifact. Disagreements render as a line-per-field dump
+//! that the CI `cross-check` job uploads as an artifact.
+
+use std::fmt::{Debug, Display, Write as _};
+use std::path::PathBuf;
+
+use crate::checker::CcReport;
+use dl_explore::ExploreReport;
+
+/// One expanded BFS layer, engine-neutral.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerLine {
+    /// Depth of the expanded frontier.
+    pub depth: usize,
+    /// States in the expanded frontier.
+    pub frontier: usize,
+    /// Distinct new states admitted from this expansion.
+    pub discovered: usize,
+    /// Transitions enumerated.
+    pub edges: u64,
+    /// Transitions landing on already-known states.
+    pub duplicates: u64,
+}
+
+/// A violation, rendered: property name, path as one `Display` string
+/// per action, and the violating state's `Debug` form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViolationLine {
+    /// Violated property name.
+    pub property: String,
+    /// Minimal counterexample, one rendered action per step.
+    pub path: Vec<String>,
+    /// `Debug` rendering of the violating state.
+    pub state: String,
+}
+
+/// The deterministic facts of one engine's search, engine-neutral.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineSummary {
+    /// Which engine produced this summary.
+    pub engine: &'static str,
+    /// Distinct states admitted.
+    pub states: usize,
+    /// States with an empty action menu when expanded.
+    pub quiescent: usize,
+    /// Whether a budget cut the search short.
+    pub truncated: bool,
+    /// Depth of the deepest expanded frontier.
+    pub diameter: usize,
+    /// Per-layer statistics, in depth order.
+    pub layers: Vec<LayerLine>,
+    /// The minimal violation, if any property failed.
+    pub violation: Option<ViolationLine>,
+}
+
+impl EngineSummary {
+    /// Normalizes a `dl-explore` report.
+    pub fn from_explore<A: Display, S: Debug>(r: &ExploreReport<A, S>) -> EngineSummary {
+        EngineSummary {
+            engine: "dl-explore",
+            states: r.states_visited,
+            quiescent: r.quiescent_states,
+            truncated: r.truncation.is_some(),
+            diameter: r.diameter(),
+            layers: r
+                .layers
+                .iter()
+                .map(|l| LayerLine {
+                    depth: l.depth,
+                    frontier: l.frontier,
+                    discovered: l.discovered,
+                    edges: l.edges,
+                    duplicates: l.duplicates,
+                })
+                .collect(),
+            violation: r.violation.as_ref().map(|v| ViolationLine {
+                property: v.property.clone(),
+                path: v.path.iter().map(|a| a.to_string()).collect(),
+                state: format!("{:?}", v.state),
+            }),
+        }
+    }
+
+    /// Normalizes an independent-checker report.
+    pub fn from_crosscheck<A: Display + Debug, S: Debug>(r: &CcReport<A, S>) -> EngineSummary {
+        EngineSummary {
+            engine: "dl-crosscheck",
+            states: r.states_visited,
+            quiescent: r.quiescent_states,
+            truncated: r.truncation.is_some(),
+            diameter: r.diameter(),
+            layers: r
+                .layers
+                .iter()
+                .map(|l| LayerLine {
+                    depth: l.depth,
+                    frontier: l.frontier,
+                    discovered: l.discovered,
+                    edges: l.edges,
+                    duplicates: l.duplicates,
+                })
+                .collect(),
+            violation: r.violation.as_ref().map(|v| ViolationLine {
+                property: v.property.clone(),
+                path: v.path.iter().map(|a| a.to_string()).collect(),
+                state: format!("{:?}", v.state),
+            }),
+        }
+    }
+}
+
+/// Field-by-field diff of two engine summaries. Empty means the engines
+/// agree on every deterministic fact; each line names one disagreement.
+#[must_use]
+pub fn disagreements(a: &EngineSummary, b: &EngineSummary) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut field = |name: &str, av: String, bv: String| {
+        if av != bv {
+            out.push(format!("{name}: {}={av} vs {}={bv}", a.engine, b.engine));
+        }
+    };
+    field("states", a.states.to_string(), b.states.to_string());
+    field(
+        "quiescent",
+        a.quiescent.to_string(),
+        b.quiescent.to_string(),
+    );
+    field(
+        "truncated",
+        a.truncated.to_string(),
+        b.truncated.to_string(),
+    );
+    field("diameter", a.diameter.to_string(), b.diameter.to_string());
+    field(
+        "layer_count",
+        a.layers.len().to_string(),
+        b.layers.len().to_string(),
+    );
+    for (la, lb) in a.layers.iter().zip(&b.layers) {
+        if la != lb {
+            out.push(format!(
+                "layer[{}]: {}={la:?} vs {}={lb:?}",
+                la.depth, a.engine, b.engine
+            ));
+        }
+    }
+    match (&a.violation, &b.violation) {
+        (None, None) => {}
+        (Some(va), Some(vb)) => {
+            if va.property != vb.property {
+                out.push(format!(
+                    "violation.property: {}={} vs {}={}",
+                    a.engine, va.property, b.engine, vb.property
+                ));
+            }
+            if va.path.len() != vb.path.len() {
+                out.push(format!(
+                    "violation.path_len: {}={} vs {}={}",
+                    a.engine,
+                    va.path.len(),
+                    b.engine,
+                    vb.path.len()
+                ));
+            }
+            for (i, (pa, pb)) in va.path.iter().zip(&vb.path).enumerate() {
+                if pa != pb {
+                    out.push(format!(
+                        "violation.path[{i}]: {}={pa} vs {}={pb}",
+                        a.engine, b.engine
+                    ));
+                }
+            }
+            if va.state != vb.state {
+                out.push(format!(
+                    "violation.state: {}={} vs {}={}",
+                    a.engine, va.state, b.engine, vb.state
+                ));
+            }
+        }
+        (va, vb) => out.push(format!(
+            "violation verdict: {} found_violation={} vs {} found_violation={}",
+            a.engine,
+            va.is_some(),
+            b.engine,
+            vb.is_some()
+        )),
+    }
+    out
+}
+
+/// Both engines' summaries for one zoo instance, ready to diff.
+#[derive(Debug, Clone)]
+pub struct ZooOutcome {
+    /// Instance name (also the disagreement-dump file stem).
+    pub name: String,
+    /// The `dl-explore` side.
+    pub explorer: EngineSummary,
+    /// The independent-checker side.
+    pub crosscheck: EngineSummary,
+}
+
+impl ZooOutcome {
+    /// The field-by-field diff (empty = full agreement).
+    #[must_use]
+    pub fn disagreements(&self) -> Vec<String> {
+        disagreements(&self.explorer, &self.crosscheck)
+    }
+
+    /// Panics with every disagreement if the engines diverged, first
+    /// writing the dump where CI picks it up as an artifact
+    /// (`target/crosscheck-disagreements/<name>.txt`).
+    pub fn assert_agree(&self) {
+        let diff = self.disagreements();
+        if diff.is_empty() {
+            return;
+        }
+        let path = write_disagreements(&self.name, &diff);
+        panic!(
+            "engines disagree on {} ({} field(s); dump at {path:?}):\n{}",
+            self.name,
+            diff.len(),
+            diff.join("\n")
+        );
+    }
+}
+
+/// Writes a disagreement dump under `target/crosscheck-disagreements/`
+/// (workspace-relative) and returns its path. Best-effort: an
+/// unwritable target directory must not mask the real assertion, so IO
+/// errors degrade to a dump-less panic message.
+pub fn write_disagreements(name: &str, lines: &[String]) -> PathBuf {
+    let dir = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/crosscheck-disagreements"
+    ));
+    let path = dir.join(format!("{name}.txt"));
+    let mut body = String::new();
+    for line in lines {
+        let _ = writeln!(body, "{line}");
+    }
+    let _ = std::fs::create_dir_all(&dir);
+    let _ = std::fs::write(&path, body);
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(engine: &'static str, states: usize) -> EngineSummary {
+        EngineSummary {
+            engine,
+            states,
+            quiescent: 0,
+            truncated: false,
+            diameter: 2,
+            layers: vec![LayerLine {
+                depth: 0,
+                frontier: 1,
+                discovered: 2,
+                edges: 3,
+                duplicates: 0,
+            }],
+            violation: None,
+        }
+    }
+
+    #[test]
+    fn identical_summaries_have_no_disagreements() {
+        let a = summary("dl-explore", 7);
+        let b = EngineSummary {
+            engine: "dl-crosscheck",
+            ..summary("dl-crosscheck", 7)
+        };
+        assert!(disagreements(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn every_divergent_field_is_named() {
+        let a = summary("dl-explore", 7);
+        let mut b = summary("dl-crosscheck", 8);
+        b.diameter = 3;
+        b.violation = Some(ViolationLine {
+            property: "invariant".into(),
+            path: vec!["crash^r".into()],
+            state: "S".into(),
+        });
+        let diff = disagreements(&a, &b);
+        assert!(diff.iter().any(|l| l.starts_with("states:")));
+        assert!(diff.iter().any(|l| l.starts_with("diameter:")));
+        assert!(diff.iter().any(|l| l.starts_with("violation verdict:")));
+    }
+
+    #[test]
+    fn path_disagreements_are_per_action() {
+        let mut a = summary("dl-explore", 7);
+        let mut b = summary("dl-crosscheck", 7);
+        a.violation = Some(ViolationLine {
+            property: "invariant".into(),
+            path: vec!["a".into(), "b".into()],
+            state: "S".into(),
+        });
+        b.violation = Some(ViolationLine {
+            property: "invariant".into(),
+            path: vec!["a".into(), "c".into()],
+            state: "S".into(),
+        });
+        let diff = disagreements(&a, &b);
+        assert_eq!(diff.len(), 1);
+        assert!(diff[0].starts_with("violation.path[1]:"));
+    }
+}

@@ -1,0 +1,64 @@
+//! The independent checker's own model interface.
+//!
+//! [`CcModel`] is this crate's equivalent of a Stateright `Model`: an
+//! explicit-state transition system with a deterministic action menu per
+//! state. It is deliberately **not** `ioa::Automaton` — no signature, no
+//! task partition, no input-enabledness contract — so the checker built
+//! on it cannot accidentally inherit semantics (or bugs) from the IOA
+//! kernel. The translation layer in [`crate::translate`] is the only
+//! place the two vocabularies meet.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// An explicit-state model the independent checker can search.
+///
+/// The two enumeration methods must be *deterministic*: the same state
+/// yields the same action list in the same order, and the same
+/// `(state, action)` pair yields the same successor list in the same
+/// order. The differential against `dl-explore` compares minimal
+/// counterexamples action-for-action, which is only meaningful because
+/// both engines agree on this canonical enumeration order.
+pub trait CcModel {
+    /// Model states. `Eq` is the ground truth for deduplication — the
+    /// checker's hash index only routes probes, it never decides
+    /// identity, so a hash collision costs time, not correctness.
+    type State: Clone + Eq + Hash + Debug;
+    /// Action labels, recorded on spanning-tree edges and reported in
+    /// counterexample traces.
+    type Action: Clone + Eq + Debug;
+
+    /// The initial states, in canonical order.
+    fn init_states(&self) -> Vec<Self::State>;
+
+    /// Appends the canonical action menu of `state` to `out`: the
+    /// enabled system actions first, then the environment inputs the
+    /// harness permits (matching the explorer's enumeration contract).
+    /// An action on the menu may still have zero successors — it then
+    /// contributes no edges.
+    fn actions(&self, state: &Self::State, out: &mut Vec<Self::Action>);
+
+    /// Appends all successors of `(state, action)` to `out`, in
+    /// canonical order.
+    fn apply(&self, state: &Self::State, action: &Self::Action, out: &mut Vec<Self::State>);
+}
+
+/// A named state predicate the checker verifies on every admitted state.
+///
+/// Mirrors `dl-explore`'s `Property` shape (name + holds) without
+/// depending on it; the differential harness instantiates both sides
+/// from one closure.
+pub struct CcProperty<'a, S> {
+    /// Name reported in [`CcViolation`](crate::checker::CcViolation).
+    pub name: &'a str,
+    /// `true` while the state is acceptable.
+    pub holds: &'a (dyn Fn(&S) -> bool + Sync),
+}
+
+impl<S> CcProperty<'_, S> {
+    /// First property in `props` (in order) that `state` violates.
+    #[must_use]
+    pub fn first_violated<'p>(props: &'p [CcProperty<'_, S>], state: &S) -> Option<&'p str> {
+        props.iter().find(|p| !(p.holds)(state)).map(|p| p.name)
+    }
+}

@@ -1,0 +1,706 @@
+//! TLA+ model emission for the small-instance zoo.
+//!
+//! Each emitter renders a **self-contained** TLA+ module mirroring the
+//! composed Rust system the differential explores: protocol stations,
+//! bounded channels with loss resolved at send time, and the WDL
+//! observer folded into the state as `obsSent` / `obsReceived` /
+//! `obsFlag`. The modules describe the *crash-free, woken* instances
+//! (media up, no `fail`/`crash` in `Next`), matching the zoo's
+//! crash-free environments; `active` flags are therefore constant and
+//! elided.
+//!
+//! Emission is a pure function of the instance parameters — no clocks,
+//! no environment lookups — so two emissions are byte-identical and the
+//! committed goldens under `crates/crosscheck/tla/` can be diffed
+//! against fresh output in `scripts/check.sh`. The modules are
+//! artifacts for the TLA+ toolchain (TLC is not run in this offline
+//! repo); their fidelity is attested by the committed goldens plus the
+//! Rust-vs-Rust differential over the same instances.
+//!
+//! Every module carries an *action-atom table* in its header: one line
+//! per concrete action of the finite instance, naming the TLA+ atom,
+//! its I/O-automaton classification, and its rendering in the paper's
+//! notation. [`parse_atom_name`] inverts [`atom_name`], and the emitter
+//! tests check that every emitted atom round-trips through the composed
+//! system's memoized `Signature::classify` table.
+
+use std::fmt::Write as _;
+
+use dl_channels::{LossMode, LossyFifoChannel, ReorderChannel};
+use dl_core::action::{Dir, DlAction, Msg, Packet, Station, Tag};
+use ioa::{ActionClass, Automaton};
+
+use crate::zoo::checked_system;
+
+/// One concrete action of a finite instance: the TLA+ atom name, the
+/// IOA action it denotes, and that action's class in the composed
+/// system's signature.
+#[derive(Debug, Clone)]
+pub struct TlaAtom {
+    /// TLA+-compatible identifier, invertible via [`parse_atom_name`].
+    pub name: String,
+    /// The denoted action.
+    pub action: DlAction,
+    /// The composed system's classification of [`TlaAtom::action`].
+    pub class: ActionClass,
+}
+
+/// An emitted TLA+ module: rendered text plus the structured action
+/// table the tests interrogate.
+#[derive(Debug, Clone)]
+pub struct TlaSpec {
+    /// Module name (also the golden file stem: `<module>.tla`).
+    pub module: String,
+    /// One-line instance description (appears in the module header).
+    pub description: String,
+    /// The concrete action atoms of the finite instance.
+    pub atoms: Vec<TlaAtom>,
+    /// The full module text, deterministic for fixed parameters.
+    pub text: String,
+}
+
+impl TlaSpec {
+    /// The golden file name for this module.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        format!("{}.tla", self.module)
+    }
+}
+
+fn dir_str(d: Dir) -> &'static str {
+    match d {
+        Dir::TR => "tr",
+        Dir::RT => "rt",
+    }
+}
+
+/// TLA+ atom name for an action, or `None` for actions the emitter does
+/// not name (internal steps, init-phase packets).
+#[must_use]
+pub fn atom_name(a: &DlAction) -> Option<String> {
+    let pkt = |p: &Packet| match (p.header.tag, p.payload) {
+        (Tag::Data, Some(Msg(m))) => Some(format!("data{}_m{m}", p.header.seq)),
+        (Tag::Ack, None) => Some(format!("ack{}", p.header.seq)),
+        _ => None,
+    };
+    match a {
+        DlAction::SendMsg(Msg(m)) => Some(format!("SendMsg_m{m}")),
+        DlAction::ReceiveMsg(Msg(m)) => Some(format!("ReceiveMsg_m{m}")),
+        DlAction::SendPkt(d, p) => Some(format!("SendPkt_{}_{}", dir_str(*d), pkt(p)?)),
+        DlAction::ReceivePkt(d, p) => Some(format!("ReceivePkt_{}_{}", dir_str(*d), pkt(p)?)),
+        DlAction::Wake(d) => Some(format!("Wake_{}", dir_str(*d))),
+        DlAction::Fail(d) => Some(format!("Fail_{}", dir_str(*d))),
+        DlAction::Crash(Station::T) => Some("Crash_t".to_string()),
+        DlAction::Crash(Station::R) => Some("Crash_r".to_string()),
+        DlAction::Internal(..) => None,
+    }
+}
+
+/// Inverse of [`atom_name`]: the action a TLA+ atom name denotes.
+#[must_use]
+pub fn parse_atom_name(name: &str) -> Option<DlAction> {
+    fn dir_of(s: &str) -> Option<Dir> {
+        match s {
+            "tr" => Some(Dir::TR),
+            "rt" => Some(Dir::RT),
+            _ => None,
+        }
+    }
+    fn num(s: &str, prefix: &str) -> Option<u64> {
+        s.strip_prefix(prefix)?.parse().ok()
+    }
+    fn pkt(parts: &[&str]) -> Option<Packet> {
+        match parts {
+            [data, m] => Some(Packet::data(num(data, "data")?, Msg(num(m, "m")?))),
+            [ack] => Some(Packet::ack(num(ack, "ack")?)),
+            _ => None,
+        }
+    }
+    let parts: Vec<&str> = name.split('_').collect();
+    match parts.as_slice() {
+        ["SendMsg", m] => Some(DlAction::SendMsg(Msg(num(m, "m")?))),
+        ["ReceiveMsg", m] => Some(DlAction::ReceiveMsg(Msg(num(m, "m")?))),
+        ["SendPkt", d, rest @ ..] => Some(DlAction::SendPkt(dir_of(d)?, pkt(rest)?)),
+        ["ReceivePkt", d, rest @ ..] => Some(DlAction::ReceivePkt(dir_of(d)?, pkt(rest)?)),
+        ["Wake", d] => Some(DlAction::Wake(dir_of(d)?)),
+        ["Fail", d] => Some(DlAction::Fail(dir_of(d)?)),
+        ["Crash", "t"] => Some(DlAction::Crash(Station::T)),
+        ["Crash", "r"] => Some(DlAction::Crash(Station::R)),
+        _ => None,
+    }
+}
+
+/// Builds the crash-free atom set of one instance — message actions,
+/// data packets over the given sequence range, acks over theirs — and
+/// classifies each through `classify`.
+fn crash_free_atoms(
+    msgs: u64,
+    data_seqs: u64,
+    ack_seqs: u64,
+    classify: &dyn Fn(&DlAction) -> Option<ActionClass>,
+) -> Vec<TlaAtom> {
+    let mut actions = Vec::new();
+    for m in 0..msgs {
+        actions.push(DlAction::SendMsg(Msg(m)));
+    }
+    for m in 0..msgs {
+        actions.push(DlAction::ReceiveMsg(Msg(m)));
+    }
+    for kind in [DlAction::SendPkt, DlAction::ReceivePkt] {
+        for seq in 0..data_seqs {
+            for m in 0..msgs {
+                actions.push(kind(Dir::TR, Packet::data(seq, Msg(m))));
+            }
+        }
+    }
+    for kind in [DlAction::SendPkt, DlAction::ReceivePkt] {
+        for seq in 0..ack_seqs {
+            actions.push(kind(Dir::RT, Packet::ack(seq)));
+        }
+    }
+    actions
+        .into_iter()
+        .map(|action| TlaAtom {
+            name: atom_name(&action).expect("crash-free atoms are all nameable"),
+            class: classify(&action).expect("every emitted atom is in the composed signature"),
+            action,
+        })
+        .collect()
+}
+
+/// Renders the shared module header: banner, instance line, atom table.
+fn header(module: &str, description: &str, atoms: &[TlaAtom]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "---- MODULE {module} ----");
+    out.push_str(
+        "\\* Emitted by dl-crosscheck. DO NOT EDIT: regenerate with\n\
+         \\*   cargo run -p dl-crosscheck --bin emit_tla -- --out crates/crosscheck/tla\n",
+    );
+    let _ = writeln!(out, "\\* Instance: {description}");
+    out.push_str(
+        "\\*\n\
+         \\* Action atoms of this finite instance (name : class : IOA rendering):\n",
+    );
+    for atom in atoms {
+        let _ = writeln!(
+            out,
+            "\\*   {} : {} : {}",
+            atom.name, atom.class, atom.action
+        );
+    }
+    out.push_str("\nEXTENDS Naturals, Sequences\n\n");
+    out
+}
+
+const OBS_COMMENT: &str = "\
+(* Delivery to the environment, scored by the WDL observer: each message
+   is offered at most once, so a repeated member of obsReceived is a
+   duplicate (DL4) and a receive that was never sent is a phantom (DL5). *)\n";
+
+/// ABP over lossy FIFO channels: window 1, bits modulo 2.
+#[must_use]
+pub fn abp_spec(capacity: usize, msgs: u64) -> TlaSpec {
+    let module = format!("AbpC{capacity}M{msgs}");
+    let description = format!(
+        "ABP over {capacity}-slot lossy FIFO channels, {msgs} messages, crash-free and woken"
+    );
+    let p = dl_protocols::abp::protocol();
+    let sys = checked_system(
+        p.transmitter,
+        p.receiver,
+        LossyFifoChannel::with_capacity(Dir::TR, LossMode::Nondet, capacity),
+        LossyFifoChannel::with_capacity(Dir::RT, LossMode::Nondet, capacity),
+    );
+    let atoms = crash_free_atoms(msgs, 2, 2, &|a| sys.classify(a));
+
+    let mut text = header(&module, &description, &atoms);
+    let _ = write!(
+        text,
+        "Messages == 0 .. {last_msg}\n\
+         Capacity == {capacity}\n\
+         MaxPendingAcks == 2\n\
+         \n\
+         Data(b, m) == [tag |-> \"DATA\", seq |-> b, msg |-> m]\n\
+         Ack(b) == [tag |-> \"ACK\", seq |-> b]\n\
+         \n\
+         VARIABLES\n\
+         \x20 txBit, txQueue,                 \\* AbpTxState (active elided: TRUE)\n\
+         \x20 rxExpected, rxDeliver, rxAcks,  \\* AbpRxState (active elided: TRUE)\n\
+         \x20 chTR, chRT,                     \\* FIFO FlightState per direction\n\
+         \x20 obsSent, obsReceived, obsFlag   \\* WDL observer\n\
+         \n\
+         vars == <<txBit, txQueue, rxExpected, rxDeliver, rxAcks, chTR, chRT,\n\
+         \x20         obsSent, obsReceived, obsFlag>>\n\
+         \n\
+         Init ==\n\
+         \x20 /\\ txBit = 0 /\\ txQueue = <<>>\n\
+         \x20 /\\ rxExpected = 0 /\\ rxDeliver = <<>> /\\ rxAcks = <<>>\n\
+         \x20 /\\ chTR = <<>> /\\ chRT = <<>>\n\
+         \x20 /\\ obsSent = {{}} /\\ obsReceived = {{}} /\\ obsFlag = \"ok\"\n\
+         \n\
+         (* Environment: the harness offers the least not-yet-sent message. *)\n\
+         SendMsg(m) ==\n\
+         \x20 /\\ m \\notin obsSent\n\
+         \x20 /\\ \\A k \\in Messages : (k < m) => (k \\in obsSent)\n\
+         \x20 /\\ txQueue' = Append(txQueue, m)\n\
+         \x20 /\\ obsSent' = obsSent \\cup {{m}}\n\
+         \x20 /\\ UNCHANGED <<txBit, rxExpected, rxDeliver, rxAcks, chTR, chRT,\n\
+         \x20               obsReceived, obsFlag>>\n\
+         \n\
+         (* Retransmission of the front packet; loss resolves at send time:\n\
+         \x20  the kept and dropped branches are the two disjuncts, and a full\n\
+         \x20  channel always drops. *)\n\
+         SendPktTR ==\n\
+         \x20 /\\ txQueue # <<>>\n\
+         \x20 /\\ \\/ /\\ Len(chTR) < Capacity\n\
+         \x20       /\\ chTR' = Append(chTR, Data(txBit, Head(txQueue)))\n\
+         \x20    \\/ chTR' = chTR\n\
+         \x20 /\\ UNCHANGED <<txBit, txQueue, rxExpected, rxDeliver, rxAcks, chRT,\n\
+         \x20               obsSent, obsReceived, obsFlag>>\n\
+         \n\
+         (* FIFO delivery to the receiver: deliver fresh data, acknowledge\n\
+         \x20  fresh and duplicate data alike into a bounded ack buffer. *)\n\
+         RecvPktTR ==\n\
+         \x20 /\\ chTR # <<>>\n\
+         \x20 /\\ LET p == Head(chTR) IN\n\
+         \x20      /\\ chTR' = Tail(chTR)\n\
+         \x20      /\\ IF p.seq = rxExpected\n\
+         \x20         THEN /\\ rxDeliver' = Append(rxDeliver, p.msg)\n\
+         \x20              /\\ rxExpected' = 1 - rxExpected\n\
+         \x20         ELSE UNCHANGED <<rxDeliver, rxExpected>>\n\
+         \x20      /\\ IF Len(rxAcks) < MaxPendingAcks\n\
+         \x20         THEN rxAcks' = Append(rxAcks, p.seq)\n\
+         \x20         ELSE UNCHANGED rxAcks\n\
+         \x20 /\\ UNCHANGED <<txBit, txQueue, chRT, obsSent, obsReceived, obsFlag>>\n\
+         \n\
+         SendPktRT ==\n\
+         \x20 /\\ rxAcks # <<>>\n\
+         \x20 /\\ rxAcks' = Tail(rxAcks)\n\
+         \x20 /\\ \\/ /\\ Len(chRT) < Capacity\n\
+         \x20       /\\ chRT' = Append(chRT, Ack(Head(rxAcks)))\n\
+         \x20    \\/ chRT' = chRT\n\
+         \x20 /\\ UNCHANGED <<txBit, txQueue, rxExpected, rxDeliver, chTR,\n\
+         \x20               obsSent, obsReceived, obsFlag>>\n\
+         \n\
+         (* The matching ack bit retires the front message and flips the bit. *)\n\
+         RecvPktRT ==\n\
+         \x20 /\\ chRT # <<>>\n\
+         \x20 /\\ chRT' = Tail(chRT)\n\
+         \x20 /\\ IF (Head(chRT).seq = txBit) /\\ (txQueue # <<>>)\n\
+         \x20    THEN /\\ txQueue' = Tail(txQueue)\n\
+         \x20         /\\ txBit' = 1 - txBit\n\
+         \x20    ELSE UNCHANGED <<txQueue, txBit>>\n\
+         \x20 /\\ UNCHANGED <<rxExpected, rxDeliver, rxAcks, chTR,\n\
+         \x20               obsSent, obsReceived, obsFlag>>\n\
+         \n\
+         {obs}\
+         ReceiveMsg(m) ==\n\
+         \x20 /\\ rxDeliver # <<>> /\\ Head(rxDeliver) = m\n\
+         \x20 /\\ rxDeliver' = Tail(rxDeliver)\n\
+         \x20 /\\ obsFlag' = IF m \\in obsReceived THEN \"duplicate\"\n\
+         \x20               ELSE IF m \\notin obsSent THEN \"phantom\"\n\
+         \x20               ELSE obsFlag\n\
+         \x20 /\\ obsReceived' = obsReceived \\cup {{m}}\n\
+         \x20 /\\ UNCHANGED <<txBit, txQueue, rxExpected, rxAcks, chTR, chRT, obsSent>>\n\
+         \n\
+         Next ==\n\
+         \x20 \\/ \\E m \\in Messages : SendMsg(m) \\/ ReceiveMsg(m)\n\
+         \x20 \\/ SendPktTR \\/ RecvPktTR \\/ SendPktRT \\/ RecvPktRT\n\
+         \n\
+         Spec == Init /\\ [][Next]_vars\n\
+         \n\
+         NoDuplicate == obsFlag # \"duplicate\"\n\
+         NoPhantom == obsFlag # \"phantom\"\n\
+         Safety == obsFlag = \"ok\"\n\
+         \n\
+         THEOREM Spec => []Safety\n\
+         ====\n",
+        last_msg = msgs - 1,
+        capacity = capacity,
+        obs = OBS_COMMENT,
+    );
+
+    TlaSpec {
+        module,
+        description,
+        atoms,
+        text,
+    }
+}
+
+/// Go-back-N over lossy FIFO channels: window `W`, modulus `W + 1`.
+#[must_use]
+pub fn go_back_n_spec(window: u64, capacity: usize, msgs: u64) -> TlaSpec {
+    let module = format!("GoBackW{window}C{capacity}M{msgs}");
+    let description = format!(
+        "go-back-{window} (modulus {}) over {capacity}-slot lossy FIFO channels, \
+         {msgs} messages, crash-free and woken",
+        window + 1
+    );
+    let p = dl_protocols::sliding_window::protocol(window);
+    let sys = checked_system(
+        p.transmitter,
+        p.receiver,
+        LossyFifoChannel::with_capacity(Dir::TR, LossMode::Nondet, capacity),
+        LossyFifoChannel::with_capacity(Dir::RT, LossMode::Nondet, capacity),
+    );
+    let modulus = window + 1;
+    let atoms = crash_free_atoms(msgs, modulus, modulus, &|a| sys.classify(a));
+
+    let mut text = header(&module, &description, &atoms);
+    let _ = write!(
+        text,
+        "Messages == 0 .. {last_msg}\n\
+         Capacity == {capacity}\n\
+         Window == {window}\n\
+         Modulus == {modulus}\n\
+         MaxPendingAcks == 2\n\
+         \n\
+         Min(a, b) == IF a < b THEN a ELSE b\n\
+         Data(s, m) == [tag |-> \"DATA\", seq |-> s, msg |-> m]\n\
+         Ack(s) == [tag |-> \"ACK\", seq |-> s]\n\
+         \n\
+         VARIABLES\n\
+         \x20 txBase, txQueue,               \\* SwTxState (active elided: TRUE)\n\
+         \x20 rxExpected, rxDeliver, rxAcks, \\* SwRxState; rxExpected is absolute\n\
+         \x20 chTR, chRT,\n\
+         \x20 obsSent, obsReceived, obsFlag\n\
+         \n\
+         vars == <<txBase, txQueue, rxExpected, rxDeliver, rxAcks, chTR, chRT,\n\
+         \x20         obsSent, obsReceived, obsFlag>>\n\
+         \n\
+         Init ==\n\
+         \x20 /\\ txBase = 0 /\\ txQueue = <<>>\n\
+         \x20 /\\ rxExpected = 0 /\\ rxDeliver = <<>> /\\ rxAcks = <<>>\n\
+         \x20 /\\ chTR = <<>> /\\ chRT = <<>>\n\
+         \x20 /\\ obsSent = {{}} /\\ obsReceived = {{}} /\\ obsFlag = \"ok\"\n\
+         \n\
+         (* Environment: the harness offers the least not-yet-sent message. *)\n\
+         SendMsg(m) ==\n\
+         \x20 /\\ m \\notin obsSent\n\
+         \x20 /\\ \\A k \\in Messages : (k < m) => (k \\in obsSent)\n\
+         \x20 /\\ txQueue' = Append(txQueue, m)\n\
+         \x20 /\\ obsSent' = obsSent \\cup {{m}}\n\
+         \x20 /\\ UNCHANGED <<txBase, rxExpected, rxDeliver, rxAcks, chTR, chRT,\n\
+         \x20               obsReceived, obsFlag>>\n\
+         \n\
+         (* Any in-window packet may be (re)transmitted; loss resolves at\n\
+         \x20  send time, and a full channel always drops. *)\n\
+         SendPktTR ==\n\
+         \x20 /\\ \\E i \\in 1 .. Min(Window, Len(txQueue)) :\n\
+         \x20      LET p == Data((txBase + i - 1) % Modulus, txQueue[i]) IN\n\
+         \x20        \\/ /\\ Len(chTR) < Capacity\n\
+         \x20           /\\ chTR' = Append(chTR, p)\n\
+         \x20        \\/ chTR' = chTR\n\
+         \x20 /\\ UNCHANGED <<txBase, txQueue, rxExpected, rxDeliver, rxAcks, chRT,\n\
+         \x20               obsSent, obsReceived, obsFlag>>\n\
+         \n\
+         (* FIFO delivery: accept exactly the next expected header, and\n\
+         \x20  always (re)acknowledge with the cumulative next-expected value\n\
+         \x20  into a bounded ack buffer. *)\n\
+         RecvPktTR ==\n\
+         \x20 /\\ chTR # <<>>\n\
+         \x20 /\\ LET p == Head(chTR)\n\
+         \x20        fresh == p.seq = rxExpected % Modulus\n\
+         \x20        exp2 == IF fresh THEN rxExpected + 1 ELSE rxExpected\n\
+         \x20    IN /\\ chTR' = Tail(chTR)\n\
+         \x20       /\\ rxExpected' = exp2\n\
+         \x20       /\\ rxDeliver' = IF fresh THEN Append(rxDeliver, p.msg) ELSE rxDeliver\n\
+         \x20       /\\ rxAcks' = IF Len(rxAcks) < MaxPendingAcks\n\
+         \x20                    THEN Append(rxAcks, exp2 % Modulus)\n\
+         \x20                    ELSE rxAcks\n\
+         \x20 /\\ UNCHANGED <<txBase, txQueue, chRT, obsSent, obsReceived, obsFlag>>\n\
+         \n\
+         SendPktRT ==\n\
+         \x20 /\\ rxAcks # <<>>\n\
+         \x20 /\\ rxAcks' = Tail(rxAcks)\n\
+         \x20 /\\ \\/ /\\ Len(chRT) < Capacity\n\
+         \x20       /\\ chRT' = Append(chRT, Ack(Head(rxAcks)))\n\
+         \x20    \\/ chRT' = chRT\n\
+         \x20 /\\ UNCHANGED <<txBase, txQueue, rxExpected, rxDeliver, chTR,\n\
+         \x20               obsSent, obsReceived, obsFlag>>\n\
+         \n\
+         (* Cumulative ack: seq names the receiver's next expected value;\n\
+         \x20  advance by the unique k with (base + k) % Modulus = seq when\n\
+         \x20  1 <= k <= min(Window, |queue|). *)\n\
+         RecvPktRT ==\n\
+         \x20 /\\ chRT # <<>>\n\
+         \x20 /\\ chRT' = Tail(chRT)\n\
+         \x20 /\\ LET k == (Head(chRT).seq + Modulus - (txBase % Modulus)) % Modulus IN\n\
+         \x20      IF k \\in 1 .. Min(Window, Len(txQueue))\n\
+         \x20      THEN /\\ txQueue' = SubSeq(txQueue, k + 1, Len(txQueue))\n\
+         \x20           /\\ txBase' = txBase + k\n\
+         \x20      ELSE UNCHANGED <<txQueue, txBase>>\n\
+         \x20 /\\ UNCHANGED <<rxExpected, rxDeliver, rxAcks, chTR,\n\
+         \x20               obsSent, obsReceived, obsFlag>>\n\
+         \n\
+         {obs}\
+         ReceiveMsg(m) ==\n\
+         \x20 /\\ rxDeliver # <<>> /\\ Head(rxDeliver) = m\n\
+         \x20 /\\ rxDeliver' = Tail(rxDeliver)\n\
+         \x20 /\\ obsFlag' = IF m \\in obsReceived THEN \"duplicate\"\n\
+         \x20               ELSE IF m \\notin obsSent THEN \"phantom\"\n\
+         \x20               ELSE obsFlag\n\
+         \x20 /\\ obsReceived' = obsReceived \\cup {{m}}\n\
+         \x20 /\\ UNCHANGED <<txBase, txQueue, rxExpected, rxAcks, chTR, chRT, obsSent>>\n\
+         \n\
+         Next ==\n\
+         \x20 \\/ \\E m \\in Messages : SendMsg(m) \\/ ReceiveMsg(m)\n\
+         \x20 \\/ SendPktTR \\/ RecvPktTR \\/ SendPktRT \\/ RecvPktRT\n\
+         \n\
+         Spec == Init /\\ [][Next]_vars\n\
+         \n\
+         NoDuplicate == obsFlag # \"duplicate\"\n\
+         NoPhantom == obsFlag # \"phantom\"\n\
+         Safety == obsFlag = \"ok\"\n\
+         \n\
+         THEOREM Spec => []Safety\n\
+         ====\n",
+        last_msg = msgs - 1,
+        capacity = capacity,
+        window = window,
+        modulus = modulus,
+        obs = OBS_COMMENT,
+    );
+
+    TlaSpec {
+        module,
+        description,
+        atoms,
+        text,
+    }
+}
+
+/// The self-stabilizing protocol over non-FIFO (reordering) channels:
+/// absolute sequence numbers, `capacity + 1` identical copies to commit.
+#[must_use]
+pub fn stabilizing_spec(capacity: u64, chan_capacity: usize, msgs: u64) -> TlaSpec {
+    let module = format!("StabilizingK{capacity}C{chan_capacity}M{msgs}");
+    let description = format!(
+        "self-stabilizing protocol (K = {capacity}) over {chan_capacity}-slot reordering \
+         channels, {msgs} messages, clean start, crash-free and woken"
+    );
+    let p = dl_protocols::stabilizing::protocol_with(capacity);
+    let sys = checked_system(
+        p.transmitter,
+        p.receiver,
+        ReorderChannel::with_capacity(Dir::TR, LossMode::Nondet, chan_capacity),
+        ReorderChannel::with_capacity(Dir::RT, LossMode::Nondet, chan_capacity),
+    );
+    let atoms = crash_free_atoms(msgs, msgs, msgs, &|a| sys.classify(a));
+
+    let mut text = header(&module, &description, &atoms);
+    let _ = write!(
+        text,
+        "Messages == 0 .. {last_msg}\n\
+         Capacity == {chan_capacity}\n\
+         K == {capacity}  \\* channel-capacity bound: commit needs K + 1 copies\n\
+         MaxPendingAcks == 2\n\
+         \n\
+         Data(s, m) == [tag |-> \"DATA\", seq |-> s, msg |-> m]\n\
+         Ack(s) == [tag |-> \"ACK\", seq |-> s]\n\
+         NoCand == [seq |-> -1, msg |-> -1]\n\
+         RemoveAt(s, i) == SubSeq(s, 1, i - 1) \\o SubSeq(s, i + 1, Len(s))\n\
+         \n\
+         VARIABLES\n\
+         \x20 txSeq, txAcked, txQueue,       \\* StabTxState (active elided: TRUE)\n\
+         \x20 rxExpected, rxCand, rxCopies,  \\* StabRxState candidate counting\n\
+         \x20 rxDeliver, rxAcks,\n\
+         \x20 chTR, chRT,                    \\* reordering bags (delivery by index)\n\
+         \x20 obsSent, obsReceived, obsFlag\n\
+         \n\
+         vars == <<txSeq, txAcked, txQueue, rxExpected, rxCand, rxCopies,\n\
+         \x20         rxDeliver, rxAcks, chTR, chRT, obsSent, obsReceived, obsFlag>>\n\
+         \n\
+         Init ==\n\
+         \x20 /\\ txSeq = 0 /\\ txAcked = 0 /\\ txQueue = <<>>\n\
+         \x20 /\\ rxExpected = 0 /\\ rxCand = NoCand /\\ rxCopies = 0\n\
+         \x20 /\\ rxDeliver = <<>> /\\ rxAcks = <<>>\n\
+         \x20 /\\ chTR = <<>> /\\ chRT = <<>>\n\
+         \x20 /\\ obsSent = {{}} /\\ obsReceived = {{}} /\\ obsFlag = \"ok\"\n\
+         \n\
+         (* Environment: the harness offers the least not-yet-sent message. *)\n\
+         SendMsg(m) ==\n\
+         \x20 /\\ m \\notin obsSent\n\
+         \x20 /\\ \\A k \\in Messages : (k < m) => (k \\in obsSent)\n\
+         \x20 /\\ txQueue' = Append(txQueue, m)\n\
+         \x20 /\\ obsSent' = obsSent \\cup {{m}}\n\
+         \x20 /\\ UNCHANGED <<txSeq, txAcked, rxExpected, rxCand, rxCopies, rxDeliver,\n\
+         \x20               rxAcks, chTR, chRT, obsReceived, obsFlag>>\n\
+         \n\
+         (* The transmitter repeats Data(txSeq, front); loss resolves at send\n\
+         \x20  time, and a full channel always drops. *)\n\
+         SendPktTR ==\n\
+         \x20 /\\ txQueue # <<>>\n\
+         \x20 /\\ \\/ /\\ Len(chTR) < Capacity\n\
+         \x20       /\\ chTR' = Append(chTR, Data(txSeq, Head(txQueue)))\n\
+         \x20    \\/ chTR' = chTR\n\
+         \x20 /\\ UNCHANGED <<txSeq, txAcked, txQueue, rxExpected, rxCand, rxCopies,\n\
+         \x20               rxDeliver, rxAcks, chRT, obsSent, obsReceived, obsFlag>>\n\
+         \n\
+         (* Reordering delivery: any in-flight packet. Stale data is\n\
+         \x20  re-acknowledged only; non-stale data is counted — K + 1 identical\n\
+         \x20  copies outlast any ghost population and commit the message. *)\n\
+         RecvPktTR ==\n\
+         \x20 /\\ chTR # <<>>\n\
+         \x20 /\\ \\E i \\in 1 .. Len(chTR) :\n\
+         \x20      LET p == chTR[i] IN\n\
+         \x20        /\\ chTR' = RemoveAt(chTR, i)\n\
+         \x20        /\\ IF p.seq < rxExpected\n\
+         \x20           THEN /\\ rxAcks' = IF Len(rxAcks) < MaxPendingAcks\n\
+         \x20                             THEN Append(rxAcks, p.seq)\n\
+         \x20                             ELSE rxAcks\n\
+         \x20                /\\ UNCHANGED <<rxExpected, rxCand, rxCopies, rxDeliver>>\n\
+         \x20           ELSE LET match == rxCand = [seq |-> p.seq, msg |-> p.msg]\n\
+         \x20                    copies2 == IF match THEN rxCopies + 1 ELSE 1\n\
+         \x20                IN IF copies2 > K\n\
+         \x20                   THEN /\\ rxDeliver' = Append(rxDeliver, p.msg)\n\
+         \x20                        /\\ rxExpected' = p.seq + 1\n\
+         \x20                        /\\ rxCand' = NoCand /\\ rxCopies' = 0\n\
+         \x20                        /\\ rxAcks' = IF Len(rxAcks) < MaxPendingAcks\n\
+         \x20                                     THEN Append(rxAcks, p.seq)\n\
+         \x20                                     ELSE rxAcks\n\
+         \x20                   ELSE /\\ rxCand' = [seq |-> p.seq, msg |-> p.msg]\n\
+         \x20                        /\\ rxCopies' = copies2\n\
+         \x20                        /\\ UNCHANGED <<rxExpected, rxDeliver, rxAcks>>\n\
+         \x20 /\\ UNCHANGED <<txSeq, txAcked, txQueue, chRT, obsSent, obsReceived, obsFlag>>\n\
+         \n\
+         SendPktRT ==\n\
+         \x20 /\\ rxAcks # <<>>\n\
+         \x20 /\\ rxAcks' = Tail(rxAcks)\n\
+         \x20 /\\ \\/ /\\ Len(chRT) < Capacity\n\
+         \x20       /\\ chRT' = Append(chRT, Ack(Head(rxAcks)))\n\
+         \x20    \\/ chRT' = chRT\n\
+         \x20 /\\ UNCHANGED <<txSeq, txAcked, txQueue, rxExpected, rxCand, rxCopies,\n\
+         \x20               rxDeliver, chTR, obsSent, obsReceived, obsFlag>>\n\
+         \n\
+         (* Reordering ack consumption: matching acks are counted; the\n\
+         \x20  K + 1-th retires the front message and advances txSeq. *)\n\
+         RecvPktRT ==\n\
+         \x20 /\\ chRT # <<>>\n\
+         \x20 /\\ \\E i \\in 1 .. Len(chRT) :\n\
+         \x20      LET p == chRT[i] IN\n\
+         \x20        /\\ chRT' = RemoveAt(chRT, i)\n\
+         \x20        /\\ IF (p.seq = txSeq) /\\ (txQueue # <<>>)\n\
+         \x20           THEN IF txAcked >= K\n\
+         \x20                THEN /\\ txQueue' = Tail(txQueue)\n\
+         \x20                     /\\ txSeq' = txSeq + 1\n\
+         \x20                     /\\ txAcked' = 0\n\
+         \x20                ELSE /\\ txAcked' = txAcked + 1\n\
+         \x20                     /\\ UNCHANGED <<txQueue, txSeq>>\n\
+         \x20           ELSE UNCHANGED <<txQueue, txSeq, txAcked>>\n\
+         \x20 /\\ UNCHANGED <<rxExpected, rxCand, rxCopies, rxDeliver, rxAcks, chTR,\n\
+         \x20               obsSent, obsReceived, obsFlag>>\n\
+         \n\
+         {obs}\
+         ReceiveMsg(m) ==\n\
+         \x20 /\\ rxDeliver # <<>> /\\ Head(rxDeliver) = m\n\
+         \x20 /\\ rxDeliver' = Tail(rxDeliver)\n\
+         \x20 /\\ obsFlag' = IF m \\in obsReceived THEN \"duplicate\"\n\
+         \x20               ELSE IF m \\notin obsSent THEN \"phantom\"\n\
+         \x20               ELSE obsFlag\n\
+         \x20 /\\ obsReceived' = obsReceived \\cup {{m}}\n\
+         \x20 /\\ UNCHANGED <<txSeq, txAcked, txQueue, rxExpected, rxCand, rxCopies,\n\
+         \x20               rxAcks, chTR, chRT, obsSent>>\n\
+         \n\
+         Next ==\n\
+         \x20 \\/ \\E m \\in Messages : SendMsg(m) \\/ ReceiveMsg(m)\n\
+         \x20 \\/ SendPktTR \\/ RecvPktTR \\/ SendPktRT \\/ RecvPktRT\n\
+         \n\
+         Spec == Init /\\ [][Next]_vars\n\
+         \n\
+         NoDuplicate == obsFlag # \"duplicate\"\n\
+         NoPhantom == obsFlag # \"phantom\"\n\
+         Safety == obsFlag = \"ok\"\n\
+         \n\
+         THEOREM Spec => []Safety\n\
+         ====\n",
+        last_msg = msgs - 1,
+        chan_capacity = chan_capacity,
+        capacity = capacity,
+        obs = OBS_COMMENT,
+    );
+
+    TlaSpec {
+        module,
+        description,
+        atoms,
+        text,
+    }
+}
+
+/// The committed golden set: the three acceptance-criteria instances
+/// over 2-slot channels. `scripts/check.sh --stage cross-check` diffs
+/// these against `crates/crosscheck/tla/`.
+#[must_use]
+pub fn golden_specs() -> Vec<TlaSpec> {
+    vec![
+        abp_spec(2, 2),
+        go_back_n_spec(2, 2, 2),
+        stabilizing_spec(2, 2, 2),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_names_are_invertible() {
+        for spec in golden_specs() {
+            for atom in &spec.atoms {
+                assert_eq!(
+                    parse_atom_name(&atom.name),
+                    Some(atom.action),
+                    "atom {} does not round-trip",
+                    atom.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn emission_is_deterministic() {
+        for (a, b) in golden_specs().iter().zip(golden_specs().iter()) {
+            assert_eq!(a.text, b.text, "two emissions of {} differ", a.module);
+        }
+    }
+
+    #[test]
+    fn modules_mention_every_atom() {
+        for spec in golden_specs() {
+            for atom in &spec.atoms {
+                assert!(
+                    spec.text.contains(&atom.name),
+                    "{} missing from {}",
+                    atom.name,
+                    spec.module
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn module_text_is_structurally_complete() {
+        for spec in golden_specs() {
+            for needle in [
+                "---- MODULE ",
+                "EXTENDS Naturals, Sequences",
+                "Init ==",
+                "Next ==",
+                "Spec == Init /\\ [][Next]_vars",
+                "THEOREM Spec => []Safety",
+                "====",
+            ] {
+                assert!(
+                    spec.text.contains(needle),
+                    "{} missing {needle:?}",
+                    spec.module
+                );
+            }
+            assert!(spec
+                .text
+                .starts_with(&format!("---- MODULE {} ----", spec.module)));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! TLA+ emitter contract tests: determinism, golden fidelity, and the
+//! invertibility of the action-atom naming scheme through the composed
+//! systems' memoized signatures.
+
+use proptest::prelude::*;
+
+use dl_channels::{LossMode, LossyFifoChannel};
+use dl_core::action::{Dir, DlAction, Msg, Packet, Station};
+use dl_crosscheck::tla::{atom_name, golden_specs, parse_atom_name};
+use dl_crosscheck::zoo::checked_system;
+use ioa::{Automaton, Signature};
+
+#[test]
+fn two_emissions_are_byte_identical() {
+    let first = golden_specs();
+    let second = golden_specs();
+    assert_eq!(first.len(), second.len());
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.module, b.module);
+        assert_eq!(
+            a.text, b.text,
+            "emission of {} is not deterministic",
+            a.module
+        );
+    }
+}
+
+#[test]
+fn committed_goldens_match_fresh_emission() {
+    let goldens = [
+        ("AbpC2M2", include_str!("../tla/AbpC2M2.tla")),
+        ("GoBackW2C2M2", include_str!("../tla/GoBackW2C2M2.tla")),
+        (
+            "StabilizingK2C2M2",
+            include_str!("../tla/StabilizingK2C2M2.tla"),
+        ),
+    ];
+    let specs = golden_specs();
+    assert_eq!(specs.len(), goldens.len());
+    for (spec, (module, on_disk)) in specs.iter().zip(goldens) {
+        assert_eq!(spec.module, module);
+        assert_eq!(
+            spec.text, on_disk,
+            "golden {module}.tla is stale; regenerate with \
+             `cargo run -p dl-crosscheck --bin emit_tla -- --out crates/crosscheck/tla`"
+        );
+    }
+}
+
+#[test]
+fn every_emitted_atom_classifies_through_the_memoized_signature() {
+    for spec in golden_specs() {
+        // Rebuild the instance's composed system and memoize its
+        // signature over exactly the emitted atom set, as an executor
+        // would; every atom must classify to its emitted class.
+        let p = dl_protocols::abp::protocol();
+        let sys = checked_system(
+            p.transmitter,
+            p.receiver,
+            LossyFifoChannel::with_capacity(Dir::TR, LossMode::Nondet, 2),
+            LossyFifoChannel::with_capacity(Dir::RT, LossMode::Nondet, 2),
+        );
+        let atoms: Vec<DlAction> = spec.atoms.iter().map(|a| a.action).collect();
+        let sig = Signature::new(move |a: &DlAction| sys.classify(a)).memoized(atoms.clone());
+        for atom in &spec.atoms {
+            // Every zoo system shares the external interface, so the
+            // ABP composition classifies all three specs' atoms.
+            assert_eq!(
+                sig.classify(&atom.action),
+                Some(atom.class),
+                "{} ({}) classifies differently through the memoized table",
+                atom.name,
+                atom.action
+            );
+        }
+    }
+}
+
+/// Any nameable action, emitted or not: the parser must invert the
+/// namer on the whole scheme, not just the golden instances.
+fn nameable_action_strategy() -> impl Strategy<Value = DlAction> {
+    let dir = prop_oneof![Just(Dir::TR), Just(Dir::RT)];
+    let data = (0u64..64, 0u64..64).prop_map(|(s, m)| Packet::data(s, Msg(m)));
+    let ack = (0u64..64).prop_map(Packet::ack);
+    let pkt = prop_oneof![data, ack];
+    prop_oneof![
+        (0u64..256).prop_map(|m| DlAction::SendMsg(Msg(m))),
+        (0u64..256).prop_map(|m| DlAction::ReceiveMsg(Msg(m))),
+        (dir.clone(), pkt.clone()).prop_map(|(d, p)| DlAction::SendPkt(d, p)),
+        (dir.clone(), pkt).prop_map(|(d, p)| DlAction::ReceivePkt(d, p)),
+        dir.clone().prop_map(DlAction::Wake),
+        dir.prop_map(DlAction::Fail),
+        prop_oneof![Just(Station::T), Just(Station::R)].prop_map(DlAction::Crash),
+    ]
+}
+
+proptest! {
+    /// `parse_atom_name` inverts `atom_name` on every nameable action.
+    #[test]
+    fn atom_names_round_trip(action in nameable_action_strategy()) {
+        let name = atom_name(&action).expect("strategy yields only nameable actions");
+        prop_assert_eq!(parse_atom_name(&name), Some(action));
+    }
+
+    /// Internal steps are never named (they have no place in the
+    /// external TLA+ interface).
+    #[test]
+    fn internal_actions_are_unnamed(station in prop_oneof![Just(Station::T), Just(Station::R)],
+                                    code in 0u64..1000) {
+        prop_assert_eq!(atom_name(&DlAction::Internal(station, code)), None);
+    }
+}

@@ -1,0 +1,126 @@
+---- MODULE AbpC2M2 ----
+\* Emitted by dl-crosscheck. DO NOT EDIT: regenerate with
+\*   cargo run -p dl-crosscheck --bin emit_tla -- --out crates/crosscheck/tla
+\* Instance: ABP over 2-slot lossy FIFO channels, 2 messages, crash-free and woken
+\*
+\* Action atoms of this finite instance (name : class : IOA rendering):
+\*   SendMsg_m0 : input : send_msg^t,r(m0)
+\*   SendMsg_m1 : input : send_msg^t,r(m1)
+\*   ReceiveMsg_m0 : output : receive_msg^t,r(m0)
+\*   ReceiveMsg_m1 : output : receive_msg^t,r(m1)
+\*   SendPkt_tr_data0_m0 : output : send_pkt^t,r(⟨DATA#0 m0⟩)
+\*   SendPkt_tr_data0_m1 : output : send_pkt^t,r(⟨DATA#0 m1⟩)
+\*   SendPkt_tr_data1_m0 : output : send_pkt^t,r(⟨DATA#1 m0⟩)
+\*   SendPkt_tr_data1_m1 : output : send_pkt^t,r(⟨DATA#1 m1⟩)
+\*   ReceivePkt_tr_data0_m0 : output : receive_pkt^t,r(⟨DATA#0 m0⟩)
+\*   ReceivePkt_tr_data0_m1 : output : receive_pkt^t,r(⟨DATA#0 m1⟩)
+\*   ReceivePkt_tr_data1_m0 : output : receive_pkt^t,r(⟨DATA#1 m0⟩)
+\*   ReceivePkt_tr_data1_m1 : output : receive_pkt^t,r(⟨DATA#1 m1⟩)
+\*   SendPkt_rt_ack0 : output : send_pkt^r,t(⟨ACK#0⟩)
+\*   SendPkt_rt_ack1 : output : send_pkt^r,t(⟨ACK#1⟩)
+\*   ReceivePkt_rt_ack0 : output : receive_pkt^r,t(⟨ACK#0⟩)
+\*   ReceivePkt_rt_ack1 : output : receive_pkt^r,t(⟨ACK#1⟩)
+
+EXTENDS Naturals, Sequences
+
+Messages == 0 .. 1
+Capacity == 2
+MaxPendingAcks == 2
+
+Data(b, m) == [tag |-> "DATA", seq |-> b, msg |-> m]
+Ack(b) == [tag |-> "ACK", seq |-> b]
+
+VARIABLES
+  txBit, txQueue,                 \* AbpTxState (active elided: TRUE)
+  rxExpected, rxDeliver, rxAcks,  \* AbpRxState (active elided: TRUE)
+  chTR, chRT,                     \* FIFO FlightState per direction
+  obsSent, obsReceived, obsFlag   \* WDL observer
+
+vars == <<txBit, txQueue, rxExpected, rxDeliver, rxAcks, chTR, chRT,
+          obsSent, obsReceived, obsFlag>>
+
+Init ==
+  /\ txBit = 0 /\ txQueue = <<>>
+  /\ rxExpected = 0 /\ rxDeliver = <<>> /\ rxAcks = <<>>
+  /\ chTR = <<>> /\ chRT = <<>>
+  /\ obsSent = {} /\ obsReceived = {} /\ obsFlag = "ok"
+
+(* Environment: the harness offers the least not-yet-sent message. *)
+SendMsg(m) ==
+  /\ m \notin obsSent
+  /\ \A k \in Messages : (k < m) => (k \in obsSent)
+  /\ txQueue' = Append(txQueue, m)
+  /\ obsSent' = obsSent \cup {m}
+  /\ UNCHANGED <<txBit, rxExpected, rxDeliver, rxAcks, chTR, chRT,
+                obsReceived, obsFlag>>
+
+(* Retransmission of the front packet; loss resolves at send time:
+   the kept and dropped branches are the two disjuncts, and a full
+   channel always drops. *)
+SendPktTR ==
+  /\ txQueue # <<>>
+  /\ \/ /\ Len(chTR) < Capacity
+        /\ chTR' = Append(chTR, Data(txBit, Head(txQueue)))
+     \/ chTR' = chTR
+  /\ UNCHANGED <<txBit, txQueue, rxExpected, rxDeliver, rxAcks, chRT,
+                obsSent, obsReceived, obsFlag>>
+
+(* FIFO delivery to the receiver: deliver fresh data, acknowledge
+   fresh and duplicate data alike into a bounded ack buffer. *)
+RecvPktTR ==
+  /\ chTR # <<>>
+  /\ LET p == Head(chTR) IN
+       /\ chTR' = Tail(chTR)
+       /\ IF p.seq = rxExpected
+          THEN /\ rxDeliver' = Append(rxDeliver, p.msg)
+               /\ rxExpected' = 1 - rxExpected
+          ELSE UNCHANGED <<rxDeliver, rxExpected>>
+       /\ IF Len(rxAcks) < MaxPendingAcks
+          THEN rxAcks' = Append(rxAcks, p.seq)
+          ELSE UNCHANGED rxAcks
+  /\ UNCHANGED <<txBit, txQueue, chRT, obsSent, obsReceived, obsFlag>>
+
+SendPktRT ==
+  /\ rxAcks # <<>>
+  /\ rxAcks' = Tail(rxAcks)
+  /\ \/ /\ Len(chRT) < Capacity
+        /\ chRT' = Append(chRT, Ack(Head(rxAcks)))
+     \/ chRT' = chRT
+  /\ UNCHANGED <<txBit, txQueue, rxExpected, rxDeliver, chTR,
+                obsSent, obsReceived, obsFlag>>
+
+(* The matching ack bit retires the front message and flips the bit. *)
+RecvPktRT ==
+  /\ chRT # <<>>
+  /\ chRT' = Tail(chRT)
+  /\ IF (Head(chRT).seq = txBit) /\ (txQueue # <<>>)
+     THEN /\ txQueue' = Tail(txQueue)
+          /\ txBit' = 1 - txBit
+     ELSE UNCHANGED <<txQueue, txBit>>
+  /\ UNCHANGED <<rxExpected, rxDeliver, rxAcks, chTR,
+                obsSent, obsReceived, obsFlag>>
+
+(* Delivery to the environment, scored by the WDL observer: each message
+   is offered at most once, so a repeated member of obsReceived is a
+   duplicate (DL4) and a receive that was never sent is a phantom (DL5). *)
+ReceiveMsg(m) ==
+  /\ rxDeliver # <<>> /\ Head(rxDeliver) = m
+  /\ rxDeliver' = Tail(rxDeliver)
+  /\ obsFlag' = IF m \in obsReceived THEN "duplicate"
+                ELSE IF m \notin obsSent THEN "phantom"
+                ELSE obsFlag
+  /\ obsReceived' = obsReceived \cup {m}
+  /\ UNCHANGED <<txBit, txQueue, rxExpected, rxAcks, chTR, chRT, obsSent>>
+
+Next ==
+  \/ \E m \in Messages : SendMsg(m) \/ ReceiveMsg(m)
+  \/ SendPktTR \/ RecvPktTR \/ SendPktRT \/ RecvPktRT
+
+Spec == Init /\ [][Next]_vars
+
+NoDuplicate == obsFlag # "duplicate"
+NoPhantom == obsFlag # "phantom"
+Safety == obsFlag = "ok"
+
+THEOREM Spec => []Safety
+====

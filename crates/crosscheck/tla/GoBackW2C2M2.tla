@@ -1,0 +1,139 @@
+---- MODULE GoBackW2C2M2 ----
+\* Emitted by dl-crosscheck. DO NOT EDIT: regenerate with
+\*   cargo run -p dl-crosscheck --bin emit_tla -- --out crates/crosscheck/tla
+\* Instance: go-back-2 (modulus 3) over 2-slot lossy FIFO channels, 2 messages, crash-free and woken
+\*
+\* Action atoms of this finite instance (name : class : IOA rendering):
+\*   SendMsg_m0 : input : send_msg^t,r(m0)
+\*   SendMsg_m1 : input : send_msg^t,r(m1)
+\*   ReceiveMsg_m0 : output : receive_msg^t,r(m0)
+\*   ReceiveMsg_m1 : output : receive_msg^t,r(m1)
+\*   SendPkt_tr_data0_m0 : output : send_pkt^t,r(⟨DATA#0 m0⟩)
+\*   SendPkt_tr_data0_m1 : output : send_pkt^t,r(⟨DATA#0 m1⟩)
+\*   SendPkt_tr_data1_m0 : output : send_pkt^t,r(⟨DATA#1 m0⟩)
+\*   SendPkt_tr_data1_m1 : output : send_pkt^t,r(⟨DATA#1 m1⟩)
+\*   SendPkt_tr_data2_m0 : output : send_pkt^t,r(⟨DATA#2 m0⟩)
+\*   SendPkt_tr_data2_m1 : output : send_pkt^t,r(⟨DATA#2 m1⟩)
+\*   ReceivePkt_tr_data0_m0 : output : receive_pkt^t,r(⟨DATA#0 m0⟩)
+\*   ReceivePkt_tr_data0_m1 : output : receive_pkt^t,r(⟨DATA#0 m1⟩)
+\*   ReceivePkt_tr_data1_m0 : output : receive_pkt^t,r(⟨DATA#1 m0⟩)
+\*   ReceivePkt_tr_data1_m1 : output : receive_pkt^t,r(⟨DATA#1 m1⟩)
+\*   ReceivePkt_tr_data2_m0 : output : receive_pkt^t,r(⟨DATA#2 m0⟩)
+\*   ReceivePkt_tr_data2_m1 : output : receive_pkt^t,r(⟨DATA#2 m1⟩)
+\*   SendPkt_rt_ack0 : output : send_pkt^r,t(⟨ACK#0⟩)
+\*   SendPkt_rt_ack1 : output : send_pkt^r,t(⟨ACK#1⟩)
+\*   SendPkt_rt_ack2 : output : send_pkt^r,t(⟨ACK#2⟩)
+\*   ReceivePkt_rt_ack0 : output : receive_pkt^r,t(⟨ACK#0⟩)
+\*   ReceivePkt_rt_ack1 : output : receive_pkt^r,t(⟨ACK#1⟩)
+\*   ReceivePkt_rt_ack2 : output : receive_pkt^r,t(⟨ACK#2⟩)
+
+EXTENDS Naturals, Sequences
+
+Messages == 0 .. 1
+Capacity == 2
+Window == 2
+Modulus == 3
+MaxPendingAcks == 2
+
+Min(a, b) == IF a < b THEN a ELSE b
+Data(s, m) == [tag |-> "DATA", seq |-> s, msg |-> m]
+Ack(s) == [tag |-> "ACK", seq |-> s]
+
+VARIABLES
+  txBase, txQueue,               \* SwTxState (active elided: TRUE)
+  rxExpected, rxDeliver, rxAcks, \* SwRxState; rxExpected is absolute
+  chTR, chRT,
+  obsSent, obsReceived, obsFlag
+
+vars == <<txBase, txQueue, rxExpected, rxDeliver, rxAcks, chTR, chRT,
+          obsSent, obsReceived, obsFlag>>
+
+Init ==
+  /\ txBase = 0 /\ txQueue = <<>>
+  /\ rxExpected = 0 /\ rxDeliver = <<>> /\ rxAcks = <<>>
+  /\ chTR = <<>> /\ chRT = <<>>
+  /\ obsSent = {} /\ obsReceived = {} /\ obsFlag = "ok"
+
+(* Environment: the harness offers the least not-yet-sent message. *)
+SendMsg(m) ==
+  /\ m \notin obsSent
+  /\ \A k \in Messages : (k < m) => (k \in obsSent)
+  /\ txQueue' = Append(txQueue, m)
+  /\ obsSent' = obsSent \cup {m}
+  /\ UNCHANGED <<txBase, rxExpected, rxDeliver, rxAcks, chTR, chRT,
+                obsReceived, obsFlag>>
+
+(* Any in-window packet may be (re)transmitted; loss resolves at
+   send time, and a full channel always drops. *)
+SendPktTR ==
+  /\ \E i \in 1 .. Min(Window, Len(txQueue)) :
+       LET p == Data((txBase + i - 1) % Modulus, txQueue[i]) IN
+         \/ /\ Len(chTR) < Capacity
+            /\ chTR' = Append(chTR, p)
+         \/ chTR' = chTR
+  /\ UNCHANGED <<txBase, txQueue, rxExpected, rxDeliver, rxAcks, chRT,
+                obsSent, obsReceived, obsFlag>>
+
+(* FIFO delivery: accept exactly the next expected header, and
+   always (re)acknowledge with the cumulative next-expected value
+   into a bounded ack buffer. *)
+RecvPktTR ==
+  /\ chTR # <<>>
+  /\ LET p == Head(chTR)
+         fresh == p.seq = rxExpected % Modulus
+         exp2 == IF fresh THEN rxExpected + 1 ELSE rxExpected
+     IN /\ chTR' = Tail(chTR)
+        /\ rxExpected' = exp2
+        /\ rxDeliver' = IF fresh THEN Append(rxDeliver, p.msg) ELSE rxDeliver
+        /\ rxAcks' = IF Len(rxAcks) < MaxPendingAcks
+                     THEN Append(rxAcks, exp2 % Modulus)
+                     ELSE rxAcks
+  /\ UNCHANGED <<txBase, txQueue, chRT, obsSent, obsReceived, obsFlag>>
+
+SendPktRT ==
+  /\ rxAcks # <<>>
+  /\ rxAcks' = Tail(rxAcks)
+  /\ \/ /\ Len(chRT) < Capacity
+        /\ chRT' = Append(chRT, Ack(Head(rxAcks)))
+     \/ chRT' = chRT
+  /\ UNCHANGED <<txBase, txQueue, rxExpected, rxDeliver, chTR,
+                obsSent, obsReceived, obsFlag>>
+
+(* Cumulative ack: seq names the receiver's next expected value;
+   advance by the unique k with (base + k) % Modulus = seq when
+   1 <= k <= min(Window, |queue|). *)
+RecvPktRT ==
+  /\ chRT # <<>>
+  /\ chRT' = Tail(chRT)
+  /\ LET k == (Head(chRT).seq + Modulus - (txBase % Modulus)) % Modulus IN
+       IF k \in 1 .. Min(Window, Len(txQueue))
+       THEN /\ txQueue' = SubSeq(txQueue, k + 1, Len(txQueue))
+            /\ txBase' = txBase + k
+       ELSE UNCHANGED <<txQueue, txBase>>
+  /\ UNCHANGED <<rxExpected, rxDeliver, rxAcks, chTR,
+                obsSent, obsReceived, obsFlag>>
+
+(* Delivery to the environment, scored by the WDL observer: each message
+   is offered at most once, so a repeated member of obsReceived is a
+   duplicate (DL4) and a receive that was never sent is a phantom (DL5). *)
+ReceiveMsg(m) ==
+  /\ rxDeliver # <<>> /\ Head(rxDeliver) = m
+  /\ rxDeliver' = Tail(rxDeliver)
+  /\ obsFlag' = IF m \in obsReceived THEN "duplicate"
+                ELSE IF m \notin obsSent THEN "phantom"
+                ELSE obsFlag
+  /\ obsReceived' = obsReceived \cup {m}
+  /\ UNCHANGED <<txBase, txQueue, rxExpected, rxAcks, chTR, chRT, obsSent>>
+
+Next ==
+  \/ \E m \in Messages : SendMsg(m) \/ ReceiveMsg(m)
+  \/ SendPktTR \/ RecvPktTR \/ SendPktRT \/ RecvPktRT
+
+Spec == Init /\ [][Next]_vars
+
+NoDuplicate == obsFlag # "duplicate"
+NoPhantom == obsFlag # "phantom"
+Safety == obsFlag = "ok"
+
+THEOREM Spec => []Safety
+====

@@ -1,0 +1,150 @@
+---- MODULE StabilizingK2C2M2 ----
+\* Emitted by dl-crosscheck. DO NOT EDIT: regenerate with
+\*   cargo run -p dl-crosscheck --bin emit_tla -- --out crates/crosscheck/tla
+\* Instance: self-stabilizing protocol (K = 2) over 2-slot reordering channels, 2 messages, clean start, crash-free and woken
+\*
+\* Action atoms of this finite instance (name : class : IOA rendering):
+\*   SendMsg_m0 : input : send_msg^t,r(m0)
+\*   SendMsg_m1 : input : send_msg^t,r(m1)
+\*   ReceiveMsg_m0 : output : receive_msg^t,r(m0)
+\*   ReceiveMsg_m1 : output : receive_msg^t,r(m1)
+\*   SendPkt_tr_data0_m0 : output : send_pkt^t,r(⟨DATA#0 m0⟩)
+\*   SendPkt_tr_data0_m1 : output : send_pkt^t,r(⟨DATA#0 m1⟩)
+\*   SendPkt_tr_data1_m0 : output : send_pkt^t,r(⟨DATA#1 m0⟩)
+\*   SendPkt_tr_data1_m1 : output : send_pkt^t,r(⟨DATA#1 m1⟩)
+\*   ReceivePkt_tr_data0_m0 : output : receive_pkt^t,r(⟨DATA#0 m0⟩)
+\*   ReceivePkt_tr_data0_m1 : output : receive_pkt^t,r(⟨DATA#0 m1⟩)
+\*   ReceivePkt_tr_data1_m0 : output : receive_pkt^t,r(⟨DATA#1 m0⟩)
+\*   ReceivePkt_tr_data1_m1 : output : receive_pkt^t,r(⟨DATA#1 m1⟩)
+\*   SendPkt_rt_ack0 : output : send_pkt^r,t(⟨ACK#0⟩)
+\*   SendPkt_rt_ack1 : output : send_pkt^r,t(⟨ACK#1⟩)
+\*   ReceivePkt_rt_ack0 : output : receive_pkt^r,t(⟨ACK#0⟩)
+\*   ReceivePkt_rt_ack1 : output : receive_pkt^r,t(⟨ACK#1⟩)
+
+EXTENDS Naturals, Sequences
+
+Messages == 0 .. 1
+Capacity == 2
+K == 2  \* channel-capacity bound: commit needs K + 1 copies
+MaxPendingAcks == 2
+
+Data(s, m) == [tag |-> "DATA", seq |-> s, msg |-> m]
+Ack(s) == [tag |-> "ACK", seq |-> s]
+NoCand == [seq |-> -1, msg |-> -1]
+RemoveAt(s, i) == SubSeq(s, 1, i - 1) \o SubSeq(s, i + 1, Len(s))
+
+VARIABLES
+  txSeq, txAcked, txQueue,       \* StabTxState (active elided: TRUE)
+  rxExpected, rxCand, rxCopies,  \* StabRxState candidate counting
+  rxDeliver, rxAcks,
+  chTR, chRT,                    \* reordering bags (delivery by index)
+  obsSent, obsReceived, obsFlag
+
+vars == <<txSeq, txAcked, txQueue, rxExpected, rxCand, rxCopies,
+          rxDeliver, rxAcks, chTR, chRT, obsSent, obsReceived, obsFlag>>
+
+Init ==
+  /\ txSeq = 0 /\ txAcked = 0 /\ txQueue = <<>>
+  /\ rxExpected = 0 /\ rxCand = NoCand /\ rxCopies = 0
+  /\ rxDeliver = <<>> /\ rxAcks = <<>>
+  /\ chTR = <<>> /\ chRT = <<>>
+  /\ obsSent = {} /\ obsReceived = {} /\ obsFlag = "ok"
+
+(* Environment: the harness offers the least not-yet-sent message. *)
+SendMsg(m) ==
+  /\ m \notin obsSent
+  /\ \A k \in Messages : (k < m) => (k \in obsSent)
+  /\ txQueue' = Append(txQueue, m)
+  /\ obsSent' = obsSent \cup {m}
+  /\ UNCHANGED <<txSeq, txAcked, rxExpected, rxCand, rxCopies, rxDeliver,
+                rxAcks, chTR, chRT, obsReceived, obsFlag>>
+
+(* The transmitter repeats Data(txSeq, front); loss resolves at send
+   time, and a full channel always drops. *)
+SendPktTR ==
+  /\ txQueue # <<>>
+  /\ \/ /\ Len(chTR) < Capacity
+        /\ chTR' = Append(chTR, Data(txSeq, Head(txQueue)))
+     \/ chTR' = chTR
+  /\ UNCHANGED <<txSeq, txAcked, txQueue, rxExpected, rxCand, rxCopies,
+                rxDeliver, rxAcks, chRT, obsSent, obsReceived, obsFlag>>
+
+(* Reordering delivery: any in-flight packet. Stale data is
+   re-acknowledged only; non-stale data is counted — K + 1 identical
+   copies outlast any ghost population and commit the message. *)
+RecvPktTR ==
+  /\ chTR # <<>>
+  /\ \E i \in 1 .. Len(chTR) :
+       LET p == chTR[i] IN
+         /\ chTR' = RemoveAt(chTR, i)
+         /\ IF p.seq < rxExpected
+            THEN /\ rxAcks' = IF Len(rxAcks) < MaxPendingAcks
+                              THEN Append(rxAcks, p.seq)
+                              ELSE rxAcks
+                 /\ UNCHANGED <<rxExpected, rxCand, rxCopies, rxDeliver>>
+            ELSE LET match == rxCand = [seq |-> p.seq, msg |-> p.msg]
+                     copies2 == IF match THEN rxCopies + 1 ELSE 1
+                 IN IF copies2 > K
+                    THEN /\ rxDeliver' = Append(rxDeliver, p.msg)
+                         /\ rxExpected' = p.seq + 1
+                         /\ rxCand' = NoCand /\ rxCopies' = 0
+                         /\ rxAcks' = IF Len(rxAcks) < MaxPendingAcks
+                                      THEN Append(rxAcks, p.seq)
+                                      ELSE rxAcks
+                    ELSE /\ rxCand' = [seq |-> p.seq, msg |-> p.msg]
+                         /\ rxCopies' = copies2
+                         /\ UNCHANGED <<rxExpected, rxDeliver, rxAcks>>
+  /\ UNCHANGED <<txSeq, txAcked, txQueue, chRT, obsSent, obsReceived, obsFlag>>
+
+SendPktRT ==
+  /\ rxAcks # <<>>
+  /\ rxAcks' = Tail(rxAcks)
+  /\ \/ /\ Len(chRT) < Capacity
+        /\ chRT' = Append(chRT, Ack(Head(rxAcks)))
+     \/ chRT' = chRT
+  /\ UNCHANGED <<txSeq, txAcked, txQueue, rxExpected, rxCand, rxCopies,
+                rxDeliver, chTR, obsSent, obsReceived, obsFlag>>
+
+(* Reordering ack consumption: matching acks are counted; the
+   K + 1-th retires the front message and advances txSeq. *)
+RecvPktRT ==
+  /\ chRT # <<>>
+  /\ \E i \in 1 .. Len(chRT) :
+       LET p == chRT[i] IN
+         /\ chRT' = RemoveAt(chRT, i)
+         /\ IF (p.seq = txSeq) /\ (txQueue # <<>>)
+            THEN IF txAcked >= K
+                 THEN /\ txQueue' = Tail(txQueue)
+                      /\ txSeq' = txSeq + 1
+                      /\ txAcked' = 0
+                 ELSE /\ txAcked' = txAcked + 1
+                      /\ UNCHANGED <<txQueue, txSeq>>
+            ELSE UNCHANGED <<txQueue, txSeq, txAcked>>
+  /\ UNCHANGED <<rxExpected, rxCand, rxCopies, rxDeliver, rxAcks, chTR,
+                obsSent, obsReceived, obsFlag>>
+
+(* Delivery to the environment, scored by the WDL observer: each message
+   is offered at most once, so a repeated member of obsReceived is a
+   duplicate (DL4) and a receive that was never sent is a phantom (DL5). *)
+ReceiveMsg(m) ==
+  /\ rxDeliver # <<>> /\ Head(rxDeliver) = m
+  /\ rxDeliver' = Tail(rxDeliver)
+  /\ obsFlag' = IF m \in obsReceived THEN "duplicate"
+                ELSE IF m \notin obsSent THEN "phantom"
+                ELSE obsFlag
+  /\ obsReceived' = obsReceived \cup {m}
+  /\ UNCHANGED <<txSeq, txAcked, txQueue, rxExpected, rxCand, rxCopies,
+                rxAcks, chTR, chRT, obsSent>>
+
+Next ==
+  \/ \E m \in Messages : SendMsg(m) \/ ReceiveMsg(m)
+  \/ SendPktTR \/ RecvPktTR \/ SendPktRT \/ RecvPktRT
+
+Spec == Init /\ [][Next]_vars
+
+NoDuplicate == obsFlag # "duplicate"
+NoPhantom == obsFlag # "phantom"
+Safety == obsFlag = "ok"
+
+THEOREM Spec => []Safety
+====

@@ -111,6 +111,25 @@ impl<A, S> ExploreReport<A, S> {
         self.layers.last().map_or(0, |l| l.depth)
     }
 
+    /// The state graph's diameter from the start set, when the search
+    /// was [`exhaustive`](Self::exhaustive): synonym of
+    /// [`max_depth_reached`](Self::max_depth_reached) under the name the
+    /// cross-formalism differential (`dl-crosscheck`) compares.
+    #[must_use]
+    pub fn diameter(&self) -> usize {
+        self.max_depth_reached()
+    }
+
+    /// Distinct states first discovered at the given depth: the layer's
+    /// `discovered` count, or 0 for depths the search never expanded.
+    #[must_use]
+    pub fn layer_discovered(&self, depth: usize) -> usize {
+        self.layers
+            .iter()
+            .find(|l| l.depth == depth)
+            .map_or(0, |l| l.discovered)
+    }
+
     /// Total transitions that deduplicated against an already-known state
     /// across all layers — the work the interned visited index absorbed
     /// without storing a second state copy.

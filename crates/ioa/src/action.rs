@@ -36,16 +36,22 @@ impl ActionClass {
     pub fn is_locally_controlled(self) -> bool {
         matches!(self, ActionClass::Output | ActionClass::Internal)
     }
+
+    /// The class's canonical lowercase name, as rendered by `Display`
+    /// and emitted into the TLA+ action-atom tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ActionClass::Input => "input",
+            ActionClass::Output => "output",
+            ActionClass::Internal => "internal",
+        }
+    }
 }
 
 impl fmt::Display for ActionClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
-            ActionClass::Input => "input",
-            ActionClass::Output => "output",
-            ActionClass::Internal => "internal",
-        };
-        f.write_str(name)
+        f.write_str(self.name())
     }
 }
 

@@ -46,6 +46,7 @@ pub const ENGINES: &[&str] = &[
     "fleet",
     "monitor",
     "stabilize",
+    "crosscheck",
 ];
 
 /// Metrics of one engine run, keyed for serialization.

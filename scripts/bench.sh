@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # Performance harness: ledger-emitting release runs of the headline
 # experiments (E9 explore, E11 sim, E12 fuzz, E13 fleet, the 10⁷-action
-# session-sharded monitor ingest, both impossibility constructions),
-# written to BENCH_<date>.json and gated against the committed
-# bench/baseline.json.
+# session-sharded monitor ingest, E16 cross-check, both impossibility
+# constructions), written to bench/out/BENCH_<date>.json and gated
+# against the committed bench/baseline.json.
 #
-#   scripts/bench.sh                  run workloads, write BENCH_<date>.json
+#   scripts/bench.sh                  run workloads, write bench/out/BENCH_<date>.json
 #   scripts/bench.sh --gate           ...and fail on regression vs baseline
 #   scripts/bench.sh --update-baseline  rewrite bench/baseline.json (relaxed)
 #   scripts/bench.sh --full           also run the criterion benches first
@@ -49,7 +49,8 @@ if [[ $MODE == update ]]; then
   exit 0
 fi
 
-OUT="BENCH_$(date +%Y%m%d).json"
+mkdir -p bench/out
+OUT="bench/out/BENCH_$(date +%Y%m%d).json"
 echo "==> ledger runs -> ${OUT}"
 ./target/release/ledger_run --out "$OUT"
 

@@ -11,7 +11,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-STAGES=(toolchain fmt clippy test obs scaling explore-deep monitor-smoke fuzz-smoke fleet-smoke stabilize-smoke alloc differential bench-smoke)
+STAGES=(toolchain fmt clippy test obs scaling explore-deep monitor-smoke fuzz-smoke fleet-smoke stabilize-smoke alloc differential cross-check bench-smoke)
 
 stage_toolchain() {
   # The container pins the toolchain by version, not by channel file
@@ -114,6 +114,17 @@ stage_differential() {
   # Scratch-buffer runner byte-identical to the frozen clone-based
   # executor.
   cargo test -q -p dl-sim --test interned_runner_differential
+}
+
+stage_cross_check() {
+  # Cross-formalism differential, release: the independent checker
+  # (own hashing, own visited set, own BFS) agrees with the parallel
+  # explorer field by field — state counts, diameters, per-layer stats,
+  # and minimal counterexample traces — across the zoo, including the
+  # Lemma 7.2 crash pump; and the committed TLA+ goldens are
+  # byte-identical to fresh emission.
+  cargo test --release -q -p dl-crosscheck
+  cargo run -q --release -p dl-crosscheck --bin emit_tla -- --check crates/crosscheck/tla
 }
 
 stage_bench_smoke() {

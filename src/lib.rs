@@ -17,7 +17,9 @@
 //! * [`fuzz`] (`dl-fuzz`) — the coverage-guided schedule fuzzer behind
 //!   experiment E12;
 //! * [`fleet`] (`dl-fleet`) — the many-session traffic engine behind
-//!   experiment E13.
+//!   experiment E13;
+//! * [`crosscheck`] (`dl-crosscheck`) — the independent checker, TLA+
+//!   emitter, and cross-formalism differential behind experiment E16.
 //!
 //! # Example: refute a protocol's crash tolerance
 //!
@@ -36,6 +38,7 @@
 
 pub use dl_channels as channels;
 pub use dl_core as core;
+pub use dl_crosscheck as crosscheck;
 pub use dl_explore as explore;
 pub use dl_fleet as fleet;
 pub use dl_fuzz as fuzz;

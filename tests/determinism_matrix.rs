@@ -70,8 +70,42 @@ fn thread_matrix() -> Vec<usize> {
     }
 }
 
+/// Runs a test body and, if it panics, persists the panic message — the
+/// diverging counts or the minimal counterexample the assertion rendered
+/// — under `target/determinism-dumps/<name>.txt`, where the CI matrix
+/// leg uploads it as an artifact, before propagating the panic.
+fn with_dump<F: FnOnce()>(name: &str, body: F) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    if let Err(payload) = result {
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("non-string panic payload");
+        let leg = std::env::var("DL_EXPLORE_THREADS").unwrap_or_else(|_| "sweep".into());
+        let dir = std::path::Path::new("target/determinism-dumps");
+        let _ = std::fs::create_dir_all(dir);
+        let _ = std::fs::write(
+            dir.join(format!("{name}.txt")),
+            format!("test: {name}\nDL_EXPLORE_THREADS: {leg}\n\n{msg}\n"),
+        );
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Renders a violation's action path for the failure dump.
+fn rendered_path<S>(v: &Option<datalink::explore::Violation<DlAction, S>>) -> Vec<String> {
+    v.as_ref()
+        .map(|v| v.path.iter().map(ToString::to_string).collect())
+        .unwrap_or_default()
+}
+
 #[test]
 fn e9_explore_is_deterministic_across_thread_counts() {
+    with_dump("explore-matrix", e9_explore_matrix_body);
+}
+
+fn e9_explore_matrix_body() {
     let sys = e9_system();
     let start = woken_start(&sys);
 
@@ -89,7 +123,9 @@ fn e9_explore_is_deterministic_across_thread_counts() {
             .check_invariant_from(vec![start.clone()], |s| observer_of(s).is_safe());
         assert!(
             par.holds(),
-            "parallel verdict diverged at {threads} threads"
+            "parallel verdict diverged at {threads} threads; \
+             counterexample: {:?}",
+            rendered_path(&par.violation)
         );
         assert_eq!(par.threads, threads);
         assert_eq!(
@@ -135,6 +171,10 @@ fn e9_explore_is_deterministic_across_thread_counts() {
 /// the plain backend's pinned 516096.
 #[test]
 fn e9_packed_backend_matches_the_plain_matrix() {
+    with_dump("explore-matrix-packed", e9_packed_matrix_body);
+}
+
+fn e9_packed_matrix_body() {
     let sys = e9_system();
     let start = woken_start(&sys);
 
@@ -147,7 +187,12 @@ fn e9_packed_backend_matches_the_plain_matrix() {
             .threads(threads)
             .packed()
             .check_invariant_from(vec![start.clone()], |s| observer_of(s).is_safe());
-        assert!(par.holds(), "packed verdict diverged at {threads} threads");
+        assert!(
+            par.holds(),
+            "packed verdict diverged at {threads} threads; \
+             counterexample: {:?}",
+            rendered_path(&par.violation)
+        );
         assert_eq!(
             par.states_visited, seq.states_visited,
             "packed states_visited diverged at {threads} threads"

@@ -37,8 +37,35 @@ fn worker_matrix() -> Vec<usize> {
     }
 }
 
+/// Runs a test body and, if it panics, persists the panic message — the
+/// diverging outcome records, counters, or histograms the assertion
+/// rendered — under `target/determinism-dumps/<name>.txt`, where the CI
+/// matrix leg uploads it as an artifact, before propagating the panic.
+fn with_dump<F: FnOnce()>(name: &str, body: F) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    if let Err(payload) = result {
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("non-string panic payload");
+        let leg = std::env::var("DL_FLEET_WORKERS").unwrap_or_else(|_| "sweep".into());
+        let dir = std::path::Path::new("target/determinism-dumps");
+        let _ = std::fs::create_dir_all(dir);
+        let _ = std::fs::write(
+            dir.join(format!("{name}.txt")),
+            format!("test: {name}\nDL_FLEET_WORKERS: {leg}\n\n{msg}\n"),
+        );
+        std::panic::resume_unwind(payload);
+    }
+}
+
 #[test]
 fn fleet_results_are_deterministic_across_worker_counts() {
+    with_dump("fleet-matrix", fleet_matrix_body);
+}
+
+fn fleet_matrix_body() {
     let oracle = run_fleet(&matrix_spec(1));
     assert_eq!(oracle.sessions(), 270);
     assert!(oracle.crash_sessions > 0, "the mix must include crashes");
@@ -78,6 +105,10 @@ fn fleet_results_are_deterministic_across_worker_counts() {
 /// `convergence_actions` ledger histogram.
 #[test]
 fn stabilizing_fleet_results_are_deterministic_across_worker_counts() {
+    with_dump("fleet-matrix-stabilize", stabilizing_fleet_matrix_body);
+}
+
+fn stabilizing_fleet_matrix_body() {
     use datalink::fleet::ProtocolKind;
     let spec = |workers| FleetSpec {
         protocols: ProtocolKind::ALL.to_vec(),
